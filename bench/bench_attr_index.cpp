@@ -1,0 +1,95 @@
+// E15 — Secondary indexes on view attributes (§2.3): "This information
+// can then be used, for example, to create auxiliary storage structures
+// such as indices". Claim: selective probes through a B+-tree index
+// touch tree-height pages instead of scanning the column, and the index
+// is kept consistent under updates.
+
+#include "bench/bench_util.h"
+#include "core/dbms.h"
+
+using namespace statdb;
+using namespace statdb::bench;
+
+int main() {
+  Header("E15 bench_attr_index",
+         "selective probes (find the ~0.1% recording errors): column scan vs"
+         " maintained B+-tree index");
+
+  std::printf("%9s | %12s %12s | %12s %12s\n", "rows", "scan pages",
+              "scan ms", "index pages", "index ms");
+  for (uint64_t rows : {20000ull, 100000ull, 400000ull}) {
+    auto storage = MakeInstallation(4096, 1 << 18);
+    StatisticalDbms dbms(storage.get());
+    CheckOk(dbms.LoadRawDataSet("census", MakeCensus(rows)));
+    ViewDefinition def;
+    def.source = "census";
+    CheckOk(dbms.CreateView("v", def, MaintenancePolicy::kIncremental)
+                .status());
+    SimulatedDevice* disk = Unwrap(storage->GetDevice("disk"));
+    BufferPool* pool = Unwrap(storage->GetPool("disk"));
+
+    // Scan path (no index yet), cold pool.
+    CheckOk(pool->FlushAll());
+    CheckOk(pool->Reset());
+    pool->ResetStats();
+    disk->ResetStats();
+    Unwrap(dbms.CountWhereEqual("v", "AGE", Value::Int(1000)));  // planted errors, ~0.1%
+    uint64_t scan_pages = pool->stats().misses;
+    double scan_ms = disk->stats().simulated_ms;
+
+    CheckOk(dbms.CreateAttributeIndex("v", "AGE"));
+    CheckOk(pool->FlushAll());
+    CheckOk(pool->Reset());
+    pool->ResetStats();
+    disk->ResetStats();
+    bool used_index = false;
+    Unwrap(dbms.CountWhereEqual("v", "AGE", Value::Int(1000), &used_index));
+    if (!used_index) {
+      std::fprintf(stderr, "index not used!\n");
+      return 1;
+    }
+    std::printf("%9llu | %12llu %12.1f | %12llu %12.1f\n",
+                (unsigned long long)rows,
+                (unsigned long long)scan_pages, scan_ms,
+                (unsigned long long)pool->stats().misses,
+                disk->stats().simulated_ms);
+  }
+
+  // Consistency under a stream of updates.
+  {
+    auto storage = MakeInstallation(4096, 1 << 18);
+    StatisticalDbms dbms(storage.get());
+    CheckOk(dbms.LoadRawDataSet("census", MakeCensus(50000)));
+    ViewDefinition def;
+    def.source = "census";
+    CheckOk(dbms.CreateView("v", def, MaintenancePolicy::kIncremental)
+                .status());
+    CheckOk(dbms.CreateAttributeIndex("v", "AGE"));
+    WallTimer t;
+    for (int i = 0; i < 20; ++i) {
+      UpdateSpec spec;
+      spec.predicate = Eq(Col("AGE"), Lit(int64_t{20 + i}));
+      spec.column = "AGE";
+      spec.value = Add(Col("AGE"), Lit(int64_t{1}));
+      Unwrap(dbms.Update("v", spec));
+    }
+    bool used = false;
+    uint64_t indexed =
+        Unwrap(dbms.CountWhereEqual("v", "AGE", Value::Int(40), &used));
+    // Scan ground truth.
+    auto col = Unwrap(dbms.GetView("v"))->ReadColumn("AGE").value();
+    uint64_t scan = 0;
+    for (const Value& v : col) {
+      if (v == Value::Int(40)) ++scan;
+    }
+    std::printf("\nafter 20 predicate updates: indexed count %llu =="
+                " scan count %llu (%s), maintenance wall %.1f ms\n",
+                (unsigned long long)indexed, (unsigned long long)scan,
+                indexed == scan ? "consistent" : "BROKEN",
+                t.ElapsedMs());
+  }
+  std::printf(
+      "shape check: probe I/O is flat (tree height) while scans grow"
+      " linearly with rows; updates keep the index consistent.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// E6 — The §4.2 median histogram-window technique.
+// Claims: (a) pointer slides absorb most updates at O(log W) cost;
+// (b) when the pointer runs off the window, regeneration needs only a
+// single pass (the 101-bucket argument); (c) bigger windows trade cache
+// space for fewer regenerations.
+
+#include <algorithm>
+
+#include "bench/bench_util.h"
+#include "rules/incremental.h"
+#include "stats/order.h"
+
+using namespace statdb;
+using namespace statdb::bench;
+
+int main() {
+  Header("E6 bench_median_window",
+         "window size vs slides / single-pass regenerations / full sorts,"
+         " against the sort-every-time baseline");
+
+  const uint64_t rows = 200000;
+  const int updates = 5000;
+
+  // Baseline: re-sorting per batch of updates.
+  {
+    Rng rng(3);
+    std::vector<double> column;
+    for (uint64_t i = 0; i < rows; ++i) {
+      column.push_back(rng.Normal(30000, 8000));
+    }
+    WallTimer t;
+    double sink = 0;
+    for (int u = 0; u < 50; ++u) {  // 50 full medians stand in for 5000
+      column[size_t(rng.UniformInt(0, int64_t(rows) - 1))] =
+          rng.Normal(30000, 8000);
+      sink += Unwrap(Median(column));
+    }
+    std::printf("baseline full median: %.2f ms/update (extrapolated to"
+                " %d updates: %.0f ms)\n\n",
+                t.ElapsedMs() / 50.0, updates,
+                t.ElapsedMs() / 50.0 * updates);
+    (void)sink;
+  }
+
+  std::printf("%8s | %9s %12s %12s %10s | %12s\n", "window", "slides",
+              "single-pass", "full sorts", "maint ms", "final ok?");
+  for (size_t window : {10ull, 50ull, 100ull, 500ull, 1000ull}) {
+    Rng rng(3);
+    std::vector<double> column;
+    for (uint64_t i = 0; i < rows; ++i) {
+      column.push_back(rng.Normal(30000, 8000));
+    }
+    auto m = MakeMedianWindowMaintainer(window);
+    CheckOk(m->Initialize(column).status());
+    uint64_t base_rebuilds = m->stats().rebuilds;
+
+    WallTimer t;
+    for (int u = 0; u < updates; ++u) {
+      size_t idx = size_t(rng.UniformInt(0, int64_t(rows) - 1));
+      // Drifting workload: half the updates push values upward, so the
+      // median moves and the pointer must follow.
+      double fresh = rng.Bernoulli(0.5)
+                         ? rng.Normal(30000 + u * 4.0, 8000)
+                         : rng.Normal(30000, 8000);
+      CellDelta delta = CellDelta::Change(column[idx], fresh);
+      column[idx] = fresh;
+      auto r = m->Apply(delta);
+      if (!r.ok()) {
+        CheckOk(m->Initialize(column).status());
+      }
+    }
+    double maint_ms = t.ElapsedMs();
+    uint64_t rebuilds = m->stats().rebuilds - base_rebuilds;
+    uint64_t single_pass = m->stats().single_pass_rebuilds;
+    bool final_ok =
+        std::abs(Unwrap(Unwrap(m->Current()).AsScalar()) -
+                 Unwrap(Median(column))) < 1e-9;
+
+    std::printf("%8zu | %9llu %12llu %12llu %10.1f | %12s\n", window,
+                (unsigned long long)m->stats().window_slides,
+                (unsigned long long)single_pass,
+                (unsigned long long)(rebuilds - single_pass), maint_ms,
+                final_ok ? "exact" : "WRONG");
+  }
+  std::printf(
+      "\nshape check: regenerations fall as the window grows; nearly all"
+      " regenerations take the single-pass path; maintenance beats the"
+      " sort-per-update baseline by orders of magnitude.\n");
+  return 0;
+}

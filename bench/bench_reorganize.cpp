@@ -1,0 +1,91 @@
+// E14 — Dynamic reorganization (§2.7): "'intelligent' access methods
+// that interpret reference patterns to the view and dynamically
+// reorganize the storage structures used to maintain the view."
+// Claim: clustering the view on its hottest category attributes makes
+// those columns compressible (long runs) while leaving every cached
+// answer valid.
+
+#include "bench/bench_util.h"
+#include "core/dbms.h"
+#include "storage/rle.h"
+
+using namespace statdb;
+using namespace statdb::bench;
+
+namespace {
+
+double RleRatio(StatisticalDbms* dbms, const std::string& attr) {
+  auto col = Unwrap(dbms->GetView("v"))->ReadColumn(attr).value();
+  std::vector<std::optional<int64_t>> cells;
+  for (const Value& v : col) {
+    cells.push_back(v.is_null()
+                        ? std::optional<int64_t>()
+                        : std::optional<int64_t>(v.ToInt().value()));
+  }
+  return double(RawColumnBytes(cells.size())) /
+         double(RleEncodedBytes(RleEncode(cells)));
+}
+
+}  // namespace
+
+int main() {
+  Header("E14 bench_reorganize",
+         "access-pattern-driven clustering: compressibility before/after,"
+         " answers preserved");
+
+  auto storage = MakeInstallation();
+  StatisticalDbms dbms(storage.get());
+  CheckOk(dbms.LoadRawDataSet("census", MakeCensus(50000)));
+  ViewDefinition def;
+  def.source = "census";
+  CheckOk(dbms.CreateView("v", def, MaintenancePolicy::kIncremental)
+              .status());
+
+  // The analyst's session: heavy per-race slicing.
+  for (int i = 0; i < 4; ++i) {
+    UpdateSpec spec;
+    spec.predicate = Eq(Col("RACE"), Lit(int64_t{i}));
+    spec.column = "INCOME";
+    spec.value = Mul(Col("INCOME"), Lit(1.0005));
+    Unwrap(dbms.Update("v", spec));
+  }
+  Unwrap(dbms.Query("v", "median", "INCOME"));
+  Unwrap(dbms.Query("v", "mean", "INCOME"));
+
+  std::string hot = Unwrap(dbms.RecommendClusterAttribute("v"));
+  std::printf("access tracker recommends clustering on: %s\n\n",
+              hot.c_str());
+
+  double median_before = Unwrap(
+      Unwrap(dbms.Query("v", "median", "INCOME")).result.AsScalar());
+  std::printf("%12s | %14s %14s\n", "column", "RLE before", "RLE after");
+  double before[3] = {RleRatio(&dbms, "RACE"), RleRatio(&dbms, "SEX"),
+                      RleRatio(&dbms, "AGE_GROUP")};
+
+  WallTimer t;
+  CheckOk(dbms.ReorganizeView("v", {hot, "AGE_GROUP", "SEX"}));
+  double reorg_ms = t.ElapsedMs();
+
+  const char* cols[3] = {"RACE", "SEX", "AGE_GROUP"};
+  for (int i = 0; i < 3; ++i) {
+    std::printf("%12s | %13.1fx %13.1fx\n", cols[i], before[i],
+                RleRatio(&dbms, cols[i]));
+  }
+
+  auto median_after = Unwrap(dbms.Query("v", "median", "INCOME"));
+  std::printf(
+      "\nreorganization took %.0f ms (CPU); median(INCOME) %s: %.6g ->"
+      " %.6g [%s]\n",
+      reorg_ms,
+      median_after.result.AsScalar().value() == median_before
+          ? "preserved"
+          : "CHANGED (BUG)",
+      median_before, median_after.result.AsScalar().value(),
+      median_after.source == AnswerSource::kCacheHit ? "cache hit"
+                                                     : "recomputed");
+  std::printf(
+      "shape check: the recommended (hottest) category column becomes"
+      " orders of magnitude more compressible; cached answers survive"
+      " because column multisets are unchanged.\n");
+  return 0;
+}

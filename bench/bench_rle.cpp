@@ -1,0 +1,90 @@
+// E4 — Run-length compression down columns vs. across rows (§2.6).
+// Claim: "run-length compression techniques are more likely to improve
+// storage efficiency when they are applied down a column rather than
+// across a row", especially for sorted/clustered category data.
+
+#include "bench/bench_util.h"
+#include "storage/rle.h"
+
+using namespace statdb;
+using namespace statdb::bench;
+
+namespace {
+
+std::vector<std::optional<int64_t>> CellsOf(const Table& t,
+                                            const std::string& attr) {
+  std::vector<std::optional<int64_t>> cells;
+  size_t idx = Unwrap(t.schema().IndexOf(attr));
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    const Value& v = t.At(r, idx);
+    if (v.is_null()) {
+      cells.push_back(std::nullopt);
+    } else if (v.type() == DataType::kInt64) {
+      cells.push_back(v.AsInt());
+    } else {
+      cells.push_back(int64_t(v.AsReal()));
+    }
+  }
+  return cells;
+}
+
+double Ratio(const std::vector<std::optional<int64_t>>& cells) {
+  return double(RawColumnBytes(cells.size())) /
+         double(RleEncodedBytes(RleEncode(cells)));
+}
+
+}  // namespace
+
+int main() {
+  Header("E4 bench_rle",
+         "RLE compression ratio: down columns vs across rows, sorted vs"
+         " unsorted");
+
+  const uint64_t rows = 50000;
+  std::printf("%12s | %10s %10s\n", "series", "unsorted", "sorted");
+  Table unsorted = MakeCensus(rows, 42, /*sorted=*/false);
+  Table sorted = MakeCensus(rows, 42, /*sorted=*/true);
+
+  for (const char* attr :
+       {"SEX", "RACE", "AGE_GROUP", "REGION", "EDUCATION", "INCOME"}) {
+    std::printf("%12s | %9.1fx %9.1fx\n", attr,
+                Ratio(CellsOf(unsorted, attr)),
+                Ratio(CellsOf(sorted, attr)));
+  }
+
+  // "Across a row": interleave all attributes in row-major order, the
+  // byte stream a row store would feed the compressor.
+  auto row_major = [](const Table& t) {
+    std::vector<std::optional<int64_t>> cells;
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      for (size_t c = 0; c < t.num_columns(); ++c) {
+        const Value& v = t.At(r, c);
+        if (v.is_null()) {
+          cells.push_back(std::nullopt);
+        } else if (v.type() == DataType::kInt64) {
+          cells.push_back(v.AsInt());
+        } else {
+          cells.push_back(int64_t(v.AsReal()));
+        }
+      }
+    }
+    return cells;
+  };
+  std::printf("%12s | %9.2fx %9.2fx\n", "row-major",
+              Ratio(row_major(unsorted)), Ratio(row_major(sorted)));
+
+  // Scan I/O implication: pages needed for the AGE_GROUP column.
+  auto cells = CellsOf(sorted, "AGE_GROUP");
+  size_t raw_pages = (RawColumnBytes(cells.size()) + kPageSize - 1) /
+                     kPageSize;
+  size_t rle_pages =
+      (RleEncodedBytes(RleEncode(cells)) + kPageSize - 1) / kPageSize;
+  std::printf(
+      "\nAGE_GROUP column scan (sorted): %zu raw pages vs %zu compressed"
+      " pages\n",
+      raw_pages, rle_pages);
+  std::printf(
+      "shape check: category columns compress by orders of magnitude when"
+      " clustered; row-major interleaving destroys the runs.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// E12 — Indexing and clustering the Summary Database itself (§3.2).
+// Claim: "To enhance access to the Summary Database (which may itself
+// become relatively large), we envision the use of a secondary index on
+// function name-attribute name. Data will most likely be clustered on
+// attribute name to facilitate efficient access to all results on a
+// given column."
+
+#include "bench/bench_util.h"
+#include "summary/summary_db.h"
+
+using namespace statdb;
+using namespace statdb::bench;
+
+int main() {
+  Header("E12 bench_summary_index",
+         "B+-tree probe vs full scan; clustered per-attribute enumeration");
+
+  std::printf("%9s | %11s %11s %9s | %16s\n", "entries", "probe pages",
+              "scan pages", "speedup", "cluster scan pages");
+  for (int n_attrs : {20, 200, 2000}) {
+    const int fns_per_attr = 12;
+    auto storage = MakeInstallation(1024, 1 << 18);
+    BufferPool* pool = Unwrap(storage->GetPool("disk"));
+    auto db = Unwrap(SummaryDatabase::Create(pool));
+
+    for (int a = 0; a < n_attrs; ++a) {
+      char attr[32];
+      std::snprintf(attr, sizeof(attr), "ATTR%05d", a);
+      for (int f = 0; f < fns_per_attr; ++f) {
+        CheckOk(db->Insert(
+            SummaryKey::Of("fn" + std::to_string(f), attr),
+            SummaryResult::Scalar(a * 100.0 + f), 0));
+      }
+    }
+    CheckOk(pool->FlushAll());
+    CheckOk(pool->Reset());
+
+    // Indexed point probe: height-of-tree page touches.
+    pool->ResetStats();
+    Unwrap(db->Lookup(SummaryKey::Of("fn7", "ATTR00013")));
+    uint64_t probe_pages = pool->stats().misses;
+
+    // The unindexed alternative: walk every leaf.
+    CheckOk(pool->Reset());
+    pool->ResetStats();
+    uint64_t seen = 0;
+    CheckOk(db->index()->ScanRange(
+        "", "", [&seen](const std::string&, const std::string&) {
+          ++seen;
+          return true;
+        }));
+    uint64_t scan_pages = pool->stats().misses;
+
+    // Clustered enumeration of one attribute's results — the access the
+    // maintenance rules perform on every update (§4.1).
+    CheckOk(pool->Reset());
+    pool->ResetStats();
+    uint64_t cluster_entries = 0;
+    CheckOk(db->ForEachOnAttribute(
+        "ATTR00013", [&cluster_entries](const SummaryEntry&) {
+          ++cluster_entries;
+          return Status::OK();
+        }));
+    uint64_t cluster_pages = pool->stats().misses;
+
+    std::printf("%9d | %11llu %11llu %8.1fx | %9llu (%llu hits)\n",
+                n_attrs * fns_per_attr,
+                (unsigned long long)probe_pages,
+                (unsigned long long)scan_pages,
+                double(scan_pages) / double(probe_pages),
+                (unsigned long long)cluster_pages,
+                (unsigned long long)cluster_entries);
+    (void)seen;
+  }
+  std::printf(
+      "\nshape check: probes touch tree-height pages regardless of size;"
+      " scans grow linearly; one attribute's dozen results live on a"
+      " handful of adjacent pages.\n");
+  return 0;
+}

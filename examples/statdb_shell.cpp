@@ -1,0 +1,300 @@
+// A minimal interactive shell over the statdb public API — the analyst-
+// facing surface the paper imagines a statistical package exposing.
+//
+//   $ ./statdb_shell
+//   statdb> load census 10000
+//   statdb> create v census incremental
+//   statdb> query v median INCOME
+//   statdb> update v INCOME missing where INCOME > 5000000
+//   statdb> summary v
+//   statdb> rollback v 0
+//
+// Type `help` for the full command list. Reads stdin; EOF exits.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/dbms.h"
+#include "relational/datagen.h"
+
+namespace {
+
+using namespace statdb;
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> out;
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+void PrintHelp() {
+  std::cout <<
+      "commands:\n"
+      "  load <name> <rows> [seed]          generate+load census microdata"
+      " onto tape\n"
+      "  create <view> <source> [policy]    materialize a view"
+      " (incremental|invalidate|eager)\n"
+      "  views                              list views\n"
+      "  query <view> <fn> <attr> [k=v...]  e.g. query v quantile INCOME"
+      " p=0.95\n"
+      "  biv <view> <fn> <a> <b>            correlation|covariance|"
+      "regression|chi2_independence\n"
+      "  update <view> <attr> <expr> where <attr2> <op> <num>\n"
+      "      expr: 'missing' or 'scale:<factor>'; op: < <= > >= = !=\n"
+      "  derive <view> <name> log <attr>    derived column log(attr)\n"
+      "  derive <view> <name> resid <x> <y> regression residual column\n"
+      "  history <view>                     show the update log\n"
+      "  rollback <view> <version>          undo to a version\n"
+      "  summary <view>                     dump the Summary Database\n"
+      "  io                                 simulated device statistics\n"
+      "  help | quit\n";
+}
+
+Result<ExprPtr> ParseComparison(const std::string& attr,
+                                const std::string& op,
+                                const std::string& num) {
+  double v;
+  try {
+    v = std::stod(num);
+  } catch (...) {
+    return InvalidArgumentError("bad number: " + num);
+  }
+  ExprPtr lhs = Col(attr);
+  ExprPtr rhs = Lit(v);
+  if (op == "<") return Lt(lhs, rhs);
+  if (op == "<=") return Le(lhs, rhs);
+  if (op == ">") return Gt(lhs, rhs);
+  if (op == ">=") return Ge(lhs, rhs);
+  if (op == "=") return Eq(lhs, rhs);
+  if (op == "!=") return Ne(lhs, rhs);
+  return InvalidArgumentError("bad operator: " + op);
+}
+
+const char* SourceName(AnswerSource s) {
+  switch (s) {
+    case AnswerSource::kCacheHit: return "cache";
+    case AnswerSource::kStaleCacheHit: return "stale-cache";
+    case AnswerSource::kInferred: return "inferred";
+    case AnswerSource::kComputed: return "computed";
+  }
+  return "?";
+}
+
+class Shell {
+ public:
+  Shell() {
+    (void)storage_.AddDevice("tape", DeviceCostModel::Tape(), 1024);
+    (void)storage_.AddDevice("disk", DeviceCostModel::Disk(), 16384);
+    dbms_ = std::make_unique<StatisticalDbms>(&storage_);
+  }
+
+  void Run() {
+    std::cout << "statdb shell — 'help' for commands\n";
+    std::string line;
+    while (std::cout << "statdb> " && std::getline(std::cin, line)) {
+      std::vector<std::string> t = Tokenize(line);
+      if (t.empty()) continue;
+      if (t[0] == "quit" || t[0] == "exit") break;
+      Status s = Dispatch(t);
+      if (!s.ok()) std::cout << "error: " << s.ToString() << "\n";
+    }
+  }
+
+ private:
+  Status Dispatch(const std::vector<std::string>& t) {
+    const std::string& cmd = t[0];
+    if (cmd == "help") {
+      PrintHelp();
+      return Status::OK();
+    }
+    if (cmd == "load") return CmdLoad(t);
+    if (cmd == "create") return CmdCreate(t);
+    if (cmd == "views") return CmdViews();
+    if (cmd == "query") return CmdQuery(t);
+    if (cmd == "biv") return CmdBivariate(t);
+    if (cmd == "update") return CmdUpdate(t);
+    if (cmd == "derive") return CmdDerive(t);
+    if (cmd == "history") return CmdHistory(t);
+    if (cmd == "rollback") return CmdRollback(t);
+    if (cmd == "summary") return CmdSummary(t);
+    if (cmd == "io") return CmdIo();
+    return InvalidArgumentError("unknown command: " + cmd +
+                                " (try 'help')");
+  }
+
+  Status CmdLoad(const std::vector<std::string>& t) {
+    if (t.size() < 3) return InvalidArgumentError("load <name> <rows>");
+    CensusOptions opts;
+    opts.rows = std::stoull(t[2]);
+    Rng rng(t.size() > 3 ? std::stoull(t[3]) : 42);
+    STATDB_ASSIGN_OR_RETURN(Table data,
+                            GenerateCensusMicrodata(opts, &rng));
+    STATDB_RETURN_IF_ERROR(dbms_->LoadRawDataSet(t[1], data));
+    std::cout << "loaded " << opts.rows << " rows onto tape as '" << t[1]
+              << "'\n";
+    return Status::OK();
+  }
+
+  Status CmdCreate(const std::vector<std::string>& t) {
+    if (t.size() < 3) return InvalidArgumentError("create <view> <source>");
+    MaintenancePolicy policy = MaintenancePolicy::kIncremental;
+    if (t.size() > 3) {
+      if (t[3] == "invalidate") policy = MaintenancePolicy::kInvalidate;
+      else if (t[3] == "eager") policy = MaintenancePolicy::kEager;
+      else if (t[3] != "incremental") {
+        return InvalidArgumentError("bad policy: " + t[3]);
+      }
+    }
+    ViewDefinition def;
+    def.source = t[2];
+    STATDB_ASSIGN_OR_RETURN(ViewCreation vc,
+                            dbms_->CreateView(t[1], def, policy));
+    std::cout << (vc.reused ? "reused existing view '" : "materialized '")
+              << vc.name << "' ("
+              << dbms_->GetView(vc.name).value()->num_rows()
+              << " rows)\n";
+    return Status::OK();
+  }
+
+  Status CmdViews() {
+    for (const std::string& name : dbms_->ViewNames()) {
+      const ViewRecord* rec = std::as_const(dbms_->management_db())
+                                  .GetView(name)
+                                  .value();
+      std::cout << "  " << name << "  v" << rec->version << "  ["
+                << MaintenancePolicyName(rec->policy) << "]  "
+                << rec->canonical_definition << "\n";
+    }
+    return Status::OK();
+  }
+
+  Status CmdQuery(const std::vector<std::string>& t) {
+    if (t.size() < 4) {
+      return InvalidArgumentError("query <view> <fn> <attr> [k=v,...]");
+    }
+    FunctionParams params;
+    if (t.size() > 4) {
+      STATDB_ASSIGN_OR_RETURN(params, FunctionParams::Decode(t[4]));
+    }
+    STATDB_ASSIGN_OR_RETURN(QueryAnswer a,
+                            dbms_->Query(t[1], t[2], t[3], params));
+    std::cout << t[2] << "(" << t[3] << ") = " << a.result.ToString()
+              << "   [" << SourceName(a.source) << "]\n";
+    return Status::OK();
+  }
+
+  Status CmdBivariate(const std::vector<std::string>& t) {
+    if (t.size() < 5) return InvalidArgumentError("biv <view> <fn> <a> <b>");
+    STATDB_ASSIGN_OR_RETURN(
+        QueryAnswer a, dbms_->QueryBivariate(t[1], t[2], t[3], t[4]));
+    std::cout << t[2] << "(" << t[3] << ", " << t[4]
+              << ") = " << a.result.ToString() << "   ["
+              << SourceName(a.source) << "]\n";
+    return Status::OK();
+  }
+
+  Status CmdUpdate(const std::vector<std::string>& t) {
+    // update <view> <attr> <expr> where <attr2> <op> <num>
+    if (t.size() < 8 || t[4] != "where") {
+      return InvalidArgumentError(
+          "update <view> <attr> <missing|scale:F> where <attr> <op> <num>");
+    }
+    UpdateSpec spec;
+    spec.column = t[2];
+    if (t[3] == "missing") {
+      spec.value = nullptr;
+    } else if (t[3].rfind("scale:", 0) == 0) {
+      spec.value = Mul(Col(t[2]), Lit(std::stod(t[3].substr(6))));
+    } else {
+      return InvalidArgumentError("bad update expr: " + t[3]);
+    }
+    STATDB_ASSIGN_OR_RETURN(spec.predicate,
+                            ParseComparison(t[5], t[6], t[7]));
+    spec.description = "shell: update " + t[2];
+    STATDB_ASSIGN_OR_RETURN(uint64_t n, dbms_->Update(t[1], spec));
+    std::cout << n << " cells changed (view now v"
+              << dbms_->GetView(t[1]).value()->version() << ")\n";
+    return Status::OK();
+  }
+
+  Status CmdDerive(const std::vector<std::string>& t) {
+    if (t.size() < 5) {
+      return InvalidArgumentError(
+          "derive <view> <name> log <attr> | resid <x> <y>");
+    }
+    if (t[3] == "log") {
+      return dbms_->AddDerivedColumn(
+          t[1], DerivedColumnDef::Local(t[2], Log(Col(t[4]))));
+    }
+    if (t[3] == "resid" && t.size() >= 6) {
+      return dbms_->AddDerivedColumn(
+          t[1], DerivedColumnDef::Residuals(t[2], t[4], t[5]));
+    }
+    return InvalidArgumentError("bad derive generator: " + t[3]);
+  }
+
+  Status CmdHistory(const std::vector<std::string>& t) {
+    if (t.size() < 2) return InvalidArgumentError("history <view>");
+    STATDB_ASSIGN_OR_RETURN(
+        const ViewRecord* rec,
+        std::as_const(dbms_->management_db()).GetView(t[1]));
+    for (const UpdateLogEntry& e : rec->history.entries()) {
+      std::cout << "  v" << e.version << ": " << e.description << " ("
+                << e.changes.size() << " cells)\n";
+    }
+    return Status::OK();
+  }
+
+  Status CmdRollback(const std::vector<std::string>& t) {
+    if (t.size() < 3) return InvalidArgumentError("rollback <view> <ver>");
+    STATDB_RETURN_IF_ERROR(dbms_->Rollback(t[1], std::stoull(t[2])));
+    std::cout << "rolled back to v" << t[2] << "\n";
+    return Status::OK();
+  }
+
+  Status CmdSummary(const std::vector<std::string>& t) {
+    if (t.size() < 2) return InvalidArgumentError("summary <view>");
+    STATDB_ASSIGN_OR_RETURN(SummaryDatabase * db,
+                            dbms_->GetSummaryDb(t[1]));
+    std::printf("  %-14s %-22s %s\n", "FUNCTION", "ATTRIBUTE(S)",
+                "RESULT");
+    return db->ForEach([](const SummaryEntry& e) {
+      std::string attrs;
+      for (size_t i = 0; i < e.key.attributes.size(); ++i) {
+        if (i > 0) attrs += ",";
+        attrs += e.key.attributes[i];
+      }
+      std::printf("  %-14s %-22s %s%s\n", e.key.function.c_str(),
+                  attrs.c_str(), e.result.ToString().c_str(),
+                  e.stale ? "  (stale)" : "");
+      return Status::OK();
+    });
+  }
+
+  Status CmdIo() {
+    for (const char* dev : {"tape", "disk"}) {
+      STATDB_ASSIGN_OR_RETURN(SimulatedDevice * d,
+                              storage_.GetDevice(dev));
+      std::cout << "  " << dev << ": " << d->stats().block_reads << "r/"
+                << d->stats().block_writes << "w, "
+                << d->stats().seeks << " seeks, "
+                << d->stats().simulated_ms << " simulated ms\n";
+    }
+    return Status::OK();
+  }
+
+  StorageManager storage_;
+  std::unique_ptr<StatisticalDbms> dbms_;
+};
+
+}  // namespace
+
+int main() {
+  Shell shell;
+  shell.Run();
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Navigating the meta-database (§2.3, the SUBJECT system): a large
+// statistical installation has thousands of attributes; the analyst
+// walks a generalization graph from "census" down to the attributes of
+// interest, and the session's path becomes the DBMS view request.
+
+#include <iostream>
+
+#include "core/dbms.h"
+#include "meta/subject_graph.h"
+#include "relational/datagen.h"
+
+namespace {
+
+using namespace statdb;
+
+#define CHECK_OK(expr)                                      \
+  do {                                                      \
+    auto _s = (expr);                                       \
+    if (!_s.ok()) {                                         \
+      std::cerr << "FATAL: " << _s.ToString() << std::endl; \
+      std::exit(1);                                         \
+    }                                                       \
+  } while (0)
+
+template <typename T>
+T Unwrap(Result<T> r) {
+  if (!r.ok()) {
+    std::cerr << "FATAL: " << r.status().ToString() << std::endl;
+    std::exit(1);
+  }
+  return std::move(r).value();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== subject_navigation ===\n\n";
+
+  // Build the meta-data graph: higher-level nodes generalize attributes.
+  SubjectGraph graph;
+  CHECK_OK(graph.AddNode("census", SubjectNodeKind::kGeneralization));
+  CHECK_OK(graph.AddNode("demographics", SubjectNodeKind::kGeneralization));
+  CHECK_OK(graph.AddNode("economics", SubjectNodeKind::kGeneralization));
+  CHECK_OK(graph.AddNode("identity", SubjectNodeKind::kGeneralization));
+  struct Leaf {
+    const char* node;
+    const char* attr;
+    const char* parent;
+  };
+  for (const Leaf& l : std::initializer_list<Leaf>{
+           {"sex", "SEX", "identity"},
+           {"race", "RACE", "identity"},
+           {"age", "AGE", "demographics"},
+           {"age group", "AGE_GROUP", "demographics"},
+           {"region", "REGION", "demographics"},
+           {"income", "INCOME", "economics"},
+           {"hours worked", "HOURS_WORKED", "economics"},
+           {"education", "EDUCATION", "economics"}}) {
+    CHECK_OK(graph.AddNode(l.node, SubjectNodeKind::kAttribute, "census",
+                           l.attr));
+    CHECK_OK(graph.AddEdge(l.parent, l.node));
+  }
+  CHECK_OK(graph.AddEdge("census", "demographics"));
+  CHECK_OK(graph.AddEdge("census", "economics"));
+  CHECK_OK(graph.AddEdge("census", "identity"));
+  CHECK_OK(graph.AddEdge("demographics", "identity"));
+
+  // The analyst's session: enter high, descend, select subtrees.
+  SubjectSession session(&graph);
+  CHECK_OK(session.Enter("census"));
+  std::cout << "entered 'census'; children:";
+  for (const std::string& c : Unwrap(graph.Children("census"))) {
+    std::cout << " [" << c << "]";
+  }
+  CHECK_OK(session.Descend("economics"));
+  CHECK_OK(session.MarkSelected());  // everything economic
+  CHECK_OK(session.Ascend());
+  CHECK_OK(session.Descend("demographics"));
+  CHECK_OK(session.Descend("age group"));
+  CHECK_OK(session.MarkSelected());  // plus the age-group code
+  std::cout << "\npath: census -> demographics -> age group;"
+            << " selections: economics subtree + age group\n\n";
+
+  // "At the end of the session [SUBJECT] can generate requests to the
+  // DBMS for the view described by his path."
+  auto request = Unwrap(session.GenerateViewRequest());
+  std::cout << "generated view request:";
+  for (const auto& [dataset, attr] : request) {
+    std::cout << " " << dataset << "." << attr;
+  }
+  std::cout << "\n\n";
+
+  // Hand the request to the DBMS.
+  StorageManager storage;
+  Unwrap(storage.AddDevice("tape", DeviceCostModel::Tape(), 512));
+  Unwrap(storage.AddDevice("disk", DeviceCostModel::Disk(), 4096));
+  StatisticalDbms dbms(&storage);
+  CensusOptions opts;
+  opts.rows = 5000;
+  Rng rng(19);
+  CHECK_OK(dbms.LoadRawDataSet("census",
+                               Unwrap(GenerateCensusMicrodata(opts, &rng))));
+  ViewDefinition def = Unwrap(ViewDefinitionFromSubjectRequest(request));
+  ViewCreation vc = Unwrap(
+      dbms.CreateView("econ_by_age", def, MaintenancePolicy::kIncremental));
+  ConcreteView* view = Unwrap(dbms.GetView(vc.name));
+  std::cout << "materialized '" << vc.name << "': " << view->num_rows()
+            << " rows, schema " << view->schema().ToString() << "\n";
+
+  auto mean = Unwrap(dbms.Query(vc.name, "mean", "INCOME"));
+  std::cout << "mean(INCOME) on the navigated view: "
+            << mean.result.ToString() << "\n";
+  return 0;
+}

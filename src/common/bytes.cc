@@ -1,0 +1,50 @@
+#include "common/bytes.h"
+
+namespace statdb {
+
+Result<uint8_t> ByteReader::GetU8() {
+  STATDB_RETURN_IF_ERROR(Need(1));
+  return data_[pos_++];
+}
+
+Result<uint32_t> ByteReader::GetU32() {
+  STATDB_RETURN_IF_ERROR(Need(sizeof(uint32_t)));
+  uint32_t v;
+  std::memcpy(&v, data_ + pos_, sizeof(v));
+  pos_ += sizeof(v);
+  return v;
+}
+
+Result<uint64_t> ByteReader::GetU64() {
+  STATDB_RETURN_IF_ERROR(Need(sizeof(uint64_t)));
+  uint64_t v;
+  std::memcpy(&v, data_ + pos_, sizeof(v));
+  pos_ += sizeof(v);
+  return v;
+}
+
+Result<int64_t> ByteReader::GetI64() {
+  STATDB_RETURN_IF_ERROR(Need(sizeof(int64_t)));
+  int64_t v;
+  std::memcpy(&v, data_ + pos_, sizeof(v));
+  pos_ += sizeof(v);
+  return v;
+}
+
+Result<double> ByteReader::GetDouble() {
+  STATDB_RETURN_IF_ERROR(Need(sizeof(double)));
+  double v;
+  std::memcpy(&v, data_ + pos_, sizeof(v));
+  pos_ += sizeof(v);
+  return v;
+}
+
+Result<std::string> ByteReader::GetString() {
+  STATDB_ASSIGN_OR_RETURN(uint32_t len, GetU32());
+  STATDB_RETURN_IF_ERROR(Need(len));
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+}  // namespace statdb

@@ -1,0 +1,75 @@
+#ifndef STATDB_COMMON_RESULT_H_
+#define STATDB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace statdb {
+
+/// Either a value of type T or a non-OK Status, never both.
+///
+/// Mirrors absl::StatusOr. Constructing from an OK status without a value
+/// is a programming error and is rewritten to an INTERNAL error.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = InternalError("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the contained value or `fallback` when holding an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace statdb
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define STATDB_ASSIGN_OR_RETURN(lhs, rexpr)             \
+  STATDB_ASSIGN_OR_RETURN_IMPL_(                        \
+      STATDB_RESULT_CONCAT_(_statdb_result, __LINE__), lhs, rexpr)
+
+#define STATDB_RESULT_CONCAT_INNER_(a, b) a##b
+#define STATDB_RESULT_CONCAT_(a, b) STATDB_RESULT_CONCAT_INNER_(a, b)
+
+#define STATDB_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+#endif  // STATDB_COMMON_RESULT_H_

@@ -1,0 +1,24 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace statdb {
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  if (n <= 1) return 0;
+  if (s <= 0.0) return UniformInt(0, n - 1);
+  // Inverse-CDF sampling over the (truncated) Zipf mass function. n is
+  // small in all our uses (category cardinalities), so a linear walk is
+  // fine and avoids caching normalization tables.
+  double norm = 0.0;
+  for (int64_t k = 1; k <= n; ++k) norm += 1.0 / std::pow(double(k), s);
+  double u = UniformDouble(0.0, 1.0) * norm;
+  double acc = 0.0;
+  for (int64_t k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(double(k), s);
+    if (u <= acc) return k - 1;
+  }
+  return n - 1;
+}
+
+}  // namespace statdb

@@ -1,0 +1,56 @@
+#ifndef STATDB_COMMON_RNG_H_
+#define STATDB_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace statdb {
+
+/// Deterministic pseudo-random generator used by the synthetic-data
+/// generators, samplers and benchmarks so experiments are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Standard normal scaled to N(mean, stddev^2).
+  double Normal(double mean, double stddev) {
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  /// Zipf-like skewed category index in [0, n), exponent `s` (s=0 uniform).
+  int64_t Zipf(int64_t n, double s);
+
+  /// Exponential with rate lambda.
+  double Exponential(double lambda) {
+    std::exponential_distribution<double> dist(lambda);
+    return dist(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace statdb
+
+#endif  // STATDB_COMMON_RNG_H_

@@ -1,0 +1,86 @@
+#ifndef STATDB_COMMON_STATUS_H_
+#define STATDB_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace statdb {
+
+// Canonical error codes, loosely following the absl/gRPC canonical space.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+  kResourceExhausted,
+  kDataLoss,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "NOT_FOUND").
+std::string_view StatusCodeName(StatusCode code);
+
+/// Value type carrying the outcome of a fallible operation.
+///
+/// statdb never throws across module boundaries; every fallible public
+/// function returns `Status` or `Result<T>`. A default-constructed Status
+/// is OK and carries no message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "NOT_FOUND: no such view".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Factory helpers, one per canonical code.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status DataLossError(std::string message);
+
+}  // namespace statdb
+
+/// Propagates a non-OK Status to the caller.
+#define STATDB_RETURN_IF_ERROR(expr)                 \
+  do {                                               \
+    ::statdb::Status _statdb_status = (expr);        \
+    if (!_statdb_status.ok()) return _statdb_status; \
+  } while (0)
+
+#endif  // STATDB_COMMON_STATUS_H_

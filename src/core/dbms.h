@@ -1,0 +1,302 @@
+#ifndef STATDB_CORE_DBMS_H_
+#define STATDB_CORE_DBMS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/attribute_index.h"
+#include "core/inference.h"
+#include "core/view.h"
+#include "core/view_def.h"
+#include "meta/catalog.h"
+#include "relational/stored_table.h"
+#include "rules/management_db.h"
+#include "storage/storage_manager.h"
+#include "summary/summary_db.h"
+
+namespace statdb {
+
+/// Knobs of one query against a view's Summary Database.
+struct QueryOptions {
+  /// Serve a cached-but-stale value (the analyst said approximate answers
+  /// are fine — "a change of one or two values has very little effect on
+  /// the value of the median", §3.2).
+  bool allow_stale = false;
+  /// Bounded-staleness alternative: serve a stale entry only while the
+  /// view has advanced at most this many versions past it ("the user
+  /// should have the capability of communicating his wishes regarding
+  /// the desired accuracy", §3.2). 0 = exact unless allow_stale.
+  uint64_t max_version_lag = 0;
+  /// Try the Database-Abstract inference rules before touching the data.
+  bool allow_inference = false;
+  /// Accept inexact inference results (estimates).
+  bool allow_estimates = false;
+  /// Insert a freshly computed result into the Summary Database.
+  bool cache_result = true;
+};
+
+/// Provenance of a query answer.
+enum class AnswerSource : uint8_t {
+  kCacheHit = 0,      // fresh Summary Database entry
+  kStaleCacheHit = 1, // stale entry served under allow_stale
+  kInferred = 2,      // derived from other cached entries
+  kComputed = 3,      // full computation over the view column
+};
+
+struct QueryAnswer {
+  SummaryResult result;
+  AnswerSource source = AnswerSource::kComputed;
+  bool exact = true;             // false for inference estimates
+  std::string derivation;        // set for inferred answers
+};
+
+/// Outcome of CreateView: the view that should be used, and whether an
+/// existing identical view was reused instead of re-materializing (§2.3).
+struct ViewCreation {
+  std::string name;
+  bool reused = false;
+};
+
+/// Aggregate counters for one view's query/update traffic.
+struct ViewTrafficStats {
+  uint64_t queries = 0;
+  uint64_t cache_hits = 0;
+  uint64_t stale_hits = 0;
+  uint64_t inferred = 0;
+  uint64_t computed = 0;
+  uint64_t updates = 0;
+  uint64_t cells_changed = 0;
+  uint64_t maintainer_applies = 0;
+  uint64_t maintainer_rebuilds = 0;
+  uint64_t eager_recomputes = 0;
+  /// Reference pattern per attribute (§2.7: "'intelligent' access
+  /// methods that interpret reference patterns to the view") — bumped on
+  /// every query or update predicate touching the attribute.
+  std::map<std::string, uint64_t> attribute_accesses;
+};
+
+/// The statistical DBMS of §3.2 (Fig. 3): a raw database on "tape",
+/// per-analyst concrete views on "disk", a Summary Database per view,
+/// and one Management Database driving maintenance.
+///
+/// Typical session:
+///   StatisticalDbms dbms(...);
+///   dbms.LoadRawDataSet("census", microdata);
+///   auto view = dbms.CreateView("v1", def, MaintenancePolicy::kIncremental);
+///   auto median = dbms.Query("v1", "median", "INCOME");   // computed+cached
+///   median = dbms.Query("v1", "median", "INCOME");        // cache hit
+///   dbms.Update("v1", {pred, "INCOME", nullptr, "mark outliers missing"});
+///   median = dbms.Query("v1", "median", "INCOME");        // maintained
+class StatisticalDbms {
+ public:
+  /// `storage` must outlive the DBMS and have devices named `tape_device`
+  /// and `disk_device` mounted.
+  StatisticalDbms(StorageManager* storage, std::string tape_device = "tape",
+                  std::string disk_device = "disk");
+
+  StatisticalDbms(const StatisticalDbms&) = delete;
+  StatisticalDbms& operator=(const StatisticalDbms&) = delete;
+
+  // --- raw database -------------------------------------------------------
+
+  /// Writes `data` to the tape-resident raw database and registers it.
+  Status LoadRawDataSet(const std::string& name, const Table& data,
+                        std::string description = "");
+
+  // --- views ---------------------------------------------------------------
+
+  /// Materializes a concrete view per `def` (reading the raw data set
+  /// from tape, writing transposed to disk). If an identical definition
+  /// was already materialized, returns that view instead (§2.3).
+  Result<ViewCreation> CreateView(const std::string& name,
+                                  const ViewDefinition& def,
+                                  MaintenancePolicy policy);
+
+  Result<ConcreteView*> GetView(const std::string& name);
+  std::vector<std::string> ViewNames() const { return mdb_.ViewNames(); }
+
+  /// Drops a concrete view: its Summary Database, indexes, maintainers,
+  /// control record and catalog entry all go. The simulated disk pages
+  /// are not reclaimed (the device has no free list), matching how a
+  /// 1982 installation would reclaim space offline.
+  Status DropView(const std::string& name);
+
+  /// Re-runs a view's pipeline from tape (the cost CreateView's reuse
+  /// path avoids; also used by benchmarks).
+  Result<Table> RematerializeFromTape(const std::string& view_name);
+
+  // --- queries -------------------------------------------------------------
+
+  /// Evaluates `function(attribute; params)` on the view, consulting the
+  /// Summary Database first. A computed answer is cached unless
+  /// opts.cache_result is false. Rejects non-summarizable attributes
+  /// (category codes) per the view's schema metadata.
+  Result<QueryAnswer> Query(const std::string& view,
+                            const std::string& function,
+                            const std::string& attribute,
+                            const FunctionParams& params = {},
+                            const QueryOptions& opts = {});
+
+  /// Bivariate statistics cached under multi-attribute Summary keys:
+  /// "correlation" and "covariance" (scalar), "regression" (linear
+  /// model of b ~ a), "chi2_independence" (vector [stat, dof, p] over
+  /// the a x b contingency table), "crosstab" (the table itself).
+  /// Updates to *either* attribute invalidate the entry through its
+  /// reference record.
+  Result<QueryAnswer> QueryBivariate(const std::string& view,
+                                     const std::string& function,
+                                     const std::string& attr_a,
+                                     const std::string& attr_b,
+                                     const QueryOptions& opts = {});
+
+  /// Compares `value_attr` between the rows where `category_attr`
+  /// equals `code_a` vs `code_b` with Welch's t-test; the result vector
+  /// [t, dof, p] is cached under a multi-attribute key.
+  Result<QueryAnswer> QueryGroupCompare(const std::string& view,
+                                        const std::string& value_attr,
+                                        const std::string& category_attr,
+                                        int64_t code_a, int64_t code_b,
+                                        const QueryOptions& opts = {});
+
+  /// Builds a secondary index on a view attribute (§2.3's "auxiliary
+  /// storage structures such as indices"); it is maintained under
+  /// predicate updates and rollback, and rebuilt by reorganization.
+  Status CreateAttributeIndex(const std::string& view,
+                              const std::string& attribute);
+  bool HasAttributeIndex(const std::string& view,
+                         const std::string& attribute);
+
+  /// Rows whose `attribute` equals `v` — via the index when one exists,
+  /// by column scan otherwise. `used_index` (optional) reports which.
+  Result<uint64_t> CountWhereEqual(const std::string& view,
+                                   const std::string& attribute,
+                                   const Value& v,
+                                   bool* used_index = nullptr);
+
+  /// Rows with lo <= attribute <= hi (nulls excluded), indexed if
+  /// possible.
+  Result<uint64_t> CountWhereInRange(const std::string& view,
+                                     const std::string& attribute,
+                                     const Value& lo, const Value& hi,
+                                     bool* used_index = nullptr);
+
+  /// §2.7: physically reorganizes a view by sorting its rows on
+  /// `sort_attrs` (e.g. the hottest category attributes, clustering
+  /// them for compression and locality). Cached summaries stay valid —
+  /// the column multisets are unchanged — but the update history's row
+  /// coordinates would dangle, so reorganization establishes a new
+  /// baseline: the history is cleared and the version reset to 0.
+  Status ReorganizeView(const std::string& view,
+                        const std::vector<std::string>& sort_attrs);
+
+  /// The attribute an "intelligent access method" would cluster on:
+  /// the most-referenced category attribute, or NOT_FOUND if none has
+  /// been touched yet.
+  Result<std::string> RecommendClusterAttribute(const std::string& view);
+
+  /// Computes and caches the §3.2 standard battery (min, max, mean,
+  /// median, quartiles, mode, distinct count, histogram) for an
+  /// attribute in one column read.
+  Status ComputeStandardSummary(const std::string& view,
+                                const std::string& attribute);
+
+  /// Attaches a free-text note about the data set to the Summary DB.
+  Status AnnotateAttribute(const std::string& view,
+                           const std::string& attribute, std::string note);
+
+  // --- updates & maintenance ----------------------------------------------
+
+  /// Applies a predicate update to the view, logs it in the update
+  /// history, and maintains the Summary Database per the view's policy.
+  /// Derived columns with kLocal rules are fixed in place; kRegenerate
+  /// columns are marked out of date. Returns the number of cells changed.
+  Result<uint64_t> Update(const std::string& view, const UpdateSpec& spec);
+
+  /// Rolls the view back to `target_version` using the update history;
+  /// cached summaries on the touched attributes are invalidated.
+  Status Rollback(const std::string& view, uint64_t target_version);
+
+  /// Adds a derived column and fills it (§2.2: capture "the results of a
+  /// time-consuming calculation that are to be used later").
+  Status AddDerivedColumn(const std::string& view, DerivedColumnDef def);
+
+  /// Regenerates one out-of-date kRegenerate column now.
+  Status RegenerateDerivedColumn(const std::string& view,
+                                 const std::string& column);
+
+  /// Reads a column, transparently regenerating it first if it is an
+  /// out-of-date derived column.
+  Result<std::vector<Value>> ReadColumn(const std::string& view,
+                                        const std::string& column);
+
+  // --- introspection -------------------------------------------------------
+
+  Catalog& catalog() { return catalog_; }
+  ManagementDatabase& management_db() { return mdb_; }
+  Result<SummaryDatabase*> GetSummaryDb(const std::string& view);
+  Result<const ViewTrafficStats*> GetTrafficStats(
+      const std::string& view) const;
+  StorageManager* storage() { return storage_; }
+
+ private:
+  struct ViewState {
+    std::unique_ptr<ConcreteView> view;
+    std::unique_ptr<SummaryDatabase> summary;
+    /// Live maintainers keyed by encoded SummaryKey (kIncremental only).
+    std::map<std::string, std::unique_ptr<IncrementalMaintainer>>
+        maintainers;
+    /// Secondary indexes keyed by attribute name.
+    std::map<std::string, std::unique_ptr<AttributeIndex>> indexes;
+    ViewTrafficStats traffic;
+  };
+
+  /// Coerces a probe value to an attribute's declared type so index
+  /// lookups compare like stored cells.
+  static Result<Value> CoerceToAttribute(const Schema& schema,
+                                         const std::string& attribute,
+                                         const Value& v);
+
+  /// Folds `changes` on `attribute` into that attribute's index, if any.
+  Status MaintainIndexes(ViewState* state, const std::string& attribute,
+                         const std::vector<CellChange>& changes);
+
+  Result<ViewState*> GetState(const std::string& view);
+
+  /// Reads the raw table for `dataset` from tape.
+  Result<Table> ReadRawFromTape(const std::string& dataset);
+
+  /// Full computation of function(attribute) over the view column.
+  Result<SummaryResult> ComputeOnView(ViewState* state,
+                                      const std::string& function,
+                                      const std::string& attribute,
+                                      const FunctionParams& params);
+
+  /// Summary-Database upkeep after `changes` landed on `attribute`.
+  Status MaintainSummaries(const std::string& view_name, ViewState* state,
+                           const std::string& attribute,
+                           const std::vector<CellChange>& changes);
+
+  /// Derived-column upkeep after `changes` landed on `attribute`.
+  /// kLocal fixes land in `extra_changes` so they join the history entry.
+  Status MaintainDerivedColumns(const std::string& view_name,
+                                ViewState* state,
+                                const std::string& attribute,
+                                const std::vector<CellChange>& changes,
+                                std::vector<CellChange>* extra_changes);
+
+  StorageManager* storage_;
+  std::string tape_device_;
+  std::string disk_device_;
+  Catalog catalog_;
+  ManagementDatabase mdb_;
+  std::map<std::string, std::unique_ptr<StoredRowTable>> raw_tables_;
+  std::map<std::string, ViewState> views_;
+};
+
+}  // namespace statdb
+
+#endif  // STATDB_CORE_DBMS_H_

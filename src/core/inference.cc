@@ -1,0 +1,235 @@
+#include "core/inference.h"
+
+#include <cmath>
+
+namespace statdb {
+
+namespace {
+
+/// Fresh scalar for (function, attr, params-encoding), or NOT_FOUND.
+Result<double> FreshScalar(SummaryDatabase* db, const std::string& function,
+                           const std::string& attribute,
+                           const std::string& params = "") {
+  STATDB_ASSIGN_OR_RETURN(SummaryEntry entry,
+                          db->Lookup(SummaryKey::Of(function, attribute,
+                                                    params)));
+  if (entry.stale) return NotFoundError("entry is stale");
+  return entry.result.AsScalar();
+}
+
+Result<SummaryEntry> FreshEntry(SummaryDatabase* db,
+                                const std::string& function,
+                                const std::string& attribute,
+                                const std::string& params = "") {
+  STATDB_ASSIGN_OR_RETURN(SummaryEntry entry,
+                          db->Lookup(SummaryKey::Of(function, attribute,
+                                                    params)));
+  if (entry.stale) return NotFoundError("entry is stale");
+  return entry;
+}
+
+InferenceResult Exact(double v, std::string derivation) {
+  return InferenceResult{SummaryResult::Scalar(v), true,
+                         std::move(derivation)};
+}
+
+InferenceResult Estimate(double v, std::string derivation) {
+  return InferenceResult{SummaryResult::Scalar(v), false,
+                         std::move(derivation)};
+}
+
+}  // namespace
+
+Result<InferenceResult> InferFromSummaries(SummaryDatabase* db,
+                                           const std::string& function,
+                                           const std::string& attribute,
+                                           const FunctionParams& params) {
+  const std::string p = params.Encode();
+
+  if (function == "mean") {
+    // mean = sum / count.
+    Result<double> sum = FreshScalar(db, "sum", attribute);
+    Result<double> count = FreshScalar(db, "count", attribute);
+    if (sum.ok() && count.ok() && count.value() > 0) {
+      return Exact(sum.value() / count.value(), "mean = sum/count");
+    }
+    // Estimate from a histogram's bucket midpoints.
+    Result<SummaryEntry> hist = FreshEntry(db, "histogram", attribute);
+    if (!hist.ok()) {
+      hist = FreshEntry(db, "histogram", attribute, "buckets=20");
+    }
+    if (hist.ok()) {
+      Result<const Histogram*> h = hist.value().result.AsHistogram();
+      if (h.ok()) {
+        const Histogram& hg = **h;
+        if (hg.below == 0 && hg.above == 0 && hg.TotalCount() > 0) {
+          double acc = 0;
+          uint64_t n = 0;
+          for (size_t i = 0; i < hg.counts.size(); ++i) {
+            double mid = 0.5 * (hg.edges[i] + hg.edges[i + 1]);
+            acc += mid * double(hg.counts[i]);
+            n += hg.counts[i];
+          }
+          return Estimate(acc / double(n),
+                          "mean ~= histogram bucket-midpoint average");
+        }
+      }
+    }
+    return NotFoundError("no rule derives mean");
+  }
+
+  if (function == "sum") {
+    Result<double> mean = FreshScalar(db, "mean", attribute);
+    Result<double> count = FreshScalar(db, "count", attribute);
+    if (mean.ok() && count.ok()) {
+      return Exact(mean.value() * count.value(), "sum = mean*count");
+    }
+    return NotFoundError("no rule derives sum");
+  }
+
+  if (function == "stddev") {
+    Result<double> var = FreshScalar(db, "variance", attribute);
+    if (var.ok() && var.value() >= 0) {
+      return Exact(std::sqrt(var.value()), "stddev = sqrt(variance)");
+    }
+    return NotFoundError("no rule derives stddev");
+  }
+
+  if (function == "variance") {
+    Result<double> sd = FreshScalar(db, "stddev", attribute);
+    if (sd.ok()) {
+      return Exact(sd.value() * sd.value(), "variance = stddev^2");
+    }
+    // Estimate from a covering histogram's bucket midpoints.
+    Result<SummaryEntry> hist = FreshEntry(db, "histogram", attribute);
+    if (!hist.ok()) {
+      hist = FreshEntry(db, "histogram", attribute, "buckets=20");
+    }
+    if (hist.ok()) {
+      Result<const Histogram*> h = hist.value().result.AsHistogram();
+      if (h.ok()) {
+        const Histogram& hg = **h;
+        uint64_t n = hg.TotalCount();
+        if (n > 1 && hg.below == 0 && hg.above == 0) {
+          double mean = 0;
+          for (size_t i = 0; i < hg.counts.size(); ++i) {
+            mean += 0.5 * (hg.edges[i] + hg.edges[i + 1]) *
+                    double(hg.counts[i]);
+          }
+          mean /= double(n);
+          double ss = 0;
+          for (size_t i = 0; i < hg.counts.size(); ++i) {
+            double mid = 0.5 * (hg.edges[i] + hg.edges[i + 1]);
+            ss += (mid - mean) * (mid - mean) * double(hg.counts[i]);
+          }
+          return Estimate(ss / double(n - 1),
+                          "variance ~= histogram midpoint moment");
+        }
+      }
+    }
+    return NotFoundError("no rule derives variance");
+  }
+
+  if (function == "range") {
+    Result<double> mn = FreshScalar(db, "min", attribute);
+    Result<double> mx = FreshScalar(db, "max", attribute);
+    if (mn.ok() && mx.ok()) {
+      return Exact(mx.value() - mn.value(), "range = max - min");
+    }
+    return NotFoundError("no rule derives range");
+  }
+
+  if (function == "count") {
+    Result<SummaryEntry> hist = FreshEntry(db, "histogram", attribute);
+    if (!hist.ok()) {
+      hist = FreshEntry(db, "histogram", attribute, "buckets=20");
+    }
+    if (hist.ok()) {
+      Result<const Histogram*> h = hist.value().result.AsHistogram();
+      if (h.ok()) {
+        return Exact(double((*h)->TotalCount()),
+                     "count = histogram total");
+      }
+    }
+    // count = sum / mean (when the mean is nonzero).
+    Result<double> sum = FreshScalar(db, "sum", attribute);
+    Result<double> mean = FreshScalar(db, "mean", attribute);
+    if (sum.ok() && mean.ok() && mean.value() != 0.0) {
+      return Exact(sum.value() / mean.value(), "count = sum/mean");
+    }
+    return NotFoundError("no rule derives count");
+  }
+
+  if (function == "median" || (function == "quantile" &&
+                               params.GetOr("p", -1.0) == 0.5)) {
+    // median = quantile(p=0.5) = quartiles[1].
+    if (function == "median") {
+      Result<double> q = FreshScalar(db, "quantile", attribute, "p=0.5");
+      if (q.ok()) return Exact(q.value(), "median = quantile(p=0.5)");
+    } else {
+      Result<double> med = FreshScalar(db, "median", attribute);
+      if (med.ok()) return Exact(med.value(), "quantile(0.5) = median");
+    }
+    Result<SummaryEntry> quartiles = FreshEntry(db, "quartiles", attribute);
+    if (quartiles.ok()) {
+      Result<const std::vector<double>*> v =
+          quartiles.value().result.AsVector();
+      if (v.ok() && (*v)->size() == 3) {
+        return Exact((**v)[1], "median = quartiles[1]");
+      }
+    }
+    // Estimate from a histogram by locating the 50% mass point.
+    Result<SummaryEntry> hist = FreshEntry(db, "histogram", attribute);
+    if (!hist.ok()) {
+      hist = FreshEntry(db, "histogram", attribute, "buckets=20");
+    }
+    if (hist.ok()) {
+      Result<const Histogram*> h = hist.value().result.AsHistogram();
+      if (h.ok()) {
+        const Histogram& hg = **h;
+        uint64_t total = hg.TotalCount();
+        if (total > 0 && hg.below == 0 && hg.above == 0) {
+          uint64_t half = total / 2;
+          uint64_t acc = 0;
+          for (size_t i = 0; i < hg.counts.size(); ++i) {
+            if (acc + hg.counts[i] >= half) {
+              double frac =
+                  hg.counts[i] == 0
+                      ? 0.5
+                      : double(half - acc) / double(hg.counts[i]);
+              double est = hg.edges[i] +
+                           frac * (hg.edges[i + 1] - hg.edges[i]);
+              return Estimate(est, "median ~= histogram 50% mass point");
+            }
+            acc += hg.counts[i];
+          }
+        }
+      }
+    }
+    return NotFoundError("no rule derives median");
+  }
+
+  if (function == "min" || function == "max") {
+    // Exact from quartile-covering histograms only when nothing spills.
+    Result<SummaryEntry> hist = FreshEntry(db, "histogram", attribute);
+    if (!hist.ok()) {
+      hist = FreshEntry(db, "histogram", attribute, "buckets=20");
+    }
+    if (hist.ok()) {
+      Result<const Histogram*> h = hist.value().result.AsHistogram();
+      if (h.ok() && (*h)->below == 0 && (*h)->above == 0 &&
+          !(*h)->edges.empty()) {
+        // Auto-range histograms span exactly [min, max].
+        double v = function == "min" ? (*h)->edges.front()
+                                     : (*h)->edges.back();
+        return Estimate(v, function + " ~= histogram range endpoint");
+      }
+    }
+    return NotFoundError("no rule derives " + function);
+  }
+
+  (void)p;
+  return NotFoundError("no inference rule for function " + function);
+}
+
+}  // namespace statdb

@@ -1,0 +1,41 @@
+#ifndef STATDB_CORE_INFERENCE_H_
+#define STATDB_CORE_INFERENCE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rules/function_registry.h"
+#include "summary/summary_db.h"
+
+namespace statdb {
+
+/// Outcome of answering a query from other cached values instead of the
+/// data — Rowe's Database Abstract idea (§5.1: "a set of inference rules
+/// will be used to calculate the results of other functions, based on
+/// the values stored in the Database Abstract").
+struct InferenceResult {
+  SummaryResult result;
+  /// Exact derivations (mean = sum/count) vs. estimates (mean from a
+  /// histogram's bucket midpoints). The Database Abstract "attempts to
+  /// provide the users with estimates as the results of queries".
+  bool exact = true;
+  std::string derivation;  // human-readable rule trace
+};
+
+/// Tries to derive `function(attribute; params)` from fresh (non-stale)
+/// entries already in `summary_db`, without touching the view data.
+/// Returns NOT_FOUND when no rule applies.
+///
+/// Exact rules: mean↔sum/count, stddev↔variance, range=max−min,
+/// median=quantile(p=0.5)=quartiles[1], min/max from a covering
+/// histogram's range... Estimate rules (exact=false): mean/median from
+/// histogram bucket midpoints.
+Result<InferenceResult> InferFromSummaries(SummaryDatabase* summary_db,
+                                           const std::string& function,
+                                           const std::string& attribute,
+                                           const FunctionParams& params);
+
+}  // namespace statdb
+
+#endif  // STATDB_CORE_INFERENCE_H_

@@ -1,0 +1,143 @@
+#include "core/management_serde.h"
+
+#include "common/bytes.h"
+#include "relational/expr.h"
+
+namespace statdb {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x5344424d;  // "SDBM"
+constexpr uint32_t kVersion = 1;
+
+void WriteDerived(const DerivedColumnDef& def, ByteWriter* w) {
+  w->PutString(def.name);
+  w->PutU8(static_cast<uint8_t>(def.kind));
+  w->PutU8(def.row_expr != nullptr ? 1 : 0);
+  if (def.row_expr != nullptr) def.row_expr->Serialize(w);
+  w->PutU8(static_cast<uint8_t>(def.generator));
+  w->PutU32(static_cast<uint32_t>(def.generator_inputs.size()));
+  for (const std::string& in : def.generator_inputs) w->PutString(in);
+  w->PutU8(def.out_of_date ? 1 : 0);
+}
+
+Result<DerivedColumnDef> ReadDerived(ByteReader* r) {
+  DerivedColumnDef def;
+  STATDB_ASSIGN_OR_RETURN(def.name, r->GetString());
+  STATDB_ASSIGN_OR_RETURN(uint8_t kind, r->GetU8());
+  def.kind = static_cast<DerivedRuleKind>(kind);
+  STATDB_ASSIGN_OR_RETURN(uint8_t has_expr, r->GetU8());
+  if (has_expr != 0) {
+    STATDB_ASSIGN_OR_RETURN(def.row_expr, Expr::Deserialize(r));
+  }
+  STATDB_ASSIGN_OR_RETURN(uint8_t gen, r->GetU8());
+  def.generator = static_cast<ColumnGenerator>(gen);
+  STATDB_ASSIGN_OR_RETURN(uint32_t nin, r->GetU32());
+  for (uint32_t i = 0; i < nin; ++i) {
+    STATDB_ASSIGN_OR_RETURN(std::string in, r->GetString());
+    def.generator_inputs.push_back(std::move(in));
+  }
+  STATDB_ASSIGN_OR_RETURN(uint8_t ood, r->GetU8());
+  def.out_of_date = ood != 0;
+  return def;
+}
+
+void WriteHistory(const UpdateHistory& history, ByteWriter* w) {
+  w->PutU32(static_cast<uint32_t>(history.entries().size()));
+  for (const UpdateLogEntry& e : history.entries()) {
+    w->PutU64(e.version);
+    w->PutString(e.description);
+    w->PutU32(static_cast<uint32_t>(e.changes.size()));
+    for (const CellChange& ch : e.changes) {
+      w->PutU64(ch.row);
+      w->PutString(ch.column);
+      EncodeValue(ch.old_value, w);
+      EncodeValue(ch.new_value, w);
+    }
+  }
+}
+
+Status ReadHistory(ByteReader* r, UpdateHistory* history) {
+  STATDB_ASSIGN_OR_RETURN(uint32_t nentries, r->GetU32());
+  for (uint32_t i = 0; i < nentries; ++i) {
+    UpdateLogEntry e;
+    STATDB_ASSIGN_OR_RETURN(e.version, r->GetU64());
+    STATDB_ASSIGN_OR_RETURN(e.description, r->GetString());
+    STATDB_ASSIGN_OR_RETURN(uint32_t nchanges, r->GetU32());
+    e.changes.reserve(nchanges);
+    for (uint32_t c = 0; c < nchanges; ++c) {
+      CellChange ch;
+      STATDB_ASSIGN_OR_RETURN(ch.row, r->GetU64());
+      STATDB_ASSIGN_OR_RETURN(ch.column, r->GetString());
+      STATDB_ASSIGN_OR_RETURN(ch.old_value, DecodeValue(r));
+      STATDB_ASSIGN_OR_RETURN(ch.new_value, DecodeValue(r));
+      e.changes.push_back(std::move(ch));
+    }
+    STATDB_RETURN_IF_ERROR(history->Append(std::move(e)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> SerializeManagementState(
+    const ManagementDatabase& mdb) {
+  ByteWriter w;
+  w.PutU32(kMagic);
+  w.PutU32(kVersion);
+  std::vector<std::string> names = mdb.ViewNames();
+  w.PutU32(static_cast<uint32_t>(names.size()));
+  for (const std::string& name : names) {
+    STATDB_ASSIGN_OR_RETURN(const ViewRecord* rec, mdb.GetView(name));
+    w.PutString(rec->name);
+    w.PutString(rec->canonical_definition);
+    w.PutU64(rec->version);
+    w.PutU8(static_cast<uint8_t>(rec->policy));
+    w.PutU32(static_cast<uint32_t>(rec->derived_columns.size()));
+    for (const DerivedColumnDef& def : rec->derived_columns) {
+      WriteDerived(def, &w);
+    }
+    WriteHistory(rec->history, &w);
+  }
+  return w.Take();
+}
+
+Status RestoreManagementState(const std::vector<uint8_t>& bytes,
+                              ManagementDatabase* mdb) {
+  if (!mdb->ViewNames().empty()) {
+    return FailedPreconditionError(
+        "restore into a non-empty management database");
+  }
+  ByteReader r(bytes);
+  STATDB_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != kMagic) {
+    return DataLossError("bad management-state magic");
+  }
+  STATDB_ASSIGN_OR_RETURN(uint32_t version, r.GetU32());
+  if (version != kVersion) {
+    return DataLossError("unsupported management-state version");
+  }
+  STATDB_ASSIGN_OR_RETURN(uint32_t nviews, r.GetU32());
+  for (uint32_t v = 0; v < nviews; ++v) {
+    STATDB_ASSIGN_OR_RETURN(std::string name, r.GetString());
+    STATDB_ASSIGN_OR_RETURN(std::string canonical, r.GetString());
+    STATDB_ASSIGN_OR_RETURN(uint64_t view_version, r.GetU64());
+    STATDB_ASSIGN_OR_RETURN(uint8_t policy, r.GetU8());
+    STATDB_RETURN_IF_ERROR(mdb->RegisterView(
+        name, canonical, static_cast<MaintenancePolicy>(policy)));
+    STATDB_ASSIGN_OR_RETURN(ViewRecord * rec, mdb->GetView(name));
+    rec->version = view_version;
+    STATDB_ASSIGN_OR_RETURN(uint32_t nderived, r.GetU32());
+    for (uint32_t d = 0; d < nderived; ++d) {
+      STATDB_ASSIGN_OR_RETURN(DerivedColumnDef def, ReadDerived(&r));
+      rec->derived_columns.push_back(std::move(def));
+    }
+    STATDB_RETURN_IF_ERROR(ReadHistory(&r, &rec->history));
+  }
+  if (!r.exhausted()) {
+    return DataLossError("trailing bytes in management state");
+  }
+  return Status::OK();
+}
+
+}  // namespace statdb

@@ -1,0 +1,32 @@
+#ifndef STATDB_CORE_MANAGEMENT_SERDE_H_
+#define STATDB_CORE_MANAGEMENT_SERDE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rules/management_db.h"
+
+namespace statdb {
+
+/// Persistence of the Management Database's control information —
+/// §3.2 makes it "a repository for ... rules for manipulating
+/// information in the Summary Databases, view definitions, update
+/// histories of the views, and other control information", which must
+/// survive across sessions. Function implementations and incremental
+/// rules are code and are reinstalled by FunctionRegistry::WithBuiltins;
+/// everything data-shaped round-trips here: view records (name,
+/// canonical definition, version, policy), derived-column rules
+/// (including their expressions) and full update histories.
+Result<std::vector<uint8_t>> SerializeManagementState(
+    const ManagementDatabase& mdb);
+
+/// Restores serialized state into a fresh ManagementDatabase (which must
+/// contain no views yet).
+Status RestoreManagementState(const std::vector<uint8_t>& bytes,
+                              ManagementDatabase* mdb);
+
+}  // namespace statdb
+
+#endif  // STATDB_CORE_MANAGEMENT_SERDE_H_

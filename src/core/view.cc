@@ -1,0 +1,84 @@
+#include "core/view.h"
+
+#include <algorithm>
+
+namespace statdb {
+
+Result<std::vector<CellChange>> ConcreteView::ApplyUpdate(
+    const UpdateSpec& spec) {
+  const Schema& schema = table_->schema();
+  STATDB_ASSIGN_OR_RETURN(size_t target_idx, schema.IndexOf(spec.column));
+  (void)target_idx;
+
+  // Read only the columns the predicate and value expressions touch —
+  // the transposed layout makes this the cheap path.
+  std::vector<std::string> needed;
+  needed.push_back(spec.column);
+  auto add_refs = [&needed](const ExprPtr& e) {
+    if (e == nullptr) return;
+    for (const std::string& c : e->ReferencedColumns()) {
+      if (std::find(needed.begin(), needed.end(), c) == needed.end()) {
+        needed.push_back(c);
+      }
+    }
+  };
+  add_refs(spec.predicate);
+  add_refs(spec.value);
+
+  std::vector<Attribute> sub_attrs;
+  std::vector<std::vector<Value>> sub_cols;
+  for (const std::string& name : needed) {
+    STATDB_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(name));
+    sub_attrs.push_back(schema.attr(idx));
+    STATDB_ASSIGN_OR_RETURN(std::vector<Value> col, table_->ReadColumn(name));
+    sub_cols.push_back(std::move(col));
+  }
+  Schema sub_schema{sub_attrs};
+
+  std::vector<CellChange> changes;
+  uint64_t n = table_->num_rows();
+  for (uint64_t r = 0; r < n; ++r) {
+    Row row;
+    row.reserve(needed.size());
+    for (const auto& col : sub_cols) row.push_back(col[r]);
+    if (spec.predicate != nullptr) {
+      STATDB_ASSIGN_OR_RETURN(Value keep,
+                              spec.predicate->Eval(row, sub_schema));
+      if (!IsTrue(keep)) continue;
+    }
+    Value new_value;  // null = mark missing
+    if (spec.value != nullptr) {
+      STATDB_ASSIGN_OR_RETURN(new_value, spec.value->Eval(row, sub_schema));
+    }
+    // Coerce to the column's declared type *before* logging: the stored
+    // cell, the history record and the maintenance delta must all see
+    // the same value (an int column truncates real-valued expressions).
+    if (!new_value.is_null()) {
+      const Attribute& target = sub_attrs[0];
+      if (target.type == DataType::kInt64 &&
+          new_value.type() == DataType::kDouble) {
+        STATDB_ASSIGN_OR_RETURN(int64_t as_int, new_value.ToInt());
+        new_value = Value::Int(as_int);
+      } else if (target.type == DataType::kDouble &&
+                 new_value.type() == DataType::kInt64) {
+        new_value = Value::Real(double(new_value.AsInt()));
+      } else if (new_value.type() != target.type) {
+        return InvalidArgumentError(
+            "update value type does not match column " + target.name);
+      }
+    }
+    const Value& old_value = row[0];  // spec.column is needed[0]
+    if (old_value == new_value) continue;
+    STATDB_RETURN_IF_ERROR(table_->WriteCell(r, spec.column, new_value));
+    changes.push_back(CellChange{r, spec.column, old_value, new_value});
+  }
+  if (!changes.empty()) ++version_;
+  return changes;
+}
+
+Status ConcreteView::WriteCell(uint64_t row, const std::string& column,
+                               const Value& v) {
+  return table_->WriteCell(row, column, v);
+}
+
+}  // namespace statdb

@@ -1,0 +1,88 @@
+#ifndef STATDB_CORE_VIEW_H_
+#define STATDB_CORE_VIEW_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relational/expr.h"
+#include "relational/stored_table.h"
+#include "rules/update_history.h"
+
+namespace statdb {
+
+/// Rows-to-touch + new-value specification of a predicate update (§4.1:
+/// "the analyst will specify an update to the data set by using a
+/// predicate in a similar manner to what is currently done in relational
+/// systems").
+struct UpdateSpec {
+  /// Which rows (nullptr = every row).
+  ExprPtr predicate;
+  /// The attribute being updated.
+  std::string column;
+  /// New value as an expression over the row; nullptr marks the cell
+  /// missing (invalidating a suspicious measurement, §3.1).
+  ExprPtr value;
+  std::string description;
+};
+
+/// A concrete (materialized) view: the analyst's private working copy,
+/// stored transposed on the "disk" device (§2.3, §2.6). Wraps the
+/// storage with versioning and predicate updates that report cell-level
+/// deltas for history logging and Summary-Database maintenance.
+class ConcreteView {
+ public:
+  ConcreteView(std::string name, Schema schema, BufferPool* pool)
+      : name_(std::move(name)),
+        table_(std::make_unique<TransposedTable>(std::move(schema), pool)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return table_->schema(); }
+  uint64_t num_rows() const { return table_->num_rows(); }
+  uint64_t version() const { return version_; }
+
+  /// Bulk-load at materialization time (does not bump the version).
+  Status LoadFrom(const Table& t) { return table_->LoadFrom(t); }
+
+  /// Applies a predicate update, returning the cell changes it made.
+  /// Bumps the version iff at least one cell changed.
+  Result<std::vector<CellChange>> ApplyUpdate(const UpdateSpec& spec);
+
+  /// Point write used by rollback and derived-column regeneration.
+  /// Does NOT bump the version (callers manage versioning).
+  Status WriteCell(uint64_t row, const std::string& column, const Value& v);
+
+  Result<Value> ReadCell(uint64_t row, const std::string& column) const {
+    return table_->ReadCell(row, column);
+  }
+
+  /// Column reads (each touches only that column's pages).
+  Result<std::vector<Value>> ReadColumn(const std::string& name) const {
+    return table_->ReadColumn(name);
+  }
+  Result<std::vector<double>> ReadNumericColumn(const std::string& name) const {
+    return table_->ReadNumericColumn(name);
+  }
+
+  Result<Row> ReadRow(uint64_t row) const { return table_->ReadRow(row); }
+
+  /// Appends an all-null column (derived columns, §2.2).
+  Status AddColumn(const Attribute& attr) { return table_->AddColumn(attr); }
+
+  /// In-memory snapshot (reads every column).
+  Result<Table> Snapshot() const { return table_->ReadAll(); }
+
+  void SetVersion(uint64_t v) { version_ = v; }
+  void BumpVersion() { ++version_; }
+
+ private:
+  std::string name_;
+  std::unique_ptr<TransposedTable> table_;
+  uint64_t version_ = 0;
+};
+
+}  // namespace statdb
+
+#endif  // STATDB_CORE_VIEW_H_

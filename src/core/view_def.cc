@@ -1,0 +1,131 @@
+#include "core/view_def.h"
+
+#include "common/bytes.h"
+
+#include <sstream>
+
+namespace statdb {
+
+std::string ViewDefinition::Canonical() const {
+  std::ostringstream os;
+  os << "FROM " << source;
+  if (predicate != nullptr) {
+    os << " WHERE " << predicate->ToString();
+  }
+  if (sample_fraction < 1.0) {
+    os << " SAMPLE " << sample_fraction << " SEED " << sample_seed;
+  }
+  if (!group_by.empty()) {
+    os << " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) os << ",";
+      os << group_by[i];
+    }
+    os << " AGG ";
+    for (size_t i = 0; i < aggregates.size(); ++i) {
+      if (i > 0) os << ",";
+      os << static_cast<int>(aggregates[i].kind) << ":"
+         << aggregates[i].input << ":" << aggregates[i].weight << ">"
+         << aggregates[i].output;
+    }
+  }
+  if (!projection.empty()) {
+    os << " PROJECT ";
+    for (size_t i = 0; i < projection.size(); ++i) {
+      if (i > 0) os << ",";
+      os << projection[i];
+    }
+  }
+  return os.str();
+}
+
+Result<Table> ViewDefinition::Materialize(const Table& raw) const {
+  Table current = raw;
+  if (predicate != nullptr) {
+    STATDB_ASSIGN_OR_RETURN(current, Select(current, *predicate));
+  }
+  if (sample_fraction < 1.0) {
+    Rng rng(sample_seed);
+    STATDB_ASSIGN_OR_RETURN(current,
+                            SampleBernoulli(current, sample_fraction, &rng));
+  }
+  if (!group_by.empty()) {
+    STATDB_ASSIGN_OR_RETURN(current,
+                            GroupByAggregate(current, group_by, aggregates));
+  }
+  if (!projection.empty()) {
+    STATDB_ASSIGN_OR_RETURN(current, Project(current, projection));
+  }
+  return current;
+}
+
+void ViewDefinition::Serialize(ByteWriter* w) const {
+  w->PutString(source);
+  w->PutU8(predicate != nullptr ? 1 : 0);
+  if (predicate != nullptr) predicate->Serialize(w);
+  w->PutU32(static_cast<uint32_t>(projection.size()));
+  for (const std::string& p : projection) w->PutString(p);
+  w->PutDouble(sample_fraction);
+  w->PutU64(sample_seed);
+  w->PutU32(static_cast<uint32_t>(group_by.size()));
+  for (const std::string& g : group_by) w->PutString(g);
+  w->PutU32(static_cast<uint32_t>(aggregates.size()));
+  for (const AggSpec& a : aggregates) {
+    w->PutU8(static_cast<uint8_t>(a.kind));
+    w->PutString(a.input);
+    w->PutString(a.weight);
+    w->PutString(a.output);
+  }
+}
+
+Result<ViewDefinition> ViewDefinition::Deserialize(ByteReader* r) {
+  ViewDefinition def;
+  STATDB_ASSIGN_OR_RETURN(def.source, r->GetString());
+  STATDB_ASSIGN_OR_RETURN(uint8_t has_pred, r->GetU8());
+  if (has_pred != 0) {
+    STATDB_ASSIGN_OR_RETURN(def.predicate, Expr::Deserialize(r));
+  }
+  STATDB_ASSIGN_OR_RETURN(uint32_t nproj, r->GetU32());
+  for (uint32_t i = 0; i < nproj; ++i) {
+    STATDB_ASSIGN_OR_RETURN(std::string p, r->GetString());
+    def.projection.push_back(std::move(p));
+  }
+  STATDB_ASSIGN_OR_RETURN(def.sample_fraction, r->GetDouble());
+  STATDB_ASSIGN_OR_RETURN(def.sample_seed, r->GetU64());
+  STATDB_ASSIGN_OR_RETURN(uint32_t ngroup, r->GetU32());
+  for (uint32_t i = 0; i < ngroup; ++i) {
+    STATDB_ASSIGN_OR_RETURN(std::string g, r->GetString());
+    def.group_by.push_back(std::move(g));
+  }
+  STATDB_ASSIGN_OR_RETURN(uint32_t nagg, r->GetU32());
+  for (uint32_t i = 0; i < nagg; ++i) {
+    AggSpec a;
+    STATDB_ASSIGN_OR_RETURN(uint8_t kind, r->GetU8());
+    a.kind = static_cast<AggSpec::Kind>(kind);
+    STATDB_ASSIGN_OR_RETURN(a.input, r->GetString());
+    STATDB_ASSIGN_OR_RETURN(a.weight, r->GetString());
+    STATDB_ASSIGN_OR_RETURN(a.output, r->GetString());
+    def.aggregates.push_back(std::move(a));
+  }
+  return def;
+}
+
+Result<ViewDefinition> ViewDefinitionFromSubjectRequest(
+    const std::vector<std::pair<std::string, std::string>>& request) {
+  if (request.empty()) {
+    return InvalidArgumentError("empty subject view request");
+  }
+  ViewDefinition def;
+  def.source = request[0].first;
+  for (const auto& [dataset, attribute] : request) {
+    if (dataset != def.source) {
+      return InvalidArgumentError(
+          "subject request spans multiple data sets: " + def.source +
+          " and " + dataset);
+    }
+    def.projection.push_back(attribute);
+  }
+  return def;
+}
+
+}  // namespace statdb

@@ -1,0 +1,62 @@
+#ifndef STATDB_CORE_VIEW_DEF_H_
+#define STATDB_CORE_VIEW_DEF_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "relational/expr.h"
+#include "relational/ops.h"
+#include "relational/table.h"
+
+namespace statdb {
+
+/// Declarative specification of a concrete view over one raw data set:
+/// an optional selection predicate, an optional projection, an optional
+/// sample, and an optional group-by aggregation — "the traditional
+/// relational operations which create and transform tables ... [and]
+/// aggregates" (§2.3). Steps apply in the order select → sample →
+/// aggregate → project.
+struct ViewDefinition {
+  std::string source;  // raw data set name in the catalog
+
+  ExprPtr predicate;                      // nullptr = keep all rows
+  std::vector<std::string> projection;    // empty = all columns
+
+  /// Bernoulli sampling fraction in (0,1]; 1.0 = no sampling (§2.2's
+  /// exploratory samples). Sampling uses `sample_seed` so a definition
+  /// is reproducible (and two identical definitions are the same view).
+  double sample_fraction = 1.0;
+  uint64_t sample_seed = 42;
+
+  std::vector<std::string> group_by;      // empty = no aggregation
+  std::vector<AggSpec> aggregates;
+
+  /// Canonical text form. Two definitions with the same canonical form
+  /// materialize the same view — the duplicate-detection key of §2.3.
+  std::string Canonical() const;
+
+  /// Runs the pipeline over the raw table.
+  Result<Table> Materialize(const Table& raw) const;
+
+  /// Binary persistence (the Management Database stores view
+  /// definitions, §3.2).
+  void Serialize(ByteWriter* w) const;
+  static Result<ViewDefinition> Deserialize(ByteReader* r);
+};
+
+/// Turns a SUBJECT navigation session's view request — the
+/// (dataset, attribute) pairs of SubjectSession::GenerateViewRequest —
+/// into a projection ViewDefinition (§2.3: "at the end of the session
+/// [SUBJECT] can generate requests to the DBMS for the view described by
+/// his path"). All attributes must come from one data set.
+Result<ViewDefinition> ViewDefinitionFromSubjectRequest(
+    const std::vector<std::pair<std::string, std::string>>& request);
+
+}  // namespace statdb
+
+#endif  // STATDB_CORE_VIEW_DEF_H_

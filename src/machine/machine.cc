@@ -1,0 +1,77 @@
+#include "machine/machine.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace statdb {
+
+CostEstimate HostSearchScan(const DbMachineConfig& cfg, uint64_t total_pages,
+                            uint64_t tuples) {
+  CostEstimate e;
+  e.pages_touched = total_pages;
+  // First block pays a seek, the rest stream.
+  e.total_ms = cfg.host_random_ms +
+               double(total_pages > 0 ? total_pages - 1 : 0) *
+                   cfg.host_sequential_ms +
+               double(tuples) * cfg.host_cpu_per_tuple_us / 1000.0;
+  std::ostringstream os;
+  os << "host full scan of " << total_pages << " pages";
+  e.plan = os.str();
+  return e;
+}
+
+CostEstimate HostSearchIndexed(const DbMachineConfig& cfg, int tree_height) {
+  CostEstimate e;
+  e.pages_touched = static_cast<uint64_t>(std::max(tree_height, 1));
+  e.total_ms = double(e.pages_touched) * cfg.host_random_ms;
+  std::ostringstream os;
+  os << "host B+-tree probe, height " << tree_height;
+  e.plan = os.str();
+  return e;
+}
+
+CostEstimate MachineAssociativeSearch(const DbMachineConfig& cfg,
+                                      uint64_t total_pages,
+                                      uint64_t matches) {
+  CostEstimate e;
+  e.pages_touched = total_pages;
+  uint64_t pages_per_cylinder =
+      cfg.tracks_per_cylinder * cfg.pages_per_track;
+  uint64_t cylinders =
+      (total_pages + pages_per_cylinder - 1) / pages_per_cylinder;
+  if (cylinders == 0) cylinders = 1;
+  // One revolution searches a whole cylinder in parallel.
+  e.total_ms = double(cylinders) * cfg.revolution_ms +
+               double(matches) * cfg.match_transfer_ms;
+  std::ostringstream os;
+  os << "associative disk, " << cylinders << " cylinder revolution(s)";
+  e.plan = os.str();
+  return e;
+}
+
+CostEstimate HostAggregateScan(const DbMachineConfig& cfg, uint64_t pages,
+                               uint64_t tuples) {
+  CostEstimate e;
+  e.pages_touched = pages;
+  e.total_ms = cfg.host_random_ms +
+               double(pages > 0 ? pages - 1 : 0) * cfg.host_sequential_ms +
+               double(tuples) * cfg.host_cpu_per_tuple_us / 1000.0;
+  std::ostringstream os;
+  os << "host column scan of " << pages << " pages + CPU aggregate";
+  e.plan = os.str();
+  return e;
+}
+
+CostEstimate MachineAggregateOffload(const DbMachineConfig& cfg,
+                                     uint64_t pages) {
+  CostEstimate e;
+  e.pages_touched = pages;
+  e.total_ms = double(pages) * cfg.machine_stream_ms_per_page +
+               cfg.machine_result_transfer_ms;
+  std::ostringstream os;
+  os << "on-device aggregate over " << pages << " pages, scalar shipped";
+  e.plan = os.str();
+  return e;
+}
+
+}  // namespace statdb

@@ -1,0 +1,70 @@
+#ifndef STATDB_MACHINE_MACHINE_H_
+#define STATDB_MACHINE_MACHINE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace statdb {
+
+/// Parameters of the database-machine feasibility model (§4.3). The
+/// paper argues two offload opportunities: a pseudo-associative disk
+/// [SLOT70] for Summary-Database searches (processor-per-track logic
+/// examines a whole cylinder in one revolution) and near-device
+/// scan/aggregate execution for whole-column statistics. Absent 1982
+/// hardware, we reproduce the *argument* with an explicit cost model in
+/// milliseconds; the comparisons (who wins, where the crossover falls)
+/// are what matter.
+struct DbMachineConfig {
+  // Host-side disk timings (match DeviceCostModel::Disk()).
+  double host_sequential_ms = 1.0;  // next-block transfer
+  double host_random_ms = 30.0;     // seek + rotate + transfer
+
+  // Host CPU cost of examining one tuple/cell once it is in memory.
+  double host_cpu_per_tuple_us = 2.0;
+
+  // Associative disk: every track is searched in parallel during one
+  // revolution; only matches cross the channel.
+  double revolution_ms = 16.7;  // 3600 rpm
+  uint64_t tracks_per_cylinder = 19;
+  uint64_t pages_per_track = 4;
+  double match_transfer_ms = 0.1;  // per matching record
+
+  // Near-device aggregate engine: streams pages at full media rate and
+  // applies the aggregate on the fly, returning a scalar.
+  double machine_stream_ms_per_page = 1.0;
+  double machine_result_transfer_ms = 0.5;
+};
+
+/// One estimated execution.
+struct CostEstimate {
+  double total_ms = 0;
+  uint64_t pages_touched = 0;
+  std::string plan;
+};
+
+/// Host searches `total_pages` of Summary-Database records sequentially
+/// (no index), examining `tuples` records.
+CostEstimate HostSearchScan(const DbMachineConfig& cfg, uint64_t total_pages,
+                            uint64_t tuples);
+
+/// Host searches via a B+-tree of height `tree_height` (random reads).
+CostEstimate HostSearchIndexed(const DbMachineConfig& cfg, int tree_height);
+
+/// Associative disk searches all cylinders holding `total_pages` in one
+/// revolution each, returning `matches` records.
+CostEstimate MachineAssociativeSearch(const DbMachineConfig& cfg,
+                                      uint64_t total_pages, uint64_t matches);
+
+/// Host computes a whole-column aggregate: sequential scan of `pages`,
+/// CPU over `tuples` cells.
+CostEstimate HostAggregateScan(const DbMachineConfig& cfg, uint64_t pages,
+                               uint64_t tuples);
+
+/// Database machine computes the aggregate at the device and ships back
+/// one result.
+CostEstimate MachineAggregateOffload(const DbMachineConfig& cfg,
+                                     uint64_t pages);
+
+}  // namespace statdb
+
+#endif  // STATDB_MACHINE_MACHINE_H_

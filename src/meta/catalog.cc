@@ -1,0 +1,70 @@
+#include "meta/catalog.h"
+
+namespace statdb {
+
+Status Catalog::RegisterDataSet(DataSetInfo info) {
+  if (datasets_.contains(info.name)) {
+    return AlreadyExistsError("data set already registered: " + info.name);
+  }
+  std::string name = info.name;
+  datasets_.emplace(std::move(name), std::move(info));
+  return Status::OK();
+}
+
+Status Catalog::UnregisterDataSet(const std::string& name) {
+  if (datasets_.erase(name) == 0) {
+    return NotFoundError("no data set named " + name);
+  }
+  return Status::OK();
+}
+
+Result<const DataSetInfo*> Catalog::GetDataSet(const std::string& name) const {
+  auto it = datasets_.find(name);
+  if (it == datasets_.end()) {
+    return NotFoundError("no data set named " + name);
+  }
+  return &it->second;
+}
+
+std::vector<std::string> Catalog::DataSetNames() const {
+  std::vector<std::string> out;
+  out.reserve(datasets_.size());
+  for (const auto& [name, info] : datasets_) out.push_back(name);
+  return out;
+}
+
+Status Catalog::RegisterCodeTable(CodeTable table) {
+  if (code_tables_.contains(table.name())) {
+    return AlreadyExistsError("code table already registered: " +
+                              table.name());
+  }
+  std::string name = table.name();
+  code_tables_.emplace(std::move(name), std::move(table));
+  return Status::OK();
+}
+
+Result<const CodeTable*> Catalog::GetCodeTable(const std::string& name) const {
+  auto it = code_tables_.find(name);
+  if (it == code_tables_.end()) {
+    return NotFoundError("no code table named " + name);
+  }
+  return &it->second;
+}
+
+std::vector<std::string> Catalog::CodeTableNames() const {
+  std::vector<std::string> out;
+  out.reserve(code_tables_.size());
+  for (const auto& [name, table] : code_tables_) out.push_back(name);
+  return out;
+}
+
+Result<bool> Catalog::IsSummarizable(const std::string& dataset,
+                                     const std::string& attribute) const {
+  STATDB_ASSIGN_OR_RETURN(const DataSetInfo* info, GetDataSet(dataset));
+  STATDB_ASSIGN_OR_RETURN(size_t idx, info->schema.IndexOf(attribute));
+  const Attribute& attr = info->schema.attr(idx);
+  return attr.summarizable && attr.kind == AttributeKind::kValue &&
+         (attr.type == DataType::kInt64 || attr.type == DataType::kDouble);
+}
+
+}  // namespace statdb

@@ -1,0 +1,60 @@
+#ifndef STATDB_META_CATALOG_H_
+#define STATDB_META_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "meta/code_table.h"
+#include "relational/schema.h"
+
+namespace statdb {
+
+/// Where a data set physically lives in the simulated installation.
+enum class DataSetLocation : uint8_t {
+  kTape = 0,  // raw database on slow sequential storage
+  kDisk = 1,  // concrete view migrated to disk (§2.3)
+};
+
+/// Catalog entry for one data set.
+struct DataSetInfo {
+  std::string name;
+  Schema schema;
+  DataSetLocation location = DataSetLocation::kTape;
+  std::string description;
+  uint64_t approx_rows = 0;
+};
+
+/// The meta-database (§2.3): "a large statistical database may consist of
+/// several thousand tables... one can view the meta-data as residing in a
+/// separate database". Registers data sets, their schemas, and the code
+/// tables interpreting encoded attributes.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Status RegisterDataSet(DataSetInfo info);
+  Status UnregisterDataSet(const std::string& name);
+  Result<const DataSetInfo*> GetDataSet(const std::string& name) const;
+  std::vector<std::string> DataSetNames() const;
+
+  Status RegisterCodeTable(CodeTable table);
+  Result<const CodeTable*> GetCodeTable(const std::string& name) const;
+  std::vector<std::string> CodeTableNames() const;
+
+  /// Whether summary statistics are meaningful for this attribute
+  /// (§3.2: "computing the median of the AGE_GROUP attribute does not
+  /// make sense. Thus, the system will have to rely on meta-data").
+  Result<bool> IsSummarizable(const std::string& dataset,
+                              const std::string& attribute) const;
+
+ private:
+  std::map<std::string, DataSetInfo> datasets_;
+  std::map<std::string, CodeTable> code_tables_;
+};
+
+}  // namespace statdb
+
+#endif  // STATDB_META_CATALOG_H_

@@ -1,0 +1,58 @@
+#include "meta/code_table.h"
+
+namespace statdb {
+
+Result<CodeTable> CodeTable::FromTable(std::string name, const Table& t) {
+  STATDB_ASSIGN_OR_RETURN(size_t code_idx, t.schema().IndexOf("CATEGORY"));
+  STATDB_ASSIGN_OR_RETURN(size_t label_idx, t.schema().IndexOf("VALUE"));
+  CodeTable ct(std::move(name));
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    const Value& code = t.At(r, code_idx);
+    const Value& label = t.At(r, label_idx);
+    if (code.is_null() || label.is_null()) continue;
+    STATDB_ASSIGN_OR_RETURN(int64_t c, code.ToInt());
+    STATDB_RETURN_IF_ERROR(ct.AddEntry(c, label.ToString()));
+  }
+  return ct;
+}
+
+Status CodeTable::AddEntry(int64_t code, std::string label) {
+  if (decode_.contains(code)) {
+    return AlreadyExistsError("duplicate code " + std::to_string(code) +
+                              " in code table " + name_);
+  }
+  encode_[label] = code;
+  decode_[code] = std::move(label);
+  return Status::OK();
+}
+
+Result<std::string> CodeTable::Decode(int64_t code) const {
+  auto it = decode_.find(code);
+  if (it == decode_.end()) {
+    return NotFoundError("code " + std::to_string(code) +
+                         " not in code table " + name_);
+  }
+  return it->second;
+}
+
+Result<int64_t> CodeTable::Encode(const std::string& label) const {
+  auto it = encode_.find(label);
+  if (it == encode_.end()) {
+    return NotFoundError("label '" + label + "' not in code table " + name_);
+  }
+  return it->second;
+}
+
+Table CodeTable::ToTable() const {
+  Table t{Schema({
+      Attribute{"CATEGORY", DataType::kInt64, AttributeKind::kCategory, "",
+                false},
+      Attribute{"VALUE", DataType::kString, AttributeKind::kValue, "", false},
+  })};
+  for (const auto& [code, label] : decode_) {
+    (void)t.AppendRow({Value::Int(code), Value::Str(label)});
+  }
+  return t;
+}
+
+}  // namespace statdb

@@ -1,0 +1,48 @@
+#ifndef STATDB_META_CODE_TABLE_H_
+#define STATDB_META_CODE_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relational/table.h"
+
+namespace statdb {
+
+/// A code table interprets the encoded values of a category attribute
+/// (Fig. 2: AGE_GROUP 1 -> "0 to 20"). The paper notes the 1970 census
+/// code book runs over 200 pages; here every encoding is machine-readable
+/// so decoding is a join, not a manual lookup (§2.4).
+class CodeTable {
+ public:
+  explicit CodeTable(std::string name) : name_(std::move(name)) {}
+
+  /// Builds from a two-column (CATEGORY, VALUE) relational table.
+  static Result<CodeTable> FromTable(std::string name, const Table& t);
+
+  const std::string& name() const { return name_; }
+  size_t size() const { return decode_.size(); }
+
+  Status AddEntry(int64_t code, std::string label);
+
+  /// Label for `code`, NOT_FOUND for unknown codes (a real hazard: the
+  /// paper notes 1970 vs 1980 codings disagree).
+  Result<std::string> Decode(int64_t code) const;
+
+  /// Code for `label`.
+  Result<int64_t> Encode(const std::string& label) const;
+
+  /// Materializes as a (CATEGORY, VALUE) table for relational decode.
+  Table ToTable() const;
+
+ private:
+  std::string name_;
+  std::map<int64_t, std::string> decode_;
+  std::map<std::string, int64_t> encode_;
+};
+
+}  // namespace statdb
+
+#endif  // STATDB_META_CODE_TABLE_H_

@@ -1,0 +1,149 @@
+#include "meta/subject_graph.h"
+
+#include <algorithm>
+#include <set>
+
+namespace statdb {
+
+Status SubjectGraph::AddNode(const std::string& name, SubjectNodeKind kind,
+                             std::string dataset, std::string attribute) {
+  if (nodes_.contains(name)) {
+    return AlreadyExistsError("subject node already exists: " + name);
+  }
+  if (kind == SubjectNodeKind::kAttribute &&
+      (dataset.empty() || attribute.empty())) {
+    return InvalidArgumentError(
+        "attribute node needs dataset and attribute coordinates");
+  }
+  nodes_[name] =
+      Node{kind, std::move(dataset), std::move(attribute), {}, {}};
+  return Status::OK();
+}
+
+Status SubjectGraph::AddEdge(const std::string& parent,
+                             const std::string& child) {
+  auto pit = nodes_.find(parent);
+  auto cit = nodes_.find(child);
+  if (pit == nodes_.end() || cit == nodes_.end()) {
+    return NotFoundError("subject edge endpoint missing");
+  }
+  if (pit->second.kind == SubjectNodeKind::kAttribute) {
+    return InvalidArgumentError("attribute leaves cannot have children");
+  }
+  auto& children = pit->second.children;
+  if (std::find(children.begin(), children.end(), child) != children.end()) {
+    return AlreadyExistsError("edge already exists");
+  }
+  children.push_back(child);
+  cit->second.parents.push_back(parent);
+  return Status::OK();
+}
+
+Status SubjectGraph::RemoveEdge(const std::string& parent,
+                                const std::string& child) {
+  auto pit = nodes_.find(parent);
+  auto cit = nodes_.find(child);
+  if (pit == nodes_.end() || cit == nodes_.end()) {
+    return NotFoundError("subject edge endpoint missing");
+  }
+  auto& children = pit->second.children;
+  auto it = std::find(children.begin(), children.end(), child);
+  if (it == children.end()) {
+    return NotFoundError("edge does not exist");
+  }
+  children.erase(it);
+  auto& parents = cit->second.parents;
+  parents.erase(std::find(parents.begin(), parents.end(), parent));
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> SubjectGraph::Children(
+    const std::string& name) const {
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) return NotFoundError("no subject node " + name);
+  return it->second.children;
+}
+
+Result<std::vector<std::string>> SubjectGraph::Parents(
+    const std::string& name) const {
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) return NotFoundError("no subject node " + name);
+  return it->second.parents;
+}
+
+Result<std::vector<std::pair<std::string, std::string>>>
+SubjectGraph::ReachableAttributes(const std::string& name) const {
+  if (!nodes_.contains(name)) {
+    return NotFoundError("no subject node " + name);
+  }
+  std::set<std::string> visited;
+  std::vector<std::string> stack{name};
+  std::vector<std::pair<std::string, std::string>> out;
+  while (!stack.empty()) {
+    std::string cur = stack.back();
+    stack.pop_back();
+    if (!visited.insert(cur).second) continue;
+    const Node& node = nodes_.at(cur);
+    if (node.kind == SubjectNodeKind::kAttribute) {
+      out.emplace_back(node.dataset, node.attribute);
+    }
+    for (const std::string& child : node.children) {
+      stack.push_back(child);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Status SubjectSession::Enter(const std::string& node) {
+  if (!graph_->HasNode(node)) {
+    return NotFoundError("no subject node " + node);
+  }
+  path_.assign(1, node);
+  selected_.clear();
+  return Status::OK();
+}
+
+Status SubjectSession::Descend(const std::string& child) {
+  if (path_.empty()) {
+    return FailedPreconditionError("session has not entered the graph");
+  }
+  STATDB_ASSIGN_OR_RETURN(std::vector<std::string> children,
+                          graph_->Children(path_.back()));
+  if (std::find(children.begin(), children.end(), child) == children.end()) {
+    return NotFoundError(child + " is not a child of " + path_.back());
+  }
+  path_.push_back(child);
+  return Status::OK();
+}
+
+Status SubjectSession::Ascend() {
+  if (path_.size() <= 1) {
+    return FailedPreconditionError("already at the entry node");
+  }
+  path_.pop_back();
+  return Status::OK();
+}
+
+Status SubjectSession::MarkSelected() {
+  if (path_.empty()) {
+    return FailedPreconditionError("session has not entered the graph");
+  }
+  selected_.push_back(path_.back());
+  return Status::OK();
+}
+
+Result<std::vector<std::pair<std::string, std::string>>>
+SubjectSession::GenerateViewRequest() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const std::string& node : selected_) {
+    STATDB_ASSIGN_OR_RETURN(auto attrs, graph_->ReachableAttributes(node));
+    out.insert(out.end(), attrs.begin(), attrs.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace statdb

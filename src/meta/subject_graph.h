@@ -1,0 +1,89 @@
+#ifndef STATDB_META_SUBJECT_GRAPH_H_
+#define STATDB_META_SUBJECT_GRAPH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace statdb {
+
+/// Role of a node in the meta-data graph.
+enum class SubjectNodeKind : uint8_t {
+  kGeneralization = 0,  // higher-level concept ("demographics")
+  kAttribute = 1,       // leaf tied to a data set attribute
+};
+
+/// A SUBJECT-style meta-data navigation graph (§2.3, [CHAN81]): nodes are
+/// attributes, higher-level nodes generalize them. An analyst enters at a
+/// high level, walks down to the desired detail, and the session's path
+/// is turned into a view request (the attribute list to materialize).
+class SubjectGraph {
+ public:
+  SubjectGraph() = default;
+
+  /// Adds a node. Attribute leaves carry dataset/attribute coordinates.
+  Status AddNode(const std::string& name, SubjectNodeKind kind,
+                 std::string dataset = "", std::string attribute = "");
+
+  /// Adds a generalization edge parent -> child.
+  Status AddEdge(const std::string& parent, const std::string& child);
+
+  /// Removes an edge (the paper requires "primitive operations that
+  /// enable management of the graph").
+  Status RemoveEdge(const std::string& parent, const std::string& child);
+
+  bool HasNode(const std::string& name) const {
+    return nodes_.contains(name);
+  }
+  Result<std::vector<std::string>> Children(const std::string& name) const;
+  Result<std::vector<std::string>> Parents(const std::string& name) const;
+
+  /// All attribute leaves reachable from `name` (the view request a
+  /// navigation session ending at `name` generates).
+  Result<std::vector<std::pair<std::string, std::string>>>
+  ReachableAttributes(const std::string& name) const;
+
+ private:
+  struct Node {
+    SubjectNodeKind kind;
+    std::string dataset;
+    std::string attribute;
+    std::vector<std::string> children;
+    std::vector<std::string> parents;
+  };
+  std::map<std::string, Node> nodes_;
+};
+
+/// One analyst's navigation session through the graph: Enter at a node,
+/// Descend along edges, then GenerateViewRequest for the endpoint set.
+class SubjectSession {
+ public:
+  explicit SubjectSession(const SubjectGraph* graph) : graph_(graph) {}
+
+  Status Enter(const std::string& node);
+  Status Descend(const std::string& child);
+  Status Ascend();
+
+  /// Marks the current node as part of the desired view.
+  Status MarkSelected();
+
+  const std::vector<std::string>& path() const { return path_; }
+
+  /// Union of attributes reachable from every selected node, i.e. the
+  /// request SUBJECT "can generate ... to the DBMS for the view described
+  /// by his path" (§2.3).
+  Result<std::vector<std::pair<std::string, std::string>>>
+  GenerateViewRequest() const;
+
+ private:
+  const SubjectGraph* graph_;
+  std::vector<std::string> path_;
+  std::vector<std::string> selected_;
+};
+
+}  // namespace statdb
+
+#endif  // STATDB_META_SUBJECT_GRAPH_H_

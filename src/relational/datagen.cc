@@ -1,0 +1,142 @@
+#include "relational/datagen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "relational/ops.h"
+
+namespace statdb {
+
+Schema CensusMicrodataSchema() {
+  return Schema({
+      Attribute::Category("SEX", DataType::kInt64, "SEX"),
+      Attribute::Category("RACE", DataType::kInt64, "RACE"),
+      Attribute::Category("AGE_GROUP", DataType::kInt64, "AGE_GROUP"),
+      Attribute::Category("REGION", DataType::kInt64, "REGION"),
+      Attribute::Category("EDUCATION", DataType::kInt64, "EDUCATION"),
+      Attribute::Numeric("AGE", DataType::kInt64),
+      Attribute::Numeric("INCOME", DataType::kDouble),
+      Attribute::Numeric("HOURS_WORKED", DataType::kDouble),
+      Attribute::Numeric("HOUSEHOLD_SIZE", DataType::kInt64),
+  });
+}
+
+Result<Table> GenerateCensusMicrodata(const CensusOptions& opts, Rng* rng) {
+  Table t(CensusMicrodataSchema());
+  for (uint64_t i = 0; i < opts.rows; ++i) {
+    int64_t sex = rng->UniformInt(0, 1);
+    int64_t race = rng->Zipf(4, opts.category_skew);
+    int64_t region = rng->Zipf(9, opts.category_skew);
+    int64_t education = rng->Zipf(6, opts.category_skew);
+    int64_t age = rng->UniformInt(0, 90);
+    // Fig. 2 coding: 1 = 0-20, 2 = 21-40, 3 = 41-60, 4 = over 60.
+    int64_t age_group = age <= 20 ? 1 : age <= 40 ? 2 : age <= 60 ? 3 : 4;
+
+    // Income: lognormal base, boosted by education and prime working age,
+    // depressed for children/retirees. Keeps real structure for the
+    // confirmatory-phase tests (regression, chi-squared).
+    double base = std::exp(rng->Normal(10.0, 0.5));
+    double edu_boost = 1.0 + 0.25 * double(education);
+    double age_factor =
+        age < 16 ? 0.0 : (age <= 65 ? 1.0 : 0.35) *
+                             (1.0 + 0.01 * double(std::min<int64_t>(age, 55)));
+    double income = base * edu_boost * age_factor;
+    double hours =
+        age < 16 ? 0.0 : std::clamp(rng->Normal(38.0, 10.0), 0.0, 90.0);
+    int64_t household = 1 + rng->Zipf(7, 0.8);
+
+    Row row;
+    row.push_back(Value::Int(sex));
+    row.push_back(Value::Int(race));
+    row.push_back(Value::Int(age_group));
+    row.push_back(Value::Int(region));
+    row.push_back(Value::Int(education));
+    row.push_back(Value::Int(age));
+    row.push_back(Value::Real(income));
+    row.push_back(Value::Real(hours));
+    row.push_back(Value::Int(household));
+
+    // Plant recording errors: impossible ages / incomes (§3.1's "age of
+    // 1,000") that exploratory checking must find.
+    if (rng->Bernoulli(opts.outlier_fraction)) {
+      if (rng->Bernoulli(0.5)) {
+        row[5] = Value::Int(1000);  // AGE
+      } else {
+        row[6] = Value::Real(income * 1000.0);  // INCOME
+      }
+    }
+    if (rng->Bernoulli(opts.missing_fraction)) {
+      row[7] = Value::Null();  // HOURS_WORKED missing
+    }
+    STATDB_RETURN_IF_ERROR(t.AppendRow(std::move(row)));
+  }
+  if (opts.sorted_by_categories) {
+    return SortBy(t, {"SEX", "RACE", "AGE_GROUP", "REGION", "EDUCATION"});
+  }
+  return t;
+}
+
+namespace {
+
+Table MakeCodeTable(std::initializer_list<std::pair<int64_t, const char*>>
+                        entries) {
+  Table t{Schema({
+      Attribute{"CATEGORY", DataType::kInt64, AttributeKind::kCategory, "",
+                false},
+      Attribute{"VALUE", DataType::kString, AttributeKind::kValue, "", false},
+  })};
+  for (const auto& [code, label] : entries) {
+    // Code tables are tiny and statically correct; ignore append status.
+    (void)t.AppendRow({Value::Int(code), Value::Str(label)});
+  }
+  return t;
+}
+
+}  // namespace
+
+Table MakeAgeGroupCodeTable() {
+  return MakeCodeTable({{1, "0 to 20"},
+                        {2, "21 to 40"},
+                        {3, "41 to 60"},
+                        {4, "over 60"}});
+}
+
+Table MakeSexCodeTable() {
+  return MakeCodeTable({{0, "M"}, {1, "F"}});
+}
+
+Table MakeRaceCodeTable() {
+  return MakeCodeTable({{0, "W"}, {1, "B"}, {2, "A"}, {3, "O"}});
+}
+
+Table MakeRegionCodeTable() {
+  return MakeCodeTable({{0, "Northeast"},
+                        {1, "Mid-Atlantic"},
+                        {2, "Southeast"},
+                        {3, "Midwest"},
+                        {4, "Plains"},
+                        {5, "South"},
+                        {6, "Mountain"},
+                        {7, "Pacific"},
+                        {8, "Other"}});
+}
+
+Table MakeEducationCodeTable() {
+  return MakeCodeTable({{0, "None"},
+                        {1, "Elementary"},
+                        {2, "High school"},
+                        {3, "Some college"},
+                        {4, "Bachelors"},
+                        {5, "Graduate"}});
+}
+
+Result<Table> AggregateToFig1(const Table& microdata) {
+  STATDB_ASSIGN_OR_RETURN(
+      Table agg,
+      GroupByAggregate(microdata, {"SEX", "RACE", "AGE_GROUP"},
+                       {AggSpec::Count("POPULATION"),
+                        AggSpec::Avg("INCOME", "AVE_SALARY")}));
+  return SortBy(agg, {"SEX", "RACE", "AGE_GROUP"});
+}
+
+}  // namespace statdb

@@ -1,0 +1,53 @@
+#ifndef STATDB_RELATIONAL_DATAGEN_H_
+#define STATDB_RELATIONAL_DATAGEN_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "relational/table.h"
+
+namespace statdb {
+
+/// Knobs for the synthetic census generator — the stand-in for the 1970/
+/// 1980 census public-use samples the paper uses as its running example.
+struct CensusOptions {
+  uint64_t rows = 10000;
+  /// Fraction of INCOME cells replaced by implausible outliers (a
+  /// 5-digit salary in Beverly Hills / an age of 1000, §3.1).
+  double outlier_fraction = 0.002;
+  /// Fraction of cells already missing in the raw data.
+  double missing_fraction = 0.001;
+  /// Zipf exponent of the category distributions (0 = uniform).
+  double category_skew = 0.5;
+  /// Sort the output by the category composite key. Sorted data sets
+  /// have long per-column runs, which is what makes columnar RLE pay off.
+  bool sorted_by_categories = false;
+};
+
+/// Schema of the person-level ("microdata") census sample:
+///   SEX, RACE, AGE_GROUP, REGION, EDUCATION : encoded category attributes
+///   AGE, INCOME, HOURS_WORKED, HOUSEHOLD_SIZE : value attributes
+/// AGE_GROUP carries a code-table reference ("AGE_GROUP" — Fig. 2).
+Schema CensusMicrodataSchema();
+
+/// Generates `opts.rows` person records. INCOME correlates with
+/// EDUCATION and AGE so regressions/χ² have real structure to find.
+Result<Table> GenerateCensusMicrodata(const CensusOptions& opts, Rng* rng);
+
+/// The Fig. 2 code table: AGE_GROUP code -> "0 to 20", "21 to 40", ...
+Table MakeAgeGroupCodeTable();
+
+/// Code tables for the other encoded attributes.
+Table MakeSexCodeTable();
+Table MakeRaceCodeTable();
+Table MakeRegionCodeTable();
+Table MakeEducationCodeTable();
+
+/// Aggregates microdata into the Fig. 1-shaped data set:
+///   SEX, RACE, AGE_GROUP (category) ; POPULATION, AVE_SALARY (value).
+Result<Table> AggregateToFig1(const Table& microdata);
+
+}  // namespace statdb
+
+#endif  // STATDB_RELATIONAL_DATAGEN_H_

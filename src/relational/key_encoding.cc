@@ -1,0 +1,100 @@
+#include "relational/key_encoding.h"
+
+#include <bit>
+#include <cstring>
+
+namespace statdb {
+
+namespace {
+
+constexpr char kRankNull = '\x00';
+constexpr char kRankNumeric = '\x01';
+constexpr char kRankString = '\x02';
+
+constexpr char kNumTagInt = '\x00';
+constexpr char kNumTagDouble = '\x01';
+
+void AppendBigEndian(uint64_t v, std::string* out) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out->push_back(char(uint8_t(v >> shift)));
+  }
+}
+
+uint64_t ReadBigEndian(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+/// Monotone u64 image of a double (IEEE-754 total order sans NaN).
+uint64_t DoubleTransform(double d) {
+  uint64_t bits = std::bit_cast<uint64_t>(d);
+  if (bits & 0x8000000000000000ULL) {
+    return ~bits;  // negatives: reverse order
+  }
+  return bits | 0x8000000000000000ULL;  // positives above negatives
+}
+
+/// Monotone u64 image of an int64 (bias the sign).
+uint64_t IntTransform(int64_t x) {
+  return uint64_t(x) ^ 0x8000000000000000ULL;
+}
+
+}  // namespace
+
+std::string OrderedEncode(const Value& v) {
+  std::string out;
+  switch (v.type()) {
+    case DataType::kNull:
+      out.push_back(kRankNull);
+      return out;
+    case DataType::kInt64: {
+      out.push_back(kRankNumeric);
+      // Primary order: the double image (cross-type numeric order);
+      // tie-break + exact decode: biased int bits.
+      AppendBigEndian(DoubleTransform(double(v.AsInt())), &out);
+      out.push_back(kNumTagInt);
+      AppendBigEndian(IntTransform(v.AsInt()), &out);
+      return out;
+    }
+    case DataType::kDouble: {
+      out.push_back(kRankNumeric);
+      AppendBigEndian(DoubleTransform(v.AsReal()), &out);
+      out.push_back(kNumTagDouble);
+      AppendBigEndian(std::bit_cast<uint64_t>(v.AsReal()), &out);
+      return out;
+    }
+    case DataType::kString:
+      out.push_back(kRankString);
+      out += v.AsStr();
+      return out;
+  }
+  return out;
+}
+
+Result<Value> OrderedDecode(const std::string& encoded) {
+  if (encoded.empty()) {
+    return DataLossError("empty ordered-encoded value");
+  }
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(encoded.data());
+  switch (encoded[0]) {
+    case kRankNull:
+      return Value::Null();
+    case kRankNumeric: {
+      if (encoded.size() != 1 + 8 + 1 + 8) {
+        return DataLossError("malformed numeric key encoding");
+      }
+      uint64_t raw = ReadBigEndian(p + 10);
+      if (encoded[9] == kNumTagInt) {
+        return Value::Int(int64_t(raw ^ 0x8000000000000000ULL));
+      }
+      return Value::Real(std::bit_cast<double>(raw));
+    }
+    case kRankString:
+      return Value::Str(encoded.substr(1));
+    default:
+      return DataLossError("bad value rank byte");
+  }
+}
+
+}  // namespace statdb

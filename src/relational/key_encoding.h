@@ -1,0 +1,29 @@
+#ifndef STATDB_RELATIONAL_KEY_ENCODING_H_
+#define STATDB_RELATIONAL_KEY_ENCODING_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "relational/value.h"
+
+namespace statdb {
+
+/// Order-preserving byte-string encoding of a Value: for any two values
+/// a, b, `OrderedEncode(a) < OrderedEncode(b)` (memcmp/std::string
+/// order) iff `a.Compare(b) == less`. This lets a byte-ordered B+-tree
+/// serve as a secondary index over typed attribute values.
+///
+/// Layout: 1 type-rank byte (null=0x00, numeric=0x01, string=0x02)
+/// followed by the payload:
+///  - numerics (int64 and double compare cross-type, so both encode as
+///    the big-endian order-preserving transform of their double value,
+///    with the original int64 appended for exact decode);
+///  - strings as raw bytes (memcmp order == lexicographic order).
+std::string OrderedEncode(const Value& v);
+
+/// Inverse of OrderedEncode.
+Result<Value> OrderedDecode(const std::string& encoded);
+
+}  // namespace statdb
+
+#endif  // STATDB_RELATIONAL_KEY_ENCODING_H_

@@ -1,0 +1,87 @@
+#ifndef STATDB_RELATIONAL_OPS_H_
+#define STATDB_RELATIONAL_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "relational/expr.h"
+#include "relational/table.h"
+
+namespace statdb {
+
+/// Rows of `t` where `pred` evaluates to true (nulls filter out).
+Result<Table> Select(const Table& t, const Expr& pred);
+
+/// Column subset in the given order.
+Result<Table> Project(const Table& t, const std::vector<std::string>& cols);
+
+/// Inner equi-join on `left_keys[i] == right_keys[i]`. Output schema is
+/// every left column followed by the right's non-key columns; a right
+/// column whose name collides with a left column is suffixed "_r".
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const std::vector<std::string>& left_keys,
+                       const std::vector<std::string>& right_keys);
+
+/// Stable ascending sort on the named columns (null first).
+Result<Table> SortBy(const Table& t, const std::vector<std::string>& cols);
+
+/// Aggregate function applied within each group.
+struct AggSpec {
+  enum class Kind { kCount, kSum, kAvg, kMin, kMax, kWeightedAvg };
+  Kind kind = Kind::kCount;
+  std::string input;   // ignored by kCount
+  std::string weight;  // kWeightedAvg only
+  std::string output;  // result column name
+
+  static AggSpec Count(std::string output) {
+    return {Kind::kCount, "", "", std::move(output)};
+  }
+  static AggSpec Sum(std::string input, std::string output) {
+    return {Kind::kSum, std::move(input), "", std::move(output)};
+  }
+  static AggSpec Avg(std::string input, std::string output) {
+    return {Kind::kAvg, std::move(input), "", std::move(output)};
+  }
+  static AggSpec Min(std::string input, std::string output) {
+    return {Kind::kMin, std::move(input), "", std::move(output)};
+  }
+  static AggSpec Max(std::string input, std::string output) {
+    return {Kind::kMax, std::move(input), "", std::move(output)};
+  }
+  /// sum(input*weight)/sum(weight) — e.g. merging M/F AVE_SALARY rows
+  /// weighted by POPULATION when coarsening a data set (§2.2).
+  static AggSpec WeightedAvg(std::string input, std::string weight,
+                             std::string output) {
+    return {Kind::kWeightedAvg, std::move(input), std::move(weight),
+            std::move(output)};
+  }
+};
+
+/// Hash group-by. `group_cols` keep their attribute metadata; aggregate
+/// outputs are value attributes. Null cells are skipped by all aggregates
+/// except kCount (which counts rows).
+Result<Table> GroupByAggregate(const Table& t,
+                               const std::vector<std::string>& group_cols,
+                               const std::vector<AggSpec>& aggs);
+
+/// Independent p-inclusion sample (exploratory-phase responsiveness, §2.2).
+Result<Table> SampleBernoulli(const Table& t, double p, Rng* rng);
+
+/// Exactly min(k, n) rows, uniformly without replacement.
+Result<Table> SampleReservoir(const Table& t, size_t k, Rng* rng);
+
+/// Replaces encoded values in `column` by their labels from `code_table`
+/// (a two-column table mapping `code_col` -> `label_col`) — the Fig. 1 ⋈
+/// Fig. 2 decode the paper says statistical packages force users to do by
+/// hand. Codes with no mapping become null.
+Result<Table> DecodeColumn(const Table& t, const std::string& column,
+                           const Table& code_table,
+                           const std::string& code_col,
+                           const std::string& label_col);
+
+}  // namespace statdb
+
+#endif  // STATDB_RELATIONAL_OPS_H_

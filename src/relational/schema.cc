@@ -1,0 +1,46 @@
+#include "relational/schema.h"
+
+#include <sstream>
+
+namespace statdb {
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].name == name) return i;
+  }
+  return NotFoundError("no attribute named " + name);
+}
+
+std::vector<std::string> Schema::CategoryAttributes() const {
+  std::vector<std::string> out;
+  for (const Attribute& a : attrs_) {
+    if (a.kind == AttributeKind::kCategory) out.push_back(a.name);
+  }
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << attrs_[i].name << ":" << DataTypeName(attrs_[i].type);
+    if (attrs_[i].kind == AttributeKind::kCategory) os << "[cat]";
+  }
+  os << ")";
+  return os.str();
+}
+
+bool operator==(const Schema& a, const Schema& b) {
+  if (a.attrs_.size() != b.attrs_.size()) return false;
+  for (size_t i = 0; i < a.attrs_.size(); ++i) {
+    if (a.attrs_[i].name != b.attrs_[i].name ||
+        a.attrs_[i].type != b.attrs_[i].type ||
+        a.attrs_[i].kind != b.attrs_[i].kind) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace statdb

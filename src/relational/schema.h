@@ -1,0 +1,77 @@
+#ifndef STATDB_RELATIONAL_SCHEMA_H_
+#define STATDB_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relational/value.h"
+
+namespace statdb {
+
+/// Role of an attribute in a statistical data set (§2.1): category
+/// attributes together form the composite key and identify a cell of the
+/// cross product; value attributes quantify it. Summary statistics are
+/// only meaningful for value attributes (computing the median AGE_GROUP
+/// code is nonsense — §3.2), which the Summary Database checks via this
+/// kind plus the `summarizable` flag.
+enum class AttributeKind : uint8_t {
+  kCategory = 0,
+  kValue = 1,
+};
+
+/// Declaration of one column of a data set.
+struct Attribute {
+  std::string name;
+  DataType type = DataType::kInt64;
+  AttributeKind kind = AttributeKind::kValue;
+  /// Name of the code table interpreting encoded values (Fig. 2), or "".
+  std::string code_table;
+  /// Whether summary statistics may be cached for this attribute.
+  bool summarizable = true;
+
+  static Attribute Category(std::string name, DataType type = DataType::kInt64,
+                            std::string code_table = "") {
+    return Attribute{std::move(name), type, AttributeKind::kCategory,
+                     std::move(code_table), /*summarizable=*/false};
+  }
+  static Attribute Numeric(std::string name, DataType type = DataType::kDouble) {
+    return Attribute{std::move(name), type, AttributeKind::kValue, "",
+                     /*summarizable=*/true};
+  }
+};
+
+/// Ordered attribute list of a data set ("flat file" view, §2.1).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attrs) : attrs_(std::move(attrs)) {}
+
+  size_t size() const { return attrs_.size(); }
+  const Attribute& attr(size_t i) const { return attrs_[i]; }
+  const std::vector<Attribute>& attrs() const { return attrs_; }
+
+  /// Index of the attribute named `name`, or NOT_FOUND.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  bool Contains(const std::string& name) const {
+    return IndexOf(name).ok();
+  }
+
+  void Add(Attribute attr) { attrs_.push_back(std::move(attr)); }
+
+  /// Names of all category attributes (the composite key).
+  std::vector<std::string> CategoryAttributes() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b);
+
+ private:
+  std::vector<Attribute> attrs_;
+};
+
+}  // namespace statdb
+
+#endif  // STATDB_RELATIONAL_SCHEMA_H_

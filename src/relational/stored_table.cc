@@ -1,0 +1,256 @@
+#include "relational/stored_table.h"
+
+#include <bit>
+
+namespace statdb {
+
+Status StoredRowTable::Append(const Row& row) {
+  if (row.size() != schema_.size()) {
+    return InvalidArgumentError("row arity does not match schema");
+  }
+  std::vector<uint8_t> bytes = SerializeRow(row);
+  STATDB_ASSIGN_OR_RETURN(RecordId id, file_->Append(bytes));
+  (void)id;
+  return Status::OK();
+}
+
+Status StoredRowTable::LoadFrom(const Table& t) {
+  if (!(t.schema() == schema_)) {
+    return InvalidArgumentError("schema mismatch in LoadFrom");
+  }
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    std::vector<uint8_t> bytes = SerializeRow(t.GetRow(r));
+    STATDB_ASSIGN_OR_RETURN(RecordId id, file_->Append(bytes));
+    (void)id;
+  }
+  return Status::OK();
+}
+
+Status StoredRowTable::Scan(
+    const std::function<Status(const Row&)>& fn) const {
+  return file_->Scan(
+      [&fn](RecordId, const uint8_t* data, uint16_t len) -> Status {
+        STATDB_ASSIGN_OR_RETURN(Row row, DeserializeRow(data, len));
+        return fn(row);
+      });
+}
+
+Result<Table> StoredRowTable::ReadAll() const {
+  Table t(schema_);
+  STATDB_RETURN_IF_ERROR(Scan([&t](const Row& row) -> Status {
+    return t.AppendRow(row);
+  }));
+  return t;
+}
+
+Result<Row> StoredRowTable::ReadRecord(RecordId id) const {
+  STATDB_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, file_->Read(id));
+  return DeserializeRow(bytes.data(), bytes.size());
+}
+
+TransposedTable::TransposedTable(Schema schema, BufferPool* pool)
+    : schema_(std::move(schema)), pool_(pool) {
+  columns_.resize(schema_.size());
+  for (auto& c : columns_) {
+    c.file = std::make_unique<ColumnFile>(pool_);
+  }
+}
+
+size_t TransposedTable::page_count() const {
+  size_t total = 0;
+  for (const auto& c : columns_) total += c.file->page_count();
+  return total;
+}
+
+Result<int64_t> TransposedTable::EncodeCell(size_t col, const Value& v) {
+  switch (schema_.attr(col).type) {
+    case DataType::kInt64:
+      return v.ToInt();
+    case DataType::kDouble: {
+      STATDB_ASSIGN_OR_RETURN(double d, v.ToDouble());
+      return std::bit_cast<int64_t>(d);
+    }
+    case DataType::kString: {
+      if (v.type() != DataType::kString) {
+        return InvalidArgumentError("expected string cell");
+      }
+      ColumnStore& store = columns_[col];
+      auto it = store.codes.find(v.AsStr());
+      if (it != store.codes.end()) return it->second;
+      int64_t code = static_cast<int64_t>(store.labels.size());
+      store.labels.push_back(v.AsStr());
+      store.codes[v.AsStr()] = code;
+      return code;
+    }
+    default:
+      return InvalidArgumentError("cannot encode cell of this type");
+  }
+}
+
+Value TransposedTable::DecodeCell(size_t col,
+                                  std::optional<int64_t> raw) const {
+  if (!raw.has_value()) return Value::Null();
+  switch (schema_.attr(col).type) {
+    case DataType::kInt64:
+      return Value::Int(*raw);
+    case DataType::kDouble:
+      return Value::Real(std::bit_cast<double>(*raw));
+    case DataType::kString: {
+      const auto& labels = columns_[col].labels;
+      size_t idx = static_cast<size_t>(*raw);
+      if (idx < labels.size()) return Value::Str(labels[idx]);
+      return Value::Null();
+    }
+    default:
+      return Value::Null();
+  }
+}
+
+Status TransposedTable::Append(const Row& row) {
+  if (row.size() != schema_.size()) {
+    return InvalidArgumentError("row arity does not match schema");
+  }
+  for (size_t c = 0; c < row.size(); ++c) {
+    if (row[c].is_null()) {
+      STATDB_RETURN_IF_ERROR(columns_[c].file->Append(std::nullopt));
+    } else {
+      STATDB_ASSIGN_OR_RETURN(int64_t raw, EncodeCell(c, row[c]));
+      STATDB_RETURN_IF_ERROR(columns_[c].file->Append(raw));
+    }
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Status TransposedTable::LoadFrom(const Table& t) {
+  if (!(t.schema() == schema_)) {
+    return InvalidArgumentError("schema mismatch in LoadFrom");
+  }
+  if (num_rows_ != 0) {
+    return FailedPreconditionError("bulk load into a non-empty table");
+  }
+  // Load column-at-a-time so each ColumnFile occupies a contiguous page
+  // range on the device — the physical property that makes transposed
+  // scans sequential (§2.6). Row-at-a-time Append would interleave the
+  // columns' pages and turn every column scan into a seek storm.
+  for (size_t c = 0; c < schema_.size(); ++c) {
+    const std::vector<Value>& col = t.Column(c);
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      if (col[r].is_null()) {
+        STATDB_RETURN_IF_ERROR(columns_[c].file->Append(std::nullopt));
+      } else {
+        STATDB_ASSIGN_OR_RETURN(int64_t raw, EncodeCell(c, col[r]));
+        STATDB_RETURN_IF_ERROR(columns_[c].file->Append(raw));
+      }
+    }
+  }
+  num_rows_ = t.num_rows();
+  return Status::OK();
+}
+
+Result<std::vector<Value>> TransposedTable::ReadColumn(
+    const std::string& name) const {
+  STATDB_ASSIGN_OR_RETURN(size_t col, schema_.IndexOf(name));
+  std::vector<Value> out;
+  out.reserve(num_rows_);
+  STATDB_RETURN_IF_ERROR(columns_[col].file->Scan(
+      [this, col, &out](uint64_t, std::optional<int64_t> raw) -> Status {
+        out.push_back(DecodeCell(col, raw));
+        return Status::OK();
+      }));
+  return out;
+}
+
+Result<std::vector<double>> TransposedTable::ReadNumericColumn(
+    const std::string& name) const {
+  STATDB_ASSIGN_OR_RETURN(size_t col, schema_.IndexOf(name));
+  DataType t = schema_.attr(col).type;
+  if (t != DataType::kInt64 && t != DataType::kDouble) {
+    return InvalidArgumentError("column is not numeric: " + name);
+  }
+  std::vector<double> out;
+  out.reserve(num_rows_);
+  STATDB_RETURN_IF_ERROR(columns_[col].file->Scan(
+      [t, &out](uint64_t, std::optional<int64_t> raw) -> Status {
+        if (raw.has_value()) {
+          out.push_back(t == DataType::kInt64
+                            ? static_cast<double>(*raw)
+                            : std::bit_cast<double>(*raw));
+        }
+        return Status::OK();
+      }));
+  return out;
+}
+
+Result<Row> TransposedTable::ReadRow(uint64_t row) const {
+  if (row >= num_rows_) {
+    return OutOfRangeError("row index out of range");
+  }
+  Row out;
+  out.reserve(schema_.size());
+  for (size_t c = 0; c < schema_.size(); ++c) {
+    STATDB_ASSIGN_OR_RETURN(std::optional<int64_t> raw,
+                            columns_[c].file->Get(row));
+    out.push_back(DecodeCell(c, raw));
+  }
+  return out;
+}
+
+Result<Value> TransposedTable::ReadCell(uint64_t row,
+                                        const std::string& col) const {
+  STATDB_ASSIGN_OR_RETURN(size_t c, schema_.IndexOf(col));
+  if (row >= num_rows_) {
+    return OutOfRangeError("row index out of range");
+  }
+  STATDB_ASSIGN_OR_RETURN(std::optional<int64_t> raw, columns_[c].file->Get(row));
+  return DecodeCell(c, raw);
+}
+
+Status TransposedTable::WriteCell(uint64_t row, const std::string& col,
+                                  const Value& v) {
+  STATDB_ASSIGN_OR_RETURN(size_t c, schema_.IndexOf(col));
+  if (row >= num_rows_) {
+    return OutOfRangeError("row index out of range");
+  }
+  if (v.is_null()) {
+    return columns_[c].file->Set(row, std::nullopt);
+  }
+  STATDB_ASSIGN_OR_RETURN(int64_t raw, EncodeCell(c, v));
+  return columns_[c].file->Set(row, raw);
+}
+
+Status TransposedTable::AddColumn(const Attribute& attr) {
+  if (schema_.Contains(attr.name)) {
+    return AlreadyExistsError("column already exists: " + attr.name);
+  }
+  schema_.Add(attr);
+  ColumnStore store;
+  store.file = std::make_unique<ColumnFile>(pool_);
+  for (uint64_t i = 0; i < num_rows_; ++i) {
+    STATDB_RETURN_IF_ERROR(store.file->Append(std::nullopt));
+  }
+  columns_.push_back(std::move(store));
+  return Status::OK();
+}
+
+Result<Table> TransposedTable::ReadAll() const {
+  Table t(schema_);
+  std::vector<std::vector<Value>> cols;
+  cols.reserve(schema_.size());
+  for (size_t c = 0; c < schema_.size(); ++c) {
+    STATDB_ASSIGN_OR_RETURN(std::vector<Value> col,
+                            ReadColumn(schema_.attr(c).name));
+    cols.push_back(std::move(col));
+  }
+  for (uint64_t r = 0; r < num_rows_; ++r) {
+    Row row;
+    row.reserve(schema_.size());
+    for (size_t c = 0; c < schema_.size(); ++c) {
+      row.push_back(cols[c][r]);
+    }
+    STATDB_RETURN_IF_ERROR(t.AppendRow(std::move(row)));
+  }
+  return t;
+}
+
+}  // namespace statdb

@@ -1,0 +1,112 @@
+#ifndef STATDB_RELATIONAL_STORED_TABLE_H_
+#define STATDB_RELATIONAL_STORED_TABLE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relational/table.h"
+#include "storage/buffer_pool.h"
+#include "storage/column_file.h"
+#include "storage/row_file.h"
+
+namespace statdb {
+
+/// A table persisted row-at-a-time in a heap file (NSM). This is the
+/// layout of the *raw database on tape* and the baseline the paper's
+/// transposed-file argument (§2.6) is measured against.
+class StoredRowTable {
+ public:
+  StoredRowTable(Schema schema, BufferPool* pool)
+      : schema_(std::move(schema)), file_(std::make_unique<RowFile>(pool)) {}
+
+  const Schema& schema() const { return schema_; }
+  uint64_t num_rows() const { return file_->record_count(); }
+  size_t page_count() const { return file_->page_count(); }
+
+  Status Append(const Row& row);
+
+  /// Bulk-loads every row of `t` (schemas must match).
+  Status LoadFrom(const Table& t);
+
+  /// Sequential scan in file order; rows are deserialized per record —
+  /// every page of the file is touched even if `fn` uses one column.
+  Status Scan(const std::function<Status(const Row&)>& fn) const;
+
+  /// Reads the whole table back into memory.
+  Result<Table> ReadAll() const;
+
+  /// Point read of one record — touches exactly one page, the access
+  /// pattern row stores are good at (E3).
+  Result<Row> ReadRecord(RecordId id) const;
+
+ private:
+  Schema schema_;
+  std::unique_ptr<RowFile> file_;
+};
+
+/// A table persisted as a transposed (fully inverted / DSM) file: one
+/// ColumnFile per attribute (§2.6, RAPID/ALDS style). Statistical
+/// operations touching k of m columns read only k column files; an
+/// "informational" whole-row read touches one page in every column file.
+///
+/// Strings are dictionary-encoded per column (code + per-table code list),
+/// mirroring the paper's observation that statistical data is stored
+/// encoded (§2.1).
+class TransposedTable {
+ public:
+  TransposedTable(Schema schema, BufferPool* pool);
+
+  const Schema& schema() const { return schema_; }
+  uint64_t num_rows() const { return num_rows_; }
+  size_t page_count() const;
+
+  Status Append(const Row& row);
+  Status LoadFrom(const Table& t);
+
+  /// Reads one full column as Values (decoding the dictionary).
+  Result<std::vector<Value>> ReadColumn(const std::string& name) const;
+
+  /// Non-null numeric cells of a column as doubles.
+  Result<std::vector<double>> ReadNumericColumn(const std::string& name) const;
+
+  /// Reads one row — the access pattern transposed files are bad at.
+  Result<Row> ReadRow(uint64_t row) const;
+
+  /// Reads one cell.
+  Result<Value> ReadCell(uint64_t row, const std::string& col) const;
+
+  /// Overwrites one cell (null = mark missing).
+  Status WriteCell(uint64_t row, const std::string& col, const Value& v);
+
+  /// Appends a new attribute whose cells are all null (derived columns
+  /// are added during analysis, §2.2).
+  Status AddColumn(const Attribute& attr);
+
+  /// Reads the whole table back into memory.
+  Result<Table> ReadAll() const;
+
+ private:
+  struct ColumnStore {
+    std::unique_ptr<ColumnFile> file;
+    // Dictionary for string columns: code -> label and label -> code.
+    std::vector<std::string> labels;
+    std::unordered_map<std::string, int64_t> codes;
+  };
+
+  Result<int64_t> EncodeCell(size_t col, const Value& v);
+  Value DecodeCell(size_t col, std::optional<int64_t> raw) const;
+
+  Schema schema_;
+  BufferPool* pool_;
+  std::vector<ColumnStore> columns_;
+  uint64_t num_rows_ = 0;
+};
+
+}  // namespace statdb
+
+#endif  // STATDB_RELATIONAL_STORED_TABLE_H_

@@ -1,0 +1,71 @@
+#ifndef STATDB_RELATIONAL_TABLE_H_
+#define STATDB_RELATIONAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace statdb {
+
+/// One record of a data set.
+using Row = std::vector<Value>;
+
+/// In-memory, column-major table — the working representation relational
+/// operators and the statistics package consume. Persistent layouts (row
+/// files on tape, transposed files on disk) live in stored_table.h.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema)
+      : schema_(std::move(schema)), columns_(schema_.size()) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return columns_.empty() ? 0 : columns_[0].size(); }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Appends a row; its arity and types must match the schema (null is
+  /// accepted in any column as a missing value).
+  Status AppendRow(Row row);
+
+  /// Cell accessors.
+  const Value& At(size_t row, size_t col) const { return columns_[col][row]; }
+  Status SetCell(size_t row, size_t col, Value v);
+
+  Result<size_t> ColumnIndex(const std::string& name) const {
+    return schema_.IndexOf(name);
+  }
+
+  /// Whole column by index / name.
+  const std::vector<Value>& Column(size_t col) const { return columns_[col]; }
+  Result<const std::vector<Value>*> ColumnByName(const std::string& name) const;
+
+  /// Materializes row `row` (copies cells).
+  Row GetRow(size_t row) const;
+
+  /// Adds a new column filled with `fill` (default null).
+  Status AddColumn(Attribute attr, Value fill = Value::Null());
+
+  /// Extracts the non-null numeric values of a column as doubles —
+  /// the input shape every statistical function takes.
+  Result<std::vector<double>> NumericColumn(const std::string& name) const;
+
+  /// Pretty-prints up to `max_rows` rows (for examples and debugging).
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<Value>> columns_;
+};
+
+/// Serializes a row with the tagged on-page format used by RowFile-backed
+/// tables; DeserializeRow inverts it against the schema's arity.
+std::vector<uint8_t> SerializeRow(const Row& row);
+Result<Row> DeserializeRow(const uint8_t* data, size_t size);
+
+}  // namespace statdb
+
+#endif  // STATDB_RELATIONAL_TABLE_H_

@@ -1,0 +1,90 @@
+#ifndef STATDB_RULES_DERIVED_H_
+#define STATDB_RULES_DERIVED_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relational/expr.h"
+
+namespace statdb {
+
+/// How a derived column reacts when one of its inputs changes (§3.2's
+/// Management Database rules):
+///  - kLocal: "the effect of the update to the input attribute is
+///    'local', i.e., it will require the computation of only one value"
+///    (sum of three attributes, logarithm of an attribute);
+///  - kRegenerate: "updating even a single value in the attribute upon
+///    which the residuals depend requires regeneration of the entire
+///    vector (since the model may change)" — mark out of date, rebuild
+///    the whole column.
+enum class DerivedRuleKind : uint8_t {
+  kLocal = 0,
+  kRegenerate = 1,
+};
+
+/// Built-in whole-column generators for kRegenerate rules.
+enum class ColumnGenerator : uint8_t {
+  kNone = 0,
+  /// residuals of y ~ x: inputs = {x, y}.
+  kRegressionResiduals = 1,
+  /// z-scores of the input: inputs = {x}.
+  kZScores = 2,
+};
+
+/// Declaration of one derived column of a view.
+struct DerivedColumnDef {
+  std::string name;
+  DerivedRuleKind kind = DerivedRuleKind::kLocal;
+
+  /// kLocal: per-row expression (inputs inferred from the expression).
+  ExprPtr row_expr;
+
+  /// kRegenerate: which generator rebuilds the column, and its inputs.
+  ColumnGenerator generator = ColumnGenerator::kNone;
+  std::vector<std::string> generator_inputs;
+
+  /// Set when an input changed and the column has not been regenerated
+  /// yet ("or simply marking it as out of date", §3.2).
+  bool out_of_date = false;
+
+  /// Attributes whose updates affect this column.
+  std::vector<std::string> Inputs() const {
+    if (kind == DerivedRuleKind::kLocal && row_expr != nullptr) {
+      return row_expr->ReferencedColumns();
+    }
+    return generator_inputs;
+  }
+
+  static DerivedColumnDef Local(std::string name, ExprPtr expr) {
+    DerivedColumnDef d;
+    d.name = std::move(name);
+    d.kind = DerivedRuleKind::kLocal;
+    d.row_expr = std::move(expr);
+    return d;
+  }
+
+  static DerivedColumnDef Residuals(std::string name, std::string x,
+                                    std::string y) {
+    DerivedColumnDef d;
+    d.name = std::move(name);
+    d.kind = DerivedRuleKind::kRegenerate;
+    d.generator = ColumnGenerator::kRegressionResiduals;
+    d.generator_inputs = {std::move(x), std::move(y)};
+    return d;
+  }
+
+  static DerivedColumnDef ZScores(std::string name, std::string x) {
+    DerivedColumnDef d;
+    d.name = std::move(name);
+    d.kind = DerivedRuleKind::kRegenerate;
+    d.generator = ColumnGenerator::kZScores;
+    d.generator_inputs = {std::move(x)};
+    return d;
+  }
+};
+
+}  // namespace statdb
+
+#endif  // STATDB_RULES_DERIVED_H_

@@ -1,0 +1,47 @@
+#include "rules/update_history.h"
+
+namespace statdb {
+
+Status UpdateHistory::Append(UpdateLogEntry entry) {
+  if (entry.version <= latest_version()) {
+    return InvalidArgumentError("update log versions must increase");
+  }
+  entries_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+std::vector<const UpdateLogEntry*> UpdateHistory::EntriesSince(
+    uint64_t since) const {
+  std::vector<const UpdateLogEntry*> out;
+  for (const UpdateLogEntry& e : entries_) {
+    if (e.version > since) out.push_back(&e);
+  }
+  return out;
+}
+
+Status UpdateHistory::Rollback(
+    uint64_t target_version,
+    const std::function<Status(const CellChange&)>& undo_cell) {
+  // Undo newest-first; within an entry, cells are undone in reverse so
+  // chained updates of the same cell unwind correctly.
+  size_t keep = entries_.size();
+  for (size_t i = entries_.size(); i-- > 0;) {
+    if (entries_[i].version <= target_version) break;
+    const UpdateLogEntry& entry = entries_[i];
+    for (size_t c = entry.changes.size(); c-- > 0;) {
+      CellChange undo = entry.changes[c];
+      STATDB_RETURN_IF_ERROR(undo_cell(undo));
+    }
+    keep = i;
+  }
+  entries_.resize(keep);
+  return Status::OK();
+}
+
+uint64_t UpdateHistory::TotalCellChanges() const {
+  uint64_t total = 0;
+  for (const UpdateLogEntry& e : entries_) total += e.changes.size();
+  return total;
+}
+
+}  // namespace statdb

@@ -1,0 +1,31 @@
+#ifndef STATDB_STATS_CORRELATION_H_
+#define STATDB_STATS_CORRELATION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace statdb {
+
+/// Sample covariance of two equal-length columns (n-1 normalization).
+Result<double> Covariance(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Pearson correlation coefficient r in [-1, 1]. Errors on constant
+/// columns (zero variance) or mismatched lengths.
+Result<double> PearsonR(const std::vector<double>& x,
+                        const std::vector<double>& y);
+
+/// Spearman rank correlation: Pearson r of the rank transforms (ties get
+/// the average rank). Robust to the monotone-but-nonlinear relationships
+/// exploratory analysis looks for.
+Result<double> SpearmanRho(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+/// Average ranks (1-based) of `data`; ties share the mean rank.
+std::vector<double> AverageRanks(const std::vector<double>& data);
+
+}  // namespace statdb
+
+#endif  // STATDB_STATS_CORRELATION_H_

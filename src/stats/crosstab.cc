@@ -1,0 +1,78 @@
+#include "stats/crosstab.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace statdb {
+
+uint64_t CrossTab::Total() const {
+  uint64_t total = 0;
+  for (const auto& row : counts) {
+    for (uint64_t c : row) total += c;
+  }
+  return total;
+}
+
+std::vector<uint64_t> CrossTab::RowTotals() const {
+  std::vector<uint64_t> out(counts.size(), 0);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    for (uint64_t c : counts[i]) out[i] += c;
+  }
+  return out;
+}
+
+std::vector<uint64_t> CrossTab::ColTotals() const {
+  std::vector<uint64_t> out(col_labels.size(), 0);
+  for (const auto& row : counts) {
+    for (size_t j = 0; j < row.size(); ++j) out[j] += row[j];
+  }
+  return out;
+}
+
+std::string CrossTab::ToString() const {
+  std::ostringstream os;
+  os << "        ";
+  for (const Value& c : col_labels) os << c.ToString() << "\t";
+  os << "\n";
+  for (size_t i = 0; i < row_labels.size(); ++i) {
+    os << row_labels[i].ToString() << "\t";
+    for (uint64_t c : counts[i]) os << c << "\t";
+    os << "\n";
+  }
+  return os.str();
+}
+
+Result<CrossTab> BuildCrossTab(const Table& t, const std::string& attr_a,
+                               const std::string& attr_b) {
+  STATDB_ASSIGN_OR_RETURN(size_t ia, t.schema().IndexOf(attr_a));
+  STATDB_ASSIGN_OR_RETURN(size_t ib, t.schema().IndexOf(attr_b));
+  std::map<Value, size_t> rows, cols;  // sorted label -> index
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    const Value& a = t.At(r, ia);
+    const Value& b = t.At(r, ib);
+    if (a.is_null() || b.is_null()) continue;
+    rows.emplace(a, 0);
+    cols.emplace(b, 0);
+  }
+  CrossTab ct;
+  for (auto& [label, idx] : rows) {
+    idx = ct.row_labels.size();
+    ct.row_labels.push_back(label);
+  }
+  for (auto& [label, idx] : cols) {
+    idx = ct.col_labels.size();
+    ct.col_labels.push_back(label);
+  }
+  ct.counts.assign(ct.row_labels.size(),
+                   std::vector<uint64_t>(ct.col_labels.size(), 0));
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    const Value& a = t.At(r, ia);
+    const Value& b = t.At(r, ib);
+    if (a.is_null() || b.is_null()) continue;
+    ++ct.counts[rows[a]][cols[b]];
+  }
+  return ct;
+}
+
+}  // namespace statdb

@@ -1,0 +1,35 @@
+#ifndef STATDB_STATS_CROSSTAB_H_
+#define STATDB_STATS_CROSSTAB_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relational/table.h"
+
+namespace statdb {
+
+/// Contingency table of two category attributes — the input to the
+/// confirmatory-phase chi-squared independence test ("is the proportion
+/// of people who live past 40 dependent on race?", §2.2).
+struct CrossTab {
+  std::vector<Value> row_labels;
+  std::vector<Value> col_labels;
+  /// counts[i][j] = #rows with (row_labels[i], col_labels[j]).
+  std::vector<std::vector<uint64_t>> counts;
+
+  uint64_t Total() const;
+  std::vector<uint64_t> RowTotals() const;
+  std::vector<uint64_t> ColTotals() const;
+  std::string ToString() const;
+};
+
+/// Builds the contingency table of t[attr_a] x t[attr_b]. Rows where
+/// either cell is null are skipped. Labels are sorted.
+Result<CrossTab> BuildCrossTab(const Table& t, const std::string& attr_a,
+                               const std::string& attr_b);
+
+}  // namespace statdb
+
+#endif  // STATDB_STATS_CROSSTAB_H_

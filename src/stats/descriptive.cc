@@ -1,0 +1,94 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace statdb {
+
+double DescriptiveStats::Variance() const {
+  return count < 2 ? 0.0 : m2 / double(count - 1);
+}
+
+double DescriptiveStats::StdDev() const { return std::sqrt(Variance()); }
+
+DescriptiveStats ComputeDescriptive(const std::vector<double>& data) {
+  DescriptiveStats s;
+  for (double x : data) {
+    ++s.count;
+    s.sum += x;
+    double delta = x - s.mean;
+    s.mean += delta / double(s.count);
+    s.m2 += delta * (x - s.mean);
+    if (s.count == 1) {
+      s.min = s.max = x;
+    } else {
+      s.min = std::min(s.min, x);
+      s.max = std::max(s.max, x);
+    }
+  }
+  return s;
+}
+
+namespace {
+Status RequireNonEmpty(const std::vector<double>& data) {
+  if (data.empty()) {
+    return InvalidArgumentError("statistic of an empty column");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Result<double> Min(const std::vector<double>& data) {
+  STATDB_RETURN_IF_ERROR(RequireNonEmpty(data));
+  return *std::min_element(data.begin(), data.end());
+}
+
+Result<double> Max(const std::vector<double>& data) {
+  STATDB_RETURN_IF_ERROR(RequireNonEmpty(data));
+  return *std::max_element(data.begin(), data.end());
+}
+
+Result<double> Mean(const std::vector<double>& data) {
+  STATDB_RETURN_IF_ERROR(RequireNonEmpty(data));
+  return ComputeDescriptive(data).mean;
+}
+
+Result<double> Variance(const std::vector<double>& data) {
+  STATDB_RETURN_IF_ERROR(RequireNonEmpty(data));
+  return ComputeDescriptive(data).Variance();
+}
+
+Result<double> StdDev(const std::vector<double>& data) {
+  STATDB_RETURN_IF_ERROR(RequireNonEmpty(data));
+  return ComputeDescriptive(data).StdDev();
+}
+
+double Sum(const std::vector<double>& data) {
+  double s = 0;
+  for (double x : data) s += x;
+  return s;
+}
+
+Result<double> Mode(const std::vector<double>& data) {
+  STATDB_RETURN_IF_ERROR(RequireNonEmpty(data));
+  std::map<double, uint64_t> freq;
+  for (double x : data) ++freq[x];
+  double best = data[0];
+  uint64_t best_count = 0;
+  for (const auto& [value, count] : freq) {
+    if (count > best_count) {
+      best = value;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+uint64_t CountDistinct(const std::vector<double>& data) {
+  std::vector<double> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  return std::unique(sorted.begin(), sorted.end()) - sorted.begin();
+}
+
+}  // namespace statdb

@@ -1,0 +1,49 @@
+#ifndef STATDB_STATS_DESCRIPTIVE_H_
+#define STATDB_STATS_DESCRIPTIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace statdb {
+
+/// Sufficient statistics of a numeric column in one pass (Welford).
+/// These are exactly the quantities the finite-differencing maintainers
+/// carry, so "recompute from scratch" and "maintain incrementally" agree
+/// bit-for-bit on count/sum/mean and to rounding on variance.
+struct DescriptiveStats {
+  uint64_t count = 0;
+  double sum = 0;
+  double mean = 0;
+  double m2 = 0;  // sum of squared deviations from the running mean
+  double min = 0;
+  double max = 0;
+
+  /// Sample variance (n-1); 0 when count < 2.
+  double Variance() const;
+  double StdDev() const;
+};
+
+/// One-pass descriptive statistics. Empty input yields count == 0 and
+/// zeroed fields (valid — exploration starts before data is clean).
+DescriptiveStats ComputeDescriptive(const std::vector<double>& data);
+
+/// Single-statistic helpers (each scans the data once).
+Result<double> Min(const std::vector<double>& data);
+Result<double> Max(const std::vector<double>& data);
+Result<double> Mean(const std::vector<double>& data);
+Result<double> Variance(const std::vector<double>& data);
+Result<double> StdDev(const std::vector<double>& data);
+double Sum(const std::vector<double>& data);
+
+/// Most frequent value; ties break toward the smaller value.
+Result<double> Mode(const std::vector<double>& data);
+
+/// Number of distinct values.
+uint64_t CountDistinct(const std::vector<double>& data);
+
+}  // namespace statdb
+
+#endif  // STATDB_STATS_DESCRIPTIVE_H_

@@ -1,0 +1,150 @@
+#include "stats/distributions.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace statdb {
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double NormalCdf(double x, double mean, double stddev) {
+  return NormalCdf((x - mean) / stddev);
+}
+
+namespace {
+
+// Lanczos-free: use std::lgamma from <cmath>.
+
+// Series representation of P(a,x), converges quickly for x < a+1.
+Result<double> GammaPSeries(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int i = 0; i < 500; ++i) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::abs(del) < std::abs(sum) * 1e-15) {
+      return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+    }
+  }
+  return InternalError("incomplete gamma series failed to converge");
+}
+
+// Continued-fraction representation of Q(a,x), for x >= a+1 (Lentz).
+Result<double> GammaQContinuedFraction(double a, double x) {
+  const double tiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    double an = -double(i) * (double(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::abs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < 1e-15) {
+      return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+    }
+  }
+  return InternalError("incomplete gamma continued fraction failed");
+}
+
+}  // namespace
+
+Result<double> RegularizedGammaP(double a, double x) {
+  if (a <= 0.0 || x < 0.0) {
+    return InvalidArgumentError("RegularizedGammaP domain error");
+  }
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) {
+    return GammaPSeries(a, x);
+  }
+  STATDB_ASSIGN_OR_RETURN(double q, GammaQContinuedFraction(a, x));
+  return 1.0 - q;
+}
+
+Result<double> ChiSquaredCdf(double x, double dof) {
+  if (dof <= 0.0) {
+    return InvalidArgumentError("chi-squared dof must be positive");
+  }
+  if (x <= 0.0) return 0.0;
+  return RegularizedGammaP(dof / 2.0, x / 2.0);
+}
+
+Result<double> ChiSquaredPValue(double stat, double dof) {
+  STATDB_ASSIGN_OR_RETURN(double cdf, ChiSquaredCdf(stat, dof));
+  return 1.0 - cdf;
+}
+
+namespace {
+
+// Continued fraction for the incomplete beta function (Lentz).
+Result<double> BetaContinuedFraction(double x, double a, double b) {
+  const double tiny = 1e-300;
+  double qab = a + b, qap = a + 1.0, qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < tiny) d = tiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= 300; ++m) {
+    double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < tiny) d = tiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < tiny) d = tiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < 1e-14) return h;
+  }
+  return InternalError("incomplete beta failed to converge");
+}
+
+}  // namespace
+
+Result<double> RegularizedBeta(double x, double a, double b) {
+  if (a <= 0.0 || b <= 0.0 || x < 0.0 || x > 1.0) {
+    return InvalidArgumentError("RegularizedBeta domain error");
+  }
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  double front = std::exp(std::lgamma(a + b) - std::lgamma(a) -
+                          std::lgamma(b) + a * std::log(x) +
+                          b * std::log(1.0 - x));
+  // Use the continued fraction in its fast-converging region.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    STATDB_ASSIGN_OR_RETURN(double cf, BetaContinuedFraction(x, a, b));
+    return front * cf / a;
+  }
+  STATDB_ASSIGN_OR_RETURN(double cf,
+                          BetaContinuedFraction(1.0 - x, b, a));
+  return 1.0 - front * cf / b;
+}
+
+Result<double> StudentTCdf(double t, double dof) {
+  if (dof <= 0.0) {
+    return InvalidArgumentError("Student-t dof must be positive");
+  }
+  double x = dof / (dof + t * t);
+  STATDB_ASSIGN_OR_RETURN(double ib,
+                          RegularizedBeta(x, dof / 2.0, 0.5));
+  return t >= 0.0 ? 1.0 - 0.5 * ib : 0.5 * ib;
+}
+
+}  // namespace statdb

@@ -1,0 +1,31 @@
+#ifndef STATDB_STATS_DISTRIBUTIONS_H_
+#define STATDB_STATS_DISTRIBUTIONS_H_
+
+#include "common/result.h"
+
+namespace statdb {
+
+/// CDF of the standard normal distribution.
+double NormalCdf(double x);
+/// CDF of N(mean, stddev^2).
+double NormalCdf(double x, double mean, double stddev);
+
+/// Regularized lower incomplete gamma P(a, x), a > 0, x >= 0.
+/// Series expansion for x < a+1, continued fraction otherwise.
+Result<double> RegularizedGammaP(double a, double x);
+
+/// CDF of the chi-squared distribution with `dof` degrees of freedom.
+Result<double> ChiSquaredCdf(double x, double dof);
+
+/// Upper-tail p-value of a chi-squared statistic.
+Result<double> ChiSquaredPValue(double stat, double dof);
+
+/// Regularized incomplete beta function I_x(a, b), 0 <= x <= 1.
+Result<double> RegularizedBeta(double x, double a, double b);
+
+/// CDF of Student's t distribution with `dof` degrees of freedom.
+Result<double> StudentTCdf(double t, double dof);
+
+}  // namespace statdb
+
+#endif  // STATDB_STATS_DISTRIBUTIONS_H_

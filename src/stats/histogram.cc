@@ -1,0 +1,82 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "stats/descriptive.h"
+
+namespace statdb {
+
+uint64_t Histogram::TotalCount() const {
+  uint64_t total = below + above;
+  for (uint64_t c : counts) total += c;
+  return total;
+}
+
+int Histogram::BucketOf(double x) const {
+  if (edges.size() < 2) return -1;
+  double lo = edges.front(), hi = edges.back();
+  if (x < lo || x > hi) return -1;
+  if (x == hi) return static_cast<int>(counts.size()) - 1;
+  double width = (hi - lo) / double(counts.size());
+  int idx = static_cast<int>((x - lo) / width);
+  return std::min<int>(idx, static_cast<int>(counts.size()) - 1);
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  uint64_t max_count = 1;
+  for (uint64_t c : counts) max_count = std::max(max_count, c);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    os << "[" << edges[i] << ", " << edges[i + 1] << ") " << counts[i] << " ";
+    size_t bar = static_cast<size_t>(40.0 * double(counts[i]) /
+                                     double(max_count));
+    os << std::string(bar, '#') << "\n";
+  }
+  if (below > 0) os << "(below range: " << below << ")\n";
+  if (above > 0) os << "(above range: " << above << ")\n";
+  return os.str();
+}
+
+Result<Histogram> BuildHistogram(const std::vector<double>& data,
+                                 size_t buckets, double lo, double hi) {
+  if (buckets == 0) {
+    return InvalidArgumentError("histogram needs at least one bucket");
+  }
+  if (!(lo < hi)) {
+    return InvalidArgumentError("histogram range is empty");
+  }
+  Histogram h;
+  h.edges.resize(buckets + 1);
+  double width = (hi - lo) / double(buckets);
+  for (size_t i = 0; i <= buckets; ++i) {
+    h.edges[i] = lo + width * double(i);
+  }
+  h.edges.back() = hi;  // avoid FP drift at the top edge
+  h.counts.assign(buckets, 0);
+  for (double x : data) {
+    if (x < lo) {
+      ++h.below;
+    } else if (x > hi) {
+      ++h.above;
+    } else {
+      int b = h.BucketOf(x);
+      ++h.counts[static_cast<size_t>(b)];
+    }
+  }
+  return h;
+}
+
+Result<Histogram> BuildHistogramAuto(const std::vector<double>& data,
+                                     size_t buckets) {
+  if (data.empty()) {
+    return InvalidArgumentError("histogram of an empty column");
+  }
+  STATDB_ASSIGN_OR_RETURN(double lo, Min(data));
+  STATDB_ASSIGN_OR_RETURN(double hi, Max(data));
+  if (lo == hi) hi = lo + 1.0;  // degenerate constant column
+  return BuildHistogram(data, buckets, lo, hi);
+}
+
+}  // namespace statdb

@@ -1,0 +1,117 @@
+#include "stats/multiple_regression.h"
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace statdb {
+
+double MultipleFit::Predict(const std::vector<double>& x) const {
+  double y = coefficients.empty() ? 0.0 : coefficients[0];
+  for (size_t i = 0; i + 1 < coefficients.size() && i < x.size(); ++i) {
+    y += coefficients[i + 1] * x[i];
+  }
+  return y;
+}
+
+namespace {
+
+/// Solves A b = rhs in place (A is (k x k) row-major, symmetric positive
+/// definite in the OLS case). Gaussian elimination, partial pivoting.
+Status SolveLinearSystem(std::vector<std::vector<double>>& a,
+                         std::vector<double>& rhs) {
+  size_t k = rhs.size();
+  for (size_t col = 0; col < k; ++col) {
+    // Pivot.
+    size_t pivot = col;
+    for (size_t r = col + 1; r < k; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    if (std::abs(a[pivot][col]) < 1e-12) {
+      return InvalidArgumentError(
+          "singular design matrix (collinear or constant predictors)");
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(rhs[col], rhs[pivot]);
+    // Eliminate below.
+    for (size_t r = col + 1; r < k; ++r) {
+      double f = a[r][col] / a[col][col];
+      for (size_t c = col; c < k; ++c) a[r][c] -= f * a[col][c];
+      rhs[r] -= f * rhs[col];
+    }
+  }
+  // Back substitution.
+  for (size_t col = k; col-- > 0;) {
+    for (size_t c = col + 1; c < k; ++c) {
+      rhs[col] -= a[col][c] * rhs[c];
+    }
+    rhs[col] /= a[col][col];
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<MultipleFit> FitMultipleLinear(
+    const std::vector<std::vector<double>>& predictors,
+    const std::vector<double>& y) {
+  size_t n = y.size();
+  size_t k = predictors.size() + 1;  // +1 for the intercept
+  if (n <= k) {
+    return InvalidArgumentError("regression needs more points than terms");
+  }
+  for (const auto& col : predictors) {
+    if (col.size() != n) {
+      return InvalidArgumentError("ragged predictor columns");
+    }
+  }
+  // Design row: (1, x1, ..., xk-1). Accumulate X^T X and X^T y.
+  std::vector<std::vector<double>> xtx(k, std::vector<double>(k, 0.0));
+  std::vector<double> xty(k, 0.0);
+  std::vector<double> row(k, 1.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 1; j < k; ++j) row[j] = predictors[j - 1][i];
+    for (size_t a = 0; a < k; ++a) {
+      xty[a] += row[a] * y[i];
+      for (size_t b = 0; b < k; ++b) xtx[a][b] += row[a] * row[b];
+    }
+  }
+  STATDB_RETURN_IF_ERROR(SolveLinearSystem(xtx, xty));
+
+  MultipleFit fit;
+  fit.coefficients = std::move(xty);
+  fit.n = n;
+  double my = ComputeDescriptive(y).mean;
+  double ss_res = 0, ss_tot = 0;
+  std::vector<double> x(k - 1);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j + 1 < k; ++j) x[j] = predictors[j][i];
+    double r = y[i] - fit.Predict(x);
+    ss_res += r * r;
+    ss_tot += (y[i] - my) * (y[i] - my);
+  }
+  fit.r_squared = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  fit.residual_stddev = std::sqrt(ss_res / double(n - k));
+  return fit;
+}
+
+Result<std::vector<double>> MultipleResiduals(
+    const std::vector<std::vector<double>>& predictors,
+    const std::vector<double>& y, const MultipleFit& fit) {
+  size_t n = y.size();
+  for (const auto& col : predictors) {
+    if (col.size() != n) {
+      return InvalidArgumentError("ragged predictor columns");
+    }
+  }
+  std::vector<double> out;
+  out.reserve(n);
+  std::vector<double> x(predictors.size());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < predictors.size(); ++j) x[j] = predictors[j][i];
+    out.push_back(y[i] - fit.Predict(x));
+  }
+  return out;
+}
+
+}  // namespace statdb

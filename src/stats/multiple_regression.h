@@ -1,0 +1,39 @@
+#ifndef STATDB_STATS_MULTIPLE_REGRESSION_H_
+#define STATDB_STATS_MULTIPLE_REGRESSION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace statdb {
+
+/// Ordinary-least-squares fit of y = b0 + b1*x1 + ... + bk*xk — the
+/// multivariate model whose residual vector is the paper's canonical
+/// derived column (§3.2).
+struct MultipleFit {
+  /// coefficients[0] is the intercept; [i] multiplies predictor i-1.
+  std::vector<double> coefficients;
+  double r_squared = 0;
+  double residual_stddev = 0;
+  size_t n = 0;
+
+  double Predict(const std::vector<double>& x) const;
+};
+
+/// Fits y on the predictor columns (each of length n). Solves the normal
+/// equations by Gaussian elimination with partial pivoting; errors on
+/// singular designs (collinear or constant predictors), n <= k, or
+/// ragged inputs.
+Result<MultipleFit> FitMultipleLinear(
+    const std::vector<std::vector<double>>& predictors,
+    const std::vector<double>& y);
+
+/// Residuals of a multiple fit.
+Result<std::vector<double>> MultipleResiduals(
+    const std::vector<std::vector<double>>& predictors,
+    const std::vector<double>& y, const MultipleFit& fit);
+
+}  // namespace statdb
+
+#endif  // STATDB_STATS_MULTIPLE_REGRESSION_H_

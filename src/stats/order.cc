@@ -1,0 +1,86 @@
+#include "stats/order.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace statdb {
+
+namespace {
+
+double QuantileOfSorted(const std::vector<double>& sorted, double p) {
+  size_t n = sorted.size();
+  if (n == 1) return sorted[0];
+  double h = p * double(n - 1);
+  size_t lo = static_cast<size_t>(std::floor(h));
+  size_t hi = std::min(lo + 1, n - 1);
+  double frac = h - double(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+Result<double> Median(const std::vector<double>& data) {
+  return Quantile(data, 0.5);
+}
+
+Result<double> Quantile(const std::vector<double>& data, double p) {
+  if (data.empty()) {
+    return InvalidArgumentError("quantile of an empty column");
+  }
+  if (p < 0.0 || p > 1.0) {
+    return InvalidArgumentError("quantile probability out of [0,1]");
+  }
+  std::vector<double> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  return QuantileOfSorted(sorted, p);
+}
+
+Result<std::vector<double>> Quantiles(const std::vector<double>& data,
+                                      const std::vector<double>& ps) {
+  if (data.empty()) {
+    return InvalidArgumentError("quantile of an empty column");
+  }
+  std::vector<double> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(ps.size());
+  for (double p : ps) {
+    if (p < 0.0 || p > 1.0) {
+      return InvalidArgumentError("quantile probability out of [0,1]");
+    }
+    out.push_back(QuantileOfSorted(sorted, p));
+  }
+  return out;
+}
+
+Result<double> TrimmedMean(const std::vector<double>& data, double lo,
+                           double hi) {
+  if (lo < 0.0 || hi > 1.0 || lo >= hi) {
+    return InvalidArgumentError("bad trim bounds");
+  }
+  STATDB_ASSIGN_OR_RETURN(std::vector<double> bounds,
+                          Quantiles(data, {lo, hi}));
+  double sum = 0;
+  size_t count = 0;
+  for (double x : data) {
+    if (x >= bounds[0] && x <= bounds[1]) {
+      sum += x;
+      ++count;
+    }
+  }
+  if (count == 0) {
+    return InvalidArgumentError("trim bounds exclude all data");
+  }
+  return sum / double(count);
+}
+
+Result<double> KthSmallest(const std::vector<double>& data, size_t k) {
+  if (k >= data.size()) {
+    return OutOfRangeError("order statistic index out of range");
+  }
+  std::vector<double> copy = data;
+  std::nth_element(copy.begin(), copy.begin() + k, copy.end());
+  return copy[k];
+}
+
+}  // namespace statdb

@@ -1,0 +1,37 @@
+#ifndef STATDB_STATS_ORDER_H_
+#define STATDB_STATS_ORDER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace statdb {
+
+/// Order statistics — the functions the paper singles out as hard to
+/// maintain incrementally because they "reflect an ordering on the input
+/// data" (§4.2). The histogram-window maintainer in rules/ is the paper's
+/// answer; these are the ground-truth full computations.
+
+/// Median (average of the two middle elements for even n).
+Result<double> Median(const std::vector<double>& data);
+
+/// Quantile with linear interpolation between order statistics (R type 7).
+/// p in [0,1]; p=0 → min, p=1 → max.
+Result<double> Quantile(const std::vector<double>& data, double p);
+
+/// Several quantiles sharing one sort.
+Result<std::vector<double>> Quantiles(const std::vector<double>& data,
+                                      const std::vector<double>& ps);
+
+/// Mean of the values within [Quantile(lo), Quantile(hi)] — e.g. the
+/// 5%-95% trimmed mean of §3.1.
+Result<double> TrimmedMean(const std::vector<double>& data, double lo,
+                           double hi);
+
+/// k-th smallest, 0-based, via quickselect (no full sort).
+Result<double> KthSmallest(const std::vector<double>& data, size_t k);
+
+}  // namespace statdb
+
+#endif  // STATDB_STATS_ORDER_H_

@@ -1,0 +1,42 @@
+#include "stats/outliers.h"
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace statdb {
+
+std::vector<size_t> RangeCheckViolations(const std::vector<double>& data,
+                                         double lo, double hi) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (data[i] < lo || data[i] > hi) out.push_back(i);
+  }
+  return out;
+}
+
+Result<std::vector<size_t>> ZScoreOutliers(const std::vector<double>& data,
+                                           double k) {
+  if (data.size() < 2) {
+    return InvalidArgumentError("z-score outliers need >= 2 points");
+  }
+  if (k <= 0) {
+    return InvalidArgumentError("k must be positive");
+  }
+  DescriptiveStats s = ComputeDescriptive(data);
+  double sd = s.StdDev();
+  std::vector<size_t> out;
+  if (sd == 0.0) return out;  // constant column: nothing is an outlier
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (std::abs(data[i] - s.mean) > k * sd) out.push_back(i);
+  }
+  return out;
+}
+
+Result<uint64_t> CountOutsideKSigma(const std::vector<double>& data,
+                                    double k) {
+  STATDB_ASSIGN_OR_RETURN(std::vector<size_t> idx, ZScoreOutliers(data, k));
+  return static_cast<uint64_t>(idx.size());
+}
+
+}  // namespace statdb

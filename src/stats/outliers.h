@@ -1,0 +1,28 @@
+#ifndef STATDB_STATS_OUTLIERS_H_
+#define STATDB_STATS_OUTLIERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace statdb {
+
+/// Indices of values outside [lo, hi] — the range check the exploratory
+/// phase runs on every attribute (§2.2: "ensure that all income values
+/// were within some reasonable range").
+std::vector<size_t> RangeCheckViolations(const std::vector<double>& data,
+                                         double lo, double hi);
+
+/// Indices of values farther than k standard deviations from the mean —
+/// §3.1's "count the number of values outside M ± k*SD".
+Result<std::vector<size_t>> ZScoreOutliers(const std::vector<double>& data,
+                                           double k);
+
+/// Count of values outside mean ± k*stddev (no index materialization).
+Result<uint64_t> CountOutsideKSigma(const std::vector<double>& data, double k);
+
+}  // namespace statdb
+
+#endif  // STATDB_STATS_OUTLIERS_H_

@@ -1,0 +1,57 @@
+#include "stats/regression.h"
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace statdb {
+
+Result<LinearFit> FitLinear(const std::vector<double>& x,
+                            const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return InvalidArgumentError("regression inputs differ in length");
+  }
+  if (x.size() < 2) {
+    return InvalidArgumentError("regression needs at least 2 points");
+  }
+  double mx = ComputeDescriptive(x).mean;
+  double my = ComputeDescriptive(y).mean;
+  double sxx = 0, sxy = 0, syy = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sxx += (x[i] - mx) * (x[i] - mx);
+    sxy += (x[i] - mx) * (y[i] - my);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx == 0.0) {
+    return InvalidArgumentError("regression on a constant x column");
+  }
+  LinearFit fit;
+  fit.n = x.size();
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  double ss_res = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    double r = y[i] - fit.Predict(x[i]);
+    ss_res += r * r;
+  }
+  fit.r_squared = syy == 0.0 ? 1.0 : 1.0 - ss_res / syy;
+  fit.residual_stddev =
+      x.size() > 2 ? std::sqrt(ss_res / double(x.size() - 2)) : 0.0;
+  return fit;
+}
+
+Result<std::vector<double>> Residuals(const std::vector<double>& x,
+                                      const std::vector<double>& y,
+                                      const LinearFit& fit) {
+  if (x.size() != y.size()) {
+    return InvalidArgumentError("residual inputs differ in length");
+  }
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    out.push_back(y[i] - fit.Predict(x[i]));
+  }
+  return out;
+}
+
+}  // namespace statdb

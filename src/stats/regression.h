@@ -1,0 +1,37 @@
+#ifndef STATDB_STATS_REGRESSION_H_
+#define STATDB_STATS_REGRESSION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace statdb {
+
+/// Ordinary-least-squares fit of y = intercept + slope * x.
+struct LinearFit {
+  double slope = 0;
+  double intercept = 0;
+  double r_squared = 0;
+  double residual_stddev = 0;
+  size_t n = 0;
+
+  double Predict(double x) const { return intercept + slope * x; }
+};
+
+/// Fits a simple linear regression. Errors on fewer than 2 points or a
+/// constant x column.
+Result<LinearFit> FitLinear(const std::vector<double>& x,
+                            const std::vector<double>& y);
+
+/// Residuals y[i] - fit.Predict(x[i]) — the derived column the paper
+/// uses as its example of a whole-vector regeneration rule (§3.2): one
+/// changed input invalidates the entire residual vector because the
+/// model itself changes.
+Result<std::vector<double>> Residuals(const std::vector<double>& x,
+                                      const std::vector<double>& y,
+                                      const LinearFit& fit);
+
+}  // namespace statdb
+
+#endif  // STATDB_STATS_REGRESSION_H_

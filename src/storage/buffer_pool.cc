@@ -1,0 +1,125 @@
+#include "storage/buffer_pool.h"
+
+#include <utility>
+
+namespace statdb {
+
+BufferPool::BufferPool(SimulatedDevice* device, size_t capacity_pages)
+    : device_(device), capacity_(capacity_pages) {
+  frames_.resize(capacity_);
+  free_frames_.reserve(capacity_);
+  for (size_t i = 0; i < capacity_; ++i) {
+    free_frames_.push_back(capacity_ - 1 - i);
+  }
+}
+
+Result<size_t> BufferPool::GetFreeFrame() {
+  if (!free_frames_.empty()) {
+    size_t idx = free_frames_.back();
+    free_frames_.pop_back();
+    return idx;
+  }
+  if (lru_.empty()) {
+    return ResourceExhaustedError("buffer pool: all frames pinned");
+  }
+  size_t victim = lru_.front();
+  lru_.pop_front();
+  Frame& f = frames_[victim];
+  f.in_lru = false;
+  if (f.dirty) {
+    STATDB_RETURN_IF_ERROR(device_->WritePage(f.id, f.page));
+    ++stats_.flushes;
+    f.dirty = false;
+  }
+  page_table_.erase(f.id);
+  ++stats_.evictions;
+  return victim;
+}
+
+Result<std::pair<PageId, Page*>> BufferPool::NewPage() {
+  STATDB_ASSIGN_OR_RETURN(size_t idx, GetFreeFrame());
+  PageId id = device_->AllocatePage();
+  Frame& f = frames_[idx];
+  f.id = id;
+  f.page.Zero();
+  f.pin_count = 1;
+  f.dirty = true;  // a fresh page must reach the device eventually
+  page_table_[id] = idx;
+  return std::make_pair(id, &f.page);
+}
+
+Result<Page*> BufferPool::FetchPage(PageId id) {
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    Frame& f = frames_[it->second];
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    ++f.pin_count;
+    ++stats_.hits;
+    return &f.page;
+  }
+  ++stats_.misses;
+  STATDB_ASSIGN_OR_RETURN(size_t idx, GetFreeFrame());
+  Frame& f = frames_[idx];
+  Status s = device_->ReadPage(id, &f.page);
+  if (!s.ok()) {
+    free_frames_.push_back(idx);
+    return s;
+  }
+  f.id = id;
+  f.pin_count = 1;
+  f.dirty = false;
+  page_table_[id] = idx;
+  return &f.page;
+}
+
+Status BufferPool::UnpinPage(PageId id, bool dirty) {
+  auto it = page_table_.find(id);
+  if (it == page_table_.end()) {
+    return NotFoundError("unpin of non-resident page");
+  }
+  Frame& f = frames_[it->second];
+  if (f.pin_count <= 0) {
+    return FailedPreconditionError("unpin of unpinned page");
+  }
+  f.dirty = f.dirty || dirty;
+  if (--f.pin_count == 0) {
+    lru_.push_back(it->second);
+    f.lru_pos = std::prev(lru_.end());
+    f.in_lru = true;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& [id, idx] : page_table_) {
+    Frame& f = frames_[idx];
+    if (f.dirty) {
+      STATDB_RETURN_IF_ERROR(device_->WritePage(f.id, f.page));
+      ++stats_.flushes;
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::Reset() {
+  STATDB_RETURN_IF_ERROR(FlushAll());
+  for (auto& f : frames_) {
+    if (f.pin_count > 0) {
+      return FailedPreconditionError("buffer pool reset with pinned pages");
+    }
+  }
+  page_table_.clear();
+  lru_.clear();
+  free_frames_.clear();
+  for (size_t i = 0; i < capacity_; ++i) {
+    frames_[i] = Frame{};
+    free_frames_.push_back(capacity_ - 1 - i);
+  }
+  return Status::OK();
+}
+
+}  // namespace statdb

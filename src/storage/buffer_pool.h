@@ -1,0 +1,135 @@
+#ifndef STATDB_STORAGE_BUFFER_POOL_H_
+#define STATDB_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/device.h"
+#include "storage/page.h"
+
+namespace statdb {
+
+/// Cache-effectiveness counters for one buffer pool.
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t flushes = 0;
+
+  double HitRate() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : double(hits) / double(total);
+  }
+};
+
+/// Fixed-capacity LRU page cache in front of one SimulatedDevice.
+///
+/// Pages are accessed through pin/unpin: FetchPage pins a frame (it cannot
+/// be evicted while pinned), UnpinPage releases it and records whether the
+/// caller dirtied it. Statistical scans touch every page of a column once,
+/// so pool capacity relative to file size is the lever the paper's caching
+/// arguments turn on.
+class BufferPool {
+ public:
+  BufferPool(SimulatedDevice* device, size_t capacity_pages);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Allocates a brand-new zeroed page on the device and pins it.
+  Result<std::pair<PageId, Page*>> NewPage();
+
+  /// Pins page `id`, reading it from the device on a miss.
+  Result<Page*> FetchPage(PageId id);
+
+  /// Releases a pin. `dirty` marks the frame for write-back on eviction.
+  Status UnpinPage(PageId id, bool dirty);
+
+  /// Writes back every dirty frame (pinned or not).
+  Status FlushAll();
+
+  /// Drops all unpinned frames after flushing them; errors if pins remain.
+  Status Reset();
+
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats{}; }
+  SimulatedDevice* device() { return device_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Frame {
+    PageId id = kInvalidPageId;
+    Page page;
+    int pin_count = 0;
+    bool dirty = false;
+    // Position in lru_ when pin_count == 0.
+    std::list<size_t>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  /// Finds a frame for a new resident page, evicting an LRU victim if the
+  /// pool is full. Returns RESOURCE_EXHAUSTED when everything is pinned.
+  Result<size_t> GetFreeFrame();
+
+  SimulatedDevice* device_;
+  size_t capacity_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_frames_;
+  std::unordered_map<PageId, size_t> page_table_;
+  std::list<size_t> lru_;  // front = least recently used
+  BufferPoolStats stats_;
+};
+
+/// RAII pin guard: unpins on destruction with the recorded dirty flag.
+class PinnedPage {
+ public:
+  PinnedPage() = default;
+  PinnedPage(BufferPool* pool, PageId id, Page* page)
+      : pool_(pool), id_(id), page_(page) {}
+  ~PinnedPage() { Release(); }
+
+  PinnedPage(PinnedPage&& o) noexcept { *this = std::move(o); }
+  PinnedPage& operator=(PinnedPage&& o) noexcept {
+    if (this != &o) {
+      Release();
+      pool_ = o.pool_;
+      id_ = o.id_;
+      page_ = o.page_;
+      dirty_ = o.dirty_;
+      o.pool_ = nullptr;
+      o.page_ = nullptr;
+    }
+    return *this;
+  }
+  PinnedPage(const PinnedPage&) = delete;
+  PinnedPage& operator=(const PinnedPage&) = delete;
+
+  Page* get() { return page_; }
+  const Page* get() const { return page_; }
+  PageId id() const { return id_; }
+  void MarkDirty() { dirty_ = true; }
+  bool valid() const { return page_ != nullptr; }
+
+  void Release() {
+    if (pool_ != nullptr && page_ != nullptr) {
+      // Unpin of a held pin cannot fail; ignore the status.
+      (void)pool_->UnpinPage(id_, dirty_);
+    }
+    pool_ = nullptr;
+    page_ = nullptr;
+  }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  PageId id_ = kInvalidPageId;
+  Page* page_ = nullptr;
+  bool dirty_ = false;
+};
+
+}  // namespace statdb
+
+#endif  // STATDB_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,127 @@
+#include "storage/column_file.h"
+
+#include <bit>
+#include <cstring>
+
+namespace statdb {
+
+bool ColumnFile::TestBit(const Page& p, size_t i) {
+  return (p.bytes()[kBitmapOff + i / 8] >> (i % 8)) & 1;
+}
+
+void ColumnFile::SetBit(Page& p, size_t i, bool v) {
+  uint8_t& byte = p.bytes()[kBitmapOff + i / 8];
+  if (v) {
+    byte |= static_cast<uint8_t>(1u << (i % 8));
+  } else {
+    byte &= static_cast<uint8_t>(~(1u << (i % 8)));
+  }
+}
+
+Status ColumnFile::Append(std::optional<int64_t> cell) {
+  uint64_t index = count_;
+  size_t page_no = index / kCellsPerPage;
+  size_t cell_no = index % kCellsPerPage;
+  Page* page = nullptr;
+  PageId pid;
+  if (page_no == pages_.size()) {
+    STATDB_ASSIGN_OR_RETURN(auto fresh, pool_->NewPage());
+    pid = fresh.first;
+    page = fresh.second;
+    pages_.push_back(pid);
+  } else {
+    pid = pages_[page_no];
+    STATDB_ASSIGN_OR_RETURN(page, pool_->FetchPage(pid));
+  }
+  // Validity bitmap: bit set = value present, clear = missing.
+  SetBit(*page, cell_no, cell.has_value());
+  int64_t raw = cell.value_or(0);
+  std::memcpy(page->bytes() + kCellsOff + cell_no * 8, &raw, 8);
+  uint32_t new_count = static_cast<uint32_t>(cell_no + 1);
+  std::memcpy(page->bytes() + kCountOff, &new_count, sizeof(new_count));
+  STATDB_RETURN_IF_ERROR(pool_->UnpinPage(pid, /*dirty=*/true));
+  ++count_;
+  return Status::OK();
+}
+
+Status ColumnFile::AppendDouble(std::optional<double> cell) {
+  if (!cell.has_value()) return Append(std::nullopt);
+  return Append(std::bit_cast<int64_t>(*cell));
+}
+
+Result<std::optional<int64_t>> ColumnFile::Get(uint64_t index) const {
+  if (index >= count_) {
+    return OutOfRangeError("column index out of range");
+  }
+  size_t page_no = index / kCellsPerPage;
+  size_t cell_no = index % kCellsPerPage;
+  STATDB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(pages_[page_no]));
+  std::optional<int64_t> out;
+  if (TestBit(*page, cell_no)) {
+    int64_t raw;
+    std::memcpy(&raw, page->bytes() + kCellsOff + cell_no * 8, 8);
+    out = raw;
+  }
+  STATDB_RETURN_IF_ERROR(pool_->UnpinPage(pages_[page_no], /*dirty=*/false));
+  return out;
+}
+
+Result<std::optional<double>> ColumnFile::GetDouble(uint64_t index) const {
+  STATDB_ASSIGN_OR_RETURN(std::optional<int64_t> raw, Get(index));
+  if (!raw.has_value()) return std::optional<double>();
+  return std::optional<double>(std::bit_cast<double>(*raw));
+}
+
+Status ColumnFile::Set(uint64_t index, std::optional<int64_t> cell) {
+  if (index >= count_) {
+    return OutOfRangeError("column index out of range");
+  }
+  size_t page_no = index / kCellsPerPage;
+  size_t cell_no = index % kCellsPerPage;
+  STATDB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(pages_[page_no]));
+  SetBit(*page, cell_no, cell.has_value());
+  int64_t raw = cell.value_or(0);
+  std::memcpy(page->bytes() + kCellsOff + cell_no * 8, &raw, 8);
+  return pool_->UnpinPage(pages_[page_no], /*dirty=*/true);
+}
+
+Status ColumnFile::SetDouble(uint64_t index, std::optional<double> cell) {
+  if (!cell.has_value()) return Set(index, std::nullopt);
+  return Set(index, std::bit_cast<int64_t>(*cell));
+}
+
+Status ColumnFile::Scan(
+    const std::function<Status(uint64_t, std::optional<int64_t>)>& fn) const {
+  uint64_t index = 0;
+  for (size_t p = 0; p < pages_.size() && index < count_; ++p) {
+    STATDB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(pages_[p]));
+    Status s = Status::OK();
+    size_t in_page = std::min<uint64_t>(kCellsPerPage, count_ - index);
+    for (size_t c = 0; c < in_page; ++c, ++index) {
+      std::optional<int64_t> cell;
+      if (TestBit(*page, c)) {
+        int64_t raw;
+        std::memcpy(&raw, page->bytes() + kCellsOff + c * 8, 8);
+        cell = raw;
+      }
+      s = fn(index, cell);
+      if (!s.ok()) break;
+    }
+    STATDB_RETURN_IF_ERROR(pool_->UnpinPage(pages_[p], /*dirty=*/false));
+    STATDB_RETURN_IF_ERROR(s);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::optional<int64_t>>> ColumnFile::ReadAll() const {
+  std::vector<std::optional<int64_t>> out;
+  out.reserve(count_);
+  STATDB_RETURN_IF_ERROR(
+      Scan([&out](uint64_t, std::optional<int64_t> cell) {
+        out.push_back(cell);
+        return Status::OK();
+      }));
+  return out;
+}
+
+}  // namespace statdb

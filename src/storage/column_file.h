@@ -1,0 +1,73 @@
+#ifndef STATDB_STORAGE_COLUMN_FILE_H_
+#define STATDB_STORAGE_COLUMN_FILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+
+namespace statdb {
+
+/// One column of a transposed ("fully inverted", DSM) file — the storage
+/// structure the paper recommends for statistical data sets (§2.6,
+/// RAPID/ALDS style). Values are fixed-width 8-byte cells (int64 or the
+/// bit pattern of a double; the Table layer dictionary-encodes strings)
+/// plus a per-page null bitmap for "missing values".
+///
+/// Page layout: u32 count | 64-byte null bitmap | 500 * 8-byte cells.
+class ColumnFile {
+ public:
+  /// Cells per page; chosen so count + bitmap + cells fit in kPageSize.
+  static constexpr size_t kCellsPerPage = 500;
+
+  explicit ColumnFile(BufferPool* pool) : pool_(pool) {}
+
+  ColumnFile(const ColumnFile&) = delete;
+  ColumnFile& operator=(const ColumnFile&) = delete;
+
+  /// Appends a cell; nullopt appends a missing value.
+  Status Append(std::optional<int64_t> cell);
+  Status AppendDouble(std::optional<double> cell);
+
+  /// Reads cell `index`; nullopt means missing.
+  Result<std::optional<int64_t>> Get(uint64_t index) const;
+  Result<std::optional<double>> GetDouble(uint64_t index) const;
+
+  /// Overwrites cell `index`.
+  Status Set(uint64_t index, std::optional<int64_t> cell);
+  Status SetDouble(uint64_t index, std::optional<double> cell);
+
+  /// Calls `fn(index, cell)` for every cell in order, touching each page
+  /// exactly once — the access pattern transposed files optimize for.
+  Status Scan(const std::function<Status(uint64_t, std::optional<int64_t>)>&
+                  fn) const;
+
+  /// Bulk-reads the whole column (missing as nullopt).
+  Result<std::vector<std::optional<int64_t>>> ReadAll() const;
+
+  uint64_t size() const { return count_; }
+  size_t page_count() const { return pages_.size(); }
+
+ private:
+  static constexpr size_t kCountOff = 0;
+  static constexpr size_t kBitmapOff = 8;
+  static constexpr size_t kBitmapBytes = 64;
+  static constexpr size_t kCellsOff = kBitmapOff + kBitmapBytes;
+
+  static bool TestBit(const Page& p, size_t i);
+  static void SetBit(Page& p, size_t i, bool v);
+
+  Status EnsureCapacity(uint64_t index);
+
+  BufferPool* pool_;
+  std::vector<PageId> pages_;
+  uint64_t count_ = 0;
+};
+
+}  // namespace statdb
+
+#endif  // STATDB_STORAGE_COLUMN_FILE_H_

@@ -1,0 +1,142 @@
+#include "storage/compressed_column_file.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "storage/column_file.h"
+
+namespace statdb {
+
+namespace {
+
+void PutRun(Page* page, size_t slot, const RleRun& run) {
+  uint8_t* base = page->bytes() + 8 + slot * 13;
+  std::memcpy(base, &run.value, 8);
+  std::memcpy(base + 8, &run.length, 4);
+  base[12] = run.present ? 1 : 0;
+}
+
+RleRun GetRun(const Page& page, size_t slot) {
+  const uint8_t* base = page.bytes() + 8 + slot * 13;
+  RleRun run;
+  std::memcpy(&run.value, base, 8);
+  std::memcpy(&run.length, base + 8, 4);
+  run.present = base[12] != 0;
+  return run;
+}
+
+uint32_t PageRunCount(const Page& page) {
+  uint32_t n;
+  std::memcpy(&n, page.bytes(), 4);
+  return n;
+}
+
+void SetPageRunCount(Page* page, uint32_t n) {
+  std::memcpy(page->bytes(), &n, 4);
+}
+
+}  // namespace
+
+Status CompressedColumnFile::Load(
+    const std::vector<std::optional<int64_t>>& cells) {
+  if (loaded_) {
+    return FailedPreconditionError("compressed column already loaded");
+  }
+  std::vector<RleRun> runs = RleEncode(cells);
+  run_count_ = runs.size();
+  count_ = cells.size();
+  uint64_t ordinal = 0;
+  size_t i = 0;
+  while (i < runs.size()) {
+    STATDB_ASSIGN_OR_RETURN(auto fresh, pool_->NewPage());
+    auto [pid, page] = fresh;
+    size_t in_page = std::min(kRunsPerPage, runs.size() - i);
+    SetPageRunCount(page, static_cast<uint32_t>(in_page));
+    uint64_t page_cells = 0;
+    for (size_t s = 0; s < in_page; ++s) {
+      PutRun(page, s, runs[i + s]);
+      page_cells += runs[i + s].length;
+    }
+    STATDB_RETURN_IF_ERROR(pool_->UnpinPage(pid, /*dirty=*/true));
+    pages_.push_back(pid);
+    page_start_.push_back(ordinal);
+    ordinal += page_cells;
+    i += in_page;
+  }
+  loaded_ = true;
+  return Status::OK();
+}
+
+Status CompressedColumnFile::Scan(
+    const std::function<Status(uint64_t, std::optional<int64_t>)>& fn)
+    const {
+  uint64_t ordinal = 0;
+  for (PageId pid : pages_) {
+    STATDB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(pid));
+    Status s = Status::OK();
+    uint32_t n = PageRunCount(*page);
+    for (uint32_t r = 0; r < n && s.ok(); ++r) {
+      RleRun run = GetRun(*page, r);
+      for (uint32_t k = 0; k < run.length; ++k) {
+        s = fn(ordinal++, run.present
+                              ? std::optional<int64_t>(run.value)
+                              : std::nullopt);
+        if (!s.ok()) break;
+      }
+    }
+    STATDB_RETURN_IF_ERROR(pool_->UnpinPage(pid, /*dirty=*/false));
+    STATDB_RETURN_IF_ERROR(s);
+  }
+  return Status::OK();
+}
+
+Result<std::optional<int64_t>> CompressedColumnFile::Get(
+    uint64_t index) const {
+  if (index >= count_) {
+    return OutOfRangeError("compressed column index out of range");
+  }
+  // Last page whose starting ordinal is <= index.
+  size_t lo = std::upper_bound(page_start_.begin(), page_start_.end(),
+                               index) -
+              page_start_.begin() - 1;
+  STATDB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(pages_[lo]));
+  uint64_t ordinal = page_start_[lo];
+  std::optional<int64_t> out;
+  bool found = false;
+  uint32_t n = PageRunCount(*page);
+  for (uint32_t r = 0; r < n; ++r) {
+    RleRun run = GetRun(*page, r);
+    if (index < ordinal + run.length) {
+      out = run.present ? std::optional<int64_t>(run.value) : std::nullopt;
+      found = true;
+      break;
+    }
+    ordinal += run.length;
+  }
+  STATDB_RETURN_IF_ERROR(pool_->UnpinPage(pages_[lo], /*dirty=*/false));
+  if (!found) {
+    return InternalError("compressed page directory inconsistent");
+  }
+  return out;
+}
+
+Result<std::vector<std::optional<int64_t>>> CompressedColumnFile::ReadAll()
+    const {
+  std::vector<std::optional<int64_t>> out;
+  out.reserve(count_);
+  STATDB_RETURN_IF_ERROR(
+      Scan([&out](uint64_t, std::optional<int64_t> cell) {
+        out.push_back(cell);
+        return Status::OK();
+      }));
+  return out;
+}
+
+double CompressedColumnFile::CompressionRatio() const {
+  if (pages_.empty()) return 1.0;
+  size_t raw_pages =
+      (count_ + ColumnFile::kCellsPerPage - 1) / ColumnFile::kCellsPerPage;
+  return double(raw_pages) / double(pages_.size());
+}
+
+}  // namespace statdb

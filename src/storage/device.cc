@@ -1,0 +1,52 @@
+#include "storage/device.h"
+
+#include <memory>
+
+namespace statdb {
+
+PageId SimulatedDevice::AllocatePage() {
+  pages_.push_back(std::make_unique<Page>());
+  return pages_.size() - 1;
+}
+
+void SimulatedDevice::Charge(PageId id, bool is_write) {
+  const bool sequential =
+      last_block_ != kInvalidPageId && id == last_block_ + 1;
+  if (sequential) {
+    stats_.simulated_ms += cost_.sequential_ms;
+  } else {
+    ++stats_.seeks;
+    stats_.simulated_ms += cost_.random_ms;
+    // Backwards movement on a tape-like device pays the rewind charge.
+    if (cost_.rewind_ms > 0 && last_block_ != kInvalidPageId &&
+        id <= last_block_) {
+      stats_.simulated_ms += cost_.rewind_ms;
+    }
+  }
+  if (is_write) {
+    ++stats_.block_writes;
+  } else {
+    ++stats_.block_reads;
+  }
+  last_block_ = id;
+}
+
+Status SimulatedDevice::ReadPage(PageId id, Page* out) {
+  if (id >= pages_.size()) {
+    return OutOfRangeError("read past end of device " + name_);
+  }
+  Charge(id, /*is_write=*/false);
+  *out = *pages_[id];
+  return Status::OK();
+}
+
+Status SimulatedDevice::WritePage(PageId id, const Page& page) {
+  if (id >= pages_.size()) {
+    return OutOfRangeError("write past end of device " + name_);
+  }
+  Charge(id, /*is_write=*/true);
+  *pages_[id] = page;
+  return Status::OK();
+}
+
+}  // namespace statdb

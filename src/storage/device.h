@@ -1,0 +1,92 @@
+#ifndef STATDB_STORAGE_DEVICE_H_
+#define STATDB_STORAGE_DEVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace statdb {
+
+/// Running I/O counters and simulated elapsed time for one device.
+///
+/// The paper's performance arguments (tape vs. disk, transposed vs. row
+/// layout, cache vs. recompute) are all arguments about I/O volume and
+/// access patterns, so the simulator charges every block access against
+/// an explicit cost model and exposes the totals here.
+struct IoStats {
+  uint64_t block_reads = 0;
+  uint64_t block_writes = 0;
+  uint64_t seeks = 0;        // non-sequential head movements
+  double simulated_ms = 0;   // total simulated device time
+
+  IoStats& operator+=(const IoStats& o) {
+    block_reads += o.block_reads;
+    block_writes += o.block_writes;
+    seeks += o.seeks;
+    simulated_ms += o.simulated_ms;
+    return *this;
+  }
+};
+
+/// Per-access timing parameters of a simulated device (milliseconds).
+struct DeviceCostModel {
+  double sequential_ms = 0;  // read/write the block after the previous one
+  double random_ms = 0;      // read/write any other block (seek + transfer)
+  double rewind_ms = 0;      // extra charge for moving backwards (tape)
+
+  static DeviceCostModel Memory() { return {0, 0, 0}; }
+  /// 1982-flavored moving-head disk: cheap sequential transfer, expensive
+  /// seek+rotate for random access.
+  static DeviceCostModel Disk() { return {1.0, 30.0, 0}; }
+  /// Tape drive: streaming is fine, any backwards movement pays a rewind.
+  static DeviceCostModel Tape() { return {5.0, 200.0, 2000.0}; }
+};
+
+/// A block-addressed simulated storage device backed by memory.
+///
+/// All file structures (row files, transposed files, B+-trees) sit on a
+/// device via a BufferPool. Devices are sized on demand: AllocatePage
+/// grows the backing store.
+class SimulatedDevice {
+ public:
+  SimulatedDevice(std::string name, DeviceCostModel cost)
+      : name_(std::move(name)), cost_(cost) {}
+
+  SimulatedDevice(const SimulatedDevice&) = delete;
+  SimulatedDevice& operator=(const SimulatedDevice&) = delete;
+
+  /// Grows the device by one page and returns its id.
+  PageId AllocatePage();
+
+  /// Reads block `id` into `*out`, charging the cost model.
+  Status ReadPage(PageId id, Page* out);
+
+  /// Writes `page` to block `id`, charging the cost model.
+  Status WritePage(PageId id, const Page& page);
+
+  const std::string& name() const { return name_; }
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = IoStats{}; }
+  uint64_t page_count() const { return pages_.size(); }
+  const DeviceCostModel& cost_model() const { return cost_; }
+
+ private:
+  void Charge(PageId id, bool is_write);
+
+  std::string name_;
+  DeviceCostModel cost_;
+  std::vector<std::unique_ptr<Page>> pages_;
+  IoStats stats_;
+  // Position of the head after the last access; next sequential block is
+  // last_block_ + 1. Starts "parked" so the first access is a seek.
+  PageId last_block_ = kInvalidPageId;
+};
+
+}  // namespace statdb
+
+#endif  // STATDB_STORAGE_DEVICE_H_

@@ -1,0 +1,41 @@
+#ifndef STATDB_STORAGE_PAGE_H_
+#define STATDB_STORAGE_PAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+namespace statdb {
+
+/// Size of every storage page/block in bytes.
+inline constexpr size_t kPageSize = 4096;
+
+/// Block address within a single device. Pages are allocated by the device
+/// as a dense sequence starting at 0; kInvalidPageId marks "no page".
+using PageId = uint64_t;
+inline constexpr PageId kInvalidPageId = ~PageId{0};
+
+/// One fixed-size page worth of raw bytes. Layout interpretation (slotted
+/// record page, column segment, B+-tree node) is owned by the file layer.
+struct Page {
+  std::array<uint8_t, kPageSize> data{};
+
+  uint8_t* bytes() { return data.data(); }
+  const uint8_t* bytes() const { return data.data(); }
+
+  /// Typed view of the page contents at byte `offset`.
+  template <typename T>
+  T* As(size_t offset = 0) {
+    return reinterpret_cast<T*>(data.data() + offset);
+  }
+  template <typename T>
+  const T* As(size_t offset = 0) const {
+    return reinterpret_cast<const T*>(data.data() + offset);
+  }
+
+  void Zero() { data.fill(0); }
+};
+
+}  // namespace statdb
+
+#endif  // STATDB_STORAGE_PAGE_H_

@@ -1,0 +1,45 @@
+#ifndef STATDB_STORAGE_RLE_H_
+#define STATDB_STORAGE_RLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace statdb {
+
+/// One run of identical cells. `present == false` encodes a run of missing
+/// values.
+struct RleRun {
+  int64_t value = 0;
+  uint32_t length = 0;
+  bool present = true;
+
+  friend bool operator==(const RleRun&, const RleRun&) = default;
+};
+
+/// Run-length encoding of a cell sequence. The paper (§2.6, citing
+/// Eggers) argues RLE pays off when applied *down a column* — category
+/// attributes of a sorted/clustered data set have long runs — and not
+/// across rows, where adjacent cells come from unrelated attributes.
+std::vector<RleRun> RleEncode(const std::vector<std::optional<int64_t>>& cells);
+
+/// Inverse of RleEncode.
+std::vector<std::optional<int64_t>> RleDecode(const std::vector<RleRun>& runs);
+
+/// Encoded size in bytes using the on-page format (13 bytes per run:
+/// value + length + presence flag).
+size_t RleEncodedBytes(const std::vector<RleRun>& runs);
+
+/// Uncompressed size in bytes (8 bytes per cell + 1 bit validity, rounded).
+size_t RawColumnBytes(size_t cell_count);
+
+/// Serializes runs with the on-page format; DecodeRuns inverts it.
+std::vector<uint8_t> SerializeRuns(const std::vector<RleRun>& runs);
+Result<std::vector<RleRun>> DeserializeRuns(const std::vector<uint8_t>& bytes);
+
+}  // namespace statdb
+
+#endif  // STATDB_STORAGE_RLE_H_

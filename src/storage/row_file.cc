@@ -1,0 +1,99 @@
+#include "storage/row_file.h"
+
+namespace statdb {
+
+Result<Page*> RowFile::FetchFilePage(uint32_t index) const {
+  if (index >= pages_.size()) {
+    return OutOfRangeError("row file page index out of range");
+  }
+  return pool_->FetchPage(pages_[index]);
+}
+
+Result<RecordId> RowFile::Append(const uint8_t* data, uint16_t length) {
+  if (length > SlottedPage::kMaxRecordSize) {
+    return InvalidArgumentError("record larger than page capacity");
+  }
+  if (!pages_.empty()) {
+    uint32_t last = static_cast<uint32_t>(pages_.size() - 1);
+    STATDB_ASSIGN_OR_RETURN(Page * page, FetchFilePage(last));
+    SlottedPage sp(page);
+    Result<uint16_t> slot = sp.Insert(data, length);
+    if (slot.ok()) {
+      STATDB_RETURN_IF_ERROR(pool_->UnpinPage(pages_[last], /*dirty=*/true));
+      ++record_count_;
+      return RecordId{last, slot.value()};
+    }
+    STATDB_RETURN_IF_ERROR(pool_->UnpinPage(pages_[last], /*dirty=*/false));
+    if (slot.status().code() != StatusCode::kResourceExhausted) {
+      return slot.status();
+    }
+  }
+  STATDB_ASSIGN_OR_RETURN(auto fresh, pool_->NewPage());
+  auto [pid, page] = fresh;
+  SlottedPage sp(page);
+  sp.Init();
+  Result<uint16_t> slot = sp.Insert(data, length);
+  Status unpin = pool_->UnpinPage(pid, /*dirty=*/true);
+  if (!slot.ok()) return slot.status();
+  if (!unpin.ok()) return unpin;
+  pages_.push_back(pid);
+  ++record_count_;
+  return RecordId{static_cast<uint32_t>(pages_.size() - 1), slot.value()};
+}
+
+Result<std::vector<uint8_t>> RowFile::Read(RecordId id) const {
+  STATDB_ASSIGN_OR_RETURN(Page * page, FetchFilePage(id.page));
+  SlottedPage sp(page);
+  Result<std::pair<const uint8_t*, uint16_t>> rec = sp.Get(id.slot);
+  Status unpin_later = Status::OK();
+  std::vector<uint8_t> out;
+  if (rec.ok()) {
+    out.assign(rec.value().first, rec.value().first + rec.value().second);
+  }
+  STATDB_RETURN_IF_ERROR(pool_->UnpinPage(pages_[id.page], /*dirty=*/false));
+  if (!rec.ok()) return rec.status();
+  (void)unpin_later;
+  return out;
+}
+
+Status RowFile::Update(RecordId id, const uint8_t* data, uint16_t length) {
+  STATDB_ASSIGN_OR_RETURN(Page * page, FetchFilePage(id.page));
+  SlottedPage sp(page);
+  Status s = sp.Update(id.slot, data, length);
+  STATDB_RETURN_IF_ERROR(pool_->UnpinPage(pages_[id.page], /*dirty=*/s.ok()));
+  return s;
+}
+
+Status RowFile::Delete(RecordId id) {
+  STATDB_ASSIGN_OR_RETURN(Page * page, FetchFilePage(id.page));
+  SlottedPage sp(page);
+  Status s = sp.Delete(id.slot);
+  STATDB_RETURN_IF_ERROR(pool_->UnpinPage(pages_[id.page], /*dirty=*/s.ok()));
+  if (s.ok()) --record_count_;
+  return s;
+}
+
+Status RowFile::Scan(
+    const std::function<Status(RecordId, const uint8_t*, uint16_t)>& fn)
+    const {
+  for (uint32_t p = 0; p < pages_.size(); ++p) {
+    STATDB_ASSIGN_OR_RETURN(Page * page, FetchFilePage(p));
+    SlottedPage sp(page);
+    Status s = Status::OK();
+    for (uint16_t slot = 0; slot < sp.slot_count(); ++slot) {
+      if (!sp.IsLive(slot)) continue;
+      auto rec = sp.Get(slot);
+      if (!rec.ok()) {
+        s = rec.status();
+        break;
+      }
+      s = fn(RecordId{p, slot}, rec.value().first, rec.value().second);
+      if (!s.ok()) break;
+    }
+    STATDB_RETURN_IF_ERROR(pool_->UnpinPage(pages_[p], /*dirty=*/false));
+    STATDB_RETURN_IF_ERROR(s);
+  }
+  return Status::OK();
+}
+
+}  // namespace statdb

@@ -1,0 +1,67 @@
+#ifndef STATDB_STORAGE_ROW_FILE_H_
+#define STATDB_STORAGE_ROW_FILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/slotted_page.h"
+
+namespace statdb {
+
+/// Stable address of a record in a RowFile: page ordinal within the file
+/// (not the raw device PageId) plus slot within the page.
+struct RecordId {
+  uint32_t page = 0;
+  uint16_t slot = 0;
+
+  friend bool operator==(const RecordId&, const RecordId&) = default;
+  friend auto operator<=>(const RecordId&, const RecordId&) = default;
+};
+
+/// Heap file of variable-length records over slotted pages — the NSM
+/// ("row-store") layout the paper contrasts with transposed files.
+/// Appends always go to the last page, starting a new one when full.
+class RowFile {
+ public:
+  explicit RowFile(BufferPool* pool) : pool_(pool) {}
+
+  RowFile(const RowFile&) = delete;
+  RowFile& operator=(const RowFile&) = delete;
+
+  /// Appends a record, returning its id.
+  Result<RecordId> Append(const uint8_t* data, uint16_t length);
+  Result<RecordId> Append(const std::vector<uint8_t>& rec) {
+    return Append(rec.data(), static_cast<uint16_t>(rec.size()));
+  }
+
+  /// Copies the record bytes out (the page pin is released on return).
+  Result<std::vector<uint8_t>> Read(RecordId id) const;
+
+  /// In-place (or in-page) update; fails if the record no longer fits.
+  Status Update(RecordId id, const uint8_t* data, uint16_t length);
+
+  Status Delete(RecordId id);
+
+  /// Calls `fn(id, bytes, length)` for every live record in file order.
+  /// Stops early and propagates if `fn` returns a non-OK status.
+  Status Scan(const std::function<Status(RecordId, const uint8_t*, uint16_t)>&
+                  fn) const;
+
+  uint64_t record_count() const { return record_count_; }
+  size_t page_count() const { return pages_.size(); }
+
+ private:
+  Result<Page*> FetchFilePage(uint32_t index) const;
+
+  BufferPool* pool_;
+  std::vector<PageId> pages_;
+  uint64_t record_count_ = 0;
+};
+
+}  // namespace statdb
+
+#endif  // STATDB_STORAGE_ROW_FILE_H_

@@ -1,0 +1,163 @@
+#include "storage/slotted_page.h"
+
+#include <cstring>
+#include <vector>
+
+namespace statdb {
+
+uint16_t SlottedPage::GetU16(size_t off) const {
+  uint16_t v;
+  std::memcpy(&v, page_->bytes() + off, sizeof(v));
+  return v;
+}
+
+void SlottedPage::PutU16(size_t off, uint16_t v) {
+  std::memcpy(page_->bytes() + off, &v, sizeof(v));
+}
+
+void SlottedPage::Init() {
+  page_->Zero();
+  PutU16(kSlotCountOff, 0);
+  PutU16(kFreeEndOff, static_cast<uint16_t>(kPageSize));
+}
+
+uint16_t SlottedPage::slot_count() const { return GetU16(kSlotCountOff); }
+
+uint16_t SlottedPage::live_count() const {
+  uint16_t n = slot_count();
+  uint16_t live = 0;
+  for (uint16_t i = 0; i < n; ++i) {
+    if (IsLive(i)) ++live;
+  }
+  return live;
+}
+
+bool SlottedPage::IsLive(uint16_t slot) const {
+  if (slot >= slot_count()) return false;
+  return GetU16(kHeaderSize + slot * kSlotSize) != kDeletedOffset;
+}
+
+size_t SlottedPage::FreeSpace() const {
+  size_t slots_end = kHeaderSize + slot_count() * kSlotSize;
+  size_t free_end = GetU16(kFreeEndOff);
+  size_t gap = free_end > slots_end ? free_end - slots_end : 0;
+  return gap > kSlotSize ? gap - kSlotSize : 0;
+}
+
+Result<uint16_t> SlottedPage::Insert(const uint8_t* data, uint16_t length) {
+  if (length > FreeSpace()) {
+    // A compaction may free space fragmented by deletes.
+    Compact();
+    if (length > FreeSpace()) {
+      return ResourceExhaustedError("slotted page full");
+    }
+  }
+  uint16_t free_end = GetU16(kFreeEndOff);
+  uint16_t offset = free_end - length;
+  std::memcpy(page_->bytes() + offset, data, length);
+  uint16_t slot = slot_count();
+  PutU16(kHeaderSize + slot * kSlotSize, offset);
+  PutU16(kHeaderSize + slot * kSlotSize + 2, length);
+  PutU16(kSlotCountOff, slot + 1);
+  PutU16(kFreeEndOff, offset);
+  return slot;
+}
+
+Result<std::pair<const uint8_t*, uint16_t>> SlottedPage::Get(
+    uint16_t slot) const {
+  if (slot >= slot_count()) {
+    return OutOfRangeError("slot out of range");
+  }
+  uint16_t offset = GetU16(kHeaderSize + slot * kSlotSize);
+  if (offset == kDeletedOffset) {
+    return NotFoundError("slot deleted");
+  }
+  uint16_t length = GetU16(kHeaderSize + slot * kSlotSize + 2);
+  return std::pair<const uint8_t*, uint16_t>(page_->bytes() + offset, length);
+}
+
+Status SlottedPage::Delete(uint16_t slot) {
+  if (slot >= slot_count()) {
+    return OutOfRangeError("slot out of range");
+  }
+  if (!IsLive(slot)) {
+    return NotFoundError("slot already deleted");
+  }
+  PutU16(kHeaderSize + slot * kSlotSize, kDeletedOffset);
+  return Status::OK();
+}
+
+Status SlottedPage::Update(uint16_t slot, const uint8_t* data,
+                           uint16_t length) {
+  if (slot >= slot_count()) {
+    return OutOfRangeError("slot out of range");
+  }
+  uint16_t offset = GetU16(kHeaderSize + slot * kSlotSize);
+  if (offset == kDeletedOffset) {
+    return NotFoundError("slot deleted");
+  }
+  uint16_t old_length = GetU16(kHeaderSize + slot * kSlotSize + 2);
+  if (length <= old_length) {
+    std::memcpy(page_->bytes() + offset, data, length);
+    PutU16(kHeaderSize + slot * kSlotSize + 2, length);
+    return Status::OK();
+  }
+  // Grow: tombstone the old bytes, re-append, keep the same slot. Save the
+  // old payload first so it can be restored if the new bytes do not fit
+  // even after compaction (Compact invalidates the old offset).
+  std::vector<uint8_t> old_bytes(page_->bytes() + offset,
+                                 page_->bytes() + offset + old_length);
+  PutU16(kHeaderSize + slot * kSlotSize, kDeletedOffset);
+  size_t slots_end = kHeaderSize + slot_count() * kSlotSize;
+  uint16_t free_end = GetU16(kFreeEndOff);
+  if (free_end < slots_end || free_end - slots_end < length) {
+    Compact();
+    free_end = GetU16(kFreeEndOff);
+    slots_end = kHeaderSize + slot_count() * kSlotSize;
+    if (free_end < slots_end || free_end - slots_end < length) {
+      // Re-append the old payload so the record is not lost, then report
+      // no space. Compaction guaranteed room for the original bytes.
+      uint16_t restore = free_end - old_length;
+      std::memcpy(page_->bytes() + restore, old_bytes.data(), old_length);
+      PutU16(kHeaderSize + slot * kSlotSize, restore);
+      PutU16(kHeaderSize + slot * kSlotSize + 2, old_length);
+      PutU16(kFreeEndOff, restore);
+      return ResourceExhaustedError("record grew past page capacity");
+    }
+  }
+  uint16_t new_offset = free_end - length;
+  std::memcpy(page_->bytes() + new_offset, data, length);
+  PutU16(kHeaderSize + slot * kSlotSize, new_offset);
+  PutU16(kHeaderSize + slot * kSlotSize + 2, length);
+  PutU16(kFreeEndOff, new_offset);
+  return Status::OK();
+}
+
+void SlottedPage::Compact() {
+  uint16_t n = slot_count();
+  struct Rec {
+    uint16_t slot;
+    std::vector<uint8_t> bytes;
+  };
+  std::vector<Rec> live;
+  live.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    uint16_t offset = GetU16(kHeaderSize + i * kSlotSize);
+    if (offset == kDeletedOffset) continue;
+    uint16_t length = GetU16(kHeaderSize + i * kSlotSize + 2);
+    live.push_back(
+        {i, std::vector<uint8_t>(page_->bytes() + offset,
+                                 page_->bytes() + offset + length)});
+  }
+  uint16_t free_end = static_cast<uint16_t>(kPageSize);
+  for (const Rec& r : live) {
+    free_end -= static_cast<uint16_t>(r.bytes.size());
+    std::memcpy(page_->bytes() + free_end, r.bytes.data(), r.bytes.size());
+    PutU16(kHeaderSize + r.slot * kSlotSize, free_end);
+    PutU16(kHeaderSize + r.slot * kSlotSize + 2,
+           static_cast<uint16_t>(r.bytes.size()));
+  }
+  PutU16(kFreeEndOff, free_end);
+}
+
+}  // namespace statdb

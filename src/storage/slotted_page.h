@@ -1,0 +1,77 @@
+#ifndef STATDB_STORAGE_SLOTTED_PAGE_H_
+#define STATDB_STORAGE_SLOTTED_PAGE_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace statdb {
+
+/// Classic slotted record page (NSM): a slot directory grows down from the
+/// header while record bytes grow up from the page end. Deleting leaves a
+/// tombstone slot so record ids stay stable; updates that fit are done in
+/// place, larger ones relocate the bytes within the page.
+///
+/// Layout:
+///   [0..3]   uint16 slot_count, uint16 free_end (records live at
+///            [free_end, kPageSize))
+///   [4..)    slots: {uint16 offset, uint16 length}, offset==0xFFFF deleted
+class SlottedPage {
+ public:
+  static constexpr uint16_t kDeletedOffset = 0xFFFF;
+
+  /// Wraps (does not own) a page buffer. Call Init() on a fresh page.
+  explicit SlottedPage(Page* page) : page_(page) {}
+
+  /// Formats an empty slotted page.
+  void Init();
+
+  /// Bytes available for one more record (including its slot).
+  size_t FreeSpace() const;
+
+  uint16_t slot_count() const;
+
+  /// Number of live (non-tombstone) records.
+  uint16_t live_count() const;
+
+  /// Inserts a record, returning its slot number, or RESOURCE_EXHAUSTED
+  /// when it does not fit.
+  Result<uint16_t> Insert(const uint8_t* data, uint16_t length);
+
+  /// Returns a view of the record in slot `slot` (pointer into the page).
+  Result<std::pair<const uint8_t*, uint16_t>> Get(uint16_t slot) const;
+
+  /// Tombstones slot `slot`.
+  Status Delete(uint16_t slot);
+
+  /// Replaces the record in `slot`. Fails with RESOURCE_EXHAUSTED if the
+  /// new bytes do not fit in this page (caller must relocate).
+  Status Update(uint16_t slot, const uint8_t* data, uint16_t length);
+
+  bool IsLive(uint16_t slot) const;
+
+  /// Largest record payload a freshly initialized page can hold.
+  static constexpr size_t kMaxRecordSize =
+      kPageSize - /*header*/ 4 - /*one slot*/ 4;
+
+ private:
+  uint16_t GetU16(size_t off) const;
+  void PutU16(size_t off, uint16_t v);
+
+  /// Compacts record bytes to reclaim holes left by deletes/updates.
+  void Compact();
+
+  static constexpr size_t kSlotCountOff = 0;
+  static constexpr size_t kFreeEndOff = 2;
+  static constexpr size_t kHeaderSize = 4;
+  static constexpr size_t kSlotSize = 4;
+
+  Page* page_;
+};
+
+}  // namespace statdb
+
+#endif  // STATDB_STORAGE_SLOTTED_PAGE_H_

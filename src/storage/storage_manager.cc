@@ -1,0 +1,58 @@
+#include "storage/storage_manager.h"
+
+namespace statdb {
+
+Result<SimulatedDevice*> StorageManager::AddDevice(const std::string& name,
+                                                   DeviceCostModel cost,
+                                                   size_t pool_pages) {
+  if (mounts_.contains(name)) {
+    return AlreadyExistsError("device already mounted: " + name);
+  }
+  Mount mount;
+  mount.device = std::make_unique<SimulatedDevice>(name, cost);
+  mount.pool = std::make_unique<BufferPool>(mount.device.get(), pool_pages);
+  SimulatedDevice* raw = mount.device.get();
+  mounts_.emplace(name, std::move(mount));
+  return raw;
+}
+
+Result<SimulatedDevice*> StorageManager::GetDevice(
+    const std::string& name) const {
+  auto it = mounts_.find(name);
+  if (it == mounts_.end()) {
+    return NotFoundError("no such device: " + name);
+  }
+  return it->second.device.get();
+}
+
+Result<BufferPool*> StorageManager::GetPool(const std::string& name) const {
+  auto it = mounts_.find(name);
+  if (it == mounts_.end()) {
+    return NotFoundError("no such device: " + name);
+  }
+  return it->second.pool.get();
+}
+
+IoStats StorageManager::TotalStats() const {
+  IoStats total;
+  for (const auto& [name, mount] : mounts_) {
+    total += mount.device->stats();
+  }
+  return total;
+}
+
+void StorageManager::ResetAllStats() {
+  for (auto& [name, mount] : mounts_) {
+    mount.device->ResetStats();
+    mount.pool->ResetStats();
+  }
+}
+
+Status StorageManager::FlushAll() {
+  for (auto& [name, mount] : mounts_) {
+    STATDB_RETURN_IF_ERROR(mount.pool->FlushAll());
+  }
+  return Status::OK();
+}
+
+}  // namespace statdb

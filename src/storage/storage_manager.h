@@ -1,0 +1,50 @@
+#ifndef STATDB_STORAGE_STORAGE_MANAGER_H_
+#define STATDB_STORAGE_STORAGE_MANAGER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/device.h"
+
+namespace statdb {
+
+/// Owns the simulated devices of one installation and a buffer pool per
+/// device. The canonical setup mirrors the paper: a "tape" holding the
+/// raw database and a "disk" holding concrete views, Summary Databases
+/// and the Management Database.
+class StorageManager {
+ public:
+  StorageManager() = default;
+
+  StorageManager(const StorageManager&) = delete;
+  StorageManager& operator=(const StorageManager&) = delete;
+
+  /// Registers a device; `pool_pages` sizes its buffer pool.
+  Result<SimulatedDevice*> AddDevice(const std::string& name,
+                                     DeviceCostModel cost, size_t pool_pages);
+
+  Result<SimulatedDevice*> GetDevice(const std::string& name) const;
+  Result<BufferPool*> GetPool(const std::string& name) const;
+
+  /// Total simulated I/O across all devices.
+  IoStats TotalStats() const;
+  void ResetAllStats();
+
+  /// Flushes every pool.
+  Status FlushAll();
+
+ private:
+  struct Mount {
+    std::unique_ptr<SimulatedDevice> device;
+    std::unique_ptr<BufferPool> pool;
+  };
+  std::unordered_map<std::string, Mount> mounts_;
+};
+
+}  // namespace statdb
+
+#endif  // STATDB_STORAGE_STORAGE_MANAGER_H_

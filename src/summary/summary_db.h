@@ -1,0 +1,126 @@
+#ifndef STATDB_SUMMARY_SUMMARY_DB_H_
+#define STATDB_SUMMARY_SUMMARY_DB_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/btree.h"
+#include "summary/summary_key.h"
+#include "summary/summary_result.h"
+
+namespace statdb {
+
+/// One cached row of the Summary Database (Fig. 4: FUNCTION_NAME,
+/// ATTRIBUTE_NAME, RESULT — plus maintenance metadata).
+struct SummaryEntry {
+  SummaryKey key;
+  SummaryResult result;
+  /// View version current when the result was computed/maintained.
+  uint64_t view_version = 0;
+  /// Marked by the invalidate-lazily strategy (§4.3); a stale entry is
+  /// not served under an exact accuracy policy.
+  bool stale = false;
+};
+
+/// Cache-effectiveness counters.
+struct SummaryDbStats {
+  uint64_t lookups = 0;
+  uint64_t hits = 0;
+  uint64_t stale_hits = 0;  // found but marked stale
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t invalidated = 0;
+
+  double HitRate() const {
+    return lookups == 0 ? 0.0 : double(hits) / double(lookups);
+  }
+};
+
+/// The per-view Summary Database (§3.2): "Each Summary Database serves as
+/// a cache for the user view. Rather than storing frequently used data
+/// ... we choose to store results of query (or function) executions."
+///
+/// Entries live in a paged B+-tree keyed by the clustered encoding
+/// `attr|function|params`, so all results on one attribute are physically
+/// adjacent ("data will most likely be clustered on attribute name to
+/// facilitate efficient access to all results on a given column").
+/// Results larger than an index slot are transparently chunked across
+/// continuation records. Multi-attribute results (correlation, cross
+/// tabs) additionally post a reference record under each non-leading
+/// attribute so an update to *any* input attribute finds them.
+class SummaryDatabase {
+ public:
+  static Result<std::unique_ptr<SummaryDatabase>> Create(BufferPool* pool);
+
+  SummaryDatabase(const SummaryDatabase&) = delete;
+  SummaryDatabase& operator=(const SummaryDatabase&) = delete;
+
+  /// Cache probe. NOT_FOUND on miss; a hit returns the entry (caller
+  /// decides whether a stale entry is acceptable for its accuracy
+  /// policy).
+  Result<SummaryEntry> Lookup(const SummaryKey& key);
+
+  /// Inserts or replaces the cached result for `key`.
+  Status Insert(const SummaryKey& key, const SummaryResult& result,
+                uint64_t view_version);
+
+  /// Overwrites the result of an existing entry in place (used by the
+  /// incremental maintainers) and freshens its version.
+  Status Refresh(const SummaryKey& key, const SummaryResult& result,
+                 uint64_t view_version);
+
+  /// Marks one entry stale.
+  Status MarkStale(const SummaryKey& key);
+
+  /// Marks every entry referencing `attribute` stale — the paper's
+  /// fallback maintenance strategy (§4.3: "after each update operation
+  /// all the values associated with the updated attribute will be marked
+  /// as invalid"). Returns how many entries were marked.
+  Result<uint64_t> InvalidateAttribute(const std::string& attribute);
+
+  /// Removes one entry (and its chunks and reference records).
+  Status Remove(const SummaryKey& key);
+
+  /// Visits every entry whose attribute list contains `attribute` —
+  /// the clustered access path the Management Database rules use (§4.1).
+  Status ForEachOnAttribute(
+      const std::string& attribute,
+      const std::function<Status(const SummaryEntry&)>& fn);
+
+  /// Visits every entry (Fig. 4-style dump).
+  Status ForEach(const std::function<Status(const SummaryEntry&)>& fn);
+
+  uint64_t entry_count() const { return entry_count_; }
+  const SummaryDbStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = SummaryDbStats{}; }
+
+  /// The underlying index (exposed for benchmarks comparing indexed
+  /// lookup against a scan).
+  BPlusTree* index() { return tree_.get(); }
+
+ private:
+  explicit SummaryDatabase(std::unique_ptr<BPlusTree> tree)
+      : tree_(std::move(tree)) {}
+
+  /// First attribute of an encoded key (empty if the key is a reference
+  /// or continuation record).
+  static std::string LeadingAttribute(const std::string& encoded);
+
+  Result<SummaryEntry> LoadEntry(const std::string& encoded_key,
+                                 const std::string& head_value);
+  Status StoreEntry(const SummaryKey& key, const SummaryResult& result,
+                    uint64_t view_version, bool stale);
+  Status EraseChunksAndRefs(const SummaryKey& key);
+
+  std::unique_ptr<BPlusTree> tree_;
+  uint64_t entry_count_ = 0;
+  SummaryDbStats stats_;
+};
+
+}  // namespace statdb
+
+#endif  // STATDB_SUMMARY_SUMMARY_DB_H_

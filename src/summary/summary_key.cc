@@ -1,0 +1,61 @@
+#include "summary/summary_key.h"
+
+#include <sstream>
+
+namespace statdb {
+
+std::string SummaryKey::Encode() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    if (i > 0) os << ",";
+    os << attributes[i];
+  }
+  os << "|" << function << "|" << params;
+  return os.str();
+}
+
+Result<SummaryKey> SummaryKey::Decode(const std::string& encoded) {
+  size_t p1 = encoded.find('|');
+  if (p1 == std::string::npos) {
+    return DataLossError("malformed summary key: " + encoded);
+  }
+  size_t p2 = encoded.find('|', p1 + 1);
+  if (p2 == std::string::npos) {
+    return DataLossError("malformed summary key: " + encoded);
+  }
+  SummaryKey key;
+  std::string attrs = encoded.substr(0, p1);
+  key.function = encoded.substr(p1 + 1, p2 - p1 - 1);
+  key.params = encoded.substr(p2 + 1);
+  size_t start = 0;
+  while (start <= attrs.size()) {
+    size_t comma = attrs.find(',', start);
+    if (comma == std::string::npos) {
+      key.attributes.push_back(attrs.substr(start));
+      break;
+    }
+    key.attributes.push_back(attrs.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return key;
+}
+
+std::string SummaryKey::AttributePrefix(const std::string& attribute) {
+  // Matches both single-attribute entries ("ATTR|fn|...") and the leading
+  // attribute of multi-attribute entries ("ATTR,OTHER|fn|...").
+  return attribute;
+}
+
+std::string SummaryKey::ToString() const {
+  std::ostringstream os;
+  os << function << "(";
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << attributes[i];
+  }
+  if (!params.empty()) os << "; " << params;
+  os << ")";
+  return os.str();
+}
+
+}  // namespace statdb

@@ -1,0 +1,124 @@
+// Boundary sweeps: Summary-Database chunking around the inline-payload
+// threshold, buffer-pool pin churn, and storage-manager bookkeeping.
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "storage/storage_manager.h"
+#include "summary/summary_db.h"
+#include "tests/test_util.h"
+
+namespace statdb {
+namespace {
+
+// The inline payload cap is 1200 bytes; a vector result of n doubles
+// serializes to 5 + 8n bytes, so n around 149-150 straddles the chunking
+// threshold and larger n spans 2+ chunks.
+class ChunkBoundaryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChunkBoundaryTest, VectorResultsRoundTripAcrossThreshold) {
+  TestStorage ts(8192);
+  auto db = SummaryDatabase::Create(&ts.pool);
+  ASSERT_TRUE(db.ok());
+  int n = GetParam();
+  std::vector<double> payload;
+  payload.reserve(n);
+  for (int i = 0; i < n; ++i) payload.push_back(i * 0.5);
+  SummaryKey key = SummaryKey::Of("quartiles", "INCOME",
+                                  "n=" + std::to_string(n));
+  STATDB_ASSERT_OK(
+      (*db)->Insert(key, SummaryResult::Vector(payload), 7));
+  auto hit = (*db)->Lookup(key);
+  ASSERT_TRUE(hit.ok());
+  const std::vector<double>* back = hit->result.AsVector().value();
+  ASSERT_EQ(back->size(), size_t(n));
+  if (n > 0) {
+    EXPECT_DOUBLE_EQ(back->back(), (n - 1) * 0.5);
+  }
+  EXPECT_EQ(hit->view_version, 7u);
+  // Stale-marking and refresh work identically for chunked entries.
+  STATDB_ASSERT_OK((*db)->MarkStale(key));
+  EXPECT_TRUE((*db)->Lookup(key)->stale);
+  STATDB_ASSERT_OK(
+      (*db)->Refresh(key, SummaryResult::Vector(payload), 9));
+  EXPECT_FALSE((*db)->Lookup(key)->stale);
+  // Removal leaves no debris.
+  STATDB_ASSERT_OK((*db)->Remove(key));
+  EXPECT_EQ((*db)->entry_count(), 0u);
+  EXPECT_FALSE((*db)->Lookup(key).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ChunkBoundaryTest,
+                         ::testing::Values(0, 1, 148, 149, 150, 151, 300,
+                                           449, 450, 1000, 5000));
+
+TEST(BufferPoolChurnTest, RandomPinUnpinKeepsContentsIntact) {
+  Rng rng(77);
+  SimulatedDevice dev("d", DeviceCostModel::Memory());
+  BufferPool pool(&dev, 8);
+  // 32 pages, each stamped with its id.
+  std::vector<PageId> ids;
+  for (int i = 0; i < 32; ++i) {
+    auto fresh = pool.NewPage();
+    ASSERT_TRUE(fresh.ok());
+    fresh->second->bytes()[0] = uint8_t(i);
+    fresh->second->bytes()[kPageSize - 1] = uint8_t(i ^ 0xFF);
+    ids.push_back(fresh->first);
+    STATDB_ASSERT_OK(pool.UnpinPage(fresh->first, true));
+  }
+  // Random fetch/modify/unpin churn through the 8-frame pool.
+  for (int op = 0; op < 2000; ++op) {
+    int i = int(rng.UniformInt(0, 31));
+    auto page = pool.FetchPage(ids[i]);
+    ASSERT_TRUE(page.ok());
+    ASSERT_EQ((*page)->bytes()[0], uint8_t(i)) << "op " << op;
+    ASSERT_EQ((*page)->bytes()[kPageSize - 1], uint8_t(i ^ 0xFF));
+    bool dirty = rng.Bernoulli(0.3);
+    if (dirty) {
+      (*page)->bytes()[100] = uint8_t(op);  // scratch area
+    }
+    STATDB_ASSERT_OK(pool.UnpinPage(ids[i], dirty));
+  }
+  EXPECT_GT(pool.stats().evictions, 100u);
+}
+
+TEST(StorageManagerTest, MountingAndStats) {
+  StorageManager sm;
+  auto disk = sm.AddDevice("disk", DeviceCostModel::Disk(), 16);
+  ASSERT_TRUE(disk.ok());
+  EXPECT_EQ(sm.AddDevice("disk", DeviceCostModel::Tape(), 4)
+                .status()
+                .code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_FALSE(sm.GetDevice("nope").ok());
+  EXPECT_FALSE(sm.GetPool("nope").ok());
+
+  BufferPool* pool = sm.GetPool("disk").value();
+  auto page = pool->NewPage();
+  ASSERT_TRUE(page.ok());
+  page->second->bytes()[5] = 42;
+  STATDB_ASSERT_OK(pool->UnpinPage(page->first, true));
+  STATDB_ASSERT_OK(sm.FlushAll());
+  EXPECT_GT(sm.TotalStats().block_writes, 0u);
+  sm.ResetAllStats();
+  EXPECT_EQ(sm.TotalStats().block_writes, 0u);
+  // The flushed byte is on the device.
+  Page direct;
+  STATDB_ASSERT_OK((*disk)->ReadPage(page->first, &direct));
+  EXPECT_EQ(direct.bytes()[5], 42);
+}
+
+TEST(TapeModelTest, ForwardSkipCheaperThanRewind) {
+  SimulatedDevice tape("t", DeviceCostModel::Tape());
+  for (int i = 0; i < 100; ++i) tape.AllocatePage();
+  Page p;
+  ASSERT_TRUE(tape.ReadPage(0, &p).ok());
+  tape.ResetStats();
+  ASSERT_TRUE(tape.ReadPage(50, &p).ok());  // forward skip
+  double forward = tape.stats().simulated_ms;
+  ASSERT_TRUE(tape.ReadPage(10, &p).ok());  // backward: rewind
+  double backward = tape.stats().simulated_ms - forward;
+  EXPECT_GT(backward, forward * 5);
+}
+
+}  // namespace
+}  // namespace statdb

@@ -1,0 +1,151 @@
+#include "storage/buffer_pool.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace statdb {
+namespace {
+
+TEST(BufferPoolTest, NewPageIsZeroedAndPinned) {
+  TestStorage ts(4);
+  auto fresh = ts.pool.NewPage();
+  ASSERT_TRUE(fresh.ok());
+  auto [id, page] = *fresh;
+  for (size_t i = 0; i < kPageSize; i += 512) {
+    EXPECT_EQ(page->bytes()[i], 0);
+  }
+  STATDB_ASSERT_OK(ts.pool.UnpinPage(id, false));
+}
+
+TEST(BufferPoolTest, RepeatedFetchHitsCache) {
+  TestStorage ts(4);
+  auto fresh = ts.pool.NewPage();
+  ASSERT_TRUE(fresh.ok());
+  PageId id = fresh->first;
+  STATDB_ASSERT_OK(ts.pool.UnpinPage(id, true));
+  for (int i = 0; i < 5; ++i) {
+    auto p = ts.pool.FetchPage(id);
+    ASSERT_TRUE(p.ok());
+    STATDB_ASSERT_OK(ts.pool.UnpinPage(id, false));
+  }
+  EXPECT_EQ(ts.pool.stats().hits, 5u);
+  EXPECT_EQ(ts.device.stats().block_reads, 0u);
+}
+
+TEST(BufferPoolTest, EvictionWritesDirtyPages) {
+  TestStorage ts(2);
+  // Create 3 pages with distinct contents through a 2-frame pool.
+  std::vector<PageId> ids;
+  for (int i = 0; i < 3; ++i) {
+    auto fresh = ts.pool.NewPage();
+    ASSERT_TRUE(fresh.ok());
+    fresh->second->bytes()[0] = static_cast<uint8_t>(i + 1);
+    ids.push_back(fresh->first);
+    STATDB_ASSERT_OK(ts.pool.UnpinPage(fresh->first, true));
+  }
+  EXPECT_GE(ts.pool.stats().evictions, 1u);
+  // All three contents must be readable (evicted ones from the device).
+  for (int i = 0; i < 3; ++i) {
+    auto p = ts.pool.FetchPage(ids[i]);
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ((*p)->bytes()[0], i + 1);
+    STATDB_ASSERT_OK(ts.pool.UnpinPage(ids[i], false));
+  }
+}
+
+TEST(BufferPoolTest, PinnedPagesCannotBeEvicted) {
+  TestStorage ts(2);
+  auto a = ts.pool.NewPage();
+  auto b = ts.pool.NewPage();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Both frames pinned; a third page must fail.
+  auto c = ts.pool.NewPage();
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kResourceExhausted);
+  STATDB_ASSERT_OK(ts.pool.UnpinPage(a->first, false));
+  STATDB_ASSERT_OK(ts.pool.UnpinPage(b->first, false));
+  auto d = ts.pool.NewPage();
+  EXPECT_TRUE(d.ok());
+  STATDB_ASSERT_OK(ts.pool.UnpinPage(d->first, false));
+}
+
+TEST(BufferPoolTest, UnpinErrors) {
+  TestStorage ts(2);
+  EXPECT_EQ(ts.pool.UnpinPage(99, false).code(), StatusCode::kNotFound);
+  auto a = ts.pool.NewPage();
+  ASSERT_TRUE(a.ok());
+  STATDB_ASSERT_OK(ts.pool.UnpinPage(a->first, false));
+  EXPECT_EQ(ts.pool.UnpinPage(a->first, false).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(BufferPoolTest, FlushAllPersistsDirtyFrames) {
+  TestStorage ts(4);
+  auto a = ts.pool.NewPage();
+  ASSERT_TRUE(a.ok());
+  a->second->bytes()[7] = 0x77;
+  STATDB_ASSERT_OK(ts.pool.UnpinPage(a->first, true));
+  STATDB_ASSERT_OK(ts.pool.FlushAll());
+  Page direct;
+  STATDB_ASSERT_OK(ts.device.ReadPage(a->first, &direct));
+  EXPECT_EQ(direct.bytes()[7], 0x77);
+}
+
+TEST(BufferPoolTest, ResetDropsCleanState) {
+  TestStorage ts(4);
+  auto a = ts.pool.NewPage();
+  ASSERT_TRUE(a.ok());
+  a->second->bytes()[0] = 9;
+  STATDB_ASSERT_OK(ts.pool.UnpinPage(a->first, true));
+  STATDB_ASSERT_OK(ts.pool.Reset());
+  // After reset the fetch must miss (read from device) but see the data.
+  ts.pool.ResetStats();
+  auto p = ts.pool.FetchPage(a->first);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->bytes()[0], 9);
+  EXPECT_EQ(ts.pool.stats().misses, 1u);
+  STATDB_ASSERT_OK(ts.pool.UnpinPage(a->first, false));
+}
+
+TEST(BufferPoolTest, ResetWithPinnedPageFails) {
+  TestStorage ts(4);
+  auto a = ts.pool.NewPage();
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(ts.pool.Reset().code(), StatusCode::kFailedPrecondition);
+  STATDB_ASSERT_OK(ts.pool.UnpinPage(a->first, false));
+}
+
+TEST(BufferPoolTest, HitRateMath) {
+  BufferPoolStats s;
+  EXPECT_DOUBLE_EQ(s.HitRate(), 0.0);
+  s.hits = 3;
+  s.misses = 1;
+  EXPECT_DOUBLE_EQ(s.HitRate(), 0.75);
+}
+
+TEST(BufferPoolTest, PinnedPageGuardUnpins) {
+  TestStorage ts(2);
+  PageId id;
+  {
+    auto fresh = ts.pool.NewPage();
+    ASSERT_TRUE(fresh.ok());
+    id = fresh->first;
+    STATDB_ASSERT_OK(ts.pool.UnpinPage(id, true));
+    auto fetched = ts.pool.FetchPage(id);
+    ASSERT_TRUE(fetched.ok());
+    PinnedPage guard(&ts.pool, id, fetched.value());
+    guard.get()->bytes()[0] = 1;
+    guard.MarkDirty();
+  }  // guard unpins here
+  // Frame must be evictable now: fill the pool with two new pages.
+  auto a = ts.pool.NewPage();
+  auto b = ts.pool.NewPage();
+  EXPECT_TRUE(a.ok());
+  EXPECT_TRUE(b.ok());
+  STATDB_ASSERT_OK(ts.pool.UnpinPage(a->first, false));
+  STATDB_ASSERT_OK(ts.pool.UnpinPage(b->first, false));
+}
+
+}  // namespace
+}  // namespace statdb

@@ -1,0 +1,118 @@
+#include "storage/column_file.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace statdb {
+namespace {
+
+TEST(ColumnFileTest, AppendGetRoundTrip) {
+  TestStorage ts;
+  ColumnFile col(&ts.pool);
+  STATDB_ASSERT_OK(col.Append(42));
+  STATDB_ASSERT_OK(col.Append(std::nullopt));
+  STATDB_ASSERT_OK(col.Append(-7));
+  EXPECT_EQ(col.size(), 3u);
+  EXPECT_EQ(col.Get(0).value().value(), 42);
+  EXPECT_FALSE(col.Get(1).value().has_value());
+  EXPECT_EQ(col.Get(2).value().value(), -7);
+}
+
+TEST(ColumnFileTest, DoubleCells) {
+  TestStorage ts;
+  ColumnFile col(&ts.pool);
+  STATDB_ASSERT_OK(col.AppendDouble(3.25));
+  STATDB_ASSERT_OK(col.AppendDouble(std::nullopt));
+  EXPECT_DOUBLE_EQ(col.GetDouble(0).value().value(), 3.25);
+  EXPECT_FALSE(col.GetDouble(1).value().has_value());
+}
+
+TEST(ColumnFileTest, SetOverwritesAndTogglesNull) {
+  TestStorage ts;
+  ColumnFile col(&ts.pool);
+  STATDB_ASSERT_OK(col.Append(1));
+  STATDB_ASSERT_OK(col.Set(0, 99));
+  EXPECT_EQ(col.Get(0).value().value(), 99);
+  STATDB_ASSERT_OK(col.Set(0, std::nullopt));
+  EXPECT_FALSE(col.Get(0).value().has_value());
+  STATDB_ASSERT_OK(col.Set(0, 5));
+  EXPECT_EQ(col.Get(0).value().value(), 5);
+}
+
+TEST(ColumnFileTest, SpansManyPages) {
+  TestStorage ts(128);
+  ColumnFile col(&ts.pool);
+  const int n = 2600;  // > 5 pages at 500 cells/page
+  for (int i = 0; i < n; ++i) {
+    STATDB_ASSERT_OK(col.Append(i % 97 == 0 ? std::optional<int64_t>()
+                                            : std::optional<int64_t>(i)));
+  }
+  EXPECT_EQ(col.size(), static_cast<uint64_t>(n));
+  EXPECT_EQ(col.page_count(),
+            static_cast<size_t>((n + ColumnFile::kCellsPerPage - 1) /
+                                ColumnFile::kCellsPerPage));
+  for (int i = 0; i < n; i += 127) {
+    auto cell = col.Get(i);
+    ASSERT_TRUE(cell.ok());
+    if (i % 97 == 0) {
+      EXPECT_FALSE(cell->has_value());
+    } else {
+      EXPECT_EQ(cell->value(), i);
+    }
+  }
+}
+
+TEST(ColumnFileTest, ScanVisitsEverythingInOrder) {
+  TestStorage ts(64);
+  ColumnFile col(&ts.pool);
+  for (int i = 0; i < 1200; ++i) {
+    STATDB_ASSERT_OK(col.Append(i));
+  }
+  uint64_t expected = 0;
+  STATDB_ASSERT_OK(
+      col.Scan([&expected](uint64_t idx, std::optional<int64_t> v) -> Status {
+        EXPECT_EQ(idx, expected);
+        EXPECT_EQ(v.value(), static_cast<int64_t>(expected));
+        ++expected;
+        return Status::OK();
+      }));
+  EXPECT_EQ(expected, 1200u);
+}
+
+TEST(ColumnFileTest, ScanTouchesEachPageOnce) {
+  TestStorage ts(64);
+  ColumnFile col(&ts.pool);
+  for (int i = 0; i < 1500; ++i) {
+    STATDB_ASSERT_OK(col.Append(i));
+  }
+  STATDB_ASSERT_OK(ts.pool.FlushAll());
+  STATDB_ASSERT_OK(ts.pool.Reset());
+  ts.pool.ResetStats();
+  STATDB_ASSERT_OK(col.Scan([](uint64_t, std::optional<int64_t>) -> Status {
+    return Status::OK();
+  }));
+  EXPECT_EQ(ts.pool.stats().misses, col.page_count());
+  EXPECT_EQ(ts.pool.stats().hits, 0u);
+}
+
+TEST(ColumnFileTest, ReadAllMatches) {
+  TestStorage ts;
+  ColumnFile col(&ts.pool);
+  for (int i = 0; i < 700; ++i) {
+    STATDB_ASSERT_OK(col.Append(i * 3));
+  }
+  auto all = col.ReadAll();
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 700u);
+  EXPECT_EQ((*all)[699].value(), 2097);
+}
+
+TEST(ColumnFileTest, OutOfRangeAccess) {
+  TestStorage ts;
+  ColumnFile col(&ts.pool);
+  EXPECT_EQ(col.Get(0).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(col.Set(0, 1).code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace statdb

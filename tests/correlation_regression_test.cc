@@ -1,0 +1,96 @@
+#include <cmath>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "stats/correlation.h"
+#include "stats/regression.h"
+
+namespace statdb {
+namespace {
+
+TEST(CorrelationTest, PerfectPositiveAndNegative) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonR(x, y).value(), 1.0, 1e-12);
+  std::vector<double> yn = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonR(x, yn).value(), -1.0, 1e-12);
+}
+
+TEST(CorrelationTest, HandComputedCovariance) {
+  std::vector<double> x = {1, 2, 3};
+  std::vector<double> y = {4, 6, 8};
+  // cov = sum((x-2)(y-6))/2 = (2 + 0 + 2)/2 = 2.
+  EXPECT_DOUBLE_EQ(Covariance(x, y).value(), 2.0);
+}
+
+TEST(CorrelationTest, Errors) {
+  EXPECT_FALSE(Covariance({1, 2}, {1}).ok());
+  EXPECT_FALSE(Covariance({1}, {1}).ok());
+  EXPECT_FALSE(PearsonR({1, 1, 1}, {1, 2, 3}).ok());  // constant x
+}
+
+TEST(CorrelationTest, IndependentDataNearZero) {
+  Rng rng(3);
+  std::vector<double> x, y;
+  for (int i = 0; i < 20000; ++i) {
+    x.push_back(rng.Normal(0, 1));
+    y.push_back(rng.Normal(0, 1));
+  }
+  EXPECT_LT(std::abs(PearsonR(x, y).value()), 0.03);
+}
+
+TEST(RegressionTest, ExactLineRecovered) {
+  std::vector<double> x = {0, 1, 2, 3, 4};
+  std::vector<double> y;
+  for (double xi : x) y.push_back(3.0 + 2.0 * xi);
+  auto fit = FitLinear(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit->intercept, 3.0, 1e-12);
+  EXPECT_NEAR(fit->r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit->residual_stddev, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(fit->Predict(10.0), 23.0);
+}
+
+TEST(RegressionTest, NoisyLineApproximatelyRecovered) {
+  Rng rng(5);
+  std::vector<double> x, y;
+  for (int i = 0; i < 5000; ++i) {
+    double xi = rng.UniformDouble(0, 100);
+    x.push_back(xi);
+    y.push_back(5.0 - 0.7 * xi + rng.Normal(0, 3.0));
+  }
+  auto fit = FitLinear(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, -0.7, 0.01);
+  EXPECT_NEAR(fit->intercept, 5.0, 0.5);
+  EXPECT_GT(fit->r_squared, 0.95);
+  EXPECT_NEAR(fit->residual_stddev, 3.0, 0.2);
+}
+
+TEST(RegressionTest, ResidualsSumToZero) {
+  Rng rng(6);
+  std::vector<double> x, y;
+  for (int i = 0; i < 500; ++i) {
+    x.push_back(rng.UniformDouble(0, 10));
+    y.push_back(2 * x.back() + rng.Normal(0, 1));
+  }
+  auto fit = FitLinear(x, y);
+  ASSERT_TRUE(fit.ok());
+  auto res = Residuals(x, y, *fit);
+  ASSERT_TRUE(res.ok());
+  double sum = 0;
+  for (double r : *res) sum += r;
+  EXPECT_NEAR(sum, 0.0, 1e-6);  // OLS residuals are mean-zero
+}
+
+TEST(RegressionTest, Errors) {
+  EXPECT_FALSE(FitLinear({1}, {1}).ok());
+  EXPECT_FALSE(FitLinear({1, 2}, {1}).ok());
+  EXPECT_FALSE(FitLinear({3, 3, 3}, {1, 2, 3}).ok());  // constant x
+  LinearFit fit;
+  EXPECT_FALSE(Residuals({1, 2}, {1}, fit).ok());
+}
+
+}  // namespace
+}  // namespace statdb

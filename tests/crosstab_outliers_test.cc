@@ -1,0 +1,106 @@
+#include "stats/crosstab.h"
+#include "stats/outliers.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace statdb {
+namespace {
+
+Table RaceBySurvival() {
+  Table t{Schema({Attribute::Category("RACE"),
+                  Attribute::Category("PAST_40")})};
+  auto add = [&t](int64_t race, int64_t past40, int copies) {
+    for (int i = 0; i < copies; ++i) {
+      ASSERT_TRUE(
+          t.AppendRow({Value::Int(race), Value::Int(past40)}).ok());
+    }
+  };
+  add(0, 1, 30);
+  add(0, 0, 10);
+  add(1, 1, 15);
+  add(1, 0, 25);
+  return t;
+}
+
+TEST(CrossTabTest, CountsAndMargins) {
+  Table t = RaceBySurvival();
+  auto ct = BuildCrossTab(t, "RACE", "PAST_40");
+  ASSERT_TRUE(ct.ok());
+  ASSERT_EQ(ct->row_labels.size(), 2u);
+  ASSERT_EQ(ct->col_labels.size(), 2u);
+  EXPECT_EQ(ct->counts[0][1], 30u);  // race 0, past40 1
+  EXPECT_EQ(ct->counts[1][0], 25u);
+  EXPECT_EQ(ct->Total(), 80u);
+  EXPECT_EQ(ct->RowTotals()[0], 40u);
+  EXPECT_EQ(ct->ColTotals()[1], 45u);
+}
+
+TEST(CrossTabTest, NullCellsSkipped) {
+  Table t = RaceBySurvival();
+  ASSERT_TRUE(t.SetCell(0, 0, Value::Null()).ok());
+  auto ct = BuildCrossTab(t, "RACE", "PAST_40");
+  ASSERT_TRUE(ct.ok());
+  EXPECT_EQ(ct->Total(), 79u);
+}
+
+TEST(CrossTabTest, UnknownAttributeFails) {
+  Table t = RaceBySurvival();
+  EXPECT_FALSE(BuildCrossTab(t, "NOPE", "PAST_40").ok());
+}
+
+TEST(CrossTabTest, ToStringContainsLabels) {
+  Table t = RaceBySurvival();
+  auto ct = BuildCrossTab(t, "RACE", "PAST_40");
+  ASSERT_TRUE(ct.ok());
+  EXPECT_NE(ct->ToString().find('0'), std::string::npos);
+}
+
+TEST(OutliersTest, RangeCheckFindsViolations) {
+  std::vector<double> ages = {25, 34, 1000, 45, -3, 60};
+  auto bad = RangeCheckViolations(ages, 0, 120);
+  ASSERT_EQ(bad.size(), 2u);
+  EXPECT_EQ(bad[0], 2u);
+  EXPECT_EQ(bad[1], 4u);
+}
+
+TEST(OutliersTest, RangeCheckEmptyOk) {
+  EXPECT_TRUE(RangeCheckViolations({}, 0, 1).empty());
+}
+
+TEST(OutliersTest, ZScoreFindsPlantedOutlier) {
+  std::vector<double> data(200, 0.0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = double(i % 10);  // values 0..9
+  }
+  data.push_back(1e6);
+  auto out = ZScoreOutliers(data, 3.0);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0], 200u);
+}
+
+TEST(OutliersTest, ConstantColumnHasNoOutliers) {
+  std::vector<double> data(50, 7.0);
+  auto out = ZScoreOutliers(data, 2.0);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+}
+
+TEST(OutliersTest, Errors) {
+  EXPECT_FALSE(ZScoreOutliers({1.0}, 3.0).ok());
+  EXPECT_FALSE(ZScoreOutliers({1.0, 2.0}, 0.0).ok());
+}
+
+TEST(OutliersTest, CountOutsideKSigmaMatchesIndices) {
+  std::vector<double> data;
+  for (int i = 0; i < 100; ++i) data.push_back(i % 7);
+  data.push_back(500);
+  data.push_back(-500);
+  auto count = CountOutsideKSigma(data, 3.0);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 2u);
+}
+
+}  // namespace
+}  // namespace statdb

@@ -1,0 +1,157 @@
+#include "relational/datagen.h"
+
+#include "gtest/gtest.h"
+#include "relational/ops.h"
+#include "tests/test_util.h"
+
+namespace statdb {
+namespace {
+
+TEST(DatagenTest, SchemaShape) {
+  Schema s = CensusMicrodataSchema();
+  EXPECT_EQ(s.size(), 9u);
+  EXPECT_EQ(s.CategoryAttributes().size(), 5u);
+  // AGE_GROUP carries its code-table reference (Fig. 2).
+  size_t idx = s.IndexOf("AGE_GROUP").value();
+  EXPECT_EQ(s.attr(idx).code_table, "AGE_GROUP");
+  EXPECT_FALSE(s.attr(idx).summarizable);
+  EXPECT_TRUE(s.attr(s.IndexOf("INCOME").value()).summarizable);
+}
+
+TEST(DatagenTest, GeneratesRequestedRows) {
+  CensusOptions opts;
+  opts.rows = 1234;
+  Rng rng(1);
+  auto t = GenerateCensusMicrodata(opts, &rng);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 1234u);
+}
+
+TEST(DatagenTest, DeterministicForSeed) {
+  CensusOptions opts;
+  opts.rows = 100;
+  Rng a(9), b(9);
+  auto ta = GenerateCensusMicrodata(opts, &a);
+  auto tb = GenerateCensusMicrodata(opts, &b);
+  ASSERT_TRUE(ta.ok());
+  ASSERT_TRUE(tb.ok());
+  for (size_t r = 0; r < 100; ++r) {
+    for (size_t c = 0; c < ta->num_columns(); ++c) {
+      EXPECT_EQ(ta->At(r, c), tb->At(r, c));
+    }
+  }
+}
+
+TEST(DatagenTest, AgeGroupConsistentWithAge) {
+  CensusOptions opts;
+  opts.rows = 500;
+  opts.outlier_fraction = 0.0;
+  Rng rng(2);
+  auto t = GenerateCensusMicrodata(opts, &rng);
+  ASSERT_TRUE(t.ok());
+  size_t age_idx = t->schema().IndexOf("AGE").value();
+  size_t grp_idx = t->schema().IndexOf("AGE_GROUP").value();
+  for (size_t r = 0; r < t->num_rows(); ++r) {
+    int64_t age = t->At(r, age_idx).AsInt();
+    int64_t grp = t->At(r, grp_idx).AsInt();
+    int64_t expected = age <= 20 ? 1 : age <= 40 ? 2 : age <= 60 ? 3 : 4;
+    EXPECT_EQ(grp, expected);
+  }
+}
+
+TEST(DatagenTest, OutliersArePlanted) {
+  CensusOptions opts;
+  opts.rows = 20000;
+  opts.outlier_fraction = 0.01;
+  Rng rng(3);
+  auto t = GenerateCensusMicrodata(opts, &rng);
+  ASSERT_TRUE(t.ok());
+  size_t age_idx = t->schema().IndexOf("AGE").value();
+  int impossible_ages = 0;
+  for (size_t r = 0; r < t->num_rows(); ++r) {
+    if (t->At(r, age_idx).AsInt() == 1000) ++impossible_ages;
+  }
+  EXPECT_GT(impossible_ages, 30);  // ~half of 1% of 20000
+}
+
+TEST(DatagenTest, MissingValuesArePlanted) {
+  CensusOptions opts;
+  opts.rows = 5000;
+  opts.missing_fraction = 0.05;
+  Rng rng(4);
+  auto t = GenerateCensusMicrodata(opts, &rng);
+  ASSERT_TRUE(t.ok());
+  size_t hrs_idx = t->schema().IndexOf("HOURS_WORKED").value();
+  int missing = 0;
+  for (size_t r = 0; r < t->num_rows(); ++r) {
+    if (t->At(r, hrs_idx).is_null()) ++missing;
+  }
+  EXPECT_GT(missing, 150);
+}
+
+TEST(DatagenTest, SortedOptionClustersCategories) {
+  CensusOptions opts;
+  opts.rows = 1000;
+  opts.sorted_by_categories = true;
+  Rng rng(5);
+  auto t = GenerateCensusMicrodata(opts, &rng);
+  ASSERT_TRUE(t.ok());
+  size_t sex_idx = t->schema().IndexOf("SEX").value();
+  for (size_t r = 1; r < t->num_rows(); ++r) {
+    EXPECT_FALSE(t->At(r, sex_idx) < t->At(r - 1, sex_idx));
+  }
+}
+
+TEST(DatagenTest, CodeTablesMatchFig2) {
+  Table age = MakeAgeGroupCodeTable();
+  EXPECT_EQ(age.num_rows(), 4u);
+  EXPECT_EQ(age.At(0, 1), Value::Str("0 to 20"));
+  EXPECT_EQ(age.At(3, 1), Value::Str("over 60"));
+  EXPECT_EQ(MakeSexCodeTable().num_rows(), 2u);
+  EXPECT_EQ(MakeRaceCodeTable().num_rows(), 4u);
+  EXPECT_EQ(MakeRegionCodeTable().num_rows(), 9u);
+  EXPECT_EQ(MakeEducationCodeTable().num_rows(), 6u);
+}
+
+TEST(DatagenTest, AggregateToFig1Shape) {
+  CensusOptions opts;
+  opts.rows = 3000;
+  Rng rng(6);
+  auto micro = GenerateCensusMicrodata(opts, &rng);
+  ASSERT_TRUE(micro.ok());
+  auto fig1 = AggregateToFig1(*micro);
+  ASSERT_TRUE(fig1.ok());
+  EXPECT_TRUE(fig1->schema().Contains("POPULATION"));
+  EXPECT_TRUE(fig1->schema().Contains("AVE_SALARY"));
+  // At most 2 sexes x 4 races x 4 age groups partitions.
+  EXPECT_LE(fig1->num_rows(), 32u);
+  EXPECT_GE(fig1->num_rows(), 8u);
+  // POPULATION sums to the number of people.
+  auto pops = fig1->NumericColumn("POPULATION");
+  ASSERT_TRUE(pops.ok());
+  double total = 0;
+  for (double p : *pops) total += p;
+  EXPECT_DOUBLE_EQ(total, 3000.0);
+}
+
+TEST(DatagenTest, IncomeCorrelatesWithEducation) {
+  CensusOptions opts;
+  opts.rows = 10000;
+  opts.outlier_fraction = 0.0;
+  Rng rng(7);
+  auto t = GenerateCensusMicrodata(opts, &rng);
+  ASSERT_TRUE(t.ok());
+  // Mean income of the most educated beats the least educated.
+  auto grouped = GroupByAggregate(*t, {"EDUCATION"},
+                                  {AggSpec::Avg("INCOME", "AVG")});
+  ASSERT_TRUE(grouped.ok());
+  double lo = 0, hi = 0;
+  for (size_t r = 0; r < grouped->num_rows(); ++r) {
+    if (grouped->At(r, 0) == Value::Int(0)) lo = grouped->At(r, 1).AsReal();
+    if (grouped->At(r, 0) == Value::Int(5)) hi = grouped->At(r, 1).AsReal();
+  }
+  EXPECT_GT(hi, lo * 1.5);
+}
+
+}  // namespace
+}  // namespace statdb

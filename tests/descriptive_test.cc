@@ -1,0 +1,93 @@
+#include "stats/descriptive.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace statdb {
+namespace {
+
+TEST(DescriptiveTest, HandComputedValues) {
+  std::vector<double> data = {2, 4, 4, 4, 5, 5, 7, 9};
+  DescriptiveStats s = ComputeDescriptive(data);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.sum, 40.0);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  // Population variance is 4; sample variance = 32/7.
+  EXPECT_NEAR(s.Variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.StdDev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(DescriptiveTest, EmptyAndSingleton) {
+  DescriptiveStats empty = ComputeDescriptive({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.Variance(), 0.0);
+  DescriptiveStats one = ComputeDescriptive({42.0});
+  EXPECT_EQ(one.count, 1u);
+  EXPECT_DOUBLE_EQ(one.mean, 42.0);
+  EXPECT_DOUBLE_EQ(one.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(one.min, 42.0);
+  EXPECT_DOUBLE_EQ(one.max, 42.0);
+}
+
+TEST(DescriptiveTest, SingleFunctionHelpers) {
+  std::vector<double> d = {3, 1, 4, 1, 5};
+  EXPECT_DOUBLE_EQ(Min(d).value(), 1.0);
+  EXPECT_DOUBLE_EQ(Max(d).value(), 5.0);
+  EXPECT_DOUBLE_EQ(Mean(d).value(), 2.8);
+  EXPECT_DOUBLE_EQ(Sum(d), 14.0);
+  EXPECT_TRUE(Variance(d).ok());
+  EXPECT_TRUE(StdDev(d).ok());
+}
+
+TEST(DescriptiveTest, EmptyInputsError) {
+  std::vector<double> empty;
+  EXPECT_FALSE(Min(empty).ok());
+  EXPECT_FALSE(Max(empty).ok());
+  EXPECT_FALSE(Mean(empty).ok());
+  EXPECT_FALSE(Variance(empty).ok());
+  EXPECT_FALSE(Mode(empty).ok());
+  EXPECT_DOUBLE_EQ(Sum(empty), 0.0);
+  EXPECT_EQ(CountDistinct(empty), 0u);
+}
+
+TEST(DescriptiveTest, ModePicksMostFrequentSmallestTie) {
+  EXPECT_DOUBLE_EQ(Mode({1, 2, 2, 3}).value(), 2.0);
+  // Tie between 1 and 2: smaller wins.
+  EXPECT_DOUBLE_EQ(Mode({2, 1, 2, 1}).value(), 1.0);
+}
+
+TEST(DescriptiveTest, CountDistinct) {
+  EXPECT_EQ(CountDistinct({1, 1, 2, 3, 3, 3}), 3u);
+  EXPECT_EQ(CountDistinct({5}), 1u);
+}
+
+class WelfordPropertyTest : public ::testing::TestWithParam<int> {};
+
+// Welford one-pass variance must agree with the naive two-pass formula.
+TEST_P(WelfordPropertyTest, MatchesTwoPassVariance) {
+  Rng rng(GetParam());
+  std::vector<double> data;
+  int n = 2 + static_cast<int>(rng.UniformInt(0, 5000));
+  data.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    data.push_back(rng.Normal(1e6, 123.0));  // large offset stresses FP
+  }
+  DescriptiveStats s = ComputeDescriptive(data);
+  double mean = 0;
+  for (double x : data) mean += x;
+  mean /= n;
+  double ss = 0;
+  for (double x : data) ss += (x - mean) * (x - mean);
+  double naive_var = ss / (n - 1);
+  EXPECT_NEAR(s.mean, mean, 1e-6);
+  EXPECT_NEAR(s.Variance(), naive_var, naive_var * 1e-9 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WelfordPropertyTest, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace statdb

@@ -1,0 +1,93 @@
+#include "storage/device.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace statdb {
+namespace {
+
+TEST(DeviceTest, ReadBackWhatWasWritten) {
+  SimulatedDevice dev("d", DeviceCostModel::Memory());
+  PageId id = dev.AllocatePage();
+  Page p;
+  p.bytes()[0] = 0xAB;
+  p.bytes()[kPageSize - 1] = 0xCD;
+  STATDB_ASSERT_OK(dev.WritePage(id, p));
+  Page q;
+  STATDB_ASSERT_OK(dev.ReadPage(id, &q));
+  EXPECT_EQ(q.bytes()[0], 0xAB);
+  EXPECT_EQ(q.bytes()[kPageSize - 1], 0xCD);
+}
+
+TEST(DeviceTest, OutOfRangeAccessFails) {
+  SimulatedDevice dev("d", DeviceCostModel::Memory());
+  Page p;
+  EXPECT_EQ(dev.ReadPage(0, &p).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(dev.WritePage(5, p).code(), StatusCode::kOutOfRange);
+}
+
+TEST(DeviceTest, SequentialReadsCostLessThanRandomOnDisk) {
+  SimulatedDevice dev("disk", DeviceCostModel::Disk());
+  for (int i = 0; i < 100; ++i) dev.AllocatePage();
+  Page p;
+  // Sequential pass.
+  for (PageId i = 0; i < 100; ++i) {
+    ASSERT_TRUE(dev.ReadPage(i, &p).ok());
+  }
+  double sequential_ms = dev.stats().simulated_ms;
+  uint64_t sequential_seeks = dev.stats().seeks;
+  dev.ResetStats();
+  // Strided (random-ish) pass touching the same number of pages.
+  for (PageId i = 0; i < 100; ++i) {
+    ASSERT_TRUE(dev.ReadPage((i * 37) % 100, &p).ok());
+  }
+  EXPECT_GT(dev.stats().simulated_ms, 5 * sequential_ms);
+  EXPECT_GT(dev.stats().seeks, sequential_seeks);
+}
+
+TEST(DeviceTest, TapeChargesRewindOnBackwardSeek) {
+  SimulatedDevice dev("tape", DeviceCostModel::Tape());
+  for (int i = 0; i < 10; ++i) dev.AllocatePage();
+  Page p;
+  ASSERT_TRUE(dev.ReadPage(0, &p).ok());
+  ASSERT_TRUE(dev.ReadPage(9, &p).ok());  // forward seek: no rewind
+  double forward_ms = dev.stats().simulated_ms;
+  ASSERT_TRUE(dev.ReadPage(0, &p).ok());  // backwards: rewind charge
+  double after_rewind = dev.stats().simulated_ms;
+  EXPECT_GE(after_rewind - forward_ms,
+            DeviceCostModel::Tape().rewind_ms);
+}
+
+TEST(DeviceTest, StatsCountReadsAndWrites) {
+  SimulatedDevice dev("d", DeviceCostModel::Memory());
+  PageId id = dev.AllocatePage();
+  Page p;
+  ASSERT_TRUE(dev.WritePage(id, p).ok());
+  ASSERT_TRUE(dev.ReadPage(id, &p).ok());
+  ASSERT_TRUE(dev.ReadPage(id, &p).ok());
+  EXPECT_EQ(dev.stats().block_writes, 1u);
+  EXPECT_EQ(dev.stats().block_reads, 2u);
+}
+
+TEST(DeviceTest, IoStatsAccumulate) {
+  IoStats a{10, 5, 2, 100.0};
+  IoStats b{1, 1, 1, 1.0};
+  a += b;
+  EXPECT_EQ(a.block_reads, 11u);
+  EXPECT_EQ(a.block_writes, 6u);
+  EXPECT_EQ(a.seeks, 3u);
+  EXPECT_DOUBLE_EQ(a.simulated_ms, 101.0);
+}
+
+TEST(DeviceTest, ResetStatsZeroes) {
+  SimulatedDevice dev("d", DeviceCostModel::Disk());
+  PageId id = dev.AllocatePage();
+  Page p;
+  ASSERT_TRUE(dev.ReadPage(id, &p).ok());
+  dev.ResetStats();
+  EXPECT_EQ(dev.stats().block_reads, 0u);
+  EXPECT_DOUBLE_EQ(dev.stats().simulated_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace statdb

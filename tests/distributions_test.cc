@@ -1,0 +1,78 @@
+#include "stats/distributions.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace statdb {
+namespace {
+
+TEST(DistributionsTest, NormalCdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413447460685429, 1e-9);
+  EXPECT_NEAR(NormalCdf(-1.0), 1.0 - 0.8413447460685429, 1e-9);
+  EXPECT_NEAR(NormalCdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(NormalCdf(5.0), 1.0, 1e-6);
+}
+
+TEST(DistributionsTest, NormalCdfWithParameters) {
+  EXPECT_NEAR(NormalCdf(10.0, 10.0, 2.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(12.0, 10.0, 2.0), NormalCdf(1.0), 1e-12);
+}
+
+TEST(DistributionsTest, GammaPDomainErrors) {
+  EXPECT_FALSE(RegularizedGammaP(0.0, 1.0).ok());
+  EXPECT_FALSE(RegularizedGammaP(-1.0, 1.0).ok());
+  EXPECT_FALSE(RegularizedGammaP(1.0, -1.0).ok());
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(1.0, 0.0).value(), 0.0);
+}
+
+TEST(DistributionsTest, GammaPKnownValues) {
+  // P(1, x) = 1 - e^-x.
+  for (double x : {0.1, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x).value(), 1.0 - std::exp(-x),
+                1e-10);
+  }
+}
+
+TEST(DistributionsTest, ChiSquaredCdfDof2IsExponential) {
+  // With k=2, chi2 CDF(x) = 1 - e^{-x/2}.
+  for (double x : {0.5, 1.0, 2.0, 5.0, 10.0}) {
+    EXPECT_NEAR(ChiSquaredCdf(x, 2.0).value(), 1.0 - std::exp(-x / 2.0),
+                1e-10);
+  }
+}
+
+TEST(DistributionsTest, ChiSquaredCriticalValues) {
+  // Classic table: chi2_{0.95, 1} = 3.841, chi2_{0.95, 5} = 11.070.
+  EXPECT_NEAR(ChiSquaredCdf(3.841458821, 1.0).value(), 0.95, 1e-6);
+  EXPECT_NEAR(ChiSquaredCdf(11.0704977, 5.0).value(), 0.95, 1e-6);
+  EXPECT_NEAR(ChiSquaredCdf(18.30703805, 10.0).value(), 0.95, 1e-6);
+}
+
+TEST(DistributionsTest, ChiSquaredPValueComplement) {
+  auto p = ChiSquaredPValue(3.841458821, 1.0);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(*p, 0.05, 1e-6);
+}
+
+TEST(DistributionsTest, ChiSquaredEdgeCases) {
+  EXPECT_DOUBLE_EQ(ChiSquaredCdf(0.0, 3.0).value(), 0.0);
+  EXPECT_DOUBLE_EQ(ChiSquaredCdf(-5.0, 3.0).value(), 0.0);
+  EXPECT_FALSE(ChiSquaredCdf(1.0, 0.0).ok());
+  // Very large statistic saturates to ~1.
+  EXPECT_NEAR(ChiSquaredCdf(1000.0, 3.0).value(), 1.0, 1e-12);
+}
+
+TEST(DistributionsTest, GammaPMonotoneInX) {
+  double prev = 0.0;
+  for (double x = 0.1; x < 20.0; x += 0.5) {
+    double p = RegularizedGammaP(4.0, x).value();
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace statdb

@@ -1,0 +1,343 @@
+// Tests for the extension features: frequency/histogram maintainers,
+// bivariate cached queries, bounded staleness, and the SUBJECT-session
+// to view-definition bridge.
+
+#include <cmath>
+
+#include "core/dbms.h"
+#include "gtest/gtest.h"
+#include "meta/subject_graph.h"
+#include "relational/datagen.h"
+#include "rules/incremental.h"
+#include "stats/correlation.h"
+#include "stats/descriptive.h"
+#include "stats/histogram.h"
+#include "tests/test_util.h"
+
+namespace statdb {
+namespace {
+
+// --- frequency maintainers -------------------------------------------------
+
+TEST(FrequencyMaintainerTest, ModeTracksUpdates) {
+  auto m = MakeModeMaintainer();
+  EXPECT_DOUBLE_EQ(
+      m->Initialize({1, 2, 2, 3}).value().AsScalar().value(), 2.0);
+  // Promote 3 to the mode.
+  ASSERT_TRUE(m->Apply(CellDelta::Fill(3)).ok());
+  auto r = m->Apply(CellDelta::Fill(3));
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().AsScalar().value(), 3.0);
+  // Remove both 2s: mode stays 3.
+  ASSERT_TRUE(m->Apply(CellDelta::Invalidate(2)).ok());
+  auto r2 = m->Apply(CellDelta::Invalidate(2));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_DOUBLE_EQ(r2.value().AsScalar().value(), 3.0);
+}
+
+TEST(FrequencyMaintainerTest, ModeTieBreaksTowardSmaller) {
+  auto m = MakeModeMaintainer();
+  ASSERT_TRUE(m->Initialize({5, 5, 1, 1}).ok());
+  EXPECT_DOUBLE_EQ(m->Current().value().AsScalar().value(), 1.0);
+}
+
+TEST(FrequencyMaintainerTest, DistinctTracksExactly) {
+  auto m = MakeDistinctMaintainer();
+  EXPECT_DOUBLE_EQ(
+      m->Initialize({1, 1, 2}).value().AsScalar().value(), 2.0);
+  EXPECT_DOUBLE_EQ(
+      m->Apply(CellDelta::Fill(9)).value().AsScalar().value(), 3.0);
+  EXPECT_DOUBLE_EQ(
+      m->Apply(CellDelta::Invalidate(1)).value().AsScalar().value(), 3.0);
+  EXPECT_DOUBLE_EQ(
+      m->Apply(CellDelta::Invalidate(1)).value().AsScalar().value(), 2.0);
+}
+
+TEST(FrequencyMaintainerTest, RemovingUnknownValueForcesRebuild) {
+  auto m = MakeDistinctMaintainer();
+  ASSERT_TRUE(m->Initialize({1, 2}).ok());
+  EXPECT_EQ(m->Apply(CellDelta::Invalidate(99)).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+class FrequencyPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FrequencyPropertyTest, MatchesFullRecompute) {
+  Rng rng(GetParam());
+  std::vector<double> column;
+  for (int i = 0; i < 100; ++i) {
+    column.push_back(double(rng.UniformInt(0, 15)));
+  }
+  auto mode = MakeModeMaintainer();
+  auto distinct = MakeDistinctMaintainer();
+  ASSERT_TRUE(mode->Initialize(column).ok());
+  ASSERT_TRUE(distinct->Initialize(column).ok());
+  for (int step = 0; step < 300; ++step) {
+    size_t idx = size_t(rng.UniformInt(0, int64_t(column.size()) - 1));
+    double fresh = double(rng.UniformInt(0, 15));
+    CellDelta d = CellDelta::Change(column[idx], fresh);
+    column[idx] = fresh;
+    double got_mode = mode->Apply(d).value().AsScalar().value();
+    double got_distinct = distinct->Apply(d).value().AsScalar().value();
+    ASSERT_DOUBLE_EQ(got_mode, Mode(column).value()) << "step " << step;
+    ASSERT_DOUBLE_EQ(got_distinct, double(CountDistinct(column)))
+        << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrequencyPropertyTest,
+                         ::testing::Range(1, 7));
+
+// --- histogram maintainer ----------------------------------------------------
+
+TEST(HistogramMaintainerTest, CountsFollowDeltas) {
+  auto m = MakeHistogramMaintainer(4);
+  std::vector<double> data = {0, 1, 2, 3, 4, 5, 6, 7};
+  auto init = m->Initialize(data);
+  ASSERT_TRUE(init.ok());
+  // Move a value from the first bucket to the last.
+  auto r = m->Apply(CellDelta::Change(0, 7));
+  ASSERT_TRUE(r.ok());
+  const Histogram* h = r.value().AsHistogram().value();
+  EXPECT_EQ(h->TotalCount(), 8u);
+  EXPECT_EQ(h->counts.back(), 3u);  // 6, 7, 7
+}
+
+TEST(HistogramMaintainerTest, SpillBeyondToleranceForcesRebuild) {
+  auto m = MakeHistogramMaintainer(4, /*spill_tolerance=*/0.2);
+  std::vector<double> data;
+  for (int i = 0; i < 20; ++i) data.push_back(i % 10);
+  ASSERT_TRUE(m->Initialize(data).ok());
+  // Push values far outside the frozen [0,9] range until refusal.
+  bool refused = false;
+  for (int i = 0; i < 10; ++i) {
+    auto r = m->Apply(CellDelta::Change(double(i % 10), 1000.0 + i));
+    if (!r.ok()) {
+      refused = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(refused);
+}
+
+TEST(HistogramMaintainerTest, AgreesWithFixedEdgeRecompute) {
+  Rng rng(4);
+  std::vector<double> column;
+  for (int i = 0; i < 500; ++i) {
+    column.push_back(rng.UniformDouble(0, 100));
+  }
+  auto m = MakeHistogramMaintainer(10);
+  auto init = m->Initialize(column);
+  ASSERT_TRUE(init.ok());
+  double lo = init.value().AsHistogram().value()->edges.front();
+  double hi = init.value().AsHistogram().value()->edges.back();
+  for (int step = 0; step < 200; ++step) {
+    size_t idx = size_t(rng.UniformInt(0, int64_t(column.size()) - 1));
+    double fresh = rng.UniformDouble(0, 100);
+    CellDelta d = CellDelta::Change(column[idx], fresh);
+    column[idx] = fresh;
+    auto r = m->Apply(d);
+    if (!r.ok()) {
+      r = m->Initialize(column);
+      ASSERT_TRUE(r.ok());
+      lo = r.value().AsHistogram().value()->edges.front();
+      hi = r.value().AsHistogram().value()->edges.back();
+    }
+    // Recompute against the same frozen edges: counts must match.
+    Histogram expected = BuildHistogram(column, 10, lo, hi).value();
+    const Histogram* got = r.value().AsHistogram().value();
+    ASSERT_EQ(got->counts, expected.counts) << "step " << step;
+    ASSERT_EQ(got->below, expected.below);
+    ASSERT_EQ(got->above, expected.above);
+  }
+}
+
+// --- bivariate queries -------------------------------------------------------
+
+class BivariateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    storage_ = MakeTapeDiskStorage();
+    dbms_ = std::make_unique<StatisticalDbms>(storage_.get());
+    CensusOptions opts;
+    opts.rows = 3000;
+    Rng rng(41);
+    raw_ = GenerateCensusMicrodata(opts, &rng).value();
+    STATDB_ASSERT_OK(dbms_->LoadRawDataSet("census", raw_));
+    ViewDefinition def;
+    def.source = "census";
+    STATDB_ASSERT_OK(
+        dbms_->CreateView("v", def, MaintenancePolicy::kIncremental)
+            .status());
+  }
+
+  std::unique_ptr<StorageManager> storage_;
+  std::unique_ptr<StatisticalDbms> dbms_;
+  Table raw_;
+};
+
+TEST_F(BivariateTest, CorrelationMatchesDirectAndCaches) {
+  auto first = dbms_->QueryBivariate("v", "correlation", "AGE", "INCOME");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->source, AnswerSource::kComputed);
+  // Direct computation on aligned pairs.
+  std::vector<double> xs, ys;
+  size_t ai = raw_.schema().IndexOf("AGE").value();
+  size_t ii = raw_.schema().IndexOf("INCOME").value();
+  for (size_t r = 0; r < raw_.num_rows(); ++r) {
+    const Value& a = raw_.At(r, ai);
+    const Value& b = raw_.At(r, ii);
+    if (a.is_null() || b.is_null()) continue;
+    xs.push_back(a.ToDouble().value());
+    ys.push_back(b.ToDouble().value());
+  }
+  EXPECT_NEAR(first->result.AsScalar().value(),
+              PearsonR(xs, ys).value(), 1e-9);
+  auto second = dbms_->QueryBivariate("v", "correlation", "AGE", "INCOME");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->source, AnswerSource::kCacheHit);
+}
+
+TEST_F(BivariateTest, RegressionModelCached) {
+  auto r = dbms_->QueryBivariate("v", "regression", "AGE", "INCOME");
+  ASSERT_TRUE(r.ok());
+  const LinearFit* fit = r->result.AsModel().value();
+  EXPECT_GT(fit->n, 2000u);
+  auto hit = dbms_->QueryBivariate("v", "regression", "AGE", "INCOME");
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit->source, AnswerSource::kCacheHit);
+}
+
+TEST_F(BivariateTest, Chi2IndependenceVector) {
+  auto r = dbms_->QueryBivariate("v", "chi2_independence", "RACE",
+                                 "AGE_GROUP");
+  ASSERT_TRUE(r.ok());
+  const std::vector<double>* v = r->result.AsVector().value();
+  ASSERT_EQ(v->size(), 3u);
+  EXPECT_GT((*v)[0], 0.0);           // statistic
+  EXPECT_DOUBLE_EQ((*v)[1], 9.0);    // (4-1)x(4-1) dof
+  EXPECT_GE((*v)[2], 0.0);           // p-value
+  EXPECT_LE((*v)[2], 1.0);
+}
+
+TEST_F(BivariateTest, CrossTabResult) {
+  auto r = dbms_->QueryBivariate("v", "crosstab", "SEX", "RACE");
+  ASSERT_TRUE(r.ok());
+  const CrossTab* ct = r->result.AsCrossTab().value();
+  EXPECT_EQ(ct->row_labels.size(), 2u);
+  EXPECT_EQ(ct->Total(), raw_.num_rows());
+}
+
+TEST_F(BivariateTest, UpdateToEitherAttributeInvalidates) {
+  ASSERT_TRUE(
+      dbms_->QueryBivariate("v", "correlation", "AGE", "INCOME").ok());
+  // Update the SECOND attribute (INCOME): the multi-attribute entry must
+  // go stale through its reference record.
+  UpdateSpec spec;
+  spec.predicate = Lt(Col("AGE"), Lit(int64_t{25}));
+  spec.column = "INCOME";
+  spec.value = Mul(Col("INCOME"), Lit(1.5));
+  ASSERT_TRUE(dbms_->Update("v", spec).ok());
+  auto after = dbms_->QueryBivariate("v", "correlation", "AGE", "INCOME");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->source, AnswerSource::kComputed);  // not a stale hit
+}
+
+TEST_F(BivariateTest, UnknownFunctionRejected) {
+  EXPECT_EQ(
+      dbms_->QueryBivariate("v", "nope", "AGE", "INCOME").status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+// --- bounded staleness --------------------------------------------------------
+
+TEST_F(BivariateTest, BoundedStalenessServesRecentlyStaleOnly) {
+  ASSERT_TRUE(dbms_->Query("v", "mean", "INCOME").ok());
+  auto update = [this]() {
+    UpdateSpec spec;
+    spec.predicate = Eq(Col("AGE"), Lit(int64_t{30}));
+    spec.column = "INCOME";
+    spec.value = Mul(Col("INCOME"), Lit(1.01));
+    STATDB_ASSERT_OK(dbms_->Update("v", spec).status());
+  };
+  // Switch the view to invalidate-style staleness by updating under the
+  // incremental policy but querying a function with no rule.
+  ASSERT_TRUE(dbms_->Query("v", "trimmed_mean", "INCOME").ok());
+  update();  // marks trimmed_mean stale (no maintainer)
+  QueryOptions lag1;
+  lag1.max_version_lag = 1;
+  auto within = dbms_->Query("v", "trimmed_mean", "INCOME", {}, lag1);
+  ASSERT_TRUE(within.ok());
+  EXPECT_EQ(within->source, AnswerSource::kStaleCacheHit);
+  update();
+  update();
+  auto beyond = dbms_->Query("v", "trimmed_mean", "INCOME", {}, lag1);
+  ASSERT_TRUE(beyond.ok());
+  EXPECT_EQ(beyond->source, AnswerSource::kComputed);
+}
+
+// --- SUBJECT session to view definition ---------------------------------------
+
+TEST(SubjectViewTest, SessionRequestBecomesProjectionView) {
+  SubjectGraph graph;
+  STATDB_ASSERT_OK(
+      graph.AddNode("econ", SubjectNodeKind::kGeneralization));
+  STATDB_ASSERT_OK(graph.AddNode("income", SubjectNodeKind::kAttribute,
+                                 "census", "INCOME"));
+  STATDB_ASSERT_OK(graph.AddNode("hours", SubjectNodeKind::kAttribute,
+                                 "census", "HOURS_WORKED"));
+  STATDB_ASSERT_OK(graph.AddEdge("econ", "income"));
+  STATDB_ASSERT_OK(graph.AddEdge("econ", "hours"));
+  SubjectSession session(&graph);
+  STATDB_ASSERT_OK(session.Enter("econ"));
+  STATDB_ASSERT_OK(session.MarkSelected());
+  auto request = session.GenerateViewRequest();
+  ASSERT_TRUE(request.ok());
+  auto def = ViewDefinitionFromSubjectRequest(*request);
+  ASSERT_TRUE(def.ok());
+  EXPECT_EQ(def->source, "census");
+  ASSERT_EQ(def->projection.size(), 2u);
+
+  // End-to-end: materialize through the DBMS.
+  auto storage = MakeTapeDiskStorage();
+  StatisticalDbms dbms(storage.get());
+  CensusOptions opts;
+  opts.rows = 200;
+  Rng rng(2);
+  STATDB_ASSERT_OK(dbms.LoadRawDataSet(
+      "census", GenerateCensusMicrodata(opts, &rng).value()));
+  auto vc = dbms.CreateView("subject_view", *def,
+                            MaintenancePolicy::kIncremental);
+  ASSERT_TRUE(vc.ok());
+  EXPECT_EQ(dbms.GetView(vc->name).value()->schema().size(), 2u);
+}
+
+TEST(SubjectViewTest, MultiDatasetRequestRejected) {
+  std::vector<std::pair<std::string, std::string>> request = {
+      {"census", "INCOME"}, {"trade", "EXPORTS"}};
+  EXPECT_EQ(ViewDefinitionFromSubjectRequest(request).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(ViewDefinitionFromSubjectRequest({}).ok());
+}
+
+// --- maintained histogram through the DBMS ------------------------------------
+
+TEST_F(BivariateTest, HistogramMaintainedIncrementally) {
+  FunctionParams hp;
+  hp.Set("buckets", 8);
+  ASSERT_TRUE(dbms_->Query("v", "histogram", "INCOME", hp).ok());
+  UpdateSpec spec;
+  spec.predicate = Eq(Col("AGE"), Lit(int64_t{40}));
+  spec.column = "INCOME";
+  spec.value = Mul(Col("INCOME"), Lit(1.002));  // stays within range
+  ASSERT_TRUE(dbms_->Update("v", spec).ok());
+  auto after = dbms_->Query("v", "histogram", "INCOME", hp);
+  ASSERT_TRUE(after.ok());
+  // The maintained entry is fresh (cache hit), and totals are intact.
+  EXPECT_EQ(after->source, AnswerSource::kCacheHit);
+  EXPECT_EQ(after->result.AsHistogram().value()->TotalCount(),
+            raw_.num_rows());
+}
+
+}  // namespace
+}  // namespace statdb

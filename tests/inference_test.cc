@@ -1,0 +1,137 @@
+#include "core/inference.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace statdb {
+namespace {
+
+class InferenceTest : public ::testing::Test {
+ protected:
+  InferenceTest() : ts_(4096) {
+    auto db = SummaryDatabase::Create(&ts_.pool);
+    EXPECT_TRUE(db.ok());
+    db_ = std::move(db).value();
+  }
+
+  void Cache(const std::string& fn, double v, const std::string& params = "") {
+    STATDB_ASSERT_OK(db_->Insert(SummaryKey::Of(fn, "INCOME", params),
+                                 SummaryResult::Scalar(v), 0));
+  }
+
+  Result<InferenceResult> Infer(const std::string& fn,
+                                const FunctionParams& params = {}) {
+    return InferFromSummaries(db_.get(), fn, "INCOME", params);
+  }
+
+  TestStorage ts_;
+  std::unique_ptr<SummaryDatabase> db_;
+};
+
+TEST_F(InferenceTest, MeanFromSumAndCount) {
+  Cache("sum", 1000.0);
+  Cache("count", 40.0);
+  auto r = Infer("mean");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->exact);
+  EXPECT_DOUBLE_EQ(r->result.AsScalar().value(), 25.0);
+  EXPECT_NE(r->derivation.find("sum/count"), std::string::npos);
+}
+
+TEST_F(InferenceTest, SumFromMeanAndCount) {
+  Cache("mean", 25.0);
+  Cache("count", 40.0);
+  auto r = Infer("sum");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->result.AsScalar().value(), 1000.0);
+}
+
+TEST_F(InferenceTest, StdDevVarianceBothWays) {
+  Cache("variance", 16.0);
+  auto sd = Infer("stddev");
+  ASSERT_TRUE(sd.ok());
+  EXPECT_DOUBLE_EQ(sd->result.AsScalar().value(), 4.0);
+  Cache("stddev", 3.0);
+  auto var = Infer("variance");
+  ASSERT_TRUE(var.ok());
+  EXPECT_DOUBLE_EQ(var->result.AsScalar().value(), 9.0);
+}
+
+TEST_F(InferenceTest, RangeFromMinMax) {
+  Cache("min", 10.0);
+  Cache("max", 110.0);
+  auto r = Infer("range");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->result.AsScalar().value(), 100.0);
+}
+
+TEST_F(InferenceTest, MedianFromQuartiles) {
+  STATDB_ASSERT_OK(db_->Insert(SummaryKey::Of("quartiles", "INCOME"),
+                               SummaryResult::Vector({10, 20, 30}), 0));
+  auto r = Infer("median");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->exact);
+  EXPECT_DOUBLE_EQ(r->result.AsScalar().value(), 20.0);
+}
+
+TEST_F(InferenceTest, MedianQuantileEquivalence) {
+  Cache("median", 42.0);
+  FunctionParams half;
+  half.Set("p", 0.5);
+  auto r = Infer("quantile", half);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->result.AsScalar().value(), 42.0);
+  // And the other direction.
+  Cache("quantile", 43.0, "p=0.5");
+  auto med = Infer("median");
+  ASSERT_TRUE(med.ok());
+  EXPECT_DOUBLE_EQ(med->result.AsScalar().value(), 43.0);
+}
+
+TEST_F(InferenceTest, EstimatesFromHistogramAreMarkedInexact) {
+  Histogram h;
+  h.edges = {0, 10, 20};
+  h.counts = {5, 5};
+  STATDB_ASSERT_OK(db_->Insert(SummaryKey::Of("histogram", "INCOME"),
+                               SummaryResult::Histo(h), 0));
+  auto mean = Infer("mean");
+  ASSERT_TRUE(mean.ok());
+  EXPECT_FALSE(mean->exact);
+  EXPECT_DOUBLE_EQ(mean->result.AsScalar().value(), 10.0);  // midpoints
+  auto count = Infer("count");
+  ASSERT_TRUE(count.ok());
+  EXPECT_TRUE(count->exact);
+  EXPECT_DOUBLE_EQ(count->result.AsScalar().value(), 10.0);
+  auto median = Infer("median");
+  ASSERT_TRUE(median.ok());
+  EXPECT_FALSE(median->exact);
+}
+
+TEST_F(InferenceTest, StaleEntriesAreNeverUsed) {
+  Cache("sum", 1000.0);
+  Cache("count", 40.0);
+  STATDB_ASSERT_OK(db_->MarkStale(SummaryKey::Of("sum", "INCOME")));
+  EXPECT_FALSE(Infer("mean").ok());
+}
+
+TEST_F(InferenceTest, NoRuleNoAnswer) {
+  EXPECT_FALSE(Infer("mean").ok());
+  EXPECT_FALSE(Infer("mode").ok());
+  Cache("mean", 5.0);
+  EXPECT_FALSE(Infer("mode").ok());
+}
+
+TEST_F(InferenceTest, HistogramWithSpilloverNotUsedForMean) {
+  Histogram h;
+  h.edges = {0, 10};
+  h.counts = {5};
+  h.above = 3;  // values outside the range: midpoints would be wrong
+  STATDB_ASSERT_OK(db_->Insert(SummaryKey::Of("histogram", "INCOME"),
+                               SummaryResult::Histo(h), 0));
+  EXPECT_FALSE(Infer("mean").ok());
+}
+
+}  // namespace
+}  // namespace statdb

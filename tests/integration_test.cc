@@ -1,0 +1,168 @@
+// End-to-end randomized sessions: under every maintenance policy, any
+// answer the DBMS serves as *fresh* (cache hit, inferred-exact or
+// computed) must equal a from-scratch computation over the current view
+// contents — the Summary Database's central integrity contract (§3.2).
+
+#include <cmath>
+
+#include "core/dbms.h"
+#include "gtest/gtest.h"
+#include "relational/datagen.h"
+#include "rules/function_registry.h"
+#include "tests/test_util.h"
+
+namespace statdb {
+namespace {
+
+struct SessionParams {
+  int seed;
+  MaintenancePolicy policy;
+};
+
+class RandomSessionTest
+    : public ::testing::TestWithParam<SessionParams> {};
+
+TEST_P(RandomSessionTest, FreshAnswersAlwaysMatchRecompute) {
+  const SessionParams p = GetParam();
+  auto storage = MakeTapeDiskStorage(512, 8192);
+  StatisticalDbms dbms(storage.get());
+  CensusOptions opts;
+  opts.rows = 1500;
+  Rng data_rng(100 + p.seed);
+  Table raw = GenerateCensusMicrodata(opts, &data_rng).value();
+  STATDB_ASSERT_OK(dbms.LoadRawDataSet("census", raw));
+  ViewDefinition def;
+  def.source = "census";
+  STATDB_ASSERT_OK(dbms.CreateView("v", def, p.policy).status());
+
+  FunctionRegistry reference = FunctionRegistry::WithBuiltins();
+  const char* kAttrs[] = {"INCOME", "AGE", "HOURS_WORKED"};
+  struct Q {
+    const char* fn;
+    const char* params;
+  };
+  const Q kQueries[] = {{"mean", ""},      {"median", ""},
+                        {"min", ""},       {"max", ""},
+                        {"variance", ""},  {"sum", ""},
+                        {"count", ""},     {"quantile", "p=0.9"},
+                        {"mode", ""},      {"distinct", ""}};
+
+  Rng rng(p.seed);
+  uint64_t checked = 0;
+  std::vector<uint64_t> rollback_points = {0};
+  for (int step = 0; step < 120; ++step) {
+    int action = int(rng.UniformInt(0, 9));
+    if (action < 6) {
+      // Query and verify freshness contract.
+      const Q& q = kQueries[rng.UniformInt(0, 9)];
+      const char* attr = kAttrs[rng.UniformInt(0, 2)];
+      FunctionParams params =
+          FunctionParams::Decode(q.params).value();
+      auto answer = dbms.Query("v", q.fn, attr, params);
+      ASSERT_TRUE(answer.ok()) << answer.status() << " fn=" << q.fn;
+      if (answer->exact) {
+        auto view = dbms.GetView("v").value();
+        auto col = view->ReadNumericColumn(attr);
+        ASSERT_TRUE(col.ok());
+        auto expected = reference.Compute(q.fn, *col, params);
+        ASSERT_TRUE(expected.ok());
+        double want = expected->AsScalar().value();
+        double got = answer->result.AsScalar().value();
+        double tol = std::abs(want) * 1e-9 + 1e-7;
+        ASSERT_NEAR(got, want, tol)
+            << "step " << step << " fn=" << q.fn << " attr=" << attr
+            << " source=" << int(answer->source)
+            << " policy=" << MaintenancePolicyName(p.policy);
+        ++checked;
+      }
+    } else if (action < 9) {
+      // A predicate update on a random attribute.
+      const char* attr = kAttrs[rng.UniformInt(0, 2)];
+      UpdateSpec spec;
+      spec.column = attr;
+      int64_t pivot = rng.UniformInt(20, 60);
+      spec.predicate = Lt(Col("AGE"), Lit(pivot));
+      if (rng.Bernoulli(0.15)) {
+        spec.value = nullptr;  // invalidate cells
+        // Restrict the damage so columns never fully empty.
+        spec.predicate =
+            And(Lt(Col("AGE"), Lit(pivot)),
+                Eq(Col("REGION"), Lit(rng.UniformInt(0, 8))));
+      } else {
+        spec.value = Mul(Col(attr), Lit(1.0 + 0.01 * double(rng.UniformInt(
+                                                        -5, 5))));
+      }
+      auto changed = dbms.Update("v", spec);
+      ASSERT_TRUE(changed.ok()) << changed.status();
+      rollback_points.push_back(dbms.GetView("v").value()->version());
+    } else if (rollback_points.size() > 1 && rng.Bernoulli(0.5)) {
+      // Roll back to a random earlier version.
+      size_t pick = size_t(
+          rng.UniformInt(0, int64_t(rollback_points.size()) - 1));
+      uint64_t target = rollback_points[pick];
+      STATDB_ASSERT_OK(dbms.Rollback("v", target));
+      rollback_points.resize(pick + 1);
+    }
+  }
+  // The session must have actually exercised the contract.
+  EXPECT_GT(checked, 20u);
+}
+
+std::vector<SessionParams> AllSessions() {
+  std::vector<SessionParams> out;
+  for (int seed = 1; seed <= 4; ++seed) {
+    for (MaintenancePolicy policy :
+         {MaintenancePolicy::kIncremental, MaintenancePolicy::kInvalidate,
+          MaintenancePolicy::kEager}) {
+      out.push_back({seed, policy});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sessions, RandomSessionTest, ::testing::ValuesIn(AllSessions()),
+    [](const ::testing::TestParamInfo<SessionParams>& info) {
+      return std::string(MaintenancePolicyName(info.param.policy)) +
+             "_seed" + std::to_string(info.param.seed);
+    });
+
+TEST(IntegrationTest, PersistenceAcrossPoolPressure) {
+  // A tiny disk pool forces continuous eviction; everything must still
+  // be correct because dirty pages write back through the device.
+  auto storage = std::make_unique<StorageManager>();
+  STATDB_ASSERT_OK(
+      storage->AddDevice("tape", DeviceCostModel::Tape(), 64).status());
+  STATDB_ASSERT_OK(
+      storage->AddDevice("disk", DeviceCostModel::Disk(), 24).status());
+  StatisticalDbms dbms(storage.get());
+  CensusOptions opts;
+  opts.rows = 3000;
+  Rng rng(55);
+  Table raw = GenerateCensusMicrodata(opts, &rng).value();
+  STATDB_ASSERT_OK(dbms.LoadRawDataSet("census", raw));
+  ViewDefinition def;
+  def.source = "census";
+  STATDB_ASSERT_OK(
+      dbms.CreateView("v", def, MaintenancePolicy::kIncremental).status());
+  // Pool (24 frames) << view size: scans must thrash but stay correct.
+  auto view = dbms.GetView("v").value();
+  Table snapshot = view->Snapshot().value();
+  ASSERT_EQ(snapshot.num_rows(), 3000u);
+  auto mean = dbms.Query("v", "mean", "INCOME");
+  ASSERT_TRUE(mean.ok());
+  auto expected = raw.NumericColumn("INCOME").value();
+  double want = 0;
+  for (double x : expected) want += x;
+  want /= double(expected.size());
+  EXPECT_NEAR(mean->result.AsScalar().value(), want, 1e-6);
+  // Summary entries survive pool pressure too.
+  auto hit = dbms.Query("v", "mean", "INCOME");
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit->source, AnswerSource::kCacheHit);
+  auto disk = storage->GetDevice("disk").value();
+  EXPECT_GT(disk->stats().block_writes, 0u);  // evictions really happened
+}
+
+}  // namespace
+}  // namespace statdb

@@ -1,0 +1,176 @@
+#include "meta/catalog.h"
+#include "meta/code_table.h"
+#include "meta/subject_graph.h"
+
+#include "gtest/gtest.h"
+#include "relational/datagen.h"
+#include "tests/test_util.h"
+
+namespace statdb {
+namespace {
+
+TEST(CodeTableTest, EncodeDecodeRoundTrip) {
+  CodeTable ct("AGE_GROUP");
+  STATDB_ASSERT_OK(ct.AddEntry(1, "0 to 20"));
+  STATDB_ASSERT_OK(ct.AddEntry(2, "21 to 40"));
+  EXPECT_EQ(ct.Decode(1).value(), "0 to 20");
+  EXPECT_EQ(ct.Encode("21 to 40").value(), 2);
+  EXPECT_EQ(ct.size(), 2u);
+}
+
+TEST(CodeTableTest, UnknownCodeAndLabelFail) {
+  CodeTable ct("X");
+  STATDB_ASSERT_OK(ct.AddEntry(1, "one"));
+  EXPECT_EQ(ct.Decode(9).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(ct.Encode("nine").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CodeTableTest, DuplicateCodeRejected) {
+  CodeTable ct("X");
+  STATDB_ASSERT_OK(ct.AddEntry(1, "one"));
+  EXPECT_EQ(ct.AddEntry(1, "uno").code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CodeTableTest, FromTableAndToTable) {
+  auto ct = CodeTable::FromTable("AGE_GROUP", MakeAgeGroupCodeTable());
+  ASSERT_TRUE(ct.ok());
+  EXPECT_EQ(ct->size(), 4u);
+  EXPECT_EQ(ct->Decode(4).value(), "over 60");
+  Table back = ct->ToTable();
+  EXPECT_EQ(back.num_rows(), 4u);
+  EXPECT_EQ(back.At(0, 0), Value::Int(1));
+}
+
+TEST(CatalogTest, DataSetRegistryAndLookup) {
+  Catalog cat;
+  DataSetInfo info;
+  info.name = "census";
+  info.schema = CensusMicrodataSchema();
+  info.approx_rows = 1000;
+  STATDB_ASSERT_OK(cat.RegisterDataSet(info));
+  EXPECT_EQ(cat.RegisterDataSet(info).code(), StatusCode::kAlreadyExists);
+  auto got = cat.GetDataSet("census");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)->approx_rows, 1000u);
+  EXPECT_FALSE(cat.GetDataSet("nope").ok());
+  EXPECT_EQ(cat.DataSetNames().size(), 1u);
+}
+
+TEST(CatalogTest, CodeTableRegistry) {
+  Catalog cat;
+  auto ct = CodeTable::FromTable("SEX", MakeSexCodeTable());
+  ASSERT_TRUE(ct.ok());
+  STATDB_ASSERT_OK(cat.RegisterCodeTable(*ct));
+  EXPECT_EQ(cat.RegisterCodeTable(*ct).code(), StatusCode::kAlreadyExists);
+  auto got = cat.GetCodeTable("SEX");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)->Decode(0).value(), "M");
+  EXPECT_EQ(cat.CodeTableNames().size(), 1u);
+}
+
+TEST(CatalogTest, SummarizabilityGate) {
+  // §3.2: median of AGE_GROUP codes is nonsense — the meta-data says so.
+  Catalog cat;
+  DataSetInfo info;
+  info.name = "census";
+  info.schema = CensusMicrodataSchema();
+  STATDB_ASSERT_OK(cat.RegisterDataSet(info));
+  EXPECT_FALSE(cat.IsSummarizable("census", "AGE_GROUP").value());
+  EXPECT_FALSE(cat.IsSummarizable("census", "SEX").value());
+  EXPECT_TRUE(cat.IsSummarizable("census", "INCOME").value());
+  EXPECT_TRUE(cat.IsSummarizable("census", "AGE").value());
+  EXPECT_FALSE(cat.IsSummarizable("census", "NOPE").ok());
+}
+
+class SubjectGraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // demographics -> {identity -> {sex, race}, economics -> {income}}
+    STATDB_ASSERT_OK(graph_.AddNode("demographics",
+                                    SubjectNodeKind::kGeneralization));
+    STATDB_ASSERT_OK(
+        graph_.AddNode("identity", SubjectNodeKind::kGeneralization));
+    STATDB_ASSERT_OK(
+        graph_.AddNode("economics", SubjectNodeKind::kGeneralization));
+    STATDB_ASSERT_OK(graph_.AddNode("sex", SubjectNodeKind::kAttribute,
+                                    "census", "SEX"));
+    STATDB_ASSERT_OK(graph_.AddNode("race", SubjectNodeKind::kAttribute,
+                                    "census", "RACE"));
+    STATDB_ASSERT_OK(graph_.AddNode("income", SubjectNodeKind::kAttribute,
+                                    "census", "INCOME"));
+    STATDB_ASSERT_OK(graph_.AddEdge("demographics", "identity"));
+    STATDB_ASSERT_OK(graph_.AddEdge("demographics", "economics"));
+    STATDB_ASSERT_OK(graph_.AddEdge("identity", "sex"));
+    STATDB_ASSERT_OK(graph_.AddEdge("identity", "race"));
+    STATDB_ASSERT_OK(graph_.AddEdge("economics", "income"));
+  }
+
+  SubjectGraph graph_;
+};
+
+TEST_F(SubjectGraphTest, Navigation) {
+  auto children = graph_.Children("demographics");
+  ASSERT_TRUE(children.ok());
+  EXPECT_EQ(children->size(), 2u);
+  auto parents = graph_.Parents("sex");
+  ASSERT_TRUE(parents.ok());
+  ASSERT_EQ(parents->size(), 1u);
+  EXPECT_EQ((*parents)[0], "identity");
+}
+
+TEST_F(SubjectGraphTest, ReachableAttributes) {
+  auto attrs = graph_.ReachableAttributes("demographics");
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ(attrs->size(), 3u);
+  auto identity_only = graph_.ReachableAttributes("identity");
+  ASSERT_TRUE(identity_only.ok());
+  EXPECT_EQ(identity_only->size(), 2u);
+}
+
+TEST_F(SubjectGraphTest, GraphManagementRules) {
+  EXPECT_EQ(graph_.AddNode("sex", SubjectNodeKind::kAttribute, "a", "b")
+                .code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(graph_.AddEdge("sex", "race").code(),
+            StatusCode::kInvalidArgument);  // leaves have no children
+  EXPECT_EQ(graph_.AddEdge("identity", "sex").code(),
+            StatusCode::kAlreadyExists);
+  STATDB_ASSERT_OK(graph_.RemoveEdge("identity", "race"));
+  auto attrs = graph_.ReachableAttributes("identity");
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ(attrs->size(), 1u);
+  EXPECT_EQ(graph_.RemoveEdge("identity", "race").code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(SubjectGraphTest, SessionGeneratesViewRequest) {
+  // §2.3: the user's navigation path becomes a DBMS view request.
+  SubjectSession session(&graph_);
+  STATDB_ASSERT_OK(session.Enter("demographics"));
+  STATDB_ASSERT_OK(session.Descend("identity"));
+  STATDB_ASSERT_OK(session.MarkSelected());
+  STATDB_ASSERT_OK(session.Ascend());
+  STATDB_ASSERT_OK(session.Descend("economics"));
+  STATDB_ASSERT_OK(session.Descend("income"));
+  STATDB_ASSERT_OK(session.MarkSelected());
+  auto request = session.GenerateViewRequest();
+  ASSERT_TRUE(request.ok());
+  ASSERT_EQ(request->size(), 3u);  // SEX, RACE from identity; INCOME leaf
+  EXPECT_EQ((*request)[0], (std::pair<std::string, std::string>(
+                               "census", "INCOME")));
+}
+
+TEST_F(SubjectGraphTest, SessionErrorPaths) {
+  SubjectSession session(&graph_);
+  EXPECT_EQ(session.Descend("identity").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(session.MarkSelected().code(),
+            StatusCode::kFailedPrecondition);
+  STATDB_ASSERT_OK(session.Enter("demographics"));
+  EXPECT_EQ(session.Ascend().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(session.Descend("income").code(), StatusCode::kNotFound);
+  EXPECT_FALSE(session.Enter("nope").ok());
+}
+
+}  // namespace
+}  // namespace statdb

@@ -1,0 +1,105 @@
+// Odds and ends: catalog unregistration, PinnedPage move semantics,
+// Value edge cases, FunctionParams defaults, histogram maintainer
+// registered through the Management Database.
+
+#include "gtest/gtest.h"
+#include "meta/catalog.h"
+#include "relational/datagen.h"
+#include "rules/management_db.h"
+#include "storage/buffer_pool.h"
+#include "tests/test_util.h"
+
+namespace statdb {
+namespace {
+
+TEST(CatalogTest, UnregisterDataSet) {
+  Catalog cat;
+  DataSetInfo info;
+  info.name = "census";
+  info.schema = CensusMicrodataSchema();
+  STATDB_ASSERT_OK(cat.RegisterDataSet(info));
+  STATDB_ASSERT_OK(cat.UnregisterDataSet("census"));
+  EXPECT_FALSE(cat.GetDataSet("census").ok());
+  EXPECT_EQ(cat.UnregisterDataSet("census").code(),
+            StatusCode::kNotFound);
+  // Re-registration after removal works.
+  STATDB_ASSERT_OK(cat.RegisterDataSet(info));
+}
+
+TEST(PinnedPageTest, MoveTransfersOwnership) {
+  TestStorage ts(4);
+  auto fresh = ts.pool.NewPage();
+  ASSERT_TRUE(fresh.ok());
+  PageId id = fresh->first;
+  {
+    PinnedPage a(&ts.pool, id, fresh->second);
+    PinnedPage b(std::move(a));
+    EXPECT_FALSE(a.valid());
+    EXPECT_TRUE(b.valid());
+    EXPECT_EQ(b.id(), id);
+    PinnedPage c;
+    c = std::move(b);
+    EXPECT_FALSE(b.valid());
+    EXPECT_TRUE(c.valid());
+  }  // single unpin despite three guards
+  // The page must be unpinned exactly once: a second unpin fails.
+  EXPECT_EQ(ts.pool.UnpinPage(id, false).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ValueEdgeTest, LargeIntegersCompareExactly) {
+  int64_t big = (int64_t{1} << 62) + 12345;
+  EXPECT_TRUE(Value::Int(big - 1) < Value::Int(big));
+  EXPECT_EQ(Value::Int(big), Value::Int(big));
+}
+
+TEST(ValueEdgeTest, NegativeZeroEqualsZero) {
+  EXPECT_EQ(Value::Real(-0.0), Value::Real(0.0));
+  EXPECT_EQ(Value::Real(0.0), Value::Int(0));
+}
+
+TEST(FunctionParamsTest, EmptyEncodeDecodeStable) {
+  FunctionParams empty;
+  EXPECT_EQ(empty.Encode(), "");
+  auto back = FunctionParams::Decode("");
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(ManagementDbTest, HistogramMaintainerViaRules) {
+  ManagementDatabase mdb;
+  FunctionParams p;
+  p.Set("buckets", 6);
+  auto m = mdb.MakeMaintainer("histogram", p);
+  ASSERT_TRUE(m.ok());
+  std::vector<double> data;
+  for (int i = 0; i < 60; ++i) data.push_back(i % 12);
+  auto init = (*m)->Initialize(data);
+  ASSERT_TRUE(init.ok());
+  EXPECT_EQ(init->AsHistogram().value()->buckets(), 6u);
+  auto updated = (*m)->Apply(CellDelta::Change(0, 11));
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(updated->AsHistogram().value()->TotalCount(), 60u);
+}
+
+TEST(ManagementDbTest, ModeMaintainerViaRules) {
+  ManagementDatabase mdb;
+  auto m = mdb.MakeMaintainer("mode", {});
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(
+      (*m)->Initialize({5, 5, 2}).value().AsScalar().value(), 5.0);
+}
+
+TEST(SchemaTest, AttributeFactories) {
+  Attribute cat = Attribute::Category("SEX", DataType::kInt64, "SEX");
+  EXPECT_EQ(cat.kind, AttributeKind::kCategory);
+  EXPECT_FALSE(cat.summarizable);
+  EXPECT_EQ(cat.code_table, "SEX");
+  Attribute num = Attribute::Numeric("X");
+  EXPECT_EQ(num.kind, AttributeKind::kValue);
+  EXPECT_TRUE(num.summarizable);
+  EXPECT_EQ(num.type, DataType::kDouble);
+}
+
+}  // namespace
+}  // namespace statdb

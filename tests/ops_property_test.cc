@@ -1,0 +1,179 @@
+// Property tests: the relational operators agree with naive reference
+// implementations on randomly generated tables.
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "relational/ops.h"
+#include "tests/test_util.h"
+
+namespace statdb {
+namespace {
+
+Table RandomTable(Rng* rng, size_t max_rows = 60) {
+  Table t{Schema({Attribute::Category("G"),
+                  Attribute::Category("H"),
+                  Attribute::Numeric("X", DataType::kDouble),
+                  Attribute::Numeric("Y", DataType::kInt64)})};
+  size_t n = size_t(rng->UniformInt(0, int64_t(max_rows)));
+  for (size_t i = 0; i < n; ++i) {
+    Row row;
+    row.push_back(Value::Int(rng->UniformInt(0, 3)));
+    row.push_back(Value::Int(rng->UniformInt(0, 2)));
+    row.push_back(rng->Bernoulli(0.1)
+                      ? Value::Null()
+                      : Value::Real(std::round(
+                            rng->UniformDouble(-100, 100) * 4) /
+                            4));
+    row.push_back(rng->Bernoulli(0.1)
+                      ? Value::Null()
+                      : Value::Int(rng->UniformInt(-50, 50)));
+    EXPECT_TRUE(t.AppendRow(std::move(row)).ok());
+  }
+  return t;
+}
+
+class OpsPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OpsPropertyTest, SelectMatchesRowwiseEvaluation) {
+  Rng rng(GetParam());
+  Table t = RandomTable(&rng);
+  ExprPtr pred = And(Gt(Col("X"), Lit(0.0)), Le(Col("Y"), Lit(int64_t{10})));
+  auto selected = Select(t, *pred);
+  ASSERT_TRUE(selected.ok());
+  size_t expected = 0;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    auto keep = pred->Eval(t.GetRow(r), t.schema());
+    ASSERT_TRUE(keep.ok());
+    if (IsTrue(*keep)) ++expected;
+  }
+  EXPECT_EQ(selected->num_rows(), expected);
+  // Every surviving row satisfies the predicate.
+  for (size_t r = 0; r < selected->num_rows(); ++r) {
+    EXPECT_TRUE(
+        IsTrue(pred->Eval(selected->GetRow(r), t.schema()).value()));
+  }
+}
+
+TEST_P(OpsPropertyTest, GroupByMatchesReferenceAggregation) {
+  Rng rng(100 + GetParam());
+  Table t = RandomTable(&rng);
+  auto grouped = GroupByAggregate(
+      t, {"G"},
+      {AggSpec::Count("N"), AggSpec::Sum("X", "SX"),
+       AggSpec::Min("Y", "MINY"), AggSpec::Max("Y", "MAXY")});
+  ASSERT_TRUE(grouped.ok());
+
+  struct Ref {
+    int64_t count = 0;
+    double sum = 0;
+    bool any_x = false;
+    Value min_y, max_y;
+  };
+  std::map<int64_t, Ref> ref;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    Ref& acc = ref[t.At(r, 0).AsInt()];
+    ++acc.count;
+    const Value& x = t.At(r, 2);
+    if (!x.is_null()) {
+      acc.sum += x.AsReal();
+      acc.any_x = true;
+    }
+    const Value& y = t.At(r, 3);
+    if (!y.is_null()) {
+      if (acc.min_y.is_null() || y < acc.min_y) acc.min_y = y;
+      if (acc.max_y.is_null() || acc.max_y < y) acc.max_y = y;
+    }
+  }
+  ASSERT_EQ(grouped->num_rows(), ref.size());
+  for (size_t r = 0; r < grouped->num_rows(); ++r) {
+    const Ref& expect = ref.at(grouped->At(r, 0).AsInt());
+    EXPECT_EQ(grouped->At(r, 1).AsInt(), expect.count);
+    if (expect.any_x) {
+      EXPECT_NEAR(grouped->At(r, 2).AsReal(), expect.sum, 1e-9);
+    } else {
+      EXPECT_TRUE(grouped->At(r, 2).is_null());
+    }
+    EXPECT_EQ(grouped->At(r, 3), expect.min_y);
+    EXPECT_EQ(grouped->At(r, 4), expect.max_y);
+  }
+}
+
+TEST_P(OpsPropertyTest, HashJoinMatchesNestedLoopReference) {
+  Rng rng(200 + GetParam());
+  Table left = RandomTable(&rng, 40);
+  Table right = RandomTable(&rng, 40);
+  auto joined = HashJoin(left, right, {"G", "H"}, {"G", "H"});
+  ASSERT_TRUE(joined.ok());
+  // Reference: nested loops over non-null key pairs.
+  size_t expected = 0;
+  for (size_t l = 0; l < left.num_rows(); ++l) {
+    for (size_t r = 0; r < right.num_rows(); ++r) {
+      if (left.At(l, 0).is_null() || left.At(l, 1).is_null()) continue;
+      if (left.At(l, 0) == right.At(r, 0) &&
+          left.At(l, 1) == right.At(r, 1)) {
+        ++expected;
+      }
+    }
+  }
+  EXPECT_EQ(joined->num_rows(), expected);
+  // Output rows really agree on the key columns.
+  if (joined->num_rows() > 0) {
+    EXPECT_EQ(joined->num_columns(),
+              left.num_columns() + right.num_columns() - 2);
+  }
+}
+
+TEST_P(OpsPropertyTest, SortByIsPermutationAndOrdered) {
+  Rng rng(300 + GetParam());
+  Table t = RandomTable(&rng);
+  auto sorted = SortBy(t, {"X", "Y"});
+  ASSERT_TRUE(sorted.ok());
+  ASSERT_EQ(sorted->num_rows(), t.num_rows());
+  for (size_t r = 1; r < sorted->num_rows(); ++r) {
+    const Value& prev = sorted->At(r - 1, 2);
+    const Value& cur = sorted->At(r, 2);
+    ASSERT_FALSE(cur < prev);
+    if (cur == prev) {
+      ASSERT_FALSE(sorted->At(r, 3) < sorted->At(r - 1, 3));
+    }
+  }
+  // Multiset of X values is preserved.
+  auto collect = [](const Table& tbl) {
+    std::vector<Value> xs;
+    for (size_t r = 0; r < tbl.num_rows(); ++r) xs.push_back(tbl.At(r, 2));
+    std::sort(xs.begin(), xs.end(),
+              [](const Value& a, const Value& b) { return a < b; });
+    return xs;
+  };
+  auto a = collect(t);
+  auto b = collect(*sorted);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+TEST_P(OpsPropertyTest, ProjectThenSelectCommutesWithSelectThenProject) {
+  Rng rng(400 + GetParam());
+  Table t = RandomTable(&rng);
+  ExprPtr pred = Ge(Col("Y"), Lit(int64_t{0}));
+  auto a = Select(t, *pred);
+  ASSERT_TRUE(a.ok());
+  auto a2 = Project(*a, {"G", "Y"});
+  ASSERT_TRUE(a2.ok());
+  auto b = Project(t, {"G", "Y"});
+  ASSERT_TRUE(b.ok());
+  auto b2 = Select(*b, *pred);
+  ASSERT_TRUE(b2.ok());
+  ASSERT_EQ(a2->num_rows(), b2->num_rows());
+  for (size_t r = 0; r < a2->num_rows(); ++r) {
+    EXPECT_EQ(a2->At(r, 0), b2->At(r, 0));
+    EXPECT_EQ(a2->At(r, 1), b2->At(r, 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OpsPropertyTest, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace statdb

@@ -1,0 +1,199 @@
+#include "relational/ops.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+#include "relational/datagen.h"
+#include "tests/test_util.h"
+
+namespace statdb {
+namespace {
+
+Table PeopleTable() {
+  Table t{Schema({Attribute::Category("SEX"), Attribute::Category("RACE"),
+                  Attribute::Numeric("INCOME", DataType::kDouble),
+                  Attribute::Numeric("AGE", DataType::kInt64)})};
+  auto add = [&t](int64_t sex, int64_t race, double income, int64_t age) {
+    ASSERT_TRUE(t.AppendRow({Value::Int(sex), Value::Int(race),
+                             Value::Real(income), Value::Int(age)})
+                    .ok());
+  };
+  add(0, 0, 30000, 25);
+  add(0, 1, 45000, 35);
+  add(1, 0, 52000, 45);
+  add(1, 1, 28000, 55);
+  add(0, 0, 61000, 65);
+  add(1, 0, 33000, 30);
+  return t;
+}
+
+TEST(OpsTest, SelectFiltersByPredicate) {
+  Table t = PeopleTable();
+  auto out = Select(t, *Gt(Col("INCOME"), Lit(40000.0)));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 3u);
+}
+
+TEST(OpsTest, SelectNullPredicateFiltersOut) {
+  Table t = PeopleTable();
+  ASSERT_TRUE(t.SetCell(0, 2, Value::Null()).ok());
+  auto out = Select(t, *Gt(Col("INCOME"), Lit(0.0)));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 5u);  // null row dropped
+}
+
+TEST(OpsTest, ProjectReordersColumns) {
+  Table t = PeopleTable();
+  auto out = Project(t, {"AGE", "SEX"});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_columns(), 2u);
+  EXPECT_EQ(out->schema().attr(0).name, "AGE");
+  EXPECT_EQ(out->At(0, 0), Value::Int(25));
+  EXPECT_FALSE(Project(t, {"NOPE"}).ok());
+}
+
+TEST(OpsTest, HashJoinDecodesLikeFig1Fig2) {
+  Table t = PeopleTable();
+  Table codes = MakeSexCodeTable();
+  auto out = HashJoin(t, codes, {"SEX"}, {"CATEGORY"});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), t.num_rows());
+  size_t value_idx = out->schema().IndexOf("VALUE").value();
+  std::set<std::string> labels;
+  for (size_t r = 0; r < out->num_rows(); ++r) {
+    labels.insert(out->At(r, value_idx).AsStr());
+  }
+  EXPECT_EQ(labels, (std::set<std::string>{"M", "F"}));
+}
+
+TEST(OpsTest, HashJoinDropsNullKeysAndUnmatched) {
+  Table t = PeopleTable();
+  ASSERT_TRUE(t.SetCell(0, 0, Value::Null()).ok());       // null key
+  ASSERT_TRUE(t.SetCell(1, 0, Value::Int(99)).ok());      // unmatched code
+  auto out = HashJoin(t, MakeSexCodeTable(), {"SEX"}, {"CATEGORY"});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 4u);
+}
+
+TEST(OpsTest, HashJoinMultiKeyAndCollision) {
+  Table left = PeopleTable();
+  Table right{Schema({Attribute::Category("SEX"), Attribute::Category("RACE"),
+                      Attribute::Numeric("INCOME", DataType::kDouble)})};
+  ASSERT_TRUE(right
+                  .AppendRow({Value::Int(0), Value::Int(0),
+                              Value::Real(1.0)})
+                  .ok());
+  auto out = HashJoin(left, right, {"SEX", "RACE"}, {"SEX", "RACE"});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 2u);  // two (0,0) rows on the left
+  // Right's INCOME collides with left's; it must be suffixed.
+  EXPECT_TRUE(out->schema().Contains("INCOME_r"));
+}
+
+TEST(OpsTest, SortByIsStableAndNullFirst) {
+  Table t = PeopleTable();
+  ASSERT_TRUE(t.SetCell(3, 2, Value::Null()).ok());
+  auto out = SortBy(t, {"INCOME"});
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->At(0, 2).is_null());
+  for (size_t r = 2; r < out->num_rows(); ++r) {
+    EXPECT_FALSE(out->At(r, 2) < out->At(r - 1, 2));
+  }
+}
+
+TEST(OpsTest, GroupByCountSumAvgMinMax) {
+  Table t = PeopleTable();
+  auto out = GroupByAggregate(
+      t, {"SEX"},
+      {AggSpec::Count("N"), AggSpec::Sum("INCOME", "TOTAL"),
+       AggSpec::Avg("INCOME", "AVG"), AggSpec::Min("AGE", "YOUNGEST"),
+       AggSpec::Max("AGE", "OLDEST")});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 2u);
+  // Groups appear in first-seen order: SEX=0 first.
+  EXPECT_EQ(out->At(0, 0), Value::Int(0));
+  EXPECT_EQ(out->At(0, 1), Value::Int(3));
+  EXPECT_DOUBLE_EQ(out->At(0, 2).AsReal(), 30000.0 + 45000 + 61000);
+  EXPECT_NEAR(out->At(0, 3).AsReal(), (30000.0 + 45000 + 61000) / 3, 1e-9);
+  EXPECT_EQ(out->At(0, 4), Value::Int(25));
+  EXPECT_EQ(out->At(1, 4), Value::Int(30));
+  EXPECT_EQ(out->At(1, 5).ToInt().value(), 55);
+}
+
+TEST(OpsTest, GroupByWeightedAvgMergesLikeSection22) {
+  // The paper's example: merge M and F rows of Fig. 1 into one row per
+  // RACE/AGE_GROUP with a POPULATION-weighted AVE_SALARY.
+  Table fig1{Schema({Attribute::Category("SEX"), Attribute::Category("RACE"),
+                     Attribute::Numeric("POPULATION", DataType::kInt64),
+                     Attribute::Numeric("AVE_SALARY", DataType::kDouble)})};
+  ASSERT_TRUE(fig1.AppendRow({Value::Int(0), Value::Int(0), Value::Int(100),
+                              Value::Real(10.0)}).ok());
+  ASSERT_TRUE(fig1.AppendRow({Value::Int(1), Value::Int(0), Value::Int(300),
+                              Value::Real(20.0)}).ok());
+  auto out = GroupByAggregate(
+      fig1, {"RACE"},
+      {AggSpec::Sum("POPULATION", "POPULATION"),
+       AggSpec::WeightedAvg("AVE_SALARY", "POPULATION", "AVE_SALARY")});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(out->At(0, 1).AsReal(), 400.0);
+  EXPECT_DOUBLE_EQ(out->At(0, 2).AsReal(),
+                   (100 * 10.0 + 300 * 20.0) / 400.0);
+}
+
+TEST(OpsTest, GroupByNullsSkippedByAvgCountedByCount) {
+  Table t = PeopleTable();
+  ASSERT_TRUE(t.SetCell(0, 2, Value::Null()).ok());
+  auto out = GroupByAggregate(t, {"SEX"},
+                              {AggSpec::Count("N"),
+                               AggSpec::Avg("INCOME", "AVG")});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->At(0, 1), Value::Int(3));  // count keeps the null row
+  EXPECT_NEAR(out->At(0, 2).AsReal(), (45000.0 + 61000) / 2, 1e-9);
+}
+
+TEST(OpsTest, SampleBernoulliRespectsProbability) {
+  CensusOptions opts;
+  opts.rows = 4000;
+  Rng gen_rng(11);
+  auto big = GenerateCensusMicrodata(opts, &gen_rng);
+  ASSERT_TRUE(big.ok());
+  Rng rng(13);
+  auto sample = SampleBernoulli(*big, 0.25, &rng);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_GT(sample->num_rows(), 800u);
+  EXPECT_LT(sample->num_rows(), 1200u);
+  EXPECT_FALSE(SampleBernoulli(*big, 1.5, &rng).ok());
+}
+
+TEST(OpsTest, SampleReservoirExactSize) {
+  Table t = PeopleTable();
+  Rng rng(7);
+  auto sample = SampleReservoir(t, 3, &rng);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->num_rows(), 3u);
+  // k >= n returns everything.
+  auto all = SampleReservoir(t, 100, &rng);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->num_rows(), t.num_rows());
+}
+
+TEST(OpsTest, DecodeColumnReplacesCodes) {
+  Table t = PeopleTable();
+  auto out = DecodeColumn(t, "SEX", MakeSexCodeTable(), "CATEGORY", "VALUE");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->schema().attr(0).type, DataType::kString);
+  EXPECT_EQ(out->At(0, 0), Value::Str("M"));
+  EXPECT_EQ(out->At(2, 0), Value::Str("F"));
+}
+
+TEST(OpsTest, DecodeUnknownCodeBecomesNull) {
+  Table t = PeopleTable();
+  ASSERT_TRUE(t.SetCell(0, 0, Value::Int(42)).ok());
+  auto out = DecodeColumn(t, "SEX", MakeSexCodeTable(), "CATEGORY", "VALUE");
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->At(0, 0).is_null());
+}
+
+}  // namespace
+}  // namespace statdb

@@ -1,0 +1,117 @@
+#include "stats/order.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace statdb {
+namespace {
+
+TEST(OrderTest, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}).value(), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 3, 2}).value(), 2.5);
+  EXPECT_DOUBLE_EQ(Median({7}).value(), 7.0);
+}
+
+TEST(OrderTest, MedianOfEmptyFails) {
+  EXPECT_FALSE(Median({}).ok());
+}
+
+TEST(OrderTest, QuantileEndpoints) {
+  std::vector<double> d = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Quantile(d, 0.0).value(), 10.0);
+  EXPECT_DOUBLE_EQ(Quantile(d, 1.0).value(), 40.0);
+  EXPECT_DOUBLE_EQ(Quantile(d, 0.5).value(), 25.0);
+}
+
+TEST(OrderTest, QuantileInterpolates) {
+  std::vector<double> d = {0, 10};
+  EXPECT_DOUBLE_EQ(Quantile(d, 0.25).value(), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(d, 0.75).value(), 7.5);
+}
+
+TEST(OrderTest, QuantileRejectsBadP) {
+  std::vector<double> d = {1, 2};
+  EXPECT_FALSE(Quantile(d, -0.1).ok());
+  EXPECT_FALSE(Quantile(d, 1.1).ok());
+}
+
+TEST(OrderTest, QuantilesShareOneSort) {
+  std::vector<double> d = {5, 1, 4, 2, 3};
+  auto qs = Quantiles(d, {0.0, 0.25, 0.5, 0.75, 1.0});
+  ASSERT_TRUE(qs.ok());
+  EXPECT_DOUBLE_EQ((*qs)[0], 1.0);
+  EXPECT_DOUBLE_EQ((*qs)[1], 2.0);
+  EXPECT_DOUBLE_EQ((*qs)[2], 3.0);
+  EXPECT_DOUBLE_EQ((*qs)[3], 4.0);
+  EXPECT_DOUBLE_EQ((*qs)[4], 5.0);
+}
+
+TEST(OrderTest, TrimmedMeanDropsTails) {
+  // 0..100: trimming the 5% tails removes 0,1,2 and 98,99,100-ish.
+  std::vector<double> d;
+  for (int i = 0; i <= 100; ++i) d.push_back(i);
+  double full = 50.0;
+  auto trimmed = TrimmedMean(d, 0.05, 0.95);
+  ASSERT_TRUE(trimmed.ok());
+  EXPECT_NEAR(*trimmed, full, 0.5);
+  // Planting a huge outlier moves the mean but not the trimmed mean.
+  d.push_back(1e9);
+  auto trimmed2 = TrimmedMean(d, 0.05, 0.95);
+  ASSERT_TRUE(trimmed2.ok());
+  EXPECT_LT(std::abs(*trimmed2 - full), 2.0);
+}
+
+TEST(OrderTest, TrimmedMeanRejectsBadBounds) {
+  std::vector<double> d = {1, 2, 3};
+  EXPECT_FALSE(TrimmedMean(d, 0.9, 0.1).ok());
+  EXPECT_FALSE(TrimmedMean(d, -0.1, 0.5).ok());
+}
+
+TEST(OrderTest, KthSmallest) {
+  std::vector<double> d = {9, 3, 7, 1, 5};
+  EXPECT_DOUBLE_EQ(KthSmallest(d, 0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(KthSmallest(d, 2).value(), 5.0);
+  EXPECT_DOUBLE_EQ(KthSmallest(d, 4).value(), 9.0);
+  EXPECT_FALSE(KthSmallest(d, 5).ok());
+}
+
+class QuantilePropertyTest : public ::testing::TestWithParam<int> {};
+
+// Quantile must equal the direct definition on the sorted data, for all
+// p, and be monotone in p.
+TEST_P(QuantilePropertyTest, MatchesSortedDefinitionAndMonotone) {
+  Rng rng(GetParam());
+  std::vector<double> data;
+  int n = 1 + static_cast<int>(rng.UniformInt(0, 500));
+  for (int i = 0; i < n; ++i) {
+    data.push_back(rng.UniformDouble(-100, 100));
+  }
+  std::vector<double> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  double prev = sorted.front();
+  for (int pi = 0; pi <= 20; ++pi) {
+    double p = pi / 20.0;
+    auto q = Quantile(data, p);
+    ASSERT_TRUE(q.ok());
+    // Within data range and monotone.
+    EXPECT_GE(*q, sorted.front());
+    EXPECT_LE(*q, sorted.back());
+    EXPECT_GE(*q + 1e-12, prev);
+    prev = *q;
+    // Exact for integral ranks.
+    double h = p * (n - 1);
+    if (h == std::floor(h)) {
+      EXPECT_DOUBLE_EQ(*q, sorted[static_cast<size_t>(h)]);
+    }
+  }
+  // Median via quantile equals Median().
+  EXPECT_DOUBLE_EQ(Quantile(data, 0.5).value(), Median(data).value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantilePropertyTest,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace statdb

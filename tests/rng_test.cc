@@ -1,0 +1,97 @@
+#include "common/rng.h"
+
+#include "gtest/gtest.h"
+
+namespace statdb {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(7), b(8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.UniformInt(0, 1000000) == b.UniformInt(0, 1000000)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformIntWithinBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformDoubleWithinBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ZipfWithinBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Zipf(10, 1.0);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 10);
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardLowIndices) {
+  Rng rng(1);
+  int64_t low = 0, high = 0;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = rng.Zipf(10, 1.5);
+    if (v == 0) ++low;
+    if (v == 9) ++high;
+  }
+  EXPECT_GT(low, high * 3);
+}
+
+TEST(RngTest, ZipfZeroExponentIsUniformish) {
+  Rng rng(1);
+  int64_t counts[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 8000; ++i) {
+    ++counts[rng.Zipf(4, 0.0)];
+  }
+  for (int64_t c : counts) {
+    EXPECT_GT(c, 1600);
+    EXPECT_LT(c, 2400);
+  }
+}
+
+TEST(RngTest, ZipfDegenerateN) {
+  Rng rng(1);
+  EXPECT_EQ(rng.Zipf(1, 2.0), 0);
+  EXPECT_EQ(rng.Zipf(0, 2.0), 0);
+}
+
+TEST(RngTest, NormalMeanApproximatelyRight) {
+  Rng rng(3);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+}  // namespace
+}  // namespace statdb

@@ -1,0 +1,120 @@
+#include "storage/row_file.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace statdb {
+namespace {
+
+std::vector<uint8_t> Bytes(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+TEST(RowFileTest, AppendReadRoundTrip) {
+  TestStorage ts;
+  RowFile file(&ts.pool);
+  auto id = file.Append(Bytes("record one"));
+  ASSERT_TRUE(id.ok());
+  auto back = file.Read(id.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(std::string(back->begin(), back->end()), "record one");
+  EXPECT_EQ(file.record_count(), 1u);
+}
+
+TEST(RowFileTest, SpillsAcrossPages) {
+  TestStorage ts;
+  RowFile file(&ts.pool);
+  std::string rec(400, 'r');
+  std::vector<RecordId> ids;
+  for (int i = 0; i < 50; ++i) {
+    rec[0] = static_cast<char>('a' + i % 26);
+    auto id = file.Append(Bytes(rec));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  EXPECT_GT(file.page_count(), 1u);
+  EXPECT_EQ(file.record_count(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    auto back = file.Read(ids[i]);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ((*back)[0], static_cast<uint8_t>('a' + i % 26));
+  }
+}
+
+TEST(RowFileTest, ScanVisitsAllInOrder) {
+  TestStorage ts;
+  RowFile file(&ts.pool);
+  for (int i = 0; i < 30; ++i) {
+    std::string rec = "rec" + std::to_string(i);
+    ASSERT_TRUE(file.Append(Bytes(rec)).ok());
+  }
+  int seen = 0;
+  STATDB_ASSERT_OK(file.Scan(
+      [&seen](RecordId, const uint8_t* data, uint16_t len) -> Status {
+        std::string s(reinterpret_cast<const char*>(data), len);
+        EXPECT_EQ(s, "rec" + std::to_string(seen));
+        ++seen;
+        return Status::OK();
+      }));
+  EXPECT_EQ(seen, 30);
+}
+
+TEST(RowFileTest, ScanSkipsDeleted) {
+  TestStorage ts;
+  RowFile file(&ts.pool);
+  std::vector<RecordId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(file.Append(Bytes("r" + std::to_string(i))).value());
+  }
+  STATDB_ASSERT_OK(file.Delete(ids[3]));
+  STATDB_ASSERT_OK(file.Delete(ids[7]));
+  EXPECT_EQ(file.record_count(), 8u);
+  int seen = 0;
+  STATDB_ASSERT_OK(
+      file.Scan([&seen](RecordId, const uint8_t*, uint16_t) -> Status {
+        ++seen;
+        return Status::OK();
+      }));
+  EXPECT_EQ(seen, 8);
+  EXPECT_EQ(file.Read(ids[3]).status().code(), StatusCode::kNotFound);
+}
+
+TEST(RowFileTest, UpdateInPlace) {
+  TestStorage ts;
+  RowFile file(&ts.pool);
+  auto id = file.Append(Bytes("original")).value();
+  auto nb = Bytes("new!!");
+  STATDB_ASSERT_OK(file.Update(id, nb.data(), 5));
+  auto back = file.Read(id);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(std::string(back->begin(), back->end()), "new!!");
+}
+
+TEST(RowFileTest, ScanEarlyExitPropagates) {
+  TestStorage ts;
+  RowFile file(&ts.pool);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(file.Append(Bytes("x")).ok());
+  }
+  int seen = 0;
+  Status s = file.Scan(
+      [&seen](RecordId, const uint8_t*, uint16_t) -> Status {
+        if (++seen == 3) return InternalError("stop");
+        return Status::OK();
+      });
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(seen, 3);
+}
+
+TEST(RowFileTest, OversizedRecordRejected) {
+  TestStorage ts;
+  RowFile file(&ts.pool);
+  std::vector<uint8_t> big(kPageSize, 1);
+  EXPECT_EQ(file.Append(big).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace statdb

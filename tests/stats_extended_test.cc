@@ -1,0 +1,197 @@
+#include <cmath>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "stats/correlation.h"
+#include "stats/distributions.h"
+#include "stats/multiple_regression.h"
+#include "stats/tests.h"
+
+namespace statdb {
+namespace {
+
+// --- Student t / incomplete beta --------------------------------------------
+
+TEST(StudentTTest, CdfKnownValues) {
+  // t=0 is the median for any dof.
+  EXPECT_NEAR(StudentTCdf(0.0, 5.0).value(), 0.5, 1e-12);
+  // Classic critical values: t_{0.975, 10} = 2.228139.
+  EXPECT_NEAR(StudentTCdf(2.228138852, 10.0).value(), 0.975, 1e-6);
+  // t_{0.95, 1} = 6.313752 (Cauchy-like heavy tail).
+  EXPECT_NEAR(StudentTCdf(6.313751515, 1.0).value(), 0.95, 1e-6);
+  // Symmetry.
+  EXPECT_NEAR(StudentTCdf(-2.0, 7.0).value(),
+              1.0 - StudentTCdf(2.0, 7.0).value(), 1e-12);
+}
+
+TEST(StudentTTest, ApproachesNormalForLargeDof) {
+  EXPECT_NEAR(StudentTCdf(1.96, 1e6).value(), NormalCdf(1.96), 1e-4);
+}
+
+TEST(StudentTTest, DomainErrors) {
+  EXPECT_FALSE(StudentTCdf(1.0, 0.0).ok());
+  EXPECT_FALSE(RegularizedBeta(-0.1, 1, 1).ok());
+  EXPECT_FALSE(RegularizedBeta(0.5, 0, 1).ok());
+}
+
+TEST(RegularizedBetaTest, KnownValues) {
+  // I_x(1,1) = x.
+  for (double x : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(RegularizedBeta(x, 1, 1).value(), x, 1e-12);
+  }
+  // I_x(2,2) = x^2 (3 - 2x).
+  for (double x : {0.2, 0.5, 0.8}) {
+    EXPECT_NEAR(RegularizedBeta(x, 2, 2).value(), x * x * (3 - 2 * x),
+                1e-10);
+  }
+  EXPECT_DOUBLE_EQ(RegularizedBeta(0.0, 3, 4).value(), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedBeta(1.0, 3, 4).value(), 1.0);
+}
+
+// --- Welch t-test -------------------------------------------------------------
+
+TEST(WelchTTestTest, SameDistributionNotRejected) {
+  Rng rng(11);
+  std::vector<double> a, b;
+  for (int i = 0; i < 1000; ++i) {
+    a.push_back(rng.Normal(10, 3));
+    b.push_back(rng.Normal(10, 3));
+  }
+  auto r = WelchTTest(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->p_value, 0.01);
+}
+
+TEST(WelchTTestTest, ShiftedMeansRejected) {
+  Rng rng(12);
+  std::vector<double> a, b;
+  for (int i = 0; i < 1000; ++i) {
+    a.push_back(rng.Normal(10, 3));
+    b.push_back(rng.Normal(11, 3));
+  }
+  auto r = WelchTTest(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->p_value, 1e-6);
+  EXPECT_LT(r->statistic, 0.0);  // a's mean below b's
+}
+
+TEST(WelchTTestTest, UnequalVariancesHandled) {
+  Rng rng(13);
+  std::vector<double> a, b;
+  for (int i = 0; i < 50; ++i) a.push_back(rng.Normal(0, 1));
+  for (int i = 0; i < 500; ++i) b.push_back(rng.Normal(0, 20));
+  auto r = WelchTTest(a, b);
+  ASSERT_TRUE(r.ok());
+  // Welch dof must be far below the pooled n-2.
+  EXPECT_LT(r->dof, 548.0);
+  EXPECT_GT(r->p_value, 0.001);
+}
+
+TEST(WelchTTestTest, Errors) {
+  EXPECT_FALSE(WelchTTest({1.0}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(WelchTTest({3, 3, 3}, {4, 4, 4}).ok());
+}
+
+// --- Spearman ------------------------------------------------------------------
+
+TEST(SpearmanTest, RanksWithTies) {
+  auto ranks = AverageRanks({10, 20, 20, 30});
+  ASSERT_EQ(ranks.size(), 4u);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[3], 4.0);
+}
+
+TEST(SpearmanTest, MonotoneNonlinearIsPerfect) {
+  std::vector<double> x = {1, 2, 3, 4, 5, 6};
+  std::vector<double> y;
+  for (double xi : x) y.push_back(std::exp(xi));  // nonlinear, monotone
+  // Pearson is below 1; Spearman is exactly 1.
+  EXPECT_LT(PearsonR(x, y).value(), 0.95);
+  EXPECT_NEAR(SpearmanRho(x, y).value(), 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, ReversedOrderIsMinusOne) {
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y = {9, 7, 5, 3};
+  EXPECT_NEAR(SpearmanRho(x, y).value(), -1.0, 1e-12);
+}
+
+TEST(SpearmanTest, Errors) {
+  EXPECT_FALSE(SpearmanRho({1, 2}, {1}).ok());
+}
+
+// --- multiple regression ---------------------------------------------------------
+
+TEST(MultipleRegressionTest, ExactPlaneRecovered) {
+  // y = 2 + 3*x1 - 0.5*x2 on a grid.
+  std::vector<double> x1, x2, y;
+  for (int i = 0; i < 10; ++i) {
+    for (int j = 0; j < 10; ++j) {
+      x1.push_back(i);
+      x2.push_back(j);
+      y.push_back(2.0 + 3.0 * i - 0.5 * j);
+    }
+  }
+  auto fit = FitMultipleLinear({x1, x2}, y);
+  ASSERT_TRUE(fit.ok());
+  ASSERT_EQ(fit->coefficients.size(), 3u);
+  EXPECT_NEAR(fit->coefficients[0], 2.0, 1e-9);
+  EXPECT_NEAR(fit->coefficients[1], 3.0, 1e-9);
+  EXPECT_NEAR(fit->coefficients[2], -0.5, 1e-9);
+  EXPECT_NEAR(fit->r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit->Predict({2.0, 4.0}), 6.0, 1e-9);
+}
+
+TEST(MultipleRegressionTest, NoisyRecoveryAndResiduals) {
+  Rng rng(14);
+  std::vector<double> x1, x2, y;
+  for (int i = 0; i < 5000; ++i) {
+    double a = rng.UniformDouble(0, 10);
+    double b = rng.UniformDouble(0, 10);
+    x1.push_back(a);
+    x2.push_back(b);
+    y.push_back(1.0 + 2.0 * a + 3.0 * b + rng.Normal(0, 0.5));
+  }
+  auto fit = FitMultipleLinear({x1, x2}, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->coefficients[1], 2.0, 0.02);
+  EXPECT_NEAR(fit->coefficients[2], 3.0, 0.02);
+  EXPECT_NEAR(fit->residual_stddev, 0.5, 0.05);
+  auto resid = MultipleResiduals({x1, x2}, y, *fit);
+  ASSERT_TRUE(resid.ok());
+  double sum = 0;
+  for (double r : *resid) sum += r;
+  EXPECT_NEAR(sum / double(resid->size()), 0.0, 1e-9);
+}
+
+TEST(MultipleRegressionTest, MatchesSimpleRegressionWithOnePredictor) {
+  Rng rng(15);
+  std::vector<double> x, y;
+  for (int i = 0; i < 300; ++i) {
+    x.push_back(rng.UniformDouble(0, 5));
+    y.push_back(4.0 - 1.5 * x.back() + rng.Normal(0, 1));
+  }
+  auto multi = FitMultipleLinear({x}, y);
+  ASSERT_TRUE(multi.ok());
+  EXPECT_NEAR(multi->coefficients[1], -1.5, 0.2);
+}
+
+TEST(MultipleRegressionTest, SingularDesignsRejected) {
+  std::vector<double> x = {1, 2, 3, 4, 5, 6};
+  std::vector<double> x_dup = x;            // perfectly collinear
+  std::vector<double> konst(6, 7.0);        // collinear with intercept
+  std::vector<double> y = {1, 2, 3, 4, 5, 6};
+  EXPECT_FALSE(FitMultipleLinear({x, x_dup}, y).ok());
+  EXPECT_FALSE(FitMultipleLinear({x, konst}, y).ok());
+}
+
+TEST(MultipleRegressionTest, ShapeErrors) {
+  std::vector<double> y = {1, 2, 3};
+  EXPECT_FALSE(FitMultipleLinear({{1, 2}}, y).ok());       // ragged
+  EXPECT_FALSE(FitMultipleLinear({{1, 2, 3}, {4, 5, 6}}, y).ok());  // n<=k
+}
+
+}  // namespace
+}  // namespace statdb

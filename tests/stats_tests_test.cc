@@ -1,0 +1,109 @@
+#include "stats/tests.h"
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "stats/distributions.h"
+
+namespace statdb {
+namespace {
+
+CrossTab MakeTable(std::vector<std::vector<uint64_t>> counts) {
+  CrossTab ct;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    ct.row_labels.push_back(Value::Int(int64_t(i)));
+  }
+  for (size_t j = 0; j < counts[0].size(); ++j) {
+    ct.col_labels.push_back(Value::Int(int64_t(j)));
+  }
+  ct.counts = std::move(counts);
+  return ct;
+}
+
+TEST(ChiSquaredTest, IndependentTableAccepted) {
+  // Perfectly proportional rows -> statistic 0, p-value 1.
+  CrossTab ct = MakeTable({{10, 20, 30}, {20, 40, 60}});
+  auto r = ChiSquaredIndependence(ct);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->statistic, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r->dof, 2.0);
+  EXPECT_NEAR(r->p_value, 1.0, 1e-9);
+}
+
+TEST(ChiSquaredTest, DependentTableRejected) {
+  CrossTab ct = MakeTable({{50, 5}, {5, 50}});
+  auto r = ChiSquaredIndependence(ct);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->statistic, 30.0);
+  EXPECT_LT(r->p_value, 1e-6);
+}
+
+TEST(ChiSquaredTest, HandComputedStatistic) {
+  // Classic 2x2: rows (10, 20), (20, 10); N=60, expected all 15.
+  CrossTab ct = MakeTable({{10, 20}, {20, 10}});
+  auto r = ChiSquaredIndependence(ct);
+  ASSERT_TRUE(r.ok());
+  // chi2 = 4 * 25/15 = 6.6667.
+  EXPECT_NEAR(r->statistic, 20.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r->dof, 1.0);
+}
+
+TEST(ChiSquaredTest, DegenerateTablesRejected) {
+  EXPECT_FALSE(ChiSquaredIndependence(MakeTable({{1, 2}})).ok());
+  CrossTab empty_margin = MakeTable({{0, 0}, {1, 2}});
+  EXPECT_FALSE(ChiSquaredIndependence(empty_margin).ok());
+}
+
+TEST(GoodnessOfFitTest, UniformDieRolls) {
+  // 600 fair-die rolls, observed close to 100 each.
+  std::vector<uint64_t> observed = {95, 105, 98, 102, 99, 101};
+  std::vector<double> expected(6, 100.0);
+  auto r = ChiSquaredGoodnessOfFit(observed, expected);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->dof, 5.0);
+  EXPECT_GT(r->p_value, 0.9);
+  // A loaded die fails decisively.
+  std::vector<uint64_t> loaded = {200, 80, 80, 80, 80, 80};
+  auto r2 = ChiSquaredGoodnessOfFit(loaded, expected);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_LT(r2->p_value, 1e-10);
+}
+
+TEST(GoodnessOfFitTest, Errors) {
+  EXPECT_FALSE(ChiSquaredGoodnessOfFit({1, 2}, {1.0}).ok());
+  EXPECT_FALSE(ChiSquaredGoodnessOfFit({1, 2}, {0.0, 3.0}).ok());
+  EXPECT_FALSE(ChiSquaredGoodnessOfFit({1, 2}, {1.5, 1.5}, 1).ok());
+}
+
+TEST(KolmogorovSmirnovTest, UniformSampleAgainstUniformCdf) {
+  Rng rng(8);
+  std::vector<double> data;
+  for (int i = 0; i < 2000; ++i) data.push_back(rng.UniformDouble(0, 1));
+  auto r = KolmogorovSmirnov(data, [](double x) {
+    return std::clamp(x, 0.0, 1.0);
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->statistic, 0.05);
+  EXPECT_GT(r->p_value, 0.01);
+}
+
+TEST(KolmogorovSmirnovTest, NormalSampleAgainstNormalCdf) {
+  Rng rng(9);
+  std::vector<double> data;
+  for (int i = 0; i < 2000; ++i) data.push_back(rng.Normal(5.0, 2.0));
+  auto good = KolmogorovSmirnov(
+      data, [](double x) { return NormalCdf(x, 5.0, 2.0); });
+  ASSERT_TRUE(good.ok());
+  EXPECT_GT(good->p_value, 0.01);
+  // The same sample against a wrong hypothesis is rejected.
+  auto bad = KolmogorovSmirnov(
+      data, [](double x) { return NormalCdf(x, 0.0, 1.0); });
+  ASSERT_TRUE(bad.ok());
+  EXPECT_LT(bad->p_value, 1e-10);
+}
+
+TEST(KolmogorovSmirnovTest, EmptyDataFails) {
+  EXPECT_FALSE(KolmogorovSmirnov({}, [](double) { return 0.5; }).ok());
+}
+
+}  // namespace
+}  // namespace statdb

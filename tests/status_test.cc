@@ -1,0 +1,107 @@
+#include "common/status.h"
+
+#include "common/result.h"
+#include "gtest/gtest.h"
+
+namespace statdb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status s = NotFoundError("no such view");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "no such view");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: no such view");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code : {StatusCode::kOk, StatusCode::kInvalidArgument,
+                          StatusCode::kNotFound, StatusCode::kAlreadyExists,
+                          StatusCode::kOutOfRange,
+                          StatusCode::kFailedPrecondition,
+                          StatusCode::kUnimplemented, StatusCode::kInternal,
+                          StatusCode::kResourceExhausted,
+                          StatusCode::kDataLoss}) {
+    EXPECT_NE(StatusCodeName(code), "UNKNOWN");
+  }
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(NotFoundError("x"), NotFoundError("x"));
+  EXPECT_FALSE(NotFoundError("x") == NotFoundError("y"));
+  EXPECT_FALSE(NotFoundError("x") == InternalError("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(InvalidArgumentError("bad"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, OkStatusBecomesInternalError) {
+  Result<int> r(Status::OK());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return InvalidArgumentError("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  STATDB_ASSIGN_OR_RETURN(int h, Half(x));
+  STATDB_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  Result<int> ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  Result<int> err = Quarter(6);  // 6/2=3 is odd
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return OutOfRangeError("negative");
+  return Status::OK();
+}
+
+Status CheckAll(std::initializer_list<int> xs) {
+  for (int x : xs) {
+    STATDB_RETURN_IF_ERROR(FailIfNegative(x));
+  }
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(CheckAll({1, 2, 3}).ok());
+  EXPECT_EQ(CheckAll({1, -2, 3}).code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+}  // namespace
+}  // namespace statdb

@@ -1,0 +1,150 @@
+#include "relational/stored_table.h"
+
+#include "gtest/gtest.h"
+#include "relational/datagen.h"
+#include "tests/test_util.h"
+
+namespace statdb {
+namespace {
+
+Result<Table> SmallCensus(uint64_t rows) {
+  CensusOptions opts;
+  opts.rows = rows;
+  Rng rng(17);
+  return GenerateCensusMicrodata(opts, &rng);
+}
+
+bool TablesEqual(const Table& a, const Table& b) {
+  if (!(a.schema() == b.schema()) || a.num_rows() != b.num_rows()) {
+    return false;
+  }
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      if (!(a.At(r, c) == b.At(r, c))) return false;
+    }
+  }
+  return true;
+}
+
+TEST(StoredRowTableTest, RoundTrip) {
+  TestStorage ts(512);
+  auto data = SmallCensus(500);
+  ASSERT_TRUE(data.ok());
+  StoredRowTable stored(data->schema(), &ts.pool);
+  STATDB_ASSERT_OK(stored.LoadFrom(*data));
+  EXPECT_EQ(stored.num_rows(), 500u);
+  auto back = stored.ReadAll();
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(TablesEqual(*data, *back));
+}
+
+TEST(StoredRowTableTest, SchemaMismatchRejected) {
+  TestStorage ts;
+  StoredRowTable stored(Schema({Attribute::Numeric("X")}), &ts.pool);
+  auto data = SmallCensus(5);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(stored.LoadFrom(*data).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StoredRowTableTest, ScanSeesEveryRow) {
+  TestStorage ts(512);
+  auto data = SmallCensus(200);
+  ASSERT_TRUE(data.ok());
+  StoredRowTable stored(data->schema(), &ts.pool);
+  STATDB_ASSERT_OK(stored.LoadFrom(*data));
+  size_t rows = 0;
+  STATDB_ASSERT_OK(stored.Scan([&rows](const Row& row) -> Status {
+    EXPECT_EQ(row.size(), 9u);
+    ++rows;
+    return Status::OK();
+  }));
+  EXPECT_EQ(rows, 200u);
+}
+
+TEST(TransposedTableTest, RoundTrip) {
+  TestStorage ts(512);
+  auto data = SmallCensus(300);
+  ASSERT_TRUE(data.ok());
+  TransposedTable stored(data->schema(), &ts.pool);
+  STATDB_ASSERT_OK(stored.LoadFrom(*data));
+  auto back = stored.ReadAll();
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(TablesEqual(*data, *back));
+}
+
+TEST(TransposedTableTest, StringDictionaryRoundTrip) {
+  TestStorage ts;
+  Schema schema({Attribute::Category("NAME", DataType::kString),
+                 Attribute::Numeric("X", DataType::kDouble)});
+  TransposedTable stored(schema, &ts.pool);
+  STATDB_ASSERT_OK(stored.Append({Value::Str("alice"), Value::Real(1.0)}));
+  STATDB_ASSERT_OK(stored.Append({Value::Str("bob"), Value::Real(2.0)}));
+  STATDB_ASSERT_OK(stored.Append({Value::Str("alice"), Value::Null()}));
+  auto col = stored.ReadColumn("NAME");
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ((*col)[0], Value::Str("alice"));
+  EXPECT_EQ((*col)[1], Value::Str("bob"));
+  EXPECT_EQ((*col)[2], Value::Str("alice"));
+}
+
+TEST(TransposedTableTest, CellReadWriteAndMissing) {
+  TestStorage ts;
+  auto data = SmallCensus(50);
+  ASSERT_TRUE(data.ok());
+  TransposedTable stored(data->schema(), &ts.pool);
+  STATDB_ASSERT_OK(stored.LoadFrom(*data));
+  STATDB_ASSERT_OK(stored.WriteCell(7, "INCOME", Value::Real(1234.5)));
+  EXPECT_EQ(stored.ReadCell(7, "INCOME").value(), Value::Real(1234.5));
+  STATDB_ASSERT_OK(stored.WriteCell(7, "INCOME", Value::Null()));
+  EXPECT_TRUE(stored.ReadCell(7, "INCOME").value().is_null());
+  EXPECT_EQ(stored.ReadCell(999, "INCOME").status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(TransposedTableTest, AddColumnStartsAllNull) {
+  TestStorage ts;
+  auto data = SmallCensus(20);
+  ASSERT_TRUE(data.ok());
+  TransposedTable stored(data->schema(), &ts.pool);
+  STATDB_ASSERT_OK(stored.LoadFrom(*data));
+  STATDB_ASSERT_OK(stored.AddColumn(Attribute::Numeric("RESIDUAL")));
+  auto col = stored.ReadColumn("RESIDUAL");
+  ASSERT_TRUE(col.ok());
+  ASSERT_EQ(col->size(), 20u);
+  for (const Value& v : *col) EXPECT_TRUE(v.is_null());
+}
+
+TEST(TransposedTableTest, ColumnScanTouchesOnlyThatColumn) {
+  // The §2.6 claim in miniature: reading one column of a transposed
+  // table must not touch the other columns' pages.
+  TestStorage ts(2048);
+  auto data = SmallCensus(2000);
+  ASSERT_TRUE(data.ok());
+  TransposedTable stored(data->schema(), &ts.pool);
+  STATDB_ASSERT_OK(stored.LoadFrom(*data));
+  STATDB_ASSERT_OK(ts.pool.FlushAll());
+  STATDB_ASSERT_OK(ts.pool.Reset());
+  ts.pool.ResetStats();
+  auto col = stored.ReadNumericColumn("INCOME");
+  ASSERT_TRUE(col.ok());
+  size_t income_pages = (2000 + ColumnFile::kCellsPerPage - 1) /
+                        ColumnFile::kCellsPerPage;
+  EXPECT_EQ(ts.pool.stats().misses, income_pages);
+  // A full-row read touches one page per column instead.
+  STATDB_ASSERT_OK(ts.pool.Reset());
+  ts.pool.ResetStats();
+  ASSERT_TRUE(stored.ReadRow(1000).ok());
+  EXPECT_EQ(ts.pool.stats().misses, stored.schema().size());
+}
+
+TEST(TransposedTableTest, NumericColumnRejectsStrings) {
+  TestStorage ts;
+  Schema schema({Attribute::Category("NAME", DataType::kString)});
+  TransposedTable stored(schema, &ts.pool);
+  STATDB_ASSERT_OK(stored.Append({Value::Str("x")}));
+  EXPECT_EQ(stored.ReadNumericColumn("NAME").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace statdb

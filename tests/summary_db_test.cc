@@ -1,0 +1,180 @@
+#include "summary/summary_db.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace statdb {
+namespace {
+
+class SummaryDbTest : public ::testing::Test {
+ protected:
+  SummaryDbTest() : ts_(4096) {
+    auto db = SummaryDatabase::Create(&ts_.pool);
+    EXPECT_TRUE(db.ok());
+    db_ = std::move(db).value();
+  }
+
+  TestStorage ts_;
+  std::unique_ptr<SummaryDatabase> db_;
+};
+
+TEST_F(SummaryDbTest, MissThenInsertThenHit) {
+  SummaryKey key = SummaryKey::Of("median", "AVE_SALARY");
+  EXPECT_EQ(db_->Lookup(key).status().code(), StatusCode::kNotFound);
+  STATDB_ASSERT_OK(db_->Insert(key, SummaryResult::Scalar(29933), 0));
+  auto hit = db_->Lookup(key);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_DOUBLE_EQ(hit->result.AsScalar().value(), 29933.0);
+  EXPECT_FALSE(hit->stale);
+  EXPECT_EQ(hit->view_version, 0u);
+  EXPECT_EQ(db_->entry_count(), 1u);
+  EXPECT_EQ(db_->stats().misses, 1u);
+  EXPECT_EQ(db_->stats().hits, 1u);
+}
+
+TEST_F(SummaryDbTest, InsertReplaces) {
+  SummaryKey key = SummaryKey::Of("mean", "INCOME");
+  STATDB_ASSERT_OK(db_->Insert(key, SummaryResult::Scalar(1), 0));
+  STATDB_ASSERT_OK(db_->Insert(key, SummaryResult::Scalar(2), 3));
+  auto hit = db_->Lookup(key);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_DOUBLE_EQ(hit->result.AsScalar().value(), 2.0);
+  EXPECT_EQ(hit->view_version, 3u);
+  EXPECT_EQ(db_->entry_count(), 1u);
+}
+
+TEST_F(SummaryDbTest, InvalidateMarksAllEntriesOnAttribute) {
+  STATDB_ASSERT_OK(db_->Insert(SummaryKey::Of("mean", "INCOME"),
+                               SummaryResult::Scalar(1), 0));
+  STATDB_ASSERT_OK(db_->Insert(SummaryKey::Of("median", "INCOME"),
+                               SummaryResult::Scalar(2), 0));
+  STATDB_ASSERT_OK(db_->Insert(SummaryKey::Of("mean", "AGE"),
+                               SummaryResult::Scalar(3), 0));
+  auto n = db_->InvalidateAttribute("INCOME");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 2u);
+  EXPECT_TRUE(db_->Lookup(SummaryKey::Of("mean", "INCOME"))->stale);
+  EXPECT_TRUE(db_->Lookup(SummaryKey::Of("median", "INCOME"))->stale);
+  EXPECT_FALSE(db_->Lookup(SummaryKey::Of("mean", "AGE"))->stale);
+  // Idempotent: already-stale entries are not re-counted.
+  EXPECT_EQ(db_->InvalidateAttribute("INCOME").value(), 0u);
+}
+
+TEST_F(SummaryDbTest, InvalidateDoesNotBleedAcrossPrefixNames) {
+  // "AGE" must not invalidate "AGE_GROUP" entries (string prefix trap).
+  STATDB_ASSERT_OK(db_->Insert(SummaryKey::Of("count", "AGE_GROUP"),
+                               SummaryResult::Scalar(4), 0));
+  STATDB_ASSERT_OK(db_->Insert(SummaryKey::Of("mean", "AGE"),
+                               SummaryResult::Scalar(30), 0));
+  EXPECT_EQ(db_->InvalidateAttribute("AGE").value(), 1u);
+  EXPECT_FALSE(db_->Lookup(SummaryKey::Of("count", "AGE_GROUP"))->stale);
+}
+
+TEST_F(SummaryDbTest, MultiAttributeEntriesFoundFromAnyInput) {
+  SummaryKey corr{"correlation", {"INCOME", "AGE"}, ""};
+  STATDB_ASSERT_OK(db_->Insert(corr, SummaryResult::Scalar(0.4), 0));
+  // Invalidating the *second* attribute must reach the entry through its
+  // reference record.
+  EXPECT_EQ(db_->InvalidateAttribute("AGE").value(), 1u);
+  EXPECT_TRUE(db_->Lookup(corr)->stale);
+}
+
+TEST_F(SummaryDbTest, RefreshClearsStalenessAndBumpsVersion) {
+  SummaryKey key = SummaryKey::Of("mean", "INCOME");
+  STATDB_ASSERT_OK(db_->Insert(key, SummaryResult::Scalar(1), 0));
+  STATDB_ASSERT_OK(db_->MarkStale(key));
+  EXPECT_TRUE(db_->Lookup(key)->stale);
+  STATDB_ASSERT_OK(db_->Refresh(key, SummaryResult::Scalar(1.5), 7));
+  auto hit = db_->Lookup(key);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_FALSE(hit->stale);
+  EXPECT_EQ(hit->view_version, 7u);
+  EXPECT_DOUBLE_EQ(hit->result.AsScalar().value(), 1.5);
+  // Refresh of an uncached key fails.
+  EXPECT_EQ(db_->Refresh(SummaryKey::Of("nope", "X"),
+                         SummaryResult::Scalar(0), 0)
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(SummaryDbTest, RemoveDeletesEntryAndRefs) {
+  SummaryKey corr{"correlation", {"INCOME", "AGE"}, ""};
+  STATDB_ASSERT_OK(db_->Insert(corr, SummaryResult::Scalar(0.4), 0));
+  STATDB_ASSERT_OK(db_->Remove(corr));
+  EXPECT_EQ(db_->entry_count(), 0u);
+  EXPECT_FALSE(db_->Lookup(corr).ok());
+  // No dangling reference: invalidating AGE finds nothing.
+  EXPECT_EQ(db_->InvalidateAttribute("AGE").value(), 0u);
+  EXPECT_EQ(db_->Remove(corr).code(), StatusCode::kNotFound);
+}
+
+TEST_F(SummaryDbTest, LargeResultsAreChunkedTransparently) {
+  // A 100-bucket histogram exceeds one index slot; it must round-trip.
+  Histogram h;
+  for (int i = 0; i <= 300; ++i) h.edges.push_back(i);
+  for (int i = 0; i < 300; ++i) h.counts.push_back(i * 7);
+  SummaryKey key = SummaryKey::Of("histogram", "INCOME", "buckets=300");
+  STATDB_ASSERT_OK(db_->Insert(key, SummaryResult::Histo(h), 0));
+  auto hit = db_->Lookup(key);
+  ASSERT_TRUE(hit.ok());
+  const Histogram* hb = hit->result.AsHistogram().value();
+  EXPECT_EQ(hb->counts.size(), 300u);
+  EXPECT_EQ(hb->counts[299], 299u * 7);
+  // Replacing a chunked entry with a smaller one leaves no debris that
+  // breaks lookup.
+  STATDB_ASSERT_OK(db_->Insert(key, SummaryResult::Scalar(1), 1));
+  EXPECT_DOUBLE_EQ(db_->Lookup(key)->result.AsScalar().value(), 1.0);
+  // Remove works on the replaced entry too.
+  STATDB_ASSERT_OK(db_->Remove(key));
+  EXPECT_EQ(db_->entry_count(), 0u);
+}
+
+TEST_F(SummaryDbTest, ForEachOnAttributeEnumeratesCluster) {
+  STATDB_ASSERT_OK(db_->Insert(SummaryKey::Of("mean", "INCOME"),
+                               SummaryResult::Scalar(1), 0));
+  STATDB_ASSERT_OK(db_->Insert(SummaryKey::Of("median", "INCOME"),
+                               SummaryResult::Scalar(2), 0));
+  STATDB_ASSERT_OK(db_->Insert(SummaryKey::Of("mean", "AGE"),
+                               SummaryResult::Scalar(3), 0));
+  std::vector<std::string> fns;
+  STATDB_ASSERT_OK(db_->ForEachOnAttribute(
+      "INCOME", [&fns](const SummaryEntry& e) {
+        fns.push_back(e.key.function);
+        return Status::OK();
+      }));
+  ASSERT_EQ(fns.size(), 2u);
+  EXPECT_EQ(fns[0], "mean");
+  EXPECT_EQ(fns[1], "median");
+}
+
+TEST_F(SummaryDbTest, ForEachDumpsEverything) {
+  STATDB_ASSERT_OK(db_->Insert(SummaryKey::Of("mean", "A"),
+                               SummaryResult::Scalar(1), 0));
+  STATDB_ASSERT_OK(db_->Insert(SummaryKey::Of("mean", "B"),
+                               SummaryResult::Scalar(2), 0));
+  int count = 0;
+  STATDB_ASSERT_OK(db_->ForEach([&count](const SummaryEntry&) {
+    ++count;
+    return Status::OK();
+  }));
+  EXPECT_EQ(count, 2);
+}
+
+TEST_F(SummaryDbTest, StatsCounters) {
+  SummaryKey key = SummaryKey::Of("mean", "X");
+  (void)db_->Lookup(key);
+  STATDB_ASSERT_OK(db_->Insert(key, SummaryResult::Scalar(1), 0));
+  (void)db_->Lookup(key);
+  STATDB_ASSERT_OK(db_->MarkStale(key));
+  (void)db_->Lookup(key);
+  const SummaryDbStats& s = db_->stats();
+  EXPECT_EQ(s.lookups, 3u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.stale_hits, 1u);
+  EXPECT_EQ(s.inserts, 1u);
+  EXPECT_NEAR(s.HitRate(), 1.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace statdb

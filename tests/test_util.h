@@ -1,0 +1,54 @@
+#ifndef STATDB_TESTS_TEST_UTIL_H_
+#define STATDB_TESTS_TEST_UTIL_H_
+
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "storage/buffer_pool.h"
+#include "storage/device.h"
+#include "storage/storage_manager.h"
+
+namespace statdb {
+
+/// gtest glue: ASSERT that a Status/Result is OK, printing the error.
+#define STATDB_ASSERT_OK(expr)                                 \
+  do {                                                         \
+    const auto& _s = (expr);                                   \
+    ASSERT_TRUE(_s.ok()) << "status: " << StatusToText(_s);    \
+  } while (0)
+
+#define STATDB_EXPECT_OK(expr)                                 \
+  do {                                                         \
+    const auto& _s = (expr);                                   \
+    EXPECT_TRUE(_s.ok()) << "status: " << StatusToText(_s);    \
+  } while (0)
+
+inline std::string StatusToText(const Status& s) { return s.ToString(); }
+template <typename T>
+std::string StatusToText(const Result<T>& r) {
+  return r.status().ToString();
+}
+
+/// A zero-cost in-memory device with a buffer pool, for unit tests that
+/// do not care about the cost model.
+struct TestStorage {
+  explicit TestStorage(size_t pool_pages = 64)
+      : device("test", DeviceCostModel::Memory()),
+        pool(&device, pool_pages) {}
+
+  SimulatedDevice device;
+  BufferPool pool;
+};
+
+/// A tape+disk StorageManager mirroring the paper's installation.
+inline std::unique_ptr<StorageManager> MakeTapeDiskStorage(
+    size_t tape_pool = 256, size_t disk_pool = 1024) {
+  auto sm = std::make_unique<StorageManager>();
+  EXPECT_TRUE(sm->AddDevice("tape", DeviceCostModel::Tape(), tape_pool).ok());
+  EXPECT_TRUE(sm->AddDevice("disk", DeviceCostModel::Disk(), disk_pool).ok());
+  return sm;
+}
+
+}  // namespace statdb
+
+#endif  // STATDB_TESTS_TEST_UTIL_H_

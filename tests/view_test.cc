@@ -1,0 +1,165 @@
+#include "core/view.h"
+#include "core/view_def.h"
+
+#include "gtest/gtest.h"
+#include "relational/datagen.h"
+#include "tests/test_util.h"
+
+namespace statdb {
+namespace {
+
+Result<Table> Census(uint64_t rows, uint64_t seed = 21) {
+  CensusOptions opts;
+  opts.rows = rows;
+  Rng rng(seed);
+  return GenerateCensusMicrodata(opts, &rng);
+}
+
+TEST(ViewDefTest, CanonicalFormsDifferWithContent) {
+  ViewDefinition a;
+  a.source = "census";
+  a.predicate = Gt(Col("INCOME"), Lit(1000.0));
+  ViewDefinition b = a;
+  EXPECT_EQ(a.Canonical(), b.Canonical());
+  b.predicate = Gt(Col("INCOME"), Lit(2000.0));
+  EXPECT_NE(a.Canonical(), b.Canonical());
+  b = a;
+  b.projection = {"INCOME"};
+  EXPECT_NE(a.Canonical(), b.Canonical());
+  b = a;
+  b.sample_fraction = 0.5;
+  EXPECT_NE(a.Canonical(), b.Canonical());
+}
+
+TEST(ViewDefTest, MaterializeAppliesPipelineInOrder) {
+  auto raw = Census(2000);
+  ASSERT_TRUE(raw.ok());
+  ViewDefinition def;
+  def.source = "census";
+  def.predicate = Gt(Col("AGE"), Lit(int64_t{40}));
+  def.projection = {"SEX", "INCOME"};
+  auto out = def.Materialize(*raw);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_columns(), 2u);
+  EXPECT_LT(out->num_rows(), raw->num_rows());
+  EXPECT_GT(out->num_rows(), 0u);
+}
+
+TEST(ViewDefTest, MaterializeWithSampleIsDeterministic) {
+  auto raw = Census(2000);
+  ASSERT_TRUE(raw.ok());
+  ViewDefinition def;
+  def.source = "census";
+  def.sample_fraction = 0.3;
+  def.sample_seed = 99;
+  auto a = def.Materialize(*raw);
+  auto b = def.Materialize(*raw);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->num_rows(), b->num_rows());
+  EXPECT_GT(a->num_rows(), 400u);
+  EXPECT_LT(a->num_rows(), 800u);
+}
+
+TEST(ViewDefTest, MaterializeWithAggregation) {
+  auto raw = Census(3000);
+  ASSERT_TRUE(raw.ok());
+  ViewDefinition def;
+  def.source = "census";
+  def.group_by = {"SEX", "RACE", "AGE_GROUP"};
+  def.aggregates = {AggSpec::Count("POPULATION"),
+                    AggSpec::Avg("INCOME", "AVE_SALARY")};
+  auto out = def.Materialize(*raw);
+  ASSERT_TRUE(out.ok());
+  EXPECT_LE(out->num_rows(), 32u);
+  EXPECT_TRUE(out->schema().Contains("AVE_SALARY"));
+}
+
+class ConcreteViewTest : public ::testing::Test {
+ protected:
+  ConcreteViewTest() : ts_(2048) {
+    auto data = Census(500);
+    EXPECT_TRUE(data.ok());
+    view_ = std::make_unique<ConcreteView>("v", data->schema(), &ts_.pool);
+    EXPECT_TRUE(view_->LoadFrom(*data).ok());
+  }
+
+  TestStorage ts_;
+  std::unique_ptr<ConcreteView> view_;
+};
+
+TEST_F(ConcreteViewTest, LoadDoesNotBumpVersion) {
+  EXPECT_EQ(view_->version(), 0u);
+  EXPECT_EQ(view_->num_rows(), 500u);
+}
+
+TEST_F(ConcreteViewTest, PredicateUpdateReportsChanges) {
+  // Mark implausible ages missing (§3.1's cleaning step).
+  UpdateSpec spec;
+  spec.predicate = Gt(Col("AGE"), Lit(int64_t{120}));
+  spec.column = "AGE";
+  spec.value = nullptr;  // mark missing
+  auto changes = view_->ApplyUpdate(spec);
+  ASSERT_TRUE(changes.ok());
+  for (const CellChange& ch : *changes) {
+    EXPECT_EQ(ch.column, "AGE");
+    EXPECT_FALSE(ch.old_value.is_null());
+    EXPECT_TRUE(ch.new_value.is_null());
+    EXPECT_TRUE(view_->ReadCell(ch.row, "AGE").value().is_null());
+  }
+  if (!changes->empty()) {
+    EXPECT_EQ(view_->version(), 1u);
+  }
+}
+
+TEST_F(ConcreteViewTest, ValueExpressionUpdate) {
+  UpdateSpec spec;
+  spec.predicate = Lt(Col("INCOME"), Lit(1e5));
+  spec.column = "INCOME";
+  spec.value = Mul(Col("INCOME"), Lit(2.0));
+  auto before = view_->ReadNumericColumn("INCOME").value();
+  auto changes = view_->ApplyUpdate(spec);
+  ASSERT_TRUE(changes.ok());
+  EXPECT_GT(changes->size(), 0u);
+  auto after = view_->ReadNumericColumn("INCOME").value();
+  EXPECT_EQ(before.size(), after.size());
+}
+
+TEST_F(ConcreteViewTest, NoopUpdateDoesNotBumpVersion) {
+  UpdateSpec spec;
+  spec.predicate = Gt(Col("AGE"), Lit(int64_t{100000}));
+  spec.column = "AGE";
+  spec.value = nullptr;
+  auto changes = view_->ApplyUpdate(spec);
+  ASSERT_TRUE(changes.ok());
+  EXPECT_TRUE(changes->empty());
+  EXPECT_EQ(view_->version(), 0u);
+}
+
+TEST_F(ConcreteViewTest, UpdateWritingSameValueIsSkipped) {
+  UpdateSpec spec;
+  spec.predicate = nullptr;  // all rows
+  spec.column = "AGE";
+  spec.value = Col("AGE");  // identity
+  auto changes = view_->ApplyUpdate(spec);
+  ASSERT_TRUE(changes.ok());
+  EXPECT_TRUE(changes->empty());
+}
+
+TEST_F(ConcreteViewTest, AddColumnAndSnapshot) {
+  STATDB_ASSERT_OK(view_->AddColumn(Attribute::Numeric("Z")));
+  auto snap = view_->Snapshot();
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->num_columns(), 10u);
+  EXPECT_TRUE(snap->At(0, 9).is_null());
+}
+
+TEST_F(ConcreteViewTest, UnknownColumnInUpdateFails) {
+  UpdateSpec spec;
+  spec.column = "NOPE";
+  spec.value = Lit(1.0);
+  EXPECT_FALSE(view_->ApplyUpdate(spec).ok());
+}
+
+}  // namespace
+}  // namespace statdb

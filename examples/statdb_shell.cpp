@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "check/db_auditor.h"
 #include "core/dbms.h"
 #include "relational/datagen.h"
 
@@ -50,6 +51,8 @@ void PrintHelp() {
       "  history <view>                     show the update log\n"
       "  rollback <view> <version>          undo to a version\n"
       "  summary <view>                     dump the Summary Database\n"
+      "  audit                              fsck: structural + summary-"
+      "oracle audit\n"
       "  io                                 simulated device statistics\n"
       "  help | quit\n";
 }
@@ -121,6 +124,7 @@ class Shell {
     if (cmd == "history") return CmdHistory(t);
     if (cmd == "rollback") return CmdRollback(t);
     if (cmd == "summary") return CmdSummary(t);
+    if (cmd == "audit") return CmdAudit();
     if (cmd == "io") return CmdIo();
     return InvalidArgumentError("unknown command: " + cmd +
                                 " (try 'help')");
@@ -273,6 +277,18 @@ class Shell {
                   e.stale ? "  (stale)" : "");
       return Status::OK();
     });
+  }
+
+  Status CmdAudit() {
+    if (dbms_ == nullptr) {
+      return FailedPreconditionError("no database loaded (try 'load')");
+    }
+    std::string text;
+    Status verdict = FsckDatabase(dbms_.get(), &text);
+    std::cout << text << "\n";
+    // A corrupt database is a finding for the analyst, not a shell error.
+    if (!verdict.ok()) std::cout << "verdict: " << verdict.ToString() << "\n";
+    return Status::OK();
   }
 
   Status CmdIo() {

@@ -1,0 +1,79 @@
+#ifndef STATDB_CHECK_CHECK_ACCESS_H_
+#define STATDB_CHECK_CHECK_ACCESS_H_
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/btree.h"
+#include "storage/buffer_pool.h"
+#include "storage/column_file.h"
+#include "storage/compressed_column_file.h"
+#include "summary/summary_db.h"
+
+namespace statdb {
+
+/// The auditor's keyhole into otherwise-private structure state.
+///
+/// Every audited class befriends CheckAccess; the checkers in check.cc go
+/// through these read-only accessors instead of widening each class's
+/// public API. Nothing here mutates — an audit must never repair or
+/// disturb the structures it inspects.
+class CheckAccess {
+ public:
+  // --- BufferPool ---------------------------------------------------------
+  using PoolFrame = BufferPool::Frame;
+
+  static const std::vector<PoolFrame>& Frames(const BufferPool& pool) {
+    return pool.frames_;
+  }
+  static const std::vector<size_t>& FreeFrames(const BufferPool& pool) {
+    return pool.free_frames_;
+  }
+  static const std::unordered_map<PageId, size_t>& PageTable(
+      const BufferPool& pool) {
+    return pool.page_table_;
+  }
+  static const std::list<size_t>& Lru(const BufferPool& pool) {
+    return pool.lru_;
+  }
+
+  // --- BPlusTree ----------------------------------------------------------
+  using TreeNode = BPlusTree::Node;
+
+  static Result<TreeNode> LoadNode(const BPlusTree& tree, PageId pid) {
+    return tree.LoadNode(pid);
+  }
+  static size_t NodeSerializedSize(const TreeNode& node) {
+    return BPlusTree::SerializedSize(node);
+  }
+  static BufferPool* TreePool(const BPlusTree& tree) { return tree.pool_; }
+
+  // --- ColumnFile ---------------------------------------------------------
+  static const std::vector<PageId>& Pages(const ColumnFile& file) {
+    return file.pages_;
+  }
+  static BufferPool* Pool(const ColumnFile& file) { return file.pool_; }
+  static constexpr size_t ColumnCountOff() { return ColumnFile::kCountOff; }
+  static constexpr size_t ColumnBitmapOff() { return ColumnFile::kBitmapOff; }
+  static constexpr size_t ColumnCellsOff() { return ColumnFile::kCellsOff; }
+
+  // --- CompressedColumnFile -----------------------------------------------
+  static const std::vector<PageId>& Pages(const CompressedColumnFile& file) {
+    return file.pages_;
+  }
+  static const std::vector<uint64_t>& PageStarts(
+      const CompressedColumnFile& file) {
+    return file.page_start_;
+  }
+  static BufferPool* Pool(const CompressedColumnFile& file) {
+    return file.pool_;
+  }
+  static constexpr size_t RunsPerPage() {
+    return CompressedColumnFile::kRunsPerPage;
+  }
+};
+
+}  // namespace statdb
+
+#endif  // STATDB_CHECK_CHECK_ACCESS_H_

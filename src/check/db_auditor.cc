@@ -1,0 +1,58 @@
+#include "check/db_auditor.h"
+
+#include <vector>
+
+#include "core/dbms.h"
+#include "core/view.h"
+#include "storage/buffer_pool.h"
+#include "summary/summary_db.h"
+
+namespace statdb {
+
+Status DbAuditor::AuditView(const std::string& view, CheckReport* report) {
+  STATDB_ASSIGN_OR_RETURN(SummaryDatabase * summary,
+                          dbms_->GetSummaryDb(view));
+  STATDB_ASSIGN_OR_RETURN(ConcreteView * concrete, dbms_->GetView(view));
+
+  // Structure first: a corrupt index makes the oracle's reads suspect.
+  STATDB_RETURN_IF_ERROR(CheckBPlusTree(*summary->index(), report));
+  STATDB_RETURN_IF_ERROR(CheckSummaryDb(summary, report));
+
+  ViewOracle oracle;
+  oracle.view_version = concrete->version();
+  oracle.read_numeric =
+      [concrete](const std::string& attr) -> Result<std::vector<double>> {
+    return concrete->ReadNumericColumn(attr);
+  };
+  oracle.read_column =
+      [concrete](const std::string& attr) -> Result<std::vector<Value>> {
+    return concrete->ReadColumn(attr);
+  };
+  return AuditSummaryAgainstView(summary, dbms_->management_db().functions(),
+                                 oracle, report, options_);
+}
+
+Status DbAuditor::AuditAll(CheckReport* report) {
+  for (const std::string& view : dbms_->ViewNames()) {
+    STATDB_RETURN_IF_ERROR(AuditView(view, report));
+  }
+  // The audit itself pins and unpins pages, so quiescence is checked
+  // last, once every walk has released its frames.
+  Result<BufferPool*> disk =
+      dbms_->storage()->GetPool(dbms_->disk_device_name());
+  if (disk.ok()) {
+    STATDB_RETURN_IF_ERROR(CheckBufferPool(*disk.value(), report));
+  }
+  return Status::OK();
+}
+
+Status FsckDatabase(StatisticalDbms* dbms, std::string* report_text,
+                    const AuditOptions& options) {
+  CheckReport report;
+  DbAuditor auditor(dbms, options);
+  STATDB_RETURN_IF_ERROR(auditor.AuditAll(&report));
+  if (report_text != nullptr) *report_text = report.ToString();
+  return report.ToStatus();
+}
+
+}  // namespace statdb

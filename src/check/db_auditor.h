@@ -1,0 +1,51 @@
+#ifndef STATDB_CHECK_DB_AUDITOR_H_
+#define STATDB_CHECK_DB_AUDITOR_H_
+
+#include <string>
+
+#include "check/check.h"
+#include "common/status.h"
+
+namespace statdb {
+
+class StatisticalDbms;
+
+/// Whole-database auditor: runs every structural checker plus the
+/// differential summary-vs-view oracle against a live StatisticalDbms.
+///
+/// This is the `fsck` of statdb. It is invoked three ways:
+///   - automatically after every Update/Rollback when the DBMS's
+///     audit-after-update flag is on (the STATDB_AUDIT build default),
+///   - explicitly from tests and the `audit` shell command,
+///   - via the FsckDatabase() convenience wrapper.
+///
+/// Compiled into statdb_core (it needs StatisticalDbms) while the
+/// checkers it drives live in the lower-level statdb_check library.
+class DbAuditor {
+ public:
+  explicit DbAuditor(StatisticalDbms* dbms, AuditOptions options = {})
+      : dbms_(dbms), options_(options) {}
+
+  /// Audits one view: its Summary Database index structure, record web
+  /// (chunks, references, entry count), and cached-result coherence
+  /// against the view's current columns.
+  Status AuditView(const std::string& view, CheckReport* report);
+
+  /// Audits every view plus the shared disk buffer pool (which must be
+  /// quiescent between operations).
+  Status AuditAll(CheckReport* report);
+
+ private:
+  StatisticalDbms* dbms_;
+  AuditOptions options_;
+};
+
+/// One-call fsck: audits everything and returns OK or a DATA_LOSS status
+/// summarizing the violations. When `report_text` is non-null it receives
+/// the full finding-per-line report (PASS/FAIL trailer included).
+Status FsckDatabase(StatisticalDbms* dbms, std::string* report_text = nullptr,
+                    const AuditOptions& options = {});
+
+}  // namespace statdb
+
+#endif  // STATDB_CHECK_DB_AUDITOR_H_

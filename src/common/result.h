@@ -26,7 +26,11 @@ class Result {
 
   bool ok() const { return value_.has_value(); }
 
-  const Status& status() const { return status_; }
+  /// On an rvalue Result the status is returned by value: callers write
+  /// `SomeCall().status()` and bind the answer to a const reference, which
+  /// would dangle if this handed out a reference into the temporary.
+  const Status& status() const& { return status_; }
+  Status status() && { return std::move(status_); }
 
   T& value() & {
     assert(ok());

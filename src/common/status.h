@@ -76,11 +76,18 @@ Status DataLossError(std::string message);
 
 }  // namespace statdb
 
-/// Propagates a non-OK Status to the caller.
-#define STATDB_RETURN_IF_ERROR(expr)                 \
-  do {                                               \
-    ::statdb::Status _statdb_status = (expr);        \
-    if (!_statdb_status.ok()) return _statdb_status; \
+/// Propagates a non-OK Status to the caller. The temporary's name is
+/// uniquified per line so a use nested inside a lambda argument of
+/// another use does not shadow the outer temporary.
+#define STATDB_STATUS_CONCAT_INNER_(a, b) a##b
+#define STATDB_STATUS_CONCAT_(a, b) STATDB_STATUS_CONCAT_INNER_(a, b)
+#define STATDB_RETURN_IF_ERROR(expr) \
+  STATDB_RETURN_IF_ERROR_IMPL_(      \
+      STATDB_STATUS_CONCAT_(_statdb_status, __LINE__), expr)
+#define STATDB_RETURN_IF_ERROR_IMPL_(tmp, expr) \
+  do {                                          \
+    ::statdb::Status tmp = (expr);              \
+    if (!tmp.ok()) return tmp;                  \
   } while (0)
 
 #endif  // STATDB_COMMON_STATUS_H_

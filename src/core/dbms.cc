@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/db_auditor.h"
 #include "stats/descriptive.h"
 #include "stats/correlation.h"
 #include "stats/crosstab.h"
@@ -691,6 +692,14 @@ Status StatisticalDbms::MaintainDerivedColumns(
   return Status::OK();
 }
 
+Status StatisticalDbms::MaybeAuditAfterUpdate(const std::string& view) {
+  if (!audit_after_update_) return Status::OK();
+  CheckReport report;
+  DbAuditor auditor(this);
+  STATDB_RETURN_IF_ERROR(auditor.AuditView(view, &report));
+  return report.ToStatus();
+}
+
 Result<uint64_t> StatisticalDbms::Update(const std::string& view,
                                          const UpdateSpec& spec) {
   STATDB_ASSIGN_OR_RETURN(ViewState * state, GetState(view));
@@ -737,6 +746,7 @@ Result<uint64_t> StatisticalDbms::Update(const std::string& view,
     STATDB_RETURN_IF_ERROR(
         MaintainSummaries(view, state, column, column_changes));
   }
+  STATDB_RETURN_IF_ERROR(MaybeAuditAfterUpdate(view));
   return changes.size() + derived_changes.size();
 }
 
@@ -773,10 +783,16 @@ Status StatisticalDbms::Rollback(const std::string& view,
                             state->summary->InvalidateAttribute(attr));
     (void)n;
   }
+  // Entries on unaffected attributes are still valid, but none may keep a
+  // version stamp from the undone timeline: re-advanced version numbers
+  // would collide with it and poison max_version_lag staleness checks.
+  STATDB_ASSIGN_OR_RETURN(uint64_t capped,
+                          state->summary->ClampVersions(target_version));
+  (void)capped;
   // Maintainer state reflects the rolled-back data; drop it all and let
   // queries re-arm on demand.
   state->maintainers.clear();
-  return Status::OK();
+  return MaybeAuditAfterUpdate(view);
 }
 
 Status StatisticalDbms::AddDerivedColumn(const std::string& view,

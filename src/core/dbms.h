@@ -241,6 +241,17 @@ class StatisticalDbms {
   Result<const ViewTrafficStats*> GetTrafficStats(
       const std::string& view) const;
   StorageManager* storage() { return storage_; }
+  const std::string& tape_device_name() const { return tape_device_; }
+  const std::string& disk_device_name() const { return disk_device_; }
+
+  /// Audit-after-update: when on, every successful Update/Rollback ends
+  /// with a full DbAuditor pass over the touched view (structure + the
+  /// differential summary-vs-view oracle) and fails with DATA_LOSS if the
+  /// maintenance rules left the cache incoherent. Defaults to on when
+  /// built with -DSTATDB_AUDIT=ON, off otherwise; tests may force it
+  /// either way in any build.
+  void set_audit_after_update(bool on) { audit_after_update_ = on; }
+  bool audit_after_update() const { return audit_after_update_; }
 
  private:
   struct ViewState {
@@ -265,6 +276,11 @@ class StatisticalDbms {
                          const std::vector<CellChange>& changes);
 
   Result<ViewState*> GetState(const std::string& view);
+
+  /// Runs the auditor over `view` when audit-after-update is on;
+  /// propagates its DATA_LOSS verdict so a buggy maintenance rule fails
+  /// the update that exposed it instead of poisoning later queries.
+  Status MaybeAuditAfterUpdate(const std::string& view);
 
   /// Reads the raw table for `dataset` from tape.
   Result<Table> ReadRawFromTape(const std::string& dataset);
@@ -295,6 +311,11 @@ class StatisticalDbms {
   ManagementDatabase mdb_;
   std::map<std::string, std::unique_ptr<StoredRowTable>> raw_tables_;
   std::map<std::string, ViewState> views_;
+#ifdef STATDB_AUDIT
+  bool audit_after_update_ = true;
+#else
+  bool audit_after_update_ = false;
+#endif
 };
 
 }  // namespace statdb

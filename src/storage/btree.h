@@ -68,6 +68,9 @@ class BPlusTree {
   Result<int> Height() const;
 
  private:
+  /// Read-only introspection for the structural auditor (src/check).
+  friend class CheckAccess;
+
   explicit BPlusTree(BufferPool* pool) : pool_(pool) {}
 
   struct LeafNode {

@@ -61,6 +61,9 @@ class BufferPool {
   size_t capacity() const { return capacity_; }
 
  private:
+  /// Read-only introspection for the structural auditor (src/check).
+  friend class CheckAccess;
+
   struct Frame {
     PageId id = kInvalidPageId;
     Page page;

@@ -53,6 +53,9 @@ class ColumnFile {
   size_t page_count() const { return pages_.size(); }
 
  private:
+  /// Read-only introspection for the structural auditor (src/check).
+  friend class CheckAccess;
+
   static constexpr size_t kCountOff = 0;
   static constexpr size_t kBitmapOff = 8;
   static constexpr size_t kBitmapBytes = 64;
@@ -60,8 +63,6 @@ class ColumnFile {
 
   static bool TestBit(const Page& p, size_t i);
   static void SetBit(Page& p, size_t i, bool v);
-
-  Status EnsureCapacity(uint64_t index);
 
   BufferPool* pool_;
   std::vector<PageId> pages_;

@@ -52,6 +52,9 @@ class CompressedColumnFile {
   double CompressionRatio() const;
 
  private:
+  /// Read-only introspection for the structural auditor (src/check).
+  friend class CheckAccess;
+
   // Page layout: u32 run_count | run records (i64 value, u32 len, u8
   // present) back to back.
   static constexpr size_t kRunBytes = 13;

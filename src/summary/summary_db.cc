@@ -8,9 +8,10 @@ namespace statdb {
 
 namespace {
 
-// Record-key separators (never appear in attribute/function names).
-constexpr char kChunkSep = '\x01';  // <primary-key> 0x01 <chunk index>
-constexpr char kRefSep = '\x02';    // <attr> 0x02 <primary-key>
+// Record-key separators (never appear in attribute/function names);
+// canonical values live on SummaryDatabase so the auditor shares them.
+constexpr char kChunkSep = SummaryDatabase::kChunkSep;
+constexpr char kRefSep = SummaryDatabase::kRefSep;
 
 // Payload bytes stored inline in the head record / per chunk record.
 constexpr size_t kInlinePayload = 1200;
@@ -70,6 +71,18 @@ Result<Head> DecodeHead(const std::string& value) {
 }
 
 }  // namespace
+
+Result<SummaryDatabase::HeadInfo> SummaryDatabase::DecodeHeadRecord(
+    const std::string& value) {
+  STATDB_ASSIGN_OR_RETURN(Head head, DecodeHead(value));
+  HeadInfo info;
+  info.stale = head.stale();
+  info.chunked = head.chunked();
+  info.view_version = head.version;
+  info.nchunks = head.nchunks;
+  info.inline_payload = std::move(head.inline_payload);
+  return info;
+}
 
 Result<std::unique_ptr<SummaryDatabase>> SummaryDatabase::Create(
     BufferPool* pool) {
@@ -241,6 +254,26 @@ Result<uint64_t> SummaryDatabase::InvalidateAttribute(
   }
   stats_.invalidated += marked;
   return marked;
+}
+
+Result<uint64_t> SummaryDatabase::ClampVersions(uint64_t max_version) {
+  std::vector<std::string> primaries;
+  STATDB_RETURN_IF_ERROR(tree_->ScanRange(
+      "", "", [&](const std::string& k, const std::string&) {
+        if (!LeadingAttribute(k).empty()) primaries.push_back(k);
+        return true;
+      }));
+  uint64_t capped = 0;
+  for (const std::string& encoded : primaries) {
+    STATDB_ASSIGN_OR_RETURN(std::string head_value, tree_->Get(encoded));
+    STATDB_ASSIGN_OR_RETURN(Head head, DecodeHead(head_value));
+    if (head.version > max_version) {
+      head.version = max_version;
+      STATDB_RETURN_IF_ERROR(tree_->Put(encoded, EncodeHead(head)));
+      ++capped;
+    }
+  }
+  return capped;
 }
 
 Status SummaryDatabase::Remove(const SummaryKey& key) {

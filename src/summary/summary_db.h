@@ -82,6 +82,14 @@ class SummaryDatabase {
   /// as invalid"). Returns how many entries were marked.
   Result<uint64_t> InvalidateAttribute(const std::string& attribute);
 
+  /// Caps every entry's recorded view version at `max_version`. Run after
+  /// a rollback moves the view version backwards: entries untouched by the
+  /// undone updates keep their (still valid) results, but an entry may not
+  /// claim maintenance at a version the view no longer reached — those
+  /// stamps would collide with re-advanced version numbers and corrupt
+  /// `max_version_lag` staleness arithmetic. Returns how many were capped.
+  Result<uint64_t> ClampVersions(uint64_t max_version);
+
   /// Removes one entry (and its chunks and reference records).
   Status Remove(const SummaryKey& key);
 
@@ -102,7 +110,39 @@ class SummaryDatabase {
   /// lookup against a scan).
   BPlusTree* index() { return tree_.get(); }
 
+  // --- audit support (src/check) -----------------------------------------
+
+  /// Record-key separators of the index encoding. A key containing
+  /// kChunkSep is a continuation chunk (`<primary> 0x01 <6-digit index>`);
+  /// one containing kRefSep is a reference record (`<attr> 0x02
+  /// <primary>`); anything else is a head record.
+  static constexpr char kChunkSep = '\x01';
+  static constexpr char kRefSep = '\x02';
+
+  /// Decoded head-record metadata, exposed so the structural auditor can
+  /// verify chunk chains and flag coherence without re-deriving the
+  /// on-index format.
+  struct HeadInfo {
+    bool stale = false;
+    bool chunked = false;
+    uint64_t view_version = 0;
+    uint32_t nchunks = 0;        // chunked heads only
+    std::string inline_payload;  // non-chunked heads only
+  };
+  static Result<HeadInfo> DecodeHeadRecord(const std::string& value);
+
+  /// Test hook: deliberately desynchronizes entry_count_ so auditor tests
+  /// can prove the count-vs-tree-walk check fires. Never call outside
+  /// tests.
+  void TestOnlyAdjustEntryCount(int64_t delta) {
+    entry_count_ = static_cast<uint64_t>(
+        static_cast<int64_t>(entry_count_) + delta);
+  }
+
  private:
+  /// Read-only introspection for the structural auditor (src/check).
+  friend class CheckAccess;
+
   explicit SummaryDatabase(std::unique_ptr<BPlusTree> tree)
       : tree_(std::move(tree)) {}
 

@@ -26,7 +26,9 @@ TEST(KeyEncodingTest, RoundTripAllTypes) {
     auto back = OrderedDecode(OrderedEncode(v));
     ASSERT_TRUE(back.ok());
     EXPECT_EQ(*back, v);
-    if (!v.is_null()) EXPECT_EQ(back->type(), v.type());
+    if (!v.is_null()) {
+      EXPECT_EQ(back->type(), v.type());
+    }
   }
 }
 

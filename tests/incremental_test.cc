@@ -275,9 +275,9 @@ INSTANTIATE_TEST_SUITE_P(
     AllMaintainers, MaintainerEquivalenceTest,
     ::testing::Combine(::testing::Range(1, 5),
                        ::testing::Range(0, 9)),
-    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
-      return Cases()[std::get<1>(info.param)].name + "_seed" +
-             std::to_string(std::get<0>(info.param));
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& param_info) {
+      return Cases()[std::get<1>(param_info.param)].name + "_seed" +
+             std::to_string(std::get<0>(param_info.param));
     });
 
 }  // namespace

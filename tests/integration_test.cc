@@ -122,9 +122,9 @@ std::vector<SessionParams> AllSessions() {
 
 INSTANTIATE_TEST_SUITE_P(
     Sessions, RandomSessionTest, ::testing::ValuesIn(AllSessions()),
-    [](const ::testing::TestParamInfo<SessionParams>& info) {
-      return std::string(MaintenancePolicyName(info.param.policy)) +
-             "_seed" + std::to_string(info.param.seed);
+    [](const ::testing::TestParamInfo<SessionParams>& param_info) {
+      return std::string(MaintenancePolicyName(param_info.param.policy)) +
+             "_seed" + std::to_string(param_info.param.seed);
     });
 
 TEST(IntegrationTest, PersistenceAcrossPoolPressure) {

@@ -103,5 +103,21 @@ TEST(ResultTest, MoveOnlyValue) {
   EXPECT_EQ(*v, 5);
 }
 
+Result<int> TransientResult() { return Result<int>(NotFoundError("gone")); }
+
+TEST(ResultTest, StatusOfTemporaryResultOutlivesIt) {
+  // status() on an rvalue Result must return by value so that binding a
+  // reference to it extends the Status lifetime. The const& overload
+  // would hand back a reference into the destroyed temporary.
+  const Status& s = TransientResult().status();
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "gone");
+
+  // The lvalue path still returns a reference to the stored Status.
+  Result<int> r(InvalidArgumentError("bad"));
+  const Status& ref = r.status();
+  EXPECT_EQ(&ref, &r.status());
+}
+
 }  // namespace
 }  // namespace statdb

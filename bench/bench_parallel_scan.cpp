@@ -1,0 +1,121 @@
+// Parallel chunked scan/aggregate vs the serial query path (DESIGN.md
+// §9). One concrete view of 1M census rows; the headline series answers
+// the standard mergeable battery over INCOME either as N serial Query
+// calls (one column read per statistic) or as one QueryMany batch whose
+// single parallel pass feeds every statistic from merged partial states.
+// A second series runs one statistic (variance) at 1/2/4/8 workers.
+//
+// Emits BENCH_parallel_scan.json with the wall-clock and speedup series.
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/dbms.h"
+
+using namespace statdb;
+using namespace statdb::bench;
+
+namespace {
+
+constexpr uint64_t kRows = 1'000'000;
+const char* kAttr = "INCOME";
+const std::vector<std::string> kBattery = {
+    "count", "sum",  "mean", "variance", "stddev",   "min",
+    "max",   "range", "mode", "distinct", "histogram"};
+
+double SimulatedIoMs(StorageManager* sm) {
+  SimulatedDevice* disk = Unwrap(sm->GetDevice("disk"));
+  return double(disk->stats().simulated_ms);
+}
+
+}  // namespace
+
+int main() {
+  Header("parallel_scan",
+         "One page-aligned chunked pass with mergeable partial states vs "
+         "the serial one-read-per-statistic path (1M rows, INCOME).");
+
+  // The disk pool is sized to hold the whole view so both paths measure
+  // scan+aggregate work, not eviction churn.
+  auto sm = MakeInstallation(/*tape_pool=*/1024, /*disk_pool=*/32768);
+  StatisticalDbms dbms(sm.get());
+  CheckOk(dbms.LoadRawDataSet("census", MakeCensus(kRows)));
+  ViewDefinition def;
+  def.source = "census";
+  Unwrap(dbms.CreateView("v", def, MaintenancePolicy::kInvalidate));
+
+  QueryOptions no_cache;
+  no_cache.cache_result = false;
+
+  std::vector<QueryRequest> battery;
+  for (const std::string& fn : kBattery) battery.push_back({fn, kAttr, {}});
+
+  // Warm the buffer pool (and fault in every INCOME page) once so every
+  // timed series sees the same cache state.
+  for (const std::string& fn : kBattery) {
+    Unwrap(dbms.Query("v", fn, kAttr, {}, no_cache));
+  }
+  double io_after_warm = SimulatedIoMs(sm.get());
+
+  // Serial baseline: one Query (= one full column read) per statistic.
+  double serial_battery_ms;
+  {
+    WallTimer t;
+    for (const std::string& fn : kBattery) {
+      Unwrap(dbms.Query("v", fn, kAttr, {}, no_cache));
+    }
+    serial_battery_ms = t.ElapsedMs();
+  }
+  double serial_single_ms;
+  {
+    WallTimer t;
+    Unwrap(dbms.Query("v", "variance", kAttr, {}, no_cache));
+    serial_single_ms = t.ElapsedMs();
+  }
+
+  std::printf("serial battery (%zu stats): %8.2f ms\n", kBattery.size(),
+              serial_battery_ms);
+  std::printf("serial variance:           %8.2f ms\n\n", serial_single_ms);
+  std::printf("%8s %18s %8s %18s %8s\n", "workers", "battery ms", "x",
+              "variance ms", "x");
+
+  std::vector<std::string> battery_rows, single_rows;
+  for (size_t workers : {1, 2, 4, 8}) {
+    WallTimer tb;
+    Unwrap(dbms.QueryMany("v", battery, no_cache, workers));
+    double battery_ms = tb.ElapsedMs();
+    WallTimer ts;
+    Unwrap(dbms.QueryParallel("v", "variance", kAttr, {}, no_cache,
+                              workers));
+    double single_ms = ts.ElapsedMs();
+    double bx = serial_battery_ms / battery_ms;
+    double sx = serial_single_ms / single_ms;
+    std::printf("%8zu %18.2f %7.2fx %18.2f %7.2fx\n", workers, battery_ms,
+                bx, single_ms, sx);
+    battery_rows.push_back(JsonObject()
+                               .Int("workers", workers)
+                               .Num("wall_ms", battery_ms)
+                               .Num("speedup", bx)
+                               .Build());
+    single_rows.push_back(JsonObject()
+                              .Int("workers", workers)
+                              .Num("wall_ms", single_ms)
+                              .Num("speedup", sx)
+                              .Build());
+  }
+
+  WriteBenchJson(
+      "parallel_scan",
+      JsonObject()
+          .Str("bench", "parallel_scan")
+          .Int("rows", kRows)
+          .Str("attribute", kAttr)
+          .Int("battery_size", kBattery.size())
+          .Num("serial_battery_ms", serial_battery_ms)
+          .Num("serial_single_ms", serial_single_ms)
+          .Num("simulated_io_ms", SimulatedIoMs(sm.get()) - io_after_warm)
+          .Raw("battery", JsonArray(battery_rows))
+          .Raw("single", JsonArray(single_rows))
+          .Build());
+  return 0;
+}

@@ -42,6 +42,8 @@ void PrintHelp() {
       "  views                              list views\n"
       "  query <view> <fn> <attr> [k=v...]  e.g. query v quantile INCOME"
       " p=0.95\n"
+      "  queryp <view> <fn> <attr> [workers] parallel chunked scan"
+      " (default 4 workers)\n"
       "  biv <view> <fn> <a> <b>            correlation|covariance|"
       "regression|chi2_independence\n"
       "  update <view> <attr> <expr> where <attr2> <op> <num>\n"
@@ -118,6 +120,7 @@ class Shell {
     if (cmd == "create") return CmdCreate(t);
     if (cmd == "views") return CmdViews();
     if (cmd == "query") return CmdQuery(t);
+    if (cmd == "queryp") return CmdQueryParallel(t);
     if (cmd == "biv") return CmdBivariate(t);
     if (cmd == "update") return CmdUpdate(t);
     if (cmd == "derive") return CmdDerive(t);
@@ -188,6 +191,20 @@ class Shell {
                             dbms_->Query(t[1], t[2], t[3], params));
     std::cout << t[2] << "(" << t[3] << ") = " << a.result.ToString()
               << "   [" << SourceName(a.source) << "]\n";
+    return Status::OK();
+  }
+
+  Status CmdQueryParallel(const std::vector<std::string>& t) {
+    if (t.size() < 4) {
+      return InvalidArgumentError("queryp <view> <fn> <attr> [workers]");
+    }
+    size_t workers = t.size() > 4 ? std::stoull(t[4]) : 4;
+    STATDB_ASSIGN_OR_RETURN(
+        QueryAnswer a, dbms_->QueryParallel(t[1], t[2], t[3], {}, {},
+                                            workers));
+    std::cout << t[2] << "(" << t[3] << ") = " << a.result.ToString()
+              << "   [" << SourceName(a.source) << ", " << workers
+              << " workers]\n";
     return Status::OK();
   }
 

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "check/db_auditor.h"
+#include "exec/chunked_scanner.h"
+#include "exec/thread_pool.h"
+#include "storage/column_file.h"
 #include "stats/descriptive.h"
 #include "stats/correlation.h"
 #include "stats/crosstab.h"
@@ -39,6 +43,64 @@ Result<std::vector<CellDelta>> ToDeltas(
     deltas.push_back(d);
   }
   return deltas;
+}
+
+/// True for functions whose answer finishes from the merged partial
+/// states of a parallel scan (DescriptiveStats + ValueCounts) without
+/// ever materializing the column. Everything else rides the keep_values
+/// path and is computed by the registry on the gathered column, which is
+/// bit-identical to the serial read.
+bool IsMergeable(const std::string& function) {
+  return function == "count" || function == "sum" || function == "mean" ||
+         function == "variance" || function == "stddev" ||
+         function == "min" || function == "max" || function == "range" ||
+         function == "mode" || function == "distinct" ||
+         function == "histogram";
+}
+
+bool NeedsValueCounts(const std::string& function) {
+  return function == "mode" || function == "distinct" ||
+         function == "histogram";
+}
+
+/// Finishes one mergeable statistic from the merged scan state,
+/// reproducing the serial functions' values and domain errors (empty
+/// columns fail with the exact strings the serial path uses).
+Result<SummaryResult> FinishMergeable(const std::string& function,
+                                      const FunctionParams& params,
+                                      const ColumnScanResult& scan) {
+  const DescriptiveStats& d = scan.desc;
+  if (function == "count") return SummaryResult::Scalar(double(d.count));
+  if (function == "sum") return SummaryResult::Scalar(d.sum);
+  if (function == "distinct") {
+    return SummaryResult::Scalar(double(scan.counts.Distinct()));
+  }
+  if (function == "mode") {
+    STATDB_ASSIGN_OR_RETURN(double m, scan.counts.ModeValue());
+    return SummaryResult::Scalar(m);
+  }
+  if (function == "histogram") {
+    if (d.count == 0) {
+      return InvalidArgumentError("histogram of an empty column");
+    }
+    double lo = d.min;
+    double hi = d.max;
+    if (lo == hi) hi = lo + 1.0;  // degenerate constant column
+    size_t buckets = static_cast<size_t>(params.GetOr("buckets", 20));
+    STATDB_ASSIGN_OR_RETURN(Histogram h,
+                            scan.counts.ToHistogram(buckets, lo, hi));
+    return SummaryResult::Histo(std::move(h));
+  }
+  if (d.count == 0) {
+    return InvalidArgumentError("statistic of an empty column");
+  }
+  if (function == "mean") return SummaryResult::Scalar(d.mean);
+  if (function == "variance") return SummaryResult::Scalar(d.Variance());
+  if (function == "stddev") return SummaryResult::Scalar(d.StdDev());
+  if (function == "min") return SummaryResult::Scalar(d.min);
+  if (function == "max") return SummaryResult::Scalar(d.max);
+  if (function == "range") return SummaryResult::Scalar(d.max - d.min);
+  return InternalError("FinishMergeable on non-mergeable " + function);
 }
 
 }  // namespace
@@ -172,17 +234,10 @@ Result<SummaryResult> StatisticalDbms::ComputeOnView(
   return mdb_.functions().Compute(function, data, params);
 }
 
-Result<QueryAnswer> StatisticalDbms::Query(const std::string& view,
-                                           const std::string& function,
-                                           const std::string& attribute,
-                                           const FunctionParams& params,
-                                           const QueryOptions& opts) {
-  STATDB_ASSIGN_OR_RETURN(ViewState * state, GetState(view));
-  ++state->traffic.queries;
-  ++state->traffic.attribute_accesses[attribute];
-
+Status StatisticalDbms::CheckQueryable(const Schema& schema,
+                                       const std::string& function,
+                                       const std::string& attribute) {
   // Meta-data gate (§3.2): no medians of AGE_GROUP codes.
-  const Schema& schema = state->view->schema();
   STATDB_ASSIGN_OR_RETURN(size_t attr_idx, schema.IndexOf(attribute));
   const Attribute& attr = schema.attr(attr_idx);
   bool numeric = attr.type == DataType::kInt64 ||
@@ -197,8 +252,228 @@ Result<QueryAnswer> StatisticalDbms::Query(const std::string& view,
         "summary statistic '" + function +
         "' is not meaningful for category attribute " + attribute);
   }
+  return Status::OK();
+}
+
+Result<bool> StatisticalDbms::TryAnswerWithoutComputing(
+    ViewState* state, const SummaryKey& key, const std::string& function,
+    const std::string& attribute, const FunctionParams& params,
+    const QueryOptions& opts, QueryAnswer* answer) {
+  Result<SummaryEntry> cached = state->summary->Lookup(key);
+  if (cached.ok() && !cached.value().stale) {
+    ++state->traffic.cache_hits;
+    *answer = QueryAnswer{cached.value().result, AnswerSource::kCacheHit,
+                          true, ""};
+    return true;
+  }
+  if (cached.ok() && cached.value().stale &&
+      (opts.allow_stale ||
+       (opts.max_version_lag > 0 &&
+        state->view->version() - cached.value().view_version <=
+            opts.max_version_lag))) {
+    ++state->traffic.stale_hits;
+    *answer = QueryAnswer{cached.value().result,
+                          AnswerSource::kStaleCacheHit, false,
+                          "stale cached value"};
+    return true;
+  }
+
+  if (opts.allow_inference) {
+    Result<InferenceResult> inferred =
+        InferFromSummaries(state->summary.get(), function, attribute,
+                           params);
+    if (inferred.ok() &&
+        (inferred.value().exact || opts.allow_estimates)) {
+      ++state->traffic.inferred;
+      *answer = QueryAnswer{inferred.value().result, AnswerSource::kInferred,
+                            inferred.value().exact,
+                            inferred.value().derivation};
+      return true;
+    }
+  }
+  return false;
+}
+
+Status StatisticalDbms::CacheComputedResult(const std::string& view,
+                                            ViewState* state,
+                                            const SummaryKey& key,
+                                            const SummaryResult& result,
+                                            const std::vector<double>& data) {
+  STATDB_RETURN_IF_ERROR(
+      state->summary->Insert(key, result, state->view->version()));
+  // Arm an incremental rule for this entry when one exists and the
+  // view maintains incrementally.
+  STATDB_ASSIGN_OR_RETURN(const ViewRecord* rec, mdb_.GetView(view));
+  if (rec->policy == MaintenancePolicy::kIncremental) {
+    STATDB_ASSIGN_OR_RETURN(FunctionParams params,
+                            FunctionParams::Decode(key.params));
+    Result<std::unique_ptr<IncrementalMaintainer>> m =
+        mdb_.MakeMaintainer(key.function, params);
+    if (m.ok()) {
+      Result<SummaryResult> init = m.value()->Initialize(data);
+      if (init.ok()) {
+        state->maintainers[key.Encode()] = std::move(m).value();
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<QueryAnswer> StatisticalDbms::Query(const std::string& view,
+                                           const std::string& function,
+                                           const std::string& attribute,
+                                           const FunctionParams& params,
+                                           const QueryOptions& opts) {
+  STATDB_ASSIGN_OR_RETURN(ViewState * state, GetState(view));
+  ++state->traffic.queries;
+  ++state->traffic.attribute_accesses[attribute];
+
+  STATDB_RETURN_IF_ERROR(
+      CheckQueryable(state->view->schema(), function, attribute));
 
   SummaryKey key{function, {attribute}, params.Encode()};
+  QueryAnswer answer;
+  STATDB_ASSIGN_OR_RETURN(
+      bool answered,
+      TryAnswerWithoutComputing(state, key, function, attribute, params,
+                                opts, &answer));
+  if (answered) return answer;
+
+  STATDB_ASSIGN_OR_RETURN(std::vector<double> data,
+                          state->view->ReadNumericColumn(attribute));
+  STATDB_ASSIGN_OR_RETURN(SummaryResult result,
+                          mdb_.functions().Compute(function, data, params));
+  ++state->traffic.computed;
+  if (opts.cache_result) {
+    STATDB_RETURN_IF_ERROR(
+        CacheComputedResult(view, state, key, result, data));
+  }
+  return QueryAnswer{std::move(result), AnswerSource::kComputed, true, ""};
+}
+
+Result<QueryAnswer> StatisticalDbms::QueryParallel(
+    const std::string& view, const std::string& function,
+    const std::string& attribute, const FunctionParams& params,
+    const QueryOptions& opts, size_t workers) {
+  std::vector<QueryRequest> requests = {{function, attribute, params}};
+  STATDB_ASSIGN_OR_RETURN(std::vector<QueryAnswer> answers,
+                          QueryMany(view, requests, opts, workers));
+  return std::move(answers[0]);
+}
+
+Result<std::vector<QueryAnswer>> StatisticalDbms::QueryMany(
+    const std::string& view, const std::vector<QueryRequest>& requests,
+    const QueryOptions& opts, size_t workers) {
+  STATDB_ASSIGN_OR_RETURN(ViewState * state, GetState(view));
+  STATDB_ASSIGN_OR_RETURN(const ViewRecord* rec, mdb_.GetView(view));
+  // Incremental maintainers initialize from the full column, so the scan
+  // must gather it even when every requested statistic is mergeable.
+  const bool arm_maintainers =
+      opts.cache_result && rec->policy == MaintenancePolicy::kIncremental;
+
+  std::vector<QueryAnswer> answers(requests.size());
+  // Encoded key -> index of the request that owns the computation; later
+  // duplicates alias that slot instead of recomputing or re-inserting.
+  std::map<std::string, size_t> primary;
+  constexpr size_t kNoAlias = static_cast<size_t>(-1);
+  std::vector<size_t> alias_of(requests.size(), kNoAlias);
+  // Attributes needing a scan, in first-appearance order, with the
+  // indices of the unique requests each scan must answer.
+  std::vector<std::string> attr_order;
+  std::map<std::string, std::vector<size_t>> by_attr;
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const QueryRequest& r = requests[i];
+    ++state->traffic.queries;
+    ++state->traffic.attribute_accesses[r.attribute];
+    STATDB_RETURN_IF_ERROR(
+        CheckQueryable(state->view->schema(), r.function, r.attribute));
+    SummaryKey key{r.function, {r.attribute}, r.params.Encode()};
+    auto dup = primary.find(key.Encode());
+    if (dup != primary.end()) {
+      alias_of[i] = dup->second;
+      continue;
+    }
+    primary.emplace(key.Encode(), i);
+    STATDB_ASSIGN_OR_RETURN(
+        bool answered,
+        TryAnswerWithoutComputing(state, key, r.function, r.attribute,
+                                  r.params, opts, &answers[i]));
+    if (answered) continue;
+    if (!by_attr.contains(r.attribute)) attr_order.push_back(r.attribute);
+    by_attr[r.attribute].push_back(i);
+  }
+
+  if (!attr_order.empty()) {
+    std::optional<ThreadPool> pool;
+    if (workers > 1) pool.emplace(workers);
+    for (const std::string& attr : attr_order) {
+      const std::vector<size_t>& idxs = by_attr[attr];
+      ColumnScanSpec spec;
+      for (size_t i : idxs) {
+        const std::string& fn = requests[i].function;
+        if (NeedsValueCounts(fn)) spec.want_counts = true;
+        if (!IsMergeable(fn)) spec.keep_values = true;
+      }
+      if (arm_maintainers) spec.keep_values = true;
+      const ConcreteView* cv = state->view.get();
+      ColumnRangeReader reader = [cv, attr](uint64_t begin, uint64_t end) {
+        return cv->ReadNumericRange(attr, begin, end);
+      };
+      STATDB_ASSIGN_OR_RETURN(
+          ColumnScanResult scan,
+          ParallelScanColumn(cv->num_rows(), ColumnFile::kCellsPerPage,
+                             reader, spec, pool ? &*pool : nullptr));
+      for (size_t i : idxs) {
+        const QueryRequest& r = requests[i];
+        SummaryResult result;
+        if (IsMergeable(r.function)) {
+          STATDB_ASSIGN_OR_RETURN(
+              result, FinishMergeable(r.function, r.params, scan));
+        } else {
+          // Order-dependent / unregistered functions run the serial
+          // computation on the gathered column (bit-identical to the
+          // serial read, so their answers are bit-identical too).
+          STATDB_ASSIGN_OR_RETURN(
+              result,
+              mdb_.functions().Compute(r.function, scan.values, r.params));
+        }
+        ++state->traffic.computed;
+        if (opts.cache_result) {
+          SummaryKey key{r.function, {r.attribute}, r.params.Encode()};
+          STATDB_RETURN_IF_ERROR(
+              CacheComputedResult(view, state, key, result, scan.values));
+        }
+        answers[i] = QueryAnswer{std::move(result), AnswerSource::kComputed,
+                                 true, ""};
+      }
+    }
+  }
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (alias_of[i] != kNoAlias) answers[i] = answers[alias_of[i]];
+  }
+  return answers;
+}
+
+Result<QueryAnswer> StatisticalDbms::QueryBivariateParallel(
+    const std::string& view, const std::string& function,
+    const std::string& attr_a, const std::string& attr_b,
+    const QueryOptions& opts, size_t workers) {
+  if (function == "crosstab" || function == "chi2_independence") {
+    // Contingency tables carry no mergeable partial state here; the
+    // serial path already handles them.
+    return QueryBivariate(view, function, attr_a, attr_b, opts);
+  }
+  if (function != "correlation" && function != "covariance" &&
+      function != "regression") {
+    return InvalidArgumentError("unknown bivariate function " + function);
+  }
+  STATDB_ASSIGN_OR_RETURN(ViewState * state, GetState(view));
+  ++state->traffic.queries;
+  ++state->traffic.attribute_accesses[attr_a];
+  ++state->traffic.attribute_accesses[attr_b];
+  SummaryKey key{function, {attr_a, attr_b}, ""};
 
   Result<SummaryEntry> cached = state->summary->Lookup(key);
   if (cached.ok() && !cached.value().stale) {
@@ -216,40 +491,34 @@ Result<QueryAnswer> StatisticalDbms::Query(const std::string& view,
                        false, "stale cached value"};
   }
 
-  if (opts.allow_inference) {
-    Result<InferenceResult> inferred =
-        InferFromSummaries(state->summary.get(), function, attribute,
-                           params);
-    if (inferred.ok() &&
-        (inferred.value().exact || opts.allow_estimates)) {
-      ++state->traffic.inferred;
-      return QueryAnswer{inferred.value().result, AnswerSource::kInferred,
-                         inferred.value().exact,
-                         inferred.value().derivation};
-    }
+  const ConcreteView* cv = state->view.get();
+  PairRangeReader reader = [cv, attr_a, attr_b](
+                               uint64_t begin, uint64_t end,
+                               std::vector<double>* xs,
+                               std::vector<double>* ys) {
+    return cv->ReadNumericPairsRange(attr_a, attr_b, begin, end, xs, ys);
+  };
+  std::optional<ThreadPool> pool;
+  if (workers > 1) pool.emplace(workers);
+  STATDB_ASSIGN_OR_RETURN(
+      ComomentStats cs,
+      ParallelScanPairs(cv->num_rows(), ColumnFile::kCellsPerPage, reader,
+                        pool ? &*pool : nullptr));
+  SummaryResult result;
+  if (function == "correlation") {
+    STATDB_ASSIGN_OR_RETURN(double r, cs.PearsonR());
+    result = SummaryResult::Scalar(r);
+  } else if (function == "covariance") {
+    STATDB_ASSIGN_OR_RETURN(double c, cs.Covariance());
+    result = SummaryResult::Scalar(c);
+  } else {
+    STATDB_ASSIGN_OR_RETURN(LinearFit fit, cs.Fit());
+    result = SummaryResult::Model(fit);
   }
-
-  STATDB_ASSIGN_OR_RETURN(std::vector<double> data,
-                          state->view->ReadNumericColumn(attribute));
-  STATDB_ASSIGN_OR_RETURN(SummaryResult result,
-                          mdb_.functions().Compute(function, data, params));
   ++state->traffic.computed;
   if (opts.cache_result) {
     STATDB_RETURN_IF_ERROR(
         state->summary->Insert(key, result, state->view->version()));
-    // Arm an incremental rule for this entry when one exists and the
-    // view maintains incrementally.
-    STATDB_ASSIGN_OR_RETURN(const ViewRecord* rec, mdb_.GetView(view));
-    if (rec->policy == MaintenancePolicy::kIncremental) {
-      Result<std::unique_ptr<IncrementalMaintainer>> m =
-          mdb_.MakeMaintainer(function, params);
-      if (m.ok()) {
-        Result<SummaryResult> init = m.value()->Initialize(data);
-        if (init.ok()) {
-          state->maintainers[key.Encode()] = std::move(m).value();
-        }
-      }
-    }
   }
   return QueryAnswer{std::move(result), AnswerSource::kComputed, true, ""};
 }

@@ -39,6 +39,13 @@ struct QueryOptions {
   bool cache_result = true;
 };
 
+/// One `function(attribute; params)` request of a QueryMany batch.
+struct QueryRequest {
+  std::string function;
+  std::string attribute;
+  FunctionParams params;
+};
+
 /// Provenance of a query answer.
 enum class AnswerSource : uint8_t {
   kCacheHit = 0,      // fresh Summary Database entry
@@ -140,6 +147,48 @@ class StatisticalDbms {
                             const std::string& attribute,
                             const FunctionParams& params = {},
                             const QueryOptions& opts = {});
+
+  /// Parallel variant of Query: the column is split into page-aligned
+  /// chunks scanned by `workers` threads, whose mergeable partial states
+  /// (Welford moments, min/max, per-shard value counts, frozen-edge
+  /// histograms) are combined at the join barrier. Cache consultation,
+  /// staleness policy, inference and result caching behave exactly like
+  /// Query; count/min/max answers are bit-identical to the serial path
+  /// and floating-point accumulations agree to rounding. Order-dependent
+  /// functions (median, quantiles, ...) gather the column shard-parallel
+  /// and finish sequentially on the identical value sequence, so their
+  /// answers are bit-identical too.
+  Result<QueryAnswer> QueryParallel(const std::string& view,
+                                    const std::string& function,
+                                    const std::string& attribute,
+                                    const FunctionParams& params = {},
+                                    const QueryOptions& opts = {},
+                                    size_t workers = 4);
+
+  /// Answers N requests in one batch. Requests that the Summary Database
+  /// (or inference) can satisfy are answered without touching the data;
+  /// the rest are grouped by attribute and each attribute is scanned
+  /// ONCE in parallel, every requested statistic finishing from the same
+  /// merged partial states. Computed results are inserted into the
+  /// Summary Database exactly as serial Query would insert them (same
+  /// keys, versions, incremental-maintainer arming). Duplicate
+  /// (function, attribute, params) requests are computed once. Fails on
+  /// the first request whose statistic is undefined (e.g. the mean of an
+  /// empty column), like the serial path would.
+  Result<std::vector<QueryAnswer>> QueryMany(
+      const std::string& view, const std::vector<QueryRequest>& requests,
+      const QueryOptions& opts = {}, size_t workers = 4);
+
+  /// Parallel bivariate statistics for "correlation", "covariance" and
+  /// "regression": per-shard co-moment states (Chan et al.) merged at
+  /// the barrier. "crosstab"/"chi2_independence" fall back to the serial
+  /// path. Caching behaves exactly like QueryBivariate.
+  Result<QueryAnswer> QueryBivariateParallel(const std::string& view,
+                                             const std::string& function,
+                                             const std::string& attr_a,
+                                             const std::string& attr_b,
+                                             const QueryOptions& opts = {},
+                                             size_t workers = 4);
 
   /// Bivariate statistics cached under multi-attribute Summary keys:
   /// "correlation" and "covariance" (scalar), "regression" (linear
@@ -284,6 +333,33 @@ class StatisticalDbms {
 
   /// Reads the raw table for `dataset` from tape.
   Result<Table> ReadRawFromTape(const std::string& dataset);
+
+  /// The meta-data gate shared by Query and QueryMany: numeric only, and
+  /// no order statistics of category codes (§3.2).
+  static Status CheckQueryable(const Schema& schema,
+                               const std::string& function,
+                               const std::string& attribute);
+
+  /// Cache / staleness / inference consultation shared by Query and
+  /// QueryMany. Fills `*answer` and returns true when the request is
+  /// satisfied without computation; bumps the traffic counters it
+  /// consumes.
+  Result<bool> TryAnswerWithoutComputing(ViewState* state,
+                                         const SummaryKey& key,
+                                         const std::string& function,
+                                         const std::string& attribute,
+                                         const FunctionParams& params,
+                                         const QueryOptions& opts,
+                                         QueryAnswer* answer);
+
+  /// Caches a computed result and arms an incremental maintainer when
+  /// the view's policy wants one — the common tail of the serial and
+  /// parallel compute paths. `data` is the full column (maintainer
+  /// initialization); ignored under other policies.
+  Status CacheComputedResult(const std::string& view, ViewState* state,
+                             const SummaryKey& key,
+                             const SummaryResult& result,
+                             const std::vector<double>& data);
 
   /// Full computation of function(attribute) over the view column.
   Result<SummaryResult> ComputeOnView(ViewState* state,

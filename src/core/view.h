@@ -66,6 +66,21 @@ class ConcreteView {
     return table_->ReadNumericColumn(name);
   }
 
+  /// Chunked-scan shard reads (thread-safe for concurrent readers; see
+  /// TransposedTable). The parallel execution layer binds these as its
+  /// range readers.
+  Result<std::vector<double>> ReadNumericRange(const std::string& name,
+                                               uint64_t begin,
+                                               uint64_t end) const {
+    return table_->ReadNumericRange(name, begin, end);
+  }
+  Status ReadNumericPairsRange(const std::string& a, const std::string& b,
+                               uint64_t begin, uint64_t end,
+                               std::vector<double>* xs,
+                               std::vector<double>* ys) const {
+    return table_->ReadNumericPairsRange(a, b, begin, end, xs, ys);
+  }
+
   Result<Row> ReadRow(uint64_t row) const { return table_->ReadRow(row); }
 
   /// Appends an all-null column (derived columns, §2.2).

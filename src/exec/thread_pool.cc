@@ -1,0 +1,76 @@
+#include "exec/thread_pool.h"
+
+#include <string>
+#include <utility>
+
+namespace statdb {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<Status()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+std::future<Status> ThreadPool::Submit(std::function<Status()> task) {
+  // Exception -> Status capture: a worker must never unwind into the
+  // pool machinery (std::packaged_task would stash the exception in the
+  // future, but callers here consume plain Status values).
+  std::packaged_task<Status()> wrapped(
+      [task = std::move(task)]() -> Status {
+        try {
+          return task();
+        } catch (const std::exception& e) {
+          return InternalError(std::string("worker task threw: ") + e.what());
+        } catch (...) {
+          return InternalError("worker task threw a non-standard exception");
+        }
+      });
+  std::future<Status> fut = wrapped.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(wrapped));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+Status ThreadPool::RunAll(std::vector<std::function<Status()>> tasks) {
+  std::vector<std::future<Status>> futures;
+  futures.reserve(tasks.size());
+  for (std::function<Status()>& t : tasks) {
+    futures.push_back(Submit(std::move(t)));
+  }
+  Status first = Status::OK();
+  for (std::future<Status>& f : futures) {
+    Status s = f.get();
+    if (first.ok() && !s.ok()) first = s;
+  }
+  return first;
+}
+
+}  // namespace statdb

@@ -1,0 +1,63 @@
+#ifndef STATDB_EXEC_THREAD_POOL_H_
+#define STATDB_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace statdb {
+
+/// A fixed-size worker pool with a FIFO work queue.
+///
+/// Tasks are `Status()` callables; a task that throws is captured and
+/// surfaced as an INTERNAL Status instead of terminating the process, so
+/// the Status-based error discipline of the rest of the system holds
+/// across thread boundaries. Destruction is graceful: every task already
+/// queued still runs before the workers join.
+///
+/// The pool itself is thread-safe (any thread may Submit), but it is not
+/// re-entrant: a task must not block on the future of another task
+/// submitted to the same pool, or the pool can deadlock with all workers
+/// waiting.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue, then joins every worker.
+  ~ThreadPool();
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues one task; the future carries its Status (or the Status a
+  /// thrown exception was converted to).
+  std::future<Status> Submit(std::function<Status()> task);
+
+  /// Submits every task, waits for all of them, and returns the first
+  /// non-OK Status in task order (OK if all succeeded). Unlike a bare
+  /// loop over Submit, this never abandons a future: every task finishes
+  /// before RunAll returns, even on error.
+  Status RunAll(std::vector<std::function<Status()>> tasks);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<Status()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+};
+
+}  // namespace statdb
+
+#endif  // STATDB_EXEC_THREAD_POOL_H_

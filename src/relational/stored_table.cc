@@ -182,6 +182,73 @@ Result<std::vector<double>> TransposedTable::ReadNumericColumn(
   return out;
 }
 
+Result<std::vector<double>> TransposedTable::ReadNumericRange(
+    const std::string& name, uint64_t begin, uint64_t end) const {
+  STATDB_ASSIGN_OR_RETURN(size_t col, schema_.IndexOf(name));
+  DataType t = schema_.attr(col).type;
+  if (t != DataType::kInt64 && t != DataType::kDouble) {
+    return InvalidArgumentError("column is not numeric: " + name);
+  }
+  std::vector<double> out;
+  if (end > begin) out.reserve(end - begin);
+  STATDB_RETURN_IF_ERROR(columns_[col].file->ScanRange(
+      begin, end,
+      [t, &out](uint64_t, std::optional<int64_t> raw) -> Status {
+        if (raw.has_value()) {
+          out.push_back(t == DataType::kInt64
+                            ? static_cast<double>(*raw)
+                            : std::bit_cast<double>(*raw));
+        }
+        return Status::OK();
+      }));
+  return out;
+}
+
+Status TransposedTable::ReadNumericPairsRange(
+    const std::string& name_a, const std::string& name_b, uint64_t begin,
+    uint64_t end, std::vector<double>* xs, std::vector<double>* ys) const {
+  STATDB_ASSIGN_OR_RETURN(size_t col_a, schema_.IndexOf(name_a));
+  STATDB_ASSIGN_OR_RETURN(size_t col_b, schema_.IndexOf(name_b));
+  auto numeric = [this](size_t col) {
+    DataType t = schema_.attr(col).type;
+    return t == DataType::kInt64 || t == DataType::kDouble;
+  };
+  // The serial bivariate path silently skips cells it cannot coerce to a
+  // number, so a non-numeric column yields zero pairs, not an error.
+  if (!numeric(col_a) || !numeric(col_b)) return Status::OK();
+  end = std::min(end, num_rows_);
+  if (begin >= end) return Status::OK();
+
+  // Gather both ranges (nulls preserved as nullopt), then zip.
+  auto gather = [this, begin, end](size_t col)
+      -> Result<std::vector<std::optional<int64_t>>> {
+    std::vector<std::optional<int64_t>> raw;
+    raw.reserve(end - begin);
+    STATDB_RETURN_IF_ERROR(columns_[col].file->ScanRange(
+        begin, end,
+        [&raw](uint64_t, std::optional<int64_t> cell) -> Status {
+          raw.push_back(cell);
+          return Status::OK();
+        }));
+    return raw;
+  };
+  STATDB_ASSIGN_OR_RETURN(std::vector<std::optional<int64_t>> raw_a,
+                          gather(col_a));
+  STATDB_ASSIGN_OR_RETURN(std::vector<std::optional<int64_t>> raw_b,
+                          gather(col_b));
+  auto decode = [this](size_t col, int64_t raw) {
+    return schema_.attr(col).type == DataType::kInt64
+               ? static_cast<double>(raw)
+               : std::bit_cast<double>(raw);
+  };
+  for (size_t i = 0; i < raw_a.size(); ++i) {
+    if (!raw_a[i].has_value() || !raw_b[i].has_value()) continue;
+    xs->push_back(decode(col_a, *raw_a[i]));
+    ys->push_back(decode(col_b, *raw_b[i]));
+  }
+  return Status::OK();
+}
+
 Result<Row> TransposedTable::ReadRow(uint64_t row) const {
   if (row >= num_rows_) {
     return OutOfRangeError("row index out of range");

@@ -74,6 +74,25 @@ class TransposedTable {
   /// Non-null numeric cells of a column as doubles.
   Result<std::vector<double>> ReadNumericColumn(const std::string& name) const;
 
+  /// Non-null numeric cells of rows [begin, end) in row order — one
+  /// shard of a chunked parallel scan. Concatenating the shards of a
+  /// partition of [0, num_rows) in order reproduces ReadNumericColumn
+  /// bit-for-bit. Thread-safe for concurrent readers (the buffer pool
+  /// synchronizes page access).
+  Result<std::vector<double>> ReadNumericRange(const std::string& name,
+                                               uint64_t begin,
+                                               uint64_t end) const;
+
+  /// Row-aligned numeric (x, y) pairs of rows [begin, end) of two
+  /// columns, dropping rows where either cell is missing (pairwise
+  /// deletion — the same rule the serial bivariate path applies).
+  /// Non-numeric columns contribute no pairs. Thread-safe like
+  /// ReadNumericRange.
+  Status ReadNumericPairsRange(const std::string& name_a,
+                               const std::string& name_b, uint64_t begin,
+                               uint64_t end, std::vector<double>* xs,
+                               std::vector<double>* ys) const;
+
   /// Reads one row — the access pattern transposed files are bad at.
   Result<Row> ReadRow(uint64_t row) const;
 

@@ -12,6 +12,24 @@ double DescriptiveStats::Variance() const {
 
 double DescriptiveStats::StdDev() const { return std::sqrt(Variance()); }
 
+void DescriptiveStats::Merge(const DescriptiveStats& o) {
+  if (o.count == 0) return;
+  if (count == 0) {
+    *this = o;
+    return;
+  }
+  double na = double(count);
+  double nb = double(o.count);
+  double nn = na + nb;
+  double delta = o.mean - mean;
+  m2 += o.m2 + delta * delta * na * nb / nn;
+  mean += delta * nb / nn;
+  sum += o.sum;
+  min = std::min(min, o.min);
+  max = std::max(max, o.max);
+  count += o.count;
+}
+
 DescriptiveStats ComputeDescriptive(const std::vector<double>& data) {
   DescriptiveStats s;
   for (double x : data) {

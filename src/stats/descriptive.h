@@ -24,6 +24,13 @@ struct DescriptiveStats {
   /// Sample variance (n-1); 0 when count < 2.
   double Variance() const;
   double StdDev() const;
+
+  /// Folds another partial state into this one using the pairwise update
+  /// of Chan, Golub & LeVeque — the merge step of a shard-parallel scan.
+  /// count/min/max merge exactly; sum/mean/m2 agree with the sequential
+  /// one-pass result to FP rounding. Merging an empty state is a no-op,
+  /// so empty shards are harmless.
+  void Merge(const DescriptiveStats& o);
 };
 
 /// One-pass descriptive statistics. Empty input yields count == 0 and

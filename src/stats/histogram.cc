@@ -24,6 +24,17 @@ int Histogram::BucketOf(double x) const {
   return std::min<int>(idx, static_cast<int>(counts.size()) - 1);
 }
 
+Status Histogram::Merge(const Histogram& o) {
+  if (edges != o.edges || counts.size() != o.counts.size()) {
+    return InvalidArgumentError(
+        "histogram merge requires identical (frozen) bucket edges");
+  }
+  for (size_t i = 0; i < counts.size(); ++i) counts[i] += o.counts[i];
+  below += o.below;
+  above += o.above;
+  return Status::OK();
+}
+
 std::string Histogram::ToString() const {
   std::ostringstream os;
   uint64_t max_count = 1;

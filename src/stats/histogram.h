@@ -27,6 +27,15 @@ struct Histogram {
   /// Index of the bucket containing x, or -1 if outside the range.
   int BucketOf(double x) const;
 
+  /// Adds another histogram's counts bucket-by-bucket. Requires bitwise
+  /// identical edges: equi-width bucketing is only mergeable when every
+  /// shard bucketed against the same frozen edge vector (a value near an
+  /// edge lands in different buckets under even slightly different
+  /// edges). Shard-parallel histogram computation therefore freezes the
+  /// edges first (from merged min/max) and hands every shard the same
+  /// vector.
+  Status Merge(const Histogram& o);
+
   std::string ToString() const;
 };
 

@@ -37,6 +37,7 @@ Result<size_t> BufferPool::GetFreeFrame() {
 }
 
 Result<std::pair<PageId, Page*>> BufferPool::NewPage() {
+  std::lock_guard<std::mutex> lock(mu_);
   STATDB_ASSIGN_OR_RETURN(size_t idx, GetFreeFrame());
   PageId id = device_->AllocatePage();
   Frame& f = frames_[idx];
@@ -49,6 +50,7 @@ Result<std::pair<PageId, Page*>> BufferPool::NewPage() {
 }
 
 Result<Page*> BufferPool::FetchPage(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     Frame& f = frames_[it->second];
@@ -76,6 +78,7 @@ Result<Page*> BufferPool::FetchPage(PageId id) {
 }
 
 Status BufferPool::UnpinPage(PageId id, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = page_table_.find(id);
   if (it == page_table_.end()) {
     return NotFoundError("unpin of non-resident page");
@@ -94,6 +97,11 @@ Status BufferPool::UnpinPage(PageId id, bool dirty) {
 }
 
 Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushAllLocked();
+}
+
+Status BufferPool::FlushAllLocked() {
   for (auto& [id, idx] : page_table_) {
     Frame& f = frames_[idx];
     if (f.dirty) {
@@ -106,7 +114,8 @@ Status BufferPool::FlushAll() {
 }
 
 Status BufferPool::Reset() {
-  STATDB_RETURN_IF_ERROR(FlushAll());
+  std::lock_guard<std::mutex> lock(mu_);
+  STATDB_RETURN_IF_ERROR(FlushAllLocked());
   for (auto& f : frames_) {
     if (f.pin_count > 0) {
       return FailedPreconditionError("buffer pool reset with pinned pages");

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -33,6 +34,19 @@ struct BufferPoolStats {
 /// caller dirtied it. Statistical scans touch every page of a column once,
 /// so pool capacity relative to file size is the lever the paper's caching
 /// arguments turn on.
+///
+/// Threading rules (the parallel scan layer in src/exec depends on them):
+///   - Every public method is internally synchronized; worker threads may
+///     pin, unpin and flush concurrently. The owning device is accessed
+///     only under this pool's mutex, so its IoStats counters need no
+///     locking of their own.
+///   - A pinned Page* may be *read* without the lock (a pinned frame is
+///     never evicted or relocated). Concurrent *writers* of one page must
+///     coordinate among themselves; the read-only scans in src/exec never
+///     write.
+///   - stats() returns a snapshot by value; read it from a quiescent pool
+///     (after the join barrier) for exact figures. CheckAccess-based
+///     audits must also run quiescent.
 class BufferPool {
  public:
   BufferPool(SimulatedDevice* device, size_t capacity_pages);
@@ -55,8 +69,14 @@ class BufferPool {
   /// Drops all unpinned frames after flushing them; errors if pins remain.
   Status Reset();
 
-  const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats{}; }
+  BufferPoolStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = BufferPoolStats{};
+  }
   SimulatedDevice* device() { return device_; }
   size_t capacity() const { return capacity_; }
 
@@ -76,7 +96,15 @@ class BufferPool {
 
   /// Finds a frame for a new resident page, evicting an LRU victim if the
   /// pool is full. Returns RESOURCE_EXHAUSTED when everything is pinned.
+  /// Caller holds mu_.
   Result<size_t> GetFreeFrame();
+
+  /// FlushAll body; caller holds mu_.
+  Status FlushAllLocked();
+
+  /// Serializes all pool state, the stats counters, and every access to
+  /// the underlying device.
+  mutable std::mutex mu_;
 
   SimulatedDevice* device_;
   size_t capacity_;

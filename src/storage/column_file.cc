@@ -92,19 +92,28 @@ Status ColumnFile::SetDouble(uint64_t index, std::optional<double> cell) {
 
 Status ColumnFile::Scan(
     const std::function<Status(uint64_t, std::optional<int64_t>)>& fn) const {
-  uint64_t index = 0;
-  for (size_t p = 0; p < pages_.size() && index < count_; ++p) {
+  return ScanRange(0, count_, fn);
+}
+
+Status ColumnFile::ScanRange(
+    uint64_t begin, uint64_t end,
+    const std::function<Status(uint64_t, std::optional<int64_t>)>& fn) const {
+  end = std::min(end, count_);
+  if (begin >= end) return Status::OK();
+  for (size_t p = begin / kCellsPerPage; p * kCellsPerPage < end; ++p) {
+    uint64_t page_first = p * kCellsPerPage;
     STATDB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(pages_[p]));
     Status s = Status::OK();
-    size_t in_page = std::min<uint64_t>(kCellsPerPage, count_ - index);
-    for (size_t c = 0; c < in_page; ++c, ++index) {
+    size_t c_begin = begin > page_first ? size_t(begin - page_first) : 0;
+    size_t c_end = size_t(std::min<uint64_t>(kCellsPerPage, end - page_first));
+    for (size_t c = c_begin; c < c_end; ++c) {
       std::optional<int64_t> cell;
       if (TestBit(*page, c)) {
         int64_t raw;
         std::memcpy(&raw, page->bytes() + kCellsOff + c * 8, 8);
         cell = raw;
       }
-      s = fn(index, cell);
+      s = fn(page_first + c, cell);
       if (!s.ok()) break;
     }
     STATDB_RETURN_IF_ERROR(pool_->UnpinPage(pages_[p], /*dirty=*/false));

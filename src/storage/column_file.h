@@ -46,6 +46,16 @@ class ColumnFile {
   Status Scan(const std::function<Status(uint64_t, std::optional<int64_t>)>&
                   fn) const;
 
+  /// Scan restricted to cells [begin, min(end, size())). Touches only the
+  /// pages covering that range, so page-aligned ranges from concurrent
+  /// callers never share a page. Safe to call from multiple threads (the
+  /// buffer pool is internally synchronized and this object is not
+  /// mutated).
+  Status ScanRange(uint64_t begin, uint64_t end,
+                   const std::function<Status(uint64_t,
+                                              std::optional<int64_t>)>& fn)
+      const;
+
   /// Bulk-reads the whole column (missing as nullopt).
   Result<std::vector<std::optional<int64_t>>> ReadAll() const;
 

@@ -5,8 +5,12 @@
 // single parallel pass feeds every statistic from merged partial states.
 // A second series runs one statistic (variance) at 1/2/4/8 workers.
 //
-// Emits BENCH_parallel_scan.json with the wall-clock and speedup series.
+// Emits BENCH_parallel_scan.json with the wall-clock and speedup series
+// plus the DumpMetrics() snapshot taken after the timed work, so one
+// artifact carries both the wall clocks and the cost-model counters that
+// explain them. argv[1] overrides the row count (CI runs a small one).
 
+#include <cstdlib>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -17,7 +21,7 @@ using namespace statdb::bench;
 
 namespace {
 
-constexpr uint64_t kRows = 1'000'000;
+constexpr uint64_t kDefaultRows = 1'000'000;
 const char* kAttr = "INCOME";
 const std::vector<std::string> kBattery = {
     "count", "sum",  "mean", "variance", "stddev",   "min",
@@ -30,16 +34,19 @@ double SimulatedIoMs(StorageManager* sm) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  uint64_t rows = kDefaultRows;
+  if (argc > 1) rows = std::strtoull(argv[1], nullptr, 10);
   Header("parallel_scan",
          "One page-aligned chunked pass with mergeable partial states vs "
-         "the serial one-read-per-statistic path (1M rows, INCOME).");
+         "the serial one-read-per-statistic path (INCOME).");
+  std::printf("rows: %llu\n", (unsigned long long)rows);
 
   // The disk pool is sized to hold the whole view so both paths measure
   // scan+aggregate work, not eviction churn.
   auto sm = MakeInstallation(/*tape_pool=*/1024, /*disk_pool=*/32768);
   StatisticalDbms dbms(sm.get());
-  CheckOk(dbms.LoadRawDataSet("census", MakeCensus(kRows)));
+  CheckOk(dbms.LoadRawDataSet("census", MakeCensus(rows)));
   ViewDefinition def;
   def.source = "census";
   Unwrap(dbms.CreateView("v", def, MaintenancePolicy::kInvalidate));
@@ -108,7 +115,7 @@ int main() {
       "parallel_scan",
       JsonObject()
           .Str("bench", "parallel_scan")
-          .Int("rows", kRows)
+          .Int("rows", rows)
           .Str("attribute", kAttr)
           .Int("battery_size", kBattery.size())
           .Num("serial_battery_ms", serial_battery_ms)
@@ -116,6 +123,7 @@ int main() {
           .Num("simulated_io_ms", SimulatedIoMs(sm.get()) - io_after_warm)
           .Raw("battery", JsonArray(battery_rows))
           .Raw("single", JsonArray(single_rows))
+          .Raw("metrics", dbms.DumpMetrics())
           .Build());
   return 0;
 }

@@ -1,0 +1,106 @@
+// Observability tour: runs a small analyst session — queries answered by
+// computation, by the Summary Database, by inference, and served stale —
+// then prints the unified DumpMetrics() JSON document to stdout.
+//
+// stdout carries ONLY the JSON (CI pipes it into a schema check); the
+// human narration, including one `explain`-style trace rendering, goes
+// to stderr.
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/dbms.h"
+#include "relational/datagen.h"
+#include "storage/storage_manager.h"
+
+using namespace statdb;
+
+namespace {
+
+Status Run() {
+  StorageManager storage;
+  STATDB_RETURN_IF_ERROR(
+      storage.AddDevice("tape", DeviceCostModel::Tape(), 1024).status());
+  STATDB_RETURN_IF_ERROR(
+      storage.AddDevice("disk", DeviceCostModel::Disk(), 16384).status());
+  StatisticalDbms dbms(&storage);
+
+  CensusOptions gen;
+  gen.rows = 20000;
+  Rng rng(7);
+  STATDB_ASSIGN_OR_RETURN(Table data, GenerateCensusMicrodata(gen, &rng));
+  STATDB_RETURN_IF_ERROR(dbms.LoadRawDataSet("census", data));
+  ViewDefinition def;
+  def.source = "census";
+  STATDB_RETURN_IF_ERROR(
+      dbms.CreateView("v", def, MaintenancePolicy::kIncremental).status());
+
+  // Traced session: every phase of each query lands in the sink.
+  CollectingTraceSink sink;
+  dbms.set_trace_sink(&sink);
+
+  // 1. Cold battery: computed + cached + maintainers armed.
+  STATDB_RETURN_IF_ERROR(
+      dbms.Query("v", "mean", "INCOME").status());
+  STATDB_RETURN_IF_ERROR(
+      dbms.Query("v", "median", "INCOME").status());
+  STATDB_RETURN_IF_ERROR(
+      dbms.Query("v", "variance", "INCOME").status());
+  // 2. Warm repeats: summary-cache hits.
+  STATDB_RETURN_IF_ERROR(dbms.Query("v", "mean", "INCOME").status());
+  STATDB_RETURN_IF_ERROR(dbms.Query("v", "median", "INCOME").status());
+  // 3. Inference: stddev from the cached variance, no data touched.
+  QueryOptions infer;
+  infer.allow_inference = true;
+  STATDB_RETURN_IF_ERROR(
+      dbms.Query("v", "stddev", "INCOME", {}, infer).status());
+  // 4. Parallel batch over two attributes in one scan each.
+  std::vector<QueryRequest> batch = {{"mean", "AGE", {}},
+                                     {"max", "AGE", {}},
+                                     {"mean", "HOURS_WORKED", {}},
+                                     {"quantile", "HOURS_WORKED",
+                                      FunctionParams().Set("p", 0.9)}};
+  STATDB_RETURN_IF_ERROR(dbms.QueryMany("v", batch, {}, 4).status());
+  // 5. Parallel bivariate.
+  STATDB_RETURN_IF_ERROR(
+      dbms.QueryBivariateParallel("v", "correlation", "AGE", "INCOME", {}, 4)
+          .status());
+  // 6. An update, then a stale-tolerant query: served_stale economics.
+  UpdateSpec spec;
+  spec.column = "INCOME";
+  spec.value = Mul(Col("INCOME"), Lit(1.02));
+  spec.predicate = Lt(Col("AGE"), Lit(30.0));
+  spec.description = "cost-of-living adjustment";
+  STATDB_RETURN_IF_ERROR(dbms.Update("v", spec).status());
+  QueryOptions approx;
+  approx.allow_stale = true;
+  STATDB_RETURN_IF_ERROR(
+      dbms.Query("v", "median", "INCOME", {}, approx).status());
+
+  dbms.set_trace_sink(nullptr);
+  std::vector<QueryTrace> traces = sink.Take();
+  std::cerr << "ran " << traces.size()
+            << " traced queries; first computed trace:\n";
+  for (const QueryTrace& t : traces) {
+    if (t.outcome() == TraceOutcome::kComputed) {
+      std::cerr << t.ToText();
+      break;
+    }
+  }
+  std::cerr << "\nDumpMetrics() JSON follows on stdout.\n";
+
+  // stdout: the one-document export (validated by CI's schema check).
+  std::cout << dbms.DumpMetrics() << "\n";
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  Status s = Run();
+  if (!s.ok()) {
+    std::cerr << "metrics_tour failed: " << s.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -53,6 +53,10 @@ void PrintHelp() {
       "  history <view>                     show the update log\n"
       "  rollback <view> <version>          undo to a version\n"
       "  summary <view>                     dump the Summary Database\n"
+      "  explain <view> <fn> <attr> [workers] trace one query's phases"
+      " (EXPLAIN)\n"
+      "  metrics                            DumpMetrics() JSON (cache/"
+      "pool/device/registry)\n"
       "  audit                              fsck: structural + summary-"
       "oracle audit\n"
       "  io                                 simulated device statistics\n"
@@ -127,6 +131,8 @@ class Shell {
     if (cmd == "history") return CmdHistory(t);
     if (cmd == "rollback") return CmdRollback(t);
     if (cmd == "summary") return CmdSummary(t);
+    if (cmd == "explain") return CmdExplain(t);
+    if (cmd == "metrics") return CmdMetrics();
     if (cmd == "audit") return CmdAudit();
     if (cmd == "io") return CmdIo();
     return InvalidArgumentError("unknown command: " + cmd +
@@ -294,6 +300,33 @@ class Shell {
                   e.stale ? "  (stale)" : "");
       return Status::OK();
     });
+  }
+
+  Status CmdExplain(const std::vector<std::string>& t) {
+    if (t.size() < 4) {
+      return InvalidArgumentError("explain <view> <fn> <attr> [workers]");
+    }
+    size_t workers = t.size() > 4 ? std::stoull(t[4]) : 1;
+    // Attach a sink just for this query; detach before returning so the
+    // rest of the session stays on the zero-cost path.
+    CollectingTraceSink sink;
+    dbms_->set_trace_sink(&sink);
+    Result<QueryAnswer> a =
+        workers > 1 ? dbms_->QueryParallel(t[1], t[2], t[3], {}, {}, workers)
+                    : dbms_->Query(t[1], t[2], t[3]);
+    dbms_->set_trace_sink(nullptr);
+    for (const QueryTrace& trace : sink.Take()) {
+      std::cout << trace.ToText();
+    }
+    STATDB_RETURN_IF_ERROR(a.status());
+    std::cout << t[2] << "(" << t[3] << ") = " << a.value().result.ToString()
+              << "   [" << SourceName(a.value().source) << "]\n";
+    return Status::OK();
+  }
+
+  Status CmdMetrics() {
+    std::cout << dbms_->DumpMetrics() << "\n";
+    return Status::OK();
   }
 
   Status CmdAudit() {

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Validates a DumpMetrics() JSON document read from stdin.
+
+Tiny structural schema check used by CI's metrics smoke step: the full
+document must parse as one JSON object, carry the three top-level
+sections, and each section must contain the cost-model signals DESIGN.md
+§10 promises. Exits non-zero with a message on the first violation.
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"metrics schema check FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(cond: bool, msg: str) -> None:
+    if not cond:
+        fail(msg)
+
+
+def main() -> None:
+    text = sys.stdin.read().strip()
+    require(bool(text), "empty input")
+    # The tour may print exactly one document; tolerate trailing newline.
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
+        fail(f"not valid JSON: {e}")
+    require(isinstance(doc, dict), "top level is not an object")
+
+    for section in ("views", "devices", "registry"):
+        require(section in doc, f"missing top-level section '{section}'")
+        require(isinstance(doc[section], dict),
+                f"section '{section}' is not an object")
+
+    require(len(doc["views"]) >= 1, "no views in 'views'")
+    for name, view in doc["views"].items():
+        for part in ("summary_db", "traffic"):
+            require(part in view, f"view '{name}' missing '{part}'")
+        cache = view["summary_db"]
+        for key in ("lookups", "hits", "stale_hits", "served_stale",
+                    "misses", "inserts", "invalidated", "hit_rate",
+                    "served_rate", "entries"):
+            require(key in cache, f"view '{name}' summary_db missing '{key}'")
+        require(cache["served_rate"] >= cache["hit_rate"],
+                f"view '{name}': served_rate < hit_rate")
+        traffic = view["traffic"]
+        for key in ("queries", "cache_hits", "stale_hits", "inferred",
+                    "computed", "updates", "maintainer_applies",
+                    "maintainer_rebuilds"):
+            require(key in traffic, f"view '{name}' traffic missing '{key}'")
+
+    require(len(doc["devices"]) >= 2, "expected at least tape + disk devices")
+    for name, dev in doc["devices"].items():
+        require("io" in dev, f"device '{name}' missing 'io'")
+        for key in ("block_reads", "block_writes", "seeks", "simulated_ms"):
+            require(key in dev["io"], f"device '{name}' io missing '{key}'")
+        require("buffer_pool" in dev, f"device '{name}' missing 'buffer_pool'")
+        for key in ("hits", "misses", "evictions", "flushes", "hit_rate"):
+            require(key in dev["buffer_pool"],
+                    f"device '{name}' buffer_pool missing '{key}'")
+
+    reg = doc["registry"]
+    for kind in ("counters", "gauges", "histograms"):
+        require(kind in reg, f"registry missing '{kind}'")
+    require("dbms.query_ms" in reg["histograms"],
+            "registry missing dbms.query_ms histogram")
+    hist = reg["histograms"]["dbms.query_ms"]
+    for key in ("count", "total_ms", "mean_ms", "max_ms", "p50_ms",
+                "p90_ms", "p99_ms"):
+        require(key in hist, f"dbms.query_ms histogram missing '{key}'")
+    require(hist["count"] >= 1, "dbms.query_ms recorded no queries")
+    for counter in ("dbms.answers.computed", "dbms.answers.cache_hit",
+                    "exec.pool.tasks_executed"):
+        require(counter in reg["counters"],
+                f"registry missing counter '{counter}'")
+
+    print(f"metrics schema OK: {len(doc['views'])} view(s), "
+          f"{len(doc['devices'])} device(s), "
+          f"{len(reg['counters'])} counters, "
+          f"{len(reg['histograms'])} histograms")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,7 @@
 #include "check/db_auditor.h"
 #include "exec/chunked_scanner.h"
 #include "exec/thread_pool.h"
+#include "obs/json.h"
 #include "storage/column_file.h"
 #include "stats/descriptive.h"
 #include "stats/correlation.h"
@@ -63,6 +64,30 @@ bool NeedsValueCounts(const std::string& function) {
          function == "histogram";
 }
 
+TraceOutcome OutcomeOfSource(AnswerSource source) {
+  switch (source) {
+    case AnswerSource::kCacheHit: return TraceOutcome::kCacheHit;
+    case AnswerSource::kStaleCacheHit: return TraceOutcome::kStaleCacheHit;
+    case AnswerSource::kInferred: return TraceOutcome::kInferred;
+    case AnswerSource::kComputed: return TraceOutcome::kComputed;
+  }
+  return TraceOutcome::kUnknown;
+}
+
+/// Batch provenance: the most expensive source any request needed.
+TraceOutcome OutcomeOfBatch(const std::vector<QueryAnswer>& answers) {
+  TraceOutcome out = TraceOutcome::kCacheHit;
+  for (const QueryAnswer& a : answers) {
+    TraceOutcome o = OutcomeOfSource(a.source);
+    if (static_cast<uint8_t>(o) > static_cast<uint8_t>(out)) out = o;
+  }
+  return answers.empty() ? TraceOutcome::kUnknown : out;
+}
+
+uint64_t PagesOf(uint64_t rows) {
+  return (rows + ColumnFile::kCellsPerPage - 1) / ColumnFile::kCellsPerPage;
+}
+
 /// Finishes one mergeable statistic from the merged scan state,
 /// reproducing the serial functions' values and domain errors (empty
 /// columns fail with the exact strings the serial path uses).
@@ -110,7 +135,49 @@ StatisticalDbms::StatisticalDbms(StorageManager* storage,
                                  std::string disk_device)
     : storage_(storage),
       tape_device_(std::move(tape_device)),
-      disk_device_(std::move(disk_device)) {}
+      disk_device_(std::move(disk_device)) {
+  // Resolve the hot-path instruments once; queries bump them lock-free.
+  obs_query_ms_ = metrics_.GetHistogram("dbms.query_ms");
+  obs_pool_task_ms_ = metrics_.GetHistogram("exec.pool.task_ms");
+  obs_outcomes_[size_t(TraceOutcome::kUnknown)] =
+      metrics_.GetCounter("dbms.answers.unknown");
+  obs_outcomes_[size_t(TraceOutcome::kCacheHit)] =
+      metrics_.GetCounter("dbms.answers.cache_hit");
+  obs_outcomes_[size_t(TraceOutcome::kStaleCacheHit)] =
+      metrics_.GetCounter("dbms.answers.stale_cache_hit");
+  obs_outcomes_[size_t(TraceOutcome::kInferred)] =
+      metrics_.GetCounter("dbms.answers.inferred");
+  obs_outcomes_[size_t(TraceOutcome::kComputed)] =
+      metrics_.GetCounter("dbms.answers.computed");
+  obs_outcomes_[size_t(TraceOutcome::kError)] =
+      metrics_.GetCounter("dbms.answers.error");
+  obs_pool_submitted_ = metrics_.GetCounter("exec.pool.tasks_submitted");
+  obs_pool_executed_ = metrics_.GetCounter("exec.pool.tasks_executed");
+  obs_pool_rejected_ = metrics_.GetCounter("exec.pool.tasks_rejected");
+  obs_pool_queue_max_ = metrics_.GetGauge("exec.pool.queue_depth_max");
+  obs_pool_task_ms_total_ = metrics_.GetGauge("exec.pool.task_ms_total");
+}
+
+void StatisticalDbms::EmitQueryObs(const TraceTimer& timer,
+                                   QueryTrace* trace, TraceOutcome outcome) {
+  double ms = timer.ElapsedMs();
+  obs_query_ms_->Record(ms);
+  obs_outcomes_[size_t(outcome)]->Inc();
+  if (trace != nullptr && trace_sink_ != nullptr) {
+    trace->SetOutcome(outcome);
+    trace->SetTotalMs(ms);
+    trace_sink_->OnQueryTrace(*trace);
+  }
+}
+
+void StatisticalDbms::FoldPoolStats(const ThreadPool& pool) {
+  ThreadPoolStats s = pool.stats();
+  obs_pool_submitted_->Inc(s.submitted);
+  obs_pool_executed_->Inc(s.executed);
+  obs_pool_rejected_->Inc(s.rejected);
+  obs_pool_queue_max_->MaxOf(double(s.max_queue_depth));
+  obs_pool_task_ms_total_->Add(s.total_task_ms);
+}
 
 Status StatisticalDbms::LoadRawDataSet(const std::string& name,
                                        const Table& data,
@@ -258,27 +325,34 @@ Status StatisticalDbms::CheckQueryable(const Schema& schema,
 Result<bool> StatisticalDbms::TryAnswerWithoutComputing(
     ViewState* state, const SummaryKey& key, const std::string& function,
     const std::string& attribute, const FunctionParams& params,
-    const QueryOptions& opts, QueryAnswer* answer) {
-  Result<SummaryEntry> cached = state->summary->Lookup(key);
+    const QueryOptions& opts, QueryAnswer* answer, QueryTrace* trace) {
+  Result<SummaryEntry> cached = [&] {
+    ScopedSpan span(trace, SpanKind::kCacheProbe);
+    return state->summary->Lookup(key);
+  }();
   if (cached.ok() && !cached.value().stale) {
     ++state->traffic.cache_hits;
     *answer = QueryAnswer{cached.value().result, AnswerSource::kCacheHit,
                           true, ""};
     return true;
   }
-  if (cached.ok() && cached.value().stale &&
-      (opts.allow_stale ||
-       (opts.max_version_lag > 0 &&
-        state->view->version() - cached.value().view_version <=
-            opts.max_version_lag))) {
-    ++state->traffic.stale_hits;
-    *answer = QueryAnswer{cached.value().result,
-                          AnswerSource::kStaleCacheHit, false,
-                          "stale cached value"};
-    return true;
+  if (cached.ok() && cached.value().stale) {
+    ScopedSpan span(trace, SpanKind::kStalenessGate);
+    if (opts.allow_stale ||
+        (opts.max_version_lag > 0 &&
+         state->view->version() - cached.value().view_version <=
+             opts.max_version_lag)) {
+      ++state->traffic.stale_hits;
+      state->summary->NoteServedStale();
+      *answer = QueryAnswer{cached.value().result,
+                            AnswerSource::kStaleCacheHit, false,
+                            "stale cached value"};
+      return true;
+    }
   }
 
   if (opts.allow_inference) {
+    ScopedSpan span(trace, SpanKind::kInference);
     Result<InferenceResult> inferred =
         InferFromSummaries(state->summary.get(), function, attribute,
                            params);
@@ -298,13 +372,19 @@ Status StatisticalDbms::CacheComputedResult(const std::string& view,
                                             ViewState* state,
                                             const SummaryKey& key,
                                             const SummaryResult& result,
-                                            const std::vector<double>& data) {
-  STATDB_RETURN_IF_ERROR(
-      state->summary->Insert(key, result, state->view->version()));
+                                            const std::vector<double>& data,
+                                            QueryTrace* trace) {
+  {
+    ScopedSpan span(trace, SpanKind::kSummaryInsert);
+    STATDB_RETURN_IF_ERROR(
+        state->summary->Insert(key, result, state->view->version()));
+  }
   // Arm an incremental rule for this entry when one exists and the
   // view maintains incrementally.
   STATDB_ASSIGN_OR_RETURN(const ViewRecord* rec, mdb_.GetView(view));
   if (rec->policy == MaintenancePolicy::kIncremental) {
+    ScopedSpan span(trace, SpanKind::kMaintainerArm);
+    span.SetRows(data.size());
     STATDB_ASSIGN_OR_RETURN(FunctionParams params,
                             FunctionParams::Decode(key.params));
     Result<std::unique_ptr<IncrementalMaintainer>> m =
@@ -324,6 +404,27 @@ Result<QueryAnswer> StatisticalDbms::Query(const std::string& view,
                                            const std::string& attribute,
                                            const FunctionParams& params,
                                            const QueryOptions& opts) {
+  TraceTimer timer;
+  std::optional<QueryTrace> trace;
+  if (trace_sink_ != nullptr) {
+    trace.emplace();
+    trace->SetLabel("query", view, function, attribute);
+  }
+  QueryTrace* tr = trace ? &*trace : nullptr;
+  Result<QueryAnswer> r =
+      QueryImpl(view, function, attribute, params, opts, tr);
+  EmitQueryObs(timer, tr,
+               r.ok() ? OutcomeOfSource(r.value().source)
+                      : TraceOutcome::kError);
+  return r;
+}
+
+Result<QueryAnswer> StatisticalDbms::QueryImpl(const std::string& view,
+                                               const std::string& function,
+                                               const std::string& attribute,
+                                               const FunctionParams& params,
+                                               const QueryOptions& opts,
+                                               QueryTrace* trace) {
   STATDB_ASSIGN_OR_RETURN(ViewState * state, GetState(view));
   ++state->traffic.queries;
   ++state->traffic.attribute_accesses[attribute];
@@ -336,17 +437,27 @@ Result<QueryAnswer> StatisticalDbms::Query(const std::string& view,
   STATDB_ASSIGN_OR_RETURN(
       bool answered,
       TryAnswerWithoutComputing(state, key, function, attribute, params,
-                                opts, &answer));
+                                opts, &answer, trace));
   if (answered) return answer;
 
-  STATDB_ASSIGN_OR_RETURN(std::vector<double> data,
-                          state->view->ReadNumericColumn(attribute));
-  STATDB_ASSIGN_OR_RETURN(SummaryResult result,
-                          mdb_.functions().Compute(function, data, params));
+  std::vector<double> data;
+  {
+    ScopedSpan span(trace, SpanKind::kScan);
+    STATDB_ASSIGN_OR_RETURN(data,
+                            state->view->ReadNumericColumn(attribute));
+    span.SetRowsPaged(data.size(), ColumnFile::kCellsPerPage);
+  }
+  SummaryResult result;
+  {
+    ScopedSpan span(trace, SpanKind::kCompute);
+    span.SetRows(data.size());
+    STATDB_ASSIGN_OR_RETURN(result,
+                            mdb_.functions().Compute(function, data, params));
+  }
   ++state->traffic.computed;
   if (opts.cache_result) {
     STATDB_RETURN_IF_ERROR(
-        CacheComputedResult(view, state, key, result, data));
+        CacheComputedResult(view, state, key, result, data, trace));
   }
   return QueryAnswer{std::move(result), AnswerSource::kComputed, true, ""};
 }
@@ -355,15 +466,46 @@ Result<QueryAnswer> StatisticalDbms::QueryParallel(
     const std::string& view, const std::string& function,
     const std::string& attribute, const FunctionParams& params,
     const QueryOptions& opts, size_t workers) {
+  TraceTimer timer;
+  std::optional<QueryTrace> trace;
+  if (trace_sink_ != nullptr) {
+    trace.emplace();
+    trace->SetLabel("queryp", view, function, attribute);
+  }
+  QueryTrace* tr = trace ? &*trace : nullptr;
   std::vector<QueryRequest> requests = {{function, attribute, params}};
-  STATDB_ASSIGN_OR_RETURN(std::vector<QueryAnswer> answers,
-                          QueryMany(view, requests, opts, workers));
-  return std::move(answers[0]);
+  Result<std::vector<QueryAnswer>> answers =
+      QueryManyImpl(view, requests, opts, workers, tr);
+  if (!answers.ok()) {
+    EmitQueryObs(timer, tr, TraceOutcome::kError);
+    return answers.status();
+  }
+  EmitQueryObs(timer, tr, OutcomeOfSource(answers.value()[0].source));
+  return std::move(answers.value()[0]);
 }
 
 Result<std::vector<QueryAnswer>> StatisticalDbms::QueryMany(
     const std::string& view, const std::vector<QueryRequest>& requests,
     const QueryOptions& opts, size_t workers) {
+  TraceTimer timer;
+  std::optional<QueryTrace> trace;
+  if (trace_sink_ != nullptr) {
+    trace.emplace();
+    trace->SetLabel("querymany", view,
+                    "[" + std::to_string(requests.size()) + " requests]",
+                    "");
+  }
+  QueryTrace* tr = trace ? &*trace : nullptr;
+  Result<std::vector<QueryAnswer>> r =
+      QueryManyImpl(view, requests, opts, workers, tr);
+  EmitQueryObs(timer, tr,
+               r.ok() ? OutcomeOfBatch(r.value()) : TraceOutcome::kError);
+  return r;
+}
+
+Result<std::vector<QueryAnswer>> StatisticalDbms::QueryManyImpl(
+    const std::string& view, const std::vector<QueryRequest>& requests,
+    const QueryOptions& opts, size_t workers, QueryTrace* trace) {
   STATDB_ASSIGN_OR_RETURN(ViewState * state, GetState(view));
   STATDB_ASSIGN_OR_RETURN(const ViewRecord* rec, mdb_.GetView(view));
   // Incremental maintainers initialize from the full column, so the scan
@@ -398,7 +540,7 @@ Result<std::vector<QueryAnswer>> StatisticalDbms::QueryMany(
     STATDB_ASSIGN_OR_RETURN(
         bool answered,
         TryAnswerWithoutComputing(state, key, r.function, r.attribute,
-                                  r.params, opts, &answers[i]));
+                                  r.params, opts, &answers[i], trace));
     if (answered) continue;
     if (!by_attr.contains(r.attribute)) attr_order.push_back(r.attribute);
     by_attr[r.attribute].push_back(i);
@@ -406,7 +548,10 @@ Result<std::vector<QueryAnswer>> StatisticalDbms::QueryMany(
 
   if (!attr_order.empty()) {
     std::optional<ThreadPool> pool;
-    if (workers > 1) pool.emplace(workers);
+    if (workers > 1) {
+      pool.emplace(workers);
+      pool->set_task_latency_sink(obs_pool_task_ms_);
+    }
     for (const std::string& attr : attr_order) {
       const std::vector<size_t>& idxs = by_attr[attr];
       ColumnScanSpec spec;
@@ -416,37 +561,62 @@ Result<std::vector<QueryAnswer>> StatisticalDbms::QueryMany(
         if (!IsMergeable(fn)) spec.keep_values = true;
       }
       if (arm_maintainers) spec.keep_values = true;
+      spec.time_chunks = trace != nullptr;
       const ConcreteView* cv = state->view.get();
       ColumnRangeReader reader = [cv, attr](uint64_t begin, uint64_t end) {
         return cv->ReadNumericRange(attr, begin, end);
       };
-      STATDB_ASSIGN_OR_RETURN(
-          ColumnScanResult scan,
-          ParallelScanColumn(cv->num_rows(), ColumnFile::kCellsPerPage,
-                             reader, spec, pool ? &*pool : nullptr));
+      ColumnScanResult scan;
+      {
+        ScopedSpan span(trace, SpanKind::kScan);
+        STATDB_ASSIGN_OR_RETURN(
+            scan,
+            ParallelScanColumn(cv->num_rows(), ColumnFile::kCellsPerPage,
+                               reader, spec, pool ? &*pool : nullptr));
+        span.SetRowsPaged(scan.desc.count, ColumnFile::kCellsPerPage);
+      }
+      if (trace != nullptr) {
+        for (size_t c = 0; c < scan.chunk_stats.size(); ++c) {
+          const ChunkScanStat& cs = scan.chunk_stats[c];
+          trace->Add(SpanKind::kScanChunk, cs.wall_ms, cs.rows,
+                     PagesOf(cs.rows), int32_t(c));
+        }
+      }
       for (size_t i : idxs) {
         const QueryRequest& r = requests[i];
         SummaryResult result;
-        if (IsMergeable(r.function)) {
-          STATDB_ASSIGN_OR_RETURN(
-              result, FinishMergeable(r.function, r.params, scan));
-        } else {
-          // Order-dependent / unregistered functions run the serial
-          // computation on the gathered column (bit-identical to the
-          // serial read, so their answers are bit-identical too).
-          STATDB_ASSIGN_OR_RETURN(
-              result,
-              mdb_.functions().Compute(r.function, scan.values, r.params));
+        {
+          ScopedSpan span(trace, SpanKind::kCompute);
+          span.SetRows(scan.desc.count);
+          if (IsMergeable(r.function)) {
+            STATDB_ASSIGN_OR_RETURN(
+                result, FinishMergeable(r.function, r.params, scan));
+          } else {
+            // Order-dependent / unregistered functions run the serial
+            // computation on the gathered column (bit-identical to the
+            // serial read, so their answers are bit-identical too).
+            STATDB_ASSIGN_OR_RETURN(
+                result,
+                mdb_.functions().Compute(r.function, scan.values, r.params));
+          }
         }
         ++state->traffic.computed;
         if (opts.cache_result) {
           SummaryKey key{r.function, {r.attribute}, r.params.Encode()};
-          STATDB_RETURN_IF_ERROR(
-              CacheComputedResult(view, state, key, result, scan.values));
+          STATDB_RETURN_IF_ERROR(CacheComputedResult(view, state, key,
+                                                     result, scan.values,
+                                                     trace));
         }
         answers[i] = QueryAnswer{std::move(result), AnswerSource::kComputed,
                                  true, ""};
       }
+    }
+    if (pool) {
+      // The scans joined at their barriers, but a worker bumps `executed`
+      // only after the task's future resolves — Quiesce() joins the
+      // workers so the counters are exact before folding.
+      pool->Quiesce();
+      FoldPoolStats(*pool);
     }
   }
 
@@ -462,9 +632,29 @@ Result<QueryAnswer> StatisticalDbms::QueryBivariateParallel(
     const QueryOptions& opts, size_t workers) {
   if (function == "crosstab" || function == "chi2_independence") {
     // Contingency tables carry no mergeable partial state here; the
-    // serial path already handles them.
+    // serial path already handles them (untraced, like QueryBivariate).
     return QueryBivariate(view, function, attr_a, attr_b, opts);
   }
+  TraceTimer timer;
+  std::optional<QueryTrace> trace;
+  if (trace_sink_ != nullptr) {
+    trace.emplace();
+    trace->SetLabel("bivariate", view, function, attr_a + "," + attr_b);
+  }
+  QueryTrace* tr = trace ? &*trace : nullptr;
+  Result<QueryAnswer> r =
+      QueryBivariateParallelImpl(view, function, attr_a, attr_b, opts,
+                                 workers, tr);
+  EmitQueryObs(timer, tr,
+               r.ok() ? OutcomeOfSource(r.value().source)
+                      : TraceOutcome::kError);
+  return r;
+}
+
+Result<QueryAnswer> StatisticalDbms::QueryBivariateParallelImpl(
+    const std::string& view, const std::string& function,
+    const std::string& attr_a, const std::string& attr_b,
+    const QueryOptions& opts, size_t workers, QueryTrace* trace) {
   if (function != "correlation" && function != "covariance" &&
       function != "regression") {
     return InvalidArgumentError("unknown bivariate function " + function);
@@ -475,20 +665,26 @@ Result<QueryAnswer> StatisticalDbms::QueryBivariateParallel(
   ++state->traffic.attribute_accesses[attr_b];
   SummaryKey key{function, {attr_a, attr_b}, ""};
 
-  Result<SummaryEntry> cached = state->summary->Lookup(key);
+  Result<SummaryEntry> cached = [&] {
+    ScopedSpan span(trace, SpanKind::kCacheProbe);
+    return state->summary->Lookup(key);
+  }();
   if (cached.ok() && !cached.value().stale) {
     ++state->traffic.cache_hits;
     return QueryAnswer{cached.value().result, AnswerSource::kCacheHit, true,
                        ""};
   }
-  if (cached.ok() && cached.value().stale &&
-      (opts.allow_stale ||
-       (opts.max_version_lag > 0 &&
-        state->view->version() - cached.value().view_version <=
-            opts.max_version_lag))) {
-    ++state->traffic.stale_hits;
-    return QueryAnswer{cached.value().result, AnswerSource::kStaleCacheHit,
-                       false, "stale cached value"};
+  if (cached.ok() && cached.value().stale) {
+    ScopedSpan span(trace, SpanKind::kStalenessGate);
+    if (opts.allow_stale ||
+        (opts.max_version_lag > 0 &&
+         state->view->version() - cached.value().view_version <=
+             opts.max_version_lag)) {
+      ++state->traffic.stale_hits;
+      state->summary->NoteServedStale();
+      return QueryAnswer{cached.value().result, AnswerSource::kStaleCacheHit,
+                         false, "stale cached value"};
+    }
   }
 
   const ConcreteView* cv = state->view.get();
@@ -499,26 +695,45 @@ Result<QueryAnswer> StatisticalDbms::QueryBivariateParallel(
     return cv->ReadNumericPairsRange(attr_a, attr_b, begin, end, xs, ys);
   };
   std::optional<ThreadPool> pool;
-  if (workers > 1) pool.emplace(workers);
-  STATDB_ASSIGN_OR_RETURN(
-      ComomentStats cs,
-      ParallelScanPairs(cv->num_rows(), ColumnFile::kCellsPerPage, reader,
-                        pool ? &*pool : nullptr));
+  if (workers > 1) {
+    pool.emplace(workers);
+    pool->set_task_latency_sink(obs_pool_task_ms_);
+  }
+  ComomentStats cs;
+  {
+    ScopedSpan span(trace, SpanKind::kScan);
+    STATDB_ASSIGN_OR_RETURN(
+        cs,
+        ParallelScanPairs(cv->num_rows(), ColumnFile::kCellsPerPage, reader,
+                          pool ? &*pool : nullptr));
+    // Two columns read per row-pair: twice the pages of one column.
+    span.SetRows(cs.n);
+    span.SetPages(2 * PagesOf(cv->num_rows()));
+  }
   SummaryResult result;
-  if (function == "correlation") {
-    STATDB_ASSIGN_OR_RETURN(double r, cs.PearsonR());
-    result = SummaryResult::Scalar(r);
-  } else if (function == "covariance") {
-    STATDB_ASSIGN_OR_RETURN(double c, cs.Covariance());
-    result = SummaryResult::Scalar(c);
-  } else {
-    STATDB_ASSIGN_OR_RETURN(LinearFit fit, cs.Fit());
-    result = SummaryResult::Model(fit);
+  {
+    ScopedSpan span(trace, SpanKind::kCompute);
+    span.SetRows(cs.n);
+    if (function == "correlation") {
+      STATDB_ASSIGN_OR_RETURN(double r, cs.PearsonR());
+      result = SummaryResult::Scalar(r);
+    } else if (function == "covariance") {
+      STATDB_ASSIGN_OR_RETURN(double c, cs.Covariance());
+      result = SummaryResult::Scalar(c);
+    } else {
+      STATDB_ASSIGN_OR_RETURN(LinearFit fit, cs.Fit());
+      result = SummaryResult::Model(fit);
+    }
   }
   ++state->traffic.computed;
   if (opts.cache_result) {
+    ScopedSpan span(trace, SpanKind::kSummaryInsert);
     STATDB_RETURN_IF_ERROR(
         state->summary->Insert(key, result, state->view->version()));
+  }
+  if (pool) {
+    pool->Quiesce();  // join workers so `executed` is exact
+    FoldPoolStats(*pool);
   }
   return QueryAnswer{std::move(result), AnswerSource::kComputed, true, ""};
 }
@@ -545,6 +760,7 @@ Result<QueryAnswer> StatisticalDbms::QueryBivariate(
         state->view->version() - cached.value().view_version <=
             opts.max_version_lag))) {
     ++state->traffic.stale_hits;
+    state->summary->NoteServedStale();
     return QueryAnswer{cached.value().result, AnswerSource::kStaleCacheHit,
                        false, "stale cached value"};
   }
@@ -1205,6 +1421,77 @@ Result<const ViewTrafficStats*> StatisticalDbms::GetTrafficStats(
     return NotFoundError("no view named " + view);
   }
   return &it->second.traffic;
+}
+
+std::string StatisticalDbms::DumpMetrics() {
+  obs::JsonObject doc;
+
+  // Per-view Summary Database economics (§3.2) and query/update traffic.
+  obs::JsonObject views;
+  for (const auto& [name, state] : views_) {
+    const SummaryDbStats& s = state.summary->stats();
+    obs::JsonObject cache;
+    cache.Int("lookups", s.lookups)
+        .Int("hits", s.hits)
+        .Int("stale_hits", s.stale_hits)
+        .Int("served_stale", s.served_stale)
+        .Int("misses", s.misses)
+        .Int("inserts", s.inserts)
+        .Int("invalidated", s.invalidated)
+        .Num("hit_rate", s.HitRate())
+        .Num("served_rate", s.ServedRate())
+        .Int("entries", state.summary->entry_count());
+    const ViewTrafficStats& t = state.traffic;
+    obs::JsonObject traffic;
+    traffic.Int("queries", t.queries)
+        .Int("cache_hits", t.cache_hits)
+        .Int("stale_hits", t.stale_hits)
+        .Int("inferred", t.inferred)
+        .Int("computed", t.computed)
+        .Int("updates", t.updates)
+        .Int("cells_changed", t.cells_changed)
+        .Int("maintainer_applies", t.maintainer_applies)
+        .Int("maintainer_rebuilds", t.maintainer_rebuilds)
+        .Int("eager_recomputes", t.eager_recomputes);
+    obs::JsonObject view;
+    view.Raw("summary_db", cache.Build())
+        .Raw("traffic", traffic.Build());
+    views.Raw(name, view.Build());
+  }
+  doc.Raw("views", views.Build());
+
+  // Simulated devices and their buffer pools (§2.3's storage hierarchy).
+  obs::JsonObject devices;
+  for (const std::string& dev : {tape_device_, disk_device_}) {
+    obs::JsonObject entry;
+    Result<SimulatedDevice*> device = storage_->GetDevice(dev);
+    if (device.ok()) {
+      const IoStats& io = device.value()->stats();
+      obs::JsonObject ios;
+      ios.Int("block_reads", io.block_reads)
+          .Int("block_writes", io.block_writes)
+          .Int("seeks", io.seeks)
+          .Num("simulated_ms", io.simulated_ms);
+      entry.Raw("io", ios.Build());
+    }
+    Result<BufferPool*> pool = storage_->GetPool(dev);
+    if (pool.ok()) {
+      BufferPoolStats bp = pool.value()->stats();
+      obs::JsonObject bpo;
+      bpo.Int("hits", bp.hits)
+          .Int("misses", bp.misses)
+          .Int("evictions", bp.evictions)
+          .Int("flushes", bp.flushes)
+          .Num("hit_rate", bp.HitRate());
+      entry.Raw("buffer_pool", bpo.Build());
+    }
+    devices.Raw(dev, entry.Build());
+  }
+  doc.Raw("devices", devices.Build());
+
+  // The registry: query latency, answer provenance, thread-pool behavior.
+  doc.Raw("registry", metrics_.DumpJson());
+  return doc.Build();
 }
 
 }  // namespace statdb

@@ -13,12 +13,16 @@
 #include "core/view.h"
 #include "core/view_def.h"
 #include "meta/catalog.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relational/stored_table.h"
 #include "rules/management_db.h"
 #include "storage/storage_manager.h"
 #include "summary/summary_db.h"
 
 namespace statdb {
+
+class ThreadPool;
 
 /// Knobs of one query against a view's Summary Database.
 struct QueryOptions {
@@ -293,6 +297,29 @@ class StatisticalDbms {
   const std::string& tape_device_name() const { return tape_device_; }
   const std::string& disk_device_name() const { return disk_device_; }
 
+  // --- observability (src/obs, DESIGN.md §10) ------------------------------
+
+  /// The DBMS-wide metrics registry: query latency, answer provenance,
+  /// and thread-pool behavior live here; per-view/per-device stats
+  /// structs are mirrored in at DumpMetrics time.
+  MetricsRegistry& metrics() { return metrics_; }
+
+  /// One JSON document covering every cost-model signal: per-view
+  /// summary-cache hit/served/miss rates, per-view query/update traffic
+  /// and maintainer apply-vs-rebuild counts, buffer-pool behavior and
+  /// simulated device I/O for the tape and disk devices, and the
+  /// registry (thread-pool queue depth/task latency, query latency).
+  std::string DumpMetrics();
+
+  /// Attaches a per-query trace sink: every Query / QueryParallel /
+  /// QueryMany / QueryBivariateParallel call emits a QueryTrace of its
+  /// phase spans. With no sink (the default) the query paths skip all
+  /// clock reads and allocate nothing for tracing. The sink must be
+  /// thread-safe if queries run concurrently, and must outlive its
+  /// attachment. nullptr detaches.
+  void set_trace_sink(TraceSink* sink) { trace_sink_ = sink; }
+  TraceSink* trace_sink() const { return trace_sink_; }
+
   /// Audit-after-update: when on, every successful Update/Rollback ends
   /// with a full DbAuditor pass over the touched view (structure + the
   /// differential summary-vs-view oracle) and fails with DATA_LOSS if the
@@ -343,23 +370,52 @@ class StatisticalDbms {
   /// Cache / staleness / inference consultation shared by Query and
   /// QueryMany. Fills `*answer` and returns true when the request is
   /// satisfied without computation; bumps the traffic counters it
-  /// consumes.
+  /// consumes. `trace` (nullable) receives cache-probe / staleness-gate /
+  /// inference spans.
   Result<bool> TryAnswerWithoutComputing(ViewState* state,
                                          const SummaryKey& key,
                                          const std::string& function,
                                          const std::string& attribute,
                                          const FunctionParams& params,
                                          const QueryOptions& opts,
-                                         QueryAnswer* answer);
+                                         QueryAnswer* answer,
+                                         QueryTrace* trace);
 
   /// Caches a computed result and arms an incremental maintainer when
   /// the view's policy wants one — the common tail of the serial and
   /// parallel compute paths. `data` is the full column (maintainer
-  /// initialization); ignored under other policies.
+  /// initialization); ignored under other policies. `trace` (nullable)
+  /// receives summary-insert / maintainer-arm spans.
   Status CacheComputedResult(const std::string& view, ViewState* state,
                              const SummaryKey& key,
                              const SummaryResult& result,
-                             const std::vector<double>& data);
+                             const std::vector<double>& data,
+                             QueryTrace* trace);
+
+  /// Bodies of the public query entry points, with tracing threaded
+  /// through. The public wrappers own trace construction, the total
+  /// timer, the latency histogram and sink emission.
+  Result<QueryAnswer> QueryImpl(const std::string& view,
+                                const std::string& function,
+                                const std::string& attribute,
+                                const FunctionParams& params,
+                                const QueryOptions& opts, QueryTrace* trace);
+  Result<std::vector<QueryAnswer>> QueryManyImpl(
+      const std::string& view, const std::vector<QueryRequest>& requests,
+      const QueryOptions& opts, size_t workers, QueryTrace* trace);
+  Result<QueryAnswer> QueryBivariateParallelImpl(
+      const std::string& view, const std::string& function,
+      const std::string& attr_a, const std::string& attr_b,
+      const QueryOptions& opts, size_t workers, QueryTrace* trace);
+
+  /// Records the query latency + outcome counters and emits `trace` (if
+  /// any) to the sink — the shared tail of every public query wrapper.
+  void EmitQueryObs(const TraceTimer& timer, QueryTrace* trace,
+                    TraceOutcome outcome);
+
+  /// Folds a (quiescent) pool's counters into the registry after a
+  /// parallel query finishes with it.
+  void FoldPoolStats(const ThreadPool& pool);
 
   /// Full computation of function(attribute) over the view column.
   Result<SummaryResult> ComputeOnView(ViewState* state,
@@ -387,6 +443,18 @@ class StatisticalDbms {
   ManagementDatabase mdb_;
   std::map<std::string, std::unique_ptr<StoredRowTable>> raw_tables_;
   std::map<std::string, ViewState> views_;
+
+  MetricsRegistry metrics_;
+  TraceSink* trace_sink_ = nullptr;  // not owned
+  // Instruments resolved once at construction; bumped lock-free after.
+  LatencyHistogram* obs_query_ms_ = nullptr;
+  LatencyHistogram* obs_pool_task_ms_ = nullptr;
+  Counter* obs_outcomes_[6] = {};  // indexed by TraceOutcome
+  Counter* obs_pool_submitted_ = nullptr;
+  Counter* obs_pool_executed_ = nullptr;
+  Counter* obs_pool_rejected_ = nullptr;
+  Gauge* obs_pool_queue_max_ = nullptr;
+  Gauge* obs_pool_task_ms_total_ = nullptr;
 #ifdef STATDB_AUDIT
   bool audit_after_update_ = true;
 #else

@@ -1,6 +1,7 @@
 #include "exec/chunked_scanner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 namespace statdb {
@@ -32,13 +33,22 @@ struct ChunkPartial {
 };
 
 Status ScanOneChunk(const ScanChunk& chunk, const ColumnRangeReader& reader,
-                    const ColumnScanSpec& spec, ChunkPartial* out) {
+                    const ColumnScanSpec& spec, ChunkPartial* out,
+                    ChunkScanStat* stat) {
+  std::chrono::steady_clock::time_point start;
+  if (stat != nullptr) start = std::chrono::steady_clock::now();
   STATDB_ASSIGN_OR_RETURN(std::vector<double> data,
                           reader(chunk.begin, chunk.end));
   out->desc = ComputeDescriptive(data);
   if (spec.want_counts) {
     out->counts.Reserve(data.size());
     for (double x : data) out->counts.Add(x);
+  }
+  if (stat != nullptr) {
+    stat->rows = data.size();
+    stat->wall_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
   }
   if (spec.keep_values) {
     out->values = std::move(data);
@@ -62,17 +72,22 @@ Result<ColumnScanResult> ParallelScanColumn(uint64_t rows,
   ColumnScanResult result;
   result.chunks = chunks.size();
   std::vector<ChunkPartial> partials(chunks.size());
+  if (spec.time_chunks) result.chunk_stats.resize(chunks.size());
+  auto stat_of = [&result](size_t i) -> ChunkScanStat* {
+    return result.chunk_stats.empty() ? nullptr : &result.chunk_stats[i];
+  };
   if (pool == nullptr || chunks.size() <= 1) {
     for (size_t i = 0; i < chunks.size(); ++i) {
       STATDB_RETURN_IF_ERROR(
-          ScanOneChunk(chunks[i], reader, spec, &partials[i]));
+          ScanOneChunk(chunks[i], reader, spec, &partials[i], stat_of(i)));
     }
   } else {
     std::vector<std::function<Status()>> tasks;
     tasks.reserve(chunks.size());
     for (size_t i = 0; i < chunks.size(); ++i) {
-      tasks.push_back([&chunks, &reader, &spec, &partials, i]() {
-        return ScanOneChunk(chunks[i], reader, spec, &partials[i]);
+      tasks.push_back([&chunks, &reader, &spec, &partials, stat_of, i]() {
+        return ScanOneChunk(chunks[i], reader, spec, &partials[i],
+                            stat_of(i));
       });
     }
     STATDB_RETURN_IF_ERROR(pool->RunAll(std::move(tasks)));

@@ -50,6 +50,18 @@ struct ColumnScanSpec {
   /// Chunks are concatenated in row order, so `values` is bit-identical
   /// to the serial ReadNumericColumn result.
   bool keep_values = false;
+  /// Fill ColumnScanResult::chunk_stats (per-chunk wall time and rows)
+  /// for query tracing. Off by default so the untraced hot path pays no
+  /// clock reads.
+  bool time_chunks = false;
+};
+
+/// Wall time and volume of one scan task (spec.time_chunks only). Each
+/// task writes its own pre-sized slot, so no synchronization is needed
+/// beyond the pool's join barrier.
+struct ChunkScanStat {
+  uint64_t rows = 0;    // non-missing cells this chunk yielded
+  double wall_ms = 0;   // read + fold wall time on the worker
 };
 
 /// Merged result of one parallel pass over a column.
@@ -58,6 +70,7 @@ struct ColumnScanResult {
   ValueCounts counts;     // populated when spec.want_counts
   std::vector<double> values;  // populated when spec.keep_values
   size_t chunks = 0;           // how many scan tasks actually ran
+  std::vector<ChunkScanStat> chunk_stats;  // spec.time_chunks only
 };
 
 /// Splits one view column into page-aligned chunks, scans them on

@@ -1,5 +1,7 @@
 #include "exec/thread_pool.h"
 
+#include <cassert>
+#include <chrono>
 #include <string>
 #include <utility>
 
@@ -13,13 +15,21 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Quiesce(); }
+
+void ThreadPool::Quiesce() {
+  Shutdown();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
   }
   cv_.notify_all();
-  for (std::thread& w : workers_) w.join();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -28,11 +38,29 @@ void ThreadPool::WorkerLoop() {
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutdown with a drained queue
+      if (queue_.empty()) {
+        // Shutdown with a drained queue. Submit rejects work once
+        // shutdown_ is set, so nothing can land behind this check — a
+        // task here would be one no worker will ever run.
+        assert(shutdown_ && queue_.empty());
+        return;
+      }
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    auto start = std::chrono::steady_clock::now();
     task();
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    LatencyHistogram* sink;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.executed;
+      stats_.total_task_ms += ms;
+      sink = task_latency_;
+    }
+    if (sink != nullptr) sink->Record(ms);
   }
 }
 
@@ -53,7 +81,22 @@ std::future<Status> ThreadPool::Submit(std::function<Status()> task) {
   std::future<Status> fut = wrapped.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      // The workers may already have observed shutdown_ and exited; a
+      // task enqueued now would never run and its future would hang (or
+      // throw broken_promise once the queue is destroyed). Refuse with a
+      // future that is ready immediately instead.
+      ++stats_.rejected;
+      std::promise<Status> refused;
+      refused.set_value(FailedPreconditionError(
+          "ThreadPool::Submit after Shutdown: task rejected"));
+      return refused.get_future();
+    }
     queue_.push_back(std::move(wrapped));
+    ++stats_.submitted;
+    if (queue_.size() > stats_.max_queue_depth) {
+      stats_.max_queue_depth = queue_.size();
+    }
   }
   cv_.notify_one();
   return fut;
@@ -71,6 +114,16 @@ Status ThreadPool::RunAll(std::vector<std::function<Status()>> tasks) {
     if (first.ok() && !s.ok()) first = s;
   }
   return first;
+}
+
+ThreadPoolStats ThreadPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ThreadPool::set_task_latency_sink(LatencyHistogram* sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  task_latency_ = sink;
 }
 
 }  // namespace statdb

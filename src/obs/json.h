@@ -1,0 +1,63 @@
+#ifndef STATDB_OBS_JSON_H_
+#define STATDB_OBS_JSON_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace statdb {
+namespace obs {
+
+/// Minimal ordered JSON object builder for metrics/trace export. Unlike
+/// bench/bench_util.h's emitter (which lives with the experiment
+/// harnesses and never escapes), this one escapes string values, so
+/// attribute names and error text are safe to embed.
+std::string JsonEscape(const std::string& s);
+
+class JsonObject {
+ public:
+  JsonObject& Num(const std::string& key, double v) {
+    std::ostringstream os;
+    os.precision(12);
+    os << v;
+    return Raw(key, os.str());
+  }
+  JsonObject& Int(const std::string& key, uint64_t v) {
+    return Raw(key, std::to_string(v));
+  }
+  JsonObject& Bool(const std::string& key, bool v) {
+    return Raw(key, v ? "true" : "false");
+  }
+  JsonObject& Str(const std::string& key, const std::string& v) {
+    return Raw(key, "\"" + JsonEscape(v) + "\"");
+  }
+  /// `raw` is already-serialized JSON (a nested object or array).
+  JsonObject& Raw(const std::string& key, const std::string& raw) {
+    fields_.push_back("\"" + JsonEscape(key) + "\": " + raw);
+    return *this;
+  }
+  std::string Build() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      out += (i > 0 ? ", " : "") + fields_[i];
+    }
+    return out + "}";
+  }
+
+ private:
+  std::vector<std::string> fields_;
+};
+
+inline std::string JsonArray(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (size_t i = 0; i < items.size(); ++i) {
+    out += (i > 0 ? ", " : "") + items[i];
+  }
+  return out + "]";
+}
+
+}  // namespace obs
+}  // namespace statdb
+
+#endif  // STATDB_OBS_JSON_H_

@@ -1,0 +1,152 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cmath>
+
+#include "obs/json.h"
+
+namespace statdb {
+
+namespace obs {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+
+namespace {
+
+/// Bucket index for a duration in milliseconds: floor(log2(µs)),
+/// clamped to the table.
+size_t BucketIndex(double ms) {
+  double us = ms * 1000.0;
+  if (!(us >= 1.0)) return 0;  // sub-µs, negatives and NaN all land low
+  auto n = static_cast<uint64_t>(us);
+  size_t idx = std::bit_width(n) - 1;  // floor(log2(n))
+  return idx < LatencyHistogram::kBuckets ? idx
+                                          : LatencyHistogram::kBuckets - 1;
+}
+
+/// Upper edge of bucket i in milliseconds.
+double BucketUpperMs(size_t i) {
+  return std::ldexp(1.0, static_cast<int>(i) + 1) / 1000.0;
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(double ms) {
+  buckets_[BucketIndex(ms)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_ms_.load(std::memory_order_relaxed);
+  while (!sum_ms_.compare_exchange_weak(cur, cur + ms,
+                                        std::memory_order_relaxed)) {
+  }
+  double mx = max_ms_.load(std::memory_order_relaxed);
+  while (mx < ms && !max_ms_.compare_exchange_weak(
+                        mx, ms, std::memory_order_relaxed)) {
+  }
+}
+
+double LatencyHistogram::QuantileUpperBoundMs(double q) const {
+  uint64_t total = Count();
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  auto target = static_cast<uint64_t>(std::ceil(q * double(total)));
+  if (target == 0) target = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += BucketCount(i);
+    if (seen >= target) return BucketUpperMs(i);
+  }
+  return BucketUpperMs(kBuckets - 1);
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_ms_.store(0.0, std::memory_order_relaxed);
+  max_ms_.store(0.0, std::memory_order_relaxed);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, std::make_unique<LatencyHistogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+std::string MetricsRegistry::DumpJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  obs::JsonObject counters;
+  for (const auto& [name, c] : counters_) counters.Int(name, c->Get());
+  obs::JsonObject gauges;
+  for (const auto& [name, g] : gauges_) gauges.Num(name, g->Get());
+  obs::JsonObject histos;
+  for (const auto& [name, h] : histograms_) {
+    histos.Raw(name, obs::JsonObject()
+                         .Int("count", h->Count())
+                         .Num("total_ms", h->TotalMs())
+                         .Num("mean_ms", h->MeanMs())
+                         .Num("max_ms", h->MaxMs())
+                         .Num("p50_ms", h->QuantileUpperBoundMs(0.5))
+                         .Num("p90_ms", h->QuantileUpperBoundMs(0.9))
+                         .Num("p99_ms", h->QuantileUpperBoundMs(0.99))
+                         .Build());
+  }
+  return obs::JsonObject()
+      .Raw("counters", counters.Build())
+      .Raw("gauges", gauges.Build())
+      .Raw("histograms", histos.Build())
+      .Build();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace statdb

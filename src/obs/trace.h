@@ -1,0 +1,207 @@
+#ifndef STATDB_OBS_TRACE_H_
+#define STATDB_OBS_TRACE_H_
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace statdb {
+
+/// statdb::obs — per-query tracing (DESIGN.md §10).
+///
+/// One QueryTrace records the phases of one Query*/QueryMany call as
+/// spans — cache probe, staleness gate, inference, scan (serial or
+/// per-chunk parallel), statistic computation, maintainer arming, summary
+/// insert — each with wall time and rows/pages touched. Traces map a
+/// query onto the paper's cost model: which §4.3 strategy answered, and
+/// what each alternative would have cost.
+///
+/// Cost discipline: a trace is only built when a TraceSink is attached.
+/// With no sink, the Query* paths pass a null QueryTrace* down and every
+/// instrumentation site collapses to one pointer test — no clock reads,
+/// no allocation (ScopedSpan below). With a sink, spans land in a
+/// fixed-capacity inline array; nothing allocates until the sink copies.
+
+/// Phases a query can spend time in.
+enum class SpanKind : uint8_t {
+  kCacheProbe = 0,     // Summary Database lookup
+  kStalenessGate = 1,  // allow_stale / max_version_lag decision
+  kInference = 2,      // Database-Abstract rule consultation
+  kScan = 3,           // column read (whole serial read, or parallel wall)
+  kScanChunk = 4,      // one page-aligned chunk of a parallel scan
+  kCompute = 5,        // statistic computation / partial-state finish
+  kMaintainerArm = 6,  // incremental-maintainer construction + init
+  kSummaryInsert = 7,  // Summary Database insert of the fresh result
+};
+
+const char* SpanKindName(SpanKind kind);
+
+struct TraceSpan {
+  SpanKind kind = SpanKind::kCacheProbe;
+  /// Chunk index for kScanChunk spans; -1 otherwise.
+  int32_t detail = -1;
+  double wall_ms = 0;
+  uint64_t rows = 0;   // rows (cells) this phase touched
+  uint64_t pages = 0;  // storage pages this phase touched (approximate)
+};
+
+/// Provenance labels mirrored from core's AnswerSource (obs sits below
+/// core in the dependency DAG, so it keeps its own copy).
+enum class TraceOutcome : uint8_t {
+  kUnknown = 0,
+  kCacheHit = 1,
+  kStaleCacheHit = 2,
+  kInferred = 3,
+  kComputed = 4,
+  kError = 5,
+};
+
+const char* TraceOutcomeName(TraceOutcome outcome);
+
+class QueryTrace {
+ public:
+  /// Enough for a batch: per-request probes plus 4-worker over-decomposed
+  /// chunk spans. Overflow drops spans and counts them, never grows.
+  static constexpr size_t kMaxSpans = 96;
+
+  QueryTrace() = default;
+
+  void SetLabel(std::string operation, std::string view,
+                std::string function, std::string attribute) {
+    operation_ = std::move(operation);
+    view_ = std::move(view);
+    function_ = std::move(function);
+    attribute_ = std::move(attribute);
+  }
+  void SetOutcome(TraceOutcome outcome) { outcome_ = outcome; }
+  void SetTotalMs(double ms) { total_ms_ = ms; }
+
+  void Add(SpanKind kind, double wall_ms, uint64_t rows = 0,
+           uint64_t pages = 0, int32_t detail = -1) {
+    if (count_ >= kMaxSpans) {
+      ++dropped_;
+      return;
+    }
+    spans_[count_++] = TraceSpan{kind, detail, wall_ms, rows, pages};
+  }
+
+  size_t size() const { return count_; }
+  const TraceSpan& span(size_t i) const { return spans_[i]; }
+  uint64_t dropped() const { return dropped_; }
+
+  const std::string& operation() const { return operation_; }
+  const std::string& view() const { return view_; }
+  const std::string& function() const { return function_; }
+  const std::string& attribute() const { return attribute_; }
+  TraceOutcome outcome() const { return outcome_; }
+  double total_ms() const { return total_ms_; }
+
+  /// Sum of span wall times, excluding kScanChunk (chunks run under the
+  /// enclosing kScan span on other threads, so they overlap wall time).
+  double SpanSumMs() const;
+
+  std::string ToJson() const;
+  /// The `explain` rendering: one aligned row per span.
+  std::string ToText() const;
+
+ private:
+  std::array<TraceSpan, kMaxSpans> spans_ = {};
+  size_t count_ = 0;
+  uint64_t dropped_ = 0;
+  std::string operation_;
+  std::string view_;
+  std::string function_;
+  std::string attribute_;
+  TraceOutcome outcome_ = TraceOutcome::kUnknown;
+  double total_ms_ = 0;
+};
+
+/// Receives every finished trace. Implementations must be thread-safe if
+/// queries run concurrently (QueryMany hammering in tests).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void OnQueryTrace(const QueryTrace& trace) = 0;
+};
+
+/// Buffers traces for tests, benches and the shell's `explain`.
+class CollectingTraceSink : public TraceSink {
+ public:
+  void OnQueryTrace(const QueryTrace& trace) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    traces_.push_back(trace);
+  }
+  std::vector<QueryTrace> Take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<QueryTrace> out = std::move(traces_);
+    traces_.clear();
+    return out;
+  }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return traces_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<QueryTrace> traces_;
+};
+
+/// RAII span: starts a clock when (and only when) a trace is attached,
+/// records the span on destruction. With trace == nullptr the constructor
+/// and destructor are each one predictable branch — the zero-cost path.
+class ScopedSpan {
+ public:
+  ScopedSpan(QueryTrace* trace, SpanKind kind, int32_t detail = -1)
+      : trace_(trace), kind_(kind), detail_(detail) {
+    if (trace_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() {
+    if (trace_ == nullptr) return;
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+    trace_->Add(kind_, ms, rows_, pages_, detail_);
+  }
+
+  void SetRows(uint64_t rows) { rows_ = rows; }
+  void SetPages(uint64_t pages) { pages_ = pages; }
+  /// Rows plus the page count implied by `cells_per_page` cells per page.
+  void SetRowsPaged(uint64_t rows, size_t cells_per_page) {
+    rows_ = rows;
+    pages_ = cells_per_page == 0 ? 0
+                                 : (rows + cells_per_page - 1) /
+                                       cells_per_page;
+  }
+
+ private:
+  QueryTrace* trace_;
+  SpanKind kind_;
+  int32_t detail_;
+  uint64_t rows_ = 0;
+  uint64_t pages_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Wall-clock stopwatch used by the tracing call sites themselves.
+class TraceTimer {
+ public:
+  TraceTimer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace statdb
+
+#endif  // STATDB_OBS_TRACE_H_

@@ -2,10 +2,24 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 namespace statdb {
 
 namespace {
+
+/// Probability validation shared by Quantile and Quantiles. Rejects NaN
+/// explicitly: `p < 0.0 || p > 1.0` is false for NaN, and a NaN that
+/// slips through turns into a garbage index in QuantileOfSorted.
+Status ValidateProbability(double p) {
+  if (std::isnan(p) || p < 0.0 || p > 1.0) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf),
+                  "quantile probability %g out of [0,1]", p);
+    return InvalidArgumentError(buf);
+  }
+  return Status::OK();
+}
 
 double QuantileOfSorted(const std::vector<double>& sorted, double p) {
   size_t n = sorted.size();
@@ -27,9 +41,7 @@ Result<double> Quantile(const std::vector<double>& data, double p) {
   if (data.empty()) {
     return InvalidArgumentError("quantile of an empty column");
   }
-  if (p < 0.0 || p > 1.0) {
-    return InvalidArgumentError("quantile probability out of [0,1]");
-  }
+  STATDB_RETURN_IF_ERROR(ValidateProbability(p));
   std::vector<double> sorted = data;
   std::sort(sorted.begin(), sorted.end());
   return QuantileOfSorted(sorted, p);
@@ -40,14 +52,16 @@ Result<std::vector<double>> Quantiles(const std::vector<double>& data,
   if (data.empty()) {
     return InvalidArgumentError("quantile of an empty column");
   }
+  // Validate the whole probability list before the O(n log n) sort, so a
+  // bad p costs nothing and never errors mid-result.
+  for (double p : ps) {
+    STATDB_RETURN_IF_ERROR(ValidateProbability(p));
+  }
   std::vector<double> sorted = data;
   std::sort(sorted.begin(), sorted.end());
   std::vector<double> out;
   out.reserve(ps.size());
   for (double p : ps) {
-    if (p < 0.0 || p > 1.0) {
-      return InvalidArgumentError("quantile probability out of [0,1]");
-    }
     out.push_back(QuantileOfSorted(sorted, p));
   }
   return out;

@@ -31,12 +31,28 @@ struct SummaryDbStats {
   uint64_t lookups = 0;
   uint64_t hits = 0;
   uint64_t stale_hits = 0;  // found but marked stale
+  /// Stale entries the DBMS actually served under an approximate accuracy
+  /// policy (allow_stale / max_version_lag, §3.2) — bumped by
+  /// NoteServedStale, a subset of stale_hits.
+  uint64_t served_stale = 0;
   uint64_t misses = 0;
   uint64_t inserts = 0;
   uint64_t invalidated = 0;
 
+  /// Fresh-answer rate: fraction of lookups answered by a non-stale
+  /// entry. Under-reports cache effectiveness when analysts accept
+  /// approximate answers — a stale entry served under allow_stale spared
+  /// the full recomputation exactly like a hit did.
   double HitRate() const {
     return lookups == 0 ? 0.0 : double(hits) / double(lookups);
+  }
+  /// Effective-answer rate: fraction of lookups the cache answered at
+  /// all, fresh or served-stale. This is the economic figure of §3.2 —
+  /// every served lookup avoided touching the data — and what the
+  /// metrics export reports alongside HitRate.
+  double ServedRate() const {
+    return lookups == 0 ? 0.0
+                        : double(hits + served_stale) / double(lookups);
   }
 };
 
@@ -105,6 +121,12 @@ class SummaryDatabase {
   uint64_t entry_count() const { return entry_count_; }
   const SummaryDbStats& stats() const { return stats_; }
   void ResetStats() { stats_ = SummaryDbStats{}; }
+
+  /// The accuracy policy lives with the DBMS, not the cache: Lookup
+  /// cannot know whether a stale entry will be accepted. The DBMS calls
+  /// this when it serves one, so ServedRate counts it as an effective
+  /// answer.
+  void NoteServedStale() { ++stats_.served_stale; }
 
   /// The underlying index (exposed for benchmarks comparing indexed
   /// lookup against a scan).

@@ -130,6 +130,55 @@ TEST(OrderStatWindowTest, PointerRunsOffWindowForcesRegeneration) {
   EXPECT_TRUE(exhausted);
 }
 
+// Boundary tests for the rank-vs-window-edge refusal condition
+// (`lo_rank < below_ || hi_rank >= below_ + window_.size()`). Data 0..99
+// with window_cap 10 carves window [44..55] (12 slots, below_ = 44,
+// above_ = 44); the median pointer is then walked exactly to each edge.
+TEST(OrderStatWindowTest, RankWalkedToFirstCachedSlotStillAnswers) {
+  auto m = MakeMedianWindowMaintainer(10);
+  std::vector<double> data;
+  for (int i = 0; i < 100; ++i) data.push_back(i);
+  EXPECT_DOUBLE_EQ(ScalarOf(m->Initialize(data)), 49.5);
+  // Deleting above-window values (99 down) shrinks n, walking the target
+  // rank down. After the 11th deletion n = 89 and the median is rank 44 —
+  // exactly the FIRST cached slot (lo_rank == below_). Must still answer.
+  for (int k = 1; k <= 11; ++k) {
+    auto r = m->Apply(CellDelta::Invalidate(100 - k));
+    ASSERT_TRUE(r.ok()) << "deletion " << k << ": " << r.status();
+    if (k == 11) {
+      EXPECT_DOUBLE_EQ(ScalarOf(r), 44.0);  // median of 0..88
+    }
+  }
+  // One more deletion puts lo_rank = 43 < below_ = 44: one past the edge
+  // must refuse with FAILED_PRECONDITION, not serve a wrong slot.
+  auto off = m->Apply(CellDelta::Invalidate(88));
+  ASSERT_FALSE(off.ok());
+  EXPECT_EQ(off.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(OrderStatWindowTest, RankWalkedToLastCachedSlotStillAnswers) {
+  auto m = MakeMedianWindowMaintainer(10);
+  std::vector<double> data;
+  for (int i = 0; i < 100; ++i) data.push_back(i);
+  EXPECT_DOUBLE_EQ(ScalarOf(m->Initialize(data)), 49.5);
+  // Deleting below-window values (0 up) decrements below_, walking the
+  // target toward the window's LAST slot. After the 11th deletion n = 89,
+  // below_ = 33 and the median is rank 44 = window slot 11 (the last one:
+  // hi_rank == below_ + window size - 1). Must still answer.
+  for (int k = 0; k < 11; ++k) {
+    auto r = m->Apply(CellDelta::Invalidate(k));
+    ASSERT_TRUE(r.ok()) << "deletion " << k << ": " << r.status();
+    if (k == 10) {
+      EXPECT_DOUBLE_EQ(ScalarOf(r), 55.0);  // median of 11..99
+    }
+  }
+  // The 12th deletion needs hi_rank = 44 >= below_(32) + 12: one past the
+  // last slot must refuse.
+  auto off = m->Apply(CellDelta::Invalidate(11));
+  ASSERT_FALSE(off.ok());
+  EXPECT_EQ(off.status().code(), StatusCode::kFailedPrecondition);
+}
+
 TEST(OrderStatWindowTest, SinglePassRebuildUsedWhenRangeStillBrackets) {
   auto m = MakeMedianWindowMaintainer(20);
   std::vector<double> data;

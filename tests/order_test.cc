@@ -1,6 +1,7 @@
 #include "stats/order.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/rng.h"
 #include "gtest/gtest.h"
@@ -35,6 +36,31 @@ TEST(OrderTest, QuantileRejectsBadP) {
   std::vector<double> d = {1, 2};
   EXPECT_FALSE(Quantile(d, -0.1).ok());
   EXPECT_FALSE(Quantile(d, 1.1).ok());
+}
+
+// Regression test: `p < 0.0 || p > 1.0` is false for NaN, so a NaN
+// probability used to sail through validation and become a garbage index
+// in the interpolation. Both entry points must reject it up front.
+TEST(OrderTest, QuantileRejectsNaNP) {
+  std::vector<double> d = {1, 2, 3};
+  double nan = std::nan("");
+  Result<double> r = Quantile(d, nan);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("nan"), std::string::npos);
+  EXPECT_FALSE(Quantiles(d, {0.5, nan}).ok());
+}
+
+TEST(OrderTest, QuantilesValidatesWholeListBeforeSorting) {
+  // A bad p anywhere in the list must fail the whole call — the old code
+  // validated each p only after paying the O(n log n) sort, and a bad p
+  // after good ones produced a partial result that was then discarded.
+  std::vector<double> d = {5, 1, 4, 2, 3};
+  EXPECT_FALSE(Quantiles(d, {0.25, 0.5, 1.5}).ok());
+  EXPECT_FALSE(Quantiles(d, {-0.1, 0.5}).ok());
+  // An empty probability list is valid and yields an empty result.
+  auto empty = Quantiles(d, {});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
 }
 
 TEST(OrderTest, QuantilesShareOneSort) {

@@ -1,0 +1,212 @@
+// Durability tax and fault-absorption cost (DESIGN.md §11). Three
+// installations run the bench_parallel_scan workload shape — a no-cache
+// statistic battery over INCOME plus an update/commit cycle — on the same
+// census rows:
+//
+//   baseline  plain devices, durability off (the pre-§11 configuration)
+//   durable   checksumming pool + WAL commits, zero faults injected —
+//             the headline series: its overhead vs baseline is the price
+//             of crash safety, budgeted at <= 10% on the scan phase
+//   faulty    durable plus a seed-driven transient-fault schedule on the
+//             disk, showing what bounded retry adds when the storage
+//             actually misbehaves
+//
+// Emits BENCH_fault_injection.json with the wall clocks, the overhead
+// percentages, the fault/retry counters of the faulty run, and the
+// durable run's DumpMetrics() snapshot. argv[1] overrides the row count.
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/dbms.h"
+#include "fault/fault.h"
+#include "relational/expr.h"
+
+using namespace statdb;
+using namespace statdb::bench;
+
+namespace {
+
+constexpr uint64_t kDefaultRows = 200'000;
+constexpr int kScanReps = 3;
+constexpr int kCommitReps = 5;
+const char* kAttr = "INCOME";
+const std::vector<std::string> kBattery = {
+    "count", "sum",  "mean", "variance", "stddev",   "min",
+    "max",   "range", "mode", "distinct", "histogram"};
+
+struct RunResult {
+  double setup_ms = 0;   // load + view materialization (committed)
+  double scan_ms = 0;    // kScanReps x no-cache battery
+  double commit_ms = 0;  // kCommitReps x (update + cached query)
+  uint64_t retries = 0;
+  double backoff_ms = 0;
+  uint64_t transient_errors = 0;
+  std::string metrics;  // DumpMetrics() of this run
+};
+
+struct Rig {
+  std::unique_ptr<StorageManager> storage;
+  FaultInjectingDevice* disk = nullptr;
+};
+
+/// Every configuration mounts the same device classes (the fault device
+/// with an empty schedule is a plain passthrough) so wall clocks compare
+/// implementations, not virtual-dispatch differences.
+Rig MakeRig(const FaultSchedule& disk_faults, bool with_wal) {
+  Rig rig;
+  rig.storage = std::make_unique<StorageManager>();
+  CheckOk(rig.storage->AddDevice("tape", DeviceCostModel::Tape(), 1024)
+              .status());
+  auto disk = std::make_unique<FaultInjectingDevice>(
+      "disk", DeviceCostModel::Disk(), disk_faults);
+  rig.disk = disk.get();
+  CheckOk(rig.storage->AdoptDevice("disk", std::move(disk), 32768).status());
+  if (with_wal) {
+    CheckOk(rig.storage
+                ->AddDevice("wal", DeviceCostModel::Disk(), /*pool_pages=*/8)
+                .status());
+  }
+  return rig;
+}
+
+RunResult RunWorkload(const Table& raw, bool durable,
+                      const FaultSchedule& disk_faults) {
+  Rig rig = MakeRig(disk_faults, durable);
+  StatisticalDbms dbms(rig.storage.get());
+  if (durable) CheckOk(dbms.EnableDurability("wal"));
+
+  RunResult out;
+  {
+    WallTimer t;
+    CheckOk(dbms.LoadRawDataSet("census", raw));
+    ViewDefinition def;
+    def.source = "census";
+    Unwrap(dbms.CreateView("v", def, MaintenancePolicy::kIncremental));
+    out.setup_ms = t.ElapsedMs();
+  }
+
+  QueryOptions no_cache;
+  no_cache.cache_result = false;
+  // Warm the pool once; the timed reps then measure scan + verify work.
+  for (const std::string& fn : kBattery) {
+    Unwrap(dbms.Query("v", fn, kAttr, {}, no_cache));
+  }
+  {
+    WallTimer t;
+    for (int rep = 0; rep < kScanReps; ++rep) {
+      for (const std::string& fn : kBattery) {
+        Unwrap(dbms.Query("v", fn, kAttr, {}, no_cache));
+      }
+    }
+    out.scan_ms = t.ElapsedMs();
+  }
+  {
+    WallTimer t;
+    for (int rep = 0; rep < kCommitReps; ++rep) {
+      UpdateSpec spec;
+      spec.predicate = Lt(Col("AGE"), Lit(int64_t{25 + rep}));
+      spec.column = kAttr;
+      spec.value = Mul(Col(kAttr), Lit(1.01));
+      spec.description = "bench commit " + std::to_string(rep);
+      Unwrap(dbms.Update("v", spec));
+      Unwrap(dbms.Query("v", "mean", kAttr));
+    }
+    out.commit_ms = t.ElapsedMs();
+  }
+
+  BufferPoolStats pool = Unwrap(rig.storage->GetPool("disk"))->stats();
+  out.retries = pool.retries;
+  out.backoff_ms = pool.backoff_ms;
+  out.transient_errors = rig.disk->counters().transient_errors;
+  out.metrics = dbms.DumpMetrics();
+  return out;
+}
+
+double OverheadPct(double durable, double baseline) {
+  return baseline <= 0 ? 0 : (durable - baseline) / baseline * 100.0;
+}
+
+std::string PhaseJson(const std::string& config, const RunResult& r) {
+  return JsonObject()
+      .Str("config", config)
+      .Num("setup_ms", r.setup_ms)
+      .Num("scan_ms", r.scan_ms)
+      .Num("commit_ms", r.commit_ms)
+      .Int("retries", r.retries)
+      .Num("backoff_ms", r.backoff_ms)
+      .Int("transient_errors", r.transient_errors)
+      .Build();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t rows = kDefaultRows;
+  if (argc > 1) rows = std::strtoull(argv[1], nullptr, 10);
+  Header("fault_injection",
+         "Checksummed pages + WAL commits vs the bare installation, and "
+         "the bounded-retry cost under injected transient faults.");
+  std::printf("rows: %llu  scan reps: %d  commit reps: %d\n",
+              (unsigned long long)rows, kScanReps, kCommitReps);
+
+  Table raw = MakeCensus(rows);
+
+  RunResult baseline = RunWorkload(raw, /*durable=*/false, {});
+  RunResult durable = RunWorkload(raw, /*durable=*/true, {});
+  // Transient-only faults (bit flips would rightly DATA_LOSS the scan):
+  // every 7th of the first 700 disk writes fails once, landing across
+  // the setup flushes and the commit phase.
+  FaultSchedule flaky;
+  for (uint64_t nth = 7; nth <= 700; nth += 7) {
+    flaky.events.push_back(
+        {FaultKind::kTransientError, /*on_write=*/true, nth, 0});
+  }
+  RunResult faulty = RunWorkload(raw, /*durable=*/true, flaky);
+
+  double scan_pct = OverheadPct(durable.scan_ms, baseline.scan_ms);
+  double commit_pct = OverheadPct(durable.commit_ms, baseline.commit_ms);
+  double setup_pct = OverheadPct(durable.setup_ms, baseline.setup_ms);
+
+  std::printf("\n%10s %12s %12s %12s %9s %12s\n", "config", "setup ms",
+              "scan ms", "commit ms", "retries", "backoff ms");
+  struct Row {
+    const char* name;
+    const RunResult* r;
+  } rows_out[] = {{"baseline", &baseline}, {"durable", &durable},
+                  {"faulty", &faulty}};
+  for (const Row& row : rows_out) {
+    std::printf("%10s %12.2f %12.2f %12.2f %9llu %12.2f\n", row.name,
+                row.r->setup_ms, row.r->scan_ms, row.r->commit_ms,
+                (unsigned long long)row.r->retries, row.r->backoff_ms);
+  }
+  std::printf("\ndurability overhead: setup %+.1f%%  scan %+.1f%%  "
+              "commit %+.1f%%  (scan budget: <= 10%%)\n",
+              setup_pct, scan_pct, commit_pct);
+  std::printf("faulty run absorbed %llu transient errors with %llu "
+              "retries, %.1f ms simulated backoff\n",
+              (unsigned long long)faulty.transient_errors,
+              (unsigned long long)faulty.retries, faulty.backoff_ms);
+
+  WriteBenchJson(
+      "fault_injection",
+      JsonObject()
+          .Str("bench", "fault_injection")
+          .Int("rows", rows)
+          .Str("attribute", kAttr)
+          .Int("battery_size", kBattery.size())
+          .Int("scan_reps", kScanReps)
+          .Int("commit_reps", kCommitReps)
+          .Raw("phases", JsonArray({PhaseJson("baseline", baseline),
+                                    PhaseJson("durable", durable),
+                                    PhaseJson("faulty", faulty)}))
+          .Num("scan_overhead_pct", scan_pct)
+          .Num("commit_overhead_pct", commit_pct)
+          .Num("setup_overhead_pct", setup_pct)
+          .Raw("metrics", durable.metrics)
+          .Build());
+  return 0;
+}

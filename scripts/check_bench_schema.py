@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Validates BENCH_*.json artifacts before CI uploads them.
+
+Usage: check_bench_schema.py BENCH_foo.json [BENCH_bar.json ...]
+
+Each file must parse as one JSON object carrying a "bench" name, and the
+benches CI snapshots get a per-bench field check so a refactor that stops
+emitting a series fails the lane instead of silently uploading a husk.
+Numeric fields must be finite (the flat emitter prints "nan"/"inf" when a
+series divides by zero, which json.loads would otherwise accept).
+"""
+
+import json
+import math
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"bench schema check FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(cond: bool, msg: str) -> None:
+    if not cond:
+        fail(msg)
+
+
+def check_finite(doc, path: str) -> None:
+    if isinstance(doc, float):
+        require(math.isfinite(doc), f"non-finite number at {path}")
+    elif isinstance(doc, dict):
+        for k, v in doc.items():
+            check_finite(v, f"{path}.{k}")
+    elif isinstance(doc, list):
+        for i, v in enumerate(doc):
+            check_finite(v, f"{path}[{i}]")
+
+
+def check_parallel_scan(doc: dict, name: str) -> None:
+    for key in ("rows", "attribute", "battery_size", "serial_battery_ms",
+                "serial_single_ms", "battery", "single", "metrics"):
+        require(key in doc, f"{name}: missing '{key}'")
+    for series in ("battery", "single"):
+        require(isinstance(doc[series], list) and doc[series],
+                f"{name}: '{series}' is not a non-empty array")
+        for row in doc[series]:
+            for key in ("workers", "wall_ms", "speedup"):
+                require(key in row, f"{name}: {series} row missing '{key}'")
+
+
+def check_fault_injection(doc: dict, name: str) -> None:
+    for key in ("rows", "battery_size", "scan_reps", "commit_reps", "phases",
+                "scan_overhead_pct", "commit_overhead_pct", "metrics"):
+        require(key in doc, f"{name}: missing '{key}'")
+    phases = doc["phases"]
+    require(isinstance(phases, list) and len(phases) == 3,
+            f"{name}: expected exactly 3 phases")
+    configs = [p.get("config") for p in phases]
+    require(configs == ["baseline", "durable", "faulty"],
+            f"{name}: phase configs are {configs}")
+    for p in phases:
+        for key in ("setup_ms", "scan_ms", "commit_ms", "retries",
+                    "backoff_ms", "transient_errors"):
+            require(key in p, f"{name}: phase '{p['config']}' missing '{key}'")
+    # The faulty run must actually have injected and absorbed something,
+    # or the series says nothing about retry behavior.
+    require(phases[2]["transient_errors"] > 0,
+            f"{name}: faulty phase injected no faults")
+    require(phases[2]["retries"] > 0,
+            f"{name}: faulty phase absorbed no retries")
+    # The durability block must have made it into the metrics snapshot.
+    metrics = doc["metrics"]
+    require("durability" in metrics, f"{name}: metrics missing 'durability'")
+    for key in ("degraded", "last_lsn", "wal_records_appended"):
+        require(key in metrics["durability"],
+                f"{name}: metrics durability missing '{key}'")
+
+
+CHECKERS = {
+    "parallel_scan": check_parallel_scan,
+    "fault_injection": check_fault_injection,
+}
+
+
+def main() -> None:
+    paths = sys.argv[1:]
+    require(bool(paths), "no BENCH_*.json paths given")
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.loads(f.read())
+        except OSError as e:
+            fail(f"{path}: {e}")
+        except json.JSONDecodeError as e:
+            fail(f"{path}: not valid JSON: {e}")
+        require(isinstance(doc, dict), f"{path}: top level is not an object")
+        require("bench" in doc, f"{path}: missing 'bench' name")
+        check_finite(doc, path)
+        checker = CHECKERS.get(doc["bench"])
+        if checker is not None:
+            checker(doc, path)
+        print(f"{path}: bench '{doc['bench']}' OK "
+              f"({len(doc)} top-level fields)")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,7 @@
 #include <unordered_set>
 
 #include "check/check_access.h"
+#include "common/checksum.h"
 #include "relational/schema.h"
 #include "relational/table.h"
 #include "stats/correlation.h"
@@ -101,9 +102,12 @@ Status CheckBufferPool(const BufferPool& pool, CheckReport* report,
   const auto& page_table = CheckAccess::PageTable(pool);
   const auto& lru = CheckAccess::Lru(pool);
 
-  if (frames.size() != pool.capacity()) {
+  // No-steal mode may grow overflow frames past nominal capacity (they
+  // shrink back after FlushAll), so only a *shrunken* frame array is
+  // structural corruption.
+  if (frames.size() < pool.capacity()) {
     report->Add(CheckSeverity::kError, kSub, "frame-count",
-                "frames_.size() != capacity: " +
+                "frames_.size() < capacity: " +
                     std::to_string(frames.size()) + " vs " +
                     std::to_string(pool.capacity()));
     return Status::OK();  // everything below indexes frames_
@@ -222,6 +226,33 @@ Status CheckBufferPool(const BufferPool& pool, CheckReport* report,
                       std::to_string(frames[i].id) + ") still holds " +
                       std::to_string(frames[i].pin_count) +
                       " pin(s) at quiescence");
+    }
+  }
+  return Status::OK();
+}
+
+// --- device checksums -------------------------------------------------------
+
+Status CheckDeviceChecksums(const SimulatedDevice& device, uint64_t max_lsn,
+                            CheckReport* report) {
+  const char* kSub = "device";
+  for (PageId pid = 0; pid < device.page_count(); ++pid) {
+    const Page* page = CheckAccess::RawPage(device, pid);
+    if (page == nullptr) break;  // cannot happen inside page_count()
+    if (!page->header.checksummed()) continue;
+    const uint32_t actual = Crc32c(page->data.data(), kPageSize);
+    if (actual != page->header.checksum) {
+      report->Add(CheckSeverity::kError, kSub, "page-checksum",
+                  "device " + device.name() + " page " + std::to_string(pid) +
+                      " stored checksum " +
+                      std::to_string(page->header.checksum) +
+                      " != computed " + std::to_string(actual));
+    }
+    if (page->header.lsn > max_lsn) {
+      report->Add(CheckSeverity::kError, kSub, "page-lsn",
+                  "device " + device.name() + " page " + std::to_string(pid) +
+                      " claims lsn " + std::to_string(page->header.lsn) +
+                      " beyond last committed lsn " + std::to_string(max_lsn));
     }
   }
   return Status::OK();

@@ -13,6 +13,7 @@
 #include "storage/btree.h"
 #include "storage/buffer_pool.h"
 #include "storage/column_file.h"
+#include "storage/device.h"
 #include "storage/compressed_column_file.h"
 #include "storage/page.h"
 #include "storage/rle.h"
@@ -119,6 +120,15 @@ Status CheckCompressedColumnFile(const CompressedColumnFile& file,
 /// a live head entry; no orphaned or missing continuation chunks; heads
 /// decode and their payloads deserialize.
 Status CheckSummaryDb(SummaryDatabase* db, CheckReport* report);
+
+/// Walks every stored page image on the device and re-verifies the CRC of
+/// each checksummed page (an error finding marks silent corruption the
+/// buffer pool would catch on its next fetch), and flags any page whose
+/// header LSN exceeds `max_lsn` — under force-at-commit no page may
+/// claim a commit the redo log has not recorded. Pages never written
+/// through a checksumming pool are skipped.
+Status CheckDeviceChecksums(const SimulatedDevice& device, uint64_t max_lsn,
+                            CheckReport* report);
 
 // --- differential oracle ----------------------------------------------------
 

@@ -1,6 +1,7 @@
 #ifndef STATDB_CHECK_CHECK_ACCESS_H_
 #define STATDB_CHECK_CHECK_ACCESS_H_
 
+#include <deque>
 #include <list>
 #include <unordered_map>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "storage/buffer_pool.h"
 #include "storage/column_file.h"
 #include "storage/compressed_column_file.h"
+#include "storage/device.h"
 #include "summary/summary_db.h"
 
 namespace statdb {
@@ -24,7 +26,7 @@ class CheckAccess {
   // --- BufferPool ---------------------------------------------------------
   using PoolFrame = BufferPool::Frame;
 
-  static const std::vector<PoolFrame>& Frames(const BufferPool& pool) {
+  static const std::deque<PoolFrame>& Frames(const BufferPool& pool) {
     return pool.frames_;
   }
   static const std::vector<size_t>& FreeFrames(const BufferPool& pool) {
@@ -57,6 +59,15 @@ class CheckAccess {
   static constexpr size_t ColumnCountOff() { return ColumnFile::kCountOff; }
   static constexpr size_t ColumnBitmapOff() { return ColumnFile::kBitmapOff; }
   static constexpr size_t ColumnCellsOff() { return ColumnFile::kCellsOff; }
+
+  // --- SimulatedDevice ----------------------------------------------------
+
+  /// Raw persisted page image, bypassing the cost model and fault
+  /// injection — the auditor's media-integrity walk must observe the
+  /// platter without charging or perturbing I/O. nullptr if out of range.
+  static const Page* RawPage(const SimulatedDevice& dev, PageId id) {
+    return dev.raw_page(id);
+  }
 
   // --- CompressedColumnFile -----------------------------------------------
   static const std::vector<PageId>& Pages(const CompressedColumnFile& file) {

@@ -43,6 +43,25 @@ Status DbAuditor::AuditAll(CheckReport* report) {
   if (disk.ok()) {
     STATDB_RETURN_IF_ERROR(CheckBufferPool(*disk.value(), report));
   }
+  if (dbms_->durability_enabled()) {
+    // Every checksummed page image on the platter must verify, and no
+    // page may claim an LSN the redo log has not committed
+    // (force-at-commit means the log always leads the data pages).
+    Result<SimulatedDevice*> disk_dev =
+        dbms_->storage()->GetDevice(dbms_->disk_device_name());
+    if (disk_dev.ok()) {
+      STATDB_RETURN_IF_ERROR(CheckDeviceChecksums(
+          *disk_dev.value(), dbms_->last_committed_lsn(), report));
+    }
+    // A torn log tail is expected debris after a crash, not corruption —
+    // recovery discards it by overwrite — so it is surfaced at kInfo.
+    const WalStats& ws = dbms_->redo_log()->stats();
+    if (ws.torn_tail_bytes > 0) {
+      report->Add(CheckSeverity::kInfo, "wal", "torn-tail",
+                  std::to_string(ws.torn_tail_bytes) +
+                      " trailing bytes discarded by the last log scan");
+    }
+  }
   return Status::OK();
 }
 

@@ -56,6 +56,15 @@ class ByteReader {
   Result<double> GetDouble();
   Result<std::string> GetString();
 
+  /// Borrows `n` raw bytes (valid while the underlying buffer lives) and
+  /// advances past them.
+  Result<const uint8_t*> GetRaw(size_t n) {
+    STATDB_RETURN_IF_ERROR(Need(n));
+    const uint8_t* p = data_ + pos_;
+    pos_ += n;
+    return p;
+  }
+
   size_t remaining() const { return size_ - pos_; }
   bool exhausted() const { return pos_ == size_; }
 

@@ -1,0 +1,41 @@
+#include "common/checksum.h"
+
+#include <array>
+
+namespace statdb {
+namespace {
+
+// Table for the reflected Castagnoli polynomial, built once at startup.
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t state, const void* data, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  const auto& table = Table();
+  for (size_t i = 0; i < len; ++i) {
+    state = table[(state ^ p[i]) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+uint32_t Crc32c(const void* data, size_t len) {
+  return Crc32cExtend(kCrc32cInit, data, len) ^ kCrc32cXorOut;
+}
+
+}  // namespace statdb

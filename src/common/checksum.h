@@ -1,0 +1,30 @@
+#ifndef STATDB_COMMON_CHECKSUM_H_
+#define STATDB_COMMON_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace statdb {
+
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) —
+/// the checksum used for page verification and WAL record framing.
+/// Software slice-by-one implementation; the cost is irrelevant next to
+/// the simulated device latency this repo models.
+///
+/// Properties relied on by callers:
+///  - Crc32c(p, n) == 0x00000000 only for specific inputs, so a
+///    never-stamped header (checksum field zero) is distinguished by the
+///    kChecksummed flag, not by a magic CRC value.
+///  - Detects all single-bit flips (CRC distance ≥ 2 for any length we
+///    use), which is what the fault-injection tests assert.
+uint32_t Crc32c(const void* data, size_t len);
+
+/// Incremental form: continue a running CRC. `Crc32c(p, n)` equals
+/// `Crc32cExtend(kCrc32cInit, p, n) ^ kCrc32cXorOut`.
+inline constexpr uint32_t kCrc32cInit = 0xFFFFFFFFu;
+inline constexpr uint32_t kCrc32cXorOut = 0xFFFFFFFFu;
+uint32_t Crc32cExtend(uint32_t state, const void* data, size_t len);
+
+}  // namespace statdb
+
+#endif  // STATDB_COMMON_CHECKSUM_H_

@@ -24,6 +24,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "RESOURCE_EXHAUSTED";
     case StatusCode::kDataLoss:
       return "DATA_LOSS";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -64,6 +66,9 @@ Status ResourceExhaustedError(std::string message) {
 }
 Status DataLossError(std::string message) {
   return Status(StatusCode::kDataLoss, std::move(message));
+}
+Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
 }
 
 }  // namespace statdb

@@ -20,6 +20,10 @@ enum class StatusCode {
   kInternal,
   kResourceExhausted,
   kDataLoss,
+  /// Transient I/O failure: the operation may succeed if retried (the
+  /// storage layer's bounded-retry path consumes this code). Contrast
+  /// with kDataLoss, which marks detected corruption, never retryable.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "NOT_FOUND").
@@ -73,6 +77,7 @@ Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
 Status ResourceExhaustedError(std::string message);
 Status DataLossError(std::string message);
+Status UnavailableError(std::string message);
 
 }  // namespace statdb
 

@@ -182,6 +182,7 @@ void StatisticalDbms::FoldPoolStats(const ThreadPool& pool) {
 Status StatisticalDbms::LoadRawDataSet(const std::string& name,
                                        const Table& data,
                                        std::string description) {
+  STATDB_RETURN_IF_ERROR(GuardMutable());
   if (raw_tables_.contains(name)) {
     return AlreadyExistsError("raw data set already loaded: " + name);
   }
@@ -199,7 +200,10 @@ Status StatisticalDbms::LoadRawDataSet(const std::string& name,
   info.location = DataSetLocation::kTape;
   info.description = std::move(description);
   info.approx_rows = data.num_rows();
-  return catalog_.RegisterDataSet(std::move(info));
+  STATDB_RETURN_IF_ERROR(catalog_.RegisterDataSet(std::move(info)));
+  // The tape pages are already forced (FlushAll above); this commit makes
+  // the catalog/table registration itself durable.
+  return CommitDurable(/*attr_hint=*/"", /*force=*/true);
 }
 
 Result<Table> StatisticalDbms::ReadRawFromTape(const std::string& dataset) {
@@ -226,6 +230,7 @@ Result<ViewCreation> StatisticalDbms::CreateView(const std::string& name,
     // §2.3: never re-materialize a view identical to an existing one.
     return ViewCreation{existing.value(), /*reused=*/true};
   }
+  STATDB_RETURN_IF_ERROR(GuardMutable());
   if (views_.contains(name)) {
     return AlreadyExistsError("view name already in use: " + name);
   }
@@ -237,7 +242,12 @@ Result<ViewCreation> StatisticalDbms::CreateView(const std::string& name,
                                               pool);
   STATDB_RETURN_IF_ERROR(state.view->LoadFrom(materialized));
   // Persist the freshly materialized view (the buffer pool stays warm).
-  STATDB_RETURN_IF_ERROR(pool->FlushAll());
+  // Under durability the flush must wait for the commit record: the
+  // commit below appends the dirty images to the WAL first and flushes
+  // itself (force-at-commit).
+  if (wal_ == nullptr) {
+    STATDB_RETURN_IF_ERROR(pool->FlushAll());
+  }
   STATDB_ASSIGN_OR_RETURN(state.summary, SummaryDatabase::Create(pool));
   STATDB_RETURN_IF_ERROR(mdb_.RegisterView(name, canonical, policy));
   DataSetInfo info;
@@ -248,6 +258,7 @@ Result<ViewCreation> StatisticalDbms::CreateView(const std::string& name,
   info.approx_rows = materialized.num_rows();
   STATDB_RETURN_IF_ERROR(catalog_.RegisterDataSet(std::move(info)));
   views_.emplace(name, std::move(state));
+  STATDB_RETURN_IF_ERROR(CommitDurable(/*attr_hint=*/"", /*force=*/true));
   return ViewCreation{name, /*reused=*/false};
 }
 
@@ -266,13 +277,16 @@ Result<ConcreteView*> StatisticalDbms::GetView(const std::string& name) {
 }
 
 Status StatisticalDbms::DropView(const std::string& name) {
+  STATDB_RETURN_IF_ERROR(GuardMutable());
   if (!views_.contains(name)) {
     return NotFoundError("no view named " + name);
   }
   STATDB_RETURN_IF_ERROR(mdb_.DropView(name));
   STATDB_RETURN_IF_ERROR(catalog_.UnregisterDataSet(name));
   views_.erase(name);
-  return Status::OK();
+  // Metadata-only mutation: no pages dirtied, but the drop must reach the
+  // log or recovery would resurrect the view.
+  return CommitDurable(/*attr_hint=*/"", /*force=*/true);
 }
 
 Result<Table> StatisticalDbms::RematerializeFromTape(
@@ -416,6 +430,7 @@ Result<QueryAnswer> StatisticalDbms::Query(const std::string& view,
   EmitQueryObs(timer, tr,
                r.ok() ? OutcomeOfSource(r.value().source)
                       : TraceOutcome::kError);
+  if (r.ok()) CommitAfterQuery(attribute);
   return r;
 }
 
@@ -481,6 +496,7 @@ Result<QueryAnswer> StatisticalDbms::QueryParallel(
     return answers.status();
   }
   EmitQueryObs(timer, tr, OutcomeOfSource(answers.value()[0].source));
+  CommitAfterQuery(attribute);
   return std::move(answers.value()[0]);
 }
 
@@ -500,6 +516,9 @@ Result<std::vector<QueryAnswer>> StatisticalDbms::QueryMany(
       QueryManyImpl(view, requests, opts, workers, tr);
   EmitQueryObs(timer, tr,
                r.ok() ? OutcomeOfBatch(r.value()) : TraceOutcome::kError);
+  if (r.ok()) {
+    CommitAfterQuery(requests.empty() ? "" : requests.front().attribute);
+  }
   return r;
 }
 
@@ -821,6 +840,7 @@ Result<QueryAnswer> StatisticalDbms::QueryBivariate(
     STATDB_RETURN_IF_ERROR(
         state->summary->Insert(key, result, state->view->version()));
   }
+  CommitAfterQuery(attr_a);
   return QueryAnswer{std::move(result), AnswerSource::kComputed, true, ""};
 }
 
@@ -864,6 +884,7 @@ Result<QueryAnswer> StatisticalDbms::QueryGroupCompare(
     STATDB_RETURN_IF_ERROR(
         state->summary->Insert(key, result, state->view->version()));
   }
+  CommitAfterQuery(value_attr);
   return QueryAnswer{std::move(result), AnswerSource::kComputed, true, ""};
 }
 
@@ -898,6 +919,7 @@ Status StatisticalDbms::MaintainIndexes(
 
 Status StatisticalDbms::CreateAttributeIndex(const std::string& view,
                                              const std::string& attribute) {
+  STATDB_RETURN_IF_ERROR(GuardMutable());
   STATDB_ASSIGN_OR_RETURN(ViewState * state, GetState(view));
   if (state->indexes.contains(attribute)) {
     return AlreadyExistsError("attribute already indexed: " + attribute);
@@ -910,7 +932,9 @@ Status StatisticalDbms::CreateAttributeIndex(const std::string& view,
       std::unique_ptr<AttributeIndex> index,
       AttributeIndex::Build(*state->view, attribute, pool));
   state->indexes.emplace(attribute, std::move(index));
-  return Status::OK();
+  // Indexes rebuild on demand after a crash (they are not in the
+  // manifest), but committing here keeps the no-steal dirty set bounded.
+  return CommitDurable(/*attr_hint=*/attribute, /*force=*/false);
 }
 
 bool StatisticalDbms::HasAttributeIndex(const std::string& view,
@@ -968,6 +992,7 @@ Result<uint64_t> StatisticalDbms::CountWhereInRange(
 
 Status StatisticalDbms::ReorganizeView(
     const std::string& view, const std::vector<std::string>& sort_attrs) {
+  STATDB_RETURN_IF_ERROR(GuardMutable());
   STATDB_ASSIGN_OR_RETURN(ViewState * state, GetState(view));
   STATDB_ASSIGN_OR_RETURN(ViewRecord * rec, mdb_.GetView(view));
   STATDB_ASSIGN_OR_RETURN(Table snapshot, state->view->Snapshot());
@@ -975,7 +1000,10 @@ Status StatisticalDbms::ReorganizeView(
   STATDB_ASSIGN_OR_RETURN(BufferPool * pool, storage_->GetPool(disk_device_));
   auto fresh = std::make_unique<ConcreteView>(view, sorted.schema(), pool);
   STATDB_RETURN_IF_ERROR(fresh->LoadFrom(sorted));
-  STATDB_RETURN_IF_ERROR(pool->FlushAll());
+  // Under durability the commit at the end flushes (force-at-commit).
+  if (wal_ == nullptr) {
+    STATDB_RETURN_IF_ERROR(pool->FlushAll());
+  }
   state->view = std::move(fresh);
   // New physical baseline: row coordinates changed, so the old history's
   // undo records no longer address the right cells.
@@ -989,7 +1017,7 @@ Status StatisticalDbms::ReorganizeView(
     STATDB_ASSIGN_OR_RETURN(index,
                             AttributeIndex::Build(*state->view, attr, pool));
   }
-  return Status::OK();
+  return CommitDurable(/*attr_hint=*/"", /*force=*/true);
 }
 
 Result<std::string> StatisticalDbms::RecommendClusterAttribute(
@@ -1030,10 +1058,12 @@ Status StatisticalDbms::ComputeStandardSummary(const std::string& view,
 Status StatisticalDbms::AnnotateAttribute(const std::string& view,
                                           const std::string& attribute,
                                           std::string note) {
+  STATDB_RETURN_IF_ERROR(GuardMutable());
   STATDB_ASSIGN_OR_RETURN(ViewState * state, GetState(view));
   SummaryKey key = SummaryKey::Of("note", attribute);
-  return state->summary->Insert(key, SummaryResult::Text(std::move(note)),
-                                state->view->version());
+  STATDB_RETURN_IF_ERROR(state->summary->Insert(
+      key, SummaryResult::Text(std::move(note)), state->view->version()));
+  return CommitDurable(/*attr_hint=*/attribute, /*force=*/false);
 }
 
 Status StatisticalDbms::MaintainSummaries(
@@ -1187,6 +1217,7 @@ Status StatisticalDbms::MaybeAuditAfterUpdate(const std::string& view) {
 
 Result<uint64_t> StatisticalDbms::Update(const std::string& view,
                                          const UpdateSpec& spec) {
+  STATDB_RETURN_IF_ERROR(GuardMutable());
   STATDB_ASSIGN_OR_RETURN(ViewState * state, GetState(view));
   STATDB_ASSIGN_OR_RETURN(std::vector<CellChange> changes,
                           state->view->ApplyUpdate(spec));
@@ -1232,11 +1263,14 @@ Result<uint64_t> StatisticalDbms::Update(const std::string& view,
         MaintainSummaries(view, state, column, column_changes));
   }
   STATDB_RETURN_IF_ERROR(MaybeAuditAfterUpdate(view));
+  STATDB_RETURN_IF_ERROR(
+      CommitDurable(/*attr_hint=*/spec.column, /*force=*/true));
   return changes.size() + derived_changes.size();
 }
 
 Status StatisticalDbms::Rollback(const std::string& view,
                                  uint64_t target_version) {
+  STATDB_RETURN_IF_ERROR(GuardMutable());
   STATDB_ASSIGN_OR_RETURN(ViewState * state, GetState(view));
   STATDB_ASSIGN_OR_RETURN(ViewRecord * rec, mdb_.GetView(view));
   // Attributes touched by the updates being undone.
@@ -1277,11 +1311,13 @@ Status StatisticalDbms::Rollback(const std::string& view,
   // Maintainer state reflects the rolled-back data; drop it all and let
   // queries re-arm on demand.
   state->maintainers.clear();
-  return MaybeAuditAfterUpdate(view);
+  STATDB_RETURN_IF_ERROR(MaybeAuditAfterUpdate(view));
+  return CommitDurable(/*attr_hint=*/"", /*force=*/true);
 }
 
 Status StatisticalDbms::AddDerivedColumn(const std::string& view,
                                          DerivedColumnDef def) {
+  STATDB_RETURN_IF_ERROR(GuardMutable());
   STATDB_ASSIGN_OR_RETURN(ViewState * state, GetState(view));
   Attribute attr = Attribute::Numeric(def.name, DataType::kDouble);
   STATDB_RETURN_IF_ERROR(state->view->AddColumn(attr));
@@ -1298,13 +1334,14 @@ Status StatisticalDbms::AddDerivedColumn(const std::string& view,
                               expr->Eval(row, state->view->schema()));
       STATDB_RETURN_IF_ERROR(state->view->WriteCell(r, name, v));
     }
-    return Status::OK();
+    return CommitDurable(/*attr_hint=*/name, /*force=*/true);
   }
   return RegenerateDerivedColumn(view, name);
 }
 
 Status StatisticalDbms::RegenerateDerivedColumn(const std::string& view,
                                                 const std::string& column) {
+  STATDB_RETURN_IF_ERROR(GuardMutable());
   STATDB_ASSIGN_OR_RETURN(ViewState * state, GetState(view));
   STATDB_ASSIGN_OR_RETURN(ViewRecord * rec, mdb_.GetView(view));
   DerivedColumnDef* def = nullptr;
@@ -1392,7 +1429,7 @@ Status StatisticalDbms::RegenerateDerivedColumn(const std::string& view,
         state->indexes[column],
         AttributeIndex::Build(*state->view, column, pool));
   }
-  return Status::OK();
+  return CommitDurable(/*attr_hint=*/column, /*force=*/true);
 }
 
 Result<std::vector<Value>> StatisticalDbms::ReadColumn(
@@ -1462,7 +1499,9 @@ std::string StatisticalDbms::DumpMetrics() {
 
   // Simulated devices and their buffer pools (§2.3's storage hierarchy).
   obs::JsonObject devices;
-  for (const std::string& dev : {tape_device_, disk_device_}) {
+  std::vector<std::string> device_names = {tape_device_, disk_device_};
+  if (wal_ != nullptr) device_names.push_back(wal_device_name_);
+  for (const std::string& dev : device_names) {
     obs::JsonObject entry;
     Result<SimulatedDevice*> device = storage_->GetDevice(dev);
     if (device.ok()) {
@@ -1473,6 +1512,17 @@ std::string StatisticalDbms::DumpMetrics() {
           .Int("seeks", io.seeks)
           .Num("simulated_ms", io.simulated_ms);
       entry.Raw("io", ios.Build());
+      // Fault-injection counters, present when the device is wrapped.
+      const FaultCounters* fc = device.value()->fault_counters();
+      if (fc != nullptr) {
+        obs::JsonObject faults;
+        faults.Int("transient_errors", fc->transient_errors)
+            .Int("permanent_errors", fc->permanent_errors)
+            .Int("torn_writes", fc->torn_writes)
+            .Int("bit_flips", fc->bit_flips)
+            .Int("power_cuts", fc->power_cuts);
+        entry.Raw("faults", faults.Build());
+      }
     }
     Result<BufferPool*> pool = storage_->GetPool(dev);
     if (pool.ok()) {
@@ -1482,12 +1532,30 @@ std::string StatisticalDbms::DumpMetrics() {
           .Int("misses", bp.misses)
           .Int("evictions", bp.evictions)
           .Int("flushes", bp.flushes)
-          .Num("hit_rate", bp.HitRate());
+          .Num("hit_rate", bp.HitRate())
+          .Int("retries", bp.retries)
+          .Num("backoff_ms", bp.backoff_ms)
+          .Int("checksum_failures", bp.checksum_failures)
+          .Int("overflow_frames", bp.overflow_frames);
       entry.Raw("buffer_pool", bpo.Build());
     }
     devices.Raw(dev, entry.Build());
   }
   doc.Raw("devices", devices.Build());
+
+  // Durability: commit/recovery activity and degraded-mode state.
+  if (wal_ != nullptr) {
+    const WalStats& ws = wal_->stats();
+    obs::JsonObject durability;
+    durability.Bool("degraded", degraded_)
+        .Int("last_lsn", wal_->last_lsn())
+        .Int("recoveries", recoveries_)
+        .Int("wal_records_appended", ws.records_appended)
+        .Int("wal_bytes_appended", ws.bytes_appended)
+        .Int("wal_records_recovered", ws.records_recovered)
+        .Int("wal_torn_tail_bytes", ws.torn_tail_bytes);
+    doc.Raw("durability", durability.Build());
+  }
 
   // The registry: query latency, answer provenance, thread-pool behavior.
   doc.Raw("registry", metrics_.DumpJson());

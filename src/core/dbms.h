@@ -12,6 +12,7 @@
 #include "core/inference.h"
 #include "core/view.h"
 #include "core/view_def.h"
+#include "fault/wal.h"
 #include "meta/catalog.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -286,6 +287,38 @@ class StatisticalDbms {
   Result<std::vector<Value>> ReadColumn(const std::string& view,
                                         const std::string& column);
 
+  // --- durability & recovery (src/fault, DESIGN.md §11) --------------------
+
+  /// Arms write-ahead redo logging on the device named `wal_device`
+  /// (which must be mounted on the storage manager, typically via
+  /// AdoptDevice). From here on every mutation appends a commit record —
+  /// page images + a manifest of the in-memory state — to the log and
+  /// only then writes pages in place (force-at-commit); the disk pool
+  /// switches to no-steal so uncommitted pages never reach the platter.
+  /// Call Recover() next when reopening an existing installation.
+  Status EnableDurability(const std::string& wal_device = "wal");
+
+  /// Replays the redo log against the disk device: every complete record's
+  /// page images are rewritten in order (idempotent — full images), the
+  /// in-memory state (catalog, raw tables, views, summaries, management
+  /// database) is rebuilt from the last record's manifest, and a torn
+  /// tail is discarded. If a tail was torn, the paper's §4.3 fallback
+  /// marks the hinted attribute's cached summaries stale (all entries,
+  /// when even the hint was lost). Idempotent: a second Recover() is a
+  /// no-op rebuild of the same state.
+  Status Recover();
+
+  bool durability_enabled() const { return wal_ != nullptr; }
+  /// Read-only degraded mode: entered when a device failure outlives the
+  /// bounded retries. Queries still run; mutations fail fast.
+  bool degraded() const { return degraded_; }
+  const std::string& degraded_reason() const { return degraded_reason_; }
+  uint64_t last_committed_lsn() const {
+    return wal_ == nullptr ? 0 : wal_->last_lsn();
+  }
+  RedoLog* redo_log() { return wal_.get(); }
+  uint64_t recoveries() const { return recoveries_; }
+
   // --- introspection -------------------------------------------------------
 
   Catalog& catalog() { return catalog_; }
@@ -360,6 +393,36 @@ class StatisticalDbms {
 
   /// Reads the raw table for `dataset` from tape.
   Result<Table> ReadRawFromTape(const std::string& dataset);
+
+  // --- durability plumbing (core/recovery.cc) ------------------------------
+
+  /// Rejects mutations in degraded mode; OK otherwise.
+  Status GuardMutable() const;
+
+  /// Flips to read-only degraded mode (first reason wins) and bumps the
+  /// obs counter.
+  void EnterDegraded(const std::string& reason);
+
+  /// Commit protocol, a no-op without durability: stamp the next LSN on
+  /// the disk pool's dirty pages, append one WAL record carrying their
+  /// images + the current manifest, then write the pages in place.
+  /// `force` appends even with zero dirty pages (metadata-only mutations
+  /// like DropView must still reach the log). Any failure flips the DBMS
+  /// into degraded mode before the error propagates.
+  Status CommitDurable(const std::string& attr_hint, bool force);
+
+  /// Query-path commit: skips when idle, swallows the error after
+  /// degrading (the computed answer is correct; only its caching lost
+  /// durability).
+  void CommitAfterQuery(const std::string& attr_hint);
+
+  /// Serializes the whole recoverable in-memory state (catalog, raw
+  /// tables, views + summaries, management database).
+  Result<std::vector<uint8_t>> BuildManifest() const;
+
+  /// Rebuilds in-memory state from a manifest, re-attaching every file
+  /// structure to its on-device pages. Replaces all current state.
+  Status ApplyManifest(const std::vector<uint8_t>& manifest);
 
   /// The meta-data gate shared by Query and QueryMany: numeric only, and
   /// no order statistics of category codes (§3.2).
@@ -443,6 +506,12 @@ class StatisticalDbms {
   ManagementDatabase mdb_;
   std::map<std::string, std::unique_ptr<StoredRowTable>> raw_tables_;
   std::map<std::string, ViewState> views_;
+
+  std::unique_ptr<RedoLog> wal_;  // nullptr = durability off
+  std::string wal_device_name_;
+  bool degraded_ = false;
+  std::string degraded_reason_;
+  uint64_t recoveries_ = 0;
 
   MetricsRegistry metrics_;
   TraceSink* trace_sink_ = nullptr;  // not owned

@@ -1,0 +1,379 @@
+// Durability and crash recovery for StatisticalDbms (DESIGN.md §11).
+//
+// Protocol: force-at-commit + no-steal physical redo. Each logical
+// mutation accumulates dirty pages in the disk buffer pool (no-steal
+// keeps them off the platter), then commits by appending ONE redo record
+// — the dirty page images plus a manifest of the whole recoverable
+// in-memory state — to the WAL device and only then writing the pages in
+// place. Recovery replays every complete record's images (idempotent:
+// they are full page images) and rebuilds the in-memory object graph
+// from the last manifest; a torn tail is discarded and triggers the
+// paper's §4.3 invalidate-all fallback for the attribute it hinted at.
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "core/dbms.h"
+#include "core/management_serde.h"
+
+namespace statdb {
+namespace {
+
+constexpr uint32_t kManifestMagic = 0x4D414E49;  // "MANI"
+constexpr uint32_t kManifestVersion = 1;
+
+constexpr int kIoRetries = 3;
+
+template <typename Op>
+Status RetryIo(const Op& op) {
+  Status s = op();
+  for (int i = 0; i < kIoRetries && s.code() == StatusCode::kUnavailable;
+       ++i) {
+    s = op();
+  }
+  return s;
+}
+
+void WriteSchema(ByteWriter* w, const Schema& schema) {
+  w->PutU32(static_cast<uint32_t>(schema.size()));
+  for (const Attribute& a : schema.attrs()) {
+    w->PutString(a.name);
+    w->PutU8(static_cast<uint8_t>(a.type));
+    w->PutU8(static_cast<uint8_t>(a.kind));
+    w->PutString(a.code_table);
+    w->PutU8(a.summarizable ? 1 : 0);
+  }
+}
+
+Result<Schema> ReadSchema(ByteReader* r) {
+  STATDB_ASSIGN_OR_RETURN(uint32_t n, r->GetU32());
+  std::vector<Attribute> attrs;
+  attrs.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Attribute a;
+    STATDB_ASSIGN_OR_RETURN(a.name, r->GetString());
+    STATDB_ASSIGN_OR_RETURN(uint8_t type, r->GetU8());
+    a.type = static_cast<DataType>(type);
+    STATDB_ASSIGN_OR_RETURN(uint8_t kind, r->GetU8());
+    a.kind = static_cast<AttributeKind>(kind);
+    STATDB_ASSIGN_OR_RETURN(a.code_table, r->GetString());
+    STATDB_ASSIGN_OR_RETURN(uint8_t summarizable, r->GetU8());
+    a.summarizable = summarizable != 0;
+    attrs.push_back(std::move(a));
+  }
+  return Schema(std::move(attrs));
+}
+
+void WritePageIds(ByteWriter* w, const std::vector<PageId>& ids) {
+  w->PutU32(static_cast<uint32_t>(ids.size()));
+  for (PageId id : ids) w->PutU64(id);
+}
+
+Result<std::vector<PageId>> ReadPageIds(ByteReader* r) {
+  STATDB_ASSIGN_OR_RETURN(uint32_t n, r->GetU32());
+  std::vector<PageId> ids;
+  ids.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    STATDB_ASSIGN_OR_RETURN(PageId id, r->GetU64());
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace
+
+Status StatisticalDbms::GuardMutable() const {
+  if (degraded_) {
+    return FailedPreconditionError("read-only degraded mode: " +
+                                   degraded_reason_);
+  }
+  return Status::OK();
+}
+
+void StatisticalDbms::EnterDegraded(const std::string& reason) {
+  if (degraded_) return;  // first failure wins
+  degraded_ = true;
+  degraded_reason_ = reason;
+  metrics_.GetCounter("dbms.degraded_entered")->Inc();
+}
+
+Status StatisticalDbms::EnableDurability(const std::string& wal_device) {
+  if (wal_ != nullptr) {
+    return FailedPreconditionError("durability already enabled");
+  }
+  STATDB_ASSIGN_OR_RETURN(SimulatedDevice * device,
+                          storage_->GetDevice(wal_device));
+  auto wal = std::make_unique<RedoLog>(device);
+  // Position the append cursor; the records themselves are consumed by
+  // Recover(), which re-scans.
+  STATDB_RETURN_IF_ERROR(wal->Open().status());
+  wal_ = std::move(wal);
+  wal_device_name_ = wal_device;
+  STATDB_ASSIGN_OR_RETURN(BufferPool * disk, storage_->GetPool(disk_device_));
+  disk->set_no_steal(true);
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> StatisticalDbms::BuildManifest() const {
+  ByteWriter w;
+  w.PutU32(kManifestMagic);
+  w.PutU32(kManifestVersion);
+
+  // Catalog data sets (both tape raws and disk views).
+  std::vector<std::string> dataset_names = catalog_.DataSetNames();
+  w.PutU32(static_cast<uint32_t>(dataset_names.size()));
+  for (const std::string& name : dataset_names) {
+    STATDB_ASSIGN_OR_RETURN(const DataSetInfo* info,
+                            catalog_.GetDataSet(name));
+    w.PutString(info->name);
+    WriteSchema(&w, info->schema);
+    w.PutU8(static_cast<uint8_t>(info->location));
+    w.PutString(info->description);
+    w.PutU64(info->approx_rows);
+  }
+
+  // Raw tables: schema + heap-file shape (the tape pages themselves were
+  // force-flushed at load time, before any commit referenced them).
+  w.PutU32(static_cast<uint32_t>(raw_tables_.size()));
+  for (const auto& [name, table] : raw_tables_) {
+    w.PutString(name);
+    WriteSchema(&w, table->schema());
+    WritePageIds(&w, table->page_ids());
+    w.PutU64(table->num_rows());
+  }
+
+  // Views: schema, version, per-column file shape + dictionary, and the
+  // summary index anchor. Secondary indexes and armed maintainers are
+  // deliberately absent — both rebuild on demand.
+  w.PutU32(static_cast<uint32_t>(views_.size()));
+  for (const auto& [name, state] : views_) {
+    w.PutString(name);
+    WriteSchema(&w, state.view->schema());
+    w.PutU64(state.view->version());
+    w.PutU64(state.view->num_rows());
+    std::vector<TransposedTable::ColumnState> columns =
+        state.view->ExportColumns();
+    w.PutU32(static_cast<uint32_t>(columns.size()));
+    for (const TransposedTable::ColumnState& col : columns) {
+      WritePageIds(&w, col.pages);
+      w.PutU64(col.count);
+      w.PutU32(static_cast<uint32_t>(col.labels.size()));
+      for (const std::string& label : col.labels) w.PutString(label);
+    }
+    w.PutU64(state.summary->index()->root_id());
+    w.PutU64(state.summary->index()->size());
+    w.PutU64(state.summary->entry_count());
+  }
+
+  // Management database: view records, policies, histories, derived
+  // columns — reusing the session-persistence serializer.
+  STATDB_ASSIGN_OR_RETURN(std::vector<uint8_t> mdb_bytes,
+                          SerializeManagementState(mdb_));
+  w.PutU32(static_cast<uint32_t>(mdb_bytes.size()));
+  w.PutRaw(mdb_bytes.data(), mdb_bytes.size());
+  return w.Take();
+}
+
+Status StatisticalDbms::ApplyManifest(const std::vector<uint8_t>& manifest) {
+  ByteReader r(manifest);
+  STATDB_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != kManifestMagic) {
+    return DataLossError("manifest magic mismatch");
+  }
+  STATDB_ASSIGN_OR_RETURN(uint32_t version, r.GetU32());
+  if (version != kManifestVersion) {
+    return DataLossError("unsupported manifest version " +
+                         std::to_string(version));
+  }
+  STATDB_ASSIGN_OR_RETURN(BufferPool * tape_pool,
+                          storage_->GetPool(tape_device_));
+  STATDB_ASSIGN_OR_RETURN(BufferPool * disk_pool,
+                          storage_->GetPool(disk_device_));
+
+  catalog_ = Catalog{};
+  raw_tables_.clear();
+  views_.clear();
+  mdb_ = ManagementDatabase{};
+
+  STATDB_ASSIGN_OR_RETURN(uint32_t ndatasets, r.GetU32());
+  for (uint32_t i = 0; i < ndatasets; ++i) {
+    DataSetInfo info;
+    STATDB_ASSIGN_OR_RETURN(info.name, r.GetString());
+    STATDB_ASSIGN_OR_RETURN(info.schema, ReadSchema(&r));
+    STATDB_ASSIGN_OR_RETURN(uint8_t location, r.GetU8());
+    info.location = static_cast<DataSetLocation>(location);
+    STATDB_ASSIGN_OR_RETURN(info.description, r.GetString());
+    STATDB_ASSIGN_OR_RETURN(info.approx_rows, r.GetU64());
+    STATDB_RETURN_IF_ERROR(catalog_.RegisterDataSet(std::move(info)));
+  }
+
+  STATDB_ASSIGN_OR_RETURN(uint32_t ntables, r.GetU32());
+  for (uint32_t i = 0; i < ntables; ++i) {
+    STATDB_ASSIGN_OR_RETURN(std::string name, r.GetString());
+    STATDB_ASSIGN_OR_RETURN(Schema schema, ReadSchema(&r));
+    STATDB_ASSIGN_OR_RETURN(std::vector<PageId> pages, ReadPageIds(&r));
+    STATDB_ASSIGN_OR_RETURN(uint64_t record_count, r.GetU64());
+    raw_tables_.emplace(
+        name, std::make_unique<StoredRowTable>(std::move(schema), tape_pool,
+                                               std::move(pages),
+                                               record_count));
+  }
+
+  STATDB_ASSIGN_OR_RETURN(uint32_t nviews, r.GetU32());
+  for (uint32_t i = 0; i < nviews; ++i) {
+    STATDB_ASSIGN_OR_RETURN(std::string name, r.GetString());
+    STATDB_ASSIGN_OR_RETURN(Schema schema, ReadSchema(&r));
+    STATDB_ASSIGN_OR_RETURN(uint64_t view_version, r.GetU64());
+    STATDB_ASSIGN_OR_RETURN(uint64_t num_rows, r.GetU64());
+    STATDB_ASSIGN_OR_RETURN(uint32_t ncols, r.GetU32());
+    std::vector<TransposedTable::ColumnState> columns;
+    columns.reserve(ncols);
+    for (uint32_t c = 0; c < ncols; ++c) {
+      TransposedTable::ColumnState col;
+      STATDB_ASSIGN_OR_RETURN(col.pages, ReadPageIds(&r));
+      STATDB_ASSIGN_OR_RETURN(col.count, r.GetU64());
+      STATDB_ASSIGN_OR_RETURN(uint32_t nlabels, r.GetU32());
+      col.labels.reserve(nlabels);
+      for (uint32_t l = 0; l < nlabels; ++l) {
+        STATDB_ASSIGN_OR_RETURN(std::string label, r.GetString());
+        col.labels.push_back(std::move(label));
+      }
+      columns.push_back(std::move(col));
+    }
+    STATDB_ASSIGN_OR_RETURN(uint64_t tree_root, r.GetU64());
+    STATDB_ASSIGN_OR_RETURN(uint64_t tree_size, r.GetU64());
+    STATDB_ASSIGN_OR_RETURN(uint64_t entry_count, r.GetU64());
+    ViewState state;
+    state.view = std::make_unique<ConcreteView>(
+        name, std::move(schema), disk_pool, std::move(columns), num_rows,
+        view_version);
+    state.summary = SummaryDatabase::Attach(disk_pool, tree_root, tree_size,
+                                            entry_count);
+    views_.emplace(name, std::move(state));
+  }
+
+  STATDB_ASSIGN_OR_RETURN(uint32_t mdb_len, r.GetU32());
+  STATDB_ASSIGN_OR_RETURN(const uint8_t* mdb_data, r.GetRaw(mdb_len));
+  std::vector<uint8_t> mdb_bytes(mdb_data, mdb_data + mdb_len);
+  STATDB_RETURN_IF_ERROR(RestoreManagementState(mdb_bytes, &mdb_));
+  if (!r.exhausted()) {
+    return DataLossError("manifest has trailing bytes");
+  }
+  return Status::OK();
+}
+
+Status StatisticalDbms::CommitDurable(const std::string& attr_hint,
+                                      bool force) {
+  if (wal_ == nullptr) return Status::OK();
+  if (degraded_) {
+    return FailedPreconditionError("commit in degraded mode: " +
+                                   degraded_reason_);
+  }
+  STATDB_ASSIGN_OR_RETURN(BufferPool * disk, storage_->GetPool(disk_device_));
+  WalRecord record;
+  record.lsn = wal_->last_lsn() + 1;
+  record.attr_hint = attr_hint;
+  record.pages = disk->CollectDirty(record.lsn);
+  if (record.pages.empty() && !force) return Status::OK();
+  Result<std::vector<uint8_t>> manifest = BuildManifest();
+  if (!manifest.ok()) {
+    EnterDegraded("manifest serialization failed: " +
+                  manifest.status().ToString());
+    return manifest.status();
+  }
+  record.manifest = std::move(manifest).value();
+  Status s = wal_->Append(record);
+  if (!s.ok()) {
+    EnterDegraded("wal append failed: " + s.ToString());
+    return s;
+  }
+  // Log record is durable; now the in-place writes may proceed.
+  s = disk->FlushAll();
+  if (!s.ok()) {
+    EnterDegraded("post-commit page write-back failed: " + s.ToString());
+    return s;
+  }
+  metrics_.GetCounter("dbms.commits")->Inc();
+  return Status::OK();
+}
+
+void StatisticalDbms::CommitAfterQuery(const std::string& attr_hint) {
+  if (wal_ == nullptr || degraded_) return;
+  // CommitDurable degrades on failure; the computed answer itself is
+  // still correct, so query paths swallow the commit error.
+  (void)CommitDurable(attr_hint, /*force=*/false);
+}
+
+Status StatisticalDbms::Recover() {
+  if (wal_ == nullptr) {
+    return FailedPreconditionError("Recover() without EnableDurability()");
+  }
+  STATDB_ASSIGN_OR_RETURN(WalScanResult scan, wal_->Open());
+
+  // Reboot semantics: whatever the pools held is gone; only the platters
+  // and the log survive.
+  STATDB_ASSIGN_OR_RETURN(BufferPool * disk, storage_->GetPool(disk_device_));
+  STATDB_ASSIGN_OR_RETURN(BufferPool * tape, storage_->GetPool(tape_device_));
+  disk->DiscardAll();
+  tape->DiscardAll();
+
+  // Physical redo: rewrite every committed page image, oldest first.
+  // Idempotent — the images are complete pages.
+  STATDB_ASSIGN_OR_RETURN(SimulatedDevice * disk_dev,
+                          storage_->GetDevice(disk_device_));
+  for (const WalRecord& rec : scan.records) {
+    for (const auto& [pid, page] : rec.pages) {
+      while (disk_dev->page_count() <= pid) {
+        disk_dev->AllocatePage();
+      }
+      STATDB_RETURN_IF_ERROR(
+          RetryIo([&] { return disk_dev->WritePage(pid, page); }));
+    }
+  }
+
+  if (!scan.records.empty()) {
+    STATDB_RETURN_IF_ERROR(ApplyManifest(scan.records.back().manifest));
+  } else {
+    // Empty log: a fresh installation. Reset to pristine state.
+    catalog_ = Catalog{};
+    raw_tables_.clear();
+    views_.clear();
+    mdb_ = ManagementDatabase{};
+  }
+
+  // §4.3 fallback for the lost tail: "after each update operation all
+  // the values associated with the updated attribute will be marked as
+  // invalid" — here applied because the update's redo record did not
+  // survive. Without even a hint, every cached entry is suspect.
+  if (scan.torn_tail) {
+    for (auto& [name, state] : views_) {
+      if (!scan.torn_attr_hint.empty()) {
+        STATDB_RETURN_IF_ERROR(
+            state.summary->InvalidateAttribute(scan.torn_attr_hint)
+                .status());
+      } else {
+        std::vector<SummaryKey> keys;
+        STATDB_RETURN_IF_ERROR(
+            state.summary->ForEach([&keys](const SummaryEntry& e) {
+              keys.push_back(e.key);
+              return Status::OK();
+            }));
+        for (const SummaryKey& key : keys) {
+          STATDB_RETURN_IF_ERROR(state.summary->MarkStale(key));
+        }
+      }
+    }
+    // The invalidations themselves must be durable, or the next crash
+    // would resurrect the suspect entries.
+    STATDB_RETURN_IF_ERROR(CommitDurable(scan.torn_attr_hint, false));
+  }
+
+  ++recoveries_;
+  metrics_.GetCounter("dbms.recoveries")->Inc();
+  return Status::OK();
+}
+
+}  // namespace statdb

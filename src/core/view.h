@@ -38,6 +38,20 @@ class ConcreteView {
       : name_(std::move(name)),
         table_(std::make_unique<TransposedTable>(std::move(schema), pool)) {}
 
+  /// Re-attaches to an existing on-device view (crash recovery).
+  ConcreteView(std::string name, Schema schema, BufferPool* pool,
+               std::vector<TransposedTable::ColumnState> columns,
+               uint64_t num_rows, uint64_t version)
+      : name_(std::move(name)),
+        table_(std::make_unique<TransposedTable>(
+            std::move(schema), pool, std::move(columns), num_rows)),
+        version_(version) {}
+
+  /// Durable column shapes, for the recovery manifest.
+  std::vector<TransposedTable::ColumnState> ExportColumns() const {
+    return table_->ExportColumns();
+  }
+
   const std::string& name() const { return name_; }
   const Schema& schema() const { return table_->schema(); }
   uint64_t num_rows() const { return table_->num_rows(); }

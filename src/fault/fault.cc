@@ -1,0 +1,173 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace statdb {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTransientError:
+      return "transient_error";
+    case FaultKind::kPermanentFailure:
+      return "permanent_failure";
+    case FaultKind::kTornWrite:
+      return "torn_write";
+    case FaultKind::kBitFlip:
+      return "bit_flip";
+    case FaultKind::kPowerCut:
+      return "power_cut";
+  }
+  return "unknown";
+}
+
+FaultSchedule FaultSchedule::Random(uint64_t seed, uint64_t horizon_ops,
+                                    int count, bool allow_permanent) {
+  Rng rng(seed);
+  FaultSchedule out;
+  out.events.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    FaultEvent ev;
+    ev.on_write = rng.Bernoulli(0.5);
+    ev.nth = static_cast<uint64_t>(
+        rng.UniformInt(1, static_cast<int64_t>(horizon_ops)));
+    // Kind domain depends on direction: tears are write-only, flips
+    // read-only. Draw after direction so the sequence of engine calls per
+    // event is fixed and the schedule is reproducible term by term.
+    const int64_t hi = allow_permanent ? 2 : 1;
+    const int64_t pick = rng.UniformInt(0, hi);
+    if (pick == 2) {
+      ev.kind = FaultKind::kPermanentFailure;
+    } else if (pick == 1) {
+      ev.kind = ev.on_write ? FaultKind::kTornWrite : FaultKind::kBitFlip;
+    } else {
+      ev.kind = FaultKind::kTransientError;
+    }
+    ev.bit = static_cast<uint32_t>(
+        rng.UniformInt(0, static_cast<int64_t>(kPageSize) * 8 - 1));
+    out.events.push_back(ev);
+  }
+  // Stable firing order for humans reading Describe(); matching is by
+  // (direction, nth) so order does not change semantics.
+  std::sort(out.events.begin(), out.events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              if (a.nth != b.nth) return a.nth < b.nth;
+              if (a.on_write != b.on_write) return a.on_write < b.on_write;
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
+  return out;
+}
+
+std::string FaultSchedule::Describe() const {
+  std::string out;
+  for (const FaultEvent& ev : events) {
+    out += FaultKindName(ev.kind);
+    out += ev.on_write ? " on write #" : " on read #";
+    out += std::to_string(ev.nth);
+    if (ev.kind == FaultKind::kBitFlip) {
+      out += " bit ";
+      out += std::to_string(ev.bit);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+FaultEvent* FaultInjectingDevice::MatchEvent(bool is_write, uint64_t nth) {
+  fired_.resize(schedule_.events.size(), false);
+  for (size_t i = 0; i < schedule_.events.size(); ++i) {
+    FaultEvent& ev = schedule_.events[i];
+    if (!fired_[i] && ev.on_write == is_write && ev.nth == nth) {
+      fired_[i] = true;
+      return &ev;
+    }
+  }
+  return nullptr;
+}
+
+void FaultInjectingDevice::TearWrite(PageId id, const Page& page) {
+  Page* stored = raw_page(id);
+  if (stored == nullptr) return;  // write past end: nothing to tear
+  Charge(id, /*is_write=*/true);
+  std::memcpy(stored->data.data(), page.data.data(), kPageSize / 2);
+  // Second half of the data area and the header keep their old contents.
+}
+
+Status FaultInjectingDevice::ReadPage(PageId id, Page* out) {
+  if (dead_) {
+    ++counters_.permanent_errors;
+    return UnavailableError("device " + name() + " is offline");
+  }
+  const uint64_t nth = ++reads_;
+  if (FaultEvent* ev = MatchEvent(/*is_write=*/false, nth)) {
+    switch (ev->kind) {
+      case FaultKind::kTransientError:
+        ++counters_.transient_errors;
+        return UnavailableError("injected transient read error on " +
+                                name());
+      case FaultKind::kPermanentFailure:
+        dead_ = true;
+        ++counters_.permanent_errors;
+        return UnavailableError("device " + name() +
+                                " failed permanently on read");
+      case FaultKind::kBitFlip:
+        if (Page* stored = raw_page(id)) {
+          stored->data[ev->bit / 8] ^=
+              static_cast<uint8_t>(1u << (ev->bit % 8));
+          ++counters_.bit_flips;
+        }
+        break;  // the read itself "succeeds" — corruption is silent
+      case FaultKind::kTornWrite:
+      case FaultKind::kPowerCut:
+        break;  // write-only kinds never match reads from Random(); ignore
+    }
+  }
+  return SimulatedDevice::ReadPage(id, out);
+}
+
+Status FaultInjectingDevice::WritePage(PageId id, const Page& page) {
+  if (dead_) {
+    ++counters_.permanent_errors;
+    return UnavailableError("device " + name() + " is offline");
+  }
+  const uint64_t nth = ++writes_;
+  if (FaultEvent* ev = MatchEvent(/*is_write=*/true, nth)) {
+    switch (ev->kind) {
+      case FaultKind::kTransientError:
+        ++counters_.transient_errors;
+        return UnavailableError("injected transient write error on " +
+                                name());
+      case FaultKind::kPermanentFailure:
+        dead_ = true;
+        ++counters_.permanent_errors;
+        return UnavailableError("device " + name() +
+                                " failed permanently on write");
+      case FaultKind::kTornWrite:
+        TearWrite(id, page);
+        ++counters_.torn_writes;
+        return UnavailableError("injected torn write on " + name());
+      case FaultKind::kPowerCut:
+        TearWrite(id, page);
+        ++counters_.torn_writes;
+        ++counters_.power_cuts;
+        dead_ = true;
+        return UnavailableError("power cut during write on " + name());
+      case FaultKind::kBitFlip:
+        break;  // read-only kind; ignore on writes
+    }
+  }
+  return SimulatedDevice::WritePage(id, page);
+}
+
+void FaultInjectingDevice::CutPower() {
+  dead_ = true;
+  ++counters_.power_cuts;
+}
+
+void FaultInjectingDevice::ClearFaults() {
+  dead_ = false;
+  schedule_.events.clear();
+  fired_.clear();
+}
+
+}  // namespace statdb

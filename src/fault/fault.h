@@ -1,0 +1,130 @@
+#ifndef STATDB_FAULT_FAULT_H_
+#define STATDB_FAULT_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/device.h"
+#include "storage/page.h"
+
+namespace statdb {
+
+/// What a scheduled fault does when it fires.
+enum class FaultKind : uint8_t {
+  /// The I/O fails once with UNAVAILABLE; nothing is persisted (writes)
+  /// or returned (reads). The next attempt succeeds — this is the case
+  /// the buffer pool's bounded-retry path absorbs.
+  kTransientError,
+  /// The device dies: this and every later I/O fails with UNAVAILABLE.
+  /// The DBMS reacts by entering read-only degraded mode.
+  kPermanentFailure,
+  /// Write-only. The first half of the page's data area reaches the
+  /// platter, the second half and the page header keep their old
+  /// contents, and the write reports UNAVAILABLE. Models a torn sector
+  /// write; the stored page fails checksum verification if it was ever
+  /// checksummed.
+  kTornWrite,
+  /// Read-only. Flips one deterministic bit of the *stored* data area
+  /// before serving the read — silent media corruption. The read itself
+  /// reports OK; only checksum verification can catch it.
+  kBitFlip,
+  /// Write-only. Power is cut mid-write: the write tears exactly like
+  /// kTornWrite and the device then dies. This is the crash-matrix
+  /// primitive — reboot by ClearFaults() + discarding pools.
+  kPowerCut,
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/// One scheduled fault: fires on the `nth` read (or write, per
+/// `on_write`) issued to the device after the schedule was installed.
+/// Counts are 1-based and monotone across the device's lifetime.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kTransientError;
+  bool on_write = false;
+  uint64_t nth = 1;
+  /// kBitFlip only: bit index within the data area, in
+  /// [0, kPageSize * 8). Restricting flips to the data area (never the
+  /// out-of-band header) is what makes checksum detection exhaustive.
+  uint32_t bit = 0;
+
+  friend bool operator==(const FaultEvent& a, const FaultEvent& b) {
+    return a.kind == b.kind && a.on_write == b.on_write && a.nth == b.nth &&
+           a.bit == b.bit;
+  }
+};
+
+/// A deterministic fault plan. The same schedule installed on two devices
+/// receiving the same I/O sequence produces bit-identical outcomes.
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+
+  /// Seed-driven random schedule: `count` events spread over the first
+  /// `horizon_ops` reads and writes. Never generates kPowerCut (crash
+  /// tests place those explicitly) and generates kPermanentFailure only
+  /// if `allow_permanent` — a random early death makes every later
+  /// assertion vacuous.
+  static FaultSchedule Random(uint64_t seed, uint64_t horizon_ops, int count,
+                              bool allow_permanent = false);
+
+  /// Stable one-line-per-event rendering, for determinism assertions.
+  std::string Describe() const;
+};
+
+/// A SimulatedDevice whose I/O path injects the faults of a schedule.
+///
+/// Used in place of the plain device via StorageManager::AdoptDevice;
+/// everything above the device (buffer pool, files, DBMS) is unaware.
+/// Counters survive ClearFaults() so a post-crash metrics dump still
+/// reports what was injected.
+class FaultInjectingDevice : public SimulatedDevice {
+ public:
+  FaultInjectingDevice(std::string name, DeviceCostModel cost,
+                       FaultSchedule schedule = {})
+      : SimulatedDevice(std::move(name), cost),
+        schedule_(std::move(schedule)) {}
+
+  Status ReadPage(PageId id, Page* out) override;
+  Status WritePage(PageId id, const Page& page) override;
+
+  const FaultCounters* fault_counters() const override { return &counters_; }
+
+  /// Installs a new schedule. Operation counters keep running — `nth`
+  /// always refers to the device-lifetime count.
+  void set_schedule(FaultSchedule schedule) {
+    schedule_ = std::move(schedule);
+    fired_.assign(schedule_.events.size(), false);
+  }
+
+  /// Immediate power cut: the device refuses all I/O until ClearFaults().
+  void CutPower();
+
+  /// "Reboot": revives a dead device and drops any unfired events.
+  /// Fault counters and stored (possibly corrupted) pages are kept.
+  void ClearFaults();
+
+  bool dead() const { return dead_; }
+  uint64_t read_count() const { return reads_; }
+  uint64_t write_count() const { return writes_; }
+  const FaultCounters& counters() const { return counters_; }
+
+ private:
+  /// First unfired event matching this operation, or nullptr.
+  FaultEvent* MatchEvent(bool is_write, uint64_t nth);
+  /// Persists the torn image of `page` at `id`: first half of the data
+  /// area new, rest and header old. Charges the cost model like a write.
+  void TearWrite(PageId id, const Page& page);
+
+  FaultSchedule schedule_;
+  std::vector<bool> fired_;  // parallel to schedule_.events
+  FaultCounters counters_;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  bool dead_ = false;
+};
+
+}  // namespace statdb
+
+#endif  // STATDB_FAULT_FAULT_H_

@@ -1,0 +1,109 @@
+#ifndef STATDB_FAULT_WAL_H_
+#define STATDB_FAULT_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/device.h"
+#include "storage/page.h"
+
+namespace statdb {
+
+/// Activity counters for one redo log, exported through DumpMetrics.
+struct WalStats {
+  uint64_t records_appended = 0;
+  uint64_t bytes_appended = 0;
+  uint64_t records_recovered = 0;  // complete records found by Open()
+  uint64_t torn_tail_bytes = 0;    // trailing bytes discarded by Open()
+};
+
+/// One physical-redo commit record. The page images are byte-exact copies
+/// of what the buffer pool will write in place after the append succeeds
+/// (force-at-commit), so replay is idempotent: applying a record any
+/// number of times produces the same device state.
+struct WalRecord {
+  /// Strictly increasing commit sequence number (assigned by the DBMS).
+  uint64_t lsn = 0;
+  /// Attribute this commit touched, or empty. If the *tail* record of the
+  /// log is torn, recovery runs the paper's §4.3 invalidate-all fallback
+  /// for this attribute — the hint is placed early in the record so it
+  /// usually survives a tear of the later page images.
+  std::string attr_hint;
+  /// Full images of every page the commit dirtied, sorted by id.
+  std::vector<std::pair<PageId, Page>> pages;
+  /// Opaque durable manifest: the serialized in-memory state (catalog,
+  /// view registry, management database) as of this commit. Recovery
+  /// rebuilds the DBMS from the *last* complete record's manifest.
+  std::vector<uint8_t> manifest;
+};
+
+/// What Open() found on the log device.
+struct WalScanResult {
+  /// Every complete record, in append (= LSN) order.
+  std::vector<WalRecord> records;
+  /// True when bytes after the last complete record form a torn record
+  /// (incomplete length, bad CRC, or interrupted page run).
+  bool torn_tail = false;
+  /// Best-effort attr_hint recovered from the torn record's readable
+  /// prefix; empty when even the prefix was lost.
+  std::string torn_attr_hint;
+};
+
+/// Block-level redo log on a dedicated device.
+///
+/// The log is a byte stream laid across the device's pages from page 0:
+/// `u32 body_len | body | u32 crc32c(body)` per record, with
+/// `body = magic, lsn, attr_hint, page images, manifest`. Appends write
+/// through to the device immediately (append + "sync" precede the
+/// in-place page writes of a commit). There is no truncation: a log
+/// lives as long as its installation. The log device is accessed
+/// directly, not through a buffer pool — its own CRC framing supersedes
+/// page checksums, and retry-on-transient is handled here.
+class RedoLog {
+ public:
+  explicit RedoLog(SimulatedDevice* device) : device_(device) {}
+
+  RedoLog(const RedoLog&) = delete;
+  RedoLog& operator=(const RedoLog&) = delete;
+
+  /// Scans the whole log, returning every complete record and positioning
+  /// the append cursor just past the last one (torn tails are discarded
+  /// by overwrite on the next append). Safe to call on a fresh device.
+  Result<WalScanResult> Open();
+
+  /// Serializes `record` and writes it through to the device. On any
+  /// failure the in-memory cursor is left unchanged, so a later retry
+  /// overwrites the partial append — mirroring how recovery treats it.
+  Status Append(const WalRecord& record);
+
+  /// Highest LSN committed to the log (0 = none). Valid after Open().
+  uint64_t last_lsn() const { return last_lsn_; }
+  uint64_t append_offset() const { return append_offset_; }
+  const WalStats& stats() const { return stats_; }
+  SimulatedDevice* device() { return device_; }
+
+  /// Serialization helpers, shared with tests and the auditor.
+  static std::vector<uint8_t> SerializeBody(const WalRecord& record);
+  static Result<WalRecord> ParseBody(const std::vector<uint8_t>& body);
+
+ private:
+  /// Reads the byte range [offset, offset+len) of the log stream into
+  /// `out` (device pages are the backing array). Fails past device end.
+  Status ReadStream(uint64_t offset, uint64_t len, uint8_t* out);
+  /// Writes `bytes` at stream offset `offset`, allocating pages and
+  /// retrying transient errors; read-modify-write on partial pages.
+  Status WriteStream(uint64_t offset, const std::vector<uint8_t>& bytes);
+
+  SimulatedDevice* device_;
+  uint64_t append_offset_ = 0;
+  uint64_t last_lsn_ = 0;
+  WalStats stats_;
+};
+
+}  // namespace statdb
+
+#endif  // STATDB_FAULT_WAL_H_

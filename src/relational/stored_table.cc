@@ -56,6 +56,38 @@ TransposedTable::TransposedTable(Schema schema, BufferPool* pool)
   }
 }
 
+TransposedTable::TransposedTable(Schema schema, BufferPool* pool,
+                                 std::vector<ColumnState> columns,
+                                 uint64_t num_rows)
+    : schema_(std::move(schema)), pool_(pool), num_rows_(num_rows) {
+  columns_.resize(schema_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    ColumnState state =
+        i < columns.size() ? std::move(columns[i]) : ColumnState{};
+    columns_[i].file = std::make_unique<ColumnFile>(
+        pool_, std::move(state.pages), state.count);
+    columns_[i].labels = std::move(state.labels);
+    for (size_t code = 0; code < columns_[i].labels.size(); ++code) {
+      columns_[i].codes[columns_[i].labels[code]] =
+          static_cast<int64_t>(code);
+    }
+  }
+}
+
+std::vector<TransposedTable::ColumnState> TransposedTable::ExportColumns()
+    const {
+  std::vector<ColumnState> out;
+  out.reserve(columns_.size());
+  for (const auto& c : columns_) {
+    ColumnState state;
+    state.pages = c.file->page_ids();
+    state.count = c.file->size();
+    state.labels = c.labels;
+    out.push_back(std::move(state));
+  }
+  return out;
+}
+
 size_t TransposedTable::page_count() const {
   size_t total = 0;
   for (const auto& c : columns_) total += c.file->page_count();

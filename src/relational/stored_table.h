@@ -24,6 +24,17 @@ class StoredRowTable {
   StoredRowTable(Schema schema, BufferPool* pool)
       : schema_(std::move(schema)), file_(std::make_unique<RowFile>(pool)) {}
 
+  /// Re-attaches to an existing on-device heap file (crash recovery):
+  /// page list and record count come from a durable manifest.
+  StoredRowTable(Schema schema, BufferPool* pool, std::vector<PageId> pages,
+                 uint64_t record_count)
+      : schema_(std::move(schema)),
+        file_(std::make_unique<RowFile>(pool, std::move(pages),
+                                        record_count)) {}
+
+  /// Backing pages, for the durability manifest.
+  const std::vector<PageId>& page_ids() const { return file_->page_ids(); }
+
   const Schema& schema() const { return schema_; }
   uint64_t num_rows() const { return file_->record_count(); }
   size_t page_count() const { return file_->page_count(); }
@@ -60,6 +71,23 @@ class StoredRowTable {
 class TransposedTable {
  public:
   TransposedTable(Schema schema, BufferPool* pool);
+
+  /// Durable shape of one column: everything recovery needs to re-attach
+  /// its ColumnFile and rebuild the string dictionary (the label->code
+  /// map is derived from `labels` order).
+  struct ColumnState {
+    std::vector<PageId> pages;
+    uint64_t count = 0;
+    std::vector<std::string> labels;
+  };
+
+  /// Re-attaches to existing on-device column files (crash recovery).
+  /// `columns` must be schema-ordered and schema-sized.
+  TransposedTable(Schema schema, BufferPool* pool,
+                  std::vector<ColumnState> columns, uint64_t num_rows);
+
+  /// Snapshot of every column's durable shape, schema-ordered.
+  std::vector<ColumnState> ExportColumns() const;
 
   const Schema& schema() const { return schema_; }
   uint64_t num_rows() const { return num_rows_; }

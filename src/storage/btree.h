@@ -37,6 +37,16 @@ class BPlusTree {
   /// Creates an empty tree whose pages live in `pool`.
   static Result<std::unique_ptr<BPlusTree>> Create(BufferPool* pool);
 
+  /// Re-attaches to an existing on-device tree (crash recovery): root
+  /// page id and entry count come from a durable manifest. No I/O.
+  static std::unique_ptr<BPlusTree> Attach(BufferPool* pool, PageId root,
+                                           uint64_t size) {
+    auto tree = std::unique_ptr<BPlusTree>(new BPlusTree(pool));
+    tree->root_ = root;
+    tree->size_ = size;
+    return tree;
+  }
+
   BPlusTree(const BPlusTree&) = delete;
   BPlusTree& operator=(const BPlusTree&) = delete;
 

@@ -1,8 +1,21 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
+#include <string>
 #include <utility>
 
+#include "common/checksum.h"
+
 namespace statdb {
+namespace {
+
+// Bounded retry for transient device errors: up to 3 re-attempts with
+// 1/2/4 ms of simulated backoff. Real systems back off to ride out bus
+// resets and the like; the simulator only accounts for the time.
+constexpr int kMaxRetries = 3;
+constexpr double kBackoffBaseMs = 1.0;
+
+}  // namespace
 
 BufferPool::BufferPool(SimulatedDevice* device, size_t capacity_pages)
     : device_(device), capacity_(capacity_pages) {
@@ -13,11 +26,68 @@ BufferPool::BufferPool(SimulatedDevice* device, size_t capacity_pages)
   }
 }
 
+Status BufferPool::ReadWithRetry(PageId id, Page* out) {
+  Status s = device_->ReadPage(id, out);
+  double backoff = kBackoffBaseMs;
+  for (int attempt = 0;
+       attempt < kMaxRetries && s.code() == StatusCode::kUnavailable;
+       ++attempt) {
+    ++stats_.retries;
+    stats_.backoff_ms += backoff;
+    backoff *= 2;
+    s = device_->ReadPage(id, out);
+  }
+  return s;
+}
+
+Status BufferPool::WriteWithRetry(PageId id, const Page& page) {
+  Status s = device_->WritePage(id, page);
+  double backoff = kBackoffBaseMs;
+  for (int attempt = 0;
+       attempt < kMaxRetries && s.code() == StatusCode::kUnavailable;
+       ++attempt) {
+    ++stats_.retries;
+    stats_.backoff_ms += backoff;
+    backoff *= 2;
+    s = device_->WritePage(id, page);
+  }
+  return s;
+}
+
+Status BufferPool::WriteBack(Frame& f) {
+  f.page.header.checksum = Crc32c(f.page.data.data(), kPageSize);
+  f.page.header.flags |= PageHeader::kChecksummed;
+  STATDB_RETURN_IF_ERROR(WriteWithRetry(f.id, f.page));
+  ++stats_.flushes;
+  f.dirty = false;
+  return Status::OK();
+}
+
 Result<size_t> BufferPool::GetFreeFrame() {
   if (!free_frames_.empty()) {
     size_t idx = free_frames_.back();
     free_frames_.pop_back();
     return idx;
+  }
+  if (no_steal_) {
+    // Evict the least-recently-used *clean* frame; dirty frames must not
+    // reach the device before their commit record does.
+    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+      Frame& f = frames_[*it];
+      if (!f.dirty) {
+        size_t victim = *it;
+        lru_.erase(it);
+        f.in_lru = false;
+        page_table_.erase(f.id);
+        ++stats_.evictions;
+        return victim;
+      }
+    }
+    // Everything evictable is dirty: grow an overflow frame. The deque
+    // keeps existing frames (and outstanding Page*) stable.
+    frames_.emplace_back();
+    ++stats_.overflow_frames;
+    return frames_.size() - 1;
   }
   if (lru_.empty()) {
     return ResourceExhaustedError("buffer pool: all frames pinned");
@@ -27,9 +97,7 @@ Result<size_t> BufferPool::GetFreeFrame() {
   Frame& f = frames_[victim];
   f.in_lru = false;
   if (f.dirty) {
-    STATDB_RETURN_IF_ERROR(device_->WritePage(f.id, f.page));
-    ++stats_.flushes;
-    f.dirty = false;
+    STATDB_RETURN_IF_ERROR(WriteBack(f));
   }
   page_table_.erase(f.id);
   ++stats_.evictions;
@@ -65,10 +133,20 @@ Result<Page*> BufferPool::FetchPage(PageId id) {
   ++stats_.misses;
   STATDB_ASSIGN_OR_RETURN(size_t idx, GetFreeFrame());
   Frame& f = frames_[idx];
-  Status s = device_->ReadPage(id, &f.page);
+  Status s = ReadWithRetry(id, &f.page);
   if (!s.ok()) {
     free_frames_.push_back(idx);
     return s;
+  }
+  // Verify media integrity before handing the page to anyone. Pages that
+  // were never written through a pool (raw device tests, pre-durability
+  // data) carry no stamp and are exempt.
+  if (f.page.header.checksummed() &&
+      Crc32c(f.page.data.data(), kPageSize) != f.page.header.checksum) {
+    ++stats_.checksum_failures;
+    free_frames_.push_back(idx);
+    return DataLossError("checksum mismatch on device " + device_->name() +
+                         " page " + std::to_string(id));
   }
   f.id = id;
   f.pin_count = 1;
@@ -105,12 +183,70 @@ Status BufferPool::FlushAllLocked() {
   for (auto& [id, idx] : page_table_) {
     Frame& f = frames_[idx];
     if (f.dirty) {
-      STATDB_RETURN_IF_ERROR(device_->WritePage(f.id, f.page));
-      ++stats_.flushes;
-      f.dirty = false;
+      STATDB_RETURN_IF_ERROR(WriteBack(f));
     }
   }
+  ShrinkLocked();
   return Status::OK();
+}
+
+void BufferPool::ShrinkLocked() {
+  while (frames_.size() > capacity_) {
+    size_t idx = frames_.size() - 1;
+    Frame& f = frames_[idx];
+    if (f.pin_count > 0 || f.dirty) break;
+    if (f.id != kInvalidPageId && page_table_.count(f.id) != 0 &&
+        page_table_[f.id] == idx) {
+      if (!f.in_lru) break;  // shouldn't happen: unpinned residents are in lru
+      lru_.erase(f.lru_pos);
+      page_table_.erase(f.id);
+    } else {
+      // The frame is on the free list; drop its entry before popping.
+      auto it = std::find(free_frames_.begin(), free_frames_.end(), idx);
+      if (it != free_frames_.end()) free_frames_.erase(it);
+    }
+    frames_.pop_back();
+  }
+}
+
+std::vector<std::pair<PageId, Page>> BufferPool::CollectDirty(uint64_t lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<PageId, Page>> out;
+  for (auto& [id, idx] : page_table_) {
+    Frame& f = frames_[idx];
+    if (!f.dirty) continue;
+    f.page.header.lsn = lsn;
+    f.page.header.checksum = Crc32c(f.page.data.data(), kPageSize);
+    f.page.header.flags |= PageHeader::kChecksummed;
+    out.emplace_back(f.id, f.page);
+  }
+  // page_table_ iteration order is unspecified; sort so the redo record's
+  // byte stream is deterministic for a given commit.
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+void BufferPool::set_no_steal(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  no_steal_ = on;
+}
+
+bool BufferPool::no_steal() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return no_steal_;
+}
+
+void BufferPool::DiscardAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  page_table_.clear();
+  lru_.clear();
+  free_frames_.clear();
+  frames_.clear();
+  frames_.resize(capacity_);
+  for (size_t i = 0; i < capacity_; ++i) {
+    free_frames_.push_back(capacity_ - 1 - i);
+  }
 }
 
 Status BufferPool::Reset() {
@@ -124,8 +260,9 @@ Status BufferPool::Reset() {
   page_table_.clear();
   lru_.clear();
   free_frames_.clear();
+  frames_.clear();
+  frames_.resize(capacity_);
   for (size_t i = 0; i < capacity_; ++i) {
-    frames_[i] = Frame{};
     free_frames_.push_back(capacity_ - 1 - i);
   }
   return Status::OK();

@@ -2,9 +2,11 @@
 #define STATDB_STORAGE_BUFFER_POOL_H_
 
 #include <cstdint>
+#include <deque>
 #include <list>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -20,6 +22,18 @@ struct BufferPoolStats {
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t flushes = 0;
+  /// Device I/Os re-issued after a transient (UNAVAILABLE) failure.
+  uint64_t retries = 0;
+  /// Simulated backoff time spent between retry attempts (the simulator
+  /// never sleeps for real; this feeds the cost accounting like
+  /// IoStats::simulated_ms does).
+  double backoff_ms = 0;
+  /// Fetched pages whose stored checksum did not match their data —
+  /// surfaced to the caller as DATA_LOSS.
+  uint64_t checksum_failures = 0;
+  /// Frames allocated past nominal capacity because no-steal mode forbade
+  /// evicting the only (dirty) victims. Shrinks back after FlushAll.
+  uint64_t overflow_frames = 0;
 
   double HitRate() const {
     uint64_t total = hits + misses;
@@ -35,15 +49,28 @@ struct BufferPoolStats {
 /// so pool capacity relative to file size is the lever the paper's caching
 /// arguments turn on.
 ///
+/// Durability hooks:
+///   - Every write-back stamps a CRC-32C of the data area into the page
+///     header; every fetch miss verifies it (when stamped) and returns
+///     DATA_LOSS on mismatch instead of serving corrupt bytes.
+///   - Transient device errors (UNAVAILABLE) are retried a bounded number
+///     of times with exponential (simulated) backoff before surfacing.
+///   - In no-steal mode, dirty frames are never evicted to the device;
+///     when every eviction candidate is dirty the pool grows overflow
+///     frames past capacity instead, and shrinks back after FlushAll.
+///     This is what makes redo-only logging sound: no uncommitted page
+///     image can reach the platter early.
+///
 /// Threading rules (the parallel scan layer in src/exec depends on them):
 ///   - Every public method is internally synchronized; worker threads may
 ///     pin, unpin and flush concurrently. The owning device is accessed
 ///     only under this pool's mutex, so its IoStats counters need no
 ///     locking of their own.
 ///   - A pinned Page* may be *read* without the lock (a pinned frame is
-///     never evicted or relocated). Concurrent *writers* of one page must
-///     coordinate among themselves; the read-only scans in src/exec never
-///     write.
+///     never evicted or relocated — frames live in a deque precisely so
+///     overflow growth does not move existing frames). Concurrent
+///     *writers* of one page must coordinate among themselves; the
+///     read-only scans in src/exec never write.
 ///   - stats() returns a snapshot by value; read it from a quiescent pool
 ///     (after the join barrier) for exact figures. CheckAccess-based
 ///     audits must also run quiescent.
@@ -57,17 +84,35 @@ class BufferPool {
   /// Allocates a brand-new zeroed page on the device and pins it.
   Result<std::pair<PageId, Page*>> NewPage();
 
-  /// Pins page `id`, reading it from the device on a miss.
+  /// Pins page `id`, reading it from the device on a miss. DATA_LOSS if
+  /// the stored page fails checksum verification.
   Result<Page*> FetchPage(PageId id);
 
   /// Releases a pin. `dirty` marks the frame for write-back on eviction.
   Status UnpinPage(PageId id, bool dirty);
 
-  /// Writes back every dirty frame (pinned or not).
+  /// Writes back every dirty frame (pinned or not), then releases any
+  /// overflow frames no-steal mode grew.
   Status FlushAll();
 
   /// Drops all unpinned frames after flushing them; errors if pins remain.
   Status Reset();
+
+  /// Crash simulation: drops every frame *without* flushing, losing all
+  /// buffered-but-unwritten work, exactly as a power cut would. Pins are
+  /// ignored — the process holding them is "gone".
+  void DiscardAll();
+
+  /// Enables/disables no-steal eviction (see class comment). Turning it
+  /// off does not flush; pending dirty frames simply become evictable.
+  void set_no_steal(bool on);
+  bool no_steal() const;
+
+  /// Commit support: stamps `lsn` (and the checksum) into the header of
+  /// every dirty frame and returns copies of those pages sorted by id —
+  /// the byte-exact images a redo-log record must carry so replay equals
+  /// the in-place writes FlushAll() will perform next.
+  std::vector<std::pair<PageId, Page>> CollectDirty(uint64_t lsn);
 
   BufferPoolStats stats() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -99,8 +144,20 @@ class BufferPool {
   /// Caller holds mu_.
   Result<size_t> GetFreeFrame();
 
+  /// Stamps the checksum and writes one frame back with retry; clears its
+  /// dirty bit on success. Caller holds mu_.
+  Status WriteBack(Frame& f);
+
+  /// Bounded-retry device I/O; transient UNAVAILABLE errors are retried
+  /// with exponential simulated backoff. Caller holds mu_.
+  Status ReadWithRetry(PageId id, Page* out);
+  Status WriteWithRetry(PageId id, const Page& page);
+
   /// FlushAll body; caller holds mu_.
   Status FlushAllLocked();
+
+  /// Releases clean trailing overflow frames; caller holds mu_.
+  void ShrinkLocked();
 
   /// Serializes all pool state, the stats counters, and every access to
   /// the underlying device.
@@ -108,10 +165,13 @@ class BufferPool {
 
   SimulatedDevice* device_;
   size_t capacity_;
-  std::vector<Frame> frames_;
+  // Deque, not vector: overflow growth must not relocate frames that
+  // concurrent readers hold pinned Page* into.
+  std::deque<Frame> frames_;
   std::vector<size_t> free_frames_;
   std::unordered_map<PageId, size_t> page_table_;
   std::list<size_t> lru_;  // front = least recently used
+  bool no_steal_ = false;
   BufferPoolStats stats_;
 };
 

@@ -26,6 +26,12 @@ class ColumnFile {
 
   explicit ColumnFile(BufferPool* pool) : pool_(pool) {}
 
+  /// Re-attaches to an existing on-device column (crash recovery): the
+  /// page list and cell count come from a durable manifest, the pages
+  /// themselves from the device. No I/O happens here.
+  ColumnFile(BufferPool* pool, std::vector<PageId> pages, uint64_t count)
+      : pool_(pool), pages_(std::move(pages)), count_(count) {}
+
   ColumnFile(const ColumnFile&) = delete;
   ColumnFile& operator=(const ColumnFile&) = delete;
 
@@ -61,6 +67,10 @@ class ColumnFile {
 
   uint64_t size() const { return count_; }
   size_t page_count() const { return pages_.size(); }
+
+  /// Device page ids backing this column, in file order — what the
+  /// durability manifest records so recovery can re-attach.
+  const std::vector<PageId>& page_ids() const { return pages_; }
 
  private:
   /// Read-only introspection for the structural auditor (src/check).

@@ -47,15 +47,29 @@ struct DeviceCostModel {
   static DeviceCostModel Tape() { return {5.0, 200.0, 2000.0}; }
 };
 
+/// Per-device fault-injection counters (zero on a plain SimulatedDevice;
+/// live counts on a FaultInjectingDevice, exported via DumpMetrics).
+struct FaultCounters {
+  uint64_t transient_errors = 0;  // injected retryable I/O failures
+  uint64_t permanent_errors = 0;  // I/O refused because the device died
+  uint64_t torn_writes = 0;       // writes that persisted only half a page
+  uint64_t bit_flips = 0;         // reads corrupted by a single-bit flip
+  uint64_t power_cuts = 0;        // CutPower() invocations (manual or scheduled)
+};
+
 /// A block-addressed simulated storage device backed by memory.
 ///
 /// All file structures (row files, transposed files, B+-trees) sit on a
 /// device via a BufferPool. Devices are sized on demand: AllocatePage
 /// grows the backing store.
+///
+/// ReadPage/WritePage are virtual so src/fault can wrap the I/O path with
+/// deterministic failure schedules without the storage layer knowing.
 class SimulatedDevice {
  public:
   SimulatedDevice(std::string name, DeviceCostModel cost)
       : name_(std::move(name)), cost_(cost) {}
+  virtual ~SimulatedDevice() = default;
 
   SimulatedDevice(const SimulatedDevice&) = delete;
   SimulatedDevice& operator=(const SimulatedDevice&) = delete;
@@ -64,10 +78,13 @@ class SimulatedDevice {
   PageId AllocatePage();
 
   /// Reads block `id` into `*out`, charging the cost model.
-  Status ReadPage(PageId id, Page* out);
+  virtual Status ReadPage(PageId id, Page* out);
 
   /// Writes `page` to block `id`, charging the cost model.
-  Status WritePage(PageId id, const Page& page);
+  virtual Status WritePage(PageId id, const Page& page);
+
+  /// Fault counters, or nullptr when this device does not inject faults.
+  virtual const FaultCounters* fault_counters() const { return nullptr; }
 
   const std::string& name() const { return name_; }
   const IoStats& stats() const { return stats_; }
@@ -75,8 +92,23 @@ class SimulatedDevice {
   uint64_t page_count() const { return pages_.size(); }
   const DeviceCostModel& cost_model() const { return cost_; }
 
- private:
+ protected:
   void Charge(PageId id, bool is_write);
+
+  /// Direct access to the persisted page image, bypassing the cost model.
+  /// Used by fault injection (to tear or flip stored bytes) and by the
+  /// auditor's checksum walk (which must not distort I/O accounting).
+  /// nullptr when `id` is out of range.
+  Page* raw_page(PageId id) {
+    return id < pages_.size() ? pages_[id].get() : nullptr;
+  }
+  const Page* raw_page(PageId id) const {
+    return id < pages_.size() ? pages_[id].get() : nullptr;
+  }
+
+ private:
+  /// Read-only introspection for the structural auditor (src/check).
+  friend class CheckAccess;
 
   std::string name_;
   DeviceCostModel cost_;

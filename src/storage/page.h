@@ -15,10 +15,32 @@ inline constexpr size_t kPageSize = 4096;
 using PageId = uint64_t;
 inline constexpr PageId kInvalidPageId = ~PageId{0};
 
+/// Out-of-band page metadata, persisted by the device next to the data
+/// area (a real disk would reserve the first bytes of the block; keeping
+/// it a separate field leaves every existing in-page layout offset
+/// untouched). The checksum covers only the 4096-byte data area and is
+/// stamped by the buffer pool on write-back; `flags` says whether the
+/// checksum has ever been stamped, so pages written before durability
+/// was enabled (or by raw device tests) are not false positives.
+struct PageHeader {
+  /// CRC-32C of the data area; valid only when kChecksummed is set.
+  uint32_t checksum = 0;
+  uint32_t flags = 0;
+  /// Log sequence number of the commit that last wrote this page
+  /// (0 = never written under WAL). The auditor checks it never exceeds
+  /// the WAL's last committed LSN.
+  uint64_t lsn = 0;
+
+  static constexpr uint32_t kChecksummed = 1u << 0;
+
+  bool checksummed() const { return (flags & kChecksummed) != 0; }
+};
+
 /// One fixed-size page worth of raw bytes. Layout interpretation (slotted
 /// record page, column segment, B+-tree node) is owned by the file layer.
 struct Page {
   std::array<uint8_t, kPageSize> data{};
+  PageHeader header;
 
   uint8_t* bytes() { return data.data(); }
   const uint8_t* bytes() const { return data.data(); }
@@ -33,7 +55,10 @@ struct Page {
     return reinterpret_cast<const T*>(data.data() + offset);
   }
 
-  void Zero() { data.fill(0); }
+  void Zero() {
+    data.fill(0);
+    header = PageHeader{};
+  }
 };
 
 }  // namespace statdb

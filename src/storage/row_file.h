@@ -29,6 +29,10 @@ class RowFile {
  public:
   explicit RowFile(BufferPool* pool) : pool_(pool) {}
 
+  /// Re-attaches to an existing on-device heap file (crash recovery).
+  RowFile(BufferPool* pool, std::vector<PageId> pages, uint64_t record_count)
+      : pool_(pool), pages_(std::move(pages)), record_count_(record_count) {}
+
   RowFile(const RowFile&) = delete;
   RowFile& operator=(const RowFile&) = delete;
 
@@ -53,6 +57,10 @@ class RowFile {
 
   uint64_t record_count() const { return record_count_; }
   size_t page_count() const { return pages_.size(); }
+
+  /// Device page ids backing this file, in file order (for the
+  /// durability manifest).
+  const std::vector<PageId>& page_ids() const { return pages_; }
 
  private:
   Result<Page*> FetchFilePage(uint32_t index) const;

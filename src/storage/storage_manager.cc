@@ -16,6 +16,23 @@ Result<SimulatedDevice*> StorageManager::AddDevice(const std::string& name,
   return raw;
 }
 
+Result<SimulatedDevice*> StorageManager::AdoptDevice(
+    const std::string& name, std::unique_ptr<SimulatedDevice> device,
+    size_t pool_pages) {
+  if (mounts_.contains(name)) {
+    return AlreadyExistsError("device already mounted: " + name);
+  }
+  if (device == nullptr) {
+    return InvalidArgumentError("AdoptDevice: null device");
+  }
+  Mount mount;
+  mount.device = std::move(device);
+  mount.pool = std::make_unique<BufferPool>(mount.device.get(), pool_pages);
+  SimulatedDevice* raw = mount.device.get();
+  mounts_.emplace(name, std::move(mount));
+  return raw;
+}
+
 Result<SimulatedDevice*> StorageManager::GetDevice(
     const std::string& name) const {
   auto it = mounts_.find(name);

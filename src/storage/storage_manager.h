@@ -27,6 +27,13 @@ class StorageManager {
   Result<SimulatedDevice*> AddDevice(const std::string& name,
                                      DeviceCostModel cost, size_t pool_pages);
 
+  /// Registers a caller-constructed device (e.g. a FaultInjectingDevice
+  /// from src/fault — the storage layer must not depend on it) under
+  /// `name` with a `pool_pages`-sized buffer pool.
+  Result<SimulatedDevice*> AdoptDevice(const std::string& name,
+                                       std::unique_ptr<SimulatedDevice> device,
+                                       size_t pool_pages);
+
   Result<SimulatedDevice*> GetDevice(const std::string& name) const;
   Result<BufferPool*> GetPool(const std::string& name) const;
 

@@ -72,6 +72,19 @@ class SummaryDatabase {
  public:
   static Result<std::unique_ptr<SummaryDatabase>> Create(BufferPool* pool);
 
+  /// Re-attaches to an existing on-device summary index (crash
+  /// recovery): tree root/size and the entry count come from a durable
+  /// manifest. Stats restart at zero — they are session counters.
+  static std::unique_ptr<SummaryDatabase> Attach(BufferPool* pool,
+                                                 PageId tree_root,
+                                                 uint64_t tree_size,
+                                                 uint64_t entry_count) {
+    auto db = std::unique_ptr<SummaryDatabase>(
+        new SummaryDatabase(BPlusTree::Attach(pool, tree_root, tree_size)));
+    db->entry_count_ = entry_count;
+    return db;
+  }
+
   SummaryDatabase(const SummaryDatabase&) = delete;
   SummaryDatabase& operator=(const SummaryDatabase&) = delete;
 

@@ -1,0 +1,233 @@
+// The crash matrix: a deterministic operation script is run against
+// fault-injecting devices, power is cut at every sampled write of every
+// device, and the installation is rebooted — Recover() must bring it to a
+// state that (a) passes a full FsckDatabase audit with zero findings and
+// (b) reproduces, bit-exactly, the committed prefix of the fault-free
+// oracle run. Two crash flavours per point: a torn in-flight write
+// (kPowerCut) and a write that never lands (kPermanentFailure).
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/db_auditor.h"
+#include "core/dbms.h"
+#include "fault/fault.h"
+#include "gtest/gtest.h"
+#include "relational/datagen.h"
+#include "relational/expr.h"
+#include "tests/test_util.h"
+
+namespace statdb {
+namespace {
+
+struct Rig {
+  std::unique_ptr<StorageManager> storage;
+  FaultInjectingDevice* disk = nullptr;
+  FaultInjectingDevice* wal = nullptr;
+};
+
+Rig MakeRig() {
+  Rig rig;
+  rig.storage = std::make_unique<StorageManager>();
+  EXPECT_TRUE(
+      rig.storage->AddDevice("tape", DeviceCostModel::Tape(), 256).ok());
+  auto disk =
+      std::make_unique<FaultInjectingDevice>("disk", DeviceCostModel::Disk());
+  rig.disk = disk.get();
+  EXPECT_TRUE(rig.storage->AdoptDevice("disk", std::move(disk), 1024).ok());
+  auto wal =
+      std::make_unique<FaultInjectingDevice>("wal", DeviceCostModel::Disk());
+  rig.wal = wal.get();
+  EXPECT_TRUE(rig.storage->AdoptDevice("wal", std::move(wal), 8).ok());
+  return rig;
+}
+
+Table MakeCensus(uint64_t seed) {
+  CensusOptions opts;
+  opts.rows = 300;
+  Rng rng(seed);
+  auto data = GenerateCensusMicrodata(opts, &rng);
+  EXPECT_TRUE(data.ok());
+  return std::move(data).value();
+}
+
+/// Cache-independent fingerprint of the committed data: exact in-order
+/// sums and counts of two columns, read straight off the view's pages.
+/// nullopt = the view does not exist (yet).
+struct Probe {
+  double income_sum = 0;
+  uint64_t income_n = 0;
+  double age_sum = 0;
+  uint64_t age_n = 0;
+
+  friend bool operator==(const Probe& a, const Probe& b) {
+    return a.income_sum == b.income_sum && a.income_n == b.income_n &&
+           a.age_sum == b.age_sum && a.age_n == b.age_n;
+  }
+};
+
+std::optional<Probe> TakeProbe(StatisticalDbms* db) {
+  auto view = db->GetView("v");
+  if (!view.ok()) return std::nullopt;
+  Probe p;
+  auto income = view.value()->ReadNumericColumn("INCOME");
+  auto age = view.value()->ReadNumericColumn("AGE");
+  if (!income.ok() || !age.ok()) return std::nullopt;
+  for (double v : income.value()) p.income_sum += v;
+  p.income_n = income.value().size();
+  for (double v : age.value()) p.age_sum += v;
+  p.age_n = age.value().size();
+  return p;
+}
+
+/// The op script. Every op commits (or is a query whose cache insert
+/// commits); the driver runs them in order and stops at the first error.
+std::vector<std::function<Status(StatisticalDbms*)>> MakeScript(
+    const Table& raw) {
+  std::vector<std::function<Status(StatisticalDbms*)>> ops;
+  ops.push_back([&raw](StatisticalDbms* db) {
+    return db->LoadRawDataSet("census", raw, "synthetic");
+  });
+  ops.push_back([](StatisticalDbms* db) {
+    ViewDefinition def;
+    def.source = "census";
+    return db->CreateView("v", def, MaintenancePolicy::kIncremental).status();
+  });
+  ops.push_back([](StatisticalDbms* db) {
+    return db->Query("v", "mean", "INCOME").status();
+  });
+  ops.push_back([](StatisticalDbms* db) {
+    UpdateSpec spec;
+    spec.predicate = Lt(Col("AGE"), Lit(int64_t{30}));
+    spec.column = "INCOME";
+    spec.value = Mul(Col("INCOME"), Lit(2.0));
+    spec.description = "double incomes of the young";
+    return db->Update("v", spec).status();
+  });
+  ops.push_back([](StatisticalDbms* db) {
+    return db->Query("v", "median", "INCOME").status();
+  });
+  ops.push_back([](StatisticalDbms* db) {
+    UpdateSpec spec;
+    spec.predicate = Gt(Col("AGE"), Lit(int64_t{90}));
+    spec.column = "AGE";
+    spec.value = nullptr;
+    spec.description = "invalidate implausible ages";
+    return db->Update("v", spec).status();
+  });
+  ops.push_back([](StatisticalDbms* db) {
+    return db->Query("v", "mean", "AGE").status();
+  });
+  return ops;
+}
+
+struct OracleRun {
+  /// state[i] = probe after ops[0..i] all succeeded; state.front() is the
+  /// empty pre-script state.
+  std::vector<std::optional<Probe>> state;
+  uint64_t disk_writes = 0;
+  uint64_t wal_writes = 0;
+};
+
+OracleRun RunOracle(const Table& raw) {
+  OracleRun out;
+  Rig rig = MakeRig();
+  StatisticalDbms db(rig.storage.get());
+  EXPECT_TRUE(db.EnableDurability("wal").ok());
+  out.state.push_back(TakeProbe(&db));  // pre-script
+  for (auto& op : MakeScript(raw)) {
+    Status s = op(&db);
+    EXPECT_TRUE(s.ok()) << "oracle op failed: " << s.ToString();
+    out.state.push_back(TakeProbe(&db));
+  }
+  out.disk_writes = rig.disk->write_count();
+  out.wal_writes = rig.wal->write_count();
+  return out;
+}
+
+/// One cell of the matrix: cut (or kill) `device` at its `nth` write,
+/// reboot, recover, audit, and match the probe against the oracle.
+void RunCrashCase(const Table& raw, const OracleRun& oracle, bool cut_disk,
+                  uint64_t nth, FaultKind kind, const std::string& tag) {
+  SCOPED_TRACE(tag);
+  Rig rig = MakeRig();
+  FaultInjectingDevice* target = cut_disk ? rig.disk : rig.wal;
+  FaultSchedule s;
+  s.events.push_back({kind, /*on_write=*/true, nth, 0});
+  target->set_schedule(s);
+
+  size_t ops_ok = 0;
+  {
+    StatisticalDbms db(rig.storage.get());
+    ASSERT_TRUE(db.EnableDurability("wal").ok());
+    for (auto& op : MakeScript(raw)) {
+      if (!op(&db).ok()) break;
+      ++ops_ok;
+    }
+  }
+  // Reboot: platters survive, pools and the process do not.
+  rig.disk->ClearFaults();
+  rig.wal->ClearFaults();
+
+  StatisticalDbms db2(rig.storage.get());
+  ASSERT_TRUE(db2.EnableDurability("wal").ok());
+  Status recovered = db2.Recover();
+  ASSERT_TRUE(recovered.ok()) << recovered.ToString();
+
+  std::string report;
+  Status fsck = FsckDatabase(&db2, &report);
+  ASSERT_TRUE(fsck.ok()) << fsck.ToString() << "\n" << report;
+
+  // The recovered state must equal the oracle after the last op whose
+  // commit reached the log: that is the failed op itself when the crash
+  // hit after its WAL append (e.g. during the in-place flush), or the
+  // last successful op otherwise. A crashed op never half-applies.
+  std::optional<Probe> got = TakeProbe(&db2);
+  const std::optional<Probe>& before = oracle.state[ops_ok];
+  const std::optional<Probe>& after =
+      oracle.state[std::min(ops_ok + 1, oracle.state.size() - 1)];
+  EXPECT_TRUE(got == before || got == after)
+      << "recovered to a state matching neither the pre- nor post-crash-op "
+         "oracle (ops_ok="
+      << ops_ok << ")";
+}
+
+void SweepSeed(uint64_t seed) {
+  Table raw = MakeCensus(seed);
+  OracleRun oracle = RunOracle(raw);
+  ASSERT_EQ(oracle.state.size(), MakeScript(raw).size() + 1);
+  ASSERT_GT(oracle.disk_writes, 0u);
+  ASSERT_GT(oracle.wal_writes, 0u);
+
+  for (bool cut_disk : {false, true}) {
+    const uint64_t total = cut_disk ? oracle.disk_writes : oracle.wal_writes;
+    // Sample ~16 crash points per device, always including the first and
+    // the last write (the classic off-by-one graveyards).
+    const uint64_t stride = std::max<uint64_t>(1, total / 16);
+    std::vector<uint64_t> points;
+    for (uint64_t w = 1; w <= total; w += stride) points.push_back(w);
+    if (points.back() != total) points.push_back(total);
+    for (uint64_t w : points) {
+      for (FaultKind kind :
+           {FaultKind::kPowerCut, FaultKind::kPermanentFailure}) {
+        RunCrashCase(raw, oracle, cut_disk, w, kind,
+                     "seed=" + std::to_string(seed) +
+                         " device=" + (cut_disk ? "disk" : "wal") +
+                         " write#" + std::to_string(w) + " kind=" +
+                         FaultKindName(kind));
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+TEST(CrashMatrixTest, EveryCrashPointRecoversSeed17) { SweepSeed(17); }
+TEST(CrashMatrixTest, EveryCrashPointRecoversSeed91) { SweepSeed(91); }
+
+}  // namespace
+}  // namespace statdb

@@ -8,10 +8,12 @@
 #include "obs/metrics.h"
 
 #include <atomic>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "core/dbms.h"
+#include "fault/fault.h"
 #include "gtest/gtest.h"
 #include "obs/trace.h"
 #include "relational/datagen.h"
@@ -335,6 +337,64 @@ TEST(ObsConcurrencyTest, ConcurrentQueryManyKeepsRegistryCountersExact) {
             reg.GetCounter("exec.pool.tasks_executed")->Get());
   EXPECT_EQ(reg.GetCounter("exec.pool.tasks_rejected")->Get(), 0u);
   EXPECT_GT(reg.GetCounter("exec.pool.tasks_executed")->Get(), 0u);
+}
+
+TEST(ObsFaultTest, RetryFaultAndDurabilityCountersReachTheDump) {
+  auto sm = std::make_unique<StorageManager>();
+  STATDB_ASSERT_OK(sm->AddDevice("tape", DeviceCostModel::Tape(), 256));
+  auto disk =
+      std::make_unique<FaultInjectingDevice>("disk", DeviceCostModel::Disk());
+  FaultInjectingDevice* disk_ptr = disk.get();
+  STATDB_ASSERT_OK(sm->AdoptDevice("disk", std::move(disk), 1024));
+  auto wal =
+      std::make_unique<FaultInjectingDevice>("wal", DeviceCostModel::Disk());
+  STATDB_ASSERT_OK(sm->AdoptDevice("wal", std::move(wal), 8));
+
+  // A transient failure on each of the first disk writes: the pool's
+  // bounded retry absorbs them, and both layers account for it.
+  FaultSchedule flaky;
+  flaky.events.push_back({FaultKind::kTransientError, /*on_write=*/true, 1, 0});
+  flaky.events.push_back({FaultKind::kTransientError, /*on_write=*/true, 3, 0});
+  disk_ptr->set_schedule(flaky);
+
+  StatisticalDbms dbms(sm.get());
+  STATDB_ASSERT_OK(dbms.EnableDurability("wal"));
+  CensusOptions gen;
+  gen.rows = 500;
+  Rng rng(13);
+  auto data = GenerateCensusMicrodata(gen, &rng);
+  STATDB_ASSERT_OK(data);
+  STATDB_ASSERT_OK(dbms.LoadRawDataSet("census", data.value()));
+  ViewDefinition def;
+  def.source = "census";
+  STATDB_ASSERT_OK(
+      dbms.CreateView("v", def, MaintenancePolicy::kIncremental).status());
+  STATDB_ASSERT_OK(dbms.Query("v", "mean", "INCOME").status());
+  EXPECT_FALSE(dbms.degraded());
+
+  // Layer 1: the device counted what it injected.
+  EXPECT_EQ(disk_ptr->counters().transient_errors, 2u);
+  // Layer 2: the pool counted the re-issued I/Os and the simulated wait.
+  auto pool = sm->GetPool("disk");
+  STATDB_ASSERT_OK(pool);
+  EXPECT_GE(pool.value()->stats().retries, 2u);
+  EXPECT_GT(pool.value()->stats().backoff_ms, 0.0);
+  // Layer 3: commits and the WAL advanced.
+  EXPECT_GT(dbms.last_committed_lsn(), 0u);
+  EXPECT_GT(dbms.metrics().GetCounter("dbms.commits")->Get(), 0u);
+
+  // And the one-document dump carries all of it: per-device fault
+  // counters, pool retry accounting, and the durability block.
+  std::string json = dbms.DumpMetrics();
+  for (const char* needle :
+       {"\"faults\"", "\"transient_errors\"", "\"torn_writes\"",
+        "\"bit_flips\"", "\"power_cuts\"", "\"retries\"", "\"backoff_ms\"",
+        "\"checksum_failures\"", "\"overflow_frames\"", "\"wal\"",
+        "\"durability\"", "\"degraded\"", "\"last_lsn\"", "\"recoveries\"",
+        "\"wal_records_appended\"", "\"wal_bytes_appended\"",
+        "\"dbms.commits\""}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,151 @@
+// Flight-recorder overhead on the hot query path (DESIGN.md §12).
+//
+// The recorder's contract is "one relaxed load and a branch when
+// disabled, a handful of relaxed stores when enabled" — cheap enough to
+// leave on in production. This bench prices that contract on the same
+// workload bench_parallel_scan times: the mergeable battery answered by
+// QueryMany at 4 workers, pool pre-warmed, caching off, so every rep does
+// the same scan+aggregate work and the only variable is the recorder.
+//
+// Three phases, interleaved round-robin so clock drift and thermal state
+// spread evenly instead of biasing one phase:
+//   off      recorder disabled (the default-production victim)
+//   on       recorder enabled, no sampling (every event lands)
+//   sampled  enabled with 1-in-16 sampling of the chatty kinds
+//
+// The headline per-phase number is the MIN across reps: the workload is
+// bit-identical every rep, so the minimum is the floor the recorder can
+// actually be blamed for, while sums/means on a shared machine mostly
+// measure scheduler jitter (which dwarfs a few hundred relaxed stores).
+//
+// Emits BENCH_flight_overhead.json with per-phase wall clocks, the
+// overhead percentages the perf gate checks (target: <= 2% enabled,
+// ~0% disabled), and the per-phase simulated I/O — which must be
+// identical across phases, since observation must not change the
+// physical plan. argv[1] overrides the row count (CI runs a small one).
+
+#include <cstdlib>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/dbms.h"
+
+using namespace statdb;
+using namespace statdb::bench;
+
+namespace {
+
+constexpr uint64_t kDefaultRows = 500'000;
+constexpr int kReps = 10;
+constexpr size_t kWorkers = 4;
+const char* kAttr = "INCOME";
+const std::vector<std::string> kBattery = {
+    "count", "sum",  "mean", "variance", "stddev",   "min",
+    "max",   "range", "mode", "distinct", "histogram"};
+
+double SimulatedIoMs(StorageManager* sm) {
+  SimulatedDevice* disk = Unwrap(sm->GetDevice("disk"));
+  return double(disk->stats().simulated_ms);
+}
+
+struct Phase {
+  const char* name;
+  bool enabled;
+  uint64_t sample_every;
+  double total_ms = 0;
+  double min_ms = 0;
+  double io_ms = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t rows = kDefaultRows;
+  if (argc > 1) rows = std::strtoull(argv[1], nullptr, 10);
+  Header("flight_overhead",
+         "Price of the flight recorder on the QueryMany battery: "
+         "disabled vs enabled vs 1-in-16 sampled.");
+  std::printf("rows: %llu, reps/phase: %d, workers: %zu\n",
+              (unsigned long long)rows, kReps, kWorkers);
+
+  auto sm = MakeInstallation(/*tape_pool=*/1024, /*disk_pool=*/32768);
+  StatisticalDbms dbms(sm.get());
+  CheckOk(dbms.LoadRawDataSet("census", MakeCensus(rows)));
+  ViewDefinition def;
+  def.source = "census";
+  Unwrap(dbms.CreateView("v", def, MaintenancePolicy::kInvalidate));
+
+  QueryOptions no_cache;
+  no_cache.cache_result = false;
+
+  std::vector<QueryRequest> battery;
+  for (const std::string& fn : kBattery) battery.push_back({fn, kAttr, {}});
+
+  // Warm the pool once so every phase scans resident pages.
+  Unwrap(dbms.QueryMany("v", battery, no_cache, kWorkers));
+
+  Phase phases[] = {
+      {"off", false, 1},
+      {"on", true, 1},
+      {"sampled", true, 16},
+  };
+
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (Phase& p : phases) {
+      dbms.flight().set_enabled(p.enabled);
+      dbms.flight().set_sample_every(p.sample_every);
+      double io_before = SimulatedIoMs(sm.get());
+      WallTimer t;
+      Unwrap(dbms.QueryMany("v", battery, no_cache, kWorkers));
+      double ms = t.ElapsedMs();
+      p.total_ms += ms;
+      p.min_ms = (rep == 0 || ms < p.min_ms) ? ms : p.min_ms;
+      p.io_ms += SimulatedIoMs(sm.get()) - io_before;
+    }
+  }
+  dbms.flight().set_enabled(true);
+  dbms.flight().set_sample_every(1);
+
+  const double off_ms = phases[0].min_ms;
+  std::printf("\n%10s %12s %12s %14s %12s\n", "phase", "min ms",
+              "total ms", "sim io ms", "overhead");
+  std::vector<std::string> phase_rows;
+  for (const Phase& p : phases) {
+    double overhead_pct = off_ms > 0 ? (p.min_ms / off_ms - 1.0) * 100.0
+                                     : 0.0;
+    std::printf("%10s %12.2f %12.2f %14.2f %11.2f%%\n", p.name, p.min_ms,
+                p.total_ms, p.io_ms, overhead_pct);
+    phase_rows.push_back(JsonObject()
+                             .Str("phase", p.name)
+                             .Num("wall_ms", p.min_ms)
+                             .Num("total_ms", p.total_ms)
+                             .Num("simulated_io_ms", p.io_ms)
+                             .Num("overhead_pct", overhead_pct)
+                             .Build());
+  }
+  std::printf("\nrecorded: %llu events, sampled out: %llu\n",
+              (unsigned long long)dbms.flight().recorded(),
+              (unsigned long long)dbms.flight().sampled_out());
+
+  WriteBenchJson(
+      "flight_overhead",
+      JsonObject()
+          .Str("bench", "flight_overhead")
+          .Int("rows", rows)
+          .Int("reps", kReps)
+          .Int("workers", kWorkers)
+          .Int("battery_size", kBattery.size())
+          .Num("off_ms", phases[0].min_ms)
+          .Num("on_ms", phases[1].min_ms)
+          .Num("sampled_ms", phases[2].min_ms)
+          .Num("overhead_on_pct",
+               off_ms > 0 ? (phases[1].min_ms / off_ms - 1.0) * 100.0 : 0)
+          .Num("overhead_sampled_pct",
+               off_ms > 0 ? (phases[2].min_ms / off_ms - 1.0) * 100.0 : 0)
+          .Num("simulated_io_ms", phases[0].io_ms)
+          .Int("events_recorded", dbms.flight().recorded())
+          .Int("events_sampled_out", dbms.flight().sampled_out())
+          .Raw("phases", JsonArray(phase_rows))
+          .Build());
+  return 0;
+}

@@ -1,12 +1,19 @@
 // Observability tour: runs a small analyst session — queries answered by
 // computation, by the Summary Database, by inference, and served stale —
-// then prints the unified DumpMetrics() JSON document to stdout.
+// then prints one observability document to stdout.
 //
 // stdout carries ONLY the JSON (CI pipes it into a schema check); the
 // human narration, including one `explain`-style trace rendering, goes
-// to stderr.
+// to stderr. The optional argv[1] selects which document:
+//   metrics     (default)  DumpMetrics()      — the PR 3 registry export
+//   flight                 DumpFlightJson()   — the black-box event ring
+//   timeseries             DumpTimeseriesJson() — snapshot deltas + rates
+//   workload               WorkloadReport()   — the §4.3 heatmaps
+//   top                    WorkloadReportText() on stderr, workload JSON
+//                          on stdout (so the pipe check still works)
 
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 
 #include "core/dbms.h"
@@ -17,13 +24,16 @@ using namespace statdb;
 
 namespace {
 
-Status Run() {
+Status Run(const char* mode) {
   StorageManager storage;
   STATDB_RETURN_IF_ERROR(
       storage.AddDevice("tape", DeviceCostModel::Tape(), 1024).status());
   STATDB_RETURN_IF_ERROR(
       storage.AddDevice("disk", DeviceCostModel::Disk(), 16384).status());
   StatisticalDbms dbms(&storage);
+  // Snapshot after every mutation: the tour has exactly one update, so
+  // the timeseries ends with a baseline point and one delta.
+  dbms.EnableTimeseries(1);
 
   CensusOptions gen;
   gen.rows = 20000;
@@ -87,17 +97,33 @@ Status Run() {
       break;
     }
   }
-  std::cerr << "\nDumpMetrics() JSON follows on stdout.\n";
 
   // stdout: the one-document export (validated by CI's schema check).
-  std::cout << dbms.DumpMetrics() << "\n";
+  if (std::strcmp(mode, "flight") == 0) {
+    std::cerr << "\nDumpFlightJson() follows on stdout.\n";
+    std::cout << dbms.DumpFlightJson("tour") << "\n";
+  } else if (std::strcmp(mode, "timeseries") == 0) {
+    std::cerr << "\nDumpTimeseriesJson() follows on stdout.\n";
+    std::cerr << dbms.ExposeText();  // Prometheus rendering, for humans
+    std::cout << dbms.DumpTimeseriesJson() << "\n";
+  } else if (std::strcmp(mode, "workload") == 0) {
+    std::cerr << "\nWorkloadReport() follows on stdout.\n";
+    std::cout << dbms.WorkloadReport() << "\n";
+  } else if (std::strcmp(mode, "top") == 0) {
+    std::cerr << "\n" << dbms.WorkloadReportText();
+    std::cout << dbms.WorkloadReport() << "\n";
+  } else {
+    std::cerr << "\nDumpMetrics() JSON follows on stdout.\n";
+    std::cout << dbms.DumpMetrics() << "\n";
+  }
   return Status::OK();
 }
 
 }  // namespace
 
-int main() {
-  Status s = Run();
+int main(int argc, char** argv) {
+  const char* mode = argc > 1 ? argv[1] : "metrics";
+  Status s = Run(mode);
   if (!s.ok()) {
     std::cerr << "metrics_tour failed: " << s.ToString() << "\n";
     return 1;

@@ -57,6 +57,12 @@ void PrintHelp() {
       " (EXPLAIN)\n"
       "  metrics                            DumpMetrics() JSON (cache/"
       "pool/device/registry)\n"
+      "  top [n]                            workload profiler heatmaps"
+      " (§4.3 advice)\n"
+      "  flight [n]                         last n flight-recorder events"
+      " (default 20)\n"
+      "  timeseries                         metric snapshot deltas + rates"
+      " (JSON)\n"
       "  audit                              fsck: structural + summary-"
       "oracle audit\n"
       "  io                                 simulated device statistics\n"
@@ -133,6 +139,9 @@ class Shell {
     if (cmd == "summary") return CmdSummary(t);
     if (cmd == "explain") return CmdExplain(t);
     if (cmd == "metrics") return CmdMetrics();
+    if (cmd == "top") return CmdTop(t);
+    if (cmd == "flight") return CmdFlight(t);
+    if (cmd == "timeseries") return CmdTimeseries();
     if (cmd == "audit") return CmdAudit();
     if (cmd == "io") return CmdIo();
     return InvalidArgumentError("unknown command: " + cmd +
@@ -326,6 +335,38 @@ class Shell {
 
   Status CmdMetrics() {
     std::cout << dbms_->DumpMetrics() << "\n";
+    return Status::OK();
+  }
+
+  Status CmdTop(const std::vector<std::string>& t) {
+    size_t n = t.size() > 1 ? std::stoull(t[1]) : 10;
+    std::cout << dbms_->WorkloadReportText(n);
+    return Status::OK();
+  }
+
+  Status CmdFlight(const std::vector<std::string>& t) {
+    size_t n = t.size() > 1 ? std::stoull(t[1]) : 20;
+    std::vector<FlightEvent> events = dbms_->flight().SnapshotEvents();
+    size_t begin = events.size() > n ? events.size() - n : 0;
+    std::printf("  %-8s %-10s %-16s %-28s %10s %10s %10s\n", "SEQ",
+                "T_MS", "KIND", "LABEL", "A", "B", "X");
+    for (size_t i = begin; i < events.size(); ++i) {
+      const FlightEvent& e = events[i];
+      std::printf("  %-8llu %-10.2f %-16s %-28s %10lld %10lld %10.3f\n",
+                  static_cast<unsigned long long>(e.seq), e.t_ms,
+                  FlightEventKindName(e.kind), e.label,
+                  static_cast<long long>(e.a), static_cast<long long>(e.b),
+                  e.x);
+    }
+    std::cout << "  (" << dbms_->flight().recorded()
+              << " events recorded total; showing last "
+              << (events.size() - begin) << ")\n";
+    return Status::OK();
+  }
+
+  Status CmdTimeseries() {
+    dbms_->TickTimeseries();
+    std::cout << dbms_->DumpTimeseriesJson() << "\n";
     return Status::OK();
   }
 

@@ -76,9 +76,37 @@ def check_fault_injection(doc: dict, name: str) -> None:
                 f"{name}: metrics durability missing '{key}'")
 
 
+def check_flight_overhead(doc: dict, name: str) -> None:
+    for key in ("rows", "reps", "workers", "battery_size", "off_ms",
+                "on_ms", "sampled_ms", "overhead_on_pct",
+                "overhead_sampled_pct", "simulated_io_ms",
+                "events_recorded", "events_sampled_out", "phases"):
+        require(key in doc, f"{name}: missing '{key}'")
+    phases = doc["phases"]
+    require(isinstance(phases, list) and len(phases) == 3,
+            f"{name}: expected exactly 3 phases")
+    names = [p.get("phase") for p in phases]
+    require(names == ["off", "on", "sampled"],
+            f"{name}: phase names are {names}")
+    for p in phases:
+        for key in ("wall_ms", "simulated_io_ms", "overhead_pct"):
+            require(key in p, f"{name}: phase '{p['phase']}' missing '{key}'")
+        require(p["wall_ms"] > 0, f"{name}: phase '{p['phase']}' ran nothing")
+    # Observation must not change the physical plan: the enabled phases
+    # do the same simulated I/O as the disabled one.
+    off_io = phases[0]["simulated_io_ms"]
+    for p in phases[1:]:
+        require(abs(p["simulated_io_ms"] - off_io) < 1e-6,
+                f"{name}: phase '{p['phase']}' changed simulated I/O "
+                f"({p['simulated_io_ms']} vs {off_io})")
+    require(doc["events_recorded"] > 0,
+            f"{name}: enabled phases recorded no events")
+
+
 CHECKERS = {
     "parallel_scan": check_parallel_scan,
     "fault_injection": check_fault_injection,
+    "flight_overhead": check_flight_overhead,
 }
 
 

@@ -1,12 +1,20 @@
 #!/usr/bin/env python3
-"""Validates a DumpMetrics() JSON document read from stdin.
+"""Validates an observability JSON document read from stdin.
 
-Tiny structural schema check used by CI's metrics smoke step: the full
-document must parse as one JSON object, carry the three top-level
-sections, and each section must contain the cost-model signals DESIGN.md
-§10 promises. Exits non-zero with a message on the first violation.
+Tiny structural schema check used by CI's metrics smoke step. The kind of
+document is selected with --kind:
+
+  metrics     DumpMetrics()        — views/devices/registry  (default)
+  flight      DumpFlightJson()     — the flight-recorder event window
+  timeseries  DumpTimeseriesJson() — snapshot deltas + derived rates
+  workload    WorkloadReport()     — the §4.3 function/attribute heatmaps
+
+Each document must parse as one JSON object and carry the signals
+DESIGN.md §10/§12 promise. Exits non-zero with a message on the first
+violation.
 """
 
+import argparse
 import json
 import sys
 
@@ -21,16 +29,7 @@ def require(cond: bool, msg: str) -> None:
         fail(msg)
 
 
-def main() -> None:
-    text = sys.stdin.read().strip()
-    require(bool(text), "empty input")
-    # The tour may print exactly one document; tolerate trailing newline.
-    try:
-        doc = json.loads(text)
-    except json.JSONDecodeError as e:
-        fail(f"not valid JSON: {e}")
-    require(isinstance(doc, dict), "top level is not an object")
-
+def check_metrics(doc: dict) -> str:
     for section in ("views", "devices", "registry"):
         require(section in doc, f"missing top-level section '{section}'")
         require(isinstance(doc[section], dict),
@@ -78,10 +77,131 @@ def main() -> None:
         require(counter in reg["counters"],
                 f"registry missing counter '{counter}'")
 
-    print(f"metrics schema OK: {len(doc['views'])} view(s), "
-          f"{len(doc['devices'])} device(s), "
-          f"{len(reg['counters'])} counters, "
-          f"{len(reg['histograms'])} histograms")
+    return (f"{len(doc['views'])} view(s), {len(doc['devices'])} device(s), "
+            f"{len(reg['counters'])} counters, "
+            f"{len(reg['histograms'])} histograms")
+
+
+KNOWN_EVENT_KINDS = {
+    "query_begin", "query_end", "cache_hit", "cache_miss", "stale_serve",
+    "maintainer_arm", "maintainer_fire", "wal_commit", "fault_injected",
+    "io_retry", "recovery_step", "degraded", "data_loss", "update",
+    "rollback",
+}
+
+
+def check_flight(doc: dict) -> str:
+    require("flight" in doc, "missing top-level 'flight' object")
+    flight = doc["flight"]
+    require(isinstance(flight, dict), "'flight' is not an object")
+    for key in ("reason", "enabled", "capacity", "recorded", "sampled_out",
+                "sample_every", "auto_dumps", "events"):
+        require(key in flight, f"flight missing '{key}'")
+    events = flight["events"]
+    require(isinstance(events, list), "'events' is not an array")
+    require(len(events) <= flight["capacity"],
+            "more events than ring capacity")
+    last_seq = -1
+    for i, ev in enumerate(events):
+        for key in ("seq", "t_ms", "kind", "label", "a", "b", "x"):
+            require(key in ev, f"event [{i}] missing '{key}'")
+        require(ev["kind"] in KNOWN_EVENT_KINDS,
+                f"event [{i}] has unknown kind '{ev['kind']}'")
+        require(ev["seq"] > last_seq,
+                f"event [{i}] seq {ev['seq']} not ascending")
+        last_seq = ev["seq"]
+    return (f"reason '{flight['reason']}', {len(events)} event(s) of "
+            f"{flight['recorded']} recorded")
+
+
+def check_timeseries(doc: dict) -> str:
+    require("timeseries" in doc, "missing top-level 'timeseries' object")
+    ts = doc["timeseries"]
+    require(isinstance(ts, dict), "'timeseries' is not an object")
+    for key in ("capacity", "count", "dropped", "deltas"):
+        require(key in ts, f"timeseries missing '{key}'")
+    require(ts["count"] >= 1, "timeseries holds no snapshots")
+    require("base" in ts, "non-empty timeseries missing 'base'")
+    for key in ("t_ms", "seq", "values"):
+        require(key in ts["base"], f"base point missing '{key}'")
+    require(isinstance(ts["deltas"], list), "'deltas' is not an array")
+    require(len(ts["deltas"]) == ts["count"] - 1,
+            f"{ts['count']} points should yield {ts['count'] - 1} deltas, "
+            f"got {len(ts['deltas'])}")
+    for i, d in enumerate(ts["deltas"]):
+        for key in ("dt_ms", "from_seq", "to_seq", "delta", "rates"):
+            require(key in d, f"delta [{i}] missing '{key}'")
+        require(d["to_seq"] >= d["from_seq"],
+                f"delta [{i}] runs backwards")
+        for key, v in d["delta"].items():
+            require(v >= 0, f"delta [{i}] '{key}' is negative ({v}); "
+                    "counter deltas clamp to 0")
+    return f"{ts['count']} point(s), {len(ts['deltas'])} delta(s)"
+
+
+ADVICE = {"cache-only", "maintain", "invalidate", "borderline"}
+
+
+def check_workload(doc: dict) -> str:
+    require("workload" in doc, "missing top-level 'workload' object")
+    wl = doc["workload"]
+    require(isinstance(wl, dict), "'workload' is not an object")
+    for key in ("total_queries", "total_updates", "functions", "attributes"):
+        require(key in wl, f"workload missing '{key}'")
+    require(wl["total_queries"] >= 1, "profiler saw no queries")
+    require(len(wl["functions"]) >= 1, "no function heatmap cells")
+    require(len(wl["attributes"]) >= 1, "no attribute heatmap rows")
+    cell_queries = 0
+    for key, cell in wl["functions"].items():
+        require("(" in key and key.endswith(")"),
+                f"function key '{key}' is not 'view.fn(attr)'-shaped")
+        for field in ("queries", "computed", "cache_hits", "stale_serves",
+                      "inferred", "failed", "total_ms"):
+            require(field in cell, f"function '{key}' missing '{field}'")
+        outcomes = (cell["computed"] + cell["cache_hits"] +
+                    cell["stale_serves"] + cell["inferred"] + cell["failed"])
+        require(outcomes == cell["queries"],
+                f"function '{key}': outcomes {outcomes} != "
+                f"queries {cell['queries']}")
+        cell_queries += cell["queries"]
+    require(cell_queries == wl["total_queries"],
+            f"function cells sum to {cell_queries}, "
+            f"total_queries is {wl['total_queries']}")
+    for key, row in wl["attributes"].items():
+        for field in ("accesses", "updates", "cells_updated", "query_ms",
+                      "advice"):
+            require(field in row, f"attribute '{key}' missing '{field}'")
+        require(row["advice"] in ADVICE,
+                f"attribute '{key}' has unknown advice '{row['advice']}'")
+    return (f"{wl['total_queries']} queries over "
+            f"{len(wl['functions'])} function cell(s), "
+            f"{len(wl['attributes'])} attribute row(s)")
+
+
+CHECKERS = {
+    "metrics": check_metrics,
+    "flight": check_flight,
+    "timeseries": check_timeseries,
+    "workload": check_workload,
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--kind", choices=sorted(CHECKERS),
+                        default="metrics")
+    args = parser.parse_args()
+
+    text = sys.stdin.read().strip()
+    require(bool(text), "empty input")
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
+        fail(f"not valid JSON: {e}")
+    require(isinstance(doc, dict), "top level is not an object")
+
+    summary = CHECKERS[args.kind](doc)
+    print(f"{args.kind} schema OK: {summary}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: diff BENCH_*.json against committed baselines.
+
+Usage:
+  compare_bench.py --baseline-dir bench/baseline [options] BENCH_foo.json ...
+
+Each current file is compared against the file of the same name in the
+baseline directory. Two classes of numeric series are diffed:
+
+  gated  — deterministic cost-model metrics (simulated I/O milliseconds,
+           block read/write/seek counts). These are reproducible across
+           machines because the device model, not the wall clock, prices
+           them; a change beyond --threshold (default 15%) in the
+           worse direction FAILS the gate. This is the hot-path signal:
+           a refactor that makes the scan path touch more pages moves
+           simulated_io_ms no matter how fast the runner is.
+
+  wall   — wall-clock series (*_ms, *_pct, speedups). Shared CI runners
+           make these noisy, so they only WARN by default; --strict-wall
+           promotes them to failures for quiet local machines.
+
+Scale keys (rows, reps, workers, battery sizes) must match the baseline
+exactly — comparing a 200k-row run against a 1M-row baseline is a bug in
+the harness, not a regression.
+
+--synthetic-regression PCT inflates every gated current value by PCT
+percent before comparison. CI uses it as a self-test: the gate must go
+red on a synthetic 20% slowdown, proving the lane would actually catch
+one.
+
+Exit status: 0 clean, 1 on any gate failure (or wall failure under
+--strict-wall).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Deterministic cost-model leaves: gate these hard.
+GATED_KEYS = {"simulated_io_ms", "simulated_ms", "block_reads",
+              "block_writes", "seeks"}
+
+# Workload-scale leaves: must match the baseline exactly.
+SCALE_KEYS = {"rows", "reps", "workers", "battery_size", "scan_reps",
+              "commit_reps"}
+
+# Leaves where bigger is better (everything else: smaller is better).
+HIGHER_IS_BETTER = ("speedup", "hit_rate")
+
+
+def flatten(doc, prefix=""):
+    """Yields (path, value) for every numeric leaf."""
+    if isinstance(doc, dict):
+        for k, v in doc.items():
+            yield from flatten(v, f"{prefix}.{k}" if prefix else k)
+    elif isinstance(doc, list):
+        for i, v in enumerate(doc):
+            yield from flatten(v, f"{prefix}[{i}]")
+    elif isinstance(doc, (int, float)) and not isinstance(doc, bool):
+        yield prefix, float(doc)
+
+
+def leaf_key(path: str) -> str:
+    return path.rsplit(".", 1)[-1].split("[", 1)[0]
+
+
+def is_wall(path: str) -> bool:
+    key = leaf_key(path)
+    return (key.endswith("_ms") or key.endswith("_pct") or
+            any(h in key for h in HIGHER_IS_BETTER))
+
+
+def worse_by(path: str, base: float, cur: float) -> float:
+    """Relative movement in the *worse* direction (0 if equal/better)."""
+    if abs(base) < 1e-9:
+        return 0.0 if abs(cur) < 1e-6 else float("inf")
+    change = (cur - base) / abs(base)
+    if any(h in leaf_key(path) for h in HIGHER_IS_BETTER):
+        change = -change
+    return max(0.0, change)
+
+
+def compare_file(cur_path: str, base_dir: str, threshold: float,
+                 strict_wall: bool, synthetic_pct: float):
+    """Returns (failures, warnings) message lists."""
+    failures, warnings = [], []
+    name = os.path.basename(cur_path)
+    base_path = os.path.join(base_dir, name)
+    if not os.path.exists(base_path):
+        warnings.append(f"{name}: no baseline at {base_path}; skipped "
+                        "(commit one to arm the gate)")
+        return failures, warnings
+
+    with open(cur_path, encoding="utf-8") as f:
+        cur_doc = json.load(f)
+    with open(base_path, encoding="utf-8") as f:
+        base_doc = json.load(f)
+
+    cur = dict(flatten(cur_doc))
+    base = dict(flatten(base_doc))
+
+    gated = warned = 0
+    for path in sorted(base):
+        if path not in cur:
+            if leaf_key(path) in GATED_KEYS:
+                failures.append(f"{name}: gated series '{path}' vanished")
+            continue
+        key = leaf_key(path)
+        b, c = base[path], cur[path]
+
+        if key in SCALE_KEYS:
+            if b != c:
+                failures.append(
+                    f"{name}: scale mismatch at '{path}': baseline ran "
+                    f"{b:g}, this run {c:g} — regenerate the baseline")
+            continue
+
+        if key in GATED_KEYS:
+            if synthetic_pct:
+                c *= 1.0 + synthetic_pct / 100.0
+            gated += 1
+            worse = worse_by(path, b, c)
+            if worse > threshold:
+                failures.append(
+                    f"{name}: GATE {path}: {b:g} -> {c:g} "
+                    f"(+{worse * 100:.1f}% worse, limit "
+                    f"{threshold * 100:.0f}%)")
+        elif is_wall(path):
+            worse = worse_by(path, b, c)
+            if worse > threshold:
+                msg = (f"{name}: wall {path}: {b:g} -> {c:g} "
+                       f"(+{worse * 100:.1f}% worse)")
+                if strict_wall:
+                    failures.append(msg)
+                else:
+                    warnings.append(msg)
+                    warned += 1
+
+    print(f"{name}: {gated} gated series compared against "
+          f"{os.path.relpath(base_path)}"
+          + (f", {warned} wall warning(s)" if warned else ""))
+    return failures, warnings
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("current", nargs="+",
+                        help="BENCH_*.json files from this run")
+    parser.add_argument("--baseline-dir", default="bench/baseline")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="relative regression limit (default 0.15)")
+    parser.add_argument("--strict-wall", action="store_true",
+                        help="promote wall-clock regressions to failures")
+    parser.add_argument("--synthetic-regression", type=float, default=0.0,
+                        metavar="PCT",
+                        help="inflate gated metrics by PCT%% (gate "
+                             "self-test; the run must fail)")
+    args = parser.parse_args()
+
+    all_failures, all_warnings = [], []
+    for path in args.current:
+        if not os.path.exists(path):
+            all_failures.append(f"{path}: missing — did the bench run?")
+            continue
+        failures, warnings = compare_file(
+            path, args.baseline_dir, args.threshold, args.strict_wall,
+            args.synthetic_regression)
+        all_failures.extend(failures)
+        all_warnings.extend(warnings)
+
+    for w in all_warnings:
+        print(f"WARN  {w}")
+    for f in all_failures:
+        print(f"FAIL  {f}", file=sys.stderr)
+    if all_failures:
+        print(f"perf gate FAILED: {len(all_failures)} regression(s)",
+              file=sys.stderr)
+        sys.exit(1)
+    print("perf gate OK"
+          + (f" ({len(all_warnings)} warning(s))" if all_warnings else ""))
+
+
+if __name__ == "__main__":
+    main()

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <optional>
 
 #include "check/db_auditor.h"
@@ -88,6 +89,30 @@ uint64_t PagesOf(uint64_t rows) {
   return (rows + ColumnFile::kCellsPerPage - 1) / ColumnFile::kCellsPerPage;
 }
 
+/// "view.fn(attr)" — the label format the flight recorder and the
+/// workload profiler share, so `top` rows and flight events correlate.
+std::string QueryLabel(const std::string& view, const std::string& function,
+                       const std::string& attribute) {
+  return view + "." + function + "(" + attribute + ")";
+}
+
+WorkloadProfiler::QueryOutcome ProfilerOutcome(TraceOutcome outcome) {
+  switch (outcome) {
+    case TraceOutcome::kCacheHit:
+      return WorkloadProfiler::QueryOutcome::kCacheHit;
+    case TraceOutcome::kStaleCacheHit:
+      return WorkloadProfiler::QueryOutcome::kStaleServe;
+    case TraceOutcome::kInferred:
+      return WorkloadProfiler::QueryOutcome::kInferred;
+    case TraceOutcome::kComputed:
+      return WorkloadProfiler::QueryOutcome::kComputed;
+    case TraceOutcome::kUnknown:
+    case TraceOutcome::kError:
+      break;
+  }
+  return WorkloadProfiler::QueryOutcome::kFailed;
+}
+
 /// Finishes one mergeable statistic from the merged scan state,
 /// reproducing the serial functions' values and domain errors (empty
 /// columns fail with the exact strings the serial path uses).
@@ -156,6 +181,38 @@ StatisticalDbms::StatisticalDbms(StorageManager* storage,
   obs_pool_rejected_ = metrics_.GetCounter("exec.pool.tasks_rejected");
   obs_pool_queue_max_ = metrics_.GetGauge("exec.pool.queue_depth_max");
   obs_pool_task_ms_total_ = metrics_.GetGauge("exec.pool.task_ms_total");
+
+  // Black-box wiring: the storage layer below reports I/O retries,
+  // checksum DATA_LOSS verdicts and injected faults into the same ring
+  // the query paths feed. STATDB_FLIGHT_DUMP (a path) arms the
+  // dump-on-first-failure behavior the crash matrix relies on.
+  if (const char* dump_path = std::getenv("STATDB_FLIGHT_DUMP");
+      dump_path != nullptr && dump_path[0] != '\0') {
+    flight_.set_auto_dump_path(dump_path);
+  }
+  for (const std::string& dev : {tape_device_, disk_device_}) {
+    if (Result<BufferPool*> pool = storage_->GetPool(dev); pool.ok()) {
+      pool.value()->set_flight_recorder(&flight_);
+    }
+    if (Result<SimulatedDevice*> device = storage_->GetDevice(dev);
+        device.ok()) {
+      device.value()->set_flight_recorder(&flight_);
+    }
+  }
+}
+
+StatisticalDbms::~StatisticalDbms() {
+  std::vector<std::string> wired = {tape_device_, disk_device_};
+  if (!wal_device_name_.empty()) wired.push_back(wal_device_name_);
+  for (const std::string& dev : wired) {
+    if (Result<BufferPool*> pool = storage_->GetPool(dev); pool.ok()) {
+      pool.value()->set_flight_recorder(nullptr);
+    }
+    if (Result<SimulatedDevice*> device = storage_->GetDevice(dev);
+        device.ok()) {
+      device.value()->set_flight_recorder(nullptr);
+    }
+  }
 }
 
 void StatisticalDbms::EmitQueryObs(const TraceTimer& timer,
@@ -168,6 +225,92 @@ void StatisticalDbms::EmitQueryObs(const TraceTimer& timer,
     trace->SetTotalMs(ms);
     trace_sink_->OnQueryTrace(*trace);
   }
+}
+
+void StatisticalDbms::NoteQueryOutcome(const std::string& view,
+                                       const std::string& function,
+                                       const std::string& attribute,
+                                       TraceOutcome outcome, double wall_ms) {
+  if (flight_.enabled()) {
+    flight_.Record(FlightEventKind::kQueryEnd,
+                   QueryLabel(view, function, attribute),
+                   static_cast<int64_t>(outcome), 0, wall_ms);
+  }
+  profiler_.NoteQuery(view, function, attribute, ProfilerOutcome(outcome),
+                      wall_ms);
+}
+
+void StatisticalDbms::TickTimeseries() {
+  timeseries_.Push(TakeStatSnapshot());
+}
+
+void StatisticalDbms::EnableTimeseries(uint64_t every_n_mutations) {
+  ts_every_n_mutations_ = every_n_mutations;
+  ts_mutations_since_tick_ = 0;
+  if (every_n_mutations > 0) TickTimeseries();  // the delta baseline
+}
+
+void StatisticalDbms::MaybeTickTimeseries() {
+  ++mutation_seq_;
+  if (ts_every_n_mutations_ == 0) return;
+  if (++ts_mutations_since_tick_ >= ts_every_n_mutations_) {
+    ts_mutations_since_tick_ = 0;
+    TickTimeseries();
+  }
+}
+
+std::string StatisticalDbms::ExposeText() {
+  TickTimeseries();
+  return timeseries_.ExposeText();
+}
+
+StatPoint StatisticalDbms::TakeStatSnapshot() {
+  StatPoint p;
+  p.t_ms = flight_.NowMs();
+  p.seq = mutation_seq_;
+  // The registry's counters and gauges become scalar series directly;
+  // histograms contribute their count and tail.
+  MetricsSnapshot snap = metrics_.Snapshot();
+  for (const auto& [name, v] : snap.counters) {
+    p.values[name] = static_cast<double>(v);
+  }
+  for (const auto& [name, v] : snap.gauges) p.values[name] = v;
+  for (const auto& [name, h] : snap.histograms) {
+    p.values[name + ".count"] = static_cast<double>(h.count);
+    p.values[name + ".p99_ms"] = h.p99_ms;
+  }
+  // Canonical keys the delta/rate derivation consumes (timeseries.h).
+  uint64_t lookups = 0;
+  uint64_t hits = 0;
+  for (const auto& [name, state] : views_) {
+    const SummaryDbStats& s = state.summary->stats();
+    lookups += s.lookups;
+    hits += s.hits;
+  }
+  p.values["summary.lookups"] = static_cast<double>(lookups);
+  p.values["summary.hits"] = static_cast<double>(hits);
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  double sim_ms = 0;
+  for (const std::string& dev : {tape_device_, disk_device_}) {
+    Result<SimulatedDevice*> device = storage_->GetDevice(dev);
+    if (!device.ok()) continue;
+    const IoStats& io = device.value()->stats();
+    reads += io.block_reads;
+    writes += io.block_writes;
+    sim_ms += io.simulated_ms;
+  }
+  p.values["io.bytes_read"] =
+      static_cast<double>(reads) * static_cast<double>(kPageSize);
+  p.values["io.bytes_written"] =
+      static_cast<double>(writes) * static_cast<double>(kPageSize);
+  p.values["io.simulated_ms"] = sim_ms;
+  if (wal_ != nullptr) {
+    const WalStats& ws = wal_->stats();
+    p.values["wal.bytes_appended"] = static_cast<double>(ws.bytes_appended);
+    p.values["wal.commits"] = static_cast<double>(ws.records_appended);
+  }
+  return p;
 }
 
 void StatisticalDbms::FoldPoolStats(const ThreadPool& pool) {
@@ -346,6 +489,10 @@ Result<bool> StatisticalDbms::TryAnswerWithoutComputing(
   }();
   if (cached.ok() && !cached.value().stale) {
     ++state->traffic.cache_hits;
+    if (flight_.enabled()) {
+      flight_.Record(FlightEventKind::kCacheHit,
+                     function + "(" + attribute + ")");
+    }
     *answer = QueryAnswer{cached.value().result, AnswerSource::kCacheHit,
                           true, ""};
     return true;
@@ -358,11 +505,21 @@ Result<bool> StatisticalDbms::TryAnswerWithoutComputing(
              opts.max_version_lag)) {
       ++state->traffic.stale_hits;
       state->summary->NoteServedStale();
+      if (flight_.enabled()) {
+        flight_.Record(FlightEventKind::kStaleServe,
+                       function + "(" + attribute + ")",
+                       int64_t(state->view->version() -
+                               cached.value().view_version));
+      }
       *answer = QueryAnswer{cached.value().result,
                             AnswerSource::kStaleCacheHit, false,
                             "stale cached value"};
       return true;
     }
+  }
+  if (flight_.enabled()) {
+    flight_.Record(FlightEventKind::kCacheMiss,
+                   function + "(" + attribute + ")");
   }
 
   if (opts.allow_inference) {
@@ -407,6 +564,14 @@ Status StatisticalDbms::CacheComputedResult(const std::string& view,
       Result<SummaryResult> init = m.value()->Initialize(data);
       if (init.ok()) {
         state->maintainers[key.Encode()] = std::move(m).value();
+        if (flight_.enabled()) {
+          flight_.Record(FlightEventKind::kMaintainerArm,
+                         QueryLabel(view, key.function,
+                                    key.attributes.empty()
+                                        ? std::string()
+                                        : key.attributes.front()),
+                         /*a=*/0, int64_t(data.size()));
+        }
       }
     }
   }
@@ -425,11 +590,16 @@ Result<QueryAnswer> StatisticalDbms::Query(const std::string& view,
     trace->SetLabel("query", view, function, attribute);
   }
   QueryTrace* tr = trace ? &*trace : nullptr;
+  if (flight_.enabled()) {
+    flight_.Record(FlightEventKind::kQueryBegin,
+                   QueryLabel(view, function, attribute));
+  }
   Result<QueryAnswer> r =
       QueryImpl(view, function, attribute, params, opts, tr);
-  EmitQueryObs(timer, tr,
-               r.ok() ? OutcomeOfSource(r.value().source)
-                      : TraceOutcome::kError);
+  TraceOutcome outcome = r.ok() ? OutcomeOfSource(r.value().source)
+                                : TraceOutcome::kError;
+  EmitQueryObs(timer, tr, outcome);
+  NoteQueryOutcome(view, function, attribute, outcome, timer.ElapsedMs());
   if (r.ok()) CommitAfterQuery(attribute);
   return r;
 }
@@ -488,14 +658,22 @@ Result<QueryAnswer> StatisticalDbms::QueryParallel(
     trace->SetLabel("queryp", view, function, attribute);
   }
   QueryTrace* tr = trace ? &*trace : nullptr;
+  if (flight_.enabled()) {
+    flight_.Record(FlightEventKind::kQueryBegin,
+                   QueryLabel(view, function, attribute));
+  }
   std::vector<QueryRequest> requests = {{function, attribute, params}};
   Result<std::vector<QueryAnswer>> answers =
       QueryManyImpl(view, requests, opts, workers, tr);
   if (!answers.ok()) {
     EmitQueryObs(timer, tr, TraceOutcome::kError);
+    NoteQueryOutcome(view, function, attribute, TraceOutcome::kError,
+                     timer.ElapsedMs());
     return answers.status();
   }
-  EmitQueryObs(timer, tr, OutcomeOfSource(answers.value()[0].source));
+  TraceOutcome outcome = OutcomeOfSource(answers.value()[0].source);
+  EmitQueryObs(timer, tr, outcome);
+  NoteQueryOutcome(view, function, attribute, outcome, timer.ElapsedMs());
   CommitAfterQuery(attribute);
   return std::move(answers.value()[0]);
 }
@@ -512,10 +690,29 @@ Result<std::vector<QueryAnswer>> StatisticalDbms::QueryMany(
                     "");
   }
   QueryTrace* tr = trace ? &*trace : nullptr;
+  if (flight_.enabled()) {
+    for (size_t i = 0; i < requests.size(); ++i) {
+      flight_.Record(FlightEventKind::kQueryBegin,
+                     QueryLabel(view, requests[i].function,
+                                requests[i].attribute),
+                     static_cast<int64_t>(i));
+    }
+  }
   Result<std::vector<QueryAnswer>> r =
       QueryManyImpl(view, requests, opts, workers, tr);
   EmitQueryObs(timer, tr,
                r.ok() ? OutcomeOfBatch(r.value()) : TraceOutcome::kError);
+  // Per-request provenance for the profiler and the flight ring; the
+  // batch's wall time is split evenly (per-request time is not observable
+  // once scans are shared across requests).
+  double per_request_ms =
+      requests.empty() ? 0 : timer.ElapsedMs() / double(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    NoteQueryOutcome(view, requests[i].function, requests[i].attribute,
+                     r.ok() ? OutcomeOfSource(r.value()[i].source)
+                            : TraceOutcome::kError,
+                     per_request_ms);
+  }
   if (r.ok()) {
     CommitAfterQuery(requests.empty() ? "" : requests.front().attribute);
   }
@@ -661,12 +858,18 @@ Result<QueryAnswer> StatisticalDbms::QueryBivariateParallel(
     trace->SetLabel("bivariate", view, function, attr_a + "," + attr_b);
   }
   QueryTrace* tr = trace ? &*trace : nullptr;
+  if (flight_.enabled()) {
+    flight_.Record(FlightEventKind::kQueryBegin,
+                   QueryLabel(view, function, attr_a + "," + attr_b));
+  }
   Result<QueryAnswer> r =
       QueryBivariateParallelImpl(view, function, attr_a, attr_b, opts,
                                  workers, tr);
-  EmitQueryObs(timer, tr,
-               r.ok() ? OutcomeOfSource(r.value().source)
-                      : TraceOutcome::kError);
+  TraceOutcome outcome = r.ok() ? OutcomeOfSource(r.value().source)
+                                : TraceOutcome::kError;
+  EmitQueryObs(timer, tr, outcome);
+  NoteQueryOutcome(view, function, attr_a + "," + attr_b, outcome,
+                   timer.ElapsedMs());
   return r;
 }
 
@@ -1171,6 +1374,13 @@ Status StatisticalDbms::MaintainSummaries(
     }
     STATDB_RETURN_IF_ERROR(state->summary->Refresh(
         e.key, updated.value(), state->view->version()));
+    if (flight_.enabled()) {
+      // b distinguishes the cheap differencing path (0) from a §4.2
+      // full-column rebuild (1) — the economics the §4.3 choice weighs.
+      flight_.Record(FlightEventKind::kMaintainerFire,
+                     QueryLabel(view_name, e.key.function, attribute),
+                     int64_t(deltas.value().size()), ok ? 0 : 1);
+    }
   }
   return Status::OK();
 }
@@ -1265,7 +1475,17 @@ Result<uint64_t> StatisticalDbms::Update(const std::string& view,
   STATDB_RETURN_IF_ERROR(MaybeAuditAfterUpdate(view));
   STATDB_RETURN_IF_ERROR(
       CommitDurable(/*attr_hint=*/spec.column, /*force=*/true));
-  return changes.size() + derived_changes.size();
+  uint64_t total_cells = changes.size() + derived_changes.size();
+  if (flight_.enabled()) {
+    flight_.Record(FlightEventKind::kUpdate, view + "." + spec.column,
+                   int64_t(state->view->version()), int64_t(total_cells));
+  }
+  profiler_.NoteUpdate(view, spec.column, changes.size());
+  for (const auto& [column, column_changes] : by_column) {
+    profiler_.NoteUpdate(view, column, column_changes.size());
+  }
+  MaybeTickTimeseries();
+  return total_cells;
 }
 
 Status StatisticalDbms::Rollback(const std::string& view,
@@ -1312,7 +1532,11 @@ Status StatisticalDbms::Rollback(const std::string& view,
   // queries re-arm on demand.
   state->maintainers.clear();
   STATDB_RETURN_IF_ERROR(MaybeAuditAfterUpdate(view));
-  return CommitDurable(/*attr_hint=*/"", /*force=*/true);
+  STATDB_RETURN_IF_ERROR(CommitDurable(/*attr_hint=*/"", /*force=*/true));
+  flight_.Record(FlightEventKind::kRollback, view,
+                 int64_t(target_version), int64_t(affected.size()));
+  MaybeTickTimeseries();
+  return Status::OK();
 }
 
 Status StatisticalDbms::AddDerivedColumn(const std::string& view,

@@ -13,6 +13,9 @@
 #include "core/view.h"
 #include "core/view_def.h"
 #include "fault/wal.h"
+#include "flight/flight_recorder.h"
+#include "flight/profiler.h"
+#include "flight/timeseries.h"
 #include "meta/catalog.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -109,6 +112,12 @@ class StatisticalDbms {
   /// and `disk_device` mounted.
   StatisticalDbms(StorageManager* storage, std::string tape_device = "tape",
                   std::string disk_device = "disk");
+
+  /// Detaches the flight recorder from the storage layer. Devices and
+  /// buffer pools belong to the StorageManager and outlive this DBMS;
+  /// without the detach a fault injected after destruction would chase
+  /// a dangling pointer into the freed event ring.
+  ~StatisticalDbms();
 
   StatisticalDbms(const StatisticalDbms&) = delete;
   StatisticalDbms& operator=(const StatisticalDbms&) = delete;
@@ -353,6 +362,46 @@ class StatisticalDbms {
   void set_trace_sink(TraceSink* sink) { trace_sink_ = sink; }
   TraceSink* trace_sink() const { return trace_sink_; }
 
+  // --- flight recorder, profiler & timeseries (src/flight, §12) -----------
+
+  /// The black box: a lock-light ring of the last N structured events
+  /// (query begin/end, cache verdicts, maintainer arm/fire, WAL commits,
+  /// injected faults, I/O retries, recovery steps, degraded/DATA_LOSS
+  /// flips). Enabled by default; recording costs a few relaxed stores.
+  /// The DBMS constructor attaches it to the tape/disk buffer pools and
+  /// devices; EnableDurability extends that to the WAL device. If the
+  /// STATDB_FLIGHT_DUMP environment variable names a path at
+  /// construction, the first DATA_LOSS or degraded-mode entry writes the
+  /// event window there automatically (once).
+  FlightRecorder& flight() { return flight_; }
+  std::string DumpFlightJson(const std::string& reason = "manual") {
+    return flight_.DumpJson(reason);
+  }
+
+  /// The §4.3 decision input: per-(function, attribute) and per-attribute
+  /// access/update heatmaps, fed exactly (not sampled) from the query and
+  /// update paths.
+  WorkloadProfiler& workload_profiler() { return profiler_; }
+  std::string WorkloadReport() { return profiler_.ReportJson(); }
+  std::string WorkloadReportText(size_t top_n = 10) {
+    return profiler_.ReportText(top_n);
+  }
+
+  /// Bounded window of metric snapshots; deltas between consecutive
+  /// points carry derived rates (summary hit rate, scan MB/s, WAL
+  /// bytes/commit). Points are taken by TickTimeseries() — manually, or
+  /// automatically every `every_n_mutations` successful mutations after
+  /// EnableTimeseries (which also takes the baseline point immediately;
+  /// 0 switches back to manual ticks only).
+  MetricsTimeseries& timeseries() { return timeseries_; }
+  void EnableTimeseries(uint64_t every_n_mutations);
+  void TickTimeseries();
+  std::string DumpTimeseriesJson() { return timeseries_.DumpJson(); }
+
+  /// Prometheus text exposition: takes a fresh snapshot (pushing it into
+  /// the timeseries window, as a scrape should) and renders it.
+  std::string ExposeText();
+
   /// Audit-after-update: when on, every successful Update/Rollback ends
   /// with a full DbAuditor pass over the touched view (structure + the
   /// differential summary-vs-view oracle) and fails with DATA_LOSS if the
@@ -471,10 +520,31 @@ class StatisticalDbms {
       const std::string& attr_a, const std::string& attr_b,
       const QueryOptions& opts, size_t workers, QueryTrace* trace);
 
+  /// Recover() body; the public wrapper owns the "recover"-labeled trace
+  /// whose spans (WAL scan, redo replay, manifest apply, fallback
+  /// invalidation) `trace` (nullable) receives.
+  Status RecoverImpl(QueryTrace* trace);
+
   /// Records the query latency + outcome counters and emits `trace` (if
   /// any) to the sink — the shared tail of every public query wrapper.
   void EmitQueryObs(const TraceTimer& timer, QueryTrace* trace,
                     TraceOutcome outcome);
+
+  /// Feeds one finished request to the flight recorder (kQueryEnd) and
+  /// the workload profiler — called from the public query wrappers with
+  /// the exact view/function/attribute strings.
+  void NoteQueryOutcome(const std::string& view, const std::string& function,
+                        const std::string& attribute, TraceOutcome outcome,
+                        double wall_ms);
+
+  /// One named-scalar photograph of every counter the timeseries tracks:
+  /// the registry snapshot plus the canonical summary.*/io.*/wal.* keys
+  /// the rate derivation consumes.
+  StatPoint TakeStatSnapshot();
+
+  /// Mutation-path hook: bumps the mutation sequence and auto-ticks the
+  /// timeseries when EnableTimeseries armed a cadence.
+  void MaybeTickTimeseries();
 
   /// Folds a (quiescent) pool's counters into the registry after a
   /// parallel query finishes with it.
@@ -514,6 +584,12 @@ class StatisticalDbms {
   uint64_t recoveries_ = 0;
 
   MetricsRegistry metrics_;
+  FlightRecorder flight_;
+  WorkloadProfiler profiler_;
+  MetricsTimeseries timeseries_;
+  uint64_t ts_every_n_mutations_ = 0;  // 0 = manual TickTimeseries only
+  uint64_t ts_mutations_since_tick_ = 0;
+  uint64_t mutation_seq_ = 0;  // lifetime successful mutations
   TraceSink* trace_sink_ = nullptr;  // not owned
   // Instruments resolved once at construction; bumped lock-free after.
   LatencyHistogram* obs_query_ms_ = nullptr;

@@ -11,6 +11,7 @@
 // paper's §4.3 invalidate-all fallback for the attribute it hinted at.
 
 #include <algorithm>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -98,6 +99,10 @@ void StatisticalDbms::EnterDegraded(const std::string& reason) {
   degraded_ = true;
   degraded_reason_ = reason;
   metrics_.GetCounter("dbms.degraded_entered")->Inc();
+  // The flip to read-only is exactly the moment the black box exists
+  // for: record it and (if armed) ship the event window to disk.
+  flight_.Record(FlightEventKind::kDegraded, reason);
+  flight_.AutoDumpOnce("degraded");
 }
 
 Status StatisticalDbms::EnableDurability(const std::string& wal_device) {
@@ -112,6 +117,13 @@ Status StatisticalDbms::EnableDurability(const std::string& wal_device) {
   STATDB_RETURN_IF_ERROR(wal->Open().status());
   wal_ = std::move(wal);
   wal_device_name_ = wal_device;
+  // The log device joins the black box: its retries and injected faults
+  // matter most of all during commit and recovery.
+  device->set_flight_recorder(&flight_);
+  if (Result<BufferPool*> wal_pool = storage_->GetPool(wal_device);
+      wal_pool.ok()) {
+    wal_pool.value()->set_flight_recorder(&flight_);
+  }
   STATDB_ASSIGN_OR_RETURN(BufferPool * disk, storage_->GetPool(disk_device_));
   disk->set_no_steal(true);
   return Status::OK();
@@ -285,6 +297,7 @@ Status StatisticalDbms::CommitDurable(const std::string& attr_hint,
     return manifest.status();
   }
   record.manifest = std::move(manifest).value();
+  TraceTimer wal_timer;
   Status s = wal_->Append(record);
   if (!s.ok()) {
     EnterDegraded("wal append failed: " + s.ToString());
@@ -297,6 +310,12 @@ Status StatisticalDbms::CommitDurable(const std::string& attr_hint,
     return s;
   }
   metrics_.GetCounter("dbms.commits")->Inc();
+  if (flight_.enabled()) {
+    flight_.Record(FlightEventKind::kWalCommit,
+                   attr_hint.empty() ? std::string("commit") : attr_hint,
+                   int64_t(record.lsn), int64_t(record.pages.size()),
+                   wal_timer.ElapsedMs());
+  }
   return Status::OK();
 }
 
@@ -308,10 +327,42 @@ void StatisticalDbms::CommitAfterQuery(const std::string& attr_hint) {
 }
 
 Status StatisticalDbms::Recover() {
+  // The wrapper owns the "recover"-labeled trace so the body's early
+  // returns cannot skip sink emission — the same split the query paths
+  // use (Query vs QueryImpl).
+  TraceTimer timer;
+  std::optional<QueryTrace> trace;
+  if (trace_sink_ != nullptr) {
+    trace.emplace();
+    trace->SetLabel("recover", "", "", "");
+  }
+  QueryTrace* tr = trace ? &*trace : nullptr;
+  Status s = RecoverImpl(tr);
+  if (tr != nullptr) {
+    tr->SetOutcome(s.ok() ? TraceOutcome::kComputed : TraceOutcome::kError);
+    tr->SetTotalMs(timer.ElapsedMs());
+    trace_sink_->OnQueryTrace(*tr);
+  }
+  return s;
+}
+
+Status StatisticalDbms::RecoverImpl(QueryTrace* trace) {
   if (wal_ == nullptr) {
     return FailedPreconditionError("Recover() without EnableDurability()");
   }
-  STATDB_ASSIGN_OR_RETURN(WalScanResult scan, wal_->Open());
+  WalScanResult scan;
+  {
+    ScopedSpan span(trace, SpanKind::kWalScan);
+    STATDB_ASSIGN_OR_RETURN(scan, wal_->Open());
+    span.SetRows(scan.records.size());
+  }
+  flight_.Record(FlightEventKind::kRecoveryStep, "wal_scan",
+                 int64_t(scan.records.size()), scan.torn_tail ? 1 : 0);
+  metrics_.GetCounter("dbms.recovery.records_replayed")
+      ->Inc(scan.records.size());
+  if (scan.torn_tail) {
+    metrics_.GetCounter("dbms.recovery.torn_tails")->Inc();
+  }
 
   // Reboot semantics: whatever the pools held is gone; only the platters
   // and the log survive.
@@ -324,48 +375,76 @@ Status StatisticalDbms::Recover() {
   // Idempotent — the images are complete pages.
   STATDB_ASSIGN_OR_RETURN(SimulatedDevice * disk_dev,
                           storage_->GetDevice(disk_device_));
-  for (const WalRecord& rec : scan.records) {
-    for (const auto& [pid, page] : rec.pages) {
-      while (disk_dev->page_count() <= pid) {
-        disk_dev->AllocatePage();
+  uint64_t pages_replayed = 0;
+  {
+    ScopedSpan span(trace, SpanKind::kRedoReplay);
+    for (const WalRecord& rec : scan.records) {
+      for (const auto& [pid, page] : rec.pages) {
+        while (disk_dev->page_count() <= pid) {
+          disk_dev->AllocatePage();
+        }
+        STATDB_RETURN_IF_ERROR(
+            RetryIo([&] { return disk_dev->WritePage(pid, page); }));
+        ++pages_replayed;
       }
-      STATDB_RETURN_IF_ERROR(
-          RetryIo([&] { return disk_dev->WritePage(pid, page); }));
+    }
+    span.SetRows(pages_replayed);
+    span.SetPages(pages_replayed);
+  }
+  flight_.Record(FlightEventKind::kRecoveryStep, "redo_replay",
+                 int64_t(pages_replayed), int64_t(scan.records.size()));
+  metrics_.GetCounter("dbms.recovery.pages_replayed")->Inc(pages_replayed);
+
+  {
+    ScopedSpan span(trace, SpanKind::kManifestApply);
+    if (!scan.records.empty()) {
+      STATDB_RETURN_IF_ERROR(ApplyManifest(scan.records.back().manifest));
+      span.SetRows(views_.size());
+    } else {
+      // Empty log: a fresh installation. Reset to pristine state.
+      catalog_ = Catalog{};
+      raw_tables_.clear();
+      views_.clear();
+      mdb_ = ManagementDatabase{};
     }
   }
-
-  if (!scan.records.empty()) {
-    STATDB_RETURN_IF_ERROR(ApplyManifest(scan.records.back().manifest));
-  } else {
-    // Empty log: a fresh installation. Reset to pristine state.
-    catalog_ = Catalog{};
-    raw_tables_.clear();
-    views_.clear();
-    mdb_ = ManagementDatabase{};
-  }
+  flight_.Record(FlightEventKind::kRecoveryStep, "manifest_apply",
+                 int64_t(views_.size()), int64_t(raw_tables_.size()));
 
   // §4.3 fallback for the lost tail: "after each update operation all
   // the values associated with the updated attribute will be marked as
   // invalid" — here applied because the update's redo record did not
   // survive. Without even a hint, every cached entry is suspect.
   if (scan.torn_tail) {
-    for (auto& [name, state] : views_) {
-      if (!scan.torn_attr_hint.empty()) {
-        STATDB_RETURN_IF_ERROR(
-            state.summary->InvalidateAttribute(scan.torn_attr_hint)
-                .status());
-      } else {
-        std::vector<SummaryKey> keys;
-        STATDB_RETURN_IF_ERROR(
-            state.summary->ForEach([&keys](const SummaryEntry& e) {
-              keys.push_back(e.key);
-              return Status::OK();
-            }));
-        for (const SummaryKey& key : keys) {
-          STATDB_RETURN_IF_ERROR(state.summary->MarkStale(key));
+    uint64_t invalidated = 0;
+    {
+      ScopedSpan span(trace, SpanKind::kFallbackInvalidate);
+      for (auto& [name, state] : views_) {
+        if (!scan.torn_attr_hint.empty()) {
+          STATDB_ASSIGN_OR_RETURN(
+              uint64_t n,
+              state.summary->InvalidateAttribute(scan.torn_attr_hint));
+          invalidated += n;
+        } else {
+          std::vector<SummaryKey> keys;
+          STATDB_RETURN_IF_ERROR(
+              state.summary->ForEach([&keys](const SummaryEntry& e) {
+                keys.push_back(e.key);
+                return Status::OK();
+              }));
+          for (const SummaryKey& key : keys) {
+            STATDB_RETURN_IF_ERROR(state.summary->MarkStale(key));
+          }
+          invalidated += keys.size();
         }
       }
+      span.SetRows(invalidated);
     }
+    flight_.Record(FlightEventKind::kRecoveryStep, "fallback_invalidate",
+                   int64_t(invalidated),
+                   scan.torn_attr_hint.empty() ? 0 : 1);
+    metrics_.GetCounter("dbms.recovery.fallback_invalidations")
+        ->Inc(invalidated);
     // The invalidations themselves must be durable, or the next crash
     // would resurrect the suspect entries.
     STATDB_RETURN_IF_ERROR(CommitDurable(scan.torn_attr_hint, false));

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "flight/flight_recorder.h"
+
 namespace statdb {
 
 const char* FaultKindName(FaultKind kind) {
@@ -85,6 +87,14 @@ FaultEvent* FaultInjectingDevice::MatchEvent(bool is_write, uint64_t nth) {
   return nullptr;
 }
 
+void FaultInjectingDevice::NoteInjected(FaultKind kind, PageId id) {
+  if (FlightRecorder* f = flight_.load(std::memory_order_acquire)) {
+    f->Record(FlightEventKind::kFaultInjected,
+              name() + "/" + FaultKindName(kind),
+              static_cast<int64_t>(kind), static_cast<int64_t>(id));
+  }
+}
+
 void FaultInjectingDevice::TearWrite(PageId id, const Page& page) {
   Page* stored = raw_page(id);
   if (stored == nullptr) return;  // write past end: nothing to tear
@@ -103,11 +113,13 @@ Status FaultInjectingDevice::ReadPage(PageId id, Page* out) {
     switch (ev->kind) {
       case FaultKind::kTransientError:
         ++counters_.transient_errors;
+        NoteInjected(ev->kind, id);
         return UnavailableError("injected transient read error on " +
                                 name());
       case FaultKind::kPermanentFailure:
         dead_ = true;
         ++counters_.permanent_errors;
+        NoteInjected(ev->kind, id);
         return UnavailableError("device " + name() +
                                 " failed permanently on read");
       case FaultKind::kBitFlip:
@@ -115,6 +127,7 @@ Status FaultInjectingDevice::ReadPage(PageId id, Page* out) {
           stored->data[ev->bit / 8] ^=
               static_cast<uint8_t>(1u << (ev->bit % 8));
           ++counters_.bit_flips;
+          NoteInjected(ev->kind, id);
         }
         break;  // the read itself "succeeds" — corruption is silent
       case FaultKind::kTornWrite:
@@ -135,22 +148,26 @@ Status FaultInjectingDevice::WritePage(PageId id, const Page& page) {
     switch (ev->kind) {
       case FaultKind::kTransientError:
         ++counters_.transient_errors;
+        NoteInjected(ev->kind, id);
         return UnavailableError("injected transient write error on " +
                                 name());
       case FaultKind::kPermanentFailure:
         dead_ = true;
         ++counters_.permanent_errors;
+        NoteInjected(ev->kind, id);
         return UnavailableError("device " + name() +
                                 " failed permanently on write");
       case FaultKind::kTornWrite:
         TearWrite(id, page);
         ++counters_.torn_writes;
+        NoteInjected(ev->kind, id);
         return UnavailableError("injected torn write on " + name());
       case FaultKind::kPowerCut:
         TearWrite(id, page);
         ++counters_.torn_writes;
         ++counters_.power_cuts;
         dead_ = true;
+        NoteInjected(ev->kind, id);
         return UnavailableError("power cut during write on " + name());
       case FaultKind::kBitFlip:
         break;  // read-only kind; ignore on writes
@@ -162,6 +179,7 @@ Status FaultInjectingDevice::WritePage(PageId id, const Page& page) {
 void FaultInjectingDevice::CutPower() {
   dead_ = true;
   ++counters_.power_cuts;
+  NoteInjected(FaultKind::kPowerCut, kInvalidPageId);
 }
 
 void FaultInjectingDevice::ClearFaults() {

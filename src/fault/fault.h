@@ -1,6 +1,7 @@
 #ifndef STATDB_FAULT_FAULT_H_
 #define STATDB_FAULT_FAULT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -91,6 +92,12 @@ class FaultInjectingDevice : public SimulatedDevice {
 
   const FaultCounters* fault_counters() const override { return &counters_; }
 
+  /// Every injected fault becomes a flight-recorder event, so a crash
+  /// dump shows the injection that started the failure cascade.
+  void set_flight_recorder(FlightRecorder* recorder) override {
+    flight_.store(recorder, std::memory_order_release);
+  }
+
   /// Installs a new schedule. Operation counters keep running — `nth`
   /// always refers to the device-lifetime count.
   void set_schedule(FaultSchedule schedule) {
@@ -113,6 +120,8 @@ class FaultInjectingDevice : public SimulatedDevice {
  private:
   /// First unfired event matching this operation, or nullptr.
   FaultEvent* MatchEvent(bool is_write, uint64_t nth);
+  /// Black-box note of one injection firing (no-op without a recorder).
+  void NoteInjected(FaultKind kind, PageId id);
   /// Persists the torn image of `page` at `id`: first half of the data
   /// area new, rest and header old. Charges the cost model like a write.
   void TearWrite(PageId id, const Page& page);
@@ -123,6 +132,7 @@ class FaultInjectingDevice : public SimulatedDevice {
   uint64_t reads_ = 0;
   uint64_t writes_ = 0;
   bool dead_ = false;
+  std::atomic<FlightRecorder*> flight_{nullptr};
 };
 
 }  // namespace statdb

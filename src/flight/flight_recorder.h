@@ -1,0 +1,181 @@
+#ifndef STATDB_FLIGHT_FLIGHT_RECORDER_H_
+#define STATDB_FLIGHT_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace statdb {
+
+/// statdb::flight — the flight recorder (DESIGN.md §12).
+///
+/// PR 3's metrics answer "how much, in total"; PR 3's traces answer "where
+/// did this one query spend its time". Neither answers the question a
+/// crash-matrix failure actually asks: *what was the system doing just
+/// before it died?* The flight recorder is the black box for that — a
+/// fixed-size ring of small structured events (query end, cache verdicts,
+/// maintainer arm/fire, WAL commit, injected fault, I/O retry, recovery
+/// step, degraded flip) that costs one relaxed load when disabled and a
+/// handful of relaxed stores when enabled, and that can always dump its
+/// last-N-events window as JSON — including automatically, once, on the
+/// first DATA_LOSS or degraded-mode entry.
+///
+/// Concurrency design: writers claim a slot with one fetch_add and stamp
+/// it with a per-slot sequence marker (odd while the payload is being
+/// written, `seq*2+2` once published). Readers copy the payload and accept
+/// it only if the marker is identical-and-even before and after the copy —
+/// a per-slot seqlock. Every payload field is a relaxed atomic so the
+/// scheme is exact under TSan, not merely benign: no locks on the write
+/// path, wait-free except for the (unbounded but contention-free) reader
+/// retry which Dump sidesteps by skipping torn slots.
+
+/// What happened. Values are stable — they appear in dumped JSON.
+enum class FlightEventKind : uint8_t {
+  kQueryBegin = 0,      // a = request index in batch (or 0)
+  kQueryEnd = 1,        // a = outcome (AnswerSource), b = rows, x = wall ms
+  kCacheHit = 2,        // summary database answered fresh
+  kCacheMiss = 3,       // summary database had nothing usable
+  kStaleServe = 4,      // stale summary served under allow_stale
+  kMaintainerArm = 5,   // incremental maintainer constructed
+  kMaintainerFire = 6,  // maintainer applied an update delta
+  kWalCommit = 7,       // a = lsn, b = pages in record, x = wal ms
+  kFaultInjected = 8,   // a = FaultKind, b = page id
+  kIoRetry = 9,         // a = attempt #, b = page id, x = backoff ms
+  kRecoveryStep = 10,   // a/b step-specific (see recovery.cc)
+  kDegraded = 11,       // read-only degraded mode entered
+  kDataLoss = 12,       // checksum mismatch / unrecoverable read
+  kUpdate = 13,         // a = view version after, b = cells changed
+  kRollback = 14,       // a = version rolled back to
+};
+
+const char* FlightEventKindName(FlightEventKind kind);
+
+/// One published event, as handed to readers. POD, fixed size.
+struct FlightEvent {
+  uint64_t seq = 0;    // global order of the event
+  double t_ms = 0;     // ms since recorder construction
+  FlightEventKind kind = FlightEventKind::kQueryBegin;
+  char label[48] = {};  // "view.fn(attr)" etc.; truncated, NUL-terminated
+  int64_t a = 0;        // kind-specific payload (see enum comments)
+  int64_t b = 0;
+  double x = 0;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 1024;
+  static constexpr size_t kLabelWords = 6;  // 48 label bytes as uint64s
+
+  /// `capacity` is rounded up to a power of two (slot math is one mask).
+  explicit FlightRecorder(size_t capacity = kDefaultCapacity);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// The hot-path entry point. Disabled: one relaxed load and a branch.
+  void Record(FlightEventKind kind, std::string_view label, int64_t a = 0,
+              int64_t b = 0, double x = 0) {
+    if (!enabled_.load(std::memory_order_relaxed)) return;
+    RecordSlow(kind, label, a, b, x);
+  }
+
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Keep 1-in-`n` of the *samplable* kinds (cache verdicts, query
+  /// begin/end, update). Rare, diagnosis-critical kinds — faults,
+  /// retries, recovery, WAL commits, degraded/DATA_LOSS flips,
+  /// maintainer fire, rollback — are never sampled out. n is rounded up
+  /// to a power of two; n <= 1 disables sampling.
+  void set_sample_every(uint64_t n);
+  uint64_t sample_every() const {
+    return sample_mask_.load(std::memory_order_relaxed) + 1;
+  }
+
+  size_t capacity() const { return capacity_; }
+  /// Events accepted into the ring (post-sampling), total ever.
+  uint64_t recorded() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+  /// Events dropped by sampling, total ever.
+  uint64_t sampled_out() const {
+    return sampled_out_.load(std::memory_order_relaxed);
+  }
+
+  /// Copies the currently-published window (oldest surviving → newest).
+  /// Slots a writer is mid-stamp on are skipped, not blocked on.
+  std::vector<FlightEvent> SnapshotEvents() const;
+
+  /// {"flight": {..., "events": [...]}} over the surviving window.
+  /// `reason` tags the dump ("manual", "degraded", "data_loss", ...).
+  std::string DumpJson(const std::string& reason = "manual") const;
+
+  /// Arms the automatic black-box dump: the first AutoDumpOnce() after
+  /// this writes DumpJson(reason) to `path`. Empty path disarms.
+  void set_auto_dump_path(std::string path);
+  std::string auto_dump_path() const;
+
+  /// Fires at most once per recorder lifetime (first caller wins; later
+  /// calls — and calls with no armed path — are no-ops). Returns true if
+  /// this call performed the dump. Safe from any thread.
+  bool AutoDumpOnce(const std::string& reason);
+  uint64_t auto_dumps() const {
+    return auto_dumps_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops the recorded window and re-arms the auto dump. Counters keep
+  /// their lifetime totals; `head_` keeps climbing so seqs stay unique.
+  void Clear();
+
+  double NowMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+ private:
+  // A slot's marker is 0 (never written), odd (writer mid-stamp), or
+  // seq*2+2 (payload for `seq` is published). Payload fields are relaxed
+  // atomics; the marker's release/acquire pair orders them.
+  struct Slot {
+    std::atomic<uint64_t> marker{0};
+    std::atomic<double> t_ms{0};
+    std::atomic<uint8_t> kind{0};
+    std::atomic<int64_t> a{0};
+    std::atomic<int64_t> b{0};
+    std::atomic<double> x{0};
+    std::atomic<uint64_t> label[kLabelWords] = {};
+  };
+
+  void RecordSlow(FlightEventKind kind, std::string_view label, int64_t a,
+                  int64_t b, double x);
+
+  const size_t capacity_;
+  const size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  std::atomic<bool> enabled_{true};
+  std::atomic<uint64_t> head_{0};
+  std::atomic<uint64_t> sample_mask_{0};  // keep when (tick & mask) == 0
+  std::atomic<uint64_t> sample_tick_{0};
+  std::atomic<uint64_t> sampled_out_{0};
+
+  std::atomic<bool> auto_dump_armed_{false};
+  std::atomic<bool> auto_dump_fired_{false};
+  std::atomic<uint64_t> auto_dumps_{0};
+  mutable std::mutex auto_dump_mu_;  // guards auto_dump_path_
+  std::string auto_dump_path_;
+};
+
+}  // namespace statdb
+
+#endif  // STATDB_FLIGHT_FLIGHT_RECORDER_H_

@@ -1,0 +1,155 @@
+#include "flight/timeseries.h"
+
+#include <cctype>
+#include <cstdio>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace statdb {
+
+namespace {
+
+double DeltaOf(const std::map<std::string, double>& prev,
+               const std::map<std::string, double>& cur,
+               const std::string& key, bool* found) {
+  auto p = prev.find(key);
+  auto c = cur.find(key);
+  if (p == prev.end() || c == cur.end()) {
+    *found = false;
+    return 0;
+  }
+  *found = true;
+  double d = c->second - p->second;
+  return d < 0 ? 0 : d;  // counter reset between points
+}
+
+std::string ValuesJson(const std::map<std::string, double>& values) {
+  obs::JsonObject obj;
+  for (const auto& [key, v] : values) obj.Num(key, v);
+  return obj.Build();
+}
+
+std::string PointJson(const StatPoint& p) {
+  return obs::JsonObject()
+      .Num("t_ms", p.t_ms)
+      .Int("seq", p.seq)
+      .Raw("values", ValuesJson(p.values))
+      .Build();
+}
+
+std::string PrometheusName(const std::string& key) {
+  std::string out = "statdb_";
+  for (char c : key) {
+    out += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void MetricsTimeseries::Push(StatPoint point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.push_back(std::move(point));
+  if (points_.size() > capacity_) points_.pop_front();
+  ++total_pushed_;
+}
+
+size_t MetricsTimeseries::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return points_.size();
+}
+
+uint64_t MetricsTimeseries::total_pushed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_pushed_;
+}
+
+std::string MetricsTimeseries::DumpJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  obs::JsonObject ts;
+  ts.Int("capacity", capacity_)
+      .Int("count", points_.size())
+      .Int("dropped", total_pushed_ > points_.size()
+                          ? total_pushed_ - points_.size()
+                          : 0);
+  if (!points_.empty()) {
+    ts.Raw("base", PointJson(points_.front()));
+  }
+  std::vector<std::string> deltas;
+  for (size_t i = 1; i < points_.size(); ++i) {
+    const StatPoint& prev = points_[i - 1];
+    const StatPoint& cur = points_[i];
+    obs::JsonObject delta_values;
+    for (const auto& [key, v] : cur.values) {
+      auto p = prev.values.find(key);
+      double d = p == prev.values.end() ? v : v - p->second;
+      if (d < 0) d = 0;  // counter reset between points
+      delta_values.Num(key, d);
+    }
+
+    // Derived rates over this interval, from the canonical keys.
+    obs::JsonObject rates;
+    bool have_lookups = false, have_hits = false, have_bytes = false,
+         have_wal_bytes = false, have_commits = false;
+    double lookups = DeltaOf(prev.values, cur.values, "summary.lookups",
+                             &have_lookups);
+    double hits =
+        DeltaOf(prev.values, cur.values, "summary.hits", &have_hits);
+    if (have_lookups && have_hits && lookups > 0) {
+      rates.Num("summary_hit_rate", hits / lookups);
+    }
+    double bytes_read =
+        DeltaOf(prev.values, cur.values, "io.bytes_read", &have_bytes);
+    double dt_ms = cur.t_ms - prev.t_ms;
+    if (have_bytes && dt_ms > 0) {
+      rates.Num("scan_mb_per_s",
+                (bytes_read / 1e6) / (dt_ms / 1000.0));
+    }
+    double wal_bytes = DeltaOf(prev.values, cur.values,
+                               "wal.bytes_appended", &have_wal_bytes);
+    double commits =
+        DeltaOf(prev.values, cur.values, "wal.commits", &have_commits);
+    if (have_wal_bytes && have_commits && commits > 0) {
+      rates.Num("wal_bytes_per_commit", wal_bytes / commits);
+    }
+
+    deltas.push_back(obs::JsonObject()
+                         .Num("dt_ms", dt_ms)
+                         .Int("from_seq", prev.seq)
+                         .Int("to_seq", cur.seq)
+                         .Raw("delta", delta_values.Build())
+                         .Raw("rates", rates.Build())
+                         .Build());
+  }
+  ts.Raw("deltas", obs::JsonArray(deltas));
+  return obs::JsonObject().Raw("timeseries", ts.Build()).Build();
+}
+
+std::string MetricsTimeseries::ExposeText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  if (points_.empty()) {
+    return "# statdb timeseries: no snapshots taken yet\n";
+  }
+  const StatPoint& latest = points_.back();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", latest.t_ms);
+  out += "# statdb metrics snapshot at t_ms=" + std::string(buf) +
+         " seq=" + std::to_string(latest.seq) + "\n";
+  for (const auto& [key, v] : latest.values) {
+    std::string name = PrometheusName(key);
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + buf + "\n";
+  }
+  return out;
+}
+
+void MetricsTimeseries::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  total_pushed_ = 0;
+}
+
+}  // namespace statdb

@@ -1,0 +1,76 @@
+#ifndef STATDB_FLIGHT_TIMESERIES_H_
+#define STATDB_FLIGHT_TIMESERIES_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace statdb {
+
+/// statdb::flight — periodic metric snapshots (DESIGN.md §12).
+///
+/// DumpMetrics() is a point-in-time photograph; regressions and workload
+/// shifts live in the *differences* between photographs. The timeseries
+/// keeps a bounded window of named-scalar snapshots (fed from
+/// MetricsRegistry::Snapshot() plus the per-view/device stats core folds
+/// in), emits consecutive deltas with derived rates, and renders the
+/// newest point in Prometheus text exposition format for anything that
+/// scrapes.
+///
+/// Canonical keys the rate derivation looks for (core's TakeStatSnapshot
+/// writes them; absent keys simply yield no rate):
+///   summary.lookups / summary.hits      → summary_hit_rate
+///   io.bytes_read                       → scan_mb_per_s
+///   wal.bytes_appended / wal.commits    → wal_bytes_per_commit
+struct StatPoint {
+  double t_ms = 0;    // recorder-epoch milliseconds of the snapshot
+  uint64_t seq = 0;   // mutation count (or tick index) at the snapshot
+  std::map<std::string, double> values;
+};
+
+class MetricsTimeseries {
+ public:
+  static constexpr size_t kDefaultCapacity = 256;
+
+  explicit MetricsTimeseries(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  MetricsTimeseries(const MetricsTimeseries&) = delete;
+  MetricsTimeseries& operator=(const MetricsTimeseries&) = delete;
+
+  /// Appends a snapshot; the oldest point falls off past capacity.
+  void Push(StatPoint point);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  uint64_t total_pushed() const;
+
+  /// {"timeseries": {"capacity", "count", "dropped",
+  ///                 "base": {t_ms, seq, values},
+  ///                 "deltas": [{dt_ms, from_seq, to_seq,
+  ///                             delta: {key: Δvalue},
+  ///                             rates: {summary_hit_rate, ...}}]}}
+  /// Deltas are between consecutive surviving points; counters that went
+  /// backwards (ResetAll between points) clamp to 0.
+  std::string DumpJson() const;
+
+  /// Prometheus text exposition of the newest point:
+  ///   # TYPE statdb_<key> gauge
+  ///   statdb_<key> <value>
+  /// Keys are sanitized (non-alphanumerics → '_').
+  std::string ExposeText() const;
+
+  void Reset();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<StatPoint> points_;
+  uint64_t total_pushed_ = 0;
+};
+
+}  // namespace statdb
+
+#endif  // STATDB_FLIGHT_TIMESERIES_H_

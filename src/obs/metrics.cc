@@ -52,6 +52,24 @@ double BucketUpperMs(size_t i) {
   return std::ldexp(1.0, static_cast<int>(i) + 1) / 1000.0;
 }
 
+/// Quantile over an already-copied bucket array (the consistent-snapshot
+/// path; see LatencyHistogram::QuantileUpperBoundMs for the live one).
+double QuantileOverBuckets(
+    const uint64_t (&buckets)[LatencyHistogram::kBuckets], uint64_t total,
+    double q) {
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  auto target = static_cast<uint64_t>(std::ceil(q * double(total)));
+  if (target == 0) target = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= target) return BucketUpperMs(i);
+  }
+  return BucketUpperMs(LatencyHistogram::kBuckets - 1);
+}
+
 }  // namespace
 
 void LatencyHistogram::Record(double ms) {
@@ -80,6 +98,24 @@ double LatencyHistogram::QuantileUpperBoundMs(double q) const {
     if (seen >= target) return BucketUpperMs(i);
   }
   return BucketUpperMs(kBuckets - 1);
+}
+
+HistogramStats LatencyHistogram::SnapshotStats() const {
+  uint64_t buckets[kBuckets];
+  uint64_t total = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    buckets[i] = BucketCount(i);
+    total += buckets[i];
+  }
+  HistogramStats stats;
+  stats.count = total;
+  stats.total_ms = TotalMs();
+  stats.max_ms = MaxMs();
+  stats.mean_ms = total == 0 ? 0.0 : stats.total_ms / double(total);
+  stats.p50_ms = QuantileOverBuckets(buckets, total, 0.5);
+  stats.p90_ms = QuantileOverBuckets(buckets, total, 0.9);
+  stats.p99_ms = QuantileOverBuckets(buckets, total, 0.99);
+  return stats;
 }
 
 void LatencyHistogram::Reset() {
@@ -117,29 +153,43 @@ LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
   return it->second.get();
 }
 
-std::string MetricsRegistry::DumpJson() const {
+MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
-  obs::JsonObject counters;
-  for (const auto& [name, c] : counters_) counters.Int(name, c->Get());
-  obs::JsonObject gauges;
-  for (const auto& [name, g] : gauges_) gauges.Num(name, g->Get());
-  obs::JsonObject histos;
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->Get();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->Get();
   for (const auto& [name, h] : histograms_) {
-    histos.Raw(name, obs::JsonObject()
-                         .Int("count", h->Count())
-                         .Num("total_ms", h->TotalMs())
-                         .Num("mean_ms", h->MeanMs())
-                         .Num("max_ms", h->MaxMs())
-                         .Num("p50_ms", h->QuantileUpperBoundMs(0.5))
-                         .Num("p90_ms", h->QuantileUpperBoundMs(0.9))
-                         .Num("p99_ms", h->QuantileUpperBoundMs(0.99))
-                         .Build());
+    snap.histograms[name] = h->SnapshotStats();
+  }
+  return snap;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  obs::JsonObject counter_obj;
+  for (const auto& [name, n] : counters) counter_obj.Int(name, n);
+  obs::JsonObject gauge_obj;
+  for (const auto& [name, v] : gauges) gauge_obj.Num(name, v);
+  obs::JsonObject histo_obj;
+  for (const auto& [name, h] : histograms) {
+    histo_obj.Raw(name, obs::JsonObject()
+                            .Int("count", h.count)
+                            .Num("total_ms", h.total_ms)
+                            .Num("mean_ms", h.mean_ms)
+                            .Num("max_ms", h.max_ms)
+                            .Num("p50_ms", h.p50_ms)
+                            .Num("p90_ms", h.p90_ms)
+                            .Num("p99_ms", h.p99_ms)
+                            .Build());
   }
   return obs::JsonObject()
-      .Raw("counters", counters.Build())
-      .Raw("gauges", gauges.Build())
-      .Raw("histograms", histos.Build())
+      .Raw("counters", counter_obj.Build())
+      .Raw("gauges", gauge_obj.Build())
+      .Raw("histograms", histo_obj.Build())
       .Build();
+}
+
+std::string MetricsRegistry::DumpJson() const {
+  return Snapshot().ToJson();
 }
 
 void MetricsRegistry::ResetAll() {

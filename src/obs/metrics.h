@@ -67,6 +67,21 @@ class Gauge {
   std::atomic<double> v_{0.0};
 };
 
+/// Point-in-time statistics of one histogram. Internally consistent by
+/// construction: count and the quantile estimates are derived from the
+/// same single copy of the bucket array, so a snapshot taken while
+/// writers run can never report p99 > max-bucket-with-samples or a
+/// quantile that disagrees with its own count.
+struct HistogramStats {
+  uint64_t count = 0;
+  double total_ms = 0;
+  double mean_ms = 0;
+  double max_ms = 0;
+  double p50_ms = 0;
+  double p90_ms = 0;
+  double p99_ms = 0;
+};
+
 /// Fixed-bucket latency histogram over milliseconds. Buckets are
 /// power-of-two microseconds (bucket i covers [2^i, 2^(i+1)) µs, bucket 0
 /// additionally absorbs sub-microsecond samples), so Record is a clz plus
@@ -94,6 +109,10 @@ class LatencyHistogram {
     return buckets_[i].load(std::memory_order_relaxed);
   }
 
+  /// Single-pass consistent snapshot: buckets are copied once and every
+  /// derived figure (count, quantiles) comes from that copy.
+  HistogramStats SnapshotStats() const;
+
   void Reset();
 
  private:
@@ -101,6 +120,20 @@ class LatencyHistogram {
   std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_ms_{0.0};
   std::atomic<double> max_ms_{0.0};
+};
+
+/// One consistent pass over every registered instrument. Each counter is
+/// read exactly once (so re-reading the snapshot is monotonic-stable even
+/// while writers run, which a direct second Get() is not), and histogram
+/// figures are internally consistent per HistogramStats. This is the
+/// common substrate of DumpJson and the flight timeseries layer.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramStats> histograms;
+
+  /// Same document shape as MetricsRegistry::DumpJson().
+  std::string ToJson() const;
 };
 
 /// Thread-safe name → instrument registry with a JSON snapshot dump.
@@ -120,7 +153,12 @@ class MetricsRegistry {
   Gauge* GetGauge(const std::string& name);
   LatencyHistogram* GetHistogram(const std::string& name);
 
-  /// One JSON document:
+  /// Consistent single-pass snapshot of every instrument (one read per
+  /// counter/gauge, one bucket-array copy per histogram), taken under
+  /// the registration mutex so no instrument is missed or read twice.
+  MetricsSnapshot Snapshot() const;
+
+  /// One JSON document (Snapshot().ToJson()):
   ///   {"counters": {name: n, ...},
   ///    "gauges": {name: x, ...},
   ///    "histograms": {name: {count, total_ms, mean_ms, max_ms,

@@ -16,6 +16,10 @@ const char* SpanKindName(SpanKind kind) {
     case SpanKind::kCompute: return "compute";
     case SpanKind::kMaintainerArm: return "maintainer_arm";
     case SpanKind::kSummaryInsert: return "summary_insert";
+    case SpanKind::kWalScan: return "wal_scan";
+    case SpanKind::kRedoReplay: return "redo_replay";
+    case SpanKind::kManifestApply: return "manifest_apply";
+    case SpanKind::kFallbackInvalidate: return "fallback_invalidate";
   }
   return "?";
 }

@@ -35,6 +35,12 @@ enum class SpanKind : uint8_t {
   kCompute = 5,        // statistic computation / partial-state finish
   kMaintainerArm = 6,  // incremental-maintainer construction + init
   kSummaryInsert = 7,  // Summary Database insert of the fresh result
+  // Recovery phases (Dbms::Recover emits a "recover"-labeled trace so
+  // crash recovery is no longer an observability black hole):
+  kWalScan = 8,             // redo-log open + record scan
+  kRedoReplay = 9,          // full-page-image replay into the pools
+  kManifestApply = 10,      // catalog/view/summary state rebuild
+  kFallbackInvalidate = 11, // §4.3 hinted-attribute invalidation
 };
 
 const char* SpanKindName(SpanKind kind);

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/checksum.h"
+#include "flight/flight_recorder.h"
 
 namespace statdb {
 namespace {
@@ -34,6 +35,10 @@ Status BufferPool::ReadWithRetry(PageId id, Page* out) {
        ++attempt) {
     ++stats_.retries;
     stats_.backoff_ms += backoff;
+    if (FlightRecorder* f = flight_.load(std::memory_order_acquire)) {
+      f->Record(FlightEventKind::kIoRetry, device_->name() + "/read",
+                attempt + 1, static_cast<int64_t>(id), backoff);
+    }
     backoff *= 2;
     s = device_->ReadPage(id, out);
   }
@@ -48,6 +53,10 @@ Status BufferPool::WriteWithRetry(PageId id, const Page& page) {
        ++attempt) {
     ++stats_.retries;
     stats_.backoff_ms += backoff;
+    if (FlightRecorder* f = flight_.load(std::memory_order_acquire)) {
+      f->Record(FlightEventKind::kIoRetry, device_->name() + "/write",
+                attempt + 1, static_cast<int64_t>(id), backoff);
+    }
     backoff *= 2;
     s = device_->WritePage(id, page);
   }
@@ -145,6 +154,11 @@ Result<Page*> BufferPool::FetchPage(PageId id) {
       Crc32c(f.page.data.data(), kPageSize) != f.page.header.checksum) {
     ++stats_.checksum_failures;
     free_frames_.push_back(idx);
+    if (FlightRecorder* fr = flight_.load(std::memory_order_acquire)) {
+      fr->Record(FlightEventKind::kDataLoss, device_->name(),
+                 static_cast<int64_t>(id));
+      fr->AutoDumpOnce("data_loss");
+    }
     return DataLossError("checksum mismatch on device " + device_->name() +
                          " page " + std::to_string(id));
   }

@@ -1,6 +1,7 @@
 #ifndef STATDB_STORAGE_BUFFER_POOL_H_
 #define STATDB_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <list>
@@ -125,6 +126,13 @@ class BufferPool {
   SimulatedDevice* device() { return device_; }
   size_t capacity() const { return capacity_; }
 
+  /// Attaches (or detaches, with nullptr) the flight recorder; retry
+  /// attempts and checksum DATA_LOSS verdicts become black-box events.
+  /// Atomic so it can be flipped while worker threads run I/O.
+  void set_flight_recorder(FlightRecorder* recorder) {
+    flight_.store(recorder, std::memory_order_release);
+  }
+
  private:
   /// Read-only introspection for the structural auditor (src/check).
   friend class CheckAccess;
@@ -173,6 +181,7 @@ class BufferPool {
   std::list<size_t> lru_;  // front = least recently used
   bool no_steal_ = false;
   BufferPoolStats stats_;
+  std::atomic<FlightRecorder*> flight_{nullptr};
 };
 
 /// RAII pin guard: unpins on destruction with the recorded dirty flag.

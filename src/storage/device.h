@@ -12,6 +12,11 @@
 
 namespace statdb {
 
+// src/flight's recorder sits between obs and storage in the dependency
+// DAG; devices only ever hold a pointer to it, so a forward declaration
+// keeps this header free of the flight types.
+class FlightRecorder;
+
 /// Running I/O counters and simulated elapsed time for one device.
 ///
 /// The paper's performance arguments (tape vs. disk, transposed vs. row
@@ -85,6 +90,11 @@ class SimulatedDevice {
 
   /// Fault counters, or nullptr when this device does not inject faults.
   virtual const FaultCounters* fault_counters() const { return nullptr; }
+
+  /// Attaches the flight recorder so fault-injecting subclasses can log
+  /// every injected fault as a black-box event. A plain device records
+  /// nothing (its I/O is deterministic and healthy by construction).
+  virtual void set_flight_recorder(FlightRecorder*) {}
 
   const std::string& name() const { return name_; }
   const IoStats& stats() const { return stats_; }

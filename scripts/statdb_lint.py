@@ -1,0 +1,444 @@
+#!/usr/bin/env python3
+"""statdb project-rule linter (DESIGN.md §13).
+
+Mechanical checks for project rules the compilers cannot express, run in
+CI next to the thread-safety lane:
+
+  R1 naked-sync-primitive   No std::mutex / std::lock_guard /
+                            std::unique_lock / std::shared_mutex /
+                            std::condition_variable / std::scoped_lock /
+                            std::shared_lock outside src/common/sync.h.
+                            Every lock goes through statdb::sync so the
+                            Clang Thread Safety attributes are attached.
+  R2 nodiscard-status       Status and Result<T> keep their class-level
+                            [[nodiscard]]; the compilers (and the
+                            -Werror lanes) then reject every ignored
+                            call site, so this rule guards the guard.
+  R3 flight-relaxed-atomics Flight-recorder atomics always pass an
+                            explicit std::memory_order, and never
+                            memory_order_seq_cst: payload words stay
+                            relaxed, only the slot markers use
+                            release/acquire. A defaulted (seq_cst)
+                            argument would silently put fences on the
+                            record hot path.
+  R4 hot-path-hygiene       (a) No double/float-keyed maps without an
+                            explicit waiver comment (NaN and -0.0/+0.0
+                            make doubles treacherous map keys);
+                            (b) no range-for over a container that the
+                            loop body erases from or inserts into
+                            (iterator invalidation).
+
+Usage:
+  scripts/statdb_lint.py             # lint the repo; exit 1 on findings
+  scripts/statdb_lint.py --self-test # inject one violation per rule and
+                                     # verify each rule goes red
+
+Waivers: a line may carry `statdb-lint: allow(<rule>)` in a comment to
+waive R4a for a deliberate double-keyed map (the waiver must say why).
+R1 and R3 have no waiver mechanism on purpose; R2 is structural.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SOURCE_DIRS = ("src", "tests", "bench", "examples")
+SOURCE_EXTS = (".h", ".cc")
+
+SYNC_HEADER = os.path.join("src", "common", "sync.h")
+
+# --- helpers -----------------------------------------------------------------
+
+
+def strip_comments(text):
+    """Blanks out // and /* */ comments and string literals, preserving
+    line structure so reported line numbers stay correct."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+                out.append(c)
+                i += 1
+                continue
+            if c == "'":
+                state = "chr"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("str", "chr"):
+            quote = '"' if state == "str" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def iter_source_files():
+    for d in SOURCE_DIRS:
+        base = os.path.join(REPO_ROOT, d)
+        if not os.path.isdir(base):
+            continue
+        for root, _dirs, files in os.walk(base):
+            for name in sorted(files):
+                if name.endswith(SOURCE_EXTS):
+                    path = os.path.join(root, name)
+                    yield os.path.relpath(path, REPO_ROOT)
+
+
+class Finding:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# --- R1: naked sync primitives ----------------------------------------------
+
+NAKED_SYNC_RE = re.compile(
+    r"\bstd\s*::\s*(mutex|timed_mutex|recursive_mutex|shared_mutex|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock|"
+    r"condition_variable(?:_any)?)\b"
+)
+
+
+def check_naked_sync(path, text):
+    if path.replace(os.sep, "/") == SYNC_HEADER.replace(os.sep, "/"):
+        return []
+    findings = []
+    for lineno, line in enumerate(strip_comments(text).splitlines(), 1):
+        m = NAKED_SYNC_RE.search(line)
+        if m:
+            findings.append(
+                Finding(
+                    "naked-sync-primitive",
+                    path,
+                    lineno,
+                    f"std::{m.group(1)} outside src/common/sync.h — use "
+                    "statdb::Mutex / MutexLock / CondVar (common/sync.h) so "
+                    "the thread-safety annotations apply",
+                )
+            )
+    return findings
+
+
+# --- R2: [[nodiscard]] on Status / Result ------------------------------------
+
+NODISCARD_REQUIRED = [
+    (
+        os.path.join("src", "common", "status.h"),
+        re.compile(r"class\s*\[\[nodiscard\]\]\s*Status\b"),
+        "class Status must carry [[nodiscard]]",
+    ),
+    (
+        os.path.join("src", "common", "result.h"),
+        re.compile(r"class\s*\[\[nodiscard\]\]\s*Result\b"),
+        "class Result must carry [[nodiscard]]",
+    ),
+]
+
+
+def check_nodiscard(files):
+    """files: {relpath: text} for the two common headers."""
+    findings = []
+    for rel, pattern, msg in NODISCARD_REQUIRED:
+        rel_norm = rel.replace(os.sep, "/")
+        text = None
+        for path, content in files.items():
+            if path.replace(os.sep, "/") == rel_norm:
+                text = content
+                break
+        if text is None:
+            findings.append(
+                Finding("nodiscard-status", rel_norm, 1, f"{rel_norm} missing")
+            )
+        elif not pattern.search(text):
+            findings.append(Finding("nodiscard-status", rel_norm, 1, msg))
+    return findings
+
+
+# --- R3: flight-recorder atomics stay explicit & non-seq_cst -----------------
+
+FLIGHT_FILES = ("src/flight/flight_recorder.h", "src/flight/flight_recorder.cc")
+ATOMIC_OP_RE = re.compile(
+    r"\.\s*(store|load|exchange|fetch_add|fetch_sub|fetch_or|fetch_and|"
+    r"compare_exchange_weak|compare_exchange_strong)\s*\("
+)
+
+
+def _balanced_args(text, open_paren_idx):
+    """Returns the argument text between the parens starting at
+    open_paren_idx, handling nesting."""
+    depth = 0
+    for i in range(open_paren_idx, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_paren_idx + 1 : i]
+    return text[open_paren_idx + 1 :]
+
+
+def check_flight_atomics(path, text):
+    if path.replace(os.sep, "/") not in FLIGHT_FILES:
+        return []
+    findings = []
+    stripped = strip_comments(text)
+    for m in ATOMIC_OP_RE.finditer(stripped):
+        op = m.group(1)
+        args = _balanced_args(stripped, m.end() - 1)
+        lineno = stripped.count("\n", 0, m.start()) + 1
+        if "memory_order_seq_cst" in args:
+            findings.append(
+                Finding(
+                    "flight-relaxed-atomics",
+                    path,
+                    lineno,
+                    f".{op}() uses memory_order_seq_cst — flight-recorder "
+                    "payload words stay relaxed (markers: release/acquire)",
+                )
+            )
+        elif "memory_order" not in args:
+            findings.append(
+                Finding(
+                    "flight-relaxed-atomics",
+                    path,
+                    lineno,
+                    f".{op}() with defaulted memory order (= seq_cst) — "
+                    "pass std::memory_order_relaxed (payload) or "
+                    "release/acquire (markers) explicitly",
+                )
+            )
+    return findings
+
+
+# --- R4: hot-path hygiene ----------------------------------------------------
+
+DOUBLE_MAP_RE = re.compile(r"\bstd\s*::\s*(?:unordered_)?map\s*<\s*(double|float)\b")
+ALLOW_RE = re.compile(r"statdb-lint:\s*allow\(double-keyed-map\)")
+RANGE_FOR_RE = re.compile(
+    r"\bfor\s*\(\s*(?:const\s+)?[\w:<>,\s&*]+?\s*[\w\[\]]+\s*:\s*"
+    r"((?:\w+(?:\.\w+|->\w+|\(\))*)+)\s*\)"
+)
+MUTATORS = ("erase", "push_back", "emplace_back", "insert", "emplace", "clear")
+
+
+def check_double_maps(path, text):
+    findings = []
+    raw_lines = text.splitlines()
+    for lineno, line in enumerate(strip_comments(text).splitlines(), 1):
+        if DOUBLE_MAP_RE.search(line):
+            raw = raw_lines[lineno - 1] if lineno - 1 < len(raw_lines) else ""
+            waived = bool(ALLOW_RE.search(raw))
+            # The waiver may sit in the contiguous comment block above.
+            k = lineno - 2
+            while not waived and k >= 0 and raw_lines[k].lstrip().startswith("//"):
+                waived = bool(ALLOW_RE.search(raw_lines[k]))
+                k -= 1
+            if waived:
+                continue
+            findings.append(
+                Finding(
+                    "double-keyed-map",
+                    path,
+                    lineno,
+                    "map keyed by floating point (NaN never compares equal; "
+                    "-0.0 == +0.0 collide) — key by bits/ordinal, or waive "
+                    "with `statdb-lint: allow(double-keyed-map)` + why",
+                )
+            )
+    return findings
+
+
+def check_loop_mutation(path, text):
+    findings = []
+    stripped = strip_comments(text)
+    for m in RANGE_FOR_RE.finditer(stripped):
+        container = m.group(1)
+        if "(" in container:  # iterating a call result: body can't invalidate it
+            continue
+        # The loop body: a braced block if the next token is '{', else the
+        # single statement up to the terminating ';'.
+        j = m.end()
+        while j < len(stripped) and stripped[j].isspace():
+            j += 1
+        if j < len(stripped) and stripped[j] == "{":
+            depth = 0
+            end = j
+            for i in range(j, len(stripped)):
+                if stripped[i] == "{":
+                    depth += 1
+                elif stripped[i] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        end = i
+                        break
+            body = stripped[j:end]
+        else:
+            end = stripped.find(";", j)
+            body = stripped[j : end if end != -1 else len(stripped)]
+        esc = re.escape(container)
+        for mut in MUTATORS:
+            if re.search(rf"\b{esc}\s*\.\s*{mut}\s*\(", body):
+                lineno = stripped.count("\n", 0, m.start()) + 1
+                findings.append(
+                    Finding(
+                        "loop-invalidating-mutation",
+                        path,
+                        lineno,
+                        f"range-for over `{container}` while the body calls "
+                        f"`{container}.{mut}(...)` — iterator invalidation; "
+                        "collect first, mutate after the loop",
+                    )
+                )
+                break
+    return findings
+
+
+# --- driver ------------------------------------------------------------------
+
+
+def lint_corpus(files):
+    """files: {relpath: text}. Returns all findings."""
+    findings = []
+    for path, text in files.items():
+        findings += check_naked_sync(path, text)
+        findings += check_flight_atomics(path, text)
+        findings += check_double_maps(path, text)
+        findings += check_loop_mutation(path, text)
+    findings += check_nodiscard(files)
+    return findings
+
+
+def load_repo():
+    files = {}
+    for rel in iter_source_files():
+        with open(os.path.join(REPO_ROOT, rel), encoding="utf-8") as f:
+            files[rel] = f.read()
+    return files
+
+
+# One injected violation per rule; --self-test must see every one fire.
+SELF_TEST_SNIPPETS = {
+    "naked-sync-primitive": (
+        "src/core/injected_r1.h",
+        "class Bad {\n  std::mutex mu_;\n};\n",
+    ),
+    "nodiscard-status": (
+        # Replaces the real header in the synthetic corpus: nodiscard gone.
+        "src/common/status.h",
+        "class Status {\n public:\n  bool ok() const;\n};\n",
+    ),
+    "flight-relaxed-atomics": (
+        "src/flight/flight_recorder.cc",
+        "void f(std::atomic<uint64_t>& a) {\n  a.store(1);\n}\n",
+    ),
+    "double-keyed-map": (
+        "src/summary/injected_r4a.h",
+        "#include <map>\nstd::map<double, int> cache_;\n",
+    ),
+    "loop-invalidating-mutation": (
+        "src/core/injected_r4b.cc",
+        "void f(std::vector<int>& xs) {\n"
+        "  for (int x : xs) {\n"
+        "    if (x < 0) xs.erase(xs.begin());\n"
+        "  }\n"
+        "}\n",
+    ),
+}
+
+
+def self_test():
+    ok = True
+    # Each rule must fire on its injected violation...
+    for rule, (path, snippet) in SELF_TEST_SNIPPETS.items():
+        corpus = {path: snippet}
+        if rule == "nodiscard-status":
+            # Provide a well-formed result.h so only the Status side trips.
+            corpus["src/common/result.h"] = (
+                "template <typename T>\nclass [[nodiscard]] Result {};\n"
+            )
+        found = [f for f in lint_corpus(corpus) if f.rule == rule]
+        if found:
+            print(f"self-test [{rule}]: fired as expected "
+                  f"({found[0].path}:{found[0].line})")
+        else:
+            print(f"self-test [{rule}]: FAILED — injected violation "
+                  f"not detected in {path}")
+            ok = False
+    # ...and the real tree must be clean, or the rules are miscalibrated.
+    repo_findings = lint_corpus(load_repo())
+    if repo_findings:
+        print("self-test: FAILED — repository is not clean:")
+        for f in repo_findings:
+            print(f"  {f}")
+        ok = False
+    else:
+        print("self-test: repository clean")
+    return 0 if ok else 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="inject one violation per rule and verify each goes red",
+    )
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    findings = lint_corpus(load_repo())
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"statdb_lint: {len(findings)} finding(s)")
+        return 1
+    print("statdb_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

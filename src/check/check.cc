@@ -97,6 +97,10 @@ Status CheckReport::ToStatus() const {
 Status CheckBufferPool(const BufferPool& pool, CheckReport* report,
                        const BufferPoolCheckOptions& options) {
   const char* kSub = "buffer_pool";
+  // Hold the pool's latch for the whole structural walk: the snapshot is
+  // consistent, and the audit no longer relies on the caller promising
+  // quiescence (scan workers may pin/unpin while this runs).
+  MutexLock lock(CheckAccess::PoolMutex(pool));
   const auto& frames = CheckAccess::Frames(pool);
   const auto& free_frames = CheckAccess::FreeFrames(pool);
   const auto& page_table = CheckAccess::PageTable(pool);

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.h"
 #include "storage/btree.h"
 #include "storage/buffer_pool.h"
 #include "storage/column_file.h"
@@ -26,17 +27,31 @@ class CheckAccess {
   // --- BufferPool ---------------------------------------------------------
   using PoolFrame = BufferPool::Frame;
 
-  static const std::deque<PoolFrame>& Frames(const BufferPool& pool) {
+  /// The pool's internal latch, exposed so the structural walk can hold
+  /// it across a consistent read of frames/page-table/LRU state. Before
+  /// this accessor existed the auditor read those structures unlatched
+  /// and was safe only by the quiescence convention; the thread safety
+  /// analysis rejects that now, and CheckBufferPool audits are valid
+  /// even while scan workers pin and unpin concurrently.
+  static Mutex& PoolMutex(const BufferPool& pool)
+      STATDB_RETURN_CAPABILITY(pool.mu_) {
+    return pool.mu_;
+  }
+
+  static const std::deque<PoolFrame>& Frames(const BufferPool& pool)
+      STATDB_REQUIRES(pool.mu_) {
     return pool.frames_;
   }
-  static const std::vector<size_t>& FreeFrames(const BufferPool& pool) {
+  static const std::vector<size_t>& FreeFrames(const BufferPool& pool)
+      STATDB_REQUIRES(pool.mu_) {
     return pool.free_frames_;
   }
   static const std::unordered_map<PageId, size_t>& PageTable(
-      const BufferPool& pool) {
+      const BufferPool& pool) STATDB_REQUIRES(pool.mu_) {
     return pool.page_table_;
   }
-  static const std::list<size_t>& Lru(const BufferPool& pool) {
+  static const std::list<size_t>& Lru(const BufferPool& pool)
+      STATDB_REQUIRES(pool.mu_) {
     return pool.lru_;
   }
 

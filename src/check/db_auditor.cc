@@ -55,7 +55,7 @@ Status DbAuditor::AuditAll(CheckReport* report) {
     }
     // A torn log tail is expected debris after a crash, not corruption —
     // recovery discards it by overwrite — so it is surfaced at kInfo.
-    const WalStats& ws = dbms_->redo_log()->stats();
+    const WalStats ws = dbms_->redo_log()->stats();
     if (ws.torn_tail_bytes > 0) {
       report->Add(CheckSeverity::kInfo, "wal", "torn-tail",
                   std::to_string(ws.torn_tail_bytes) +

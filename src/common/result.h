@@ -13,8 +13,11 @@ namespace statdb {
 ///
 /// Mirrors absl::StatusOr. Constructing from an OK status without a value
 /// is a programming error and is rewritten to an INTERNAL error.
+///
+/// Class-level [[nodiscard]], like Status: dropping a Result drops the
+/// error it may carry.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so `return value;` and `return status;` both work.
   Result(T value) : value_(std::move(value)) {}

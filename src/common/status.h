@@ -34,7 +34,11 @@ std::string_view StatusCodeName(StatusCode code);
 /// statdb never throws across module boundaries; every fallible public
 /// function returns `Status` or `Result<T>`. A default-constructed Status
 /// is OK and carries no message.
-class Status {
+///
+/// Class-level [[nodiscard]]: a dropped Status is a swallowed error, so
+/// every call site must consume it (or cast through `(void)` with a
+/// comment saying why the error is genuinely ignorable).
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)

@@ -1,0 +1,211 @@
+#ifndef STATDB_COMMON_SYNC_H_
+#define STATDB_COMMON_SYNC_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+namespace statdb {
+
+/// statdb::sync — annotated capability types (DESIGN.md §13).
+///
+/// Every lock in statdb goes through this header so the locking
+/// discipline lives in the type system instead of in comments: each
+/// guarded field says which mutex guards it (STATDB_GUARDED_BY), each
+/// `...Locked()` helper says which capability its caller must hold
+/// (STATDB_REQUIRES), and Clang's -Wthread-safety analysis (the CI
+/// thread-safety lane builds with -Wthread-safety -Werror) rejects any
+/// access that violates the contract at compile time. Under GCC and
+/// other non-Clang compilers the attributes expand to nothing and the
+/// wrappers cost exactly what std::mutex / std::lock_guard cost.
+///
+/// Project rule (enforced by scripts/statdb_lint.py): no naked
+/// std::mutex / std::lock_guard / std::unique_lock / std::shared_mutex /
+/// std::condition_variable outside this file.
+
+// --- Clang Thread Safety Analysis attribute macros --------------------------
+
+#if defined(__clang__) && (!defined(SWIG))
+#define STATDB_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define STATDB_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+/// Declares a type to be a capability ("mutex") the analysis tracks.
+#define STATDB_CAPABILITY(x) STATDB_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define STATDB_SCOPED_CAPABILITY STATDB_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field annotation: reads and writes require holding `x`.
+#define STATDB_GUARDED_BY(x) STATDB_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer-target annotation: dereferences require holding `x`.
+#define STATDB_PT_GUARDED_BY(x) STATDB_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function annotation: the caller must hold the capability exclusively.
+#define STATDB_REQUIRES(...) \
+  STATDB_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function annotation: the caller must hold the capability (shared ok).
+#define STATDB_REQUIRES_SHARED(...) \
+  STATDB_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function annotation: acquires the capability (exclusively / shared).
+#define STATDB_ACQUIRE(...) \
+  STATDB_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define STATDB_ACQUIRE_SHARED(...) \
+  STATDB_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function annotation: releases the capability.
+#define STATDB_RELEASE(...) \
+  STATDB_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define STATDB_RELEASE_SHARED(...) \
+  STATDB_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+/// Releases a capability regardless of whether it is held exclusively
+/// or shared (scoped-capability destructors).
+#define STATDB_RELEASE_GENERIC(...) \
+  STATDB_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+/// Function annotation: tries to acquire; returns `ret` on success.
+#define STATDB_TRY_ACQUIRE(...) \
+  STATDB_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function annotation: the caller must NOT hold the capability
+/// (deadlock prevention: public entry points that take the lock).
+#define STATDB_EXCLUDES(...) \
+  STATDB_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function annotation: the returned reference/pointer IS the named
+/// capability (accessors that expose a private mutex, e.g. to the
+/// structural auditor).
+#define STATDB_RETURN_CAPABILITY(x) \
+  STATDB_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Runtime assertion that the capability is held (adopted locks, code
+/// reached only from locked contexts the analysis cannot see).
+#define STATDB_ASSERT_CAPABILITY(x) \
+  STATDB_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Escape hatch. Allowed ONLY inside src/common/sync.h (the lint and
+/// review rule); everything else must restructure instead of suppress.
+#define STATDB_NO_THREAD_SAFETY_ANALYSIS \
+  STATDB_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+// --- capability types -------------------------------------------------------
+
+/// Exclusive mutex. Identical cost to std::mutex; the wrapper exists so
+/// the capability attribute can be attached and so CondVar can reach the
+/// native handle.
+class STATDB_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() STATDB_ACQUIRE() { mu_.lock(); }
+  void Unlock() STATDB_RELEASE() { mu_.unlock(); }
+  bool TryLock() STATDB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Documents (to the analysis) that the lock is held on a path it
+  /// cannot prove — use sparingly; prefer STATDB_REQUIRES.
+  void AssertHeld() const STATDB_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Reader/writer mutex for read-mostly registries.
+class STATDB_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() STATDB_ACQUIRE() { mu_.lock(); }
+  void Unlock() STATDB_RELEASE() { mu_.unlock(); }
+  void ReaderLock() STATDB_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void ReaderUnlock() STATDB_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over a Mutex (the std::lock_guard replacement).
+class STATDB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) STATDB_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() STATDB_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII exclusive lock over a SharedMutex (writers).
+class STATDB_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) STATDB_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() STATDB_RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared lock over a SharedMutex (readers).
+class STATDB_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) STATDB_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.ReaderLock();
+  }
+  ~ReaderMutexLock() STATDB_RELEASE_GENERIC() { mu_.ReaderUnlock(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to statdb::Mutex.
+///
+/// Wait() requires the capability: the analysis knows the mutex is held
+/// across the wait (it is atomically released while blocked and
+/// re-acquired before returning, like std::condition_variable). Use an
+/// explicit `while (!predicate) cv.Wait(mu);` loop rather than a
+/// predicate lambda — the analysis sees through the loop but not
+/// through a closure.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) STATDB_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the wait, then hand
+    // ownership back so the MutexLock/Unlock bookkeeping stays paired.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace statdb
+
+#endif  // STATDB_COMMON_SYNC_H_

@@ -186,6 +186,9 @@ StatisticalDbms::StatisticalDbms(StorageManager* storage,
   // checksum DATA_LOSS verdicts and injected faults into the same ring
   // the query paths feed. STATDB_FLIGHT_DUMP (a path) arms the
   // dump-on-first-failure behavior the crash matrix relies on.
+  // getenv is fine here: read once during construction, before any
+  // worker thread exists, and nothing in statdb calls setenv.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* dump_path = std::getenv("STATDB_FLIGHT_DUMP");
       dump_path != nullptr && dump_path[0] != '\0') {
     flight_.set_auto_dump_path(dump_path);
@@ -245,18 +248,27 @@ void StatisticalDbms::TickTimeseries() {
 }
 
 void StatisticalDbms::EnableTimeseries(uint64_t every_n_mutations) {
-  ts_every_n_mutations_ = every_n_mutations;
-  ts_mutations_since_tick_ = 0;
+  {
+    MutexLock lock(session_mu_);
+    ts_every_n_mutations_ = every_n_mutations;
+    ts_mutations_since_tick_ = 0;
+  }
+  // Outside the latch: TickTimeseries re-reads mutation_seq_.
   if (every_n_mutations > 0) TickTimeseries();  // the delta baseline
 }
 
 void StatisticalDbms::MaybeTickTimeseries() {
-  ++mutation_seq_;
-  if (ts_every_n_mutations_ == 0) return;
-  if (++ts_mutations_since_tick_ >= ts_every_n_mutations_) {
-    ts_mutations_since_tick_ = 0;
-    TickTimeseries();
+  bool tick = false;
+  {
+    MutexLock lock(session_mu_);
+    ++mutation_seq_;
+    if (ts_every_n_mutations_ != 0 &&
+        ++ts_mutations_since_tick_ >= ts_every_n_mutations_) {
+      ts_mutations_since_tick_ = 0;
+      tick = true;
+    }
   }
+  if (tick) TickTimeseries();
 }
 
 std::string StatisticalDbms::ExposeText() {
@@ -267,7 +279,10 @@ std::string StatisticalDbms::ExposeText() {
 StatPoint StatisticalDbms::TakeStatSnapshot() {
   StatPoint p;
   p.t_ms = flight_.NowMs();
-  p.seq = mutation_seq_;
+  {
+    MutexLock lock(session_mu_);
+    p.seq = mutation_seq_;
+  }
   // The registry's counters and gauges become scalar series directly;
   // histograms contribute their count and tail.
   MetricsSnapshot snap = metrics_.Snapshot();
@@ -283,7 +298,7 @@ StatPoint StatisticalDbms::TakeStatSnapshot() {
   uint64_t lookups = 0;
   uint64_t hits = 0;
   for (const auto& [name, state] : views_) {
-    const SummaryDbStats& s = state.summary->stats();
+    const SummaryDbStats s = state.summary->stats();
     lookups += s.lookups;
     hits += s.hits;
   }
@@ -306,7 +321,7 @@ StatPoint StatisticalDbms::TakeStatSnapshot() {
       static_cast<double>(writes) * static_cast<double>(kPageSize);
   p.values["io.simulated_ms"] = sim_ms;
   if (wal_ != nullptr) {
-    const WalStats& ws = wal_->stats();
+    const WalStats ws = wal_->stats();
     p.values["wal.bytes_appended"] = static_cast<double>(ws.bytes_appended);
     p.values["wal.commits"] = static_cast<double>(ws.records_appended);
   }
@@ -1690,7 +1705,7 @@ std::string StatisticalDbms::DumpMetrics() {
   // Per-view Summary Database economics (§3.2) and query/update traffic.
   obs::JsonObject views;
   for (const auto& [name, state] : views_) {
-    const SummaryDbStats& s = state.summary->stats();
+    const SummaryDbStats s = state.summary->stats();
     obs::JsonObject cache;
     cache.Int("lookups", s.lookups)
         .Int("hits", s.hits)
@@ -1769,11 +1784,18 @@ std::string StatisticalDbms::DumpMetrics() {
 
   // Durability: commit/recovery activity and degraded-mode state.
   if (wal_ != nullptr) {
-    const WalStats& ws = wal_->stats();
+    const WalStats ws = wal_->stats();
+    bool is_degraded;
+    uint64_t n_recoveries;
+    {
+      MutexLock lock(session_mu_);
+      is_degraded = degraded_;
+      n_recoveries = recoveries_;
+    }
     obs::JsonObject durability;
-    durability.Bool("degraded", degraded_)
+    durability.Bool("degraded", is_degraded)
         .Int("last_lsn", wal_->last_lsn())
-        .Int("recoveries", recoveries_)
+        .Int("recoveries", n_recoveries)
         .Int("wal_records_appended", ws.records_appended)
         .Int("wal_bytes_appended", ws.bytes_appended)
         .Int("wal_records_recovered", ws.records_recovered)

@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "core/attribute_index.h"
 #include "core/inference.h"
 #include "core/view.h"
@@ -320,13 +321,24 @@ class StatisticalDbms {
   bool durability_enabled() const { return wal_ != nullptr; }
   /// Read-only degraded mode: entered when a device failure outlives the
   /// bounded retries. Queries still run; mutations fail fast.
-  bool degraded() const { return degraded_; }
-  const std::string& degraded_reason() const { return degraded_reason_; }
+  bool degraded() const {
+    MutexLock lock(session_mu_);
+    return degraded_;
+  }
+  /// By value: the reason string is rewritten on the mutation path, so a
+  /// reference would be a torn read under concurrent queries.
+  std::string degraded_reason() const {
+    MutexLock lock(session_mu_);
+    return degraded_reason_;
+  }
   uint64_t last_committed_lsn() const {
     return wal_ == nullptr ? 0 : wal_->last_lsn();
   }
   RedoLog* redo_log() { return wal_.get(); }
-  uint64_t recoveries() const { return recoveries_; }
+  uint64_t recoveries() const {
+    MutexLock lock(session_mu_);
+    return recoveries_;
+  }
 
   // --- introspection -------------------------------------------------------
 
@@ -579,17 +591,25 @@ class StatisticalDbms {
 
   std::unique_ptr<RedoLog> wal_;  // nullptr = durability off
   std::string wal_device_name_;
-  bool degraded_ = false;
-  std::string degraded_reason_;
-  uint64_t recoveries_ = 0;
+
+  /// Latches the small pieces of session state that concurrent readers
+  /// (DumpMetrics, the degraded/recoveries accessors) observe while the
+  /// mutation path writes them. Leaf lock: never held across I/O, WAL
+  /// appends, or calls into other latched subsystems.
+  mutable Mutex session_mu_;
+  bool degraded_ STATDB_GUARDED_BY(session_mu_) = false;
+  std::string degraded_reason_ STATDB_GUARDED_BY(session_mu_);
+  uint64_t recoveries_ STATDB_GUARDED_BY(session_mu_) = 0;
 
   MetricsRegistry metrics_;
   FlightRecorder flight_;
   WorkloadProfiler profiler_;
   MetricsTimeseries timeseries_;
-  uint64_t ts_every_n_mutations_ = 0;  // 0 = manual TickTimeseries only
-  uint64_t ts_mutations_since_tick_ = 0;
-  uint64_t mutation_seq_ = 0;  // lifetime successful mutations
+  // 0 = manual TickTimeseries only
+  uint64_t ts_every_n_mutations_ STATDB_GUARDED_BY(session_mu_) = 0;
+  uint64_t ts_mutations_since_tick_ STATDB_GUARDED_BY(session_mu_) = 0;
+  // lifetime successful mutations
+  uint64_t mutation_seq_ STATDB_GUARDED_BY(session_mu_) = 0;
   TraceSink* trace_sink_ = nullptr;  // not owned
   // Instruments resolved once at construction; bumped lock-free after.
   LatencyHistogram* obs_query_ms_ = nullptr;

@@ -87,6 +87,7 @@ Result<std::vector<PageId>> ReadPageIds(ByteReader* r) {
 }  // namespace
 
 Status StatisticalDbms::GuardMutable() const {
+  MutexLock lock(session_mu_);
   if (degraded_) {
     return FailedPreconditionError("read-only degraded mode: " +
                                    degraded_reason_);
@@ -95,9 +96,14 @@ Status StatisticalDbms::GuardMutable() const {
 }
 
 void StatisticalDbms::EnterDegraded(const std::string& reason) {
-  if (degraded_) return;  // first failure wins
-  degraded_ = true;
-  degraded_reason_ = reason;
+  {
+    MutexLock lock(session_mu_);
+    if (degraded_) return;  // first failure wins
+    degraded_ = true;
+    degraded_reason_ = reason;
+  }
+  // Latch released before calling into metrics/flight: session_mu_ is a
+  // leaf lock and those subsystems take their own.
   metrics_.GetCounter("dbms.degraded_entered")->Inc();
   // The flip to read-only is exactly the moment the black box exists
   // for: record it and (if armed) ship the event window to disk.
@@ -280,9 +286,12 @@ Status StatisticalDbms::ApplyManifest(const std::vector<uint8_t>& manifest) {
 Status StatisticalDbms::CommitDurable(const std::string& attr_hint,
                                       bool force) {
   if (wal_ == nullptr) return Status::OK();
-  if (degraded_) {
-    return FailedPreconditionError("commit in degraded mode: " +
-                                   degraded_reason_);
+  {
+    MutexLock lock(session_mu_);
+    if (degraded_) {
+      return FailedPreconditionError("commit in degraded mode: " +
+                                     degraded_reason_);
+    }
   }
   STATDB_ASSIGN_OR_RETURN(BufferPool * disk, storage_->GetPool(disk_device_));
   WalRecord record;
@@ -320,7 +329,7 @@ Status StatisticalDbms::CommitDurable(const std::string& attr_hint,
 }
 
 void StatisticalDbms::CommitAfterQuery(const std::string& attr_hint) {
-  if (wal_ == nullptr || degraded_) return;
+  if (wal_ == nullptr || degraded()) return;
   // CommitDurable degrades on failure; the computed answer itself is
   // still correct, so query paths swallow the commit error.
   (void)CommitDurable(attr_hint, /*force=*/false);
@@ -450,7 +459,10 @@ Status StatisticalDbms::RecoverImpl(QueryTrace* trace) {
     STATDB_RETURN_IF_ERROR(CommitDurable(scan.torn_attr_hint, false));
   }
 
-  ++recoveries_;
+  {
+    MutexLock lock(session_mu_);
+    ++recoveries_;
+  }
   metrics_.GetCounter("dbms.recoveries")->Inc();
   return Status::OK();
 }

@@ -69,6 +69,8 @@ ComomentStats ComputeComoments(const std::vector<double>& x,
 /// workers scanned.
 struct ValueCounts {
   static constexpr size_t kShards = 16;
+  // statdb-lint: allow(double-keyed-map) — exact-value frequency table
+  // for mode/distinct; keys are the column's own doubles by design.
   std::array<std::unordered_map<double, uint64_t>, kShards> shards;
 
   static size_t ShardOf(double x) {

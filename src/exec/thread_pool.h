@@ -1,15 +1,14 @@
 #ifndef STATDB_EXEC_THREAD_POOL_H_
 #define STATDB_EXEC_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "obs/metrics.h"
 
 namespace statdb {
@@ -92,12 +91,12 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::packaged_task<Status()>> queue_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool shutdown_ = false;
-  ThreadPoolStats stats_;
-  LatencyHistogram* task_latency_ = nullptr;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<std::packaged_task<Status()>> queue_ STATDB_GUARDED_BY(mu_);
+  bool shutdown_ STATDB_GUARDED_BY(mu_) = false;
+  ThreadPoolStats stats_ STATDB_GUARDED_BY(mu_);
+  LatencyHistogram* task_latency_ STATDB_GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace statdb

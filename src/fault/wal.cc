@@ -130,14 +130,20 @@ Status RedoLog::WriteStream(uint64_t offset,
 }
 
 Result<WalScanResult> RedoLog::Open() {
+  MutexLock lock(mu_);
   WalScanResult result;
   last_lsn_ = 0;
   const uint64_t total = device_->page_count() * kPageSize;
   uint64_t off = 0;
+  uint64_t torn_at_off = 0;
+  uint64_t lsn_floor = 0;
 
+  // The lambda touches no guarded state (the analysis cannot see a
+  // closure's capability context); torn-tail byte accounting lands after
+  // the scan loop.
   auto mark_torn = [&](uint64_t torn_at) {
     result.torn_tail = true;
-    stats_.torn_tail_bytes = total - torn_at;
+    torn_at_off = torn_at;
     // Best effort: the hint sits right after magic+lsn at the front of
     // the body, so it often survives a tear of the later page images.
     const uint64_t avail = total - torn_at;
@@ -184,21 +190,24 @@ Result<WalScanResult> RedoLog::Open() {
     }
     // Stale bytes from an earlier, longer log generation (or replayed
     // noise) must not extend the stream: LSNs are strictly increasing.
-    if (rec.value().lsn <= last_lsn_) {
+    if (rec.value().lsn <= lsn_floor) {
       mark_torn(off);
       break;
     }
-    last_lsn_ = rec.value().lsn;
+    lsn_floor = rec.value().lsn;
     off += kFrameOverhead + body_len;
     ++stats_.records_recovered;
     result.records.push_back(std::move(rec).value());
   }
 
+  if (result.torn_tail) stats_.torn_tail_bytes = total - torn_at_off;
+  last_lsn_ = lsn_floor;
   append_offset_ = off;
   return result;
 }
 
 Status RedoLog::Append(const WalRecord& record) {
+  MutexLock lock(mu_);
   if (record.lsn <= last_lsn_) {
     return InvalidArgumentError("wal append with non-increasing lsn");
   }

@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "storage/device.h"
 #include "storage/page.h"
 
@@ -81,9 +82,21 @@ class RedoLog {
   Status Append(const WalRecord& record);
 
   /// Highest LSN committed to the log (0 = none). Valid after Open().
-  uint64_t last_lsn() const { return last_lsn_; }
-  uint64_t append_offset() const { return append_offset_; }
-  const WalStats& stats() const { return stats_; }
+  uint64_t last_lsn() const {
+    MutexLock lock(mu_);
+    return last_lsn_;
+  }
+  uint64_t append_offset() const {
+    MutexLock lock(mu_);
+    return append_offset_;
+  }
+  /// Counter snapshot by value: a reference into the live struct would
+  /// tear against a concurrent Append (e.g. DumpMetrics while another
+  /// session commits).
+  WalStats stats() const {
+    MutexLock lock(mu_);
+    return stats_;
+  }
   SimulatedDevice* device() { return device_; }
 
   /// Serialization helpers, shared with tests and the auditor.
@@ -98,10 +111,14 @@ class RedoLog {
   /// retrying transient errors; read-modify-write on partial pages.
   Status WriteStream(uint64_t offset, const std::vector<uint8_t>& bytes);
 
+  /// Serializes the append cursor, LSN watermark and stats counters —
+  /// one commit stream per log, many potential observers.
+  mutable Mutex mu_;
+
   SimulatedDevice* device_;
-  uint64_t append_offset_ = 0;
-  uint64_t last_lsn_ = 0;
-  WalStats stats_;
+  uint64_t append_offset_ STATDB_GUARDED_BY(mu_) = 0;
+  uint64_t last_lsn_ STATDB_GUARDED_BY(mu_) = 0;
+  WalStats stats_ STATDB_GUARDED_BY(mu_);
 };
 
 }  // namespace statdb

@@ -160,14 +160,14 @@ std::string FlightRecorder::DumpJson(const std::string& reason) const {
 }
 
 void FlightRecorder::set_auto_dump_path(std::string path) {
-  std::lock_guard<std::mutex> lock(auto_dump_mu_);
+  MutexLock lock(auto_dump_mu_);
   auto_dump_path_ = std::move(path);
   auto_dump_armed_.store(!auto_dump_path_.empty(),
                          std::memory_order_relaxed);
 }
 
 std::string FlightRecorder::auto_dump_path() const {
-  std::lock_guard<std::mutex> lock(auto_dump_mu_);
+  MutexLock lock(auto_dump_mu_);
   return auto_dump_path_;
 }
 

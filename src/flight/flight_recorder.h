@@ -6,10 +6,11 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace statdb {
 
@@ -172,8 +173,8 @@ class FlightRecorder {
   std::atomic<bool> auto_dump_armed_{false};
   std::atomic<bool> auto_dump_fired_{false};
   std::atomic<uint64_t> auto_dumps_{0};
-  mutable std::mutex auto_dump_mu_;  // guards auto_dump_path_
-  std::string auto_dump_path_;
+  mutable Mutex auto_dump_mu_;
+  std::string auto_dump_path_ STATDB_GUARDED_BY(auto_dump_mu_);
 };
 
 }  // namespace statdb

@@ -26,7 +26,7 @@ void WorkloadProfiler::NoteQuery(const std::string& view,
                                  const std::string& function,
                                  const std::string& attribute,
                                  QueryOutcome outcome, double wall_ms) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++total_queries_;
   FunctionCell& cell = functions_[FunctionKey(view, function, attribute)];
   ++cell.queries;
@@ -46,7 +46,7 @@ void WorkloadProfiler::NoteQuery(const std::string& view,
 void WorkloadProfiler::NoteUpdate(const std::string& view,
                                   const std::string& attribute,
                                   uint64_t cells) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++total_updates_;
   AttributeRow& row = attributes_[AttributeKey(view, attribute)];
   ++row.updates;
@@ -54,12 +54,12 @@ void WorkloadProfiler::NoteUpdate(const std::string& view,
 }
 
 uint64_t WorkloadProfiler::total_queries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return total_queries_;
 }
 
 uint64_t WorkloadProfiler::total_updates() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return total_updates_;
 }
 
@@ -73,7 +73,7 @@ const char* WorkloadProfiler::Advice(uint64_t accesses,
 }
 
 std::string WorkloadProfiler::ReportJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   obs::JsonObject functions;
   for (const auto& [key, c] : functions_) {
     functions.Raw(key, obs::JsonObject()
@@ -105,7 +105,7 @@ std::string WorkloadProfiler::ReportJson() const {
 }
 
 std::string WorkloadProfiler::ReportText(size_t top_n) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   char line[192];
 
@@ -167,7 +167,7 @@ std::string WorkloadProfiler::ReportText(size_t top_n) const {
 }
 
 void WorkloadProfiler::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   functions_.clear();
   attributes_.clear();
   total_queries_ = 0;

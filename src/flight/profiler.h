@@ -3,8 +3,9 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
+
+#include "common/sync.h"
 
 namespace statdb {
 
@@ -87,11 +88,12 @@ class WorkloadProfiler {
   void Reset();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, FunctionCell> functions_;  // "view.fn(attr)"
-  std::map<std::string, AttributeRow> attributes_;  // "view.attr"
-  uint64_t total_queries_ = 0;
-  uint64_t total_updates_ = 0;
+  mutable Mutex mu_;
+  // "view.fn(attr)" / "view.attr" heatmaps.
+  std::map<std::string, FunctionCell> functions_ STATDB_GUARDED_BY(mu_);
+  std::map<std::string, AttributeRow> attributes_ STATDB_GUARDED_BY(mu_);
+  uint64_t total_queries_ STATDB_GUARDED_BY(mu_) = 0;
+  uint64_t total_updates_ STATDB_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace statdb

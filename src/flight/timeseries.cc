@@ -49,24 +49,24 @@ std::string PrometheusName(const std::string& key) {
 }  // namespace
 
 void MetricsTimeseries::Push(StatPoint point) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   points_.push_back(std::move(point));
   if (points_.size() > capacity_) points_.pop_front();
   ++total_pushed_;
 }
 
 size_t MetricsTimeseries::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return points_.size();
 }
 
 uint64_t MetricsTimeseries::total_pushed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return total_pushed_;
 }
 
 std::string MetricsTimeseries::DumpJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   obs::JsonObject ts;
   ts.Int("capacity", capacity_)
       .Int("count", points_.size())
@@ -127,7 +127,7 @@ std::string MetricsTimeseries::DumpJson() const {
 }
 
 std::string MetricsTimeseries::ExposeText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   if (points_.empty()) {
     return "# statdb timeseries: no snapshots taken yet\n";
@@ -147,7 +147,7 @@ std::string MetricsTimeseries::ExposeText() const {
 }
 
 void MetricsTimeseries::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   points_.clear();
   total_pushed_ = 0;
 }

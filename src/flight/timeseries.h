@@ -4,8 +4,9 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
+
+#include "common/sync.h"
 
 namespace statdb {
 
@@ -66,9 +67,9 @@ class MetricsTimeseries {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::deque<StatPoint> points_;
-  uint64_t total_pushed_ = 0;
+  mutable Mutex mu_;
+  std::deque<StatPoint> points_ STATDB_GUARDED_BY(mu_);
+  uint64_t total_pushed_ STATDB_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace statdb

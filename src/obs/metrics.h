@@ -5,8 +5,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "common/sync.h"
 
 namespace statdb {
 
@@ -170,12 +171,18 @@ class MetricsRegistry {
   void ResetAll();
 
  private:
-  mutable std::mutex mu_;
+  // Reader/writer registration lock: Get* (map mutation) is exclusive;
+  // Snapshot/ResetAll only walk the maps (the instruments themselves are
+  // atomics), so concurrent snapshots share a reader lock.
+  mutable SharedMutex mu_;
   // Instruments are behind unique_ptr so the map can rehash/rebalance
   // without moving them (pointer stability for lock-free writers).
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      STATDB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      STATDB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_
+      STATDB_GUARDED_BY(mu_);
 };
 
 }  // namespace statdb

@@ -4,9 +4,10 @@
 #include <array>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace statdb {
 
@@ -137,23 +138,23 @@ class TraceSink {
 class CollectingTraceSink : public TraceSink {
  public:
   void OnQueryTrace(const QueryTrace& trace) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     traces_.push_back(trace);
   }
   std::vector<QueryTrace> Take() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::vector<QueryTrace> out = std::move(traces_);
     traces_.clear();
     return out;
   }
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return traces_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<QueryTrace> traces_;
+  mutable Mutex mu_;
+  std::vector<QueryTrace> traces_ STATDB_GUARDED_BY(mu_);
 };
 
 /// RAII span: starts a clock when (and only when) a trace is attached,

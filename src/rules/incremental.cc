@@ -452,6 +452,8 @@ class FrequencyMaintainer : public IncrementalMaintainer {
  private:
   Output output_;
   bool initialized_ = false;
+  // statdb-lint: allow(double-keyed-map) — exact-value frequency table
+  // mirroring Mode()'s semantics; keys are the column's own doubles.
   std::map<double, uint64_t> freq_;
 };
 

@@ -90,6 +90,8 @@ double Sum(const std::vector<double>& data) {
 
 Result<double> Mode(const std::vector<double>& data) {
   STATDB_RETURN_IF_ERROR(RequireNonEmpty(data));
+  // statdb-lint: allow(double-keyed-map) — exact-value frequency table
+  // for mode; keys are the column's own doubles by design.
   std::map<double, uint64_t> freq;
   for (double x : data) ++freq[x];
   double best = data[0];

@@ -114,7 +114,7 @@ Result<size_t> BufferPool::GetFreeFrame() {
 }
 
 Result<std::pair<PageId, Page*>> BufferPool::NewPage() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   STATDB_ASSIGN_OR_RETURN(size_t idx, GetFreeFrame());
   PageId id = device_->AllocatePage();
   Frame& f = frames_[idx];
@@ -127,7 +127,7 @@ Result<std::pair<PageId, Page*>> BufferPool::NewPage() {
 }
 
 Result<Page*> BufferPool::FetchPage(PageId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     Frame& f = frames_[it->second];
@@ -170,7 +170,7 @@ Result<Page*> BufferPool::FetchPage(PageId id) {
 }
 
 Status BufferPool::UnpinPage(PageId id, bool dirty) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = page_table_.find(id);
   if (it == page_table_.end()) {
     return NotFoundError("unpin of non-resident page");
@@ -189,7 +189,7 @@ Status BufferPool::UnpinPage(PageId id, bool dirty) {
 }
 
 Status BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return FlushAllLocked();
 }
 
@@ -224,7 +224,7 @@ void BufferPool::ShrinkLocked() {
 }
 
 std::vector<std::pair<PageId, Page>> BufferPool::CollectDirty(uint64_t lsn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::pair<PageId, Page>> out;
   for (auto& [id, idx] : page_table_) {
     Frame& f = frames_[idx];
@@ -242,17 +242,17 @@ std::vector<std::pair<PageId, Page>> BufferPool::CollectDirty(uint64_t lsn) {
 }
 
 void BufferPool::set_no_steal(bool on) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   no_steal_ = on;
 }
 
 bool BufferPool::no_steal() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return no_steal_;
 }
 
 void BufferPool::DiscardAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   page_table_.clear();
   lru_.clear();
   free_frames_.clear();
@@ -264,7 +264,7 @@ void BufferPool::DiscardAll() {
 }
 
 Status BufferPool::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   STATDB_RETURN_IF_ERROR(FlushAllLocked());
   for (auto& f : frames_) {
     if (f.pin_count > 0) {

@@ -5,13 +5,13 @@
 #include <cstdint>
 #include <deque>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "storage/device.h"
 #include "storage/page.h"
 
@@ -116,11 +116,11 @@ class BufferPool {
   std::vector<std::pair<PageId, Page>> CollectDirty(uint64_t lsn);
 
   BufferPoolStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return stats_;
   }
   void ResetStats() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats_ = BufferPoolStats{};
   }
   SimulatedDevice* device() { return device_; }
@@ -149,38 +149,37 @@ class BufferPool {
 
   /// Finds a frame for a new resident page, evicting an LRU victim if the
   /// pool is full. Returns RESOURCE_EXHAUSTED when everything is pinned.
-  /// Caller holds mu_.
-  Result<size_t> GetFreeFrame();
+  Result<size_t> GetFreeFrame() STATDB_REQUIRES(mu_);
 
   /// Stamps the checksum and writes one frame back with retry; clears its
-  /// dirty bit on success. Caller holds mu_.
-  Status WriteBack(Frame& f);
+  /// dirty bit on success.
+  Status WriteBack(Frame& f) STATDB_REQUIRES(mu_);
 
   /// Bounded-retry device I/O; transient UNAVAILABLE errors are retried
-  /// with exponential simulated backoff. Caller holds mu_.
-  Status ReadWithRetry(PageId id, Page* out);
-  Status WriteWithRetry(PageId id, const Page& page);
+  /// with exponential simulated backoff.
+  Status ReadWithRetry(PageId id, Page* out) STATDB_REQUIRES(mu_);
+  Status WriteWithRetry(PageId id, const Page& page) STATDB_REQUIRES(mu_);
 
-  /// FlushAll body; caller holds mu_.
-  Status FlushAllLocked();
+  /// FlushAll body.
+  Status FlushAllLocked() STATDB_REQUIRES(mu_);
 
-  /// Releases clean trailing overflow frames; caller holds mu_.
-  void ShrinkLocked();
+  /// Releases clean trailing overflow frames.
+  void ShrinkLocked() STATDB_REQUIRES(mu_);
 
   /// Serializes all pool state, the stats counters, and every access to
   /// the underlying device.
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
 
   SimulatedDevice* device_;
   size_t capacity_;
   // Deque, not vector: overflow growth must not relocate frames that
   // concurrent readers hold pinned Page* into.
-  std::deque<Frame> frames_;
-  std::vector<size_t> free_frames_;
-  std::unordered_map<PageId, size_t> page_table_;
-  std::list<size_t> lru_;  // front = least recently used
-  bool no_steal_ = false;
-  BufferPoolStats stats_;
+  std::deque<Frame> frames_ STATDB_GUARDED_BY(mu_);
+  std::vector<size_t> free_frames_ STATDB_GUARDED_BY(mu_);
+  std::unordered_map<PageId, size_t> page_table_ STATDB_GUARDED_BY(mu_);
+  std::list<size_t> lru_ STATDB_GUARDED_BY(mu_);  // front = least recently used
+  bool no_steal_ STATDB_GUARDED_BY(mu_) = false;
+  BufferPoolStats stats_ STATDB_GUARDED_BY(mu_);
   std::atomic<FlightRecorder*> flight_{nullptr};
 };
 

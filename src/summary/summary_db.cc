@@ -125,15 +125,20 @@ Result<SummaryEntry> SummaryDatabase::LoadEntry(
 }
 
 Result<SummaryEntry> SummaryDatabase::Lookup(const SummaryKey& key) {
-  ++stats_.lookups;
+  {
+    MutexLock lock(stats_mu_);
+    ++stats_.lookups;
+  }
   std::string encoded = key.Encode();
   Result<std::string> head_value = tree_->Get(encoded);
   if (!head_value.ok()) {
+    MutexLock lock(stats_mu_);
     ++stats_.misses;
     return head_value.status();
   }
   STATDB_ASSIGN_OR_RETURN(SummaryEntry entry,
                           LoadEntry(encoded, head_value.value()));
+  MutexLock lock(stats_mu_);
   if (entry.stale) {
     ++stats_.stale_hits;
   } else {
@@ -204,6 +209,7 @@ Status SummaryDatabase::Insert(const SummaryKey& key,
   }
   STATDB_RETURN_IF_ERROR(StoreEntry(key, result, view_version,
                                     /*stale=*/false));
+  MutexLock lock(stats_mu_);
   if (!existed) ++entry_count_;
   ++stats_.inserts;
   return Status::OK();
@@ -252,6 +258,7 @@ Result<uint64_t> SummaryDatabase::InvalidateAttribute(
       ++marked;
     }
   }
+  MutexLock lock(stats_mu_);
   stats_.invalidated += marked;
   return marked;
 }
@@ -283,6 +290,7 @@ Status SummaryDatabase::Remove(const SummaryKey& key) {
   }
   STATDB_RETURN_IF_ERROR(EraseChunksAndRefs(key));
   STATDB_RETURN_IF_ERROR(tree_->Delete(encoded));
+  MutexLock lock(stats_mu_);
   --entry_count_;
   return Status::OK();
 }

@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "storage/btree.h"
 #include "summary/summary_key.h"
 #include "summary/summary_result.h"
@@ -81,6 +82,7 @@ class SummaryDatabase {
                                                  uint64_t entry_count) {
     auto db = std::unique_ptr<SummaryDatabase>(
         new SummaryDatabase(BPlusTree::Attach(pool, tree_root, tree_size)));
+    MutexLock lock(db->stats_mu_);
     db->entry_count_ = entry_count;
     return db;
   }
@@ -131,15 +133,30 @@ class SummaryDatabase {
   /// Visits every entry (Fig. 4-style dump).
   Status ForEach(const std::function<Status(const SummaryEntry&)>& fn);
 
-  uint64_t entry_count() const { return entry_count_; }
-  const SummaryDbStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = SummaryDbStats{}; }
+  uint64_t entry_count() const {
+    MutexLock lock(stats_mu_);
+    return entry_count_;
+  }
+  /// Counter snapshot by value — the pre-annotation API handed out a
+  /// reference into the live struct, which tears against a concurrent
+  /// Lookup/NoteServedStale (DumpMetrics while another session queries).
+  SummaryDbStats stats() const {
+    MutexLock lock(stats_mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    MutexLock lock(stats_mu_);
+    stats_ = SummaryDbStats{};
+  }
 
   /// The accuracy policy lives with the DBMS, not the cache: Lookup
   /// cannot know whether a stale entry will be accepted. The DBMS calls
   /// this when it serves one, so ServedRate counts it as an effective
   /// answer.
-  void NoteServedStale() { ++stats_.served_stale; }
+  void NoteServedStale() {
+    MutexLock lock(stats_mu_);
+    ++stats_.served_stale;
+  }
 
   /// The underlying index (exposed for benchmarks comparing indexed
   /// lookup against a scan).
@@ -170,6 +187,7 @@ class SummaryDatabase {
   /// can prove the count-vs-tree-walk check fires. Never call outside
   /// tests.
   void TestOnlyAdjustEntryCount(int64_t delta) {
+    MutexLock lock(stats_mu_);
     entry_count_ = static_cast<uint64_t>(
         static_cast<int64_t>(entry_count_) + delta);
   }
@@ -191,9 +209,16 @@ class SummaryDatabase {
                     uint64_t view_version, bool stale);
   Status EraseChunksAndRefs(const SummaryKey& key);
 
+  /// The tree itself is externally synchronized (one mutating session at
+  /// a time — the Dbms discipline); the counters below are the state a
+  /// concurrent observer may legitimately read, so they get their own
+  /// latch. Held only for counter bumps/snapshots, never across tree
+  /// I/O or the ForEach* callbacks (which may re-enter this class).
+  mutable Mutex stats_mu_;
+
   std::unique_ptr<BPlusTree> tree_;
-  uint64_t entry_count_ = 0;
-  SummaryDbStats stats_;
+  uint64_t entry_count_ STATDB_GUARDED_BY(stats_mu_) = 0;
+  SummaryDbStats stats_ STATDB_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace statdb

@@ -1,0 +1,41 @@
+// Positive control: correct use of every contract the negative snippets
+// violate. If this stops compiling, the harness is broken (or the flags
+// are), and the negative results prove nothing.
+
+#include "common/status.h"
+#include "common/sync.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void Set(int v) {
+    statdb::MutexLock lock(mu_);
+    value_ = v;
+    BumpLocked();
+  }
+
+ private:
+  void BumpLocked() STATDB_REQUIRES(mu_) { ++value_; }
+
+  statdb::Mutex mu_;
+  int value_ STATDB_GUARDED_BY(mu_) = 0;
+};
+
+statdb::Status Make() { return statdb::Status::OK(); }
+
+statdb::Status Consume() {
+  statdb::Status s = Make();  // consumed: no unused-result warning
+  return s;
+}
+
+void Use() {
+  Guarded g;
+  g.Set(1);
+  (void)Consume();  // explicit discard is the sanctioned escape
+}
+
+}  // namespace
+
+// Reference the functions so -Wunused-function stays quiet.
+void statdb_negative_compile_control_anchor() { Use(); }

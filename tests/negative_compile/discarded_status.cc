@@ -1,0 +1,18 @@
+// Must NOT compile (any compiler, -Werror=unused-result): the returned
+// Status is dropped on the floor, and Status is class-level [[nodiscard]].
+
+#include "common/status.h"
+
+namespace {
+
+statdb::Status Fallible() {
+  return statdb::InternalError("boom");
+}
+
+void Caller() {
+  Fallible();  // error: ignoring nodiscard return value
+}
+
+}  // namespace
+
+void statdb_negative_compile_anchor() { Caller(); }

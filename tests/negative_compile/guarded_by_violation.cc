@@ -1,0 +1,24 @@
+// Must NOT compile under Clang -Wthread-safety -Werror: writes a
+// GUARDED_BY field without holding its mutex.
+
+#include "common/sync.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void Set(int v) {
+    value_ = v;  // error: writing variable 'value_' requires holding 'mu_'
+  }
+
+ private:
+  statdb::Mutex mu_;
+  int value_ STATDB_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+void statdb_negative_compile_anchor() {
+  Guarded g;
+  g.Set(1);
+}

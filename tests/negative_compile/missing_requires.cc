@@ -1,0 +1,26 @@
+// Must NOT compile under Clang -Wthread-safety -Werror: calls a
+// REQUIRES-annotated helper without holding the capability.
+
+#include "common/sync.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void Bump() {
+    BumpLocked();  // error: calling BumpLocked requires holding 'mu_'
+  }
+
+ private:
+  void BumpLocked() STATDB_REQUIRES(mu_) { ++value_; }
+
+  statdb::Mutex mu_;
+  int value_ STATDB_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+void statdb_negative_compile_anchor() {
+  Guarded g;
+  g.Bump();
+}

@@ -269,7 +269,7 @@ TEST_F(ObsDbmsTest, ServedRateCountsStaleServesHitRateDoesNot) {
   STATDB_ASSERT_OK(a.status());
   EXPECT_EQ(a.value().source, AnswerSource::kStaleCacheHit);
 
-  const SummaryDbStats& s = sdb.value()->stats();
+  const SummaryDbStats s = sdb.value()->stats();
   EXPECT_EQ(s.served_stale, 1u);
   // The stale serve answered the lookup without touching the data, but
   // HitRate() refuses to count it; ServedRate() is the economic figure.

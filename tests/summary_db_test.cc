@@ -167,7 +167,7 @@ TEST_F(SummaryDbTest, StatsCounters) {
   (void)db_->Lookup(key);
   STATDB_ASSERT_OK(db_->MarkStale(key));
   (void)db_->Lookup(key);
-  const SummaryDbStats& s = db_->stats();
+  const SummaryDbStats s = db_->stats();
   EXPECT_EQ(s.lookups, 3u);
   EXPECT_EQ(s.misses, 1u);
   EXPECT_EQ(s.hits, 1u);

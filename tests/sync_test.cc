@@ -1,0 +1,213 @@
+#include "common/sync.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "check/check.h"
+#include "exec/thread_pool.h"
+#include "fault/wal.h"
+#include "gtest/gtest.h"
+#include "summary/summary_db.h"
+#include "tests/test_util.h"
+
+namespace statdb {
+namespace {
+
+// --- Mutex / MutexLock contracts --------------------------------------------
+
+TEST(SyncTest, MutexExcludes) {
+  Mutex mu;
+  mu.Lock();
+  // A second thread must fail TryLock while we hold the lock.
+  bool acquired = true;
+  std::thread t([&] {
+    acquired = mu.TryLock();
+    if (acquired) mu.Unlock();
+  });
+  t.join();
+  EXPECT_FALSE(acquired);
+  mu.Unlock();
+  // And succeed once released.
+  bool reacquired = mu.TryLock();
+  EXPECT_TRUE(reacquired);
+  if (reacquired) mu.Unlock();
+}
+
+TEST(SyncTest, MutexLockIsScoped) {
+  Mutex mu;
+  {
+    MutexLock lock(mu);
+    std::thread t([&] {
+      bool acquired = mu.TryLock();
+      EXPECT_FALSE(acquired);
+      if (acquired) mu.Unlock();
+    });
+    t.join();
+  }
+  bool acquired = mu.TryLock();
+  EXPECT_TRUE(acquired);
+  if (acquired) mu.Unlock();
+}
+
+TEST(SyncTest, MutexLockCountsUnderContention) {
+  Mutex mu;
+  int counter = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      for (int j = 0; j < kIters; ++j) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+TEST(SyncTest, CondVarSignalsPredicateChange) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  int observed = 0;
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    while (!ready) cv.Wait(mu);
+    observed = 42;
+  });
+  {
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.NotifyOne();
+  waiter.join();
+  EXPECT_EQ(observed, 42);
+}
+
+TEST(SyncTest, SharedMutexAdmitsConcurrentReaders) {
+  SharedMutex mu;
+  std::atomic<bool> inner_reader_ran{false};
+  // Hold the shared lock here while a second reader acquires it: if
+  // readers excluded each other, join() would deadlock (and the test
+  // timeout would flag it) instead of completing.
+  ReaderMutexLock outer(mu);
+  std::thread t([&] {
+    ReaderMutexLock inner(mu);
+    inner_reader_ran.store(true);
+  });
+  t.join();
+  EXPECT_TRUE(inner_reader_ran.load());
+}
+
+TEST(SyncTest, WriterMutexLockExcludesReaders) {
+  SharedMutex mu;
+  std::atomic<bool> writer_done{false};
+  mu.Lock();
+  std::thread reader([&] {
+    ReaderMutexLock r(mu);
+    // Must not get the shared lock until the writer released.
+    EXPECT_TRUE(writer_done.load());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  writer_done.store(true);
+  mu.Unlock();
+  reader.join();
+}
+
+// --- regression: stats snapshots are values, not references ------------------
+//
+// The thread-safety migration surfaced torn-read hazards in accessors
+// that handed out references to internally-mutated stats structs; they
+// now return by-value snapshots taken under the owning mutex. These
+// static_asserts pin the signatures so the hazard cannot quietly return.
+
+static_assert(!std::is_reference_v<decltype(std::declval<const RedoLog&>()
+                                                .stats())>,
+              "RedoLog::stats() must return a snapshot by value");
+static_assert(!std::is_reference_v<
+                  decltype(std::declval<const SummaryDatabase&>().stats())>,
+              "SummaryDatabase::stats() must return a snapshot by value");
+static_assert(!std::is_reference_v<
+                  decltype(std::declval<const ThreadPool&>().stats())>,
+              "ThreadPool::stats() must return a snapshot by value");
+
+// --- regression: SummaryDatabase stats are latched ---------------------------
+//
+// Before the migration the hit/miss counters were bare uint64_t bumped on
+// the lookup path and read unlatched by DumpMetrics; under concurrent
+// observers that is a data race (and a torn read of the struct). The
+// counters now live behind stats_mu_. This hammer is the TSan witness.
+
+TEST(SyncTest, SummaryStatsSurviveConcurrentObservers) {
+  TestStorage ts(4096);
+  auto db = SummaryDatabase::Create(&ts.pool);
+  ASSERT_TRUE(db.ok());
+  SummaryDatabase* sdb = db->get();
+
+  constexpr int kNotes = 5000;
+  std::thread noter([&] {
+    for (int i = 0; i < kNotes; ++i) sdb->NoteServedStale();
+  });
+  std::thread observer([&] {
+    uint64_t last = 0;
+    for (int i = 0; i < 2000; ++i) {
+      const SummaryDbStats s = sdb->stats();
+      EXPECT_GE(s.served_stale, last);  // monotone under the latch
+      last = s.served_stale;
+      (void)sdb->entry_count();
+    }
+  });
+  noter.join();
+  observer.join();
+  EXPECT_EQ(sdb->stats().served_stale, uint64_t{kNotes});
+}
+
+// --- regression: the auditor latches the pool --------------------------------
+//
+// CheckBufferPool used to walk frames/page-table/LRU unlatched, valid
+// only by the convention that audits run at quiescence. It now holds the
+// pool's own mutex (via CheckAccess::PoolMutex), so a structural audit
+// is sound while scan workers pin and unpin concurrently.
+
+TEST(SyncTest, BufferPoolAuditUnderConcurrentPinning) {
+  TestStorage ts(16);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 8; ++i) {
+    auto page = ts.pool.NewPage();
+    ASSERT_TRUE(page.ok());
+    ids.push_back(page->first);
+    STATDB_ASSERT_OK(ts.pool.UnpinPage(page->first, /*dirty=*/true));
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 2; ++w) {
+    workers.emplace_back([&, w] {
+      size_t i = static_cast<size_t>(w);
+      while (!stop.load()) {
+        PageId id = ids[i++ % ids.size()];
+        auto page = ts.pool.FetchPage(id);
+        if (page.ok()) {
+          STATDB_EXPECT_OK(ts.pool.UnpinPage(id, /*dirty=*/false));
+        }
+      }
+    });
+  }
+
+  for (int round = 0; round < 50; ++round) {
+    CheckReport report;
+    STATDB_ASSERT_OK(
+        CheckBufferPool(ts.pool, &report, {.expect_quiescent = false}));
+    EXPECT_TRUE(report.ok()) << report.ToString();
+  }
+  stop.store(true);
+  for (auto& t : workers) t.join();
+}
+
+}  // namespace
+}  // namespace statdb

@@ -1,0 +1,171 @@
+// Compressed-domain aggregation vs the materializing paths (DESIGN.md
+// §14, EXPERIMENTS.md E18). One concrete view of a *sorted* int64
+// column whose values repeat for ~1000 rows each, so the RLE sidecar is
+// a few pages where the transposed column file is hundreds. The disk
+// pool is deliberately smaller than the raw column, so every
+// materialized pass re-reads it from the device; the sidecar always
+// fits. Three phases run the same mergeable battery:
+//
+//   materialized — planner kill switch off: full column read per query;
+//   compressed   — sidecar scans, O(1) work per run;
+//   row_file     — the §2.6 NSM baseline: a heap-file scan per query
+//                  touches every page of every attribute.
+//
+// The headline series is the *simulated* cost model (simulated_ms,
+// block_reads, seeks) — deterministic for a given access sequence, so
+// the perf gate can hold the committed baseline to exact numbers and
+// assert the >=3x compressed-vs-materialized win. Wall clocks are
+// printed for context only. argv[1] overrides the row count.
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/dbms.h"
+#include "relational/stored_table.h"
+
+using namespace statdb;
+using namespace statdb::bench;
+
+namespace {
+
+constexpr uint64_t kDefaultRows = 200'000;
+constexpr uint64_t kRunLength = 1000;  // cells per distinct value
+constexpr int kScanReps = 3;
+const std::vector<std::string> kBattery = {
+    "count", "sum",  "mean",  "variance", "stddev",   "min",
+    "max",   "range", "mode", "distinct", "histogram"};
+
+/// Sorted single-attribute microdata: value i/kRunLength at row i.
+Table MakeRunsTable(uint64_t rows) {
+  Schema schema({Attribute::Numeric("CAT", DataType::kInt64)});
+  Table t(schema);
+  for (uint64_t i = 0; i < rows; ++i) {
+    CheckOk(t.AppendRow({Value::Int(int64_t(i / kRunLength))}));
+  }
+  return t;
+}
+
+struct PhaseIo {
+  double wall_ms = 0;
+  IoStats io;
+};
+
+std::string PhaseJson(const std::string& name, const PhaseIo& p) {
+  return JsonObject()
+      .Str("phase", name)
+      .Num("wall_ms", p.wall_ms)
+      .Num("simulated_ms", p.io.simulated_ms)
+      .Int("block_reads", p.io.block_reads)
+      .Int("seeks", p.io.seeks)
+      .Build();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t rows = kDefaultRows;
+  if (argc > 1) rows = std::strtoull(argv[1], nullptr, 10);
+  Header("compressed_scan",
+         "Compressed-domain RLE aggregation vs materialized column and "
+         "row-file scans (sorted CAT, ~1000-cell runs).");
+  std::printf("rows: %llu, run length: %llu, reps: %d\n",
+              (unsigned long long)rows, (unsigned long long)kRunLength,
+              kScanReps);
+
+  // Disk pool of 128 frames: far smaller than the raw CAT column, so
+  // materialized passes miss deterministically; the sidecar fits whole.
+  auto sm = MakeInstallation(/*tape_pool=*/1024, /*disk_pool=*/128);
+  SimulatedDevice* disk = Unwrap(sm->GetDevice("disk"));
+  StatisticalDbms dbms(sm.get());
+  Table data = MakeRunsTable(rows);
+  CheckOk(dbms.LoadRawDataSet("runs", data, "sorted synthetic"));
+  ViewDefinition def;
+  def.source = "runs";
+  Unwrap(dbms.CreateView("v", def, MaintenancePolicy::kInvalidate));
+
+  QueryOptions no_cache;
+  no_cache.cache_result = false;
+
+  auto run_battery = [&](bool compressed) {
+    dbms.set_compressed_scan_enabled(compressed);
+    PhaseIo p;
+    disk->ResetStats();
+    WallTimer t;
+    for (int rep = 0; rep < kScanReps; ++rep) {
+      for (const std::string& fn : kBattery) {
+        Unwrap(dbms.Query("v", fn, "CAT", {}, no_cache));
+      }
+    }
+    p.wall_ms = t.ElapsedMs();
+    p.io = disk->stats();
+    return p;
+  };
+
+  // Warm pass (builds nothing, but faults the steady-state pool
+  // contents in) so both timed column phases start identically.
+  run_battery(false);
+
+  PhaseIo materialized = run_battery(false);
+  PhaseIo compressed = run_battery(true);
+
+  // NSM baseline: a heap file of the same rows on the same small pool;
+  // each statistic costs one full-file scan gathering the column.
+  PhaseIo row_file;
+  {
+    BufferPool* pool = Unwrap(sm->GetPool("disk"));
+    StoredRowTable heap(data.schema(), pool);
+    CheckOk(heap.LoadFrom(data));
+    disk->ResetStats();
+    WallTimer t;
+    for (int rep = 0; rep < kScanReps; ++rep) {
+      for (size_t s = 0; s < kBattery.size(); ++s) {
+        std::vector<double> cells;
+        cells.reserve(rows);
+        CheckOk(heap.Scan([&cells](const Row& row) -> Status {
+          if (!row[0].is_null()) cells.push_back(double(row[0].AsInt()));
+          return Status::OK();
+        }));
+        if (cells.empty()) return 1;
+      }
+    }
+    row_file.wall_ms = t.ElapsedMs();
+    row_file.io = disk->stats();
+  }
+
+  double speedup_sim =
+      materialized.io.simulated_ms /
+      (compressed.io.simulated_ms > 0 ? compressed.io.simulated_ms : 1.0);
+  std::printf("%14s %14s %14s %10s\n", "phase", "simulated ms", "blk reads",
+              "wall ms");
+  for (auto& [name, p] :
+       std::vector<std::pair<const char*, const PhaseIo*>>{
+           {"materialized", &materialized},
+           {"compressed", &compressed},
+           {"row_file", &row_file}}) {
+    std::printf("%14s %14.1f %14llu %10.1f\n", name, p->io.simulated_ms,
+                (unsigned long long)p->io.block_reads, p->wall_ms);
+  }
+  std::printf("compressed-domain simulated speedup: %.1fx\n", speedup_sim);
+  if (speedup_sim < 3.0) {
+    std::printf("WARNING: below the 3x gate (see DESIGN.md §14)\n");
+  }
+
+  WriteBenchJson(
+      "compressed_scan",
+      JsonObject()
+          .Str("bench", "compressed_scan")
+          .Int("rows", rows)
+          .Int("run_length", kRunLength)
+          .Int("scan_reps", kScanReps)
+          .Int("battery_size", kBattery.size())
+          .Num("speedup_sim", speedup_sim)
+          .Raw("phases",
+               JsonArray({PhaseJson("materialized", materialized),
+                          PhaseJson("compressed", compressed),
+                          PhaseJson("row_file", row_file)}))
+          .Raw("metrics", dbms.DumpMetrics())
+          .Build());
+  return 0;
+}

@@ -103,10 +103,41 @@ def check_flight_overhead(doc: dict, name: str) -> None:
             f"{name}: enabled phases recorded no events")
 
 
+def check_compressed_scan(doc: dict, name: str) -> None:
+    for key in ("rows", "run_length", "scan_reps", "battery_size",
+                "speedup_sim", "phases", "metrics"):
+        require(key in doc, f"{name}: missing '{key}'")
+    phases = doc["phases"]
+    require(isinstance(phases, list) and len(phases) == 3,
+            f"{name}: expected exactly 3 phases")
+    names = [p.get("phase") for p in phases]
+    require(names == ["materialized", "compressed", "row_file"],
+            f"{name}: phase names are {names}")
+    for p in phases:
+        for key in ("wall_ms", "simulated_ms", "block_reads", "seeks"):
+            require(key in p, f"{name}: phase '{p['phase']}' missing '{key}'")
+    by_name = {p["phase"]: p for p in phases}
+    # The acceptance bar from DESIGN.md §14: on the deterministic
+    # cost-model series, aggregating in the compressed domain must beat
+    # the materializing path by at least 3x on this high-compression
+    # column. The row-file baseline must in turn lose to the column scan.
+    mat = by_name["materialized"]["simulated_ms"]
+    comp = by_name["compressed"]["simulated_ms"]
+    row = by_name["row_file"]["simulated_ms"]
+    require(comp > 0, f"{name}: compressed phase did no simulated I/O")
+    require(mat >= 3.0 * comp,
+            f"{name}: compressed-domain win is {mat / comp:.2f}x, "
+            "below the 3x gate")
+    require(row > mat,
+            f"{name}: row-file scan ({row:g} ms) should cost more than "
+            f"the materialized column scan ({mat:g} ms)")
+
+
 CHECKERS = {
     "parallel_scan": check_parallel_scan,
     "fault_injection": check_fault_injection,
     "flight_overhead": check_flight_overhead,
+    "compressed_scan": check_compressed_scan,
 }
 
 

@@ -27,6 +27,13 @@ CI next to the thread-safety lane:
                             (b) no range-for over a container that the
                             loop body erases from or inserts into
                             (iterator invalidation).
+  R5 simd-span-inputs       src/simd/ kernels take contiguous spans or
+                            run arrays (pointer + length), never per-row
+                            callback types: no std::function anywhere
+                            under src/simd/. A callback per cell defeats
+                            the whole point of the batch kernels
+                            (DESIGN.md §14) and sneaks an indirect call
+                            into the inner loop.
 
 Usage:
   scripts/statdb_lint.py             # lint the repo; exit 1 on findings
@@ -337,6 +344,32 @@ def check_loop_mutation(path, text):
     return findings
 
 
+# --- R5: simd kernels take spans/runs, not per-row callbacks -----------------
+
+SIMD_DIR_RE = re.compile(r"^src/simd/")
+STD_FUNCTION_RE = re.compile(r"\bstd\s*::\s*function\s*<")
+
+
+def check_simd_span_inputs(path, text):
+    if not SIMD_DIR_RE.match(path.replace(os.sep, "/")):
+        return []
+    findings = []
+    for lineno, line in enumerate(strip_comments(text).splitlines(), 1):
+        if STD_FUNCTION_RE.search(line):
+            findings.append(
+                Finding(
+                    "simd-span-inputs",
+                    path,
+                    lineno,
+                    "std::function in src/simd/ — kernels take contiguous "
+                    "spans or RleRun/MatchedRun arrays (pointer + length); "
+                    "a per-row callback defeats the batch contract "
+                    "(DESIGN.md §14)",
+                )
+            )
+    return findings
+
+
 # --- driver ------------------------------------------------------------------
 
 
@@ -348,6 +381,7 @@ def lint_corpus(files):
         findings += check_flight_atomics(path, text)
         findings += check_double_maps(path, text)
         findings += check_loop_mutation(path, text)
+        findings += check_simd_span_inputs(path, text)
     findings += check_nodiscard(files)
     return findings
 
@@ -386,6 +420,12 @@ SELF_TEST_SNIPPETS = {
         "    if (x < 0) xs.erase(xs.begin());\n"
         "  }\n"
         "}\n",
+    ),
+    "simd-span-inputs": (
+        "src/simd/injected_r5.h",
+        "#include <functional>\n"
+        "void DescribeCells(\n"
+        "    const std::function<void(double)>& per_row);\n",
     ),
 }
 

@@ -7,6 +7,7 @@
 
 #include "check/db_auditor.h"
 #include "exec/chunked_scanner.h"
+#include "exec/compressed_scan.h"
 #include "exec/thread_pool.h"
 #include "obs/json.h"
 #include "storage/column_file.h"
@@ -87,6 +88,15 @@ TraceOutcome OutcomeOfBatch(const std::vector<QueryAnswer>& answers) {
 
 uint64_t PagesOf(uint64_t rows) {
   return (rows + ColumnFile::kCellsPerPage - 1) / ColumnFile::kCellsPerPage;
+}
+
+/// How the attribute's stored raws decode for the compressed-domain
+/// kernels (mirrors TransposedTable's cell encoding). Callers only reach
+/// here after CheckQueryable, so the attribute is numeric.
+simd::RunValueKind RunKindOf(const Schema& schema, size_t attr_idx) {
+  return schema.attr(attr_idx).type == DataType::kDouble
+             ? simd::RunValueKind::kDoubleBits
+             : simd::RunValueKind::kInt64;
 }
 
 /// "view.fn(attr)" — the label format the flight recorder and the
@@ -176,6 +186,8 @@ StatisticalDbms::StatisticalDbms(StorageManager* storage,
       metrics_.GetCounter("dbms.answers.computed");
   obs_outcomes_[size_t(TraceOutcome::kError)] =
       metrics_.GetCounter("dbms.answers.error");
+  obs_scan_compressed_ = metrics_.GetCounter("dbms.scan.compressed_domain");
+  obs_scan_materialized_ = metrics_.GetCounter("dbms.scan.materialized");
   obs_pool_submitted_ = metrics_.GetCounter("exec.pool.tasks_submitted");
   obs_pool_executed_ = metrics_.GetCounter("exec.pool.tasks_executed");
   obs_pool_rejected_ = metrics_.GetCounter("exec.pool.tasks_rejected");
@@ -399,6 +411,10 @@ Result<ViewCreation> StatisticalDbms::CreateView(const std::string& name,
   state.view = std::make_unique<ConcreteView>(name, materialized.schema(),
                                               pool);
   STATDB_RETURN_IF_ERROR(state.view->LoadFrom(materialized));
+  // Build RLE sidecars over the freshly loaded columns (best-effort;
+  // columns that would not compress keep none). Before the flush so the
+  // sidecar pages persist with the view's.
+  STATDB_RETURN_IF_ERROR(state.view->CompressColumns());
   // Persist the freshly materialized view (the buffer pool stays warm).
   // Under durability the flush must wait for the commit record: the
   // commit below appends the dirty images to the WAL first and flushes
@@ -640,6 +656,49 @@ Result<QueryAnswer> StatisticalDbms::QueryImpl(const std::string& view,
                                 opts, &answer, trace));
   if (answered) return answer;
 
+  // Planner choice (DESIGN.md §14): answer from the RLE sidecar in the
+  // compressed domain when the function finishes from mergeable partials
+  // and nothing downstream needs the materialized column. Arming an
+  // incremental maintainer does (it initializes from the full column), so
+  // that combination takes the materialized path.
+  STATDB_ASSIGN_OR_RETURN(const ViewRecord* rec, mdb_.GetView(view));
+  const bool arm_maintainers =
+      opts.cache_result && rec->policy == MaintenancePolicy::kIncremental;
+  const CompressedColumnFile* sidecar =
+      state->view->CompressedSidecar(attribute);
+  if (compressed_scan_enabled_ && sidecar != nullptr &&
+      IsMergeable(function) && !arm_maintainers) {
+    ColumnScanResult scan;
+    {
+      ScopedSpan span(trace, SpanKind::kCompressedScan);
+      STATDB_ASSIGN_OR_RETURN(
+          scan, ScanCompressedColumn(*sidecar,
+                                     RunKindOf(state->view->schema(),
+                                               *state->view->schema()
+                                                    .IndexOf(attribute)),
+                                     NeedsValueCounts(function),
+                                     /*pool=*/nullptr));
+      span.SetRows(sidecar->size());
+      span.SetPages(sidecar->page_count());
+    }
+    SummaryResult result;
+    {
+      ScopedSpan span(trace, SpanKind::kCompute);
+      span.SetRows(scan.desc.count);
+      STATDB_ASSIGN_OR_RETURN(result,
+                              FinishMergeable(function, params, scan));
+    }
+    obs_scan_compressed_->Inc();
+    ++state->traffic.computed;
+    if (opts.cache_result) {
+      // No maintainer to arm (excluded above), so the column data the
+      // cache tail would feed one is never needed.
+      STATDB_RETURN_IF_ERROR(
+          CacheComputedResult(view, state, key, result, {}, trace));
+    }
+    return QueryAnswer{std::move(result), AnswerSource::kComputed, true, ""};
+  }
+
   std::vector<double> data;
   {
     ScopedSpan span(trace, SpanKind::kScan);
@@ -654,6 +713,7 @@ Result<QueryAnswer> StatisticalDbms::QueryImpl(const std::string& view,
     STATDB_ASSIGN_OR_RETURN(result,
                             mdb_.functions().Compute(function, data, params));
   }
+  obs_scan_materialized_->Inc();
   ++state->traffic.computed;
   if (opts.cache_result) {
     STATDB_RETURN_IF_ERROR(
@@ -691,6 +751,126 @@ Result<QueryAnswer> StatisticalDbms::QueryParallel(
   NoteQueryOutcome(view, function, attribute, outcome, timer.ElapsedMs());
   CommitAfterQuery(attribute);
   return std::move(answers.value()[0]);
+}
+
+Result<QueryAnswer> StatisticalDbms::QueryFiltered(
+    const std::string& view, const std::string& function,
+    const std::string& attribute, const FilterPredicate& pred,
+    const FunctionParams& params) {
+  TraceTimer timer;
+  std::optional<QueryTrace> trace;
+  if (trace_sink_ != nullptr) {
+    trace.emplace();
+    trace->SetLabel("queryfiltered", view, function, attribute);
+  }
+  QueryTrace* tr = trace ? &*trace : nullptr;
+  if (flight_.enabled()) {
+    flight_.Record(FlightEventKind::kQueryBegin,
+                   QueryLabel(view, function, attribute));
+  }
+  Result<QueryAnswer> r =
+      QueryFilteredImpl(view, function, attribute, pred, params, tr);
+  TraceOutcome outcome =
+      r.ok() ? TraceOutcome::kComputed : TraceOutcome::kError;
+  EmitQueryObs(timer, tr, outcome);
+  NoteQueryOutcome(view, function, attribute, outcome, timer.ElapsedMs());
+  return r;
+}
+
+Result<QueryAnswer> StatisticalDbms::QueryFilteredImpl(
+    const std::string& view, const std::string& function,
+    const std::string& attribute, const FilterPredicate& pred,
+    const FunctionParams& params, QueryTrace* trace) {
+  STATDB_ASSIGN_OR_RETURN(ViewState * state, GetState(view));
+  ++state->traffic.queries;
+  ++state->traffic.attribute_accesses[attribute];
+  const Schema& schema = state->view->schema();
+  STATDB_RETURN_IF_ERROR(CheckQueryable(schema, function, attribute));
+  STATDB_ASSIGN_OR_RETURN(size_t attr_idx, schema.IndexOf(attribute));
+
+  // Coerce predicate endpoints like index probes, then compare as
+  // doubles — both paths below apply the same RunPredicate semantics.
+  simd::RunPredicate rp;
+  switch (pred.kind) {
+    case FilterPredicate::Kind::kAll:
+      rp.kind = simd::RunPredicate::Kind::kAll;
+      break;
+    case FilterPredicate::Kind::kEqual: {
+      STATDB_ASSIGN_OR_RETURN(Value probe,
+                              CoerceToAttribute(schema, attribute,
+                                                pred.equal));
+      STATDB_ASSIGN_OR_RETURN(rp.equal, probe.ToDouble());
+      rp.kind = simd::RunPredicate::Kind::kEqual;
+      break;
+    }
+    case FilterPredicate::Kind::kRange: {
+      STATDB_ASSIGN_OR_RETURN(Value plo,
+                              CoerceToAttribute(schema, attribute, pred.lo));
+      STATDB_ASSIGN_OR_RETURN(Value phi,
+                              CoerceToAttribute(schema, attribute, pred.hi));
+      STATDB_ASSIGN_OR_RETURN(rp.lo, plo.ToDouble());
+      STATDB_ASSIGN_OR_RETURN(rp.hi, phi.ToDouble());
+      rp.kind = simd::RunPredicate::Kind::kRange;
+      break;
+    }
+  }
+
+  const CompressedColumnFile* sidecar =
+      state->view->CompressedSidecar(attribute);
+  if (compressed_scan_enabled_ && sidecar != nullptr &&
+      IsMergeable(function)) {
+    // Pushdown: predicate decided once per run, no row materialized.
+    FilteredScanResult filtered;
+    {
+      ScopedSpan span(trace, SpanKind::kCompressedScan);
+      STATDB_ASSIGN_OR_RETURN(
+          filtered,
+          ScanCompressedFiltered(*sidecar, RunKindOf(schema, attr_idx), rp,
+                                 NeedsValueCounts(function),
+                                 /*pool=*/nullptr));
+      span.SetRows(filtered.rows);
+      span.SetPages(sidecar->page_count());
+    }
+    ColumnScanResult scan;
+    scan.desc = filtered.desc;
+    scan.counts = std::move(filtered.counts);
+    SummaryResult result;
+    {
+      ScopedSpan span(trace, SpanKind::kCompute);
+      span.SetRows(scan.desc.count);
+      STATDB_ASSIGN_OR_RETURN(result,
+                              FinishMergeable(function, params, scan));
+    }
+    obs_scan_compressed_->Inc();
+    ++state->traffic.computed;
+    return QueryAnswer{std::move(result), AnswerSource::kComputed, true,
+                       "compressed-domain pushdown"};
+  }
+
+  // Filter-then-materialize: read the column, keep matching cells, run
+  // the registry function on the kept values.
+  std::vector<double> data;
+  {
+    ScopedSpan span(trace, SpanKind::kScan);
+    STATDB_ASSIGN_OR_RETURN(data,
+                            state->view->ReadNumericColumn(attribute));
+    span.SetRowsPaged(data.size(), ColumnFile::kCellsPerPage);
+  }
+  std::vector<double> kept;
+  kept.reserve(data.size());
+  for (double x : data) {
+    if (rp.Matches(x)) kept.push_back(x);
+  }
+  SummaryResult result;
+  {
+    ScopedSpan span(trace, SpanKind::kCompute);
+    span.SetRows(kept.size());
+    STATDB_ASSIGN_OR_RETURN(result,
+                            mdb_.functions().Compute(function, kept, params));
+  }
+  obs_scan_materialized_->Inc();
+  ++state->traffic.computed;
+  return QueryAnswer{std::move(result), AnswerSource::kComputed, true, ""};
 }
 
 Result<std::vector<QueryAnswer>> StatisticalDbms::QueryMany(
@@ -794,23 +974,41 @@ Result<std::vector<QueryAnswer>> StatisticalDbms::QueryManyImpl(
       if (arm_maintainers) spec.keep_values = true;
       spec.time_chunks = trace != nullptr;
       const ConcreteView* cv = state->view.get();
-      ColumnRangeReader reader = [cv, attr](uint64_t begin, uint64_t end) {
-        return cv->ReadNumericRange(attr, begin, end);
-      };
+      // Planner choice (DESIGN.md §14): the whole attribute group goes
+      // compressed-domain when every statistic finishes from mergeable
+      // partials (no keep_values) and an RLE sidecar is attached.
+      const CompressedColumnFile* sidecar = cv->CompressedSidecar(attr);
       ColumnScanResult scan;
-      {
-        ScopedSpan span(trace, SpanKind::kScan);
+      if (compressed_scan_enabled_ && sidecar != nullptr &&
+          !spec.keep_values) {
+        ScopedSpan span(trace, SpanKind::kCompressedScan);
         STATDB_ASSIGN_OR_RETURN(
-            scan,
-            ParallelScanColumn(cv->num_rows(), ColumnFile::kCellsPerPage,
-                               reader, spec, pool ? &*pool : nullptr));
-        span.SetRowsPaged(scan.desc.count, ColumnFile::kCellsPerPage);
-      }
-      if (trace != nullptr) {
-        for (size_t c = 0; c < scan.chunk_stats.size(); ++c) {
-          const ChunkScanStat& cs = scan.chunk_stats[c];
-          trace->Add(SpanKind::kScanChunk, cs.wall_ms, cs.rows,
-                     PagesOf(cs.rows), int32_t(c));
+            scan, ScanCompressedColumn(
+                      *sidecar,
+                      RunKindOf(cv->schema(), *cv->schema().IndexOf(attr)),
+                      spec.want_counts, pool ? &*pool : nullptr));
+        span.SetRows(sidecar->size());
+        span.SetPages(sidecar->page_count());
+        obs_scan_compressed_->Inc();
+      } else {
+        ColumnRangeReader reader = [cv, attr](uint64_t begin, uint64_t end) {
+          return cv->ReadNumericRange(attr, begin, end);
+        };
+        {
+          ScopedSpan span(trace, SpanKind::kScan);
+          STATDB_ASSIGN_OR_RETURN(
+              scan,
+              ParallelScanColumn(cv->num_rows(), ColumnFile::kCellsPerPage,
+                                 reader, spec, pool ? &*pool : nullptr));
+          span.SetRowsPaged(scan.desc.count, ColumnFile::kCellsPerPage);
+        }
+        obs_scan_materialized_->Inc();
+        if (trace != nullptr) {
+          for (size_t c = 0; c < scan.chunk_stats.size(); ++c) {
+            const ChunkScanStat& cs = scan.chunk_stats[c];
+            trace->Add(SpanKind::kScanChunk, cs.wall_ms, cs.rows,
+                       PagesOf(cs.rows), int32_t(c));
+          }
         }
       }
       for (size_t i : idxs) {
@@ -1175,12 +1373,33 @@ Result<uint64_t> StatisticalDbms::CountWhereEqual(const std::string& view,
     return it->second->CountEqual(probe);
   }
   if (used_index != nullptr) *used_index = false;
+  const Schema& schema = state->view->schema();
+  STATDB_ASSIGN_OR_RETURN(size_t attr_idx, schema.IndexOf(attribute));
+  DataType t = schema.attr(attr_idx).type;
+  const CompressedColumnFile* sidecar =
+      state->view->CompressedSidecar(attribute);
+  if (compressed_scan_enabled_ && sidecar != nullptr && !probe.is_null() &&
+      (t == DataType::kInt64 || t == DataType::kDouble)) {
+    // No index, but an RLE sidecar: decide the predicate per run instead
+    // of per cell (string columns keep the Value comparison below — their
+    // run raws are dictionary codes, not comparable as doubles).
+    simd::RunPredicate rp;
+    rp.kind = simd::RunPredicate::Kind::kEqual;
+    STATDB_ASSIGN_OR_RETURN(rp.equal, probe.ToDouble());
+    STATDB_ASSIGN_OR_RETURN(
+        FilteredScanResult filtered,
+        ScanCompressedFiltered(*sidecar, RunKindOf(schema, attr_idx), rp,
+                               /*want_counts=*/false, /*pool=*/nullptr));
+    obs_scan_compressed_->Inc();
+    return filtered.rows;
+  }
   STATDB_ASSIGN_OR_RETURN(std::vector<Value> column,
                           state->view->ReadColumn(attribute));
   uint64_t count = 0;
   for (const Value& cell : column) {
     if (cell == probe) ++count;
   }
+  obs_scan_materialized_->Inc();
   return count;
 }
 
@@ -1198,6 +1417,23 @@ Result<uint64_t> StatisticalDbms::CountWhereInRange(
     return it->second->CountInRange(plo, phi);
   }
   if (used_index != nullptr) *used_index = false;
+  STATDB_ASSIGN_OR_RETURN(size_t attr_idx, schema.IndexOf(attribute));
+  DataType t = schema.attr(attr_idx).type;
+  const CompressedColumnFile* sidecar =
+      state->view->CompressedSidecar(attribute);
+  if (compressed_scan_enabled_ && sidecar != nullptr && !plo.is_null() &&
+      !phi.is_null() && (t == DataType::kInt64 || t == DataType::kDouble)) {
+    simd::RunPredicate rp;
+    rp.kind = simd::RunPredicate::Kind::kRange;
+    STATDB_ASSIGN_OR_RETURN(rp.lo, plo.ToDouble());
+    STATDB_ASSIGN_OR_RETURN(rp.hi, phi.ToDouble());
+    STATDB_ASSIGN_OR_RETURN(
+        FilteredScanResult filtered,
+        ScanCompressedFiltered(*sidecar, RunKindOf(schema, attr_idx), rp,
+                               /*want_counts=*/false, /*pool=*/nullptr));
+    obs_scan_compressed_->Inc();
+    return filtered.rows;
+  }
   STATDB_ASSIGN_OR_RETURN(std::vector<Value> column,
                           state->view->ReadColumn(attribute));
   uint64_t count = 0;
@@ -1205,6 +1441,7 @@ Result<uint64_t> StatisticalDbms::CountWhereInRange(
     if (cell.is_null()) continue;
     if (!(cell < plo) && !(phi < cell)) ++count;
   }
+  obs_scan_materialized_->Inc();
   return count;
 }
 
@@ -1218,6 +1455,9 @@ Status StatisticalDbms::ReorganizeView(
   STATDB_ASSIGN_OR_RETURN(BufferPool * pool, storage_->GetPool(disk_device_));
   auto fresh = std::make_unique<ConcreteView>(view, sorted.schema(), pool);
   STATDB_RETURN_IF_ERROR(fresh->LoadFrom(sorted));
+  // Reorganization exists to cluster runs (§2.7) — rebuild the sidecars
+  // over the sorted rows, where RLE compresses best.
+  STATDB_RETURN_IF_ERROR(fresh->CompressColumns());
   // Under durability the commit at the end flushes (force-at-commit).
   if (wal_ == nullptr) {
     STATDB_RETURN_IF_ERROR(pool->FlushAll());

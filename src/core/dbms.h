@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -53,6 +54,37 @@ struct QueryRequest {
   std::string function;
   std::string attribute;
   FunctionParams params;
+};
+
+/// Row filter of a QueryFiltered request, evaluated on the aggregated
+/// attribute itself. Values are coerced to the attribute's declared type
+/// (like index probes), then compared as doubles — so a NaN cell matches
+/// only kAll, exactly as the materialized comparison would decide.
+struct FilterPredicate {
+  enum class Kind : uint8_t {
+    kAll = 0,    // no filter
+    kEqual = 1,  // cell == equal
+    kRange = 2,  // lo <= cell <= hi
+  };
+  Kind kind = Kind::kAll;
+  Value equal;
+  Value lo;
+  Value hi;
+
+  static FilterPredicate All() { return {}; }
+  static FilterPredicate Equal(Value v) {
+    FilterPredicate p;
+    p.kind = Kind::kEqual;
+    p.equal = std::move(v);
+    return p;
+  }
+  static FilterPredicate Range(Value lo, Value hi) {
+    FilterPredicate p;
+    p.kind = Kind::kRange;
+    p.lo = std::move(lo);
+    p.hi = std::move(hi);
+    return p;
+  }
 };
 
 /// Provenance of a query answer.
@@ -234,8 +266,32 @@ class StatisticalDbms {
   bool HasAttributeIndex(const std::string& view,
                          const std::string& attribute);
 
+  /// Filtered aggregate with predicate/aggregate pushdown (DESIGN.md
+  /// §14, generalizing the §4.3 scan-offload idea): evaluates
+  /// `function` over the rows of `attribute` that satisfy `pred`. When
+  /// the attribute has an RLE sidecar and the function's partial state
+  /// is mergeable, the predicate is evaluated once per run and matching
+  /// runs fold into the aggregate in O(1) each — no row is ever
+  /// materialized. Otherwise the column is read and filtered cell-wise
+  /// (identical answers, by the parity contract). Filtered results are
+  /// never cached in the Summary Database: the predicate is not part of
+  /// any summary key.
+  Result<QueryAnswer> QueryFiltered(const std::string& view,
+                                    const std::string& function,
+                                    const std::string& attribute,
+                                    const FilterPredicate& pred,
+                                    const FunctionParams& params = {});
+
+  /// Kill switch for the compressed-domain planner choice (parity tests
+  /// flip it to force the materialized path on the same data). On by
+  /// default; affects Query/QueryParallel/QueryMany/QueryFiltered and
+  /// the CountWhere* pushdown.
+  void set_compressed_scan_enabled(bool on) { compressed_scan_enabled_ = on; }
+  bool compressed_scan_enabled() const { return compressed_scan_enabled_; }
+
   /// Rows whose `attribute` equals `v` — via the index when one exists,
-  /// by column scan otherwise. `used_index` (optional) reports which.
+  /// by column scan otherwise (compressed-domain over the RLE sidecar
+  /// when one is attached). `used_index` (optional) reports which.
   Result<uint64_t> CountWhereEqual(const std::string& view,
                                    const std::string& attribute,
                                    const Value& v,
@@ -531,6 +587,12 @@ class StatisticalDbms {
       const std::string& view, const std::string& function,
       const std::string& attr_a, const std::string& attr_b,
       const QueryOptions& opts, size_t workers, QueryTrace* trace);
+  Result<QueryAnswer> QueryFilteredImpl(const std::string& view,
+                                        const std::string& function,
+                                        const std::string& attribute,
+                                        const FilterPredicate& pred,
+                                        const FunctionParams& params,
+                                        QueryTrace* trace);
 
   /// Recover() body; the public wrapper owns the "recover"-labeled trace
   /// whose spans (WAL scan, redo replay, manifest apply, fallback
@@ -611,10 +673,15 @@ class StatisticalDbms {
   // lifetime successful mutations
   uint64_t mutation_seq_ STATDB_GUARDED_BY(session_mu_) = 0;
   TraceSink* trace_sink_ = nullptr;  // not owned
+  /// Planner kill switch: compressed-domain scans over RLE sidecars.
+  bool compressed_scan_enabled_ = true;
   // Instruments resolved once at construction; bumped lock-free after.
   LatencyHistogram* obs_query_ms_ = nullptr;
   LatencyHistogram* obs_pool_task_ms_ = nullptr;
   Counter* obs_outcomes_[6] = {};  // indexed by TraceOutcome
+  // Which scan path the planner chose (computed answers only).
+  Counter* obs_scan_compressed_ = nullptr;
+  Counter* obs_scan_materialized_ = nullptr;
   Counter* obs_pool_submitted_ = nullptr;
   Counter* obs_pool_executed_ = nullptr;
   Counter* obs_pool_rejected_ = nullptr;

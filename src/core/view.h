@@ -97,6 +97,16 @@ class ConcreteView {
 
   Result<Row> ReadRow(uint64_t row) const { return table_->ReadRow(row); }
 
+  /// RLE sidecars for compressed-domain scans (DESIGN.md §14). Built
+  /// after bulk load; invalidated automatically by cell writes.
+  Status CompressColumns(double min_ratio = 2.0) {
+    return table_->CompressColumns(min_ratio);
+  }
+  const CompressedColumnFile* CompressedSidecar(
+      const std::string& name) const {
+    return table_->CompressedSidecar(name);
+  }
+
   /// Appends an all-null column (derived columns, §2.2).
   Status AddColumn(const Attribute& attr) { return table_->AddColumn(attr); }
 

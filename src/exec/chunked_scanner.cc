@@ -4,6 +4,8 @@
 #include <chrono>
 #include <utility>
 
+#include "simd/kernels.h"
+
 namespace statdb {
 
 std::vector<ScanChunk> SplitPageAligned(uint64_t rows, size_t cells_per_page,
@@ -39,7 +41,9 @@ Status ScanOneChunk(const ScanChunk& chunk, const ColumnRangeReader& reader,
   if (stat != nullptr) start = std::chrono::steady_clock::now();
   STATDB_ASSIGN_OR_RETURN(std::vector<double> data,
                           reader(chunk.begin, chunk.end));
-  out->desc = ComputeDescriptive(data);
+  // Span-batched kernel (simd/kernels.h): same count/min/max as the
+  // serial fold, moments within the documented 4-lane tolerance.
+  out->desc = simd::DescribeSpan(data.data(), data.size());
   if (spec.want_counts) {
     out->counts.Reserve(data.size());
     for (double x : data) out->counts.Add(x);
@@ -144,7 +148,15 @@ Result<ComomentStats> ParallelScanPairs(uint64_t rows, size_t cells_per_page,
   auto scan_chunk = [&chunks, &reader, &partials](size_t i) -> Status {
     std::vector<double> xs, ys;
     STATDB_RETURN_IF_ERROR(reader(chunks[i].begin, chunks[i].end, &xs, &ys));
-    partials[i] = ComputeComoments(xs, ys);
+    // Span-batched co-moment kernel; simd::Comoments mirrors
+    // ComomentStats field-for-field (simd sits below exec in the DAG).
+    simd::Comoments cm = simd::ComomentSpan(xs.data(), ys.data(), xs.size());
+    partials[i].n = cm.n;
+    partials[i].mean_x = cm.mean_x;
+    partials[i].mean_y = cm.mean_y;
+    partials[i].m2x = cm.m2x;
+    partials[i].m2y = cm.m2y;
+    partials[i].cxy = cm.cxy;
     return Status::OK();
   };
   if (pool == nullptr || chunks.size() <= 1) {

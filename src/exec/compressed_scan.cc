@@ -1,0 +1,139 @@
+#include "exec/compressed_scan.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace statdb {
+
+namespace {
+
+/// Half-open compressed-page range [begin, end) assigned to one task.
+struct PageChunk {
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+/// Splits [0, pages) into up to `num_chunks` contiguous page ranges.
+/// Runs never straddle pages, so every chunk sees whole runs.
+std::vector<PageChunk> SplitPages(size_t pages, size_t num_chunks) {
+  std::vector<PageChunk> chunks;
+  if (pages == 0 || num_chunks == 0) return chunks;
+  size_t per_chunk = (pages + num_chunks - 1) / num_chunks;
+  for (size_t first = 0; first < pages; first += per_chunk) {
+    chunks.push_back({first, std::min(pages, first + per_chunk)});
+  }
+  return chunks;
+}
+
+size_t ChunkTarget(ThreadPool* pool) {
+  // Same over-decomposition rule as ParallelScanColumn: 4 chunks per
+  // worker so one cold chunk cannot straggle the pass.
+  return pool == nullptr ? 1 : pool->size() * 4;
+}
+
+/// Runs `task(i)` for every chunk, on the pool when it helps.
+Status ForEachChunk(size_t n, ThreadPool* pool,
+                    const std::function<Status(size_t)>& task) {
+  if (pool == nullptr || n <= 1) {
+    for (size_t i = 0; i < n; ++i) STATDB_RETURN_IF_ERROR(task(i));
+    return Status::OK();
+  }
+  std::vector<std::function<Status()>> tasks;
+  tasks.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    tasks.push_back([&task, i]() { return task(i); });
+  }
+  return pool->RunAll(std::move(tasks));
+}
+
+void FoldRunCounts(const std::vector<RleRun>& runs, simd::RunValueKind kind,
+                   ValueCounts* counts) {
+  for (const RleRun& r : runs) {
+    if (!r.present || r.length == 0) continue;
+    counts->AddRun(simd::DecodeRunValue(r.value, kind), r.length);
+  }
+}
+
+}  // namespace
+
+Result<ColumnScanResult> ScanCompressedColumn(const CompressedColumnFile& file,
+                                              simd::RunValueKind kind,
+                                              bool want_counts,
+                                              ThreadPool* pool) {
+  std::vector<PageChunk> chunks =
+      SplitPages(file.page_count(), ChunkTarget(pool));
+
+  struct ChunkPartial {
+    DescriptiveStats desc;
+    ValueCounts counts;
+  };
+  std::vector<ChunkPartial> partials(chunks.size());
+  STATDB_RETURN_IF_ERROR(ForEachChunk(
+      chunks.size(), pool,
+      [&chunks, &partials, &file, kind, want_counts](size_t i) -> Status {
+        STATDB_ASSIGN_OR_RETURN(
+            std::vector<RleRun> runs,
+            file.ReadRuns(chunks[i].begin, chunks[i].end));
+        partials[i].desc = simd::DescribeRuns(runs.data(), runs.size(), kind);
+        if (want_counts) FoldRunCounts(runs, kind, &partials[i].counts);
+        return Status::OK();
+      }));
+
+  ColumnScanResult result;
+  result.chunks = chunks.size();
+  for (ChunkPartial& p : partials) {
+    result.desc.Merge(p.desc);
+    if (want_counts) result.counts.Merge(p.counts);
+  }
+  return result;
+}
+
+Result<FilteredScanResult> ScanCompressedFiltered(
+    const CompressedColumnFile& file, simd::RunValueKind kind,
+    const simd::RunPredicate& pred, bool want_counts, ThreadPool* pool) {
+  std::vector<PageChunk> chunks =
+      SplitPages(file.page_count(), ChunkTarget(pool));
+  const std::vector<uint64_t>& starts = file.page_starts();
+
+  struct ChunkPartial {
+    uint64_t rows = 0;
+    DescriptiveStats desc;
+    ValueCounts counts;
+  };
+  std::vector<ChunkPartial> partials(chunks.size());
+  STATDB_RETURN_IF_ERROR(ForEachChunk(
+      chunks.size(), pool,
+      [&chunks, &partials, &starts, &file, kind, &pred,
+       want_counts](size_t i) -> Status {
+        STATDB_ASSIGN_OR_RETURN(
+            std::vector<RleRun> runs,
+            file.ReadRuns(chunks[i].begin, chunks[i].end));
+        std::vector<simd::MatchedRun> matched(runs.size());
+        size_t m = simd::FilterRuns(
+            runs.data(), runs.size(), kind, starts[chunks[i].begin],
+            /*row_begin=*/0,
+            /*row_end=*/std::numeric_limits<uint64_t>::max(), pred,
+            matched.data());
+        partials[i].rows = simd::MatchedRowCount(matched.data(), m);
+        partials[i].desc = simd::DescribeMatchedRuns(matched.data(), m);
+        if (want_counts) {
+          for (size_t r = 0; r < m; ++r) {
+            partials[i].counts.AddRun(matched[r].value, matched[r].length);
+          }
+        }
+        return Status::OK();
+      }));
+
+  FilteredScanResult result;
+  for (ChunkPartial& p : partials) {
+    result.rows += p.rows;
+    result.desc.Merge(p.desc);
+    if (want_counts) result.counts.Merge(p.counts);
+  }
+  return result;
+}
+
+}  // namespace statdb

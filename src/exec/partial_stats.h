@@ -78,6 +78,9 @@ struct ValueCounts {
   }
 
   void Add(double x) { ++shards[ShardOf(x)][x]; }
+  /// Compressed-domain fold: an RLE run of value x and length k lands as
+  /// one O(1) bucket bump — bit-identical to k Add(x) calls.
+  void AddRun(double x, uint64_t k) { shards[ShardOf(x)][x] += k; }
   /// Pre-sizes every shard for ~n total values.
   void Reserve(size_t n);
   void Merge(const ValueCounts& o);

@@ -62,6 +62,25 @@ CostEstimate HostAggregateScan(const DbMachineConfig& cfg, uint64_t pages,
   return e;
 }
 
+CostEstimate HostCompressedAggregateScan(const DbMachineConfig& cfg,
+                                         uint64_t compressed_pages,
+                                         uint64_t runs) {
+  CostEstimate e;
+  e.pages_touched = compressed_pages;
+  // Same shape as HostAggregateScan with pages -> compressed pages and
+  // tuples -> runs: the kernel does O(1) work per run.
+  e.total_ms =
+      cfg.host_random_ms +
+      double(compressed_pages > 0 ? compressed_pages - 1 : 0) *
+          cfg.host_sequential_ms +
+      double(runs) * cfg.host_cpu_per_tuple_us / 1000.0;
+  std::ostringstream os;
+  os << "host compressed aggregate scan of " << compressed_pages
+     << " RLE pages, " << runs << " runs";
+  e.plan = os.str();
+  return e;
+}
+
 CostEstimate MachineAggregateOffload(const DbMachineConfig& cfg,
                                      uint64_t pages) {
   CostEstimate e;

@@ -65,6 +65,15 @@ CostEstimate HostAggregateScan(const DbMachineConfig& cfg, uint64_t pages,
 CostEstimate MachineAggregateOffload(const DbMachineConfig& cfg,
                                      uint64_t pages);
 
+/// Host computes the aggregate in the compressed domain (DESIGN.md §14):
+/// sequential scan of the RLE sidecar's `compressed_pages`, CPU over
+/// `runs` run records instead of tuples. On a high-compression column
+/// both terms shrink by the compression ratio, which is why the planner
+/// prefers this path even without a database machine.
+CostEstimate HostCompressedAggregateScan(const DbMachineConfig& cfg,
+                                         uint64_t compressed_pages,
+                                         uint64_t runs);
+
 }  // namespace statdb
 
 #endif  // STATDB_MACHINE_MACHINE_H_

@@ -20,6 +20,7 @@ const char* SpanKindName(SpanKind kind) {
     case SpanKind::kRedoReplay: return "redo_replay";
     case SpanKind::kManifestApply: return "manifest_apply";
     case SpanKind::kFallbackInvalidate: return "fallback_invalidate";
+    case SpanKind::kCompressedScan: return "compressed_scan";
   }
   return "?";
 }

@@ -42,6 +42,9 @@ enum class SpanKind : uint8_t {
   kRedoReplay = 9,          // full-page-image replay into the pools
   kManifestApply = 10,      // catalog/view/summary state rebuild
   kFallbackInvalidate = 11, // §4.3 hinted-attribute invalidation
+  // Compressed-domain scan over the RLE sidecar (DESIGN.md §14): rows =
+  // logical cells covered, pages = compressed pages touched.
+  kCompressedScan = 12,
 };
 
 const char* SpanKindName(SpanKind kind);

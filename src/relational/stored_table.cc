@@ -149,6 +149,8 @@ Status TransposedTable::Append(const Row& row) {
       STATDB_ASSIGN_OR_RETURN(int64_t raw, EncodeCell(c, row[c]));
       STATDB_RETURN_IF_ERROR(columns_[c].file->Append(raw));
     }
+    // The row changed every column; the immutable sidecars are stale.
+    columns_[c].compressed.reset();
   }
   ++num_rows_;
   return Status::OK();
@@ -311,6 +313,8 @@ Status TransposedTable::WriteCell(uint64_t row, const std::string& col,
   if (row >= num_rows_) {
     return OutOfRangeError("row index out of range");
   }
+  // Sidecars are immutable; a cell write invalidates this column's.
+  columns_[c].compressed.reset();
   if (v.is_null()) {
     return columns_[c].file->Set(row, std::nullopt);
   }
@@ -330,6 +334,42 @@ Status TransposedTable::AddColumn(const Attribute& attr) {
   }
   columns_.push_back(std::move(store));
   return Status::OK();
+}
+
+Status TransposedTable::CompressColumns(double min_ratio) {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    ColumnStore& store = columns_[c];
+    if (store.compressed != nullptr || store.file->size() == 0) continue;
+    // Gather the raw cells and count runs BEFORE allocating any device
+    // page: the device has no free list, so a speculative sidecar that
+    // turns out not to compress would leak its pages forever.
+    std::vector<std::optional<int64_t>> cells;
+    cells.reserve(store.file->size());
+    Status gathered = store.file->Scan(
+        [&cells](uint64_t, std::optional<int64_t> cell) -> Status {
+          cells.push_back(cell);
+          return Status::OK();
+        });
+    if (!gathered.ok()) continue;  // best-effort: keep no sidecar
+    size_t runs = RleEncode(cells).size();
+    size_t est_pages = (runs + CompressedColumnFile::kRunsPerPage - 1) /
+                       CompressedColumnFile::kRunsPerPage;
+    if (est_pages == 0 ||
+        double(store.file->page_count()) < min_ratio * double(est_pages)) {
+      continue;  // would not compress enough to be worth the pages
+    }
+    auto sidecar = std::make_unique<CompressedColumnFile>(pool_);
+    if (!sidecar->Load(cells).ok()) continue;  // e.g. device full
+    store.compressed = std::move(sidecar);
+  }
+  return Status::OK();
+}
+
+const CompressedColumnFile* TransposedTable::CompressedSidecar(
+    const std::string& name) const {
+  auto idx = schema_.IndexOf(name);
+  if (!idx.ok()) return nullptr;
+  return columns_[*idx].compressed.get();
 }
 
 Result<Table> TransposedTable::ReadAll() const {

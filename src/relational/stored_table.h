@@ -12,6 +12,7 @@
 #include "relational/table.h"
 #include "storage/buffer_pool.h"
 #include "storage/column_file.h"
+#include "storage/compressed_column_file.h"
 #include "storage/row_file.h"
 
 namespace statdb {
@@ -137,12 +138,31 @@ class TransposedTable {
   /// Reads the whole table back into memory.
   Result<Table> ReadAll() const;
 
+  // --- RLE sidecars (compressed-domain scans, DESIGN.md §14) ------------
+
+  /// Builds a read-only RLE sidecar for every column whose estimated
+  /// compression ratio is at least `min_ratio` (runs are counted before
+  /// any page is allocated, so poorly-compressing columns cost no
+  /// storage). Best-effort: a column that fails to compress — device
+  /// full, say — simply keeps no sidecar. Sidecars are a scan
+  /// accelerator, not durable state: they are absent from the recovery
+  /// manifest and any cell mutation drops the affected ones.
+  Status CompressColumns(double min_ratio = 2.0);
+
+  /// The column's RLE sidecar, or nullptr when none was built (or a
+  /// mutation invalidated it). The sidecar's runs decode to exactly the
+  /// column's raw cells (int64 raws; doubles are bit-cast).
+  const CompressedColumnFile* CompressedSidecar(
+      const std::string& name) const;
+
  private:
   struct ColumnStore {
     std::unique_ptr<ColumnFile> file;
     // Dictionary for string columns: code -> label and label -> code.
     std::vector<std::string> labels;
     std::unordered_map<std::string, int64_t> codes;
+    // RLE sidecar over the raw cells; nullptr = none / invalidated.
+    std::unique_ptr<CompressedColumnFile> compressed;
   };
 
   Result<int64_t> EncodeCell(size_t col, const Value& v);

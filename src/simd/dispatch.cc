@@ -1,0 +1,78 @@
+#include "simd/dispatch.h"
+
+#include <atomic>
+#include <string>
+
+namespace statdb::simd {
+
+namespace {
+
+/// -1 = no override; otherwise a SimdLevel value.
+std::atomic<int> g_forced{-1};
+
+bool CpuSupports(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return true;
+    case SimdLevel::kSSE2:
+      // x86-64 baseline; the SSE2 TU is only compiled on x86-64.
+      return true;
+    case SimdLevel::kAVX2:
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* LevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kSSE2: return "sse2";
+    case SimdLevel::kAVX2: return "avx2";
+  }
+  return "unknown";
+}
+
+SimdLevel CompiledLevel() {
+#if defined(STATDB_SIMD_HAVE_AVX2)
+  return SimdLevel::kAVX2;
+#elif defined(STATDB_SIMD_HAVE_SSE2)
+  return SimdLevel::kSSE2;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+bool LevelAvailable(SimdLevel level) {
+  return static_cast<uint8_t>(level) <=
+             static_cast<uint8_t>(CompiledLevel()) &&
+         CpuSupports(level);
+}
+
+SimdLevel ActiveLevel() {
+  int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<SimdLevel>(forced);
+  if (LevelAvailable(SimdLevel::kAVX2)) return SimdLevel::kAVX2;
+  if (LevelAvailable(SimdLevel::kSSE2)) return SimdLevel::kSSE2;
+  return SimdLevel::kScalar;
+}
+
+Status ForceLevel(SimdLevel level) {
+  if (!LevelAvailable(level)) {
+    return UnavailableError(std::string("SIMD level not available: ") +
+                            LevelName(level));
+  }
+  g_forced.store(static_cast<int>(level), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void ClearForcedLevel() {
+  g_forced.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace statdb::simd

@@ -1,0 +1,49 @@
+#ifndef STATDB_SIMD_DISPATCH_H_
+#define STATDB_SIMD_DISPATCH_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace statdb::simd {
+
+/// statdb::simd — vectorized batch kernels for the mergeable partial
+/// statistics (DESIGN.md §14).
+///
+/// ISA dispatch is resolved per call from three inputs: what the compiler
+/// could build (kernels_sse2.cc / kernels_avx2.cc are compiled per-TU
+/// with their own flags), what the CPU reports at runtime, and an
+/// optional forced override for tests. Every level computes the same
+/// fixed 4-logical-lane reduction (kernels.h), so forcing a level changes
+/// nothing but the instruction encoding — the parity suite proves the
+/// outputs bit-identical across levels.
+enum class SimdLevel : uint8_t {
+  kScalar = 0,
+  kSSE2 = 1,
+  kAVX2 = 2,
+};
+
+const char* LevelName(SimdLevel level);
+
+/// Highest level this binary was compiled with.
+SimdLevel CompiledLevel();
+
+/// Compiled in AND supported by the running CPU.
+bool LevelAvailable(SimdLevel level);
+
+/// The level kernels dispatch to: the forced override if one is set,
+/// otherwise the best available level.
+SimdLevel ActiveLevel();
+
+/// Forces every subsequent kernel call onto `level` (parity tests sweep
+/// all paths). Fails with UNAVAILABLE when the level is not compiled in
+/// or the CPU lacks it. Takes effect process-wide (a relaxed atomic —
+/// test-only plumbing, not a per-query knob).
+Status ForceLevel(SimdLevel level);
+
+/// Returns dispatch to automatic selection.
+void ClearForcedLevel();
+
+}  // namespace statdb::simd
+
+#endif  // STATDB_SIMD_DISPATCH_H_

@@ -1,0 +1,117 @@
+// SSE2 lane primitives: lanes 0/1 and 2/3 ride two __m128d accumulators,
+// so lane l sees exactly the additions the scalar path gives it, in the
+// same order — bit-identical by construction. This TU is compiled with
+// the build's baseline flags (SSE2 is the x86-64 baseline).
+#include "simd/kernels_internal.h"
+
+#if defined(STATDB_SIMD_HAVE_SSE2)
+
+#include <emmintrin.h>
+
+#include <limits>
+
+namespace statdb::simd::internal {
+
+namespace {
+
+void LaneSumSse2(const double* data, size_t n, double out[4]) {
+  __m128d a01 = _mm_setzero_pd();
+  __m128d a23 = _mm_setzero_pd();
+  size_t n4 = n & ~size_t{3};
+  for (size_t i = 0; i < n4; i += 4) {
+    a01 = _mm_add_pd(a01, _mm_loadu_pd(data + i));
+    a23 = _mm_add_pd(a23, _mm_loadu_pd(data + i + 2));
+  }
+  _mm_storeu_pd(out, a01);
+  _mm_storeu_pd(out + 2, a23);
+  for (size_t t = 0; n4 + t < n; ++t) out[t] += data[n4 + t];
+}
+
+void LaneSumSqDevSse2(const double* data, size_t n, double center,
+                      double out[4]) {
+  __m128d c = _mm_set1_pd(center);
+  __m128d a01 = _mm_setzero_pd();
+  __m128d a23 = _mm_setzero_pd();
+  size_t n4 = n & ~size_t{3};
+  for (size_t i = 0; i < n4; i += 4) {
+    __m128d d01 = _mm_sub_pd(_mm_loadu_pd(data + i), c);
+    __m128d d23 = _mm_sub_pd(_mm_loadu_pd(data + i + 2), c);
+    a01 = _mm_add_pd(a01, _mm_mul_pd(d01, d01));
+    a23 = _mm_add_pd(a23, _mm_mul_pd(d23, d23));
+  }
+  _mm_storeu_pd(out, a01);
+  _mm_storeu_pd(out + 2, a23);
+  for (size_t t = 0; n4 + t < n; ++t) {
+    double d = data[n4 + t] - center;
+    out[t] += d * d;
+  }
+}
+
+void LaneSumProdDevSse2(const double* xs, const double* ys, size_t n,
+                        double cx, double cy, double out[4]) {
+  __m128d vcx = _mm_set1_pd(cx);
+  __m128d vcy = _mm_set1_pd(cy);
+  __m128d a01 = _mm_setzero_pd();
+  __m128d a23 = _mm_setzero_pd();
+  size_t n4 = n & ~size_t{3};
+  for (size_t i = 0; i < n4; i += 4) {
+    __m128d dx01 = _mm_sub_pd(_mm_loadu_pd(xs + i), vcx);
+    __m128d dy01 = _mm_sub_pd(_mm_loadu_pd(ys + i), vcy);
+    __m128d dx23 = _mm_sub_pd(_mm_loadu_pd(xs + i + 2), vcx);
+    __m128d dy23 = _mm_sub_pd(_mm_loadu_pd(ys + i + 2), vcy);
+    a01 = _mm_add_pd(a01, _mm_mul_pd(dx01, dy01));
+    a23 = _mm_add_pd(a23, _mm_mul_pd(dx23, dy23));
+  }
+  _mm_storeu_pd(out, a01);
+  _mm_storeu_pd(out + 2, a23);
+  for (size_t t = 0; n4 + t < n; ++t) {
+    out[t] += (xs[n4 + t] - cx) * (ys[n4 + t] - cy);
+  }
+}
+
+void MinMaxSse2(const double* data, size_t n, double* mn_out,
+                double* mx_out) {
+  // _mm_min_pd(x, acc) keeps acc when x is NaN — the NaN-skipping update
+  // rule, vectorized. Accumulators start at +/-inf and can never become
+  // NaN, so the scalar lane combine below needs no NaN handling.
+  __m128d vmn = _mm_set1_pd(std::numeric_limits<double>::infinity());
+  __m128d vmx = _mm_set1_pd(-std::numeric_limits<double>::infinity());
+  size_t n2 = n & ~size_t{1};
+  for (size_t i = 0; i < n2; i += 2) {
+    __m128d x = _mm_loadu_pd(data + i);
+    vmn = _mm_min_pd(x, vmn);
+    vmx = _mm_max_pd(x, vmx);
+  }
+  double lmn[2], lmx[2];
+  _mm_storeu_pd(lmn, vmn);
+  _mm_storeu_pd(lmx, vmx);
+  double mn = lmn[0] < lmn[1] ? lmn[0] : lmn[1];
+  double mx = lmx[0] > lmx[1] ? lmx[0] : lmx[1];
+  if (n2 < n) {
+    double x = data[n2];
+    if (x < mn) mn = x;
+    if (x > mx) mx = x;
+  }
+  *mn_out = mn;
+  *mx_out = mx;
+}
+
+}  // namespace
+
+const LaneOps& Sse2Ops() {
+  static const LaneOps ops{LaneSumSse2, LaneSumSqDevSse2, LaneSumProdDevSse2,
+                           MinMaxSse2};
+  return ops;
+}
+
+}  // namespace statdb::simd::internal
+
+#else  // !STATDB_SIMD_HAVE_SSE2
+
+namespace statdb::simd::internal {
+
+const LaneOps& Sse2Ops() { return ScalarOps(); }
+
+}  // namespace statdb::simd::internal
+
+#endif

@@ -1,0 +1,72 @@
+#include "simd/pushdown.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace statdb::simd {
+
+size_t FilterRuns(const RleRun* runs, size_t n, RunValueKind kind,
+                  uint64_t run_start_row, uint64_t row_begin,
+                  uint64_t row_end, const RunPredicate& pred,
+                  MatchedRun* out) {
+  size_t matched = 0;
+  uint64_t ordinal = run_start_row;
+  for (size_t i = 0; i < n; ++i) {
+    const RleRun& r = runs[i];
+    uint64_t begin = ordinal;
+    uint64_t end = ordinal + r.length;
+    ordinal = end;
+    if (!r.present || r.length == 0) continue;
+    // Clip the run to the requested row interval (splitting it when the
+    // interval edge lands mid-run).
+    uint64_t lo = std::max(begin, row_begin);
+    uint64_t hi = std::min(end, row_end);
+    if (lo >= hi) continue;
+    double v = DecodeRunValue(r.value, kind);
+    if (!pred.Matches(v)) continue;
+    out[matched++] = MatchedRun{v, hi - lo};
+  }
+  return matched;
+}
+
+uint64_t MatchedRowCount(const MatchedRun* runs, size_t n) {
+  uint64_t rows = 0;
+  for (size_t i = 0; i < n; ++i) rows += runs[i].length;
+  return rows;
+}
+
+DescriptiveStats DescribeMatchedRuns(const MatchedRun* runs, size_t n) {
+  DescriptiveStats s;
+  uint64_t count = 0;
+  double sum = 0;
+  double mn = std::numeric_limits<double>::infinity();
+  double mx = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < n; ++i) {
+    const MatchedRun& r = runs[i];
+    if (r.length == 0) continue;
+    count += r.length;
+    sum += static_cast<double>(r.length) * r.value;
+    if (r.value < mn) mn = r.value;
+    if (r.value > mx) mx = r.value;
+  }
+  if (count == 0) return s;
+  s.count = count;
+  s.sum = sum;
+  s.mean = sum / static_cast<double>(count);
+  double m2 = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const MatchedRun& r = runs[i];
+    if (r.length == 0) continue;
+    double d = r.value - s.mean;
+    m2 += static_cast<double>(r.length) * d * d;
+  }
+  s.m2 = m2;
+  if (mn > mx) {
+    mn = mx = std::numeric_limits<double>::quiet_NaN();
+  }
+  s.min = mn;
+  s.max = mx;
+  return s;
+}
+
+}  // namespace statdb::simd

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 
 namespace statdb {
@@ -25,26 +26,43 @@ void DescriptiveStats::Merge(const DescriptiveStats& o) {
   m2 += o.m2 + delta * delta * na * nb / nn;
   mean += delta * nb / nn;
   sum += o.sum;
-  min = std::min(min, o.min);
-  max = std::max(max, o.max);
+  // NaN min/max mean "that shard's values were all NaN": keep the other
+  // side's extremum instead of letting std::min's NaN ordering make the
+  // merge depend on shard order.
+  if (std::isnan(min)) {
+    min = o.min;
+    max = o.max;
+  } else if (!std::isnan(o.min)) {
+    min = std::min(min, o.min);
+    max = std::max(max, o.max);
+  }
   count += o.count;
 }
 
 DescriptiveStats ComputeDescriptive(const std::vector<double>& data) {
   DescriptiveStats s;
+  if (data.empty()) return s;
+  // min/max use the NaN-skipping update rule (header contract). The old
+  // "first element seeds min/max" form was sticky on a leading NaN,
+  // which made the answer depend on where the NaN sat in the column —
+  // the parity harness's first divergence.
+  double mn = std::numeric_limits<double>::infinity();
+  double mx = -std::numeric_limits<double>::infinity();
   for (double x : data) {
     ++s.count;
     s.sum += x;
     double delta = x - s.mean;
     s.mean += delta / double(s.count);
     s.m2 += delta * (x - s.mean);
-    if (s.count == 1) {
-      s.min = s.max = x;
-    } else {
-      s.min = std::min(s.min, x);
-      s.max = std::max(s.max, x);
-    }
+    if (x < mn) mn = x;
+    if (x > mx) mx = x;
   }
+  if (mn > mx) {
+    // min stayed +inf and max -inf: every value was NaN.
+    mn = mx = std::numeric_limits<double>::quiet_NaN();
+  }
+  s.min = mn;
+  s.max = mx;
   return s;
 }
 
@@ -59,12 +77,30 @@ Status RequireNonEmpty(const std::vector<double>& data) {
 
 Result<double> Min(const std::vector<double>& data) {
   STATDB_RETURN_IF_ERROR(RequireNonEmpty(data));
-  return *std::min_element(data.begin(), data.end());
+  // Not std::min_element: its operator< ordering makes the answer depend
+  // on where a NaN sits. Same NaN-skipping rule as ComputeDescriptive.
+  double mn = std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (double x : data) {
+    if (std::isnan(x)) continue;
+    any = true;
+    if (x < mn) mn = x;
+  }
+  if (!any) return std::numeric_limits<double>::quiet_NaN();
+  return mn;
 }
 
 Result<double> Max(const std::vector<double>& data) {
   STATDB_RETURN_IF_ERROR(RequireNonEmpty(data));
-  return *std::max_element(data.begin(), data.end());
+  double mx = -std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (double x : data) {
+    if (std::isnan(x)) continue;
+    any = true;
+    if (x > mx) mx = x;
+  }
+  if (!any) return std::numeric_limits<double>::quiet_NaN();
+  return mx;
 }
 
 Result<double> Mean(const std::vector<double>& data) {

@@ -13,6 +13,13 @@ namespace statdb {
 /// These are exactly the quantities the finite-differencing maintainers
 /// carry, so "recompute from scratch" and "maintain incrementally" agree
 /// bit-for-bit on count/sum/mean and to rounding on variance.
+///
+/// NaN contract (DESIGN.md §14): min/max consider only non-NaN values —
+/// the update rule is `if (x < min) min = x` seeded from +inf/-inf, so a
+/// NaN cell never poisons them and the result is independent of where in
+/// the column the NaN sits (serial, chunked and SIMD scans agree
+/// exactly). A non-empty column whose values are ALL NaN yields
+/// min = max = NaN. sum/mean/m2 propagate NaN per IEEE arithmetic.
 struct DescriptiveStats {
   uint64_t count = 0;
   double sum = 0;
@@ -37,7 +44,9 @@ struct DescriptiveStats {
 /// zeroed fields (valid — exploration starts before data is clean).
 DescriptiveStats ComputeDescriptive(const std::vector<double>& data);
 
-/// Single-statistic helpers (each scans the data once).
+/// Single-statistic helpers (each scans the data once). Min/Max follow
+/// the NaN contract above: NaN values are skipped, and an all-NaN column
+/// returns NaN (an empty one is still an error).
 Result<double> Min(const std::vector<double>& data);
 Result<double> Max(const std::vector<double>& data);
 Result<double> Mean(const std::vector<double>& data);

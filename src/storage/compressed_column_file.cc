@@ -90,6 +90,24 @@ Status CompressedColumnFile::Scan(
   return Status::OK();
 }
 
+Result<std::vector<RleRun>> CompressedColumnFile::ReadRuns(
+    size_t page_begin, size_t page_end) const {
+  if (page_begin > page_end || page_end > pages_.size()) {
+    return OutOfRangeError("compressed page range out of range");
+  }
+  std::vector<RleRun> runs;
+  runs.reserve((page_end - page_begin) * kRunsPerPage);
+  for (size_t p = page_begin; p < page_end; ++p) {
+    STATDB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(pages_[p]));
+    uint32_t n = PageRunCount(*page);
+    for (uint32_t r = 0; r < n; ++r) {
+      runs.push_back(GetRun(*page, r));
+    }
+    STATDB_RETURN_IF_ERROR(pool_->UnpinPage(pages_[p], /*dirty=*/false));
+  }
+  return runs;
+}
+
 Result<std::optional<int64_t>> CompressedColumnFile::Get(
     uint64_t index) const {
   if (index >= count_) {

@@ -44,9 +44,23 @@ class CompressedColumnFile {
   /// Decompresses the whole column.
   Result<std::vector<std::optional<int64_t>>> ReadAll() const;
 
+  /// Streams the run records of pages [page_begin, page_end) in storage
+  /// order WITHOUT materializing cells — the compressed-domain scan
+  /// surface (DESIGN.md §14). Runs never straddle pages, so any page
+  /// range yields whole runs; page_starts() gives the row ordinal of
+  /// each page's first cell. Touches each compressed page exactly once.
+  Result<std::vector<RleRun>> ReadRuns(size_t page_begin,
+                                       size_t page_end) const;
+
+  /// First cell ordinal of each page (parallel to the page list).
+  const std::vector<uint64_t>& page_starts() const { return page_start_; }
+
   uint64_t size() const { return count_; }
   size_t page_count() const { return pages_.size(); }
   uint64_t run_count() const { return run_count_; }
+
+  /// Runs per page of the on-page layout (callers size page ranges).
+  static constexpr size_t kRunsPerPage = (kPageSize - 8) / 13;
 
   /// Compression ratio vs. the uncompressed ColumnFile layout.
   double CompressionRatio() const;
@@ -58,7 +72,7 @@ class CompressedColumnFile {
   // Page layout: u32 run_count | run records (i64 value, u32 len, u8
   // present) back to back.
   static constexpr size_t kRunBytes = 13;
-  static constexpr size_t kRunsPerPage = (kPageSize - 8) / kRunBytes;
+  static_assert(kRunsPerPage == (kPageSize - 8) / kRunBytes);
 
   BufferPool* pool_;
   std::vector<PageId> pages_;

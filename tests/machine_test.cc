@@ -64,6 +64,33 @@ TEST(MachineTest, ZeroPageEdgeCases) {
   EXPECT_GE(e.total_ms, 0.0);
   CostEstimate m = MachineAggregateOffload(cfg, 0);
   EXPECT_GE(m.total_ms, 0.0);
+  CostEstimate c = HostCompressedAggregateScan(cfg, 0, 0);
+  EXPECT_GE(c.total_ms, 0.0);
+}
+
+TEST(MachineTest, CompressedScanBeatsMaterializedByCompressionRatio) {
+  // 100k tuples in 1000 pages; at 100x RLE compression the sidecar holds
+  // 1000 runs in 10 pages. Both the I/O and the CPU term shrink by the
+  // ratio, so the compressed host scan must win by a wide margin...
+  DbMachineConfig cfg;
+  CostEstimate host = HostAggregateScan(cfg, 1000, 100000);
+  CostEstimate compressed = HostCompressedAggregateScan(cfg, 10, 1000);
+  EXPECT_GT(host.total_ms, 3.0 * compressed.total_ms);
+  EXPECT_EQ(compressed.pages_touched, 10u);
+  EXPECT_NE(compressed.plan.find("compressed"), std::string::npos);
+  // ...and even beat the on-device offload engine: streaming 1000 raw
+  // pages at media rate costs more than reading 10 compressed ones.
+  CostEstimate machine = MachineAggregateOffload(cfg, 1000);
+  EXPECT_GT(machine.total_ms, compressed.total_ms);
+}
+
+TEST(MachineTest, CompressedScanDegeneratesToHostScanWithoutRuns) {
+  // An incompressible column (every run length 1) has pages ~= raw pages
+  // and runs == tuples: the model must NOT claim a win there.
+  DbMachineConfig cfg;
+  CostEstimate host = HostAggregateScan(cfg, 1000, 100000);
+  CostEstimate compressed = HostCompressedAggregateScan(cfg, 1400, 100000);
+  EXPECT_GE(compressed.total_ms, host.total_ms);
 }
 
 }  // namespace

@@ -1,0 +1,406 @@
+// Property tests for the predicate/aggregate pushdown operator
+// (DESIGN.md §14): random predicates over RLE data must return identical
+// row counts and aggregates versus filter-then-materialize, including
+// runs that straddle compressed-page boundaries and clip intervals that
+// split a run mid-way. The end-to-end half flips the planner kill switch
+// so QueryFiltered and CountWhere* answer the same question both ways.
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/dbms.h"
+#include "exec/compressed_scan.h"
+#include "exec/thread_pool.h"
+#include "gtest/gtest.h"
+#include "simd/pushdown.h"
+#include "stats/descriptive.h"
+#include "storage/compressed_column_file.h"
+#include "storage/rle.h"
+#include "tests/test_util.h"
+
+namespace statdb {
+namespace {
+
+simd::RunPredicate RandomPredicate(Rng* rng) {
+  simd::RunPredicate p;
+  switch (rng->UniformInt(0, 2)) {
+    case 0:
+      p.kind = simd::RunPredicate::Kind::kAll;
+      break;
+    case 1:
+      p.kind = simd::RunPredicate::Kind::kEqual;
+      p.equal = double(rng->UniformInt(-20, 20));
+      break;
+    default: {
+      p.kind = simd::RunPredicate::Kind::kRange;
+      double a = double(rng->UniformInt(-30, 30));
+      double b = double(rng->UniformInt(-30, 30));
+      p.lo = std::min(a, b);
+      p.hi = std::max(a, b);
+      break;
+    }
+  }
+  return p;
+}
+
+/// Small value domain so kEqual/kRange predicates actually select rows.
+std::vector<RleRun> RandomRuns(Rng* rng, size_t n_runs) {
+  std::vector<RleRun> runs(n_runs);
+  for (size_t i = 0; i < n_runs; ++i) {
+    runs[i].length = static_cast<uint32_t>(rng->UniformInt(1, 50));
+    runs[i].present = !rng->Bernoulli(0.15);
+    runs[i].value = rng->UniformInt(-25, 25);
+  }
+  return runs;
+}
+
+/// The filter-then-materialize oracle: decode every cell with its row
+/// ordinal, apply the clip interval and the predicate per cell.
+struct OracleResult {
+  uint64_t rows = 0;
+  std::vector<double> cells;
+};
+
+OracleResult FilterOracle(const std::vector<RleRun>& runs,
+                          simd::RunValueKind kind, uint64_t run_start_row,
+                          uint64_t row_begin, uint64_t row_end,
+                          const simd::RunPredicate& pred) {
+  OracleResult out;
+  uint64_t ordinal = run_start_row;
+  for (const RleRun& r : runs) {
+    for (uint32_t i = 0; i < r.length; ++i, ++ordinal) {
+      if (!r.present) continue;
+      if (ordinal < row_begin || ordinal >= row_end) continue;
+      double v = simd::DecodeRunValue(r.value, kind);
+      if (!pred.Matches(v)) continue;
+      ++out.rows;
+      out.cells.push_back(v);
+    }
+  }
+  return out;
+}
+
+void ExpectNear(double a, double b, const char* what) {
+  if (std::isnan(a) || std::isnan(b)) {
+    EXPECT_TRUE(std::isnan(a) && std::isnan(b)) << what;
+    return;
+  }
+  double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  EXPECT_NEAR(a, b, 1e-9 * scale) << what;
+}
+
+void ExpectStatsParity(const DescriptiveStats& pushed,
+                       const std::vector<double>& cells, const char* what) {
+  DescriptiveStats oracle = ComputeDescriptive(cells);
+  EXPECT_EQ(pushed.count, oracle.count) << what;
+  EXPECT_EQ(pushed.min, oracle.min) << what;
+  EXPECT_EQ(pushed.max, oracle.max) << what;
+  ExpectNear(pushed.sum, oracle.sum, what);
+  ExpectNear(pushed.mean, oracle.mean, what);
+  ExpectNear(pushed.m2, oracle.m2, what);
+}
+
+// --- kernel-level properties --------------------------------------------
+
+TEST(FilterRunsProperty, RandomPredicatesMatchPerCellOracle) {
+  Rng rng(41);
+  for (int trial = 0; trial < 60; ++trial) {
+    size_t n_runs = static_cast<size_t>(rng.UniformInt(0, 120));
+    std::vector<RleRun> runs = RandomRuns(&rng, n_runs);
+    uint64_t total = 0;
+    for (const RleRun& r : runs) total += r.length;
+    simd::RunPredicate pred = RandomPredicate(&rng);
+    // Random clip interval; every few trials leave it unbounded.
+    uint64_t begin = 0, end = std::numeric_limits<uint64_t>::max();
+    if (trial % 3 != 0 && total > 0) {
+      uint64_t a = uint64_t(rng.UniformInt(0, int64_t(total)));
+      uint64_t b = uint64_t(rng.UniformInt(0, int64_t(total)));
+      begin = std::min(a, b);
+      end = std::max(a, b);
+    }
+    std::vector<simd::MatchedRun> matched(runs.size());
+    size_t n = simd::FilterRuns(runs.data(), runs.size(),
+                                simd::RunValueKind::kInt64,
+                                /*run_start_row=*/0, begin, end, pred,
+                                matched.data());
+    OracleResult oracle = FilterOracle(runs, simd::RunValueKind::kInt64, 0,
+                                       begin, end, pred);
+    EXPECT_EQ(simd::MatchedRowCount(matched.data(), n), oracle.rows)
+        << "trial " << trial;
+    ExpectStatsParity(simd::DescribeMatchedRuns(matched.data(), n),
+                      oracle.cells, "random trial");
+  }
+}
+
+TEST(FilterRunsProperty, ClipIntervalSplitsARun) {
+  // One long run; every clip interval inside it must count exactly
+  // end - begin cells, including the empty and one-past edges.
+  std::vector<RleRun> runs(1);
+  runs[0].value = 7;
+  runs[0].length = 100;
+  runs[0].present = true;
+  simd::RunPredicate all;
+  for (auto [begin, end] : std::vector<std::pair<uint64_t, uint64_t>>{
+           {0, 100}, {0, 1}, {99, 100}, {30, 70}, {50, 50}, {0, 0},
+           {100, 200}, {40, 1000}}) {
+    std::vector<simd::MatchedRun> matched(1);
+    size_t n = simd::FilterRuns(runs.data(), 1, simd::RunValueKind::kInt64,
+                                0, begin, end, all, matched.data());
+    uint64_t want = end > begin
+                        ? std::min<uint64_t>(end, 100) -
+                              std::min<uint64_t>(begin, 100)
+                        : 0;
+    EXPECT_EQ(simd::MatchedRowCount(matched.data(), n), want)
+        << "[" << begin << "," << end << ")";
+  }
+}
+
+TEST(FilterRunsProperty, NonZeroStartRowShiftsTheInterval) {
+  std::vector<RleRun> runs = {{5, 10, true}, {6, 10, true}};
+  simd::RunPredicate all;
+  std::vector<simd::MatchedRun> matched(2);
+  // The chunk's first cell is global row 1000; clip [1005, 1015) keeps
+  // the back half of run 0 and the front half of run 1.
+  size_t n = simd::FilterRuns(runs.data(), 2, simd::RunValueKind::kInt64,
+                              1000, 1005, 1015, all, matched.data());
+  ASSERT_EQ(n, 2u);
+  EXPECT_EQ(matched[0].value, 5.0);
+  EXPECT_EQ(matched[0].length, 5u);
+  EXPECT_EQ(matched[1].value, 6.0);
+  EXPECT_EQ(matched[1].length, 5u);
+}
+
+TEST(FilterRunsProperty, NaNCellsMatchOnlyAll) {
+  std::vector<RleRun> runs(2);
+  runs[0].value =
+      std::bit_cast<int64_t>(std::numeric_limits<double>::quiet_NaN());
+  runs[0].length = 4;
+  runs[0].present = true;
+  runs[1].value = std::bit_cast<int64_t>(1.5);
+  runs[1].length = 3;
+  runs[1].present = true;
+  std::vector<simd::MatchedRun> matched(2);
+  simd::RunPredicate all;
+  size_t n = simd::FilterRuns(runs.data(), 2, simd::RunValueKind::kDoubleBits,
+                              0, 0, std::numeric_limits<uint64_t>::max(), all,
+                              matched.data());
+  EXPECT_EQ(simd::MatchedRowCount(matched.data(), n), 7u);
+  simd::RunPredicate range;
+  range.kind = simd::RunPredicate::Kind::kRange;
+  range.lo = -1e300;
+  range.hi = 1e300;
+  n = simd::FilterRuns(runs.data(), 2, simd::RunValueKind::kDoubleBits, 0, 0,
+                       std::numeric_limits<uint64_t>::max(), range,
+                       matched.data());
+  EXPECT_EQ(simd::MatchedRowCount(matched.data(), n), 3u)
+      << "NaN run matched a range predicate";
+}
+
+// --- multi-page sidecar scans -------------------------------------------
+
+class MultiPageFiltered : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Alternating short runs so the run count (~2.5x kRunsPerPage)
+    // spreads across several compressed pages; chunk seams land on page
+    // boundaries, so the parallel fold must re-derive each chunk's
+    // starting row ordinal from page_starts().
+    Rng rng(43);
+    size_t n_runs = CompressedColumnFile::kRunsPerPage * 5 / 2;
+    for (size_t i = 0; i < n_runs; ++i) {
+      int64_t v = rng.UniformInt(-10, 10);
+      uint32_t len = static_cast<uint32_t>(rng.UniformInt(1, 7));
+      bool present = !rng.Bernoulli(0.1);
+      for (uint32_t k = 0; k < len; ++k) {
+        cells_.push_back(present ? std::optional<int64_t>(v) : std::nullopt);
+      }
+    }
+    file_ = std::make_unique<CompressedColumnFile>(&storage_.pool);
+    STATDB_ASSERT_OK(file_->Load(cells_));
+    ASSERT_GT(file_->page_count(), 2u) << "test wants a multi-page sidecar";
+  }
+
+  OracleResult Oracle(const simd::RunPredicate& pred) const {
+    OracleResult out;
+    for (const auto& cell : cells_) {
+      if (!cell.has_value()) continue;
+      double v = double(*cell);
+      if (!pred.Matches(v)) continue;
+      ++out.rows;
+      out.cells.push_back(v);
+    }
+    return out;
+  }
+
+  TestStorage storage_{/*pool_pages=*/512};
+  std::vector<std::optional<int64_t>> cells_;
+  std::unique_ptr<CompressedColumnFile> file_;
+};
+
+TEST_F(MultiPageFiltered, SerialAndParallelMatchOracle) {
+  Rng rng(47);
+  ThreadPool pool(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    simd::RunPredicate pred = RandomPredicate(&rng);
+    OracleResult want = Oracle(pred);
+    for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+      auto got = ScanCompressedFiltered(*file_, simd::RunValueKind::kInt64,
+                                        pred, /*want_counts=*/false, p);
+      STATDB_ASSERT_OK(got);
+      EXPECT_EQ(got->rows, want.rows) << "trial " << trial;
+      ExpectStatsParity(got->desc, want.cells,
+                        p ? "parallel" : "serial");
+    }
+  }
+}
+
+TEST_F(MultiPageFiltered, ValueCountsFoldPerRun) {
+  simd::RunPredicate all;
+  auto got = ScanCompressedFiltered(*file_, simd::RunValueKind::kInt64, all,
+                                    /*want_counts=*/true, nullptr);
+  STATDB_ASSERT_OK(got);
+  OracleResult want = Oracle(all);
+  ValueCounts oracle_counts;
+  for (double v : want.cells) oracle_counts.Add(v);
+  uint64_t got_total = 0, want_total = 0;
+  for (size_t s = 0; s < ValueCounts::kShards; ++s) {
+    EXPECT_EQ(got->counts.shards[s], oracle_counts.shards[s]) << s;
+    for (const auto& [v, c] : got->counts.shards[s]) got_total += c;
+    for (const auto& [v, c] : oracle_counts.shards[s]) want_total += c;
+  }
+  EXPECT_EQ(got_total, want_total);
+  EXPECT_EQ(got_total, want.rows);
+}
+
+// --- end-to-end QueryFiltered / CountWhere parity -----------------------
+
+class QueryFilteredParity : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    storage_ = MakeTapeDiskStorage();
+    dbms_ = std::make_unique<StatisticalDbms>(storage_.get());
+    Schema schema({Attribute::Numeric("G", DataType::kInt64),
+                   Attribute::Numeric("X", DataType::kDouble)});
+    Table t(schema);
+    Rng rng(53);
+    const size_t kRows = 2500;
+    for (size_t i = 0; i < kRows; ++i) {
+      Row row;
+      row.push_back(Value::Int(static_cast<int64_t>(i / 125)));  // 20 runs
+      row.push_back((i % 97 == 0)
+                        ? Value::Null()
+                        : Value::Real(std::floor(double(i) / 50.0) * 0.5));
+      ASSERT_TRUE(t.AppendRow(std::move(row)).ok());
+    }
+    STATDB_ASSERT_OK(dbms_->LoadRawDataSet("grid", t, ""));
+    ViewDefinition def;
+    def.source = "grid";
+    STATDB_ASSERT_OK(
+        dbms_->CreateView("g", def, MaintenancePolicy::kInvalidate));
+    auto view = dbms_->GetView("g");
+    STATDB_ASSERT_OK(view);
+    ASSERT_NE((*view)->CompressedSidecar("G"), nullptr);
+  }
+
+  std::unique_ptr<StorageManager> storage_;
+  std::unique_ptr<StatisticalDbms> dbms_;
+};
+
+TEST_F(QueryFilteredParity, PushdownVsFallbackAcrossPredicates) {
+  struct Case {
+    FilterPredicate pred;
+    const char* label;
+  };
+  std::vector<Case> cases = {
+      {FilterPredicate::All(), "all"},
+      {FilterPredicate::Equal(Value::Int(7)), "equal-hit"},
+      {FilterPredicate::Equal(Value::Int(999)), "equal-miss"},
+      {FilterPredicate::Range(Value::Int(3), Value::Int(11)), "range"},
+      {FilterPredicate::Range(Value::Int(11), Value::Int(3)), "range-empty"},
+  };
+  for (const auto& c : cases) {
+    for (const char* fn : {"count", "sum", "mean", "min", "max"}) {
+      dbms_->set_compressed_scan_enabled(true);
+      auto pushed = dbms_->QueryFiltered("g", fn, "G", c.pred);
+      dbms_->set_compressed_scan_enabled(false);
+      auto fallback = dbms_->QueryFiltered("g", fn, "G", c.pred);
+      dbms_->set_compressed_scan_enabled(true);
+      ASSERT_EQ(pushed.ok(), fallback.ok()) << c.label << " " << fn;
+      if (!pushed.ok()) {
+        // Aggregates of an empty selection fail identically both ways.
+        EXPECT_EQ(pushed.status().code(), fallback.status().code());
+        continue;
+      }
+      auto a = pushed->result.AsScalar();
+      auto b = fallback->result.AsScalar();
+      STATDB_ASSERT_OK(a);
+      STATDB_ASSERT_OK(b);
+      double scale = std::max({1.0, std::fabs(*a), std::fabs(*b)});
+      EXPECT_NEAR(*a, *b, 1e-9 * scale) << c.label << " " << fn;
+    }
+  }
+}
+
+TEST_F(QueryFilteredParity, FilteredCountMatchesArithmetic) {
+  // Each G value covers 125 rows, so the selection size is checkable
+  // in closed form: values 3..11 inclusive -> 9 * 125 rows.
+  auto n = dbms_->QueryFiltered(
+      "g", "count", "G", FilterPredicate::Range(Value::Int(3), Value::Int(11)));
+  STATDB_ASSERT_OK(n);
+  EXPECT_EQ(*n->result.AsScalar(), 9.0 * 125.0);
+}
+
+TEST_F(QueryFilteredParity, CountWhereParityWithKillSwitch) {
+  struct Probe {
+    Value v;
+    uint64_t want;
+  };
+  for (const Probe& p : {Probe{Value::Int(0), 125}, Probe{Value::Int(19), 125},
+                         Probe{Value::Int(42), 0}}) {
+    bool used_index = true;
+    dbms_->set_compressed_scan_enabled(true);
+    auto pushed = dbms_->CountWhereEqual("g", "G", p.v, &used_index);
+    STATDB_ASSERT_OK(pushed);
+    EXPECT_FALSE(used_index);  // no index on G: scan path decided this
+    dbms_->set_compressed_scan_enabled(false);
+    auto fallback = dbms_->CountWhereEqual("g", "G", p.v);
+    dbms_->set_compressed_scan_enabled(true);
+    STATDB_ASSERT_OK(fallback);
+    EXPECT_EQ(*pushed, *fallback);
+    EXPECT_EQ(*pushed, p.want);
+  }
+
+  dbms_->set_compressed_scan_enabled(true);
+  auto in_range =
+      dbms_->CountWhereInRange("g", "G", Value::Int(1), Value::Int(2));
+  STATDB_ASSERT_OK(in_range);
+  dbms_->set_compressed_scan_enabled(false);
+  auto in_range_fallback =
+      dbms_->CountWhereInRange("g", "G", Value::Int(1), Value::Int(2));
+  dbms_->set_compressed_scan_enabled(true);
+  STATDB_ASSERT_OK(in_range_fallback);
+  EXPECT_EQ(*in_range, *in_range_fallback);
+  EXPECT_EQ(*in_range, 250u);
+}
+
+TEST_F(QueryFilteredParity, DoubleColumnWithNullsAgrees) {
+  FilterPredicate pred =
+      FilterPredicate::Range(Value::Real(2.0), Value::Real(9.0));
+  dbms_->set_compressed_scan_enabled(true);
+  auto pushed = dbms_->QueryFiltered("g", "variance", "X", pred);
+  dbms_->set_compressed_scan_enabled(false);
+  auto fallback = dbms_->QueryFiltered("g", "variance", "X", pred);
+  dbms_->set_compressed_scan_enabled(true);
+  STATDB_ASSERT_OK(pushed);
+  STATDB_ASSERT_OK(fallback);
+  double a = *pushed->result.AsScalar();
+  double b = *fallback->result.AsScalar();
+  EXPECT_NEAR(a, b, 1e-9 * std::max(1.0, std::fabs(a)));
+}
+
+}  // namespace
+}  // namespace statdb

@@ -1,0 +1,197 @@
+// Multi-analyst session scaling on the deterministic cost model
+// (DESIGN.md §15). One writer keeps mutating a census view while K
+// analyst sessions (K = 1, 4, 8) each run the same read lane — three
+// full column materializations through the snapshot-pinned session read
+// path. Because the device cost model prices every page touch, each
+// lane's cost in simulated milliseconds is machine-independent; the
+// makespan model then compares two worlds:
+//
+//   serial world   — readers block on the writer and on each other
+//                    (the pre-session coarse-latch design):
+//                    makespan = writer + sum(reader lanes)
+//   session world  — snapshot-isolated lanes are independent (the
+//                    TSan-verified property the stress harness proves),
+//                    so they overlap: makespan = max(writer, lanes...)
+//
+// Reader throughput is column reads per simulated second in the session
+// world; the perf gate holds the 4-session speedup at >= 2x over one
+// session (scripts/check_bench_schema.py) and diffs every simulated
+// series against bench/baseline/ (scripts/compare_bench.py).
+//
+// The disk pool is deliberately smaller than one lane's working set so
+// every lane pays real device reads (no free rides from a warm pool),
+// and a pinned observer session is held open across the writer's
+// updates so the writer also pays the snapshot capture cost.
+// argv[1] overrides the row count (CI runs a small one).
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/dbms.h"
+#include "session/session.h"
+
+using namespace statdb;
+using namespace statdb::bench;
+
+namespace {
+
+constexpr uint64_t kDefaultRows = 200'000;
+constexpr int kWriterUpdates = 2;
+const std::vector<std::string> kLaneColumns = {"AGE", "INCOME",
+                                               "HOURS_WORKED"};
+const int kSessionCounts[] = {1, 4, 8};
+
+double SimMs(StorageManager* sm) {
+  double total = 0;
+  for (const char* dev : {"tape", "disk"}) {
+    total += double(Unwrap(sm->GetDevice(dev))->stats().simulated_ms);
+  }
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t rows = kDefaultRows;
+  if (argc > 1) rows = std::strtoull(argv[1], nullptr, 10);
+  Header("session_scaling",
+         "Snapshot-isolated reader lanes vs the serial (readers-block-on-"
+         "writer) world, priced by the device cost model.");
+  std::printf("rows: %llu, writer updates per series: %d, "
+              "columns per lane: %zu\n",
+              (unsigned long long)rows, kWriterUpdates, kLaneColumns.size());
+
+  // Size the disk pool to ~1/6 of one lane's working set (a lane reads
+  // 3 columns of rows*8 bytes each, ~3*rows/512 pages) so lanes always
+  // touch the device — a pool that held the lane would price reads at
+  // zero and say nothing about the read path.
+  const size_t disk_pool = std::max<uint64_t>(64, rows / 1024);
+  auto sm = MakeInstallation(/*tape_pool=*/1024, disk_pool);
+  std::printf("disk pool: %zu pages\n", disk_pool);
+  StatisticalDbms dbms(sm.get());
+  CheckOk(dbms.LoadRawDataSet("census", MakeCensus(rows)));
+  ViewDefinition def;
+  def.source = "census";
+  Unwrap(dbms.CreateView("v", def, MaintenancePolicy::kInvalidate));
+
+  session::SessionConfig cfg;
+  cfg.max_sessions = 10;  // 8 lanes + the pinned observer + slack
+  session::SessionManager* mgr = Unwrap(dbms.EnableSessions(cfg));
+
+  std::printf("  %-9s %12s %14s %16s %16s %12s\n", "SESSIONS",
+              "WRITER_MS", "LANE_MAX_MS", "SERIAL_MS", "SESSION_MS",
+              "READS/SIM-S");
+
+  struct Series {
+    int sessions;
+    double writer_ms;
+    double lane_max_ms;
+    double lane_sum_ms;
+    double serial_ms;
+    double session_ms;
+    double throughput;
+  };
+  std::vector<Series> series;
+
+  // Every series (and the warm-up round below) runs the identical
+  // writer workload: same predicate, same cells touched, so the series
+  // differ only in the number of reader lanes.
+  auto run_writer = [&] {
+    for (int u = 0; u < kWriterUpdates; ++u) {
+      UpdateSpec spec;
+      spec.predicate = Lt(Col("AGE"), Lit(int64_t{32}));
+      spec.column = "INCOME";
+      spec.value = Mul(Col("INCOME"), Lit(1.0001));
+      Unwrap(dbms.Update("v", spec));
+    }
+  };
+  auto run_lane = [&](session::Session* s) {
+    for (const std::string& col : kLaneColumns) {
+      Unwrap(s->ReadColumn("v", col));
+    }
+  };
+
+  // Untimed warm-up round: one full writer + lane cycle moves the pool,
+  // the update log and the snapshot registry into steady state so the
+  // K=1 series is priced the same as the later ones.
+  {
+    session::Session* observer = Unwrap(mgr->Open("warmup-observer"));
+    run_writer();
+    CheckOk(observer->Close());
+    session::Session* warm = Unwrap(mgr->Open("warmup-lane"));
+    run_lane(warm);
+    CheckOk(warm->Close());
+  }
+
+  for (int k : kSessionCounts) {
+    // The observer pins the pre-update seq, so the writer's updates pay
+    // the full snapshot protocol: column capture, route block, grace.
+    session::Session* observer = Unwrap(mgr->Open("observer"));
+    const double w0 = SimMs(sm.get());
+    run_writer();
+    const double writer_ms = SimMs(sm.get()) - w0;
+    CheckOk(observer->Close());
+
+    std::vector<double> lane_ms;
+    for (int i = 0; i < k; ++i) {
+      session::Session* s =
+          Unwrap(mgr->Open("lane" + std::to_string(i)));
+      const double r0 = SimMs(sm.get());
+      run_lane(s);
+      lane_ms.push_back(SimMs(sm.get()) - r0);
+      CheckOk(s->Close());
+    }
+
+    Series out;
+    out.sessions = k;
+    out.writer_ms = writer_ms;
+    out.lane_max_ms = *std::max_element(lane_ms.begin(), lane_ms.end());
+    out.lane_sum_ms = 0;
+    for (double r : lane_ms) out.lane_sum_ms += r;
+    out.serial_ms = writer_ms + out.lane_sum_ms;
+    out.session_ms = std::max(writer_ms, out.lane_max_ms);
+    out.throughput =
+        double(k * kLaneColumns.size()) * 1000.0 / out.session_ms;
+    series.push_back(out);
+
+    std::printf("  %-9d %12.1f %14.1f %16.1f %16.1f %12.3f\n", k,
+                out.writer_ms, out.lane_max_ms, out.serial_ms,
+                out.session_ms, out.throughput);
+  }
+
+  const double speedup_4 = series[1].throughput / series[0].throughput;
+  const double speedup_8 = series[2].throughput / series[0].throughput;
+  std::printf("\nreader throughput speedup: 4 sessions %.2fx, "
+              "8 sessions %.2fx (gate: 4-session >= 2x)\n",
+              speedup_4, speedup_8);
+
+  std::vector<std::string> rows_json;
+  for (const Series& s : series) {
+    rows_json.push_back(
+        JsonObject()
+            .Int("sessions", uint64_t(s.sessions))
+            .Num("writer_simulated_ms", s.writer_ms)
+            .Num("lane_max_simulated_ms", s.lane_max_ms)
+            .Num("lane_sum_simulated_ms", s.lane_sum_ms)
+            .Num("serial_makespan_simulated_ms", s.serial_ms)
+            .Num("simulated_ms", s.session_ms)  // gated by compare_bench
+            .Num("reader_throughput", s.throughput)
+            .Build());
+  }
+  WriteBenchJson(
+      "session_scaling",
+      JsonObject()
+          .Str("bench", "session_scaling")
+          .Int("rows", rows)
+          .Int("reads_per_lane", kLaneColumns.size())
+          .Int("writer_updates", kWriterUpdates)
+          .Raw("series", JsonArray(rows_json))
+          .Num("speedup_4", speedup_4)
+          .Num("speedup_8", speedup_8)
+          .Raw("metrics", dbms.DumpMetrics())
+          .Build());
+  return 0;
+}

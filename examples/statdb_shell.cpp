@@ -12,6 +12,7 @@
 // Type `help` for the full command list. Reads stdin; EOF exits.
 
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "check/db_auditor.h"
 #include "core/dbms.h"
 #include "relational/datagen.h"
+#include "session/session.h"
 
 namespace {
 
@@ -66,6 +68,11 @@ void PrintHelp() {
       "  audit                              fsck: structural + summary-"
       "oracle audit\n"
       "  io                                 simulated device statistics\n"
+      "  session open <label>               open a snapshot-pinned analyst"
+      " session\n"
+      "  session query <id> <view> <fn> <attr>  query at the session's"
+      " pinned snapshot\n"
+      "  session list | session close <id>  inspect / close sessions\n"
       "  help | quit\n";
 }
 
@@ -144,6 +151,7 @@ class Shell {
     if (cmd == "timeseries") return CmdTimeseries();
     if (cmd == "audit") return CmdAudit();
     if (cmd == "io") return CmdIo();
+    if (cmd == "session") return CmdSession(t);
     return InvalidArgumentError("unknown command: " + cmd +
                                 " (try 'help')");
   }
@@ -394,8 +402,72 @@ class Shell {
     return Status::OK();
   }
 
+  // Multi-analyst sessions (DESIGN.md §15): each open session pins the
+  // commit seq current at open; its queries keep answering from that
+  // snapshot while updates/rollbacks land concurrently.
+  Status CmdSession(const std::vector<std::string>& t) {
+    if (t.size() < 2) {
+      return InvalidArgumentError(
+          "session open <label> | query <id> <view> <fn> <attr> | "
+          "list | close <id>");
+    }
+    session::SessionManager* mgr;
+    {
+      STATDB_ASSIGN_OR_RETURN(mgr, dbms_->EnableSessions({}));
+    }
+    const std::string& sub = t[1];
+    if (sub == "open") {
+      if (t.size() < 3) return InvalidArgumentError("session open <label>");
+      STATDB_ASSIGN_OR_RETURN(session::Session * s, mgr->Open(t[2]));
+      session_handles_[s->id()] = s;
+      std::cout << "session " << s->id() << " ('" << s->label()
+                << "') pinned at seq " << s->pinned_seq() << "\n";
+      return Status::OK();
+    }
+    if (sub == "list") {
+      for (const auto& [id, s] : session_handles_) {
+        const session::Session::Stats st = s->stats();
+        std::cout << "  #" << id << "  " << s->label() << "  seq "
+                  << s->pinned_seq() << "  " << st.queries << " queries ("
+                  << st.cache_hits << " cached, " << st.snapshot_reads
+                  << " snapshot reads)\n";
+      }
+      std::cout << "  head seq " << mgr->current_seq() << ", "
+                << mgr->RetiredSnapshots() << " retired column snapshots\n";
+      return Status::OK();
+    }
+    if (sub == "query") {
+      if (t.size() < 6) {
+        return InvalidArgumentError("session query <id> <view> <fn> <attr>");
+      }
+      auto it = session_handles_.find(std::stoull(t[2]));
+      if (it == session_handles_.end()) {
+        return NotFoundError("no open session #" + t[2]);
+      }
+      STATDB_ASSIGN_OR_RETURN(QueryAnswer a,
+                              it->second->Query(t[3], t[4], t[5]));
+      std::cout << t[4] << "(" << t[5] << ") @seq "
+                << it->second->pinned_seq() << " = " << a.result.ToString()
+                << "   [" << SourceName(a.source) << "]\n";
+      return Status::OK();
+    }
+    if (sub == "close") {
+      if (t.size() < 3) return InvalidArgumentError("session close <id>");
+      auto it = session_handles_.find(std::stoull(t[2]));
+      if (it == session_handles_.end()) {
+        return NotFoundError("no open session #" + t[2]);
+      }
+      STATDB_RETURN_IF_ERROR(it->second->Close());
+      session_handles_.erase(it);
+      std::cout << "closed session " << t[2] << "\n";
+      return Status::OK();
+    }
+    return InvalidArgumentError("unknown session subcommand: " + sub);
+  }
+
   StorageManager storage_;
   std::unique_ptr<StatisticalDbms> dbms_;
+  std::map<uint64_t, session::Session*> session_handles_;
 };
 
 }  // namespace

@@ -133,11 +133,40 @@ def check_compressed_scan(doc: dict, name: str) -> None:
             f"the materialized column scan ({mat:g} ms)")
 
 
+def check_session_scaling(doc: dict, name: str) -> None:
+    for key in ("rows", "reads_per_lane", "writer_updates", "series",
+                "speedup_4", "speedup_8", "metrics"):
+        require(key in doc, f"{name}: missing '{key}'")
+    series = doc["series"]
+    require(isinstance(series, list) and len(series) == 3,
+            f"{name}: expected exactly 3 series (1/4/8 sessions)")
+    counts = [s.get("sessions") for s in series]
+    require(counts == [1, 4, 8], f"{name}: session counts are {counts}")
+    for s in series:
+        for key in ("writer_simulated_ms", "lane_max_simulated_ms",
+                    "lane_sum_simulated_ms", "serial_makespan_simulated_ms",
+                    "simulated_ms", "reader_throughput"):
+            require(key in s, f"{name}: series {s['sessions']} missing "
+                              f"'{key}'")
+        # The whole point: snapshot-isolated lanes overlap, so the
+        # session-world makespan never exceeds the serial world's.
+        require(s["simulated_ms"] <= s["serial_makespan_simulated_ms"],
+                f"{name}: session makespan exceeds the serial world at "
+                f"{s['sessions']} sessions")
+    # The acceptance bar (DESIGN.md §15): 4 pinned sessions deliver at
+    # least 2x the single-session reader throughput on the deterministic
+    # cost-model series.
+    require(doc["speedup_4"] >= 2.0,
+            f"{name}: 4-session reader speedup is {doc['speedup_4']:.2f}x, "
+            "below the 2x gate")
+
+
 CHECKERS = {
     "parallel_scan": check_parallel_scan,
     "fault_injection": check_fault_injection,
     "flight_overhead": check_flight_overhead,
     "compressed_scan": check_compressed_scan,
+    "session_scaling": check_session_scaling,
 }
 
 

@@ -43,7 +43,8 @@ GATED_KEYS = {"simulated_io_ms", "simulated_ms", "block_reads",
 
 # Workload-scale leaves: must match the baseline exactly.
 SCALE_KEYS = {"rows", "reps", "workers", "battery_size", "scan_reps",
-              "commit_reps", "run_length"}
+              "commit_reps", "run_length", "sessions", "reads_per_lane",
+              "writer_updates"}
 
 # Leaves where bigger is better (everything else: smaller is better).
 HIGHER_IS_BETTER = ("speedup", "hit_rate")

@@ -34,6 +34,17 @@ CI next to the thread-safety lane:
                             the whole point of the batch kernels
                             (DESIGN.md §14) and sneaks an indirect call
                             into the inner loop.
+  R6 readpath-latch         Snapshot-reader code (src/session/, src/exec/)
+                            never calls the BufferPool's latched entry
+                            points (FetchPage / NewPage / UnpinPage /
+                            PinnedPage) directly — readers pin pages only
+                            through the lock-free FetchReadOnly/ReadPin
+                            surface (DESIGN.md §15). The latched miss
+                            fallback is the designated miss-handler
+                            inside src/storage/buffer_pool.cc, which is
+                            deliberately outside the read-path dirs; a
+                            latch acquisition anywhere on the session
+                            read path would let a writer block readers.
 
 Usage:
   scripts/statdb_lint.py             # lint the repo; exit 1 on findings
@@ -370,6 +381,45 @@ def check_simd_span_inputs(path, text):
     return findings
 
 
+# --- R6: read-path code never takes the buffer-pool latch --------------------
+
+READ_PATH_DIR_RE = re.compile(r"^src/(session|exec)/")
+# The only sanctioned latched miss-handler is BufferPool::FetchReadOnly's
+# internal fallback in src/storage/buffer_pool.cc — outside the read-path
+# dirs by design. List read-path files here (with a why) if one ever
+# legitimately needs to become a miss-handler itself.
+READ_PATH_LATCH_MISS_HANDLERS = ()
+LATCHED_POOL_API_RE = re.compile(
+    r"\b(?:(?:\w+|\))\s*(?:\.|->)\s*)(FetchPage|NewPage|UnpinPage)\s*\(|"
+    r"\b(PinnedPage)\b"
+)
+
+
+def check_readpath_latch(path, text):
+    norm = path.replace(os.sep, "/")
+    if not READ_PATH_DIR_RE.match(norm):
+        return []
+    if norm in READ_PATH_LATCH_MISS_HANDLERS:
+        return []
+    findings = []
+    for lineno, line in enumerate(strip_comments(text).splitlines(), 1):
+        m = LATCHED_POOL_API_RE.search(line)
+        if m:
+            api = m.group(1) or m.group(2)
+            findings.append(
+                Finding(
+                    "readpath-latch",
+                    path,
+                    lineno,
+                    f"{api} on the session read path — snapshot readers pin "
+                    "pages only via BufferPool::FetchReadOnly/ReadPin (the "
+                    "lock-free path); the latched miss-handler lives in "
+                    "src/storage/buffer_pool.cc (DESIGN.md §15)",
+                )
+            )
+    return findings
+
+
 # --- driver ------------------------------------------------------------------
 
 
@@ -382,6 +432,7 @@ def lint_corpus(files):
         findings += check_double_maps(path, text)
         findings += check_loop_mutation(path, text)
         findings += check_simd_span_inputs(path, text)
+        findings += check_readpath_latch(path, text)
     findings += check_nodiscard(files)
     return findings
 
@@ -426,6 +477,12 @@ SELF_TEST_SNIPPETS = {
         "#include <functional>\n"
         "void DescribeCells(\n"
         "    const std::function<void(double)>& per_row);\n",
+    ),
+    "readpath-latch": (
+        "src/session/injected_r6.cc",
+        "void ReadCells(BufferPool* pool, PageId id) {\n"
+        "  auto page = pool->FetchPage(id);\n"
+        "}\n",
     ),
 }
 

@@ -1,7 +1,9 @@
 #ifndef STATDB_COMMON_SYNC_H_
 #define STATDB_COMMON_SYNC_H_
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 #include <shared_mutex>
 
@@ -197,6 +199,17 @@ class CondVar {
     std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
     cv_.wait(native);
     native.release();
+  }
+
+  /// Timed wait: returns false if `timeout_ms` elapsed without a notify
+  /// (the caller re-checks its predicate either way — spurious wakeups
+  /// behave exactly like std::condition_variable's).
+  bool WaitFor(Mutex& mu, int64_t timeout_ms) STATDB_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    std::cv_status st =
+        cv_.wait_for(native, std::chrono::milliseconds(timeout_ms));
+    native.release();
+    return st == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

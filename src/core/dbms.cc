@@ -10,6 +10,7 @@
 #include "exec/compressed_scan.h"
 #include "exec/thread_pool.h"
 #include "obs/json.h"
+#include "session/session.h"
 #include "storage/column_file.h"
 #include "stats/descriptive.h"
 #include "stats/correlation.h"
@@ -404,6 +405,16 @@ Result<ViewCreation> StatisticalDbms::CreateView(const std::string& name,
   if (views_.contains(name)) {
     return AlreadyExistsError("view name already in use: " + name);
   }
+  // kCreate captures nothing (there is no pre-image); the scope
+  // serializes against other writers and registers the new view with
+  // the session routing table at publish. On failure the auto-publish
+  // carries a null pointer, which registers nothing. The reuse path
+  // above takes no scope: nothing mutates, and re-publishing an
+  // untouched view would needlessly bump every pinned route.
+  session::MutationScope scope(sessions_.get(),
+                               session::MutationScope::Kind::kCreate, name,
+                               nullptr);
+  if (!scope.ok()) return scope.status();
   STATDB_ASSIGN_OR_RETURN(Table raw, ReadRawFromTape(def.source));
   STATDB_ASSIGN_OR_RETURN(Table materialized, def.Materialize(raw));
   STATDB_ASSIGN_OR_RETURN(BufferPool * pool, storage_->GetPool(disk_device_));
@@ -431,7 +442,8 @@ Result<ViewCreation> StatisticalDbms::CreateView(const std::string& name,
   info.description = "concrete view: " + canonical;
   info.approx_rows = materialized.num_rows();
   STATDB_RETURN_IF_ERROR(catalog_.RegisterDataSet(std::move(info)));
-  views_.emplace(name, std::move(state));
+  auto [vit, inserted] = views_.emplace(name, std::move(state));
+  scope.Publish(vit->second.view.get());
   STATDB_RETURN_IF_ERROR(CommitDurable(/*attr_hint=*/"", /*force=*/true));
   return ViewCreation{name, /*reused=*/false};
 }
@@ -452,9 +464,21 @@ Result<ConcreteView*> StatisticalDbms::GetView(const std::string& name) {
 
 Status StatisticalDbms::DropView(const std::string& name) {
   STATDB_RETURN_IF_ERROR(GuardMutable());
-  if (!views_.contains(name)) {
+  auto vit = views_.find(name);
+  if (vit == views_.end()) {
     return NotFoundError("no view named " + name);
   }
+  // Pinned sessions keep reading the captures installed here; sessions
+  // opened after the drop see NOT_FOUND. The erase below destroys the
+  // ConcreteView, so the grace period in the scope's Begin is what makes
+  // it safe — and the drop must publish before this function returns
+  // (the destructor auto-publishes the drop on error paths too: by then
+  // mdb_/catalog state is partially gone, so "dropped" is the only
+  // truthful route).
+  session::MutationScope scope(sessions_.get(),
+                               session::MutationScope::Kind::kDrop, name,
+                               vit->second.view.get());
+  if (!scope.ok()) return scope.status();
   STATDB_RETURN_IF_ERROR(mdb_.DropView(name));
   STATDB_RETURN_IF_ERROR(catalog_.UnregisterDataSet(name));
   views_.erase(name);
@@ -664,8 +688,11 @@ Result<QueryAnswer> StatisticalDbms::QueryImpl(const std::string& view,
   STATDB_ASSIGN_OR_RETURN(const ViewRecord* rec, mdb_.GetView(view));
   const bool arm_maintainers =
       opts.cache_result && rec->policy == MaintenancePolicy::kIncremental;
-  const CompressedColumnFile* sidecar =
-      state->view->CompressedSidecar(attribute);
+  // Shared ref, not the raw pointer: a concurrent WriteCell/Append
+  // detaches the sidecar, and this scan's reference must keep the
+  // retired pages alive until it finishes.
+  const std::shared_ptr<const CompressedColumnFile> sidecar =
+      state->view->CompressedSidecarRef(attribute);
   if (compressed_scan_enabled_ && sidecar != nullptr &&
       IsMergeable(function) && !arm_maintainers) {
     ColumnScanResult scan;
@@ -815,8 +842,11 @@ Result<QueryAnswer> StatisticalDbms::QueryFilteredImpl(
     }
   }
 
-  const CompressedColumnFile* sidecar =
-      state->view->CompressedSidecar(attribute);
+  // Shared ref, not the raw pointer: a concurrent WriteCell/Append
+  // detaches the sidecar, and this scan's reference must keep the
+  // retired pages alive until it finishes.
+  const std::shared_ptr<const CompressedColumnFile> sidecar =
+      state->view->CompressedSidecarRef(attribute);
   if (compressed_scan_enabled_ && sidecar != nullptr &&
       IsMergeable(function)) {
     // Pushdown: predicate decided once per run, no row materialized.
@@ -977,7 +1007,10 @@ Result<std::vector<QueryAnswer>> StatisticalDbms::QueryManyImpl(
       // Planner choice (DESIGN.md §14): the whole attribute group goes
       // compressed-domain when every statistic finishes from mergeable
       // partials (no keep_values) and an RLE sidecar is attached.
-      const CompressedColumnFile* sidecar = cv->CompressedSidecar(attr);
+      // Shared ref: keeps the sidecar alive across the scan even if a
+      // concurrent writer detaches it (see CompressedSidecarRef).
+      const std::shared_ptr<const CompressedColumnFile> sidecar =
+          cv->CompressedSidecarRef(attr);
       ColumnScanResult scan;
       if (compressed_scan_enabled_ && sidecar != nullptr &&
           !spec.keep_values) {
@@ -1376,8 +1409,11 @@ Result<uint64_t> StatisticalDbms::CountWhereEqual(const std::string& view,
   const Schema& schema = state->view->schema();
   STATDB_ASSIGN_OR_RETURN(size_t attr_idx, schema.IndexOf(attribute));
   DataType t = schema.attr(attr_idx).type;
-  const CompressedColumnFile* sidecar =
-      state->view->CompressedSidecar(attribute);
+  // Shared ref, not the raw pointer: a concurrent WriteCell/Append
+  // detaches the sidecar, and this scan's reference must keep the
+  // retired pages alive until it finishes.
+  const std::shared_ptr<const CompressedColumnFile> sidecar =
+      state->view->CompressedSidecarRef(attribute);
   if (compressed_scan_enabled_ && sidecar != nullptr && !probe.is_null() &&
       (t == DataType::kInt64 || t == DataType::kDouble)) {
     // No index, but an RLE sidecar: decide the predicate per run instead
@@ -1419,8 +1455,11 @@ Result<uint64_t> StatisticalDbms::CountWhereInRange(
   if (used_index != nullptr) *used_index = false;
   STATDB_ASSIGN_OR_RETURN(size_t attr_idx, schema.IndexOf(attribute));
   DataType t = schema.attr(attr_idx).type;
-  const CompressedColumnFile* sidecar =
-      state->view->CompressedSidecar(attribute);
+  // Shared ref, not the raw pointer: a concurrent WriteCell/Append
+  // detaches the sidecar, and this scan's reference must keep the
+  // retired pages alive until it finishes.
+  const std::shared_ptr<const CompressedColumnFile> sidecar =
+      state->view->CompressedSidecarRef(attribute);
   if (compressed_scan_enabled_ && sidecar != nullptr && !plo.is_null() &&
       !phi.is_null() && (t == DataType::kInt64 || t == DataType::kDouble)) {
     simd::RunPredicate rp;
@@ -1450,6 +1489,13 @@ Status StatisticalDbms::ReorganizeView(
   STATDB_RETURN_IF_ERROR(GuardMutable());
   STATDB_ASSIGN_OR_RETURN(ViewState * state, GetState(view));
   STATDB_ASSIGN_OR_RETURN(ViewRecord * rec, mdb_.GetView(view));
+  // The swap below destroys the old ConcreteView; the scope's grace
+  // period guarantees no pinned reader is still on it, and Publish
+  // re-routes live reads to the fresh object.
+  session::MutationScope scope(sessions_.get(),
+                               session::MutationScope::Kind::kMutate, view,
+                               state->view.get());
+  if (!scope.ok()) return scope.status();
   STATDB_ASSIGN_OR_RETURN(Table snapshot, state->view->Snapshot());
   STATDB_ASSIGN_OR_RETURN(Table sorted, SortBy(snapshot, sort_attrs));
   STATDB_ASSIGN_OR_RETURN(BufferPool * pool, storage_->GetPool(disk_device_));
@@ -1463,6 +1509,9 @@ Status StatisticalDbms::ReorganizeView(
     STATDB_RETURN_IF_ERROR(pool->FlushAll());
   }
   state->view = std::move(fresh);
+  // Publish immediately: the begin-time pointer just died with the swap,
+  // so the destructor's auto-publish must never run here.
+  scope.Publish(state->view.get());
   // New physical baseline: row coordinates changed, so the old history's
   // undo records no longer address the right cells.
   rec->history = UpdateHistory();
@@ -1684,6 +1733,13 @@ Result<uint64_t> StatisticalDbms::Update(const std::string& view,
                                          const UpdateSpec& spec) {
   STATDB_RETURN_IF_ERROR(GuardMutable());
   STATDB_ASSIGN_OR_RETURN(ViewState * state, GetState(view));
+  // Session protocol: capture pre-images and wait out pinned readers on
+  // the live route before any byte changes; every exit below publishes a
+  // new commit seq (the scope's destructor covers the error paths).
+  session::MutationScope scope(sessions_.get(),
+                               session::MutationScope::Kind::kMutate, view,
+                               state->view.get());
+  if (!scope.ok()) return scope.status();
   STATDB_ASSIGN_OR_RETURN(std::vector<CellChange> changes,
                           state->view->ApplyUpdate(spec));
   if (changes.empty()) return 0;
@@ -1748,6 +1804,16 @@ Status StatisticalDbms::Rollback(const std::string& view,
   STATDB_RETURN_IF_ERROR(GuardMutable());
   STATDB_ASSIGN_OR_RETURN(ViewState * state, GetState(view));
   STATDB_ASSIGN_OR_RETURN(ViewRecord * rec, mdb_.GetView(view));
+  // Satellite fix (rollback vs pinned readers): ClampVersions below
+  // rewrites the head summary cache's version stamps, and the undo loop
+  // rewrites cells in place. Pinned sessions must never observe either —
+  // they resolve against the capture installed here and against the
+  // session timeline (keyed by monotone commit seqs, immune to version
+  // reuse after rollback).
+  session::MutationScope scope(sessions_.get(),
+                               session::MutationScope::Kind::kMutate, view,
+                               state->view.get());
+  if (!scope.ok()) return scope.status();
   // Attributes touched by the updates being undone.
   std::vector<std::string> affected;
   for (const UpdateLogEntry* e : rec->history.EntriesSince(target_version)) {
@@ -1798,22 +1864,31 @@ Status StatisticalDbms::AddDerivedColumn(const std::string& view,
                                          DerivedColumnDef def) {
   STATDB_RETURN_IF_ERROR(GuardMutable());
   STATDB_ASSIGN_OR_RETURN(ViewState * state, GetState(view));
-  Attribute attr = Attribute::Numeric(def.name, DataType::kDouble);
-  STATDB_RETURN_IF_ERROR(state->view->AddColumn(attr));
   std::string name = def.name;
   DerivedRuleKind kind = def.kind;
   ExprPtr expr = def.row_expr;
-  STATDB_RETURN_IF_ERROR(mdb_.AddDerivedColumn(view, std::move(def)));
-  if (kind == DerivedRuleKind::kLocal) {
-    // Fill every row from the expression.
-    uint64_t n = state->view->num_rows();
-    for (uint64_t r = 0; r < n; ++r) {
-      STATDB_ASSIGN_OR_RETURN(Row row, state->view->ReadRow(r));
-      STATDB_ASSIGN_OR_RETURN(Value v,
-                              expr->Eval(row, state->view->schema()));
-      STATDB_RETURN_IF_ERROR(state->view->WriteCell(r, name, v));
+  {
+    // Session scopes do not nest (writer serialization is a flag, not a
+    // recursive lock): the column-add publishes at this block's end,
+    // before RegenerateDerivedColumn below opens its own scope.
+    session::MutationScope scope(sessions_.get(),
+                                 session::MutationScope::Kind::kMutate,
+                                 view, state->view.get());
+    if (!scope.ok()) return scope.status();
+    Attribute attr = Attribute::Numeric(name, DataType::kDouble);
+    STATDB_RETURN_IF_ERROR(state->view->AddColumn(attr));
+    STATDB_RETURN_IF_ERROR(mdb_.AddDerivedColumn(view, std::move(def)));
+    if (kind == DerivedRuleKind::kLocal) {
+      // Fill every row from the expression.
+      uint64_t n = state->view->num_rows();
+      for (uint64_t r = 0; r < n; ++r) {
+        STATDB_ASSIGN_OR_RETURN(Row row, state->view->ReadRow(r));
+        STATDB_ASSIGN_OR_RETURN(Value v,
+                                expr->Eval(row, state->view->schema()));
+        STATDB_RETURN_IF_ERROR(state->view->WriteCell(r, name, v));
+      }
+      return CommitDurable(/*attr_hint=*/name, /*force=*/true);
     }
-    return CommitDurable(/*attr_hint=*/name, /*force=*/true);
   }
   return RegenerateDerivedColumn(view, name);
 }
@@ -1837,6 +1912,12 @@ Status StatisticalDbms::RegenerateDerivedColumn(const std::string& view,
     return FailedPreconditionError("column " + column +
                                    " has a local rule, not a generator");
   }
+  // The generator rewrites the whole column in place: capture + grace
+  // before the WriteCell loops, publish (destructor) after.
+  session::MutationScope scope(sessions_.get(),
+                               session::MutationScope::Kind::kMutate, view,
+                               state->view.get());
+  if (!scope.ok()) return scope.status();
   switch (def->generator) {
     case ColumnGenerator::kRegressionResiduals: {
       STATDB_ASSIGN_OR_RETURN(
@@ -1922,6 +2003,20 @@ Result<std::vector<Value>> StatisticalDbms::ReadColumn(
     }
   }
   return state->view->ReadColumn(column);
+}
+
+Result<session::SessionManager*> StatisticalDbms::EnableSessions(
+    const session::SessionConfig& config) {
+  if (sessions_ != nullptr) return sessions_.get();
+  auto mgr = std::make_unique<session::SessionManager>(this, config);
+  // Bootstrap: every existing view becomes visible at the current commit
+  // seq. Views created afterwards register through their CreateView
+  // mutation scope.
+  for (auto& [name, state] : views_) {
+    mgr->BootstrapView(name, state.view.get());
+  }
+  sessions_ = std::move(mgr);
+  return sessions_.get();
 }
 
 Result<SummaryDatabase*> StatisticalDbms::GetSummaryDb(

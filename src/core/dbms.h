@@ -30,6 +30,11 @@ namespace statdb {
 
 class ThreadPool;
 
+namespace session {
+class SessionManager;
+struct SessionConfig;
+}  // namespace session
+
 /// Knobs of one query against a view's Summary Database.
 struct QueryOptions {
   /// Serve a cached-but-stale value (the analyst said approximate answers
@@ -479,6 +484,27 @@ class StatisticalDbms {
   void set_audit_after_update(bool on) { audit_after_update_ = on; }
   bool audit_after_update() const { return audit_after_update_; }
 
+  // --- multi-analyst sessions (src/session, DESIGN.md §15) -----------------
+
+  /// Turns on the snapshot-isolation session layer: every existing view
+  /// is registered with the MVCC routing table, and from here on each
+  /// mutation path runs the capture → block → grace → publish protocol
+  /// so pinned readers never block on (or race with) writers. Idempotent;
+  /// returns the manager. Call before opening sessions.
+  Result<session::SessionManager*> EnableSessions(
+      const session::SessionConfig& config);
+
+  /// The session layer, or nullptr when EnableSessions was never called.
+  session::SessionManager* sessions() { return sessions_.get(); }
+
+  /// The meta-data gate shared by Query/QueryMany and the session query
+  /// path: numeric only, and no order statistics of category codes
+  /// (§3.2). Public so Session can apply the identical rule to the
+  /// schema entry at its pinned seq.
+  static Status CheckQueryable(const Schema& schema,
+                               const std::string& function,
+                               const std::string& attribute);
+
  private:
   struct ViewState {
     std::unique_ptr<ConcreteView> view;
@@ -540,12 +566,6 @@ class StatisticalDbms {
   /// Rebuilds in-memory state from a manifest, re-attaching every file
   /// structure to its on-device pages. Replaces all current state.
   Status ApplyManifest(const std::vector<uint8_t>& manifest);
-
-  /// The meta-data gate shared by Query and QueryMany: numeric only, and
-  /// no order statistics of category codes (§3.2).
-  static Status CheckQueryable(const Schema& schema,
-                               const std::string& function,
-                               const std::string& attribute);
 
   /// Cache / staleness / inference consultation shared by Query and
   /// QueryMany. Fills `*answer` and returns true when the request is
@@ -692,6 +712,11 @@ class StatisticalDbms {
 #else
   bool audit_after_update_ = false;
 #endif
+
+  /// Snapshot-isolation session layer; nullptr until EnableSessions.
+  /// unique_ptr of an incomplete type: the destructor is in dbms.cc,
+  /// which includes session/session.h.
+  std::unique_ptr<session::SessionManager> sessions_;
 };
 
 }  // namespace statdb

@@ -19,6 +19,7 @@
 #include "common/bytes.h"
 #include "core/dbms.h"
 #include "core/management_serde.h"
+#include "session/session.h"
 
 namespace statdb {
 namespace {
@@ -359,6 +360,14 @@ Status StatisticalDbms::RecoverImpl(QueryTrace* trace) {
   if (wal_ == nullptr) {
     return FailedPreconditionError("Recover() without EnableDurability()");
   }
+  // Recovery replaces every ConcreteView; the session routing table
+  // would be left holding dangling live pointers and unreachable
+  // captures. Forbid it while analysts are pinned, and re-register the
+  // rebuilt views below.
+  if (sessions_ != nullptr && sessions_->open_sessions() > 0) {
+    return FailedPreconditionError(
+        "Recover() with open analyst sessions; close them first");
+  }
   WalScanResult scan;
   {
     ScopedSpan span(trace, SpanKind::kWalScan);
@@ -457,6 +466,15 @@ Status StatisticalDbms::RecoverImpl(QueryTrace* trace) {
     // The invalidations themselves must be durable, or the next crash
     // would resurrect the suspect entries.
     STATDB_RETURN_IF_ERROR(CommitDurable(scan.torn_attr_hint, false));
+  }
+
+  // Re-register the rebuilt views with the session layer (no sessions
+  // are open — guarded above — so resetting the routing entries drops
+  // nothing reachable).
+  if (sessions_ != nullptr) {
+    for (auto& [name, state] : views_) {
+      sessions_->BootstrapView(name, state.view.get());
+    }
   }
 
   {

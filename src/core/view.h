@@ -106,6 +106,12 @@ class ConcreteView {
       const std::string& name) const {
     return table_->CompressedSidecar(name);
   }
+  /// Shared ownership for scans that may race an invalidating writer —
+  /// see TransposedTable::CompressedSidecarRef.
+  std::shared_ptr<const CompressedColumnFile> CompressedSidecarRef(
+      const std::string& name) const {
+    return table_->CompressedSidecarRef(name);
+  }
 
   /// Appends an all-null column (derived columns, §2.2).
   Status AddColumn(const Attribute& attr) { return table_->AddColumn(attr); }

@@ -48,6 +48,8 @@ const char* FlightEventKindName(FlightEventKind kind) {
     case FlightEventKind::kFaultInjected: return "fault_injected";
     case FlightEventKind::kIoRetry: return "io_retry";
     case FlightEventKind::kRecoveryStep: return "recovery_step";
+    case FlightEventKind::kSessionOpen: return "session_open";
+    case FlightEventKind::kSessionClose: return "session_close";
     case FlightEventKind::kDegraded: return "degraded";
     case FlightEventKind::kDataLoss: return "data_loss";
     case FlightEventKind::kUpdate: return "update";

@@ -53,6 +53,8 @@ enum class FlightEventKind : uint8_t {
   kDataLoss = 12,       // checksum mismatch / unrecoverable read
   kUpdate = 13,         // a = view version after, b = cells changed
   kRollback = 14,       // a = version rolled back to
+  kSessionOpen = 15,    // a = session id, b = pinned commit seq
+  kSessionClose = 16,   // a = session id, b = queries served
 };
 
 const char* FlightEventKindName(FlightEventKind kind);

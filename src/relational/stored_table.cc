@@ -150,7 +150,7 @@ Status TransposedTable::Append(const Row& row) {
       STATDB_RETURN_IF_ERROR(columns_[c].file->Append(raw));
     }
     // The row changed every column; the immutable sidecars are stale.
-    columns_[c].compressed.reset();
+    DropSidecar(c);
   }
   ++num_rows_;
   return Status::OK();
@@ -314,7 +314,7 @@ Status TransposedTable::WriteCell(uint64_t row, const std::string& col,
     return OutOfRangeError("row index out of range");
   }
   // Sidecars are immutable; a cell write invalidates this column's.
-  columns_[c].compressed.reset();
+  DropSidecar(c);
   if (v.is_null()) {
     return columns_[c].file->Set(row, std::nullopt);
   }
@@ -336,10 +336,21 @@ Status TransposedTable::AddColumn(const Attribute& attr) {
   return Status::OK();
 }
 
+void TransposedTable::DropSidecar(size_t col) {
+  // Detach, don't destroy: a scan holding a CompressedSidecarRef keeps
+  // the old run pages alive until it finishes.
+  MutexLock lock(sidecar_mu_);
+  columns_[col].compressed.reset();
+}
+
 Status TransposedTable::CompressColumns(double min_ratio) {
   for (size_t c = 0; c < columns_.size(); ++c) {
     ColumnStore& store = columns_[c];
-    if (store.compressed != nullptr || store.file->size() == 0) continue;
+    {
+      MutexLock lock(sidecar_mu_);
+      if (store.compressed != nullptr) continue;
+    }
+    if (store.file->size() == 0) continue;
     // Gather the raw cells and count runs BEFORE allocating any device
     // page: the device has no free list, so a speculative sidecar that
     // turns out not to compress would leak its pages forever.
@@ -358,8 +369,9 @@ Status TransposedTable::CompressColumns(double min_ratio) {
         double(store.file->page_count()) < min_ratio * double(est_pages)) {
       continue;  // would not compress enough to be worth the pages
     }
-    auto sidecar = std::make_unique<CompressedColumnFile>(pool_);
+    auto sidecar = std::make_shared<CompressedColumnFile>(pool_);
     if (!sidecar->Load(cells).ok()) continue;  // e.g. device full
+    MutexLock lock(sidecar_mu_);
     store.compressed = std::move(sidecar);
   }
   return Status::OK();
@@ -369,7 +381,16 @@ const CompressedColumnFile* TransposedTable::CompressedSidecar(
     const std::string& name) const {
   auto idx = schema_.IndexOf(name);
   if (!idx.ok()) return nullptr;
+  MutexLock lock(sidecar_mu_);
   return columns_[*idx].compressed.get();
+}
+
+std::shared_ptr<const CompressedColumnFile>
+TransposedTable::CompressedSidecarRef(const std::string& name) const {
+  auto idx = schema_.IndexOf(name);
+  if (!idx.ok()) return nullptr;
+  MutexLock lock(sidecar_mu_);
+  return columns_[*idx].compressed;
 }
 
 Result<Table> TransposedTable::ReadAll() const {

@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "relational/table.h"
 #include "storage/buffer_pool.h"
 #include "storage/column_file.h"
@@ -152,7 +153,21 @@ class TransposedTable {
   /// The column's RLE sidecar, or nullptr when none was built (or a
   /// mutation invalidated it). The sidecar's runs decode to exactly the
   /// column's raw cells (int64 raws; doubles are bit-cast).
+  ///
+  /// Existence probe only: the pointer is not safe to hold across a
+  /// concurrent mutation (Append/WriteCell drop the sidecar). Scans that
+  /// may race a writer must take CompressedSidecarRef instead.
   const CompressedColumnFile* CompressedSidecar(
+      const std::string& name) const;
+
+  /// Shared ownership of the column's sidecar (nullptr when none). A
+  /// concurrent Append/WriteCell only *detaches* the sidecar — the
+  /// returned ref keeps the immutable run pages alive for the whole scan,
+  /// so a compressed-domain scan can never read a sidecar being torn
+  /// down. The detached sidecar is reclaimed when the last ref drops
+  /// (statdb::session additionally defers mutations behind its epoch
+  /// grace period, making the swap invisible to pinned snapshots).
+  std::shared_ptr<const CompressedColumnFile> CompressedSidecarRef(
       const std::string& name) const;
 
  private:
@@ -162,16 +177,25 @@ class TransposedTable {
     std::vector<std::string> labels;
     std::unordered_map<std::string, int64_t> codes;
     // RLE sidecar over the raw cells; nullptr = none / invalidated.
-    std::unique_ptr<CompressedColumnFile> compressed;
+    // Guarded by sidecar_mu_ (the one mutable field readers and the
+    // write path touch concurrently); shared_ptr so an in-flight scan
+    // holds the old version alive after invalidation detaches it.
+    std::shared_ptr<const CompressedColumnFile> compressed;
   };
 
   Result<int64_t> EncodeCell(size_t col, const Value& v);
   Value DecodeCell(size_t col, std::optional<int64_t> raw) const;
 
+  /// Detaches column c's sidecar (invalidation on mutation).
+  void DropSidecar(size_t col);
+
   Schema schema_;
   BufferPool* pool_;
   std::vector<ColumnStore> columns_;
   uint64_t num_rows_ = 0;
+  /// Serializes every access to the ColumnStore::compressed pointers.
+  /// Held only for pointer swap/copy — never across a scan or build.
+  mutable Mutex sidecar_mu_;
 };
 
 }  // namespace statdb

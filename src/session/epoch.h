@@ -1,0 +1,100 @@
+#ifndef STATDB_SESSION_EPOCH_H_
+#define STATDB_SESSION_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace statdb::session {
+
+/// Epoch-based reclamation for the session layer (DESIGN.md §15).
+///
+/// Readers are wait-free: entering a critical section is one seq_cst
+/// store into the session's own cache-line-private slot, exiting is
+/// another. Writers pay the cost: Synchronize() starts a new global
+/// epoch and spins until every slot is either quiescent (0) or has
+/// re-entered at the new epoch — at which point every reader that could
+/// have observed pre-synchronize routing state has finished, and the
+/// writer may mutate bytes in place or free retired state.
+///
+/// The global epoch starts at 2 and advances by 2 so slot value 0 can
+/// unambiguously mean "not in a critical section".
+///
+/// Soundness sketch (all operations seq_cst, so one total order):
+///   - A reader stores its slot BEFORE resolving any routing state
+///     (Session enters the epoch first, then reads the SnapshotRegistry).
+///   - A writer blocks the routing state BEFORE calling Synchronize().
+///   - Any reader whose Enter precedes the writer's epoch advance may
+///     have resolved the old ("live") route; Synchronize waits it out.
+///   - Any reader whose Enter follows the advance resolves routing after
+///     the block and is directed at a retired snapshot, never at the
+///     bytes the writer is about to change.
+/// The spin also establishes happens-before (the writer's acquire-load of
+/// the reader's quiescent store), so the reader's plain byte reads are
+/// ordered before the writer's plain byte writes — the protocol is clean
+/// under ThreadSanitizer, not just "benign".
+class EpochManager {
+ public:
+  /// Upper bound on concurrently open sessions (one slot per session).
+  static constexpr int kSlots = 64;
+
+  /// Enters a read-side critical section on `slot`. Must precede every
+  /// routing-state read of the critical section.
+  void Enter(int slot) {
+    slots_[slot].value.store(global_.load(std::memory_order_seq_cst),
+                             std::memory_order_seq_cst);
+  }
+
+  /// Leaves the read-side critical section on `slot`.
+  void Exit(int slot) { slots_[slot].value.store(0, std::memory_order_seq_cst); }
+
+  /// Writer-side grace period: returns once every reader that entered
+  /// before the call has exited (or re-entered at the new epoch, which
+  /// means it resolved routing after the caller blocked it). The caller
+  /// must NOT hold any lock a reader could be waiting on, or the spin
+  /// can livelock — see the lock-ordering rules in DESIGN.md §15.
+  void Synchronize() {
+    uint64_t next = global_.fetch_add(2, std::memory_order_seq_cst) + 2;
+    for (int i = 0; i < kSlots; ++i) {
+      while (true) {
+        uint64_t v = slots_[i].value.load(std::memory_order_seq_cst);
+        if (v == 0 || v >= next) break;
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  uint64_t global() const {
+    return global_.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  // One cache line per slot: a reader's Enter/Exit stores must not
+  // false-share with its neighbours (or with the global counter).
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> value{0};
+  };
+
+  std::atomic<uint64_t> global_{2};
+  Slot slots_[kSlots];
+};
+
+/// RAII read-side critical section.
+class EpochGuard {
+ public:
+  EpochGuard(EpochManager* mgr, int slot) : mgr_(mgr), slot_(slot) {
+    mgr_->Enter(slot_);
+  }
+  ~EpochGuard() { mgr_->Exit(slot_); }
+
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+ private:
+  EpochManager* mgr_;
+  int slot_;
+};
+
+}  // namespace statdb::session
+
+#endif  // STATDB_SESSION_EPOCH_H_

@@ -1,0 +1,275 @@
+#include "session/snapshot.h"
+
+#include <algorithm>
+
+#include "core/view.h"
+
+namespace statdb::session {
+
+void SnapshotRegistry::RegisterView(const std::string& view,
+                                    ConcreteView* live, const Schema& schema,
+                                    uint64_t seq) {
+  WriterMutexLock lock(mu_);
+  ViewEntry& e = views_[view];
+  e.live = live;
+  e.created_seq = seq;
+  e.dropped_seq = kOpenSeq;
+  e.columns.clear();
+  e.schema_chain.clear();
+  std::vector<std::string> names;
+  names.reserve(schema.size());
+  for (size_t i = 0; i < schema.size(); ++i) {
+    const Attribute& attr = schema.attr(i);
+    ColumnEntry& c = e.columns[attr.name];
+    c.attr = attr;
+    c.live_from = seq;
+    c.blocked = false;
+    names.push_back(attr.name);
+  }
+  e.schema_chain.emplace_back(seq, std::move(names));
+}
+
+void SnapshotRegistry::BlockView(
+    const std::string& view,
+    std::vector<std::pair<std::string, std::shared_ptr<ColumnSnapshot>>>
+        captures,
+    uint64_t upto_seq) {
+  WriterMutexLock lock(mu_);
+  auto it = views_.find(view);
+  if (it == views_.end()) return;
+  ViewEntry& e = it->second;
+  for (auto& [name, snap] : captures) {
+    auto cit = e.columns.find(name);
+    if (cit == e.columns.end()) continue;
+    // Stamp the window here, where live_from is known: the capture
+    // covers every seq the live bytes covered, through upto_seq.
+    snap->from_seq = cit->second.live_from;
+    snap->to_seq = upto_seq;
+    cit->second.retired.push_back(std::move(snap));
+  }
+  for (auto& [name, c] : e.columns) c.blocked = true;
+}
+
+void SnapshotRegistry::PublishView(const std::string& view,
+                                   ConcreteView* live, const Schema& schema,
+                                   uint64_t seq) {
+  WriterMutexLock lock(mu_);
+  ViewEntry& e = views_[view];
+  if (e.schema_chain.empty()) {
+    // First sighting (CreateView under sessions): behaves like
+    // registration at `seq`.
+    e.created_seq = seq;
+    e.dropped_seq = kOpenSeq;
+  }
+  e.live = live;
+  std::vector<std::string> names;
+  names.reserve(schema.size());
+  for (size_t i = 0; i < schema.size(); ++i) {
+    const Attribute& attr = schema.attr(i);
+    ColumnEntry& c = e.columns[attr.name];
+    c.attr = attr;
+    c.live_from = seq;
+    c.blocked = false;
+    names.push_back(attr.name);
+  }
+  // Columns absent from the new schema keep their retired chains but get
+  // no live route: mark them blocked with no future live window.
+  for (auto& [name, c] : e.columns) {
+    if (!schema.Contains(name)) {
+      c.blocked = true;
+      c.live_from = kOpenSeq;
+    }
+  }
+  if (e.schema_chain.empty() || e.schema_chain.back().second != names) {
+    e.schema_chain.emplace_back(seq, std::move(names));
+  } else {
+    // Same column set: just extend the current schema window.
+  }
+}
+
+void SnapshotRegistry::PublishViewDropped(const std::string& view,
+                                          uint64_t seq) {
+  WriterMutexLock lock(mu_);
+  auto it = views_.find(view);
+  if (it == views_.end()) return;
+  ViewEntry& e = it->second;
+  e.dropped_seq = seq;
+  e.live = nullptr;
+  for (auto& [name, c] : e.columns) {
+    c.blocked = true;
+    c.live_from = kOpenSeq;
+  }
+}
+
+Result<ColumnRoute> SnapshotRegistry::Resolve(const std::string& view,
+                                              const std::string& column,
+                                              uint64_t seq) const {
+  ReaderMutexLock lock(mu_);
+  auto it = views_.find(view);
+  if (it == views_.end()) {
+    return NotFoundError("view not registered with session layer: " + view);
+  }
+  const ViewEntry& e = it->second;
+  if (seq < e.created_seq) {
+    return NotFoundError("view " + view + " does not exist at this snapshot");
+  }
+  if (seq >= e.dropped_seq) {
+    return NotFoundError("view " + view + " was dropped before this snapshot");
+  }
+  auto cit = e.columns.find(column);
+  if (cit == e.columns.end()) {
+    return NotFoundError("column not known to snapshot layer: " + column);
+  }
+  const ColumnEntry& c = cit->second;
+  // Newest-first over the retired chain: the windows are disjoint and
+  // ordered, so the first cover wins.
+  for (auto rit = c.retired.rbegin(); rit != c.retired.rend(); ++rit) {
+    const ColumnSnapshot& snap = **rit;
+    if (snap.from_seq <= seq && seq <= snap.to_seq) {
+      ColumnRoute route;
+      route.source = ColumnRoute::Source::kSnapshot;
+      route.snapshot = *rit;
+      route.attr = c.attr;
+      route.window_from = snap.from_seq;
+      route.window_to = snap.to_seq;
+      return route;
+    }
+  }
+  if (!c.blocked && c.live_from != kOpenSeq && c.live_from <= seq) {
+    ColumnRoute route;
+    route.source = ColumnRoute::Source::kLive;
+    route.live = e.live;
+    route.attr = c.attr;
+    route.window_from = c.live_from;
+    route.window_to = kOpenSeq;
+    return route;
+  }
+  if (seq < c.live_from || c.live_from == kOpenSeq) {
+    return NotFoundError("column " + column +
+                         " does not exist at this snapshot");
+  }
+  // Blocked with no retired cover for a pinned seq <= capture horizon
+  // cannot happen: BlockView installs captures covering [live_from,
+  // now] before any session may pin past them (opens wait out in-flight
+  // mutations).
+  return InternalError("snapshot routing hole for " + view + "." + column);
+}
+
+Result<std::vector<std::string>> SnapshotRegistry::Columns(
+    const std::string& view, uint64_t seq) const {
+  ReaderMutexLock lock(mu_);
+  auto it = views_.find(view);
+  if (it == views_.end()) {
+    return NotFoundError("view not registered with session layer: " + view);
+  }
+  const ViewEntry& e = it->second;
+  if (seq < e.created_seq || seq >= e.dropped_seq) {
+    return NotFoundError("view " + view + " does not exist at this snapshot");
+  }
+  const std::vector<std::string>* best = nullptr;
+  for (const auto& [from, names] : e.schema_chain) {
+    if (from <= seq) best = &names;
+  }
+  if (best == nullptr) {
+    return NotFoundError("no schema for " + view + " at this snapshot");
+  }
+  return *best;
+}
+
+void SnapshotRegistry::TrimRetired(uint64_t min_pinned_seq) {
+  WriterMutexLock lock(mu_);
+  for (auto it = views_.begin(); it != views_.end();) {
+    ViewEntry& e = it->second;
+    for (auto& [name, c] : e.columns) {
+      auto& chain = c.retired;
+      chain.erase(std::remove_if(chain.begin(), chain.end(),
+                                 [min_pinned_seq](const auto& snap) {
+                                   return snap->to_seq < min_pinned_seq;
+                                 }),
+                  chain.end());
+    }
+    // A dropped view with no reachable snapshots can go entirely.
+    bool dropped_unreachable = e.dropped_seq != kOpenSeq &&
+                               e.dropped_seq <= min_pinned_seq;
+    if (dropped_unreachable) {
+      it = views_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t SnapshotRegistry::RetiredCount() const {
+  ReaderMutexLock lock(mu_);
+  size_t n = 0;
+  for (const auto& [name, e] : views_) {
+    for (const auto& [col, c] : e.columns) n += c.retired.size();
+  }
+  return n;
+}
+
+void SummaryTimeline::Insert(const std::string& view,
+                             const std::string& encoded_key,
+                             uint64_t from_seq, uint64_t to_seq,
+                             const SummaryResult& r) {
+  WriterMutexLock lock(mu_);
+  auto& chain = entries_[view][encoded_key];
+  // Another session may have inserted the same window concurrently;
+  // identical windows hold identical results (bit-exact compute), so
+  // keeping the first is enough.
+  for (const Entry& e : chain) {
+    if (e.from_seq == from_seq) return;
+  }
+  chain.push_back(Entry{from_seq, to_seq, r});
+}
+
+Result<SummaryResult> SummaryTimeline::Lookup(const std::string& view,
+                                              const std::string& encoded_key,
+                                              uint64_t seq) const {
+  ReaderMutexLock lock(mu_);
+  auto vit = entries_.find(view);
+  if (vit == entries_.end()) return NotFoundError("no timeline for view");
+  auto kit = vit->second.find(encoded_key);
+  if (kit == vit->second.end()) return NotFoundError("no timeline entry");
+  for (auto it = kit->second.rbegin(); it != kit->second.rend(); ++it) {
+    if (it->from_seq <= seq && seq <= it->to_seq) return it->result;
+  }
+  return NotFoundError("no timeline entry covers this snapshot");
+}
+
+void SummaryTimeline::CloseView(const std::string& view,
+                                uint64_t last_valid_seq) {
+  WriterMutexLock lock(mu_);
+  auto vit = entries_.find(view);
+  if (vit == entries_.end()) return;
+  for (auto& [key, chain] : vit->second) {
+    for (Entry& e : chain) {
+      if (e.to_seq == kOpenSeq) e.to_seq = last_valid_seq;
+    }
+  }
+}
+
+void SummaryTimeline::Trim(uint64_t min_pinned_seq) {
+  WriterMutexLock lock(mu_);
+  for (auto& [view, keys] : entries_) {
+    for (auto& [key, chain] : keys) {
+      chain.erase(std::remove_if(chain.begin(), chain.end(),
+                                 [min_pinned_seq](const Entry& e) {
+                                   return e.to_seq != kOpenSeq &&
+                                          e.to_seq < min_pinned_seq;
+                                 }),
+                  chain.end());
+    }
+  }
+}
+
+size_t SummaryTimeline::EntryCount() const {
+  ReaderMutexLock lock(mu_);
+  size_t n = 0;
+  for (const auto& [view, keys] : entries_) {
+    for (const auto& [key, chain] : keys) n += chain.size();
+  }
+  return n;
+}
+
+}  // namespace statdb::session

@@ -1,0 +1,190 @@
+#ifndef STATDB_SESSION_SNAPSHOT_H_
+#define STATDB_SESSION_SNAPSHOT_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/sync.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+#include "summary/summary_result.h"
+
+namespace statdb {
+class ConcreteView;
+}
+
+namespace statdb::session {
+
+/// Sentinel for "still valid" windows.
+inline constexpr uint64_t kOpenSeq = std::numeric_limits<uint64_t>::max();
+
+/// Immutable pre-image of one view column, captured by a writer before it
+/// mutates the live bytes. Shared ownership: every pinned session that
+/// resolves to it holds a ref, so reclamation is automatic when the last
+/// pinned reader closes (the epoch grace period additionally guarantees
+/// no reader is mid-resolution while a writer retires routing state).
+struct ColumnSnapshot {
+  /// Commit-seq window [from_seq, to_seq] this pre-image is valid for.
+  uint64_t from_seq = 0;
+  uint64_t to_seq = 0;
+  /// Full decoded column (ReadColumn order).
+  std::shared_ptr<const std::vector<Value>> values;
+  /// Non-null numeric cells in row order (ReadNumericColumn parity);
+  /// nullptr for non-numeric columns.
+  std::shared_ptr<const std::vector<double>> numeric;
+};
+
+/// Where a pinned read of (view, column, seq) should be served from.
+struct ColumnRoute {
+  enum class Source : uint8_t {
+    kLive = 0,      // read the live ConcreteView (inside the epoch)
+    kSnapshot = 1,  // read the returned ColumnSnapshot
+  };
+  Source source = Source::kLive;
+  ConcreteView* live = nullptr;           // valid iff kLive
+  std::shared_ptr<const ColumnSnapshot> snapshot;  // valid iff kSnapshot
+  Attribute attr;                          // schema entry at the pinned seq
+  /// Commit-seq window over which the resolved column content is valid:
+  /// [window_from, window_to] with kOpenSeq meaning "still live". The
+  /// SummaryTimeline uses this as the cache-entry validity window.
+  uint64_t window_from = 0;
+  uint64_t window_to = kOpenSeq;
+};
+
+/// MVCC routing table of the session layer (DESIGN.md §15).
+///
+/// One entry per view; per column: the seq from which the live bytes are
+/// valid, plus a retired chain of captured pre-images. Mutations run the
+/// capture → block → grace → mutate → publish protocol through
+/// SessionManager::MutationScope; pinned readers resolve against this
+/// table (inside an epoch critical section) and never take any lock the
+/// write path holds across its mutation — the registry's SharedMutex is
+/// held only for map lookups, never across I/O, capture, or the grace
+/// period.
+class SnapshotRegistry {
+ public:
+  /// Registers a view (creation or EnableSessions bootstrap): every
+  /// column of `schema` becomes live from `seq`.
+  void RegisterView(const std::string& view, ConcreteView* live,
+                    const Schema& schema, uint64_t seq);
+
+  /// Installs captured pre-images for every column of `view` and blocks
+  /// the live route (readers resolving from now on are served from the
+  /// captures; `Synchronize` then drains readers already on the live
+  /// route). `upto_seq` is the last seq the captures are valid for; the
+  /// registry stamps each capture's window as [column live_from,
+  /// upto_seq] so retired windows stay contiguous.
+  void BlockView(
+      const std::string& view,
+      std::vector<std::pair<std::string, std::shared_ptr<ColumnSnapshot>>>
+          captures,
+      uint64_t upto_seq);
+
+  /// Re-opens the live route from `seq` with (possibly new) live pointer
+  /// and schema — the publish step. Columns new in `schema` get routes
+  /// starting at `seq`; columns no longer in `schema` keep only their
+  /// retired chain.
+  void PublishView(const std::string& view, ConcreteView* live,
+                   const Schema& schema, uint64_t seq);
+
+  /// Marks the view dropped as of `seq`: sessions pinned before `seq`
+  /// keep reading their captures; later pins get NOT_FOUND.
+  void PublishViewDropped(const std::string& view, uint64_t seq);
+
+  /// Resolves (view, column) at pinned seq `seq`. NOT_FOUND when the
+  /// view/column does not exist at that seq; the caller must be inside
+  /// an epoch critical section (kLive routes are only safe under one).
+  Result<ColumnRoute> Resolve(const std::string& view,
+                              const std::string& column,
+                              uint64_t seq) const;
+
+  /// Column names of `view` as of `seq` (schema at the pinned seq).
+  Result<std::vector<std::string>> Columns(const std::string& view,
+                                           uint64_t seq) const;
+
+  /// Drops retired snapshots no session can reach any more: every
+  /// snapshot whose to_seq < `min_pinned_seq`. Sessions holding refs keep
+  /// theirs alive via shared_ptr; this only trims the registry's chains.
+  void TrimRetired(uint64_t min_pinned_seq);
+
+  /// Retired snapshots currently held (observability / tests).
+  size_t RetiredCount() const;
+
+ private:
+  struct ColumnEntry {
+    Attribute attr;
+    /// Seq from which the live bytes serve this column; kOpenSeq while
+    /// the view is blocked mid-mutation (no live route).
+    uint64_t live_from = 0;
+    bool blocked = false;
+    /// Newest-last chain of captured pre-images.
+    std::vector<std::shared_ptr<const ColumnSnapshot>> retired;
+  };
+  struct ViewEntry {
+    ConcreteView* live = nullptr;
+    uint64_t created_seq = 0;
+    uint64_t dropped_seq = kOpenSeq;
+    std::map<std::string, ColumnEntry> columns;
+    /// Column order chain: [from_seq, names] so Columns(seq) reproduces
+    /// the schema order at any pinned seq.
+    std::vector<std::pair<uint64_t, std::vector<std::string>>> schema_chain;
+  };
+
+  mutable SharedMutex mu_;
+  std::map<std::string, ViewEntry> views_;
+};
+
+/// Versioned overlay of the Summary Database for pinned readers
+/// (satellite fix: pinned-version lookups resolve against this timeline,
+/// never against the head cache that Rollback's ClampVersions rewrites).
+/// Keys are commit seqs — monotone even across rollback, which reuses
+/// view-version numbers and is exactly why the head cache needs clamping.
+///
+/// Entries carry the validity window of the column content they were
+/// computed from, so sessions pinned at different seqs share results
+/// whenever their pinned windows overlap.
+class SummaryTimeline {
+ public:
+  /// Result of `encoded_key` on `view` computed from column content valid
+  /// over [from_seq, to_seq] (kOpenSeq = still live at insert time).
+  void Insert(const std::string& view, const std::string& encoded_key,
+              uint64_t from_seq, uint64_t to_seq, const SummaryResult& r);
+
+  /// Cached result valid at pinned `seq`, or NOT_FOUND.
+  Result<SummaryResult> Lookup(const std::string& view,
+                               const std::string& encoded_key,
+                               uint64_t seq) const;
+
+  /// Publish hook: every open entry ([from, kOpenSeq)) of `view` closes
+  /// at `last_valid_seq` — the mutation that is publishing may have
+  /// changed any column, so open entries must stop covering later seqs.
+  /// Runs on EVERY publish, including capture-skipped ones (a stale open
+  /// entry would poison sessions opened after the mutation).
+  void CloseView(const std::string& view, uint64_t last_valid_seq);
+
+  /// Entries whose windows end before `min_pinned_seq` are unreachable;
+  /// drop them.
+  void Trim(uint64_t min_pinned_seq);
+
+  size_t EntryCount() const;
+
+ private:
+  struct Entry {
+    uint64_t from_seq;
+    uint64_t to_seq;  // kOpenSeq = open
+    SummaryResult result;
+  };
+  mutable SharedMutex mu_;
+  /// view -> encoded key -> entries (newest last).
+  std::map<std::string, std::map<std::string, std::vector<Entry>>> entries_;
+};
+
+}  // namespace statdb::session
+
+#endif  // STATDB_SESSION_SNAPSHOT_H_

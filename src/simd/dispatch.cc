@@ -55,7 +55,7 @@ bool LevelAvailable(SimdLevel level) {
 }
 
 SimdLevel ActiveLevel() {
-  int forced = g_forced.load(std::memory_order_relaxed);
+  int forced = g_forced.load(std::memory_order_seq_cst);
   if (forced >= 0) return static_cast<SimdLevel>(forced);
   if (LevelAvailable(SimdLevel::kAVX2)) return SimdLevel::kAVX2;
   if (LevelAvailable(SimdLevel::kSSE2)) return SimdLevel::kSSE2;
@@ -67,12 +67,29 @@ Status ForceLevel(SimdLevel level) {
     return UnavailableError(std::string("SIMD level not available: ") +
                             LevelName(level));
   }
-  g_forced.store(static_cast<int>(level), std::memory_order_relaxed);
+  g_forced.store(static_cast<int>(level), std::memory_order_seq_cst);
   return Status::OK();
 }
 
 void ClearForcedLevel() {
-  g_forced.store(-1, std::memory_order_relaxed);
+  g_forced.store(-1, std::memory_order_seq_cst);
+}
+
+ScopedForceLevel::ScopedForceLevel(SimdLevel level) {
+  if (!LevelAvailable(level)) {
+    status_ = UnavailableError(std::string("SIMD level not available: ") +
+                               LevelName(level));
+    return;
+  }
+  // Exchange, not store: nested guards restore the outer guard's level,
+  // not automatic dispatch.
+  previous_ = g_forced.exchange(static_cast<int>(level),
+                                std::memory_order_seq_cst);
+  armed_ = true;
+}
+
+ScopedForceLevel::~ScopedForceLevel() {
+  if (armed_) g_forced.store(previous_, std::memory_order_seq_cst);
 }
 
 }  // namespace statdb::simd

@@ -37,12 +37,37 @@ SimdLevel ActiveLevel();
 
 /// Forces every subsequent kernel call onto `level` (parity tests sweep
 /// all paths). Fails with UNAVAILABLE when the level is not compiled in
-/// or the CPU lacks it. Takes effect process-wide (a relaxed atomic —
-/// test-only plumbing, not a per-query knob).
+/// or the CPU lacks it. Takes effect process-wide through a seq_cst
+/// atomic, so concurrent kernel calls always observe a coherent level —
+/// but the override itself is still a process-wide knob: prefer
+/// ScopedForceLevel so an early test exit cannot leak it into code that
+/// runs after (concurrent sessions, later tests in the same binary).
 Status ForceLevel(SimdLevel level);
 
 /// Returns dispatch to automatic selection.
 void ClearForcedLevel();
+
+/// RAII override: saves the previous forced level (if any), forces
+/// `level` for its lifetime, and restores the saved state on scope exit
+/// — including early exits via ASSERT_* or error returns. When `level`
+/// is unavailable the guard is inert (dispatch is untouched) and ok()
+/// is false with the UNAVAILABLE status in status().
+class ScopedForceLevel {
+ public:
+  explicit ScopedForceLevel(SimdLevel level);
+  ~ScopedForceLevel();
+
+  ScopedForceLevel(const ScopedForceLevel&) = delete;
+  ScopedForceLevel& operator=(const ScopedForceLevel&) = delete;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+  int previous_ = -1;  // -1 = no override was active
+  bool armed_ = false;
+};
 
 }  // namespace statdb::simd
 

@@ -25,6 +25,11 @@ BufferPool::BufferPool(SimulatedDevice* device, size_t capacity_pages)
   for (size_t i = 0; i < capacity_; ++i) {
     free_frames_.push_back(capacity_ - 1 - i);
   }
+  // Fast-map sized once (2x capacity rounded up to a power of two, min
+  // 16): readers index it without the lock, so it must never rehash.
+  size_t slots = 16;
+  while (slots < capacity_ * 2) slots *= 2;
+  fast_map_ = std::vector<std::atomic<Frame*>>(slots);
 }
 
 Status BufferPool::ReadWithRetry(PageId id, Page* out) {
@@ -72,6 +77,38 @@ Status BufferPool::WriteBack(Frame& f) {
   return Status::OK();
 }
 
+void BufferPool::PublishFast(Frame& f, size_t idx, PageId id) {
+  // Overflow frames (idx >= capacity_) can be destroyed by ShrinkLocked;
+  // only the first capacity_ deque slots are stable for the pool's
+  // lifetime, so only those may be handed to lock-free readers.
+  if (idx >= capacity_) return;
+  f.fast_id.store(id, std::memory_order_seq_cst);
+  f.fast_ok.store(true, std::memory_order_seq_cst);
+  fast_map_[FastSlot(id)].store(&f, std::memory_order_seq_cst);
+}
+
+bool BufferPool::RetireFast(Frame& f) {
+  if (!f.fast_ok.load(std::memory_order_seq_cst)) {
+    // Never published (or already retired). A transient fast_pins > 0
+    // here can only be a reader backing out of a failed validation — it
+    // touches nothing but the counter, so the frame is repurposable.
+    return true;
+  }
+  f.fast_ok.store(false, std::memory_order_seq_cst);
+  if (f.fast_pins.load(std::memory_order_seq_cst) != 0) {
+    // A fast reader is (or may be) mid-read of this frame's bytes.
+    // Re-publish and tell the caller to pick another victim; never wait
+    // here — the pin holder may itself be blocked on mu_.
+    f.fast_ok.store(true, std::memory_order_seq_cst);
+    return false;
+  }
+  PageId id = f.fast_id.load(std::memory_order_seq_cst);
+  Frame* self = &f;
+  fast_map_[FastSlot(id)].compare_exchange_strong(self, nullptr,
+                                                  std::memory_order_seq_cst);
+  return true;
+}
+
 Result<size_t> BufferPool::GetFreeFrame() {
   if (!free_frames_.empty()) {
     size_t idx = free_frames_.back();
@@ -83,17 +120,18 @@ Result<size_t> BufferPool::GetFreeFrame() {
     // reach the device before their commit record does.
     for (auto it = lru_.begin(); it != lru_.end(); ++it) {
       Frame& f = frames_[*it];
-      if (!f.dirty) {
-        size_t victim = *it;
-        lru_.erase(it);
-        f.in_lru = false;
-        page_table_.erase(f.id);
-        ++stats_.evictions;
-        return victim;
-      }
+      if (f.dirty) continue;
+      if (!RetireFast(f)) continue;  // fast reader in flight: not a victim
+      size_t victim = *it;
+      lru_.erase(it);
+      f.in_lru = false;
+      page_table_.erase(f.id);
+      ++stats_.evictions;
+      return victim;
     }
-    // Everything evictable is dirty: grow an overflow frame. The deque
-    // keeps existing frames (and outstanding Page*) stable.
+    // Everything evictable is dirty (or momentarily fast-pinned): grow an
+    // overflow frame. The deque keeps existing frames (and outstanding
+    // Page*) stable.
     frames_.emplace_back();
     ++stats_.overflow_frames;
     return frames_.size() - 1;
@@ -101,16 +139,25 @@ Result<size_t> BufferPool::GetFreeFrame() {
   if (lru_.empty()) {
     return ResourceExhaustedError("buffer pool: all frames pinned");
   }
-  size_t victim = lru_.front();
-  lru_.pop_front();
-  Frame& f = frames_[victim];
-  f.in_lru = false;
-  if (f.dirty) {
-    STATDB_RETURN_IF_ERROR(WriteBack(f));
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    Frame& f = frames_[*it];
+    if (!RetireFast(f)) continue;  // fast reader in flight: not a victim
+    size_t victim = *it;
+    lru_.erase(it);
+    f.in_lru = false;
+    if (f.dirty) {
+      STATDB_RETURN_IF_ERROR(WriteBack(f));
+    }
+    page_table_.erase(f.id);
+    ++stats_.evictions;
+    return victim;
   }
-  page_table_.erase(f.id);
-  ++stats_.evictions;
-  return victim;
+  // Every unpinned frame is transiently held by a fast reader: grow an
+  // overflow frame rather than fail (waiting under mu_ could deadlock —
+  // a fast-pin holder may be blocked on mu_ fetching its next page).
+  frames_.emplace_back();
+  ++stats_.overflow_frames;
+  return frames_.size() - 1;
 }
 
 Result<std::pair<PageId, Page*>> BufferPool::NewPage() {
@@ -123,6 +170,7 @@ Result<std::pair<PageId, Page*>> BufferPool::NewPage() {
   f.pin_count = 1;
   f.dirty = true;  // a fresh page must reach the device eventually
   page_table_[id] = idx;
+  PublishFast(f, idx, id);
   return std::make_pair(id, &f.page);
 }
 
@@ -137,6 +185,9 @@ Result<Page*> BufferPool::FetchPage(PageId id) {
     }
     ++f.pin_count;
     ++stats_.hits;
+    // Re-publish: a colliding page may have stolen the fast slot, and
+    // re-claiming it on a hit gives the slot to the hotter page.
+    PublishFast(f, it->second, id);
     return &f.page;
   }
   ++stats_.misses;
@@ -166,7 +217,34 @@ Result<Page*> BufferPool::FetchPage(PageId id) {
   f.pin_count = 1;
   f.dirty = false;
   page_table_[id] = idx;
+  PublishFast(f, idx, id);
   return &f.page;
+}
+
+ReadPin BufferPool::TryFastPin(PageId id) {
+  if (capacity_ == 0) return ReadPin();
+  Frame* f = fast_map_[FastSlot(id)].load(std::memory_order_seq_cst);
+  if (f == nullptr) return ReadPin();
+  // Announce the pin FIRST, then validate. RetireFast runs the mirror
+  // sequence (clear fast_ok, then read fast_pins): in the seq_cst total
+  // order either our increment precedes its read — it sees the pin and
+  // leaves the frame alone — or its clear precedes our load and we back
+  // out. Either way no fast reader ever overlaps a frame refill.
+  f->fast_pins.fetch_add(1, std::memory_order_seq_cst);
+  if (f->fast_ok.load(std::memory_order_seq_cst) &&
+      f->fast_id.load(std::memory_order_seq_cst) == id) {
+    fast_hits_.fetch_add(1, std::memory_order_relaxed);
+    return ReadPin(this, id, &f->page, &f->fast_pins);
+  }
+  f->fast_pins.fetch_sub(1, std::memory_order_seq_cst);
+  return ReadPin();
+}
+
+Result<ReadPin> BufferPool::FetchReadOnly(PageId id) {
+  ReadPin fast = TryFastPin(id);
+  if (fast.valid()) return fast;
+  STATDB_ASSIGN_OR_RETURN(Page * page, FetchPage(id));
+  return ReadPin(this, id, page, nullptr);
 }
 
 Status BufferPool::UnpinPage(PageId id, bool dirty) {
@@ -253,6 +331,10 @@ bool BufferPool::no_steal() const {
 
 void BufferPool::DiscardAll() {
   MutexLock lock(mu_);
+  // Frames are about to be destroyed: withdraw every fast-map pointer
+  // first. Both DiscardAll and Reset require a quiescent pool (no fast
+  // pins in flight) — see the class comment.
+  for (auto& slot : fast_map_) slot.store(nullptr, std::memory_order_seq_cst);
   page_table_.clear();
   lru_.clear();
   free_frames_.clear();
@@ -271,6 +353,7 @@ Status BufferPool::Reset() {
       return FailedPreconditionError("buffer pool reset with pinned pages");
     }
   }
+  for (auto& slot : fast_map_) slot.store(nullptr, std::memory_order_seq_cst);
   page_table_.clear();
   lru_.clear();
   free_frames_.clear();

@@ -17,6 +17,8 @@
 
 namespace statdb {
 
+class ReadPin;
+
 /// Cache-effectiveness counters for one buffer pool.
 struct BufferPoolStats {
   uint64_t hits = 0;
@@ -35,6 +37,11 @@ struct BufferPoolStats {
   /// Frames allocated past nominal capacity because no-steal mode forbade
   /// evicting the only (dirty) victims. Shrinks back after FlushAll.
   uint64_t overflow_frames = 0;
+  /// Lock-free pins served by FetchReadOnly without touching the pool
+  /// mutex. stats() folds these into `hits` as well, so the invariant
+  /// hits + misses == total fetches (and HitRate()) survives the fast
+  /// path; this field reports the fast share separately.
+  uint64_t fast_hits = 0;
 
   double HitRate() const {
     uint64_t total = hits + misses;
@@ -75,6 +82,28 @@ struct BufferPoolStats {
 ///   - stats() returns a snapshot by value; read it from a quiescent pool
 ///     (after the join barrier) for exact figures. CheckAccess-based
 ///     audits must also run quiescent.
+///
+/// Lock-free read fast path (statdb::session, DESIGN.md §15):
+///   - FetchReadOnly pins a resident fast-published page with two atomic
+///     ops and zero mutex acquisitions; it falls back to the latched
+///     FetchPage on a miss. This is what takes mu_ off the snapshot
+///     readers' fetch path while writers churn the pool.
+///   - Only frames_[0..capacity_) are ever fast-published: overflow
+///     frames can be destroyed by ShrinkLocked, while the first
+///     `capacity_` deque slots are stable for the pool's lifetime, so a
+///     fast reader's Frame* stays valid across any delay.
+///   - Eviction retires a victim from the fast path and *skips* it (never
+///     waits) when a fast pin is in flight — a fast-pin holder may itself
+///     be blocked on mu_ fetching its next page, so waiting under mu_
+///     could deadlock. See the Dekker-style pairing in TryFastPin /
+///     RetireFast.
+///   - Coordination of byte-level writers vs lock-free readers of the
+///     SAME page is the caller's contract, exactly as it already is for
+///     latched pins (second rule above): statdb::session excludes that
+///     overlap with its epoch grace periods.
+///   - Reset() and DiscardAll() destroy frames and therefore additionally
+///     require that no fast pins are in flight (both already demand a
+///     quiescent pool — crash simulation / shutdown paths).
 class BufferPool {
  public:
   BufferPool(SimulatedDevice* device, size_t capacity_pages);
@@ -88,6 +117,16 @@ class BufferPool {
   /// Pins page `id`, reading it from the device on a miss. DATA_LOSS if
   /// the stored page fails checksum verification.
   Result<Page*> FetchPage(PageId id);
+
+  /// Lock-free read-only pin: succeeds iff `id` is resident and
+  /// fast-published (see class comment). Returns an invalid ReadPin on a
+  /// fast miss — no I/O, no mutex. Never fails with a Status.
+  ReadPin TryFastPin(PageId id);
+
+  /// Read-only fetch for snapshot readers: TryFastPin when the page is
+  /// resident, latched FetchPage (counted as hit or miss as usual) when
+  /// not. The returned pin can never mark the page dirty.
+  Result<ReadPin> FetchReadOnly(PageId id);
 
   /// Releases a pin. `dirty` marks the frame for write-back on eviction.
   Status UnpinPage(PageId id, bool dirty);
@@ -117,11 +156,15 @@ class BufferPool {
 
   BufferPoolStats stats() const {
     MutexLock lock(mu_);
-    return stats_;
+    BufferPoolStats s = stats_;
+    s.fast_hits = fast_hits_.load(std::memory_order_relaxed);
+    s.hits += s.fast_hits;
+    return s;
   }
   void ResetStats() {
     MutexLock lock(mu_);
     stats_ = BufferPoolStats{};
+    fast_hits_.store(0, std::memory_order_relaxed);
   }
   SimulatedDevice* device() { return device_; }
   size_t capacity() const { return capacity_; }
@@ -145,11 +188,37 @@ class BufferPool {
     // Position in lru_ when pin_count == 0.
     std::list<size_t>::iterator lru_pos;
     bool in_lru = false;
+    // --- lock-free fast path (only meaningful for index < capacity_) ---
+    // Identity + eligibility checked by TryFastPin AFTER it increments
+    // fast_pins; RetireFast runs the mirror sequence (clear fast_ok, then
+    // read fast_pins). All seq_cst, so in the single total order either
+    // the reader observes the retire and backs out, or the retirer
+    // observes the reader's pin and leaves the frame alone.
+    std::atomic<PageId> fast_id{kInvalidPageId};
+    std::atomic<bool> fast_ok{false};
+    std::atomic<uint32_t> fast_pins{0};
   };
 
   /// Finds a frame for a new resident page, evicting an LRU victim if the
   /// pool is full. Returns RESOURCE_EXHAUSTED when everything is pinned.
   Result<size_t> GetFreeFrame() STATDB_REQUIRES(mu_);
+
+  /// Offers `frames_[idx]` (now holding page `id`) to the lock-free read
+  /// path. No-op for overflow frames — see the class comment.
+  void PublishFast(Frame& f, size_t idx, PageId id) STATDB_REQUIRES(mu_);
+
+  /// Withdraws a frame from the lock-free path. Returns true when the
+  /// frame is quiescent and may be repurposed; false when a fast pin is
+  /// in flight, in which case the frame has been re-published and the
+  /// caller must pick a different victim. Never waits (see class
+  /// comment: a fast-pin holder may itself be blocked on mu_).
+  bool RetireFast(Frame& f) STATDB_REQUIRES(mu_);
+
+  size_t FastSlot(PageId id) const {
+    // Fibonacci multiplicative hash into the power-of-two slot array.
+    return size_t((id * 0x9E3779B97F4A7C15ull) >> 40) &
+           (fast_map_.size() - 1);
+  }
 
   /// Stamps the checksum and writes one frame back with retry; clears its
   /// dirty bit on success.
@@ -181,6 +250,76 @@ class BufferPool {
   bool no_steal_ STATDB_GUARDED_BY(mu_) = false;
   BufferPoolStats stats_ STATDB_GUARDED_BY(mu_);
   std::atomic<FlightRecorder*> flight_{nullptr};
+
+  // Fixed power-of-two hash of fast-published frames, sized once in the
+  // constructor (never rehashed — readers index it without mu_). Slots
+  // are overwritten on collision; the loser simply falls back to the
+  // latched path. A stale pointer is harmless: it always targets one of
+  // the stable first `capacity_` frames and TryFastPin re-validates
+  // identity against the frame itself.
+  std::vector<std::atomic<Frame*>> fast_map_;
+  std::atomic<uint64_t> fast_hits_{0};
+
+  friend class ReadPin;
+};
+
+/// RAII read-only pin from BufferPool::FetchReadOnly / TryFastPin.
+///
+/// Holds either a lock-free fast pin (released with a single atomic
+/// decrement, no mutex) or an ordinary latched pin (released through
+/// UnpinPage, never dirty). Snapshot readers hold these; they can never
+/// mark a page dirty, which is what makes the fast release sound.
+class ReadPin {
+ public:
+  ReadPin() = default;
+  ~ReadPin() { Release(); }
+
+  ReadPin(ReadPin&& o) noexcept { *this = std::move(o); }
+  ReadPin& operator=(ReadPin&& o) noexcept {
+    if (this != &o) {
+      Release();
+      pool_ = o.pool_;
+      id_ = o.id_;
+      page_ = o.page_;
+      fast_pins_ = o.fast_pins_;
+      o.pool_ = nullptr;
+      o.page_ = nullptr;
+      o.fast_pins_ = nullptr;
+    }
+    return *this;
+  }
+  ReadPin(const ReadPin&) = delete;
+  ReadPin& operator=(const ReadPin&) = delete;
+
+  const Page* get() const { return page_; }
+  PageId id() const { return id_; }
+  bool valid() const { return page_ != nullptr; }
+  /// True when this pin was served by the lock-free path (stats parity
+  /// with BufferPoolStats::fast_hits; tests assert on it).
+  bool fast() const { return fast_pins_ != nullptr; }
+
+  void Release() {
+    if (fast_pins_ != nullptr) {
+      fast_pins_->fetch_sub(1, std::memory_order_seq_cst);
+    } else if (pool_ != nullptr && page_ != nullptr) {
+      // Unpin of a held pin cannot fail; ignore the status.
+      (void)pool_->UnpinPage(id_, /*dirty=*/false);
+    }
+    pool_ = nullptr;
+    page_ = nullptr;
+    fast_pins_ = nullptr;
+  }
+
+ private:
+  friend class BufferPool;
+  ReadPin(BufferPool* pool, PageId id, const Page* page,
+          std::atomic<uint32_t>* fast_pins)
+      : pool_(pool), id_(id), page_(page), fast_pins_(fast_pins) {}
+
+  BufferPool* pool_ = nullptr;
+  PageId id_ = kInvalidPageId;
+  const Page* page_ = nullptr;
+  std::atomic<uint32_t>* fast_pins_ = nullptr;
 };
 
 /// RAII pin guard: unpins on destruction with the recorded dirty flag.

@@ -55,14 +55,15 @@ Result<std::optional<int64_t>> ColumnFile::Get(uint64_t index) const {
   }
   size_t page_no = index / kCellsPerPage;
   size_t cell_no = index % kCellsPerPage;
-  STATDB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(pages_[page_no]));
+  // Read-only pin: resident pages are served lock-free (the snapshot
+  // readers in statdb::session never queue behind the pool latch).
+  STATDB_ASSIGN_OR_RETURN(ReadPin pin, pool_->FetchReadOnly(pages_[page_no]));
   std::optional<int64_t> out;
-  if (TestBit(*page, cell_no)) {
+  if (TestBit(*pin.get(), cell_no)) {
     int64_t raw;
-    std::memcpy(&raw, page->bytes() + kCellsOff + cell_no * 8, 8);
+    std::memcpy(&raw, pin.get()->bytes() + kCellsOff + cell_no * 8, 8);
     out = raw;
   }
-  STATDB_RETURN_IF_ERROR(pool_->UnpinPage(pages_[page_no], /*dirty=*/false));
   return out;
 }
 
@@ -102,7 +103,12 @@ Status ColumnFile::ScanRange(
   if (begin >= end) return Status::OK();
   for (size_t p = begin / kCellsPerPage; p * kCellsPerPage < end; ++p) {
     uint64_t page_first = p * kCellsPerPage;
-    STATDB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(pages_[p]));
+    // One read-only pin per page, released before the next page is
+    // fetched — a fast-pin holder must never block on the pool latch
+    // while pinned (the eviction path relies on fast pins being
+    // transient; see BufferPool's class comment).
+    STATDB_ASSIGN_OR_RETURN(ReadPin pin, pool_->FetchReadOnly(pages_[p]));
+    const Page* page = pin.get();
     Status s = Status::OK();
     size_t c_begin = begin > page_first ? size_t(begin - page_first) : 0;
     size_t c_end = size_t(std::min<uint64_t>(kCellsPerPage, end - page_first));
@@ -116,7 +122,7 @@ Status ColumnFile::ScanRange(
       s = fn(page_first + c, cell);
       if (!s.ok()) break;
     }
-    STATDB_RETURN_IF_ERROR(pool_->UnpinPage(pages_[p], /*dirty=*/false));
+    pin.Release();
     STATDB_RETURN_IF_ERROR(s);
   }
   return Status::OK();

@@ -72,11 +72,13 @@ Status CompressedColumnFile::Scan(
     const {
   uint64_t ordinal = 0;
   for (PageId pid : pages_) {
-    STATDB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(pid));
+    // Read-only pin (lock-free for resident pages), released before the
+    // next page so fast pins stay transient.
+    STATDB_ASSIGN_OR_RETURN(ReadPin pin, pool_->FetchReadOnly(pid));
     Status s = Status::OK();
-    uint32_t n = PageRunCount(*page);
+    uint32_t n = PageRunCount(*pin.get());
     for (uint32_t r = 0; r < n && s.ok(); ++r) {
-      RleRun run = GetRun(*page, r);
+      RleRun run = GetRun(*pin.get(), r);
       for (uint32_t k = 0; k < run.length; ++k) {
         s = fn(ordinal++, run.present
                               ? std::optional<int64_t>(run.value)
@@ -84,7 +86,7 @@ Status CompressedColumnFile::Scan(
         if (!s.ok()) break;
       }
     }
-    STATDB_RETURN_IF_ERROR(pool_->UnpinPage(pid, /*dirty=*/false));
+    pin.Release();
     STATDB_RETURN_IF_ERROR(s);
   }
   return Status::OK();
@@ -98,12 +100,11 @@ Result<std::vector<RleRun>> CompressedColumnFile::ReadRuns(
   std::vector<RleRun> runs;
   runs.reserve((page_end - page_begin) * kRunsPerPage);
   for (size_t p = page_begin; p < page_end; ++p) {
-    STATDB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(pages_[p]));
-    uint32_t n = PageRunCount(*page);
+    STATDB_ASSIGN_OR_RETURN(ReadPin pin, pool_->FetchReadOnly(pages_[p]));
+    uint32_t n = PageRunCount(*pin.get());
     for (uint32_t r = 0; r < n; ++r) {
-      runs.push_back(GetRun(*page, r));
+      runs.push_back(GetRun(*pin.get(), r));
     }
-    STATDB_RETURN_IF_ERROR(pool_->UnpinPage(pages_[p], /*dirty=*/false));
   }
   return runs;
 }
@@ -117,13 +118,13 @@ Result<std::optional<int64_t>> CompressedColumnFile::Get(
   size_t lo = std::upper_bound(page_start_.begin(), page_start_.end(),
                                index) -
               page_start_.begin() - 1;
-  STATDB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(pages_[lo]));
+  STATDB_ASSIGN_OR_RETURN(ReadPin pin, pool_->FetchReadOnly(pages_[lo]));
   uint64_t ordinal = page_start_[lo];
   std::optional<int64_t> out;
   bool found = false;
-  uint32_t n = PageRunCount(*page);
+  uint32_t n = PageRunCount(*pin.get());
   for (uint32_t r = 0; r < n; ++r) {
-    RleRun run = GetRun(*page, r);
+    RleRun run = GetRun(*pin.get(), r);
     if (index < ordinal + run.length) {
       out = run.present ? std::optional<int64_t>(run.value) : std::nullopt;
       found = true;
@@ -131,7 +132,7 @@ Result<std::optional<int64_t>> CompressedColumnFile::Get(
     }
     ordinal += run.length;
   }
-  STATDB_RETURN_IF_ERROR(pool_->UnpinPage(pages_[lo], /*dirty=*/false));
+  pin.Release();
   if (!found) {
     return InternalError("compressed page directory inconsistent");
   }

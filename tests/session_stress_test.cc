@@ -1,0 +1,310 @@
+// Many-session stress harness for the snapshot-isolation layer
+// (DESIGN.md §15): M writer threads mutate a view through the Dbms write
+// path while N reader threads open pinned sessions and query it. Every
+// reader answer must be BIT-EXACT against a serial oracle — the head
+// query path evaluated under the writer serialization lock at the exact
+// commit seq the reader pinned. Scenarios are config-driven fixtures
+// (rows / writers / readers / operation counts) so the TSan lane sweeps
+// several contention shapes from one binary.
+//
+// Also covered: admission-control behavior under open/close contention,
+// and closing a session while another thread is mid-query (the handle
+// must fail closed, never dangle).
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sync.h"
+#include "core/dbms.h"
+#include "gtest/gtest.h"
+#include "relational/datagen.h"
+#include "session/session.h"
+#include "tests/test_util.h"
+
+namespace statdb {
+namespace {
+
+using session::Session;
+using session::SessionConfig;
+using session::SessionManager;
+
+/// One contention shape. The harness runs `writers` update threads and
+/// `readers` session threads against a census view of `rows` rows.
+struct StressScenario {
+  const char* name;
+  size_t rows;
+  int writers;
+  int readers;
+  int updates_per_writer;
+  int sessions_per_reader;
+};
+
+constexpr StressScenario kScenarios[] = {
+    {"one_writer_four_readers", 400, 1, 4, 24, 8},
+    {"three_writers_five_readers", 300, 3, 5, 12, 6},
+    {"write_heavy_two_readers", 240, 4, 2, 16, 5},
+};
+
+/// The mergeable battery each reader checks; all scalar-valued, so
+/// equality below is bit-exact double comparison via SummaryResult.
+const char* kBattery[] = {"mean", "variance", "min", "max"};
+
+/// What the serial oracle records for each published commit seq.
+struct OracleEntry {
+  std::map<std::string, SummaryResult> answers;  // fn -> head answer
+  std::vector<Value> income;                     // full INCOME column
+};
+
+class SessionStressTest : public ::testing::TestWithParam<StressScenario> {
+ protected:
+  void SetUp() override {
+    storage_ = MakeTapeDiskStorage();
+    dbms_ = std::make_unique<StatisticalDbms>(storage_.get());
+    CensusOptions opts;
+    opts.rows = GetParam().rows;
+    Rng rng(1982);
+    auto data = GenerateCensusMicrodata(opts, &rng);
+    ASSERT_TRUE(data.ok());
+    STATDB_ASSERT_OK(dbms_->LoadRawDataSet("census", *data, "synthetic"));
+    ViewDefinition def;
+    def.source = "census";
+    auto vc = dbms_->CreateView("v", def, MaintenancePolicy::kInvalidate);
+    ASSERT_TRUE(vc.ok());
+  }
+
+  std::unique_ptr<StorageManager> storage_;
+  std::unique_ptr<StatisticalDbms> dbms_;
+};
+
+TEST_P(SessionStressTest, ReadersAreBitExactAgainstSerialOracle) {
+  const StressScenario sc = GetParam();
+  SessionConfig cfg;
+  cfg.max_sessions = static_cast<size_t>(sc.readers) + 1;
+  cfg.policy = SessionConfig::OverflowPolicy::kQueue;
+  cfg.queue_timeout_ms = 60000;
+  auto enabled = dbms_->EnableSessions(cfg);
+  ASSERT_TRUE(enabled.ok());
+  SessionManager* mgr = *enabled;
+
+  // The serial oracle. oracle_mu serializes writers (on top of the
+  // manager's own writer serialization) so that the head-path answers
+  // recorded for a commit seq are evaluated with no mutation between
+  // the publish and the record — i.e. they ARE the serial replay of the
+  // view at that seq.
+  Mutex oracle_mu;
+  CondVar oracle_cv;
+  std::map<uint64_t, OracleEntry> oracle;
+  std::atomic<int> oracle_failures{0};
+
+  auto record_locked = [&] {
+    OracleEntry e;
+    for (const char* fn : kBattery) {
+      auto r = dbms_->Query("v", fn, "INCOME");
+      if (!r.ok()) {
+        oracle_failures.fetch_add(1);
+        return;
+      }
+      e.answers[fn] = r->result;
+    }
+    auto col = dbms_->GetView("v").value()->ReadColumn("INCOME");
+    if (!col.ok()) {
+      oracle_failures.fetch_add(1);
+      return;
+    }
+    e.income = std::move(*col);
+    oracle[mgr->current_seq()] = std::move(e);
+    oracle_cv.NotifyAll();
+  };
+  {
+    MutexLock lock(oracle_mu);
+    record_locked();
+  }
+  ASSERT_EQ(oracle_failures.load(), 0);
+
+  std::atomic<int> mismatches{0};
+  std::atomic<int> reader_errors{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(sc.writers + sc.readers));
+
+  for (int w = 0; w < sc.writers; ++w) {
+    threads.emplace_back([&, w] {
+      for (int k = 0; k < sc.updates_per_writer; ++k) {
+        UpdateSpec spec;
+        spec.predicate =
+            Lt(Col("AGE"), Lit(static_cast<int64_t>(25 + (w * 7 + k) % 30)));
+        spec.column = "INCOME";
+        spec.value = Mul(Col("INCOME"), Lit(1.0001));
+        MutexLock lock(oracle_mu);
+        auto st = dbms_->Update("v", spec);
+        EXPECT_TRUE(st.ok()) << st.status().ToString();
+        record_locked();
+      }
+    });
+  }
+
+  for (int r = 0; r < sc.readers; ++r) {
+    threads.emplace_back([&, r] {
+      for (int k = 0; k < sc.sessions_per_reader; ++k) {
+        auto s = mgr->Open("reader" + std::to_string(r));
+        if (!s.ok()) {
+          reader_errors.fetch_add(1);
+          continue;
+        }
+        const uint64_t pinned = (*s)->pinned_seq();
+        // The writer that published `pinned` records its oracle entry
+        // promptly after the publish; wait for it.
+        OracleEntry expected;
+        bool have_oracle = true;
+        {
+          MutexLock lock(oracle_mu);
+          int64_t waited_ms = 0;
+          while (oracle.count(pinned) == 0) {
+            if (waited_ms >= 60000) {
+              have_oracle = false;
+              break;
+            }
+            oracle_cv.WaitFor(oracle_mu, 100);
+            waited_ms += 100;
+          }
+          if (have_oracle) expected = oracle[pinned];
+        }
+        if (!have_oracle) {
+          reader_errors.fetch_add(1);
+          EXPECT_TRUE((*s)->Close().ok());
+          continue;
+        }
+        // Bit-exact snapshot checks, fully concurrent with the writers.
+        for (const char* fn : kBattery) {
+          auto got = (*s)->Query("v", fn, "INCOME");
+          if (!got.ok()) {
+            reader_errors.fetch_add(1);
+            continue;
+          }
+          if (!(got->result == expected.answers[fn])) {
+            mismatches.fetch_add(1);
+          }
+        }
+        auto col = (*s)->ReadColumn("v", "INCOME");
+        if (!col.ok()) {
+          reader_errors.fetch_add(1);
+        } else if (!(*col == expected.income)) {
+          mismatches.fetch_add(1);
+        }
+        EXPECT_TRUE((*s)->Close().ok());
+      }
+    });
+  }
+
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(oracle_failures.load(), 0);
+  EXPECT_EQ(reader_errors.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0)
+      << "a pinned reader observed a non-snapshot answer";
+  EXPECT_EQ(mgr->open_sessions(), 0u);
+  // Nobody is pinned any more: retired pre-images must all be reclaimed.
+  EXPECT_EQ(mgr->RetiredSnapshots(), 0u);
+
+  // The head path agrees with one final serial evaluation.
+  auto head = dbms_->Query("v", "mean", "INCOME");
+  ASSERT_TRUE(head.ok());
+}
+
+TEST_P(SessionStressTest, AdmissionControlUnderOpenCloseContention) {
+  const StressScenario sc = GetParam();
+  SessionConfig cfg;
+  cfg.max_sessions = 3;
+  cfg.policy = SessionConfig::OverflowPolicy::kReject;
+  auto enabled = dbms_->EnableSessions(cfg);
+  ASSERT_TRUE(enabled.ok());
+  SessionManager* mgr = *enabled;
+
+  const int kThreads = sc.readers + sc.writers;
+  const int kAttempts = 20;
+  std::atomic<int> admitted{0};
+  std::atomic<int> rejected{0};
+  std::atomic<int> unexpected{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int k = 0; k < kAttempts; ++k) {
+        auto s = mgr->Open("contender" + std::to_string(t));
+        if (s.ok()) {
+          admitted.fetch_add(1);
+          auto q = (*s)->Query("v", "mean", "INCOME");
+          EXPECT_TRUE(q.ok());
+          EXPECT_TRUE((*s)->Close().ok());
+        } else if (s.status().code() == StatusCode::kResourceExhausted) {
+          rejected.fetch_add(1);
+          std::this_thread::yield();
+        } else {
+          unexpected.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(unexpected.load(), 0);
+  EXPECT_EQ(admitted.load() + rejected.load(), kThreads * kAttempts);
+  EXPECT_GT(admitted.load(), 0);
+  EXPECT_EQ(mgr->open_sessions(), 0u);
+  const SessionManager::Stats stats = mgr->stats();
+  EXPECT_EQ(stats.opened, stats.closed);
+  EXPECT_EQ(stats.opened, static_cast<uint64_t>(admitted.load()));
+  EXPECT_EQ(stats.rejected, static_cast<uint64_t>(rejected.load()));
+}
+
+TEST_P(SessionStressTest, CloseMidQueryFailsClosed) {
+  auto enabled = dbms_->EnableSessions({});
+  ASSERT_TRUE(enabled.ok());
+  SessionManager* mgr = *enabled;
+
+  auto s = mgr->Open("doomed");
+  ASSERT_TRUE(s.ok());
+  Session* handle = *s;
+
+  // Reader hammers the session until it observes the close. Close()
+  // drains in-flight operations, and the retired handle stays readable
+  // as a fail-closed zombie — so this race is defined behavior.
+  std::atomic<bool> saw_close{false};
+  std::atomic<int> odd_status{0};
+  std::thread reader([&] {
+    for (int i = 0; i < 200000 && !saw_close.load(); ++i) {
+      auto q = handle->Query("v", "mean", "INCOME");
+      if (q.ok()) continue;
+      if (q.status().code() == StatusCode::kFailedPrecondition) {
+        saw_close.store(true);
+      } else {
+        odd_status.fetch_add(1);
+      }
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  STATDB_ASSERT_OK(handle->Close());
+  reader.join();
+
+  EXPECT_EQ(odd_status.load(), 0);
+  EXPECT_EQ(mgr->open_sessions(), 0u);
+  // The stale handle keeps failing closed.
+  auto after = handle->Query("v", "mean", "INCOME");
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kFailedPrecondition);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, SessionStressTest, ::testing::ValuesIn(kScenarios),
+    [](const ::testing::TestParamInfo<StressScenario>& param_info) {
+      return std::string(param_info.param.name);
+    });
+
+}  // namespace
+}  // namespace statdb

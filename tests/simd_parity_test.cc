@@ -228,30 +228,52 @@ TEST(SimdDispatch, ForcedLevelSweepParity) {
   Rng rng(23);
   std::vector<double> data = RandomColumn(&rng, 777, 0.02, false);
 
-  ASSERT_TRUE(simd::ForceLevel(simd::SimdLevel::kScalar).ok());
-  DescriptiveStats reference = simd::DescribeSpan(data.data(), data.size());
+  DescriptiveStats reference;
+  {
+    simd::ScopedForceLevel scalar(simd::SimdLevel::kScalar);
+    ASSERT_TRUE(scalar.ok());
+    reference = simd::DescribeSpan(data.data(), data.size());
+  }
 
   for (simd::SimdLevel level :
        {simd::SimdLevel::kSSE2, simd::SimdLevel::kAVX2}) {
-    Status forced = simd::ForceLevel(level);
+    simd::ScopedForceLevel forced(level);
     if (!forced.ok()) {
-      // Not compiled in / not supported by this CPU: ForceLevel must say
-      // so instead of silently running another path.
-      EXPECT_EQ(forced.code(), StatusCode::kUnavailable);
+      // Not compiled in / not supported by this CPU: the guard must say
+      // so (and stay inert) instead of silently running another path.
+      EXPECT_EQ(forced.status().code(), StatusCode::kUnavailable);
       continue;
     }
     EXPECT_EQ(simd::ActiveLevel(), level);
     ExpectBitIdentical(simd::DescribeSpan(data.data(), data.size()),
                        reference, simd::LevelName(level));
   }
-  simd::ClearForcedLevel();
 }
 
 TEST(SimdDispatch, ScalarAlwaysAvailable) {
   EXPECT_TRUE(simd::LevelAvailable(simd::SimdLevel::kScalar));
-  ASSERT_TRUE(simd::ForceLevel(simd::SimdLevel::kScalar).ok());
+  simd::ScopedForceLevel forced(simd::SimdLevel::kScalar);
+  ASSERT_TRUE(forced.ok());
   EXPECT_EQ(simd::ActiveLevel(), simd::SimdLevel::kScalar);
-  simd::ClearForcedLevel();
+}
+
+TEST(SimdDispatch, ScopedForceRestoresOuterLevelOnEarlyExit) {
+  // The leak this guard exists to prevent: an ASSERT_* bail-out between
+  // ForceLevel and ClearForcedLevel used to pin every later test (and,
+  // with statdb::session, every concurrent reader) to the leaked level.
+  simd::SimdLevel ambient = simd::ActiveLevel();
+  {
+    simd::ScopedForceLevel outer(simd::SimdLevel::kScalar);
+    ASSERT_TRUE(outer.ok());
+    {
+      // Nested guard restores the OUTER override, not automatic dispatch.
+      simd::ScopedForceLevel inner(simd::CompiledLevel());
+      ASSERT_TRUE(inner.ok());
+      EXPECT_EQ(simd::ActiveLevel(), simd::CompiledLevel());
+    }
+    EXPECT_EQ(simd::ActiveLevel(), simd::SimdLevel::kScalar);
+  }
+  EXPECT_EQ(simd::ActiveLevel(), ambient);
 }
 
 // --- regression: the NaN min/max divergence the harness surfaced ---------
@@ -426,21 +448,26 @@ TEST_F(CompressedQueryParity, ForcedLevelsAgreeEndToEnd) {
   // Reference is the scalar-forced parallel answer; other ISA levels must
   // reproduce it BIT-identically (serial Query differs only by rounding —
   // it uses the per-cell Welford oracle, a different documented path).
-  ASSERT_TRUE(simd::ForceLevel(simd::SimdLevel::kScalar).ok());
-  auto reference = dbms_->QueryParallel("v", "variance", "RUND", {}, opts, 3);
-  STATDB_ASSERT_OK(reference);
-  double ref = *reference->result.AsScalar();
-  auto serial = dbms_->Query("v", "variance", "RUND", {}, opts);
-  STATDB_ASSERT_OK(serial);
-  ExpectNear(*serial->result.AsScalar(), ref, "serial vs parallel");
+  double ref;
+  {
+    simd::ScopedForceLevel scalar(simd::SimdLevel::kScalar);
+    ASSERT_TRUE(scalar.ok());
+    auto reference =
+        dbms_->QueryParallel("v", "variance", "RUND", {}, opts, 3);
+    STATDB_ASSERT_OK(reference);
+    ref = *reference->result.AsScalar();
+    auto serial = dbms_->Query("v", "variance", "RUND", {}, opts);
+    STATDB_ASSERT_OK(serial);
+    ExpectNear(*serial->result.AsScalar(), ref, "serial vs parallel");
+  }
   for (simd::SimdLevel level :
        {simd::SimdLevel::kSSE2, simd::SimdLevel::kAVX2}) {
-    if (!simd::ForceLevel(level).ok()) continue;
+    simd::ScopedForceLevel forced(level);
+    if (!forced.ok()) continue;
     auto again = dbms_->QueryParallel("v", "variance", "RUND", {}, opts, 3);
     STATDB_ASSERT_OK(again);
     EXPECT_EQ(*again->result.AsScalar(), ref) << simd::LevelName(level);
   }
-  simd::ClearForcedLevel();
 }
 
 TEST_F(CompressedQueryParity, MaintainerArmingForcesMaterializedPath) {

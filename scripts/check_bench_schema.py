@@ -161,8 +161,52 @@ def check_session_scaling(doc: dict, name: str) -> None:
             "below the 2x gate")
 
 
+def check_delta_maintenance(doc: dict, name: str) -> None:
+    for key in ("rows", "updates", "armed_entries", "batch_size",
+                "eager_simulated_io_ms", "batched64_simulated_io_ms",
+                "lazy_simulated_io_ms", "speedup_at_64", "series",
+                "metrics"):
+        require(key in doc, f"{name}: missing '{key}'")
+    series = doc["series"]
+    require(isinstance(series, list) and len(series) >= 3,
+            f"{name}: 'series' needs eager plus batched points")
+    by_flush = {}
+    for row in series:
+        for key in ("strategy", "updates_per_flush", "simulated_io_ms",
+                    "wal_simulated_ms", "total_simulated_ms", "wall_ms",
+                    "speedup_vs_eager"):
+            require(key in row, f"{name}: series row missing '{key}'")
+        by_flush[row["updates_per_flush"]] = row
+    require(1 in by_flush and by_flush[1]["strategy"] == "eager",
+            f"{name}: no eager (updates_per_flush=1) series point")
+    gate_batch = doc["batch_size"]
+    require(gate_batch in by_flush,
+            f"{name}: no batched series point at the gate batch size "
+            f"({gate_batch})")
+    # The tentpole's acceptance bar (DESIGN.md §16): on the deterministic
+    # cost-model series, delta-batched maintenance at batch >= 64 must
+    # beat per-update eager flushing by at least 3x in maintenance I/O.
+    eager = by_flush[1]["simulated_io_ms"]
+    batched = by_flush[gate_batch]["simulated_io_ms"]
+    require(batched > 0, f"{name}: batched phase did no simulated I/O")
+    require(gate_batch >= 64,
+            f"{name}: gate batch size {gate_batch} is below 64")
+    require(eager >= 3.0 * batched,
+            f"{name}: delta-batched win at batch {gate_batch} is "
+            f"{eager / batched:.2f}x over eager, below the 3x gate")
+    # The WAL series is the per-commit protocol cost — every arm commits
+    # once per update, so batching must not have changed it materially
+    # (a big swing means the arms no longer run the same commit stream).
+    wal_e = by_flush[1]["wal_simulated_ms"]
+    wal_b = by_flush[gate_batch]["wal_simulated_ms"]
+    require(wal_e > 0 and abs(wal_b - wal_e) / wal_e < 0.25,
+            f"{name}: WAL series diverged between arms "
+            f"({wal_e:g} vs {wal_b:g}) — commit streams differ")
+
+
 CHECKERS = {
     "parallel_scan": check_parallel_scan,
+    "delta_maintenance": check_delta_maintenance,
     "fault_injection": check_fault_injection,
     "flight_overhead": check_flight_overhead,
     "compressed_scan": check_compressed_scan,

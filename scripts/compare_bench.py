@@ -39,12 +39,14 @@ import sys
 
 # Deterministic cost-model leaves: gate these hard.
 GATED_KEYS = {"simulated_io_ms", "simulated_ms", "block_reads",
-              "block_writes", "seeks"}
+              "block_writes", "seeks", "wal_simulated_ms",
+              "total_simulated_ms"}
 
 # Workload-scale leaves: must match the baseline exactly.
 SCALE_KEYS = {"rows", "reps", "workers", "battery_size", "scan_reps",
               "commit_reps", "run_length", "sessions", "reads_per_lane",
-              "writer_updates"}
+              "writer_updates", "updates_per_flush", "batch_size",
+              "updates", "armed_entries"}
 
 # Leaves where bigger is better (everything else: smaller is better).
 HIGHER_IS_BETTER = ("speedup", "hit_rate")

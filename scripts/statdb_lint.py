@@ -45,6 +45,15 @@ CI next to the thread-safety lane:
                             deliberately outside the read-path dirs; a
                             latch acquisition anywhere on the session
                             read path would let a writer block readers.
+  R7 delta-routed-maint     Mutation paths in src/core/dbms.cc never call
+                            a summary maintainer's Apply / ApplyBatch /
+                            Initialize arms directly — every maintenance
+                            write routes through the delta buffer API
+                            (delta::DeltaBuffer + delta::FlushAttribute,
+                            DESIGN.md §16). A direct Apply from the DBMS
+                            would bypass coalescing, the policy switch,
+                            the flush barriers, and the flight events —
+                            the whole §16 contract at once.
 
 Usage:
   scripts/statdb_lint.py             # lint the repo; exit 1 on findings
@@ -420,6 +429,40 @@ def check_readpath_latch(path, text):
     return findings
 
 
+# --- R7: DBMS mutation paths route maintenance through the delta buffer ------
+
+DELTA_ROUTE_FILE = "src/core/dbms.cc"
+# A maintainer method invocation on any receiver: the DBMS proper holds
+# no business calling these — arming (Initialize) and draining (Apply /
+# ApplyBatch) both live behind delta::FlushAttribute in
+# src/delta/maintenance.cc, where the batch/coalesce/fallback logic is.
+MAINTAINER_ARM_RE = re.compile(
+    r"(?:->|\.)\s*(Apply|ApplyBatch|Initialize)\s*\("
+)
+
+
+def check_delta_routing(path, text):
+    if path.replace(os.sep, "/") != DELTA_ROUTE_FILE:
+        return []
+    findings = []
+    for lineno, line in enumerate(strip_comments(text).splitlines(), 1):
+        m = MAINTAINER_ARM_RE.search(line)
+        if m:
+            findings.append(
+                Finding(
+                    "delta-routed-maintenance",
+                    path,
+                    lineno,
+                    f"direct maintainer .{m.group(1)}() from the DBMS "
+                    "mutation path — route the write through "
+                    "delta::DeltaBuffer and let delta::FlushAttribute "
+                    "drain it (coalescing, policy, flush barriers, "
+                    "flight events; DESIGN.md §16)",
+                )
+            )
+    return findings
+
+
 # --- driver ------------------------------------------------------------------
 
 
@@ -433,6 +476,7 @@ def lint_corpus(files):
         findings += check_loop_mutation(path, text)
         findings += check_simd_span_inputs(path, text)
         findings += check_readpath_latch(path, text)
+        findings += check_delta_routing(path, text)
     findings += check_nodiscard(files)
     return findings
 
@@ -482,6 +526,15 @@ SELF_TEST_SNIPPETS = {
         "src/session/injected_r6.cc",
         "void ReadCells(BufferPool* pool, PageId id) {\n"
         "  auto page = pool->FetchPage(id);\n"
+        "}\n",
+    ),
+    "delta-routed-maintenance": (
+        # Replaces the real dbms.cc in the synthetic corpus: a mutation
+        # path draining a maintainer by hand instead of via the buffer.
+        "src/core/dbms.cc",
+        "Status StatisticalDbms::Update(const UpdateSpec& spec) {\n"
+        "  m->Apply(d);\n"
+        "  return Status::Ok();\n"
         "}\n",
     ),
 }

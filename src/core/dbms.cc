@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "check/db_auditor.h"
+#include "delta/maintenance.h"
 #include "exec/chunked_scanner.h"
 #include "exec/compressed_scan.h"
 #include "exec/thread_pool.h"
@@ -26,27 +27,6 @@ namespace {
 bool MeaningfulOnCategories(const std::string& function) {
   return function == "count" || function == "distinct" ||
          function == "mode" || function == "histogram";
-}
-
-/// Converts logged cell changes into numeric deltas for the incremental
-/// maintainers. Fails if any endpoint is non-null and non-numeric.
-Result<std::vector<CellDelta>> ToDeltas(
-    const std::vector<CellChange>& changes) {
-  std::vector<CellDelta> deltas;
-  deltas.reserve(changes.size());
-  for (const CellChange& ch : changes) {
-    CellDelta d;
-    if (!ch.old_value.is_null()) {
-      STATDB_ASSIGN_OR_RETURN(double v, ch.old_value.ToDouble());
-      d.old_value = v;
-    }
-    if (!ch.new_value.is_null()) {
-      STATDB_ASSIGN_OR_RETURN(double v, ch.new_value.ToDouble());
-      d.new_value = v;
-    }
-    deltas.push_back(d);
-  }
-  return deltas;
 }
 
 /// True for functions whose answer finishes from the merged partial
@@ -194,6 +174,10 @@ StatisticalDbms::StatisticalDbms(StorageManager* storage,
   obs_pool_rejected_ = metrics_.GetCounter("exec.pool.tasks_rejected");
   obs_pool_queue_max_ = metrics_.GetGauge("exec.pool.queue_depth_max");
   obs_pool_task_ms_total_ = metrics_.GetGauge("exec.pool.task_ms_total");
+  obs_delta_buffered_ = metrics_.GetCounter("dbms.delta.buffered");
+  obs_delta_flushed_ = metrics_.GetCounter("dbms.delta.flushed");
+  obs_delta_policy_switches_ =
+      metrics_.GetCounter("dbms.delta.policy_switches");
 
   // Black-box wiring: the storage layer below reports I/O retries,
   // checksum DATA_LOSS verdicts and injected faults into the same ring
@@ -482,6 +466,9 @@ Status StatisticalDbms::DropView(const std::string& name) {
   STATDB_RETURN_IF_ERROR(mdb_.DropView(name));
   STATDB_RETURN_IF_ERROR(catalog_.UnregisterDataSet(name));
   views_.erase(name);
+  // Policy state is keyed by "view.attr": a later view reusing the name
+  // must start from the default strategy, not inherit hysteresis streaks.
+  delta_policy_.EraseView(name);
   // Metadata-only mutation: no pages dirtied, but the drop must reach the
   // log or recovery would resurrect the view.
   return CommitDurable(/*attr_hint=*/"", /*force=*/true);
@@ -535,9 +522,22 @@ Status StatisticalDbms::CheckQueryable(const Schema& schema,
 }
 
 Result<bool> StatisticalDbms::TryAnswerWithoutComputing(
-    ViewState* state, const SummaryKey& key, const std::string& function,
-    const std::string& attribute, const FunctionParams& params,
-    const QueryOptions& opts, QueryAnswer* answer, QueryTrace* trace) {
+    const std::string& view, ViewState* state, const SummaryKey& key,
+    const std::string& function, const std::string& attribute,
+    const FunctionParams& params, const QueryOptions& opts,
+    QueryAnswer* answer, QueryTrace* trace) {
+  // Flush barrier (§16): a cached entry with pending deltas is behind
+  // the data without being marked stale, so an exact serve must apply
+  // the batch first. allow_stale accepts it as-is — the analyst already
+  // opted into approximate answers — and the staleness-gate arithmetic
+  // below stays on entry versions, which flushing freshens.
+  if (!opts.allow_stale) {
+    for (const std::string& attr : key.attributes) {
+      if (state->deltas.HasPending(attr)) {
+        STATDB_RETURN_IF_ERROR(FlushAttributeDeltas(view, state, attr));
+      }
+    }
+  }
   Result<SummaryEntry> cached = [&] {
     ScopedSpan span(trace, SpanKind::kCacheProbe);
     return state->summary->Lookup(key);
@@ -611,23 +611,17 @@ Status StatisticalDbms::CacheComputedResult(const std::string& view,
   if (rec->policy == MaintenancePolicy::kIncremental) {
     ScopedSpan span(trace, SpanKind::kMaintainerArm);
     span.SetRows(data.size());
-    STATDB_ASSIGN_OR_RETURN(FunctionParams params,
-                            FunctionParams::Decode(key.params));
-    Result<std::unique_ptr<IncrementalMaintainer>> m =
-        mdb_.MakeMaintainer(key.function, params);
-    if (m.ok()) {
-      Result<SummaryResult> init = m.value()->Initialize(data);
-      if (init.ok()) {
-        state->maintainers[key.Encode()] = std::move(m).value();
-        if (flight_.enabled()) {
-          flight_.Record(FlightEventKind::kMaintainerArm,
-                         QueryLabel(view, key.function,
-                                    key.attributes.empty()
-                                        ? std::string()
-                                        : key.attributes.front()),
-                         /*a=*/0, int64_t(data.size()));
-        }
-      }
+    // Arming routes through the delta engine (R7: dbms never drives
+    // maintainer arms directly), so the flush path owns every
+    // maintainer lifecycle transition.
+    if (delta::ArmMaintainer(mdb_, key, data, &state->maintainers) &&
+        flight_.enabled()) {
+      flight_.Record(FlightEventKind::kMaintainerArm,
+                     QueryLabel(view, key.function,
+                                key.attributes.empty()
+                                    ? std::string()
+                                    : key.attributes.front()),
+                     /*a=*/0, int64_t(data.size()));
     }
   }
   return Status::OK();
@@ -676,9 +670,17 @@ Result<QueryAnswer> StatisticalDbms::QueryImpl(const std::string& view,
   QueryAnswer answer;
   STATDB_ASSIGN_OR_RETURN(
       bool answered,
-      TryAnswerWithoutComputing(state, key, function, attribute, params,
-                                opts, &answer, trace));
+      TryAnswerWithoutComputing(view, state, key, function, attribute,
+                                params, opts, &answer, trace));
   if (answered) return answer;
+
+  // Compute path: flush unconditionally (even under allow_stale, which
+  // only relaxes *serves*). A maintainer armed from the current column
+  // must never later receive buffered deltas the column already
+  // reflects — that would double-apply them.
+  if (state->deltas.HasPending(attribute)) {
+    STATDB_RETURN_IF_ERROR(FlushAttributeDeltas(view, state, attribute));
+  }
 
   // Planner choice (DESIGN.md §14): answer from the RLE sidecar in the
   // compressed domain when the function finishes from mergeable partials
@@ -980,11 +982,19 @@ Result<std::vector<QueryAnswer>> StatisticalDbms::QueryManyImpl(
     primary.emplace(key.Encode(), i);
     STATDB_ASSIGN_OR_RETURN(
         bool answered,
-        TryAnswerWithoutComputing(state, key, r.function, r.attribute,
+        TryAnswerWithoutComputing(view, state, key, r.function, r.attribute,
                                   r.params, opts, &answers[i], trace));
     if (answered) continue;
     if (!by_attr.contains(r.attribute)) attr_order.push_back(r.attribute);
     by_attr[r.attribute].push_back(i);
+  }
+
+  // Compute paths flush unconditionally (see QueryImpl): a maintainer
+  // armed from the scanned column must not see those deltas again.
+  for (const std::string& attr : attr_order) {
+    if (state->deltas.HasPending(attr)) {
+      STATDB_RETURN_IF_ERROR(FlushAttributeDeltas(view, state, attr));
+    }
   }
 
   if (!attr_order.empty()) {
@@ -1133,6 +1143,16 @@ Result<QueryAnswer> StatisticalDbms::QueryBivariateParallelImpl(
   ++state->traffic.attribute_accesses[attr_b];
   SummaryKey key{function, {attr_a, attr_b}, ""};
 
+  // Flush barrier: a cached bivariate entry may have pending deltas on
+  // either side; fresh serves must observe the post-flush summary.
+  if (!opts.allow_stale) {
+    for (const std::string* attr : {&attr_a, &attr_b}) {
+      if (state->deltas.HasPending(*attr)) {
+        STATDB_RETURN_IF_ERROR(FlushAttributeDeltas(view, state, *attr));
+      }
+    }
+  }
+
   Result<SummaryEntry> cached = [&] {
     ScopedSpan span(trace, SpanKind::kCacheProbe);
     return state->summary->Lookup(key);
@@ -1152,6 +1172,15 @@ Result<QueryAnswer> StatisticalDbms::QueryBivariateParallelImpl(
       state->summary->NoteServedStale();
       return QueryAnswer{cached.value().result, AnswerSource::kStaleCacheHit,
                          false, "stale cached value"};
+    }
+  }
+
+  // Compute paths flush unconditionally (even under allow_stale): the
+  // comoment maintainer armed below is seeded from the scanned pairs and
+  // must never see those buffered deltas again.
+  for (const std::string* attr : {&attr_a, &attr_b}) {
+    if (state->deltas.HasPending(*attr)) {
+      STATDB_RETURN_IF_ERROR(FlushAttributeDeltas(view, state, *attr));
     }
   }
 
@@ -1198,6 +1227,12 @@ Result<QueryAnswer> StatisticalDbms::QueryBivariateParallelImpl(
     ScopedSpan span(trace, SpanKind::kSummaryInsert);
     STATDB_RETURN_IF_ERROR(
         state->summary->Insert(key, result, state->view->version()));
+    if (delta::ArmComomentMaintainer(key, cs, &state->comaintainers) &&
+        flight_.enabled()) {
+      flight_.Record(FlightEventKind::kMaintainerArm,
+                     QueryLabel(view, function, attr_a + "," + attr_b), 0,
+                     int64_t(cs.n));
+    }
   }
   if (pool) {
     pool->Quiesce();  // join workers so `executed` is exact
@@ -1216,6 +1251,15 @@ Result<QueryAnswer> StatisticalDbms::QueryBivariate(
   ++state->traffic.attribute_accesses[attr_b];
   SummaryKey key{function, {attr_a, attr_b}, ""};
 
+  // Flush barrier, as in QueryBivariateParallelImpl.
+  if (!opts.allow_stale) {
+    for (const std::string* attr : {&attr_a, &attr_b}) {
+      if (state->deltas.HasPending(*attr)) {
+        STATDB_RETURN_IF_ERROR(FlushAttributeDeltas(view, state, *attr));
+      }
+    }
+  }
+
   Result<SummaryEntry> cached = state->summary->Lookup(key);
   if (cached.ok() && !cached.value().stale) {
     ++state->traffic.cache_hits;
@@ -1233,6 +1277,13 @@ Result<QueryAnswer> StatisticalDbms::QueryBivariate(
                        false, "stale cached value"};
   }
 
+  // Compute paths flush unconditionally (see QueryBivariateParallelImpl).
+  for (const std::string* attr : {&attr_a, &attr_b}) {
+    if (state->deltas.HasPending(*attr)) {
+      STATDB_RETURN_IF_ERROR(FlushAttributeDeltas(view, state, *attr));
+    }
+  }
+
   // Row-aligned read of both columns (pairs with either cell missing are
   // dropped — pairwise deletion).
   STATDB_ASSIGN_OR_RETURN(std::vector<Value> va,
@@ -1240,6 +1291,7 @@ Result<QueryAnswer> StatisticalDbms::QueryBivariate(
   STATDB_ASSIGN_OR_RETURN(std::vector<Value> vb,
                           state->view->ReadColumn(attr_b));
   SummaryResult result;
+  std::optional<ComomentStats> cs_seed;
   if (function == "correlation" || function == "covariance" ||
       function == "regression") {
     std::vector<double> xs, ys;
@@ -1251,6 +1303,7 @@ Result<QueryAnswer> StatisticalDbms::QueryBivariate(
       xs.push_back(x.value());
       ys.push_back(y.value());
     }
+    cs_seed = ComputeComoments(xs, ys);
     if (function == "correlation") {
       STATDB_ASSIGN_OR_RETURN(double r, PearsonR(xs, ys));
       result = SummaryResult::Scalar(r);
@@ -1288,6 +1341,14 @@ Result<QueryAnswer> StatisticalDbms::QueryBivariate(
   if (opts.cache_result) {
     STATDB_RETURN_IF_ERROR(
         state->summary->Insert(key, result, state->view->version()));
+    if (cs_seed.has_value() &&
+        delta::ArmComomentMaintainer(key, *cs_seed,
+                                     &state->comaintainers) &&
+        flight_.enabled()) {
+      flight_.Record(FlightEventKind::kMaintainerArm,
+                     QueryLabel(view, function, attr_a + "," + attr_b), 0,
+                     int64_t(cs_seed->n));
+    }
   }
   CommitAfterQuery(attr_a);
   return QueryAnswer{std::move(result), AnswerSource::kComputed, true, ""};
@@ -1489,6 +1550,10 @@ Status StatisticalDbms::ReorganizeView(
   STATDB_RETURN_IF_ERROR(GuardMutable());
   STATDB_ASSIGN_OR_RETURN(ViewState * state, GetState(view));
   STATDB_ASSIGN_OR_RETURN(ViewRecord * rec, mdb_.GetView(view));
+  // Sorting permutes row coordinates; buffered deltas (keyed by row id)
+  // and comoment co-value reads would address the wrong cells afterwards.
+  // Flush against the pre-sort layout while the ids still mean something.
+  STATDB_RETURN_IF_ERROR(FlushViewDeltas(view, state));
   // The swap below destroys the old ConcreteView; the scope's grace
   // period guarantees no pinned reader is still on it, and Publish
   // re-routes live reads to the fresh object.
@@ -1618,75 +1683,115 @@ Status StatisticalDbms::MaintainSummaries(
       break;
   }
 
-  // Incremental path. Non-numeric changes defeat differencing: fall back
-  // to invalidation.
-  Result<std::vector<CellDelta>> deltas = ToDeltas(changes);
-  if (!deltas.ok()) {
+  // Incremental path (§4.2/§4.3). Mutations never touch the maintainers
+  // directly any more: numeric changes land in the view's delta buffer
+  // and flow through one amortized FlushAttributeDeltas pass — right away
+  // for eager entries, at the flush threshold for batched ones, never
+  // (invalidate instead) for lazy ones. The adaptive policy controller
+  // picks the strategy per view.attr from the profiler's heatmap row.
+  WorkloadProfiler::AttributeRow row =
+      profiler_.AttributeStats(view_name, attribute);
+  delta::PolicyDecision decision = delta_policy_.Observe(
+      view_name, attribute, row.accesses, row.updates, delta_config_);
+  if (decision.switched) {
+    obs_delta_policy_switches_->Inc();
+    if (flight_.enabled()) {
+      flight_.Record(FlightEventKind::kPolicySwitch,
+                     view_name + "." + attribute,
+                     int64_t(decision.from), int64_t(decision.strategy));
+    }
+    if (decision.strategy ==
+        delta::MaintenanceStrategy::kInvalidateLazy) {
+      // Entering lazy: pending work and armed rules are dead weight (the
+      // next flip back to maintain re-arms on first compute). Dropping
+      // the rules *before* invalidating keeps the no-resurrection
+      // invariant: a later flush can never refresh these entries.
+      state->deltas.Discard(attribute);
+      std::string prefix = SummaryKey::AttributePrefix(attribute);
+      auto mit = state->maintainers.lower_bound(prefix);
+      while (mit != state->maintainers.end() &&
+             mit->first.compare(0, prefix.size(), prefix) == 0) {
+        mit = state->maintainers.erase(mit);
+      }
+      for (auto cit = state->comaintainers.begin();
+           cit != state->comaintainers.end();) {
+        cit = cit->second->Touches(attribute)
+                  ? state->comaintainers.erase(cit)
+                  : std::next(cit);
+      }
+    }
+  }
+  if (decision.strategy == delta::MaintenanceStrategy::kInvalidateLazy) {
     return state->summary->InvalidateAttribute(attribute).status();
   }
-  std::vector<SummaryEntry> entries;
-  STATDB_RETURN_IF_ERROR(state->summary->ForEachOnAttribute(
-      attribute, [&entries](const SummaryEntry& e) {
-        entries.push_back(e);
-        return Status::OK();
-      }));
-  // The full column is read at most once, shared by every rebuild.
-  std::vector<double> column_data;
-  bool column_loaded = false;
-  auto load_column = [&]() -> Status {
-    if (column_loaded) return Status::OK();
-    STATDB_ASSIGN_OR_RETURN(column_data,
-                            state->view->ReadNumericColumn(attribute));
-    column_loaded = true;
-    return Status::OK();
-  };
 
-  for (const SummaryEntry& e : entries) {
-    if (e.key.function == "note") continue;
-    if (e.key.attributes.size() != 1) {
-      STATDB_RETURN_IF_ERROR(state->summary->MarkStale(e.key));
-      continue;
-    }
-    std::string encoded = e.key.Encode();
-    auto mit = state->maintainers.find(encoded);
-    if (mit == state->maintainers.end()) {
-      // No incremental rule armed (none exists, or the entry predates
-      // this process): mark stale, recompute lazily on next query.
-      STATDB_RETURN_IF_ERROR(state->summary->MarkStale(e.key));
-      continue;
-    }
-    IncrementalMaintainer* m = mit->second.get();
-    Result<SummaryResult> updated = Status::OK();
-    bool ok = true;
-    for (const CellDelta& d : deltas.value()) {
-      updated = m->Apply(d);
-      if (!updated.ok()) {
-        ok = false;
-        break;
-      }
-      ++state->traffic.maintainer_applies;
-    }
-    if (!ok) {
-      // Auxiliary state exhausted: one full pass rebuilds it (§4.2).
-      STATDB_RETURN_IF_ERROR(load_column());
-      updated = m->Initialize(column_data);
-      ++state->traffic.maintainer_rebuilds;
-      if (!updated.ok()) {
-        STATDB_RETURN_IF_ERROR(state->summary->MarkStale(e.key));
-        continue;
-      }
-    }
-    STATDB_RETURN_IF_ERROR(state->summary->Refresh(
-        e.key, updated.value(), state->view->version()));
-    if (flight_.enabled()) {
-      // b distinguishes the cheap differencing path (0) from a §4.2
-      // full-column rebuild (1) — the economics the §4.3 choice weighs.
-      flight_.Record(FlightEventKind::kMaintainerFire,
-                     QueryLabel(view_name, e.key.function, attribute),
-                     int64_t(deltas.value().size()), ok ? 0 : 1);
-    }
+  Result<size_t> buffered =
+      state->deltas.Buffer(attribute, changes, delta_config_.coalesce);
+  if (!buffered.ok()) {
+    // Non-numeric changes defeat differencing: fall back to invalidation.
+    return state->summary->InvalidateAttribute(attribute).status();
+  }
+  obs_delta_buffered_->Inc(buffered.value());
+  // Eager is "batch of one": it rides the same buffer + flush engine as
+  // batched, so parity between the two strategies is structural.
+  if (decision.strategy == delta::MaintenanceStrategy::kEagerIncremental ||
+      state->deltas.PendingCount(attribute) >=
+          delta_config_.flush_threshold) {
+    return FlushAttributeDeltas(view_name, state, attribute);
   }
   return Status::OK();
+}
+
+Status StatisticalDbms::FlushAttributeDeltas(const std::string& view_name,
+                                             ViewState* state,
+                                             const std::string& attribute) {
+  std::vector<delta::RowDelta> batch = state->deltas.Drain(attribute);
+  if (batch.empty()) return Status::OK();
+  delta::FlushEnv env;
+  env.view_name = view_name;
+  env.summary = state->summary.get();
+  env.maintainers = &state->maintainers;
+  env.comaintainers = &state->comaintainers;
+  env.view_version = state->view->version();
+  env.load_column = [state, attribute]() {
+    return state->view->ReadNumericColumn(attribute);
+  };
+  env.read_cell = [state](uint64_t row_id, const std::string& attr)
+      -> Result<std::optional<double>> {
+    STATDB_ASSIGN_OR_RETURN(Value v, state->view->ReadCell(row_id, attr));
+    if (v.is_null()) return std::optional<double>();
+    Result<double> d = v.ToDouble();
+    if (!d.ok()) return std::optional<double>();
+    return std::optional<double>(d.value());
+  };
+  env.has_pending = [state](const std::string& attr) {
+    return state->deltas.HasPending(attr);
+  };
+  env.flight = &flight_;
+  delta::FlushCounters counters;
+  Status s = delta::FlushAttribute(attribute, batch, env, &counters);
+  state->traffic.maintainer_applies += counters.applied;
+  state->traffic.maintainer_rebuilds += counters.rebuilds;
+  obs_delta_flushed_->Inc(batch.size());
+  return s;
+}
+
+Status StatisticalDbms::FlushViewDeltas(const std::string& view_name,
+                                        ViewState* state) {
+  for (const std::string& attr : state->deltas.PendingAttributes()) {
+    STATDB_RETURN_IF_ERROR(FlushAttributeDeltas(view_name, state, attr));
+  }
+  return Status::OK();
+}
+
+Status StatisticalDbms::FlushDeltas(const std::string& view) {
+  STATDB_ASSIGN_OR_RETURN(ViewState * state, GetState(view));
+  return FlushViewDeltas(view, state);
+}
+
+Result<uint64_t> StatisticalDbms::PendingDeltas(const std::string& view) {
+  STATDB_ASSIGN_OR_RETURN(ViewState * state, GetState(view));
+  return uint64_t{state->deltas.TotalPending()};
 }
 
 Status StatisticalDbms::MaintainDerivedColumns(
@@ -1723,6 +1828,11 @@ Status StatisticalDbms::MaintainDerivedColumns(
 
 Status StatisticalDbms::MaybeAuditAfterUpdate(const std::string& view) {
   if (!audit_after_update_) return Status::OK();
+  // The auditor recomputes cached statistics from base data; flush first
+  // so entries with buffered deltas are comparable. (Audit builds thus
+  // defeat batching — acceptable: auditing is a debug mode.)
+  STATDB_ASSIGN_OR_RETURN(ViewState * state, GetState(view));
+  STATDB_RETURN_IF_ERROR(FlushViewDeltas(view, state));
   CheckReport report;
   DbAuditor auditor(this);
   STATDB_RETURN_IF_ERROR(auditor.AuditView(view, &report));
@@ -1850,8 +1960,17 @@ Status StatisticalDbms::Rollback(const std::string& view,
                           state->summary->ClampVersions(target_version));
   (void)capped;
   // Maintainer state reflects the rolled-back data; drop it all and let
-  // queries re-arm on demand.
+  // queries re-arm on demand. Buffered deltas describe undone mutations:
+  // discard them and stamp their attributes stale (they may not be in
+  // `affected` when the pending update predates the rollback window).
   state->maintainers.clear();
+  state->comaintainers.clear();
+  for (const std::string& attr : state->deltas.PendingAttributes()) {
+    state->deltas.Discard(attr);
+    STATDB_ASSIGN_OR_RETURN(uint64_t dropped,
+                            state->summary->InvalidateAttribute(attr));
+    (void)dropped;
+  }
   STATDB_RETURN_IF_ERROR(MaybeAuditAfterUpdate(view));
   STATDB_RETURN_IF_ERROR(CommitDurable(/*attr_hint=*/"", /*force=*/true));
   flight_.Record(FlightEventKind::kRollback, view,
@@ -2064,9 +2183,25 @@ std::string StatisticalDbms::DumpMetrics() {
         .Int("maintainer_applies", t.maintainer_applies)
         .Int("maintainer_rebuilds", t.maintainer_rebuilds)
         .Int("eager_recomputes", t.eager_recomputes);
+    // Delta-buffer occupancy and the live per-attribute strategy for
+    // whatever is currently queued (empty when everything is flushed).
+    obs::JsonObject delta_attrs;
+    for (const std::string& attr : state.deltas.PendingAttributes()) {
+      delta_attrs.Raw(
+          attr, obs::JsonObject()
+                    .Int("pending", state.deltas.PendingCount(attr))
+                    .Str("strategy",
+                         delta::StrategyName(delta_policy_.Current(
+                             name, attr, delta_config_)))
+                    .Build());
+    }
+    obs::JsonObject delta;
+    delta.Int("pending", state.deltas.TotalPending())
+        .Raw("attributes", delta_attrs.Build());
     obs::JsonObject view;
     view.Raw("summary_db", cache.Build())
-        .Raw("traffic", traffic.Build());
+        .Raw("traffic", traffic.Build())
+        .Raw("delta", delta.Build());
     views.Raw(name, view.Build());
   }
   doc.Raw("views", views.Build());

@@ -14,6 +14,9 @@
 #include "core/inference.h"
 #include "core/view.h"
 #include "core/view_def.h"
+#include "delta/comoment.h"
+#include "delta/delta_buffer.h"
+#include "delta/policy.h"
 #include "fault/wal.h"
 #include "flight/flight_recorder.h"
 #include "flight/profiler.h"
@@ -345,6 +348,29 @@ class StatisticalDbms {
   /// cached summaries on the touched attributes are invalidated.
   Status Rollback(const std::string& view, uint64_t target_version);
 
+  // --- delta-batched maintenance (src/delta, DESIGN.md §16) ----------------
+
+  /// Explicit flush barrier: applies every pending delta of the view in
+  /// one amortized pass per attribute, leaving the summary cache fully
+  /// caught up. Query paths call the per-attribute equivalent
+  /// automatically (flush-before-serve), so this is for barriers the
+  /// engine cannot see — benchmarks, checkpoints, tests.
+  Status FlushDeltas(const std::string& view);
+
+  /// Pending (buffered, unflushed) deltas across the view's attributes.
+  Result<uint64_t> PendingDeltas(const std::string& view);
+
+  /// Tuning knobs of the delta engine. Strategy state already built
+  /// under the old config is kept; it re-converges under the new bands.
+  void set_delta_config(const delta::DeltaConfig& config) {
+    delta_config_ = config;
+  }
+  const delta::DeltaConfig& delta_config() const { return delta_config_; }
+
+  /// The per-(view, attribute) strategy state machine (introspection;
+  /// tests override strategies through set_delta_config instead).
+  delta::PolicyController& delta_policy() { return delta_policy_; }
+
   /// Adds a derived column and fills it (§2.2: capture "the results of a
   /// time-consuming calculation that are to be used later").
   Status AddDerivedColumn(const std::string& view, DerivedColumnDef def);
@@ -514,6 +540,13 @@ class StatisticalDbms {
         maintainers;
     /// Secondary indexes keyed by attribute name.
     std::map<std::string, std::unique_ptr<AttributeIndex>> indexes;
+    /// Pending (unflushed) update deltas per attribute — the write side
+    /// of the delta-batched maintenance engine (src/delta, §16).
+    delta::DeltaBuffer deltas;
+    /// Bivariate comoment maintainers keyed by encoded SummaryKey
+    /// (kIncremental only), peers of `maintainers`.
+    std::map<std::string, std::unique_ptr<delta::ComomentMaintainer>>
+        comaintainers;
     ViewTrafficStats traffic;
   };
 
@@ -572,7 +605,11 @@ class StatisticalDbms {
   /// satisfied without computation; bumps the traffic counters it
   /// consumes. `trace` (nullable) receives cache-probe / staleness-gate /
   /// inference spans.
-  Result<bool> TryAnswerWithoutComputing(ViewState* state,
+  /// Exact serves flush the attribute's pending deltas first
+  /// (flush-before-serve, §16); allow_stale accepts the un-flushed entry
+  /// the way it accepts any stale one.
+  Result<bool> TryAnswerWithoutComputing(const std::string& view,
+                                         ViewState* state,
                                          const SummaryKey& key,
                                          const std::string& function,
                                          const std::string& attribute,
@@ -580,6 +617,15 @@ class StatisticalDbms {
                                          const QueryOptions& opts,
                                          QueryAnswer* answer,
                                          QueryTrace* trace);
+
+  /// Drains `attribute`'s pending deltas through the flush engine and
+  /// folds the effort into the traffic counters. No-op when idle.
+  Status FlushAttributeDeltas(const std::string& view_name, ViewState* state,
+                              const std::string& attribute);
+
+  /// FlushAttributeDeltas over every attribute with pending deltas —
+  /// the whole-view barrier (explicit FlushDeltas, audits, reorganize).
+  Status FlushViewDeltas(const std::string& view_name, ViewState* state);
 
   /// Caches a computed result and arms an incremental maintainer when
   /// the view's policy wants one — the common tail of the serial and
@@ -707,6 +753,14 @@ class StatisticalDbms {
   Counter* obs_pool_rejected_ = nullptr;
   Gauge* obs_pool_queue_max_ = nullptr;
   Gauge* obs_pool_task_ms_total_ = nullptr;
+  // Delta engine instruments (dbms.delta.*).
+  Counter* obs_delta_buffered_ = nullptr;
+  Counter* obs_delta_flushed_ = nullptr;
+  Counter* obs_delta_policy_switches_ = nullptr;
+
+  /// Delta engine knobs + the per-(view, attribute) strategy machine.
+  delta::DeltaConfig delta_config_;
+  delta::PolicyController delta_policy_;
 #ifdef STATDB_AUDIT
   bool audit_after_update_ = true;
 #else

@@ -25,7 +25,9 @@ namespace statdb {
 namespace {
 
 constexpr uint32_t kManifestMagic = 0x4D414E49;  // "MANI"
-constexpr uint32_t kManifestVersion = 1;
+// v2 appends the delta-buffer occupancy section (which summaries still
+// owe a flush). v1 manifests (no section) are still readable.
+constexpr uint32_t kManifestVersion = 2;
 
 constexpr int kIoRetries = 3;
 
@@ -193,6 +195,25 @@ Result<std::vector<uint8_t>> StatisticalDbms::BuildManifest() const {
                           SerializeManagementState(mdb_));
   w.PutU32(static_cast<uint32_t>(mdb_bytes.size()));
   w.PutRaw(mdb_bytes.data(), mdb_bytes.size());
+
+  // v2: delta-buffer occupancy, as (view, attribute) pairs. The buffered
+  // mutations themselves are durable (force-at-commit ships the dirty
+  // data pages), but their summary flushes may not have happened yet —
+  // recovery must know which cached entries still owe one, so it can
+  // stamp them stale instead of serving pre-delta values as fresh.
+  uint32_t npending = 0;
+  for (const auto& [name, state] : views_) {
+    (void)name;
+    npending +=
+        static_cast<uint32_t>(state.deltas.PendingAttributes().size());
+  }
+  w.PutU32(npending);
+  for (const auto& [name, state] : views_) {
+    for (const std::string& attr : state.deltas.PendingAttributes()) {
+      w.PutString(name);
+      w.PutString(attr);
+    }
+  }
   return w.Take();
 }
 
@@ -203,7 +224,7 @@ Status StatisticalDbms::ApplyManifest(const std::vector<uint8_t>& manifest) {
     return DataLossError("manifest magic mismatch");
   }
   STATDB_ASSIGN_OR_RETURN(uint32_t version, r.GetU32());
-  if (version != kManifestVersion) {
+  if (version < 1 || version > kManifestVersion) {
     return DataLossError("unsupported manifest version " +
                          std::to_string(version));
   }
@@ -278,6 +299,22 @@ Status StatisticalDbms::ApplyManifest(const std::vector<uint8_t>& manifest) {
   STATDB_ASSIGN_OR_RETURN(const uint8_t* mdb_data, r.GetRaw(mdb_len));
   std::vector<uint8_t> mdb_bytes(mdb_data, mdb_data + mdb_len);
   STATDB_RETURN_IF_ERROR(RestoreManagementState(mdb_bytes, &mdb_));
+
+  // v2 delta-occupancy section: those summaries never got their flush
+  // (the maintainers and buffers died with the process) — invalidate so
+  // the next query recomputes instead of trusting a pre-delta value.
+  if (version >= 2) {
+    STATDB_ASSIGN_OR_RETURN(uint32_t npending, r.GetU32());
+    for (uint32_t i = 0; i < npending; ++i) {
+      STATDB_ASSIGN_OR_RETURN(std::string vname, r.GetString());
+      STATDB_ASSIGN_OR_RETURN(std::string attr, r.GetString());
+      auto it = views_.find(vname);
+      if (it == views_.end()) continue;
+      STATDB_ASSIGN_OR_RETURN(
+          uint64_t stamped, it->second.summary->InvalidateAttribute(attr));
+      (void)stamped;
+    }
+  }
   if (!r.exhausted()) {
     return DataLossError("manifest has trailing bytes");
   }

@@ -1,0 +1,65 @@
+#include "delta/delta_buffer.h"
+
+namespace statdb::delta {
+
+Result<size_t> DeltaBuffer::Buffer(const std::string& attribute,
+                                   const std::vector<CellChange>& changes,
+                                   bool coalesce) {
+  // Convert every endpoint before touching the queue so a non-numeric
+  // cell mid-batch leaves nothing half-buffered.
+  std::vector<RowDelta> converted;
+  converted.reserve(changes.size());
+  for (const CellChange& ch : changes) {
+    RowDelta d;
+    d.row = ch.row;
+    if (!ch.old_value.is_null()) {
+      STATDB_ASSIGN_OR_RETURN(double v, ch.old_value.ToDouble());
+      d.old_value = v;
+    }
+    if (!ch.new_value.is_null()) {
+      STATDB_ASSIGN_OR_RETURN(double v, ch.new_value.ToDouble());
+      d.new_value = v;
+    }
+    converted.push_back(d);
+  }
+
+  AttrQueue& q = queues_[attribute];
+  for (RowDelta& d : converted) {
+    if (coalesce) {
+      auto it = q.by_row.find(d.row);
+      if (it != q.by_row.end()) {
+        // Same row touched again before the flush: the summaries only
+        // ever see first-old -> latest-new.
+        q.items[it->second].new_value = d.new_value;
+        continue;
+      }
+      q.by_row[d.row] = q.items.size();
+    }
+    q.items.push_back(std::move(d));
+  }
+  return changes.size();
+}
+
+size_t DeltaBuffer::TotalPending() const {
+  size_t total = 0;
+  for (const auto& [attr, q] : queues_) total += q.items.size();
+  return total;
+}
+
+std::vector<std::string> DeltaBuffer::PendingAttributes() const {
+  std::vector<std::string> attrs;
+  for (const auto& [attr, q] : queues_) {
+    if (!q.items.empty()) attrs.push_back(attr);
+  }
+  return attrs;
+}
+
+std::vector<RowDelta> DeltaBuffer::Drain(const std::string& attribute) {
+  auto it = queues_.find(attribute);
+  if (it == queues_.end()) return {};
+  std::vector<RowDelta> items = std::move(it->second.items);
+  queues_.erase(it);
+  return items;
+}
+
+}  // namespace statdb::delta

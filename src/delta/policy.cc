@@ -1,0 +1,73 @@
+#include "delta/policy.h"
+
+namespace statdb::delta {
+
+const char* StrategyName(MaintenanceStrategy s) {
+  switch (s) {
+    case MaintenanceStrategy::kEagerIncremental: return "eager";
+    case MaintenanceStrategy::kDeltaBatched: return "batched";
+    case MaintenanceStrategy::kInvalidateLazy: return "lazy";
+  }
+  return "?";
+}
+
+MaintenanceStrategy PolicyController::Advise(uint64_t accesses,
+                                             uint64_t updates) {
+  if (updates == 0) return MaintenanceStrategy::kEagerIncremental;
+  double ratio = double(accesses) / double(updates);
+  if (ratio >= 4.0) return MaintenanceStrategy::kEagerIncremental;
+  if (ratio < 1.0) return MaintenanceStrategy::kInvalidateLazy;
+  return MaintenanceStrategy::kDeltaBatched;
+}
+
+PolicyDecision PolicyController::Observe(const std::string& view,
+                                         const std::string& attribute,
+                                         uint64_t accesses, uint64_t updates,
+                                         const DeltaConfig& config) {
+  auto [it, inserted] = entries_.try_emplace(
+      Key(view, attribute),
+      EntryState{config.default_strategy, config.default_strategy, 0});
+  EntryState& st = it->second;
+  if (!config.adaptive || accesses + updates < config.min_observations) {
+    return {st.current, false, st.current};
+  }
+  MaintenanceStrategy advice = Advise(accesses, updates);
+  if (advice == st.current) {
+    // Back in the current band: any half-built streak was a blip.
+    st.candidate = st.current;
+    st.streak = 0;
+    return {st.current, false, st.current};
+  }
+  if (advice == st.candidate) {
+    ++st.streak;
+  } else {
+    st.candidate = advice;
+    st.streak = 1;
+  }
+  if (st.streak < config.hysteresis_streak) {
+    return {st.current, false, st.current};
+  }
+  MaintenanceStrategy from = st.current;
+  st.current = advice;
+  st.candidate = advice;
+  st.streak = 0;
+  ++switches_;
+  return {advice, true, from};
+}
+
+MaintenanceStrategy PolicyController::Current(
+    const std::string& view, const std::string& attribute,
+    const DeltaConfig& config) const {
+  auto it = entries_.find(Key(view, attribute));
+  return it == entries_.end() ? config.default_strategy : it->second.current;
+}
+
+void PolicyController::EraseView(const std::string& view) {
+  const std::string prefix = view + ".";
+  for (auto it = entries_.lower_bound(prefix); it != entries_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    it = entries_.erase(it);
+  }
+}
+
+}  // namespace statdb::delta

@@ -1,0 +1,109 @@
+#ifndef STATDB_DELTA_POLICY_H_
+#define STATDB_DELTA_POLICY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace statdb::delta {
+
+/// How a view keeps the summaries on one attribute in step with updates
+/// (the runtime refinement of the paper's §4.3 maintain-vs-invalidate
+/// choice, DESIGN.md §16):
+///   eager   — buffer, then flush immediately: every update lands in the
+///             summary cache before the mutation returns (the pre-delta
+///             behavior, with the flush engine as the only code path).
+///   batched — buffer and defer: deltas accumulate until the flush
+///             threshold, an explicit barrier, or a query that needs an
+///             exact answer on the attribute.
+///   lazy    — don't maintain at all: invalidate the attribute's entries
+///             and let the next query recompute (§4.3's fallback).
+enum class MaintenanceStrategy : uint8_t {
+  kEagerIncremental = 0,
+  kDeltaBatched = 1,
+  kInvalidateLazy = 2,
+};
+
+const char* StrategyName(MaintenanceStrategy s);
+
+/// Tuning knobs for the delta engine, set per DBMS.
+struct DeltaConfig {
+  /// Batched strategy: flush once an attribute's queue reaches this many
+  /// pending deltas.
+  size_t flush_threshold = 64;
+  /// Consult the WorkloadProfiler heatmaps and switch strategies at
+  /// runtime. Off: every attribute stays on `default_strategy`.
+  bool adaptive = true;
+  /// The controller stays on `default_strategy` until an attribute has
+  /// accumulated this many profiler observations (accesses + updates) —
+  /// a cold heatmap row is noise, not signal.
+  uint64_t min_observations = 16;
+  /// Consecutive identical differing advisories required before a
+  /// switch. This is the anti-flap hysteresis: a workload oscillating
+  /// across an advice-band boundary keeps resetting the streak.
+  int hysteresis_streak = 3;
+  /// Collapse repeated writes to one row into first-old -> latest-new.
+  bool coalesce = true;
+  MaintenanceStrategy default_strategy =
+      MaintenanceStrategy::kEagerIncremental;
+};
+
+/// What PolicyController::Observe decided for one update batch.
+struct PolicyDecision {
+  MaintenanceStrategy strategy = MaintenanceStrategy::kEagerIncremental;
+  /// True exactly when this observation completed a hysteresis streak
+  /// and the strategy changed — the caller emits the flight event and
+  /// bumps the obs counter on this edge, so transitions are recorded
+  /// exactly once.
+  bool switched = false;
+  MaintenanceStrategy from = MaintenanceStrategy::kEagerIncremental;
+};
+
+/// Per-(view, attribute) strategy state machine. Single-threaded under
+/// the Dbms writer discipline, like the delta buffer.
+class PolicyController {
+ public:
+  /// The advice bands, mirroring WorkloadProfiler::Advice so the
+  /// rendered workload report and the controller agree:
+  ///   updates == 0          -> eager  ("cache-only": maintenance free)
+  ///   accesses/updates >= 4 -> eager  ("maintain": reads dominate)
+  ///   accesses/updates < 1  -> lazy   ("invalidate": writes dominate)
+  ///   otherwise             -> batched ("borderline": amortize)
+  static MaintenanceStrategy Advise(uint64_t accesses, uint64_t updates);
+
+  /// Folds one advisory for view.attribute and applies hysteresis.
+  PolicyDecision Observe(const std::string& view,
+                         const std::string& attribute, uint64_t accesses,
+                         uint64_t updates, const DeltaConfig& config);
+
+  /// Current strategy without observing (query-path introspection).
+  MaintenanceStrategy Current(const std::string& view,
+                              const std::string& attribute,
+                              const DeltaConfig& config) const;
+
+  void EraseView(const std::string& view);
+  void Reset() { entries_.clear(); }
+
+  /// Lifetime completed switches across all attributes.
+  uint64_t switches() const { return switches_; }
+
+ private:
+  struct EntryState {
+    MaintenanceStrategy current;
+    MaintenanceStrategy candidate;
+    int streak = 0;
+  };
+
+  static std::string Key(const std::string& view,
+                         const std::string& attribute) {
+    return view + "." + attribute;
+  }
+
+  std::map<std::string, EntryState> entries_;  // "view.attr"
+  uint64_t switches_ = 0;
+};
+
+}  // namespace statdb::delta
+
+#endif  // STATDB_DELTA_POLICY_H_

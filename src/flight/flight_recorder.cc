@@ -54,6 +54,8 @@ const char* FlightEventKindName(FlightEventKind kind) {
     case FlightEventKind::kDataLoss: return "data_loss";
     case FlightEventKind::kUpdate: return "update";
     case FlightEventKind::kRollback: return "rollback";
+    case FlightEventKind::kPolicySwitch: return "policy_switch";
+    case FlightEventKind::kDeltaFlush: return "delta_flush";
   }
   return "unknown";
 }

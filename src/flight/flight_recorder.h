@@ -55,6 +55,8 @@ enum class FlightEventKind : uint8_t {
   kRollback = 14,       // a = version rolled back to
   kSessionOpen = 15,    // a = session id, b = pinned commit seq
   kSessionClose = 16,   // a = session id, b = queries served
+  kPolicySwitch = 17,   // "view.attr"; a = from strategy, b = to strategy
+  kDeltaFlush = 18,     // "view.attr"; a = batch size, b = entries refreshed
 };
 
 const char* FlightEventKindName(FlightEventKind kind);

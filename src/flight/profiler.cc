@@ -53,6 +53,13 @@ void WorkloadProfiler::NoteUpdate(const std::string& view,
   row.cells_updated += cells;
 }
 
+WorkloadProfiler::AttributeRow WorkloadProfiler::AttributeStats(
+    const std::string& view, const std::string& attribute) const {
+  MutexLock lock(mu_);
+  auto it = attributes_.find(AttributeKey(view, attribute));
+  return it == attributes_.end() ? AttributeRow{} : it->second;
+}
+
 uint64_t WorkloadProfiler::total_queries() const {
   MutexLock lock(mu_);
   return total_queries_;

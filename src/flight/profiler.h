@@ -63,6 +63,11 @@ class WorkloadProfiler {
   void NoteUpdate(const std::string& view, const std::string& attribute,
                   uint64_t cells);
 
+  /// The heatmap row for one "view.attr" (zeros when the attribute was
+  /// never touched) — the delta policy controller's decision input.
+  AttributeRow AttributeStats(const std::string& view,
+                              const std::string& attribute) const;
+
   uint64_t total_queries() const;
   uint64_t total_updates() const;
 

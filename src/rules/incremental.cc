@@ -494,6 +494,32 @@ class HistogramMaintainer : public IncrementalMaintainer {
     return Current();
   }
 
+  /// The batched arm skips Apply's per-delta result materialization (a
+  /// full Histogram copy each call): adjust every bucket first, check
+  /// spill once, render once. Bucket arithmetic is integer-exact, so
+  /// the final counts are bit-identical to the Apply loop's.
+  Result<SummaryResult> ApplyBatch(
+      const std::vector<CellDelta>& batch) override {
+    if (!initialized_) return WindowExhausted(name());
+    for (const CellDelta& delta : batch) {
+      if (delta.old_value.has_value()) {
+        STATDB_RETURN_IF_ERROR(Adjust(*delta.old_value, -1));
+      }
+      if (delta.new_value.has_value()) {
+        STATDB_RETURN_IF_ERROR(Adjust(*delta.new_value, +1));
+      }
+      ++stats_.applies;
+    }
+    uint64_t total = hist_.TotalCount();
+    if (total > 0 &&
+        double(hist_.below + hist_.above) >
+            spill_tolerance_ * double(total)) {
+      initialized_ = false;
+      return WindowExhausted(name());
+    }
+    return Current();
+  }
+
   Result<SummaryResult> Current() const override {
     if (!initialized_) {
       return FailedPreconditionError("histogram not available");

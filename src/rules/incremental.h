@@ -60,6 +60,24 @@ class IncrementalMaintainer {
   /// Folds one delta into the state and returns the new result.
   virtual Result<SummaryResult> Apply(const CellDelta& delta) = 0;
 
+  /// Folds a whole delta batch and returns the result once — the
+  /// amortized arm the delta-batched maintenance engine drives
+  /// (DESIGN.md §16). The default loops Apply, discarding intermediate
+  /// results; maintainers whose Apply pays a per-call materialization
+  /// cost (histogram) override it. Like Apply, FAILED_PRECONDITION
+  /// means the auxiliary state gave up mid-batch and the caller must
+  /// re-Initialize from the full column.
+  virtual Result<SummaryResult> ApplyBatch(
+      const std::vector<CellDelta>& batch) {
+    if (batch.empty()) return Current();
+    Result<SummaryResult> r = Current();
+    for (const CellDelta& d : batch) {
+      r = Apply(d);
+      if (!r.ok()) return r;
+    }
+    return r;
+  }
+
   /// Current result without applying anything.
   virtual Result<SummaryResult> Current() const = 0;
 

@@ -164,8 +164,37 @@ Result<std::optional<BPlusTree::SplitResult>> BPlusTree::InsertRec(
       STATDB_RETURN_IF_ERROR(StoreNode(pid, node));
       return std::optional<SplitResult>();
     }
-    // Split the leaf at the midpoint; right sibling gets the upper half.
-    size_t mid = entries.size() / 2;
+    // Split the leaf at the byte-balanced point, not the entry-count
+    // midpoint: with mixed record sizes (scalar summary entries next to
+    // near-kMaxValueSize histogram payloads) a count split can leave one
+    // half still over capacity. Pick the most balanced split where both
+    // halves fit.
+    constexpr size_t kLeafHeader = 1 + 4 + 8;  // is_leaf + count + next
+    size_t total = SerializedSize(node);
+    size_t mid = 0;
+    size_t best_imbalance = total;  // anything valid beats this
+    size_t left_bytes = kLeafHeader;
+    for (size_t i = 1; i < entries.size(); ++i) {
+      const auto& [k, v] = entries[i - 1];
+      left_bytes += 4 + k.size() + 4 + v.size();
+      size_t right_bytes = total - left_bytes + kLeafHeader;
+      if (left_bytes > kNodeCapacity || right_bytes > kNodeCapacity) {
+        continue;
+      }
+      size_t imbalance = left_bytes > right_bytes
+                             ? left_bytes - right_bytes
+                             : right_bytes - left_bytes;
+      if (mid == 0 || imbalance < best_imbalance) {
+        mid = i;
+        best_imbalance = imbalance;
+      }
+    }
+    if (mid == 0) {
+      // No single split fits both halves (can only happen if an entry
+      // approaches the page size on its own, which kMaxValueSize
+      // forbids) — surface it rather than store a corrupt node.
+      return InternalError("B+-tree leaf unsplittable");
+    }
     Node right;
     right.is_leaf = true;
     right.leaf.entries.assign(entries.begin() + mid, entries.end());

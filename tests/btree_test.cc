@@ -148,6 +148,31 @@ TEST(BTreeTest, LargeValuesForceEarlySplits) {
   }
 }
 
+TEST(BTreeTest, ByteSkewedLeavesSplitWithoutOverflow) {
+  // Regression: mixed record sizes — runs of small entries next to
+  // near-kMaxValueSize payloads (the summary store's scalar entries
+  // interleaved with wide histograms) — used to defeat the entry-count
+  // midpoint split: the half keeping the big records could still exceed
+  // the node capacity and Put failed with an INTERNAL store-time
+  // overflow. The byte-balanced split must absorb any such mix.
+  TestStorage ts(4096);
+  auto tree = MakeTree(&ts);
+  std::string big(BPlusTree::kMaxValueSize, 'h');
+  Rng rng(7);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 400; ++i) {
+    std::string key = "entry" + std::to_string(1000 + i);
+    // Every few entries a page-dominating value, otherwise a tiny one.
+    std::string value =
+        rng.UniformInt(0, 3) == 0 ? big : "v" + std::to_string(i);
+    STATDB_ASSERT_OK(tree->Put(key, value));
+    model[key] = value;
+  }
+  for (const auto& [k, v] : model) {
+    EXPECT_EQ(tree->Get(k).value(), v);
+  }
+}
+
 class BTreeModelTest : public ::testing::TestWithParam<int> {};
 
 // Property test: the tree behaves exactly like std::map under a random

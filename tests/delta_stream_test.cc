@@ -1,0 +1,231 @@
+// Randomized update-stream differential harness (ISSUE 9 parity bar,
+// DESIGN.md §16): the same stream of predicate updates is driven through
+// three DBMS instances that differ only in maintenance strategy —
+//   eager   (buffer + flush per update),
+//   batched (defer until a query needs the attribute),
+//   lazy    (invalidate; every query recomputes from scratch) —
+// and the maintained summaries must agree. Eager and batched share one
+// flush engine and apply the identical delta sequence, so the mergeable
+// set (count/sum/mean/variance/stddev/min/max/mode/distinct and the
+// frozen-edge histogram) is bit-identical when rows within a flush
+// window are distinct. With repeated rows the batched arm coalesces
+// (first-old -> latest-new), which changes the floating-point op
+// sequence: moments agree to relative 1e-9, everything exact stays
+// bit-identical. The lazy arm is the recompute-from-scratch oracle;
+// histograms are excluded there because a fresh compute re-derives its
+// edges from the mutated column.
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/dbms.h"
+#include "delta/policy.h"
+#include "gtest/gtest.h"
+#include "relational/datagen.h"
+#include "relational/expr.h"
+#include "tests/test_util.h"
+
+namespace statdb {
+namespace {
+
+using delta::DeltaConfig;
+using delta::MaintenanceStrategy;
+
+// The mergeable set under differential test. Histogram is handled
+// separately (it needs params and is excluded from the lazy oracle).
+const char* kExactFns[] = {"count", "min", "max", "mode", "distinct"};
+const char* kMomentFns[] = {"sum", "mean", "variance", "stddev"};
+
+FunctionParams HistParams() {
+  FunctionParams hp;
+  hp.Set("buckets", 12);
+  return hp;
+}
+
+struct Arm {
+  std::unique_ptr<StorageManager> storage;
+  std::unique_ptr<StatisticalDbms> db;
+
+  Arm(const Table& raw, MaintenanceStrategy s) {
+    storage = MakeTapeDiskStorage(/*tape_pool=*/256, /*disk_pool=*/2048);
+    db = std::make_unique<StatisticalDbms>(storage.get());
+    EXPECT_TRUE(db->LoadRawDataSet("census", raw, "synthetic").ok());
+    ViewDefinition def;
+    def.source = "census";
+    EXPECT_TRUE(
+        db->CreateView("v", def, MaintenancePolicy::kIncremental).ok());
+    DeltaConfig cfg;
+    cfg.adaptive = false;
+    cfg.default_strategy = s;
+    // No size-triggered flushes: only query barriers drain the batched
+    // arm, so each comparison point sees the largest possible batch.
+    cfg.flush_threshold = size_t{1} << 40;
+    db->set_delta_config(cfg);
+  }
+
+  // Arms the maintainers (and freezes the histogram's edges) before the
+  // stream starts, so every arm differences from the same seed state.
+  void Warm() {
+    for (const char* fn : kExactFns) {
+      STATDB_ASSERT_OK(db->Query("v", fn, "INCOME").status());
+    }
+    for (const char* fn : kMomentFns) {
+      STATDB_ASSERT_OK(db->Query("v", fn, "INCOME").status());
+    }
+    STATDB_ASSERT_OK(
+        db->Query("v", "histogram", "INCOME", HistParams()).status());
+  }
+
+  SummaryResult Answer(const std::string& fn) {
+    auto a = db->Query("v", fn, "INCOME");
+    EXPECT_TRUE(a.ok()) << fn << ": " << a.status().ToString();
+    return a->result;
+  }
+
+  SummaryResult HistAnswer() {
+    auto a = db->Query("v", "histogram", "INCOME", HistParams());
+    EXPECT_TRUE(a.ok()) << a.status().ToString();
+    return a->result;
+  }
+};
+
+// One random contraction update: INCOME <- f*INCOME + c over the rows of
+// one AGE cohort. Contractions keep every updated value inside the
+// initial [min, max] (f in [0.2, 0.5], c in [10k, 30k], and census max
+// income is far above 60k), so the frozen-edge histogram never spills
+// into a rebuild and its edges stay comparable across arms.
+UpdateSpec ContractCohort(Rng* rng, int64_t age) {
+  UpdateSpec spec;
+  spec.predicate = Eq(Col("AGE"), Lit(age));
+  spec.column = "INCOME";
+  double f = rng->UniformDouble(0.2, 0.5);
+  double c = rng->UniformDouble(10000.0, 30000.0);
+  spec.value = Add(Mul(Col("INCOME"), Lit(f)), Lit(c));
+  spec.description = "stream contraction";
+  return spec;
+}
+
+void ExpectNearRel(const SummaryResult& a, const SummaryResult& b,
+                   const std::string& what) {
+  auto x = a.AsScalar();
+  auto y = b.AsScalar();
+  ASSERT_TRUE(x.ok() && y.ok()) << what;
+  double tol =
+      1e-9 * std::max({1.0, std::fabs(x.value()), std::fabs(y.value())});
+  EXPECT_NEAR(x.value(), y.value(), tol) << what;
+}
+
+class DeltaStreamTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CensusOptions opts;
+    opts.rows = 2000;
+    Rng rng(97);
+    auto data = GenerateCensusMicrodata(opts, &rng);
+    ASSERT_TRUE(data.ok());
+    raw_ = std::move(data).value();
+  }
+
+  // Drives `windows` flush windows of `per_window` updates through all
+  // three arms and checks parity at every window boundary. Ages within a
+  // window are distinct when `repeat_rows` is false (disjoint cohorts =
+  // no coalescing) and deliberately repeated when true.
+  void RunStream(int windows, int per_window, bool repeat_rows,
+                 uint64_t seed) {
+    Arm eager(raw_, MaintenanceStrategy::kEagerIncremental);
+    Arm batched(raw_, MaintenanceStrategy::kDeltaBatched);
+    Arm lazy(raw_, MaintenanceStrategy::kInvalidateLazy);
+    eager.Warm();
+    batched.Warm();
+    lazy.Warm();
+
+    Rng stream_rng(seed);
+    for (int w = 0; w < windows; ++w) {
+      int64_t base_age = stream_rng.UniformInt(18, 70);
+      uint64_t pending_after_first = 0;
+      for (int u = 0; u < per_window; ++u) {
+        // Distinct mode walks disjoint cohorts; repeat mode hammers one
+        // cohort so the batched arm coalesces multiple writes per row.
+        int64_t age = repeat_rows ? base_age : base_age + u;
+        Rng update_rng(seed * 1000 + uint64_t(w * per_window + u));
+        UpdateSpec spec = ContractCohort(&update_rng, age);
+        auto ne = eager.db->Update("v", spec);
+        auto nb = batched.db->Update("v", spec);
+        auto nl = lazy.db->Update("v", spec);
+        STATDB_ASSERT_OK(ne);
+        STATDB_ASSERT_OK(nb);
+        STATDB_ASSERT_OK(nl);
+        // Identical predicates over identical data: same rows touched.
+        EXPECT_EQ(ne.value(), nb.value());
+        EXPECT_EQ(ne.value(), nl.value());
+        EXPECT_EQ(eager.db->PendingDeltas("v").value(), 0u);
+        if (u == 0) {
+          pending_after_first = batched.db->PendingDeltas("v").value();
+        }
+      }
+      if (repeat_rows && per_window > 1) {
+        // Every update hit the same cohort: coalescing folds the repeat
+        // writes into the rows already queued, so the queue never grows
+        // past the first update's row count.
+        EXPECT_EQ(batched.db->PendingDeltas("v").value(),
+                  pending_after_first)
+            << "coalescing window " << w;
+      }
+
+      // The comparison point: exact queries force the batched arm
+      // through its flush barrier, the lazy arm through a recompute.
+      for (const char* fn : kExactFns) {
+        SummaryResult e = eager.Answer(fn);
+        SummaryResult b = batched.Answer(fn);
+        SummaryResult l = lazy.Answer(fn);
+        EXPECT_EQ(e, b) << fn << " window " << w;
+        EXPECT_EQ(e, l) << fn << " window " << w << " (oracle)";
+      }
+      for (const char* fn : kMomentFns) {
+        SummaryResult e = eager.Answer(fn);
+        SummaryResult b = batched.Answer(fn);
+        SummaryResult l = lazy.Answer(fn);
+        if (repeat_rows) {
+          // Coalescing reorders the floating-point deltas.
+          ExpectNearRel(e, b, std::string(fn) + " window " +
+                                  std::to_string(w));
+        } else {
+          EXPECT_EQ(e, b) << fn << " window " << w;
+        }
+        ExpectNearRel(e, l,
+                      std::string(fn) + " oracle window " +
+                          std::to_string(w));
+      }
+      // Frozen edges: eager vs batched only (a fresh compute re-derives
+      // edges from the mutated column, so the oracle is out of scope).
+      EXPECT_EQ(eager.HistAnswer(), batched.HistAnswer())
+          << "histogram window " << w;
+      EXPECT_EQ(batched.db->PendingDeltas("v").value(), 0u);
+    }
+  }
+
+  Table raw_;
+};
+
+TEST_F(DeltaStreamTest, DistinctRowStreamIsBitIdentical) {
+  RunStream(/*windows=*/8, /*per_window=*/5, /*repeat_rows=*/false,
+            /*seed=*/11);
+}
+
+TEST_F(DeltaStreamTest, CoalescedRepeatedRowStreamAgrees) {
+  RunStream(/*windows=*/8, /*per_window=*/5, /*repeat_rows=*/true,
+            /*seed=*/23);
+}
+
+TEST_F(DeltaStreamTest, MixedWindowSizesUnderOneSeed) {
+  RunStream(/*windows=*/4, /*per_window=*/1, /*repeat_rows=*/false,
+            /*seed=*/31);
+  RunStream(/*windows=*/3, /*per_window=*/9, /*repeat_rows=*/false,
+            /*seed=*/37);
+}
+
+}  // namespace
+}  // namespace statdb

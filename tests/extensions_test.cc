@@ -228,11 +228,13 @@ TEST_F(BivariateTest, CrossTabResult) {
   EXPECT_EQ(ct->Total(), raw_.num_rows());
 }
 
-TEST_F(BivariateTest, UpdateToEitherAttributeInvalidates) {
+TEST_F(BivariateTest, UpdateToEitherAttributeMaintainsComoment) {
   ASSERT_TRUE(
       dbms_->QueryBivariate("v", "correlation", "AGE", "INCOME").ok());
-  // Update the SECOND attribute (INCOME): the multi-attribute entry must
-  // go stale through its reference record.
+  // Update the SECOND attribute (INCOME). Since PR 9 the multi-attribute
+  // entry no longer just goes stale: the armed comoment maintainer pulls
+  // the delta through the flush, so the cache keeps serving — fresh, and
+  // already reflecting the mutation.
   UpdateSpec spec;
   spec.predicate = Lt(Col("AGE"), Lit(int64_t{25}));
   spec.column = "INCOME";
@@ -240,7 +242,24 @@ TEST_F(BivariateTest, UpdateToEitherAttributeInvalidates) {
   ASSERT_TRUE(dbms_->Update("v", spec).ok());
   auto after = dbms_->QueryBivariate("v", "correlation", "AGE", "INCOME");
   ASSERT_TRUE(after.ok());
-  EXPECT_EQ(after->source, AnswerSource::kComputed);  // not a stale hit
+  EXPECT_EQ(after->source, AnswerSource::kCacheHit);
+  EXPECT_TRUE(after->exact);
+  // The maintained value must agree with a direct recompute over the
+  // mutated pairs, not echo the pre-update correlation.
+  std::vector<double> xs, ys;
+  size_t ai = raw_.schema().IndexOf("AGE").value();
+  size_t ii = raw_.schema().IndexOf("INCOME").value();
+  for (size_t r = 0; r < raw_.num_rows(); ++r) {
+    const Value& a = raw_.At(r, ai);
+    const Value& b = raw_.At(r, ii);
+    if (a.is_null() || b.is_null()) continue;
+    double age = a.ToDouble().value();
+    double income = b.ToDouble().value();
+    xs.push_back(age);
+    ys.push_back(age < 25 ? income * 1.5 : income);
+  }
+  EXPECT_NEAR(after->result.AsScalar().value(),
+              PearsonR(xs, ys).value(), 1e-9);
 }
 
 TEST_F(BivariateTest, UnknownFunctionRejected) {

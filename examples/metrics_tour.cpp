@@ -11,6 +11,9 @@
 //   workload               WorkloadReport()   — the §4.3 heatmaps
 //   top                    WorkloadReportText() on stderr, workload JSON
 //                          on stdout (so the pipe check still works)
+//   slowlog                DumpSlowLogJson()  — traces + joined events
+//   slo                    DumpSloJson()      — per-class latency targets
+//   chrometrace            DumpChromeTrace()  — chrome://tracing JSON
 
 #include <cstdio>
 #include <cstring>
@@ -34,6 +37,11 @@ Status Run(const char* mode) {
   // Snapshot after every mutation: the tour has exactly one update, so
   // the timeseries ends with a baseline point and one delta.
   dbms.EnableTimeseries(1);
+  // Slow-query capture at threshold 0: every operation qualifies, so the
+  // slowlog/chrometrace exports have material regardless of how fast the
+  // tour machine is.
+  dbms.slow_query_log().set_threshold_ms(0.0);
+  dbms.slow_query_log().set_enabled(true);
 
   CensusOptions gen;
   gen.rows = 20000;
@@ -112,6 +120,15 @@ Status Run(const char* mode) {
   } else if (std::strcmp(mode, "top") == 0) {
     std::cerr << "\n" << dbms.WorkloadReportText();
     std::cout << dbms.WorkloadReport() << "\n";
+  } else if (std::strcmp(mode, "slowlog") == 0) {
+    std::cerr << "\nDumpSlowLogJson() follows on stdout.\n";
+    std::cout << dbms.DumpSlowLogJson("tour") << "\n";
+  } else if (std::strcmp(mode, "slo") == 0) {
+    std::cerr << "\nDumpSloJson() follows on stdout.\n";
+    std::cout << dbms.DumpSloJson() << "\n";
+  } else if (std::strcmp(mode, "chrometrace") == 0) {
+    std::cerr << "\nDumpChromeTrace() follows on stdout.\n";
+    std::cout << dbms.DumpChromeTrace() << "\n";
   } else {
     std::cerr << "\nDumpMetrics() JSON follows on stdout.\n";
     std::cout << dbms.DumpMetrics() << "\n";

@@ -73,6 +73,13 @@ void PrintHelp() {
       "  session query <id> <view> <fn> <attr>  query at the session's"
       " pinned snapshot\n"
       "  session list | session close <id>  inspect / close sessions\n"
+      "  session stats <id>                 one session's metric scope\n"
+      "  slow [on [ms] | off]               slow-query log: dump / arm"
+      " capture\n"
+      "  slo                                per-query-class SLO burn"
+      " (JSON)\n"
+      "  trace [id]                         Chrome trace-event JSON"
+      " (chrome://tracing)\n"
       "  help | quit\n";
 }
 
@@ -152,6 +159,9 @@ class Shell {
     if (cmd == "audit") return CmdAudit();
     if (cmd == "io") return CmdIo();
     if (cmd == "session") return CmdSession(t);
+    if (cmd == "slow") return CmdSlow(t);
+    if (cmd == "slo") return CmdSlo();
+    if (cmd == "trace") return CmdTrace(t);
     return InvalidArgumentError("unknown command: " + cmd +
                                 " (try 'help')");
   }
@@ -451,6 +461,28 @@ class Shell {
                 << "   [" << SourceName(a.source) << "]\n";
       return Status::OK();
     }
+    if (sub == "stats") {
+      if (t.size() < 3) return InvalidArgumentError("session stats <id>");
+      auto it = session_handles_.find(std::stoull(t[2]));
+      if (it == session_handles_.end()) {
+        return NotFoundError("no open session #" + t[2]);
+      }
+      const session::Session* s = it->second;
+      const session::Session::Stats st = s->stats();
+      std::cout << "  session #" << s->id() << " ('" << s->label()
+                << "') pinned at seq " << s->pinned_seq() << "\n"
+                << "    queries        " << st.queries << "\n"
+                << "    cache_hits     " << st.cache_hits << "\n"
+                << "    live_reads     " << st.live_reads << "\n"
+                << "    snapshot_reads " << st.snapshot_reads << "\n"
+                << "    rows           " << st.rows << "\n"
+                << "    pages          " << st.pages << "\n"
+                << "    flushes        " << st.flushes << "\n"
+                << "  (instruments: session." << s->label()
+                << ".{queries,cache_hits,rows,pages,flushes,query_ms}; "
+                   "global mirrors sessions.*)\n";
+      return Status::OK();
+    }
     if (sub == "close") {
       if (t.size() < 3) return InvalidArgumentError("session close <id>");
       auto it = session_handles_.find(std::stoull(t[2]));
@@ -463,6 +495,42 @@ class Shell {
       return Status::OK();
     }
     return InvalidArgumentError("unknown session subcommand: " + sub);
+  }
+
+  // Slow-query log: `slow on [ms]` arms capture (every later operation
+  // above the threshold keeps its full trace + joined flight events),
+  // `slow` dumps what was caught, `slow off` disarms.
+  Status CmdSlow(const std::vector<std::string>& t) {
+    if (t.size() > 1 && t[1] == "on") {
+      if (t.size() > 2) {
+        dbms_->slow_query_log().set_threshold_ms(std::stod(t[2]));
+      }
+      dbms_->slow_query_log().set_enabled(true);
+      std::cout << "slow-query capture on (threshold "
+                << dbms_->slow_query_log().threshold_ms() << " ms)\n";
+      return Status::OK();
+    }
+    if (t.size() > 1 && t[1] == "off") {
+      dbms_->slow_query_log().set_enabled(false);
+      std::cout << "slow-query capture off\n";
+      return Status::OK();
+    }
+    std::cout << dbms_->DumpSlowLogJson("shell") << "\n";
+    return Status::OK();
+  }
+
+  Status CmdSlo() {
+    std::cout << dbms_->DumpSloJson() << "\n";
+    return Status::OK();
+  }
+
+  // Renders the slow log's traces + the flight window as Chrome
+  // trace-event JSON; paste into chrome://tracing or Perfetto. With an
+  // id, only that trace's spans and events are exported.
+  Status CmdTrace(const std::vector<std::string>& t) {
+    uint64_t id = t.size() > 1 ? std::stoull(t[1]) : 0;
+    std::cout << dbms_->DumpChromeTrace(id) << "\n";
+    return Status::OK();
   }
 
   StorageManager storage_;

@@ -204,8 +204,43 @@ def check_delta_maintenance(doc: dict, name: str) -> None:
             f"({wal_e:g} vs {wal_b:g}) — commit streams differ")
 
 
+def check_causal_overhead(doc: dict, name: str) -> None:
+    for key in ("rows", "reps", "workers", "battery_size", "off_ms",
+                "full_ms", "export_ms", "off_ms_per_100k_rows",
+                "ctx_ns_per_op", "overhead_ctx_pct", "overhead_full_pct",
+                "overhead_export_pct", "simulated_io_ms",
+                "slow_entries_captured", "slow_entries_dropped", "phases"):
+        require(key in doc, f"{name}: missing '{key}'")
+    phases = doc["phases"]
+    require(isinstance(phases, list) and len(phases) == 3,
+            f"{name}: expected exactly 3 phases")
+    names = [p.get("phase") for p in phases]
+    require(names == ["off", "full", "export"],
+            f"{name}: phase names are {names}")
+    for p in phases:
+        for key in ("wall_ms", "simulated_io_ms", "overhead_pct"):
+            require(key in p, f"{name}: phase '{p['phase']}' missing '{key}'")
+        require(p["wall_ms"] > 0, f"{name}: phase '{p['phase']}' ran nothing")
+    # Observation must not change the physical plan: every phase does the
+    # same simulated I/O, traced or not.
+    off_io = phases[0]["simulated_io_ms"]
+    for p in phases[1:]:
+        require(abs(p["simulated_io_ms"] - off_io) < 1e-6,
+                f"{name}: phase '{p['phase']}' changed simulated I/O "
+                f"({p['simulated_io_ms']} vs {off_io})")
+    require(doc["ctx_ns_per_op"] > 0,
+            f"{name}: context microbench measured nothing")
+    require(doc["overhead_ctx_pct"] >= 0,
+            f"{name}: negative context overhead")
+    # The capturing phases run at threshold 0, so the log must have
+    # actually caught operations — otherwise 'full' priced nothing.
+    require(doc["slow_entries_captured"] > 0,
+            f"{name}: capturing phases retained no slow-log entries")
+
+
 CHECKERS = {
     "parallel_scan": check_parallel_scan,
+    "causal_overhead": check_causal_overhead,
     "delta_maintenance": check_delta_maintenance,
     "fault_injection": check_fault_injection,
     "flight_overhead": check_flight_overhead,

@@ -8,6 +8,9 @@ document is selected with --kind:
   flight      DumpFlightJson()     — the flight-recorder event window
   timeseries  DumpTimeseriesJson() — snapshot deltas + derived rates
   workload    WorkloadReport()     — the §4.3 function/attribute heatmaps
+  slowlog     DumpSlowLogJson()    — slow queries + joined flight events
+  slo         DumpSloJson()        — per-query-class latency targets/burn
+  chrometrace DumpChromeTrace()    — Chrome trace-event (catapult) JSON
 
 Each document must parse as one JSON object and carry the signals
 DESIGN.md §10/§12 promise. Exits non-zero with a message on the first
@@ -85,9 +88,14 @@ def check_metrics(doc: dict) -> str:
 KNOWN_EVENT_KINDS = {
     "query_begin", "query_end", "cache_hit", "cache_miss", "stale_serve",
     "maintainer_arm", "maintainer_fire", "wal_commit", "fault_injected",
-    "io_retry", "recovery_step", "degraded", "data_loss", "update",
-    "rollback",
+    "io_retry", "recovery_step", "session_open", "session_close",
+    "degraded", "data_loss", "update", "rollback", "policy_switch",
+    "delta_flush",
 }
+
+# Per-event keys shared by the flight dump and the slow log's joined
+# events ("trace" is the PR 10 causal join key).
+EVENT_KEYS = ("seq", "t_ms", "kind", "label", "a", "b", "x", "trace")
 
 
 def check_flight(doc: dict) -> str:
@@ -103,7 +111,7 @@ def check_flight(doc: dict) -> str:
             "more events than ring capacity")
     last_seq = -1
     for i, ev in enumerate(events):
-        for key in ("seq", "t_ms", "kind", "label", "a", "b", "x"):
+        for key in EVENT_KEYS:
             require(key in ev, f"event [{i}] missing '{key}'")
         require(ev["kind"] in KNOWN_EVENT_KINDS,
                 f"event [{i}] has unknown kind '{ev['kind']}'")
@@ -178,11 +186,123 @@ def check_workload(doc: dict) -> str:
             f"{len(wl['attributes'])} attribute row(s)")
 
 
+KNOWN_OUTCOMES = {"unknown", "cache_hit", "stale_cache_hit", "inferred",
+                  "computed", "error"}
+
+
+def check_slowlog(doc: dict) -> str:
+    require("slow_query_log" in doc,
+            "missing top-level 'slow_query_log' object")
+    log = doc["slow_query_log"]
+    require(isinstance(log, dict), "'slow_query_log' is not an object")
+    for key in ("reason", "threshold_ms", "capacity", "captured", "dropped",
+                "entries"):
+        require(key in log, f"slow_query_log missing '{key}'")
+    entries = log["entries"]
+    require(isinstance(entries, list), "'entries' is not an array")
+    require(len(entries) <= log["capacity"],
+            "more entries than the log's capacity")
+    require(log["captured"] >= len(entries) + log["dropped"],
+            "captured < retained + dropped")
+    for i, entry in enumerate(entries):
+        for key in ("trace_id", "wall_ms", "outcome", "trace",
+                    "flight_events"):
+            require(key in entry, f"entry [{i}] missing '{key}'")
+        require(entry["outcome"] in KNOWN_OUTCOMES,
+                f"entry [{i}] has unknown outcome '{entry['outcome']}'")
+        trace = entry["trace"]
+        for key in ("trace_id", "session_id", "query_seq", "operation",
+                    "outcome", "total_ms", "spans"):
+            require(key in trace, f"entry [{i}] trace missing '{key}'")
+        require(trace["trace_id"] == entry["trace_id"],
+                f"entry [{i}]: trace_id disagrees with its trace")
+        for j, span in enumerate(trace["spans"]):
+            for key in ("span", "start_ms", "wall_ms", "rows", "pages"):
+                require(key in span,
+                        f"entry [{i}] span [{j}] missing '{key}'")
+        for j, ev in enumerate(entry["flight_events"]):
+            for key in EVENT_KEYS:
+                require(key in ev,
+                        f"entry [{i}] event [{j}] missing '{key}'")
+            require(ev["kind"] in KNOWN_EVENT_KINDS,
+                    f"entry [{i}] event [{j}] unknown kind '{ev['kind']}'")
+            # The join invariant: every joined event carries the entry's
+            # trace_id — that is what made it part of this entry.
+            require(ev["trace"] == entry["trace_id"],
+                    f"entry [{i}] event [{j}] trace {ev['trace']} != "
+                    f"entry trace_id {entry['trace_id']}")
+    return (f"reason '{log['reason']}', {len(entries)} entr(ies) of "
+            f"{log['captured']} captured")
+
+
+def check_slo(doc: dict) -> str:
+    require("slo" in doc, "missing top-level 'slo' object")
+    slo = doc["slo"]
+    require(isinstance(slo, dict), "'slo' is not an object")
+    require("classes" in slo, "slo missing 'classes'")
+    classes = slo["classes"]
+    require(isinstance(classes, list), "'classes' is not an array")
+    for i, c in enumerate(classes):
+        for key in ("class", "total", "targets", "observed", "breaches",
+                    "error_budget"):
+            require(key in c, f"class [{i}] missing '{key}'")
+        for part in ("targets", "observed"):
+            for key in ("p50_ms", "p95_ms", "p99_ms"):
+                require(key in c[part],
+                        f"class '{c['class']}' {part} missing '{key}'")
+        for key in ("over_p50", "over_p95", "over_p99"):
+            require(key in c["breaches"],
+                    f"class '{c['class']}' breaches missing '{key}'")
+        # A sample over the p99 target is over p95 and p50 too (targets
+        # are ordered), so the breach counters must be monotone.
+        b = c["breaches"]
+        require(b["over_p50"] >= b["over_p95"] >= b["over_p99"],
+                f"class '{c['class']}': breach counters not monotone")
+        require(b["over_p50"] + c["error_budget"]["errors"] <= c["total"],
+                f"class '{c['class']}': more breaches+errors than samples")
+        for key in ("budget_pct", "burn", "errors"):
+            require(key in c["error_budget"],
+                    f"class '{c['class']}' error_budget missing '{key}'")
+        require(c["error_budget"]["burn"] >= 0,
+                f"class '{c['class']}': negative budget burn")
+    return f"{len(classes)} query class(es)"
+
+
+def check_chrometrace(doc: dict) -> str:
+    require("traceEvents" in doc, "missing 'traceEvents'")
+    events = doc["traceEvents"]
+    require(isinstance(events, list), "'traceEvents' is not an array")
+    require(doc.get("displayTimeUnit") == "ms",
+            "displayTimeUnit must be 'ms'")
+    phases = {"X": 0, "i": 0, "M": 0}
+    for i, ev in enumerate(events):
+        for key in ("name", "ph", "pid"):
+            require(key in ev, f"traceEvent [{i}] missing '{key}'")
+        ph = ev["ph"]
+        require(ph in phases, f"traceEvent [{i}] unknown phase '{ph}'")
+        phases[ph] += 1
+        if ph == "X":
+            for key in ("ts", "dur", "tid", "cat"):
+                require(key in ev, f"traceEvent [{i}] 'X' missing '{key}'")
+            require(ev["dur"] >= 0, f"traceEvent [{i}] negative duration")
+        elif ph == "i":
+            for key in ("ts", "tid", "s"):
+                require(key in ev, f"traceEvent [{i}] 'i' missing '{key}'")
+        else:  # metadata
+            require("args" in ev, f"traceEvent [{i}] 'M' missing 'args'")
+    require(phases["M"] >= 1, "no metadata (process/thread name) events")
+    return (f"{phases['X']} span(s), {phases['i']} instant(s), "
+            f"{phases['M']} metadata record(s)")
+
+
 CHECKERS = {
     "metrics": check_metrics,
     "flight": check_flight,
     "timeseries": check_timeseries,
     "workload": check_workload,
+    "slowlog": check_slowlog,
+    "slo": check_slo,
+    "chrometrace": check_chrometrace,
 }
 
 

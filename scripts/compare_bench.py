@@ -51,6 +51,12 @@ SCALE_KEYS = {"rows", "reps", "workers", "battery_size", "scan_reps",
 # Leaves where bigger is better (everything else: smaller is better).
 HIGHER_IS_BETTER = ("speedup", "hit_rate")
 
+# Absolute caps: claims a run must prove about *itself*, independent of
+# any baseline (and so immune to baseline drift and runner noise). The
+# causal-tracing contract is the first: the context machinery may cost
+# at most 2% of a tracing-off query (DESIGN.md §17).
+ABS_CAPS = {"overhead_ctx_pct": 2.0}
+
 
 def flatten(doc, prefix=""):
     """Yields (path, value) for every numeric leaf."""
@@ -104,6 +110,15 @@ def compare_file(cur_path: str, base_dir: str, threshold: float,
     base = dict(flatten(base_doc))
 
     gated = warned = 0
+    # Absolute caps are checked against the current run alone — a
+    # baseline cannot loosen them, and --synthetic-regression does not
+    # touch them (they are a different mechanism from drift gating).
+    for path in sorted(cur):
+        cap = ABS_CAPS.get(leaf_key(path))
+        if cap is not None and cur[path] > cap:
+            failures.append(
+                f"{name}: CAP {path}: {cur[path]:g} exceeds the absolute "
+                f"limit {cap:g}")
     for path in sorted(base):
         if path not in cur:
             if leaf_key(path) in GATED_KEYS:
@@ -111,6 +126,9 @@ def compare_file(cur_path: str, base_dir: str, threshold: float,
             continue
         key = leaf_key(path)
         b, c = base[path], cur[path]
+
+        if key in ABS_CAPS:
+            continue  # already judged against the absolute limit above
 
         if key in SCALE_KEYS:
             if b != c:

@@ -54,6 +54,22 @@ CI next to the thread-safety lane:
                             would bypass coalescing, the policy switch,
                             the flush barriers, and the flight events —
                             the whole §16 contract at once.
+  R8 causal-traced-events   Code in src/core/, src/delta/ and
+                            src/session/ never records a flight event in
+                            the bare `Record(FlightEventKind::...)` form
+                            — those layers know (or mint) the operation's
+                            TraceContext and must pass it as the first
+                            argument (`Record(ctx, ...)`, including
+                            `causal::Current()` for helpers without a ctx
+                            parameter), or the event loses its trace_id
+                            join key (DESIGN.md §17). Files in those dirs
+                            that open QueryTrace spans (ScopedSpan) must
+                            likewise reference causal:: somewhere — a
+                            span emitter that never touches the context
+                            machinery produces traces with trace_id 0.
+                            Layers below causal (storage, fault) stay on
+                            the bare form by design: the recorder stamps
+                            the ambient thread-local context for them.
 
 Usage:
   scripts/statdb_lint.py             # lint the repo; exit 1 on findings
@@ -463,6 +479,53 @@ def check_delta_routing(path, text):
     return findings
 
 
+# --- R8: core/delta/session flight events carry their causal context ---------
+
+CAUSAL_DIR_RE = re.compile(r"^src/(core|delta|session)/")
+# Matches only the bare form: a ctx-first call reads `Record(ctx, ...` or
+# `Record(causal::Current(), ...`, so FlightEventKind is never the first
+# token after the paren. \s* spans newlines: wrapped calls still match.
+BARE_RECORD_RE = re.compile(r"\bRecord\s*\(\s*FlightEventKind\s*::")
+SCOPED_SPAN_RE = re.compile(r"\bScopedSpan\b")
+CAUSAL_TOKEN_RE = re.compile(r"\bcausal\s*::")
+
+
+def check_causal_events(path, text):
+    norm = path.replace(os.sep, "/")
+    if not CAUSAL_DIR_RE.match(norm):
+        return []
+    findings = []
+    stripped = strip_comments(text)
+    for m in BARE_RECORD_RE.finditer(stripped):
+        lineno = stripped.count("\n", 0, m.start()) + 1
+        findings.append(
+            Finding(
+                "causal-traced-events",
+                path,
+                lineno,
+                "bare Record(FlightEventKind::...) in a context-aware "
+                "layer — pass the TraceContext first (the minted scope's "
+                "ctx, or causal::Current() in a helper), or the event "
+                "loses its trace_id join key (DESIGN.md §17)",
+            )
+        )
+    span = SCOPED_SPAN_RE.search(stripped)
+    if span and not CAUSAL_TOKEN_RE.search(stripped):
+        lineno = stripped.count("\n", 0, span.start()) + 1
+        findings.append(
+            Finding(
+                "causal-traced-events",
+                path,
+                lineno,
+                "ScopedSpan in a context-aware layer but the file never "
+                "touches causal:: — the trace it feeds will carry "
+                "trace_id 0 and join nothing; mint (or propagate) a "
+                "TraceContext and SetContext the trace (DESIGN.md §17)",
+            )
+        )
+    return findings
+
+
 # --- driver ------------------------------------------------------------------
 
 
@@ -477,6 +540,7 @@ def lint_corpus(files):
         findings += check_simd_span_inputs(path, text)
         findings += check_readpath_latch(path, text)
         findings += check_delta_routing(path, text)
+        findings += check_causal_events(path, text)
     findings += check_nodiscard(files)
     return findings
 
@@ -535,6 +599,16 @@ SELF_TEST_SNIPPETS = {
         "Status StatisticalDbms::Update(const UpdateSpec& spec) {\n"
         "  m->Apply(d);\n"
         "  return Status::Ok();\n"
+        "}\n",
+    ),
+    "causal-traced-events": (
+        # A context-aware layer dropping the join key: the wrapped bare
+        # call must fire even though Record( and FlightEventKind:: sit on
+        # different lines.
+        "src/core/injected_r8.cc",
+        "void NoteDegraded(FlightRecorder* flight) {\n"
+        "  flight->Record(\n"
+        "      FlightEventKind::kDegraded, \"oops\");\n"
         "}\n",
     ),
 }

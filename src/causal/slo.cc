@@ -1,0 +1,141 @@
+#include "causal/slo.h"
+
+#include "obs/json.h"
+
+namespace statdb {
+namespace causal {
+
+void SloTracker::SetTarget(const std::string& query_class,
+                           const SloTarget& target) {
+  ClassState* state = GetOrCreate(query_class);
+  WriterMutexLock lock(mu_);
+  state->target = target;
+}
+
+SloTracker::ClassState* SloTracker::GetOrCreate(
+    const std::string& query_class) {
+  {
+    ReaderMutexLock lock(mu_);
+    auto it = classes_.find(query_class);
+    if (it != classes_.end()) return it->second.get();
+  }
+  WriterMutexLock lock(mu_);
+  std::unique_ptr<ClassState>& slot = classes_[query_class];
+  if (slot == nullptr) {
+    slot = std::make_unique<ClassState>();
+    slot->target = DefaultTarget();
+    slot->ms = registry_->GetHistogram("slo." + query_class + ".ms");
+  }
+  return slot.get();
+}
+
+void SloTracker::Record(const std::string& query_class, double ms,
+                        bool is_error) {
+  ClassState* state = GetOrCreate(query_class);
+  // The target is read without the lock: retargeting mid-run may miss a
+  // racing sample on either side of the change, which a latency SLO can
+  // tolerate (counters themselves are atomics and never torn).
+  const SloTarget target = [&] {
+    ReaderMutexLock lock(mu_);
+    return state->target;
+  }();
+  state->total.Inc();
+  state->ms->Record(ms);
+  if (is_error) {
+    state->errors.Inc();
+    return;
+  }
+  if (ms > target.p50_ms) state->over_p50.Inc();
+  if (ms > target.p95_ms) state->over_p95.Inc();
+  if (ms > target.p99_ms) state->over_p99.Inc();
+}
+
+namespace {
+
+SloClassSnapshot MakeSnapshot(const std::string& name,
+                              const SloTarget& target, uint64_t total,
+                              uint64_t over_p50, uint64_t over_p95,
+                              uint64_t over_p99, uint64_t errors,
+                              const LatencyHistogram* ms) {
+  SloClassSnapshot s;
+  s.query_class = name;
+  s.target = target;
+  s.total = total;
+  s.over_p50 = over_p50;
+  s.over_p95 = over_p95;
+  s.over_p99 = over_p99;
+  s.errors = errors;
+  if (ms != nullptr) {
+    s.observed_p50_ms = ms->QuantileUpperBoundMs(0.50);
+    s.observed_p95_ms = ms->QuantileUpperBoundMs(0.95);
+    s.observed_p99_ms = ms->QuantileUpperBoundMs(0.99);
+  }
+  const double budget = target.error_budget * double(total);
+  const double burned = double(over_p99 + errors);
+  s.budget_burn = budget > 0 ? burned / budget : (burned > 0 ? 1.0 : 0.0);
+  return s;
+}
+
+}  // namespace
+
+SloClassSnapshot SloTracker::Snapshot(const std::string& query_class) const {
+  ReaderMutexLock lock(mu_);
+  auto it = classes_.find(query_class);
+  if (it == classes_.end()) {
+    SloClassSnapshot empty;
+    empty.query_class = query_class;
+    return empty;
+  }
+  const ClassState& c = *it->second;
+  return MakeSnapshot(query_class, c.target, c.total.Get(), c.over_p50.Get(),
+                      c.over_p95.Get(), c.over_p99.Get(), c.errors.Get(),
+                      c.ms);
+}
+
+std::vector<SloClassSnapshot> SloTracker::SnapshotAll() const {
+  ReaderMutexLock lock(mu_);
+  std::vector<SloClassSnapshot> out;
+  out.reserve(classes_.size());
+  for (const auto& [name, c] : classes_) {
+    out.push_back(MakeSnapshot(name, c->target, c->total.Get(),
+                               c->over_p50.Get(), c->over_p95.Get(),
+                               c->over_p99.Get(), c->errors.Get(), c->ms));
+  }
+  return out;
+}
+
+std::string SloTracker::DumpJson() const {
+  std::vector<std::string> rows;
+  for (const SloClassSnapshot& s : SnapshotAll()) {
+    obs::JsonObject targets;
+    targets.Num("p50_ms", s.target.p50_ms)
+        .Num("p95_ms", s.target.p95_ms)
+        .Num("p99_ms", s.target.p99_ms);
+    obs::JsonObject observed;
+    observed.Num("p50_ms", s.observed_p50_ms)
+        .Num("p95_ms", s.observed_p95_ms)
+        .Num("p99_ms", s.observed_p99_ms);
+    obs::JsonObject breaches;
+    breaches.Int("over_p50", s.over_p50)
+        .Int("over_p95", s.over_p95)
+        .Int("over_p99", s.over_p99);
+    obs::JsonObject budget;
+    budget.Num("budget_pct", s.target.error_budget * 100.0)
+        .Num("burn", s.budget_burn)
+        .Int("errors", s.errors);
+    rows.push_back(obs::JsonObject()
+                       .Str("class", s.query_class)
+                       .Int("total", s.total)
+                       .Raw("targets", targets.Build())
+                       .Raw("observed", observed.Build())
+                       .Raw("breaches", breaches.Build())
+                       .Raw("error_budget", budget.Build())
+                       .Build());
+  }
+  obs::JsonObject slo;
+  slo.Raw("classes", obs::JsonArray(rows));
+  return obs::JsonObject().Raw("slo", slo.Build()).Build();
+}
+
+}  // namespace causal
+}  // namespace statdb

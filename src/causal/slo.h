@@ -1,0 +1,105 @@
+#ifndef STATDB_CAUSAL_SLO_H_
+#define STATDB_CAUSAL_SLO_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sync.h"
+#include "obs/metrics.h"
+
+namespace statdb {
+namespace causal {
+
+/// Latency targets for one query class. A sample over target_p50_ms
+/// consumes headroom, over target_p99_ms consumes error budget; an
+/// error-status operation always burns budget regardless of latency.
+struct SloTarget {
+  double p50_ms = 5.0;
+  double p95_ms = 50.0;
+  double p99_ms = 200.0;
+  /// Fraction of operations allowed to miss the p99 target (or error)
+  /// before the budget reads as fully burned. 0.01 = the classic 99%.
+  double error_budget = 0.01;
+};
+
+/// Point-in-time view of one class, for tests and the JSON export.
+struct SloClassSnapshot {
+  std::string query_class;
+  SloTarget target;
+  uint64_t total = 0;
+  uint64_t over_p50 = 0;
+  uint64_t over_p95 = 0;
+  uint64_t over_p99 = 0;
+  uint64_t errors = 0;
+  /// Observed quantile upper bounds from the class's LatencyHistogram.
+  double observed_p50_ms = 0;
+  double observed_p95_ms = 0;
+  double observed_p99_ms = 0;
+  /// Fraction of the error budget consumed: burn 1.0 = budget exhausted,
+  /// > 1.0 = the class is out of SLO. (over_p99 + errors) / (budget * total).
+  double budget_burn = 0;
+};
+
+/// Per-query-class tail-latency SLO tracker (DESIGN.md §17).
+///
+/// Every completed top-level operation calls Record(class, ms, is_error);
+/// the tracker bumps the class's breach counters against its targets and
+/// feeds the class's LatencyHistogram (registered in the shared
+/// MetricsRegistry as "slo.<class>.ms", so the observed quantiles ride
+/// the same instrument machinery as every other latency series).
+///
+/// Hot-path cost: one map lookup under a SharedMutex reader lock (the
+/// class set stabilizes after the first few operations; writers only
+/// appear on first sight of a class), then relaxed counter bumps.
+class SloTracker {
+ public:
+  explicit SloTracker(MetricsRegistry* registry) : registry_(registry) {}
+
+  SloTracker(const SloTracker&) = delete;
+  SloTracker& operator=(const SloTracker&) = delete;
+
+  /// Installs (or replaces) the targets for `query_class`. Classes not
+  /// configured get DefaultTarget() on first Record.
+  void SetTarget(const std::string& query_class, const SloTarget& target);
+
+  static SloTarget DefaultTarget() { return SloTarget{}; }
+
+  /// Accounts one completed operation of `query_class`.
+  void Record(const std::string& query_class, double ms, bool is_error);
+
+  SloClassSnapshot Snapshot(const std::string& query_class) const;
+  std::vector<SloClassSnapshot> SnapshotAll() const;
+
+  /// {"slo": {"classes": [ {class, targets, observed, breaches,
+  ///  error_budget}, ... ]}}
+  std::string DumpJson() const;
+
+ private:
+  struct ClassState {
+    SloTarget target;
+    Counter total;
+    Counter over_p50;
+    Counter over_p95;
+    Counter over_p99;
+    Counter errors;
+    LatencyHistogram* ms = nullptr;  // registry-owned "slo.<class>.ms"
+  };
+
+  /// Reader-locked on the hot path; exclusive only when a class is first
+  /// seen or retargeted. unique_ptr keeps instrument addresses stable
+  /// across rebalances, same rule as MetricsRegistry.
+  ClassState* GetOrCreate(const std::string& query_class);
+
+  MetricsRegistry* registry_;
+  mutable SharedMutex mu_;
+  std::map<std::string, std::unique_ptr<ClassState>> classes_
+      STATDB_GUARDED_BY(mu_);
+};
+
+}  // namespace causal
+}  // namespace statdb
+
+#endif  // STATDB_CAUSAL_SLO_H_

@@ -1,0 +1,128 @@
+#ifndef STATDB_CAUSAL_SLOW_QUERY_LOG_H_
+#define STATDB_CAUSAL_SLOW_QUERY_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/sync.h"
+#include "flight/flight_recorder.h"
+#include "obs/trace.h"
+
+namespace statdb {
+namespace causal {
+
+/// Bounded log of the slowest-behaving operations (DESIGN.md §17).
+///
+/// When a completed top-level operation exceeds the latency threshold,
+/// the core captures its full QueryTrace *and* joins in every flight
+/// event stamped with the same trace_id — so one slow-log entry is the
+/// reassembled story of that operation across both telemetry streams
+/// (spans for "where did the time go", events for "what did the system
+/// do": cache verdict, delta flush, WAL commit, retries).
+///
+/// The log is a drop-oldest ring: capture is off the query hot path
+/// (only threshold-exceeding operations pay it), so a Mutex-guarded
+/// deque is the right tool — no seqlock heroics needed here.
+///
+/// Like the flight recorder's black box, the log can arm a one-shot
+/// automatic dump (STATDB_SLOWLOG_DUMP): the first degraded/DATA_LOSS
+/// transition ships whatever slow queries led up to the incident.
+class SlowQueryLog {
+ public:
+  static constexpr size_t kDefaultCapacity = 32;
+  static constexpr double kDefaultThresholdMs = 50.0;
+
+  /// One captured slow operation: the trace, the flight events that
+  /// carry its trace_id, and the headline wall time.
+  struct Entry {
+    QueryTrace trace;
+    std::vector<FlightEvent> events;
+    double wall_ms = 0;
+  };
+
+  explicit SlowQueryLog(size_t capacity = kDefaultCapacity);
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  /// Capture gate. Off by default: the owner only builds QueryTraces on
+  /// every operation (the log's raw material) while the log is enabled.
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  void set_threshold_ms(double ms) {
+    threshold_ms_.store(ms, std::memory_order_relaxed);
+  }
+  double threshold_ms() const {
+    return threshold_ms_.load(std::memory_order_relaxed);
+  }
+
+  /// The hot-path gate: one relaxed load and a compare. The core calls
+  /// this on every completed operation and only builds a capture when
+  /// it answers true.
+  bool ShouldCapture(double wall_ms) const {
+    return wall_ms >= threshold_ms();
+  }
+
+  /// Copies `trace` and joins `flight`'s current window filtered to
+  /// trace.trace_id() (flight == nullptr skips the join). Drops the
+  /// oldest entry when full.
+  void Capture(const QueryTrace& trace, double wall_ms,
+               const FlightRecorder* flight);
+
+  std::vector<Entry> Snapshot() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  uint64_t captured() const {
+    return captured_.load(std::memory_order_relaxed);
+  }
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// {"slow_query_log": {reason, threshold_ms, capacity, captured,
+  ///  dropped, entries: [{trace_id, wall_ms, outcome, trace,
+  ///  flight_events}, ...]}}
+  std::string DumpJson(const std::string& reason = "manual") const;
+
+  /// Arms the one-shot incident dump; empty path disarms.
+  void set_auto_dump_path(std::string path);
+  std::string auto_dump_path() const;
+
+  /// Fires at most once per log lifetime (first caller wins). Returns
+  /// true if this call wrote the dump. Safe from any thread.
+  bool AutoDumpOnce(const std::string& reason);
+  uint64_t auto_dumps() const {
+    return auto_dumps_.load(std::memory_order_relaxed);
+  }
+
+  void Clear();
+
+ private:
+  const size_t capacity_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<double> threshold_ms_{kDefaultThresholdMs};
+  std::atomic<uint64_t> captured_{0};
+  std::atomic<uint64_t> dropped_{0};
+
+  mutable Mutex mu_;
+  std::deque<Entry> entries_ STATDB_GUARDED_BY(mu_);
+
+  std::atomic<bool> auto_dump_armed_{false};
+  std::atomic<bool> auto_dump_fired_{false};
+  std::atomic<uint64_t> auto_dumps_{0};
+  mutable Mutex auto_dump_mu_;
+  std::string auto_dump_path_ STATDB_GUARDED_BY(auto_dump_mu_);
+};
+
+}  // namespace causal
+}  // namespace statdb
+
+#endif  // STATDB_CAUSAL_SLOW_QUERY_LOG_H_

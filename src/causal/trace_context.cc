@@ -1,0 +1,40 @@
+#include "causal/trace_context.h"
+
+namespace statdb {
+namespace causal {
+
+namespace {
+
+/// Process-wide mint counter. Starts at 1 so trace_id 0 stays the
+/// reserved "no context" value.
+std::atomic<uint64_t> g_next_trace_id{1};
+
+/// The thread's installed context. A plain thread_local (not atomic):
+/// only the owning thread reads or writes its slot.
+thread_local TraceContext t_current{};
+
+}  // namespace
+
+TraceContext Mint(uint64_t session_id) {
+  TraceContext ctx;
+  ctx.trace_id = g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+  ctx.session_id = session_id;
+  ctx.query_seq = ctx.trace_id;
+  return ctx;
+}
+
+const TraceContext& Current() { return t_current; }
+
+uint64_t CurrentTraceId() { return t_current.trace_id; }
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& ctx)
+    : installed_(ctx), saved_(t_current) {
+  t_current = ctx;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { t_current = saved_; }
+
+const TraceContext& ScopedTraceContext::ctx() const { return installed_; }
+
+}  // namespace causal
+}  // namespace statdb

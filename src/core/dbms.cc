@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <optional>
 
+#include "causal/chrome_trace.h"
 #include "check/db_auditor.h"
 #include "delta/maintenance.h"
 #include "exec/chunked_scanner.h"
@@ -190,6 +191,15 @@ StatisticalDbms::StatisticalDbms(StorageManager* storage,
       dump_path != nullptr && dump_path[0] != '\0') {
     flight_.set_auto_dump_path(dump_path);
   }
+  // STATDB_SLOWLOG_DUMP is the slow-query log's twin: arming it also
+  // enables capture (the log needs traces built per query to have
+  // anything to ship when the incident dump fires).
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  if (const char* slow_path = std::getenv("STATDB_SLOWLOG_DUMP");
+      slow_path != nullptr && slow_path[0] != '\0') {
+    slow_log_.set_auto_dump_path(slow_path);
+    slow_log_.set_enabled(true);
+  }
   for (const std::string& dev : {tape_device_, disk_device_}) {
     if (Result<BufferPool*> pool = storage_->GetPool(dev); pool.ok()) {
       pool.value()->set_flight_recorder(&flight_);
@@ -216,28 +226,43 @@ StatisticalDbms::~StatisticalDbms() {
 }
 
 void StatisticalDbms::EmitQueryObs(const TraceTimer& timer,
-                                   QueryTrace* trace, TraceOutcome outcome) {
+                                   QueryTrace* trace, TraceOutcome outcome,
+                                   const std::string& query_class) {
   double ms = timer.ElapsedMs();
   obs_query_ms_->Record(ms);
   obs_outcomes_[size_t(outcome)]->Inc();
-  if (trace != nullptr && trace_sink_ != nullptr) {
+  slo_.Record(query_class, ms, outcome == TraceOutcome::kError);
+  if (trace != nullptr) {
     trace->SetOutcome(outcome);
     trace->SetTotalMs(ms);
-    trace_sink_->OnQueryTrace(*trace);
+    if (trace_sink_ != nullptr) trace_sink_->OnQueryTrace(*trace);
+    if (slow_log_.enabled() && slow_log_.ShouldCapture(ms)) {
+      slow_log_.Capture(*trace, ms, &flight_);
+    }
   }
 }
 
-void StatisticalDbms::NoteQueryOutcome(const std::string& view,
+void StatisticalDbms::NoteQueryOutcome(const causal::TraceContext& ctx,
+                                       const std::string& view,
                                        const std::string& function,
                                        const std::string& attribute,
                                        TraceOutcome outcome, double wall_ms) {
   if (flight_.enabled()) {
-    flight_.Record(FlightEventKind::kQueryEnd,
+    flight_.Record(ctx, FlightEventKind::kQueryEnd,
                    QueryLabel(view, function, attribute),
                    static_cast<int64_t>(outcome), 0, wall_ms);
   }
   profiler_.NoteQuery(view, function, attribute, ProfilerOutcome(outcome),
                       wall_ms);
+}
+
+std::string StatisticalDbms::DumpChromeTrace(uint64_t trace_id_filter) {
+  std::vector<QueryTrace> traces;
+  for (const causal::SlowQueryLog::Entry& e : slow_log_.Snapshot()) {
+    traces.push_back(e.trace);
+  }
+  return causal::ExportChromeTrace(traces, flight_.SnapshotEvents(),
+                                   trace_id_filter);
 }
 
 void StatisticalDbms::TickTimeseries() {
@@ -545,7 +570,7 @@ Result<bool> StatisticalDbms::TryAnswerWithoutComputing(
   if (cached.ok() && !cached.value().stale) {
     ++state->traffic.cache_hits;
     if (flight_.enabled()) {
-      flight_.Record(FlightEventKind::kCacheHit,
+      flight_.Record(causal::Current(), FlightEventKind::kCacheHit,
                      function + "(" + attribute + ")");
     }
     *answer = QueryAnswer{cached.value().result, AnswerSource::kCacheHit,
@@ -561,7 +586,7 @@ Result<bool> StatisticalDbms::TryAnswerWithoutComputing(
       ++state->traffic.stale_hits;
       state->summary->NoteServedStale();
       if (flight_.enabled()) {
-        flight_.Record(FlightEventKind::kStaleServe,
+        flight_.Record(causal::Current(), FlightEventKind::kStaleServe,
                        function + "(" + attribute + ")",
                        int64_t(state->view->version() -
                                cached.value().view_version));
@@ -573,7 +598,7 @@ Result<bool> StatisticalDbms::TryAnswerWithoutComputing(
     }
   }
   if (flight_.enabled()) {
-    flight_.Record(FlightEventKind::kCacheMiss,
+    flight_.Record(causal::Current(), FlightEventKind::kCacheMiss,
                    function + "(" + attribute + ")");
   }
 
@@ -616,7 +641,7 @@ Status StatisticalDbms::CacheComputedResult(const std::string& view,
     // maintainer lifecycle transition.
     if (delta::ArmMaintainer(mdb_, key, data, &state->maintainers) &&
         flight_.enabled()) {
-      flight_.Record(FlightEventKind::kMaintainerArm,
+      flight_.Record(causal::Current(), FlightEventKind::kMaintainerArm,
                      QueryLabel(view, key.function,
                                 key.attributes.empty()
                                     ? std::string()
@@ -632,23 +657,27 @@ Result<QueryAnswer> StatisticalDbms::Query(const std::string& view,
                                            const std::string& attribute,
                                            const FunctionParams& params,
                                            const QueryOptions& opts) {
+  causal::ScopedTraceContext scope(causal::Mint());
   TraceTimer timer;
   std::optional<QueryTrace> trace;
-  if (trace_sink_ != nullptr) {
+  if (WantTrace()) {
     trace.emplace();
     trace->SetLabel("query", view, function, attribute);
+    trace->SetContext(scope.ctx().trace_id, scope.ctx().session_id,
+                      scope.ctx().query_seq);
   }
   QueryTrace* tr = trace ? &*trace : nullptr;
   if (flight_.enabled()) {
-    flight_.Record(FlightEventKind::kQueryBegin,
+    flight_.Record(scope.ctx(), FlightEventKind::kQueryBegin,
                    QueryLabel(view, function, attribute));
   }
   Result<QueryAnswer> r =
       QueryImpl(view, function, attribute, params, opts, tr);
   TraceOutcome outcome = r.ok() ? OutcomeOfSource(r.value().source)
                                 : TraceOutcome::kError;
-  EmitQueryObs(timer, tr, outcome);
-  NoteQueryOutcome(view, function, attribute, outcome, timer.ElapsedMs());
+  EmitQueryObs(timer, tr, outcome, "query");
+  NoteQueryOutcome(scope.ctx(), view, function, attribute, outcome,
+                   timer.ElapsedMs());
   if (r.ok()) CommitAfterQuery(attribute);
   return r;
 }
@@ -755,29 +784,33 @@ Result<QueryAnswer> StatisticalDbms::QueryParallel(
     const std::string& view, const std::string& function,
     const std::string& attribute, const FunctionParams& params,
     const QueryOptions& opts, size_t workers) {
+  causal::ScopedTraceContext scope(causal::Mint());
   TraceTimer timer;
   std::optional<QueryTrace> trace;
-  if (trace_sink_ != nullptr) {
+  if (WantTrace()) {
     trace.emplace();
     trace->SetLabel("queryp", view, function, attribute);
+    trace->SetContext(scope.ctx().trace_id, scope.ctx().session_id,
+                      scope.ctx().query_seq);
   }
   QueryTrace* tr = trace ? &*trace : nullptr;
   if (flight_.enabled()) {
-    flight_.Record(FlightEventKind::kQueryBegin,
+    flight_.Record(scope.ctx(), FlightEventKind::kQueryBegin,
                    QueryLabel(view, function, attribute));
   }
   std::vector<QueryRequest> requests = {{function, attribute, params}};
   Result<std::vector<QueryAnswer>> answers =
       QueryManyImpl(view, requests, opts, workers, tr);
   if (!answers.ok()) {
-    EmitQueryObs(timer, tr, TraceOutcome::kError);
-    NoteQueryOutcome(view, function, attribute, TraceOutcome::kError,
-                     timer.ElapsedMs());
+    EmitQueryObs(timer, tr, TraceOutcome::kError, "query_parallel");
+    NoteQueryOutcome(scope.ctx(), view, function, attribute,
+                     TraceOutcome::kError, timer.ElapsedMs());
     return answers.status();
   }
   TraceOutcome outcome = OutcomeOfSource(answers.value()[0].source);
-  EmitQueryObs(timer, tr, outcome);
-  NoteQueryOutcome(view, function, attribute, outcome, timer.ElapsedMs());
+  EmitQueryObs(timer, tr, outcome, "query_parallel");
+  NoteQueryOutcome(scope.ctx(), view, function, attribute, outcome,
+                   timer.ElapsedMs());
   CommitAfterQuery(attribute);
   return std::move(answers.value()[0]);
 }
@@ -786,23 +819,27 @@ Result<QueryAnswer> StatisticalDbms::QueryFiltered(
     const std::string& view, const std::string& function,
     const std::string& attribute, const FilterPredicate& pred,
     const FunctionParams& params) {
+  causal::ScopedTraceContext scope(causal::Mint());
   TraceTimer timer;
   std::optional<QueryTrace> trace;
-  if (trace_sink_ != nullptr) {
+  if (WantTrace()) {
     trace.emplace();
     trace->SetLabel("queryfiltered", view, function, attribute);
+    trace->SetContext(scope.ctx().trace_id, scope.ctx().session_id,
+                      scope.ctx().query_seq);
   }
   QueryTrace* tr = trace ? &*trace : nullptr;
   if (flight_.enabled()) {
-    flight_.Record(FlightEventKind::kQueryBegin,
+    flight_.Record(scope.ctx(), FlightEventKind::kQueryBegin,
                    QueryLabel(view, function, attribute));
   }
   Result<QueryAnswer> r =
       QueryFilteredImpl(view, function, attribute, pred, params, tr);
   TraceOutcome outcome =
       r.ok() ? TraceOutcome::kComputed : TraceOutcome::kError;
-  EmitQueryObs(timer, tr, outcome);
-  NoteQueryOutcome(view, function, attribute, outcome, timer.ElapsedMs());
+  EmitQueryObs(timer, tr, outcome, "query_filtered");
+  NoteQueryOutcome(scope.ctx(), view, function, attribute, outcome,
+                   timer.ElapsedMs());
   return r;
 }
 
@@ -908,18 +945,21 @@ Result<QueryAnswer> StatisticalDbms::QueryFilteredImpl(
 Result<std::vector<QueryAnswer>> StatisticalDbms::QueryMany(
     const std::string& view, const std::vector<QueryRequest>& requests,
     const QueryOptions& opts, size_t workers) {
+  causal::ScopedTraceContext scope(causal::Mint());
   TraceTimer timer;
   std::optional<QueryTrace> trace;
-  if (trace_sink_ != nullptr) {
+  if (WantTrace()) {
     trace.emplace();
     trace->SetLabel("querymany", view,
                     "[" + std::to_string(requests.size()) + " requests]",
                     "");
+    trace->SetContext(scope.ctx().trace_id, scope.ctx().session_id,
+                      scope.ctx().query_seq);
   }
   QueryTrace* tr = trace ? &*trace : nullptr;
   if (flight_.enabled()) {
     for (size_t i = 0; i < requests.size(); ++i) {
-      flight_.Record(FlightEventKind::kQueryBegin,
+      flight_.Record(scope.ctx(), FlightEventKind::kQueryBegin,
                      QueryLabel(view, requests[i].function,
                                 requests[i].attribute),
                      static_cast<int64_t>(i));
@@ -928,14 +968,16 @@ Result<std::vector<QueryAnswer>> StatisticalDbms::QueryMany(
   Result<std::vector<QueryAnswer>> r =
       QueryManyImpl(view, requests, opts, workers, tr);
   EmitQueryObs(timer, tr,
-               r.ok() ? OutcomeOfBatch(r.value()) : TraceOutcome::kError);
+               r.ok() ? OutcomeOfBatch(r.value()) : TraceOutcome::kError,
+               "query_many");
   // Per-request provenance for the profiler and the flight ring; the
   // batch's wall time is split evenly (per-request time is not observable
   // once scans are shared across requests).
   double per_request_ms =
       requests.empty() ? 0 : timer.ElapsedMs() / double(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
-    NoteQueryOutcome(view, requests[i].function, requests[i].attribute,
+    NoteQueryOutcome(scope.ctx(), view, requests[i].function,
+                     requests[i].attribute,
                      r.ok() ? OutcomeOfSource(r.value()[i].source)
                             : TraceOutcome::kError,
                      per_request_ms);
@@ -1103,19 +1145,24 @@ Result<QueryAnswer> StatisticalDbms::QueryBivariateParallel(
     const std::string& attr_a, const std::string& attr_b,
     const QueryOptions& opts, size_t workers) {
   if (function == "crosstab" || function == "chi2_independence") {
-    // Contingency tables carry no mergeable partial state here; the
-    // serial path already handles them (untraced, like QueryBivariate).
+    // Contingency tables carry no mergeable partial state here; forward
+    // *before* recording anything so the serial wrapper owns the whole
+    // begin/end pair — the forwarding path must never emit a second
+    // begin (or an unmatched one, the bug this comment memorializes).
     return QueryBivariate(view, function, attr_a, attr_b, opts);
   }
+  causal::ScopedTraceContext scope(causal::Mint());
   TraceTimer timer;
   std::optional<QueryTrace> trace;
-  if (trace_sink_ != nullptr) {
+  if (WantTrace()) {
     trace.emplace();
     trace->SetLabel("bivariate", view, function, attr_a + "," + attr_b);
+    trace->SetContext(scope.ctx().trace_id, scope.ctx().session_id,
+                      scope.ctx().query_seq);
   }
   QueryTrace* tr = trace ? &*trace : nullptr;
   if (flight_.enabled()) {
-    flight_.Record(FlightEventKind::kQueryBegin,
+    flight_.Record(scope.ctx(), FlightEventKind::kQueryBegin,
                    QueryLabel(view, function, attr_a + "," + attr_b));
   }
   Result<QueryAnswer> r =
@@ -1123,9 +1170,9 @@ Result<QueryAnswer> StatisticalDbms::QueryBivariateParallel(
                                  workers, tr);
   TraceOutcome outcome = r.ok() ? OutcomeOfSource(r.value().source)
                                 : TraceOutcome::kError;
-  EmitQueryObs(timer, tr, outcome);
-  NoteQueryOutcome(view, function, attr_a + "," + attr_b, outcome,
-                   timer.ElapsedMs());
+  EmitQueryObs(timer, tr, outcome, "bivariate");
+  NoteQueryOutcome(scope.ctx(), view, function, attr_a + "," + attr_b,
+                   outcome, timer.ElapsedMs());
   return r;
 }
 
@@ -1229,7 +1276,7 @@ Result<QueryAnswer> StatisticalDbms::QueryBivariateParallelImpl(
         state->summary->Insert(key, result, state->view->version()));
     if (delta::ArmComomentMaintainer(key, cs, &state->comaintainers) &&
         flight_.enabled()) {
-      flight_.Record(FlightEventKind::kMaintainerArm,
+      flight_.Record(causal::Current(), FlightEventKind::kMaintainerArm,
                      QueryLabel(view, function, attr_a + "," + attr_b), 0,
                      int64_t(cs.n));
     }
@@ -1245,6 +1292,39 @@ Result<QueryAnswer> StatisticalDbms::QueryBivariate(
     const std::string& view, const std::string& function,
     const std::string& attr_a, const std::string& attr_b,
     const QueryOptions& opts) {
+  // Full wrapper (begin/end pairing regression fix): this entry point
+  // used to bypass the flight recorder and EmitQueryObs entirely, so a
+  // crosstab forwarded from QueryBivariateParallel left no events and
+  // no outcome counter at all.
+  causal::ScopedTraceContext scope(causal::Mint());
+  TraceTimer timer;
+  std::optional<QueryTrace> trace;
+  if (WantTrace()) {
+    trace.emplace();
+    trace->SetLabel("bivariate", view, function, attr_a + "," + attr_b);
+    trace->SetContext(scope.ctx().trace_id, scope.ctx().session_id,
+                      scope.ctx().query_seq);
+  }
+  QueryTrace* tr = trace ? &*trace : nullptr;
+  if (flight_.enabled()) {
+    flight_.Record(scope.ctx(), FlightEventKind::kQueryBegin,
+                   QueryLabel(view, function, attr_a + "," + attr_b));
+  }
+  Result<QueryAnswer> r =
+      QueryBivariateImpl(view, function, attr_a, attr_b, opts, tr);
+  TraceOutcome outcome = r.ok() ? OutcomeOfSource(r.value().source)
+                                : TraceOutcome::kError;
+  EmitQueryObs(timer, tr, outcome, "bivariate");
+  NoteQueryOutcome(scope.ctx(), view, function, attr_a + "," + attr_b,
+                   outcome, timer.ElapsedMs());
+  if (r.ok()) CommitAfterQuery(attr_a);
+  return r;
+}
+
+Result<QueryAnswer> StatisticalDbms::QueryBivariateImpl(
+    const std::string& view, const std::string& function,
+    const std::string& attr_a, const std::string& attr_b,
+    const QueryOptions& opts, QueryTrace* trace) {
   STATDB_ASSIGN_OR_RETURN(ViewState * state, GetState(view));
   ++state->traffic.queries;
   ++state->traffic.attribute_accesses[attr_a];
@@ -1260,7 +1340,10 @@ Result<QueryAnswer> StatisticalDbms::QueryBivariate(
     }
   }
 
-  Result<SummaryEntry> cached = state->summary->Lookup(key);
+  Result<SummaryEntry> cached = [&] {
+    ScopedSpan span(trace, SpanKind::kCacheProbe);
+    return state->summary->Lookup(key);
+  }();
   if (cached.ok() && !cached.value().stale) {
     ++state->traffic.cache_hits;
     return QueryAnswer{cached.value().result, AnswerSource::kCacheHit, true,
@@ -1286,10 +1369,14 @@ Result<QueryAnswer> StatisticalDbms::QueryBivariate(
 
   // Row-aligned read of both columns (pairs with either cell missing are
   // dropped — pairwise deletion).
-  STATDB_ASSIGN_OR_RETURN(std::vector<Value> va,
-                          state->view->ReadColumn(attr_a));
-  STATDB_ASSIGN_OR_RETURN(std::vector<Value> vb,
-                          state->view->ReadColumn(attr_b));
+  std::vector<Value> va;
+  std::vector<Value> vb;
+  {
+    ScopedSpan span(trace, SpanKind::kScan);
+    STATDB_ASSIGN_OR_RETURN(va, state->view->ReadColumn(attr_a));
+    STATDB_ASSIGN_OR_RETURN(vb, state->view->ReadColumn(attr_b));
+    span.SetRowsPaged(2 * va.size(), ColumnFile::kCellsPerPage);
+  }
   SummaryResult result;
   std::optional<ComomentStats> cs_seed;
   if (function == "correlation" || function == "covariance" ||
@@ -1339,18 +1426,18 @@ Result<QueryAnswer> StatisticalDbms::QueryBivariate(
   }
   ++state->traffic.computed;
   if (opts.cache_result) {
+    ScopedSpan span(trace, SpanKind::kSummaryInsert);
     STATDB_RETURN_IF_ERROR(
         state->summary->Insert(key, result, state->view->version()));
     if (cs_seed.has_value() &&
         delta::ArmComomentMaintainer(key, *cs_seed,
                                      &state->comaintainers) &&
         flight_.enabled()) {
-      flight_.Record(FlightEventKind::kMaintainerArm,
+      flight_.Record(causal::Current(), FlightEventKind::kMaintainerArm,
                      QueryLabel(view, function, attr_a + "," + attr_b), 0,
                      int64_t(cs_seed->n));
     }
   }
-  CommitAfterQuery(attr_a);
   return QueryAnswer{std::move(result), AnswerSource::kComputed, true, ""};
 }
 
@@ -1358,6 +1445,40 @@ Result<QueryAnswer> StatisticalDbms::QueryGroupCompare(
     const std::string& view, const std::string& value_attr,
     const std::string& category_attr, int64_t code_a, int64_t code_b,
     const QueryOptions& opts) {
+  // Full wrapper, same pairing contract (and regression fix) as
+  // QueryBivariate.
+  causal::ScopedTraceContext scope(causal::Mint());
+  TraceTimer timer;
+  std::optional<QueryTrace> trace;
+  if (WantTrace()) {
+    trace.emplace();
+    trace->SetLabel("groupcompare", view, "welch_t",
+                    value_attr + "," + category_attr);
+    trace->SetContext(scope.ctx().trace_id, scope.ctx().session_id,
+                      scope.ctx().query_seq);
+  }
+  QueryTrace* tr = trace ? &*trace : nullptr;
+  if (flight_.enabled()) {
+    flight_.Record(scope.ctx(), FlightEventKind::kQueryBegin,
+                   QueryLabel(view, "welch_t",
+                              value_attr + "," + category_attr));
+  }
+  Result<QueryAnswer> r = QueryGroupCompareImpl(
+      view, value_attr, category_attr, code_a, code_b, opts, tr);
+  TraceOutcome outcome = r.ok() ? OutcomeOfSource(r.value().source)
+                                : TraceOutcome::kError;
+  EmitQueryObs(timer, tr, outcome, "group_compare");
+  NoteQueryOutcome(scope.ctx(), view, "welch_t",
+                   value_attr + "," + category_attr, outcome,
+                   timer.ElapsedMs());
+  if (r.ok()) CommitAfterQuery(value_attr);
+  return r;
+}
+
+Result<QueryAnswer> StatisticalDbms::QueryGroupCompareImpl(
+    const std::string& view, const std::string& value_attr,
+    const std::string& category_attr, int64_t code_a, int64_t code_b,
+    const QueryOptions& opts, QueryTrace* trace) {
   STATDB_ASSIGN_OR_RETURN(ViewState * state, GetState(view));
   ++state->traffic.queries;
   ++state->traffic.attribute_accesses[value_attr];
@@ -1366,35 +1487,46 @@ Result<QueryAnswer> StatisticalDbms::QueryGroupCompare(
   params.Set("a", double(code_a)).Set("b", double(code_b));
   SummaryKey key{"welch_t", {value_attr, category_attr}, params.Encode()};
 
-  Result<SummaryEntry> cached = state->summary->Lookup(key);
+  Result<SummaryEntry> cached = [&] {
+    ScopedSpan span(trace, SpanKind::kCacheProbe);
+    return state->summary->Lookup(key);
+  }();
   if (cached.ok() && !cached.value().stale) {
     ++state->traffic.cache_hits;
     return QueryAnswer{cached.value().result, AnswerSource::kCacheHit, true,
                        ""};
   }
 
-  STATDB_ASSIGN_OR_RETURN(std::vector<Value> values,
-                          state->view->ReadColumn(value_attr));
-  STATDB_ASSIGN_OR_RETURN(std::vector<Value> codes,
-                          state->view->ReadColumn(category_attr));
-  std::vector<double> group_a, group_b;
-  for (size_t i = 0; i < values.size(); ++i) {
-    if (values[i].is_null() || codes[i].is_null()) continue;
-    Result<int64_t> code = codes[i].ToInt();
-    Result<double> v = values[i].ToDouble();
-    if (!code.ok() || !v.ok()) continue;
-    if (*code == code_a) group_a.push_back(*v);
-    if (*code == code_b) group_b.push_back(*v);
+  std::vector<Value> values;
+  std::vector<Value> codes;
+  {
+    ScopedSpan span(trace, SpanKind::kScan);
+    STATDB_ASSIGN_OR_RETURN(values, state->view->ReadColumn(value_attr));
+    STATDB_ASSIGN_OR_RETURN(codes, state->view->ReadColumn(category_attr));
+    span.SetRowsPaged(2 * values.size(), ColumnFile::kCellsPerPage);
   }
-  STATDB_ASSIGN_OR_RETURN(TestResult tr, WelchTTest(group_a, group_b));
-  SummaryResult result =
-      SummaryResult::Vector({tr.statistic, tr.dof, tr.p_value});
+  std::vector<double> group_a, group_b;
+  SummaryResult result;
+  {
+    ScopedSpan span(trace, SpanKind::kCompute);
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (values[i].is_null() || codes[i].is_null()) continue;
+      Result<int64_t> code = codes[i].ToInt();
+      Result<double> v = values[i].ToDouble();
+      if (!code.ok() || !v.ok()) continue;
+      if (*code == code_a) group_a.push_back(*v);
+      if (*code == code_b) group_b.push_back(*v);
+    }
+    span.SetRows(group_a.size() + group_b.size());
+    STATDB_ASSIGN_OR_RETURN(TestResult tr, WelchTTest(group_a, group_b));
+    result = SummaryResult::Vector({tr.statistic, tr.dof, tr.p_value});
+  }
   ++state->traffic.computed;
   if (opts.cache_result) {
+    ScopedSpan span(trace, SpanKind::kSummaryInsert);
     STATDB_RETURN_IF_ERROR(
         state->summary->Insert(key, result, state->view->version()));
   }
-  CommitAfterQuery(value_attr);
   return QueryAnswer{std::move(result), AnswerSource::kComputed, true, ""};
 }
 
@@ -1696,7 +1828,7 @@ Status StatisticalDbms::MaintainSummaries(
   if (decision.switched) {
     obs_delta_policy_switches_->Inc();
     if (flight_.enabled()) {
-      flight_.Record(FlightEventKind::kPolicySwitch,
+      flight_.Record(causal::Current(), FlightEventKind::kPolicySwitch,
                      view_name + "." + attribute,
                      int64_t(decision.from), int64_t(decision.strategy));
     }
@@ -1768,6 +1900,10 @@ Status StatisticalDbms::FlushAttributeDeltas(const std::string& view_name,
     return state->deltas.HasPending(attr);
   };
   env.flight = &flight_;
+  // The flush runs on behalf of whichever operation forced it (a query's
+  // flush-before-serve, an update's threshold flush, a barrier): its
+  // ambient context is the trigger's identity.
+  env.ctx = causal::Current();
   delta::FlushCounters counters;
   Status s = delta::FlushAttribute(attribute, batch, env, &counters);
   state->traffic.maintainer_applies += counters.applied;
@@ -1841,6 +1977,18 @@ Status StatisticalDbms::MaybeAuditAfterUpdate(const std::string& view) {
 
 Result<uint64_t> StatisticalDbms::Update(const std::string& view,
                                          const UpdateSpec& spec) {
+  // Mutation entry point: one causal context covers the whole protocol —
+  // buffered deltas, eager flushes, the WAL commit and the kUpdate event
+  // all stamp this trace_id.
+  causal::ScopedTraceContext causal_scope(causal::Mint());
+  TraceTimer timer;
+  Result<uint64_t> r = UpdateUnderContext(view, spec);
+  slo_.Record("update", timer.ElapsedMs(), !r.ok());
+  return r;
+}
+
+Result<uint64_t> StatisticalDbms::UpdateUnderContext(const std::string& view,
+                                                     const UpdateSpec& spec) {
   STATDB_RETURN_IF_ERROR(GuardMutable());
   STATDB_ASSIGN_OR_RETURN(ViewState * state, GetState(view));
   // Session protocol: capture pre-images and wait out pinned readers on
@@ -1898,7 +2046,8 @@ Result<uint64_t> StatisticalDbms::Update(const std::string& view,
       CommitDurable(/*attr_hint=*/spec.column, /*force=*/true));
   uint64_t total_cells = changes.size() + derived_changes.size();
   if (flight_.enabled()) {
-    flight_.Record(FlightEventKind::kUpdate, view + "." + spec.column,
+    flight_.Record(causal::Current(), FlightEventKind::kUpdate,
+                   view + "." + spec.column,
                    int64_t(state->view->version()), int64_t(total_cells));
   }
   profiler_.NoteUpdate(view, spec.column, changes.size());
@@ -1911,6 +2060,15 @@ Result<uint64_t> StatisticalDbms::Update(const std::string& view,
 
 Status StatisticalDbms::Rollback(const std::string& view,
                                  uint64_t target_version) {
+  causal::ScopedTraceContext causal_scope(causal::Mint());
+  TraceTimer timer;
+  Status s = RollbackUnderContext(view, target_version);
+  slo_.Record("rollback", timer.ElapsedMs(), !s.ok());
+  return s;
+}
+
+Status StatisticalDbms::RollbackUnderContext(const std::string& view,
+                                             uint64_t target_version) {
   STATDB_RETURN_IF_ERROR(GuardMutable());
   STATDB_ASSIGN_OR_RETURN(ViewState * state, GetState(view));
   STATDB_ASSIGN_OR_RETURN(ViewRecord * rec, mdb_.GetView(view));
@@ -1973,7 +2131,7 @@ Status StatisticalDbms::Rollback(const std::string& view,
   }
   STATDB_RETURN_IF_ERROR(MaybeAuditAfterUpdate(view));
   STATDB_RETURN_IF_ERROR(CommitDurable(/*attr_hint=*/"", /*force=*/true));
-  flight_.Record(FlightEventKind::kRollback, view,
+  flight_.Record(causal::Current(), FlightEventKind::kRollback, view,
                  int64_t(target_version), int64_t(affected.size()));
   MaybeTickTimeseries();
   return Status::OK();

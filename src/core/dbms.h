@@ -7,6 +7,9 @@
 #include <utility>
 #include <vector>
 
+#include "causal/slo.h"
+#include "causal/slow_query_log.h"
+#include "causal/trace_context.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/sync.h"
@@ -461,6 +464,32 @@ class StatisticalDbms {
   void set_trace_sink(TraceSink* sink) { trace_sink_ = sink; }
   TraceSink* trace_sink() const { return trace_sink_; }
 
+  // --- causal tracing, SLOs & the slow-query log (DESIGN.md §17) -----------
+
+  /// Per-query-class tail-latency SLO tracker. Every public query
+  /// wrapper records into its class ("query", "query_parallel",
+  /// "query_many", "query_filtered", "bivariate", "group_compare"), and
+  /// the mutation paths into "update" / "rollback".
+  causal::SloTracker& slo() { return slo_; }
+  std::string DumpSloJson() const { return slo_.DumpJson(); }
+
+  /// Bounded log of threshold-exceeding operations: the full QueryTrace
+  /// joined with the flight events carrying its trace_id. Disabled by
+  /// default (capturing needs traces built on every query); enabled by
+  /// slow_query_log().set_enabled(true) or the STATDB_SLOWLOG_DUMP
+  /// environment variable, which also arms a one-shot incident dump on
+  /// the first degraded-mode entry.
+  causal::SlowQueryLog& slow_query_log() { return slow_log_; }
+  std::string DumpSlowLogJson(const std::string& reason = "manual") const {
+    return slow_log_.DumpJson(reason);
+  }
+
+  /// Chrome trace-event (catapult) export of the slow-query log's
+  /// captured traces laid against the flight window — open the result
+  /// in chrome://tracing or Perfetto. `trace_id_filter` != 0 restricts
+  /// to one operation (the shell's `trace <id>`).
+  std::string DumpChromeTrace(uint64_t trace_id_filter = 0);
+
   // --- flight recorder, profiler & timeseries (src/flight, §12) -----------
 
   /// The black box: a lock-light ring of the last N structured events
@@ -659,21 +688,51 @@ class StatisticalDbms {
                                         const FilterPredicate& pred,
                                         const FunctionParams& params,
                                         QueryTrace* trace);
+  Result<QueryAnswer> QueryBivariateImpl(const std::string& view,
+                                         const std::string& function,
+                                         const std::string& attr_a,
+                                         const std::string& attr_b,
+                                         const QueryOptions& opts,
+                                         QueryTrace* trace);
+  Result<QueryAnswer> QueryGroupCompareImpl(const std::string& view,
+                                            const std::string& value_attr,
+                                            const std::string& category_attr,
+                                            int64_t code_a, int64_t code_b,
+                                            const QueryOptions& opts,
+                                            QueryTrace* trace);
+
+  /// Update/Rollback bodies; the public wrappers mint the mutation's
+  /// causal context and record its SLO sample.
+  Result<uint64_t> UpdateUnderContext(const std::string& view,
+                                      const UpdateSpec& spec);
+  Status RollbackUnderContext(const std::string& view,
+                              uint64_t target_version);
 
   /// Recover() body; the public wrapper owns the "recover"-labeled trace
   /// whose spans (WAL scan, redo replay, manifest apply, fallback
   /// invalidation) `trace` (nullable) receives.
   Status RecoverImpl(QueryTrace* trace);
 
-  /// Records the query latency + outcome counters and emits `trace` (if
-  /// any) to the sink — the shared tail of every public query wrapper.
-  void EmitQueryObs(const TraceTimer& timer, QueryTrace* trace,
-                    TraceOutcome outcome);
+  /// True when the query wrappers should build a QueryTrace: a sink is
+  /// attached, or the slow-query log wants completed traces to capture.
+  bool WantTrace() const {
+    return trace_sink_ != nullptr || slow_log_.enabled();
+  }
 
-  /// Feeds one finished request to the flight recorder (kQueryEnd) and
-  /// the workload profiler — called from the public query wrappers with
-  /// the exact view/function/attribute strings.
-  void NoteQueryOutcome(const std::string& view, const std::string& function,
+  /// Records the query latency + outcome counters, the query class's
+  /// SLO sample, emits `trace` (if any) to the sink, and captures a
+  /// slow-log entry when the operation crossed the threshold — the
+  /// shared tail of every public query wrapper. Exactly one call per
+  /// wrapper invocation, success or error.
+  void EmitQueryObs(const TraceTimer& timer, QueryTrace* trace,
+                    TraceOutcome outcome, const std::string& query_class);
+
+  /// Feeds one finished request to the flight recorder (kQueryEnd,
+  /// stamped with `ctx`) and the workload profiler — called from the
+  /// public query wrappers with the exact view/function/attribute
+  /// strings.
+  void NoteQueryOutcome(const causal::TraceContext& ctx,
+                        const std::string& view, const std::string& function,
                         const std::string& attribute, TraceOutcome outcome,
                         double wall_ms);
 
@@ -730,6 +789,10 @@ class StatisticalDbms {
   uint64_t recoveries_ STATDB_GUARDED_BY(session_mu_) = 0;
 
   MetricsRegistry metrics_;
+  /// Declared after metrics_: the tracker registers its class
+  /// histograms there.
+  causal::SloTracker slo_{&metrics_};
+  causal::SlowQueryLog slow_log_;
   FlightRecorder flight_;
   WorkloadProfiler profiler_;
   MetricsTimeseries timeseries_;

@@ -110,8 +110,9 @@ void StatisticalDbms::EnterDegraded(const std::string& reason) {
   metrics_.GetCounter("dbms.degraded_entered")->Inc();
   // The flip to read-only is exactly the moment the black box exists
   // for: record it and (if armed) ship the event window to disk.
-  flight_.Record(FlightEventKind::kDegraded, reason);
+  flight_.Record(causal::Current(), FlightEventKind::kDegraded, reason);
   flight_.AutoDumpOnce("degraded");
+  slow_log_.AutoDumpOnce("degraded");
 }
 
 Status StatisticalDbms::EnableDurability(const std::string& wal_device) {
@@ -358,7 +359,9 @@ Status StatisticalDbms::CommitDurable(const std::string& attr_hint,
   }
   metrics_.GetCounter("dbms.commits")->Inc();
   if (flight_.enabled()) {
-    flight_.Record(FlightEventKind::kWalCommit,
+    // The WAL commit joins the trace of whatever operation triggered it
+    // (a query's CommitAfterQuery tail, an update, recovery itself).
+    flight_.Record(causal::Current(), FlightEventKind::kWalCommit,
                    attr_hint.empty() ? std::string("commit") : attr_hint,
                    int64_t(record.lsn), int64_t(record.pages.size()),
                    wal_timer.ElapsedMs());
@@ -376,19 +379,29 @@ void StatisticalDbms::CommitAfterQuery(const std::string& attr_hint) {
 Status StatisticalDbms::Recover() {
   // The wrapper owns the "recover"-labeled trace so the body's early
   // returns cannot skip sink emission — the same split the query paths
-  // use (Query vs QueryImpl).
+  // use (Query vs QueryImpl). It also mints the recovery's causal
+  // context: every kRecoveryStep and the fallback-invalidation commit's
+  // kWalCommit land under one trace_id.
+  causal::ScopedTraceContext scope(causal::Mint());
   TraceTimer timer;
   std::optional<QueryTrace> trace;
-  if (trace_sink_ != nullptr) {
+  if (WantTrace()) {
     trace.emplace();
     trace->SetLabel("recover", "", "", "");
+    trace->SetContext(scope.ctx().trace_id, scope.ctx().session_id,
+                      scope.ctx().query_seq);
   }
   QueryTrace* tr = trace ? &*trace : nullptr;
   Status s = RecoverImpl(tr);
+  double ms = timer.ElapsedMs();
+  slo_.Record("recover", ms, !s.ok());
   if (tr != nullptr) {
     tr->SetOutcome(s.ok() ? TraceOutcome::kComputed : TraceOutcome::kError);
-    tr->SetTotalMs(timer.ElapsedMs());
-    trace_sink_->OnQueryTrace(*tr);
+    tr->SetTotalMs(ms);
+    if (trace_sink_ != nullptr) trace_sink_->OnQueryTrace(*tr);
+    if (slow_log_.enabled() && slow_log_.ShouldCapture(ms)) {
+      slow_log_.Capture(*tr, ms, &flight_);
+    }
   }
   return s;
 }
@@ -411,8 +424,9 @@ Status StatisticalDbms::RecoverImpl(QueryTrace* trace) {
     STATDB_ASSIGN_OR_RETURN(scan, wal_->Open());
     span.SetRows(scan.records.size());
   }
-  flight_.Record(FlightEventKind::kRecoveryStep, "wal_scan",
-                 int64_t(scan.records.size()), scan.torn_tail ? 1 : 0);
+  flight_.Record(causal::Current(), FlightEventKind::kRecoveryStep,
+                 "wal_scan", int64_t(scan.records.size()),
+                 scan.torn_tail ? 1 : 0);
   metrics_.GetCounter("dbms.recovery.records_replayed")
       ->Inc(scan.records.size());
   if (scan.torn_tail) {
@@ -446,8 +460,9 @@ Status StatisticalDbms::RecoverImpl(QueryTrace* trace) {
     span.SetRows(pages_replayed);
     span.SetPages(pages_replayed);
   }
-  flight_.Record(FlightEventKind::kRecoveryStep, "redo_replay",
-                 int64_t(pages_replayed), int64_t(scan.records.size()));
+  flight_.Record(causal::Current(), FlightEventKind::kRecoveryStep,
+                 "redo_replay", int64_t(pages_replayed),
+                 int64_t(scan.records.size()));
   metrics_.GetCounter("dbms.recovery.pages_replayed")->Inc(pages_replayed);
 
   {
@@ -463,8 +478,9 @@ Status StatisticalDbms::RecoverImpl(QueryTrace* trace) {
       mdb_ = ManagementDatabase{};
     }
   }
-  flight_.Record(FlightEventKind::kRecoveryStep, "manifest_apply",
-                 int64_t(views_.size()), int64_t(raw_tables_.size()));
+  flight_.Record(causal::Current(), FlightEventKind::kRecoveryStep,
+                 "manifest_apply", int64_t(views_.size()),
+                 int64_t(raw_tables_.size()));
 
   // §4.3 fallback for the lost tail: "after each update operation all
   // the values associated with the updated attribute will be marked as
@@ -495,8 +511,8 @@ Status StatisticalDbms::RecoverImpl(QueryTrace* trace) {
       }
       span.SetRows(invalidated);
     }
-    flight_.Record(FlightEventKind::kRecoveryStep, "fallback_invalidate",
-                   int64_t(invalidated),
+    flight_.Record(causal::Current(), FlightEventKind::kRecoveryStep,
+                   "fallback_invalidate", int64_t(invalidated),
                    scan.torn_attr_hint.empty() ? 0 : 1);
     metrics_.GetCounter("dbms.recovery.fallback_invalidations")
         ->Inc(invalidated);

@@ -64,7 +64,7 @@ Status FlushUnivariate(const std::string& attribute, const SummaryEntry& e,
     // b distinguishes the cheap differencing path (0) from a §4.2
     // full-column rebuild (1) — the economics the §4.3 choice weighs.
     env.flight->Record(
-        FlightEventKind::kMaintainerFire,
+        env.ctx, FlightEventKind::kMaintainerFire,
         FireLabel(env.view_name, e.key.function, attribute),
         int64_t(cell_batch.size()), rebuilt ? 1 : 0);
   }
@@ -114,7 +114,7 @@ Status FlushBivariate(const std::string& attribute, const SummaryEntry& e,
   ++counters->refreshed;
   if (env.flight != nullptr && env.flight->enabled()) {
     env.flight->Record(
-        FlightEventKind::kMaintainerFire,
+        env.ctx, FlightEventKind::kMaintainerFire,
         FireLabel(env.view_name, e.key.function, attribute),
         int64_t(batch.size()), 0);
   }
@@ -158,7 +158,7 @@ Status FlushAttribute(const std::string& attribute,
   }
 
   if (env.flight != nullptr && env.flight->enabled()) {
-    env.flight->Record(FlightEventKind::kDeltaFlush,
+    env.flight->Record(env.ctx, FlightEventKind::kDeltaFlush,
                        env.view_name + "." + attribute,
                        int64_t(batch.size()), int64_t(counters->refreshed));
   }

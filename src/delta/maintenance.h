@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "causal/trace_context.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "delta/comoment.h"
@@ -45,6 +46,11 @@ struct FlushEnv {
   /// bivariate soundness gate (see ComomentMaintainer's contract).
   std::function<bool(const std::string& attr)> has_pending;
   FlightRecorder* flight = nullptr;  // nullable
+  /// Causal context of the operation that triggered this flush (the
+  /// querying/updating caller, not the buffered writers) — stamped on
+  /// every kMaintainerFire / kDeltaFlush event so a flush joins its
+  /// trigger's trace (DESIGN.md §17).
+  causal::TraceContext ctx;
 };
 
 /// Effort accounting of one FlushAttribute pass, folded into the view's

@@ -73,7 +73,7 @@ void FlightRecorder::set_sample_every(uint64_t n) {
 
 void FlightRecorder::RecordSlow(FlightEventKind kind,
                                 std::string_view label, int64_t a,
-                                int64_t b, double x) {
+                                int64_t b, double x, uint64_t trace) {
   uint64_t mask = sample_mask_.load(std::memory_order_relaxed);
   if (mask != 0 && IsSamplable(kind)) {
     uint64_t tick =
@@ -96,6 +96,7 @@ void FlightRecorder::RecordSlow(FlightEventKind kind,
   s.a.store(a, std::memory_order_relaxed);
   s.b.store(b, std::memory_order_relaxed);
   s.x.store(x, std::memory_order_relaxed);
+  s.trace.store(trace, std::memory_order_relaxed);
   uint64_t words[kLabelWords] = {};
   size_t n = std::min(label.size(), sizeof(words) - 1);  // keep a NUL
   std::memcpy(words, label.data(), n);
@@ -123,6 +124,7 @@ std::vector<FlightEvent> FlightRecorder::SnapshotEvents() const {
     ev.a = s.a.load(std::memory_order_relaxed);
     ev.b = s.b.load(std::memory_order_relaxed);
     ev.x = s.x.load(std::memory_order_relaxed);
+    ev.trace = s.trace.load(std::memory_order_relaxed);
     uint64_t words[kLabelWords];
     for (size_t i = 0; i < kLabelWords; ++i) {
       words[i] = s.label[i].load(std::memory_order_relaxed);
@@ -149,6 +151,7 @@ std::string FlightRecorder::DumpJson(const std::string& reason) const {
                        .Raw("a", std::to_string(ev.a))
                        .Raw("b", std::to_string(ev.b))
                        .Num("x", ev.x)
+                       .Int("trace", ev.trace)
                        .Build());
   }
   obs::JsonObject flight;

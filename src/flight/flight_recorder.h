@@ -10,6 +10,7 @@
 #include <string_view>
 #include <vector>
 
+#include "causal/trace_context.h"
 #include "common/sync.h"
 
 namespace statdb {
@@ -70,6 +71,10 @@ struct FlightEvent {
   int64_t a = 0;        // kind-specific payload (see enum comments)
   int64_t b = 0;
   double x = 0;
+  /// The causal::TraceContext id of the operation this event belongs to
+  /// (DESIGN.md §17), or 0 when no context was live — the join key
+  /// against QueryTrace spans, delta-flush records and WAL commits.
+  uint64_t trace = 0;
 };
 
 class FlightRecorder {
@@ -84,10 +89,24 @@ class FlightRecorder {
   FlightRecorder& operator=(const FlightRecorder&) = delete;
 
   /// The hot-path entry point. Disabled: one relaxed load and a branch.
+  /// Events are stamped with the calling thread's current trace id —
+  /// layers below the TraceContext signature boundary (buffer pool,
+  /// devices, WAL) attribute to whoever minted the ambient context.
   void Record(FlightEventKind kind, std::string_view label, int64_t a = 0,
               int64_t b = 0, double x = 0) {
     if (!enabled_.load(std::memory_order_relaxed)) return;
-    RecordSlow(kind, label, a, b, x);
+    RecordSlow(kind, label, a, b, x, causal::CurrentTraceId());
+  }
+
+  /// Explicit-context form (lint rule R8: core/delta/session call sites
+  /// must use this one). Stamps `ctx.trace_id` even when called off the
+  /// minting thread — the propagated context, not the ambient slot, is
+  /// authoritative.
+  void Record(const causal::TraceContext& ctx, FlightEventKind kind,
+              std::string_view label, int64_t a = 0, int64_t b = 0,
+              double x = 0) {
+    if (!enabled_.load(std::memory_order_relaxed)) return;
+    RecordSlow(kind, label, a, b, x, ctx.trace_id);
   }
 
   void set_enabled(bool on) {
@@ -157,11 +176,12 @@ class FlightRecorder {
     std::atomic<int64_t> a{0};
     std::atomic<int64_t> b{0};
     std::atomic<double> x{0};
+    std::atomic<uint64_t> trace{0};
     std::atomic<uint64_t> label[kLabelWords] = {};
   };
 
   void RecordSlow(FlightEventKind kind, std::string_view label, int64_t a,
-                  int64_t b, double x);
+                  int64_t b, double x, uint64_t trace);
 
   const size_t capacity_;
   const size_t mask_;

@@ -54,11 +54,17 @@ std::string QueryTrace::ToJson() const {
     obs::JsonObject o;
     o.Str("span", SpanKindName(s.kind));
     if (s.detail >= 0) o.Int("detail", static_cast<uint64_t>(s.detail));
-    o.Num("wall_ms", s.wall_ms).Int("rows", s.rows).Int("pages", s.pages);
+    o.Num("start_ms", s.start_ms)
+        .Num("wall_ms", s.wall_ms)
+        .Int("rows", s.rows)
+        .Int("pages", s.pages);
     spans.push_back(o.Build());
   }
   obs::JsonObject out;
-  out.Str("operation", operation_)
+  out.Int("trace_id", trace_id_)
+      .Int("session_id", session_id_)
+      .Int("query_seq", query_seq_)
+      .Str("operation", operation_)
       .Str("view", view_)
       .Str("function", function_)
       .Str("attribute", attribute_)

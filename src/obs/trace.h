@@ -56,6 +56,10 @@ struct TraceSpan {
   double wall_ms = 0;
   uint64_t rows = 0;   // rows (cells) this phase touched
   uint64_t pages = 0;  // storage pages this phase touched (approximate)
+  /// When the span started, in ms since the trace was constructed —
+  /// lets exporters (Chrome trace events) lay spans on a timeline
+  /// instead of only summing durations.
+  double start_ms = 0;
 };
 
 /// Provenance labels mirrored from core's AnswerSource (obs sits below
@@ -77,7 +81,7 @@ class QueryTrace {
   /// chunk spans. Overflow drops spans and counts them, never grows.
   static constexpr size_t kMaxSpans = 96;
 
-  QueryTrace() = default;
+  QueryTrace() : epoch_(std::chrono::steady_clock::now()) {}
 
   void SetLabel(std::string operation, std::string view,
                 std::string function, std::string attribute) {
@@ -89,13 +93,34 @@ class QueryTrace {
   void SetOutcome(TraceOutcome outcome) { outcome_ = outcome; }
   void SetTotalMs(double ms) { total_ms_ = ms; }
 
+  /// Stamps the causal identity (DESIGN.md §17). Plain integers, not a
+  /// causal::TraceContext — obs sits below causal in the dependency DAG.
+  void SetContext(uint64_t trace_id, uint64_t session_id,
+                  uint64_t query_seq) {
+    trace_id_ = trace_id;
+    session_id_ = session_id;
+    query_seq_ = query_seq;
+  }
+  uint64_t trace_id() const { return trace_id_; }
+  uint64_t session_id() const { return session_id_; }
+  uint64_t query_seq() const { return query_seq_; }
+
   void Add(SpanKind kind, double wall_ms, uint64_t rows = 0,
-           uint64_t pages = 0, int32_t detail = -1) {
+           uint64_t pages = 0, int32_t detail = -1, double start_ms = 0) {
     if (count_ >= kMaxSpans) {
       ++dropped_;
       return;
     }
-    spans_[count_++] = TraceSpan{kind, detail, wall_ms, rows, pages};
+    spans_[count_++] =
+        TraceSpan{kind, detail, wall_ms, rows, pages, start_ms};
+  }
+
+  /// Ms elapsed since this trace was constructed — the span timeline's
+  /// clock (ScopedSpan samples it once at open).
+  double NowOffsetMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
   }
 
   size_t size() const { return count_; }
@@ -127,6 +152,10 @@ class QueryTrace {
   std::string attribute_;
   TraceOutcome outcome_ = TraceOutcome::kUnknown;
   double total_ms_ = 0;
+  uint64_t trace_id_ = 0;
+  uint64_t session_id_ = 0;
+  uint64_t query_seq_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
 };
 
 /// Receives every finished trace. Implementations must be thread-safe if
@@ -167,7 +196,10 @@ class ScopedSpan {
  public:
   ScopedSpan(QueryTrace* trace, SpanKind kind, int32_t detail = -1)
       : trace_(trace), kind_(kind), detail_(detail) {
-    if (trace_ != nullptr) start_ = std::chrono::steady_clock::now();
+    if (trace_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+      start_offset_ms_ = trace_->NowOffsetMs();
+    }
   }
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
@@ -176,7 +208,7 @@ class ScopedSpan {
     double ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - start_)
                     .count();
-    trace_->Add(kind_, ms, rows_, pages_, detail_);
+    trace_->Add(kind_, ms, rows_, pages_, detail_, start_offset_ms_);
   }
 
   void SetRows(uint64_t rows) { rows_ = rows; }
@@ -196,6 +228,7 @@ class ScopedSpan {
   uint64_t rows_ = 0;
   uint64_t pages_ = 0;
   std::chrono::steady_clock::time_point start_;
+  double start_offset_ms_ = 0;
 };
 
 /// Wall-clock stopwatch used by the tracing call sites themselves.

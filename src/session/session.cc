@@ -3,7 +3,10 @@
 #include <chrono>
 #include <utility>
 
+#include "causal/trace_context.h"
 #include "flight/flight_recorder.h"
+#include "obs/trace.h"
+#include "storage/column_file.h"
 #include "summary/summary_key.h"
 
 namespace statdb::session {
@@ -56,14 +59,52 @@ Session::Session(SessionManager* mgr, uint64_t id, std::string label,
       pinned_seq_(pinned_seq),
       epoch_slot_(epoch_slot) {}
 
+// Per-session scope bumps. Each bumps three ledgers in one place — the
+// session atomic (stats()), the per-label instrument and the manager's
+// global mirror — which is what makes the attribution invariant
+// (sum of per-session == global) bit-exact rather than approximate.
+void Session::BumpQueries() {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  if (m_queries_ != nullptr) m_queries_->Inc();
+  if (mgr_->g_queries_ != nullptr) mgr_->g_queries_->Inc();
+}
+
+void Session::BumpCacheHits() {
+  cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  if (m_cache_hits_ != nullptr) m_cache_hits_->Inc();
+  if (mgr_->g_cache_hits_ != nullptr) mgr_->g_cache_hits_->Inc();
+}
+
+void Session::BumpRows(uint64_t rows) {
+  if (rows == 0) return;
+  const uint64_t pages =
+      (rows + ColumnFile::kCellsPerPage - 1) / ColumnFile::kCellsPerPage;
+  rows_.fetch_add(rows, std::memory_order_relaxed);
+  pages_.fetch_add(pages, std::memory_order_relaxed);
+  if (m_rows_ != nullptr) m_rows_->Inc(rows);
+  if (m_pages_ != nullptr) m_pages_->Inc(pages);
+  if (mgr_->g_rows_ != nullptr) mgr_->g_rows_->Inc(rows);
+  if (mgr_->g_pages_ != nullptr) mgr_->g_pages_->Inc(pages);
+}
+
+void Session::RecordQueryMs(double ms) {
+  if (m_query_ms_ != nullptr) m_query_ms_->Record(ms);
+  if (mgr_->g_query_ms_ != nullptr) mgr_->g_query_ms_->Record(ms);
+}
+
 Result<QueryAnswer> Session::Query(const std::string& view,
                                    const std::string& function,
                                    const std::string& attribute,
                                    const FunctionParams& params) {
   OpGuard op(this);
   if (!op.ok()) return FailedPreconditionError("session is closing");
-  queries_.fetch_add(1, std::memory_order_relaxed);
-  if (m_queries_ != nullptr) m_queries_->Inc();
+  // The session is the one entry point that knows which analyst is
+  // asking: mint the causal context here, with the session id stamped,
+  // so every downstream flight event (I/O retries, faults) joins this
+  // query's trace (DESIGN.md §17).
+  causal::ScopedTraceContext scope(causal::Mint(id_));
+  TraceTimer timer;
+  BumpQueries();
 
   const std::string key =
       SummaryKey::Of(function, attribute, params.Encode()).Encode();
@@ -75,8 +116,8 @@ Result<QueryAnswer> Session::Query(const std::string& view,
   if (Result<SummaryResult> cached =
           mgr_->timeline_.Lookup(view, key, pinned_seq_);
       cached.ok()) {
-    cache_hits_.fetch_add(1, std::memory_order_relaxed);
-    if (m_cache_hits_ != nullptr) m_cache_hits_->Inc();
+    BumpCacheHits();
+    RecordQueryMs(timer.ElapsedMs());
     QueryAnswer a;
     a.result = *cached;
     a.source = AnswerSource::kCacheHit;
@@ -116,12 +157,14 @@ Result<QueryAnswer> Session::Query(const std::string& view,
     data = &live_data;
   }
 
+  BumpRows(data->size());
   STATDB_ASSIGN_OR_RETURN(
       SummaryResult result,
       mgr_->dbms_->management_db().functions().Compute(function, *data,
                                                        params));
   mgr_->timeline_.Insert(view, key, route.window_from, route.window_to,
                          result);
+  RecordQueryMs(timer.ElapsedMs());
 
   QueryAnswer a;
   a.result = result;
@@ -133,16 +176,20 @@ Result<std::vector<Value>> Session::ReadColumn(const std::string& view,
                                                const std::string& column) {
   OpGuard op(this);
   if (!op.ok()) return FailedPreconditionError("session is closing");
+  causal::ScopedTraceContext scope(causal::Mint(id_));
 
   EpochGuard epoch(&mgr_->epochs_, epoch_slot_);
   STATDB_ASSIGN_OR_RETURN(
       ColumnRoute route, mgr_->registry_.Resolve(view, column, pinned_seq_));
   if (route.source == ColumnRoute::Source::kSnapshot) {
     snapshot_reads_.fetch_add(1, std::memory_order_relaxed);
+    BumpRows(route.snapshot->values->size());
     return *route.snapshot->values;
   }
   live_reads_.fetch_add(1, std::memory_order_relaxed);
-  return route.live->ReadColumn(column);
+  Result<std::vector<Value>> values = route.live->ReadColumn(column);
+  if (values.ok()) BumpRows(values.value().size());
+  return values;
 }
 
 Result<std::vector<std::string>> Session::Columns(const std::string& view) {
@@ -159,6 +206,9 @@ Session::Stats Session::stats() const {
   s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   s.live_reads = live_reads_.load(std::memory_order_relaxed);
   s.snapshot_reads = snapshot_reads_.load(std::memory_order_relaxed);
+  s.rows = rows_.load(std::memory_order_relaxed);
+  s.pages = pages_.load(std::memory_order_relaxed);
+  s.flushes = flushes_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -206,6 +256,15 @@ SessionManager::SessionManager(StatisticalDbms* dbms, SessionConfig config)
     config_.max_sessions = EpochManager::kSlots;
   }
   slot_used_.assign(config_.max_sessions, false);
+  // Global mirrors of the per-session scopes. Resolved once; bumped only
+  // from the Session::Bump* helpers, never directly.
+  MetricsRegistry& metrics = dbms_->metrics();
+  g_queries_ = metrics.GetCounter("sessions.queries");
+  g_cache_hits_ = metrics.GetCounter("sessions.cache_hits");
+  g_rows_ = metrics.GetCounter("sessions.rows");
+  g_pages_ = metrics.GetCounter("sessions.pages");
+  g_flushes_ = metrics.GetCounter("sessions.flushes");
+  g_query_ms_ = metrics.GetHistogram("sessions.query_ms");
 }
 
 SessionManager::~SessionManager() {
@@ -271,14 +330,18 @@ Result<Session*> SessionManager::Open(std::string label) {
   auto session = std::unique_ptr<Session>(
       new Session(this, id, std::move(label), pinned, slot));
   Session* handle = session.get();
-  handle->m_queries_ =
-      dbms_->metrics().GetCounter("session." + handle->label_ + ".queries");
-  handle->m_cache_hits_ = dbms_->metrics().GetCounter(
-      "session." + handle->label_ + ".cache_hits");
+  const std::string scope = "session." + handle->label_ + ".";
+  MetricsRegistry& metrics = dbms_->metrics();
+  handle->m_queries_ = metrics.GetCounter(scope + "queries");
+  handle->m_cache_hits_ = metrics.GetCounter(scope + "cache_hits");
+  handle->m_rows_ = metrics.GetCounter(scope + "rows");
+  handle->m_pages_ = metrics.GetCounter(scope + "pages");
+  handle->m_flushes_ = metrics.GetCounter(scope + "flushes");
+  handle->m_query_ms_ = metrics.GetHistogram(scope + "query_ms");
   sessions_[id] = std::move(session);
   ++opened_;
-  dbms_->flight().Record(FlightEventKind::kSessionOpen, handle->label_,
-                         static_cast<int64_t>(id),
+  dbms_->flight().Record(causal::Mint(id), FlightEventKind::kSessionOpen,
+                         handle->label_, static_cast<int64_t>(id),
                          static_cast<int64_t>(pinned));
   return handle;
 }
@@ -321,8 +384,8 @@ Status SessionManager::Close(Session* session) {
     timeline_.Trim(min_pinned);
     admission_cv_.NotifyAll();  // wake queued Open()s
   }
-  dbms_->flight().Record(FlightEventKind::kSessionClose, label,
-                         static_cast<int64_t>(id),
+  dbms_->flight().Record(causal::Mint(id), FlightEventKind::kSessionClose,
+                         label, static_cast<int64_t>(id),
                          static_cast<int64_t>(queries));
   return Status::OK();
 }

@@ -76,6 +76,13 @@ class Session {
     uint64_t cache_hits = 0;
     uint64_t live_reads = 0;      // resolved to the live view
     uint64_t snapshot_reads = 0;  // resolved to a retired pre-image
+    uint64_t rows = 0;            // rows materialized for this session
+    uint64_t pages = 0;           // page equivalents of those rows
+    /// Delta flushes this session triggered. Sessions are read-only
+    /// (snapshot-isolated), so this is 0 today; the scope exists so the
+    /// per-session/global attribution invariant covers the counter the
+    /// day sessions gain a write path.
+    uint64_t flushes = 0;
   };
   Stats stats() const;
 
@@ -104,11 +111,28 @@ class Session {
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> live_reads_{0};
   std::atomic<uint64_t> snapshot_reads_{0};
+  std::atomic<uint64_t> rows_{0};
+  std::atomic<uint64_t> pages_{0};
+  std::atomic<uint64_t> flushes_{0};
+
+  /// Per-session metric scope (DESIGN.md §17): each bump site increments
+  /// the session atomic, the per-label instrument and the manager's
+  /// global "sessions.*" mirror in the same statement — that is the
+  /// attribution invariant the stress test asserts (sum over sessions of
+  /// "session.<label>.x" == "sessions.x", bit-exact).
+  void BumpQueries();
+  void BumpCacheHits();
+  void BumpRows(uint64_t rows);
+  void RecordQueryMs(double ms);
 
   // Resolved once at open (registration takes the registry mutex);
   // bumped lock-free afterwards.
   Counter* m_queries_ = nullptr;
   Counter* m_cache_hits_ = nullptr;
+  Counter* m_rows_ = nullptr;
+  Counter* m_pages_ = nullptr;
+  Counter* m_flushes_ = nullptr;
+  LatencyHistogram* m_query_ms_ = nullptr;
 };
 
 /// RAII write-side bracket of the capture -> block -> grace -> mutate ->
@@ -282,6 +306,17 @@ class SessionManager {
   /// domain). Freed when the manager is destroyed.
   std::vector<std::unique_ptr<Session>> retired_sessions_
       STATDB_GUARDED_BY(admission_mu_);
+
+  /// Global mirrors of the per-session scopes ("sessions.*"), resolved
+  /// once at construction and bumped at the exact sites that bump the
+  /// per-session instruments — never independently, or the attribution
+  /// invariant breaks.
+  Counter* g_queries_ = nullptr;
+  Counter* g_cache_hits_ = nullptr;
+  Counter* g_rows_ = nullptr;
+  Counter* g_pages_ = nullptr;
+  Counter* g_flushes_ = nullptr;
+  LatencyHistogram* g_query_ms_ = nullptr;
 
   uint64_t opened_ STATDB_GUARDED_BY(admission_mu_) = 0;
   uint64_t closed_ STATDB_GUARDED_BY(admission_mu_) = 0;
